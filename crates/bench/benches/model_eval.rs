@@ -1,0 +1,65 @@
+//! Criterion benches of the analysis model — including the ablation
+//! DESIGN.md calls out: incremental re-evaluation vs full rebuild. The
+//! entire viability of a model-based *proactive* search rests on this
+//! gap (paper §5: brute force over the configuration space is hopeless;
+//! Magus needs thousands of cheap what-if evaluations).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use magus_geo::Db;
+use magus_lte::Bandwidth;
+use magus_model::{standard_setup, UtilityKind};
+use magus_net::{AreaType, ConfigChange, Market, MarketParams, SectorId};
+use std::hint::black_box;
+
+fn bench_model(c: &mut Criterion) {
+    let market = Market::generate(MarketParams::tiny(AreaType::Suburban, 3));
+    let model = standard_setup(&market, Bandwidth::Mhz10);
+    let ev = &model.evaluator;
+    let neighbor = SectorId(market.network().num_sectors() as u32 / 2);
+
+    let mut g = c.benchmark_group("model");
+    g.sample_size(20);
+    g.bench_function("full_rebuild", |b| {
+        b.iter(|| black_box(ev.initial_state(&model.nominal)))
+    });
+    g.finish();
+
+    let mut state = ev.initial_state(&model.nominal);
+    c.bench_function("model/incremental_power_change", |b| {
+        b.iter(|| {
+            let undo = ev.apply(&mut state, ConfigChange::PowerDelta(neighbor, Db(1.0)));
+            ev.undo(&mut state, undo);
+        })
+    });
+    c.bench_function("model/probe_utility", |b| {
+        b.iter(|| {
+            black_box(ev.probe_utility(
+                &mut state,
+                ConfigChange::PowerDelta(neighbor, Db(1.0)),
+                UtilityKind::Performance,
+            ))
+        })
+    });
+    c.bench_function("model/utility_from_aggregates", |b| {
+        b.iter(|| black_box(state.utility(UtilityKind::Performance)))
+    });
+    c.bench_function("model/hypothetical_rmax", |b| {
+        let mut i = 0usize;
+        let n = state.num_grids();
+        b.iter(|| {
+            i = (i + 97) % n;
+            black_box(ev.hypothetical_rmax(&state, i, neighbor.0, 2.0))
+        })
+    });
+    // Tilt changes sweep the same window but with a matrix swap.
+    c.bench_function("model/incremental_tilt_change", |b| {
+        b.iter(|| {
+            let cur = state.config().sector(neighbor).tilt;
+            let undo = ev.apply(&mut state, ConfigChange::SetTilt(neighbor, cur.saturating_sub(1)));
+            ev.undo(&mut state, undo);
+        })
+    });
+}
+
+criterion_group!(benches, bench_model);
+criterion_main!(benches);

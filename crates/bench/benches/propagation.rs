@@ -1,0 +1,80 @@
+//! Criterion benches of the path-loss substrate: store construction (the
+//! expensive market-setup step) and per-query costs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use magus_geo::{Bearing, GridSpec, PointM};
+use magus_propagation::{
+    AntennaParams, PathLossStore, PropagationModel, SectorSite, SpmParams, TiltSettings,
+    NOMINAL_TILT_INDEX,
+};
+use magus_terrain::{ClutterParams, Terrain, TerrainParams};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn sites(n: usize) -> Vec<SectorSite> {
+    (0..n)
+        .map(|i| SectorSite {
+            position: PointM::new(
+                (i % 4) as f64 * 2_000.0 - 3_000.0,
+                (i / 4) as f64 * 2_000.0 - 3_000.0,
+            ),
+            height_m: 30.0,
+            azimuth: Bearing::new(i as f64 * 120.0),
+            antenna: AntennaParams::default(),
+        })
+        .collect()
+}
+
+fn bench_propagation(c: &mut Criterion) {
+    let spec = GridSpec::centered(PointM::new(0.0, 0.0), 200.0, 12_000.0);
+    let terrain = Arc::new(Terrain::generate(
+        spec,
+        7,
+        &TerrainParams::default(),
+        &ClutterParams::default(),
+    ));
+    let model = PropagationModel::new(Arc::clone(&terrain), SpmParams::default(), 7);
+
+    c.bench_function("pathloss/point_query", |b| {
+        let s = sites(1)[0];
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let p = PointM::new((i % 100) as f64 * 50.0, (i % 77) as f64 * 60.0);
+            black_box(model.total_loss_db(&s, 1, p, 4.0))
+        })
+    });
+
+    let mut g = c.benchmark_group("pathloss/store");
+    g.sample_size(10);
+    g.bench_function("build_12_sectors", |b| {
+        b.iter(|| {
+            black_box(PathLossStore::build(
+                spec,
+                sites(12),
+                &model,
+                TiltSettings::default(),
+                8_000.0,
+            ))
+        })
+    });
+    g.finish();
+
+    let store = PathLossStore::build(spec, sites(12), &model, TiltSettings::default(), 8_000.0);
+    c.bench_function("pathloss/tilt_matrix_assembly", |b| {
+        let mut tilt = 0u8;
+        b.iter(|| {
+            // Walk the tilt range so assembly work is always fresh after
+            // the cache warms the full set once.
+            tilt = (tilt + 1) % 17;
+            black_box(store.matrix(0, tilt))
+        })
+    });
+    c.bench_function("pathloss/cached_matrix_lookup", |b| {
+        let _ = store.matrix(3, NOMINAL_TILT_INDEX);
+        b.iter(|| black_box(store.matrix(3, NOMINAL_TILT_INDEX)))
+    });
+}
+
+criterion_group!(benches, bench_propagation);
+criterion_main!(benches);

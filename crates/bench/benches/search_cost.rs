@@ -1,0 +1,68 @@
+//! Criterion benches of the search algorithms — including the pruning
+//! ablation DESIGN.md calls out: Algorithm 1's affected-grid candidate
+//! set β vs the ungated naive walk.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use magus_core::{
+    hill_climb, naive_search, power_search, tilt_search, HillClimbParams, SearchParams,
+};
+use magus_lte::Bandwidth;
+use magus_model::standard_setup;
+use magus_net::{AreaType, ConfigChange, Market, MarketParams, UpgradeScenario};
+use std::hint::black_box;
+
+fn bench_search(c: &mut Criterion) {
+    let market = Market::generate(MarketParams::tiny(AreaType::Suburban, 3));
+    let model = standard_setup(&market, Bandwidth::Mhz10);
+    let ev = &model.evaluator;
+    let targets = magus_net::upgrade_targets(&market, UpgradeScenario::SingleCentralSector);
+    let radius = 2.2 * market.params().isd_m;
+    let neighbors = magus_core::neighbor_set(ev, &targets, radius);
+    let params = SearchParams::default();
+
+    let reference = ev.initial_state(&model.nominal);
+    let upgraded = || {
+        let mut st = ev.initial_state(&model.nominal);
+        for &t in &targets {
+            ev.apply(&mut st, ConfigChange::SetOnAir(t, false));
+        }
+        st
+    };
+
+    let mut g = c.benchmark_group("search");
+    g.sample_size(10);
+    g.bench_function("algorithm1_power", |b| {
+        b.iter(|| {
+            let mut st = upgraded();
+            black_box(power_search(ev, &mut st, &reference, &neighbors, &params))
+        })
+    });
+    g.bench_function("naive_greedy", |b| {
+        b.iter(|| {
+            let mut st = upgraded();
+            black_box(naive_search(ev, &mut st, &targets, &neighbors, &params))
+        })
+    });
+    g.bench_function("tilt_greedy", |b| {
+        b.iter(|| {
+            let mut st = upgraded();
+            black_box(tilt_search(ev, &mut st, &targets, &neighbors, &params))
+        })
+    });
+    g.bench_function("planning_hill_climb", |b| {
+        let mut region = targets.clone();
+        region.extend(neighbors.iter().copied());
+        let hc = HillClimbParams {
+            max_moves: 32,
+            ..HillClimbParams::default()
+        };
+        b.iter(|| {
+            let mut st = ev.initial_state(&model.nominal);
+            black_box(hill_climb(ev, &mut st, &region, &hc))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

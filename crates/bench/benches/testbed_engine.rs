@@ -1,0 +1,36 @@
+//! Criterion benches of the testbed discrete-event engine and the
+//! attenuation optimizer.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use magus_testbed::sim::{ChangeOp, Sim, SimConfig};
+use magus_testbed::{optimize_attenuations, scenario2, steady_state_utility, SimTime};
+use std::hint::black_box;
+
+fn bench_testbed(c: &mut Criterion) {
+    let s = scenario2();
+    let cfg = SimConfig::default();
+    let on = vec![true; s.env.num_enodebs()];
+    let (atten, _) = optimize_attenuations(&s.env, &on, &cfg);
+
+    c.bench_function("testbed/steady_state_utility", |b| {
+        b.iter(|| black_box(steady_state_utility(&s.env, &atten, &on, &cfg)))
+    });
+
+    let mut g = c.benchmark_group("testbed");
+    g.sample_size(10);
+    g.bench_function("sim_10s_with_outage", |b| {
+        b.iter(|| {
+            let timeline = vec![(SimTime::from_secs(3), ChangeOp::SetOnAir(s.target, false))];
+            black_box(
+                Sim::new(s.env.clone(), atten.clone(), cfg, timeline).run(SimTime::from_secs(10)),
+            )
+        })
+    });
+    g.bench_function("optimize_attenuations", |b| {
+        b.iter(|| black_box(optimize_attenuations(&s.env, &on, &cfg)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_testbed);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! **Ablation**: model-based search under planning-database error.
+//!
+//! The paper's §2 tradeoff in numbers: a model-based approach converges
+//! in one step but "might reach a sub-optimal configuration" when the
+//! network doesn't match the path-loss model; the hybrid polishes the
+//! model's answer with a few feedback steps (`1 + k ≪ K`).
+//!
+//! For each market replica, the search runs against the planning store
+//! while outcomes are scored on a ground-truth store with independent
+//! shadowing, and the hybrid polish closes the gap.
+
+use magus_bench::{build_market, mean, write_artifact, Scale, AREA_SEEDS};
+use magus_core::{model_divergence, ExperimentConfig};
+use magus_model::standard_setup;
+use magus_net::{AreaType, UpgradeScenario};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    divergence: f64,
+    seed: u64,
+    predicted_recovery: f64,
+    model_score: f64,
+    polished_score: f64,
+    polish_steps: usize,
+    from_scratch_steps: usize,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut cfg = ExperimentConfig::default();
+    // Let the feedback loops run to their true optima so K is not an
+    // artifact of the safety cap.
+    cfg.search.max_changes = 160;
+    let mut rows = Vec::new();
+
+    println!("Ablation — model error vs hybrid polish (suburban, scenario (a))\n");
+    // Scores: 0 = no mitigation, 1 = from-scratch feedback optimum on
+    // the ground truth.
+    println!(
+        "{:>11} {:>6} {:>12} {:>12} {:>12} {:>8} {:>10}",
+        "divergence", "seed", "predicted", "model score", "polished", "k", "K scratch"
+    );
+    for &w in &[0.0f64, 0.3, 0.6, 1.0] {
+        for &seed in &AREA_SEEDS {
+            let market = build_market(AreaType::Suburban, seed, scale);
+            let model = standard_setup(&market, magus_lte::Bandwidth::Mhz10);
+            let out = model_divergence(
+                &model,
+                &market,
+                UpgradeScenario::SingleCentralSector,
+                seed.wrapping_mul(0x5EED) ^ 0xD17E,
+                w,
+                &cfg,
+            );
+            println!(
+                "{:>11.1} {:>6} {:>11.1}% {:>12.2} {:>12.2} {:>8} {:>10}",
+                w,
+                seed,
+                out.predicted_recovery * 100.0,
+                out.model_score,
+                out.polished_score,
+                out.polish_steps,
+                out.from_scratch_steps
+            );
+            rows.push(Row {
+                divergence: w,
+                seed,
+                predicted_recovery: out.predicted_recovery,
+                model_score: out.model_score,
+                polished_score: out.polished_score,
+                polish_steps: out.polish_steps,
+                from_scratch_steps: out.from_scratch_steps,
+            });
+        }
+    }
+    let model: Vec<f64> = rows.iter().map(|r| r.model_score).collect();
+    let polished: Vec<f64> = rows.iter().map(|r| r.polished_score).collect();
+    println!(
+        "\nMean model score {:.2} -> polished {:.2} (1.0 = from-scratch feedback optimum).\n\
+         Reading the sweep: the divergence-0 rows isolate the pure *search* gap\n\
+         (Algorithm 1 only raises power toward affected grids; the feedback oracle\n\
+         may also back sectors off), and growing divergence adds genuine model\n\
+         error on top. The hybrid polish consistently reaches — and often beats —\n\
+         the from-scratch feedback optimum, because the model's C_after is a better\n\
+         basin to start from: the paper's rationale for combining the quadrants of\n\
+         its Figure 1.",
+        mean(&model),
+        mean(&polished)
+    );
+    write_artifact("ablation_model_error", &rows);
+}

@@ -1,0 +1,76 @@
+//! **Figure 2**: the LTE testbed experiments (§3) — utility before and
+//! after a planned eNodeB shutdown under proactive / reactive /
+//! no-tuning, for the 2-eNodeB and 3-eNodeB scenarios.
+//!
+//! Paper anchors: Scenario 1 — f(C_before)=3.31, f(C_after)=3.09,
+//! f(C_upgrade)=2.68, with the post-outage optimum at maximum power
+//! (no interference left). Scenario 2 — f(C_after)=4.85 vs
+//! f(C_upgrade)=3.46, with the optimum *not* at maximum power
+//! (interference-limited). Absolute values differ on our synthetic
+//! floor; the ordering and the interference insight must hold.
+
+use magus_bench::write_artifact;
+use magus_testbed::{
+    figure2_timeline, optimize_attenuations, scenario1, scenario2, Scenario, SimTime,
+    TimelineKind,
+};
+use magus_testbed::sim::SimConfig;
+
+fn run_scenario(s: &Scenario) {
+    let cfg = SimConfig::default();
+    println!("\n=== {} ===", s.label);
+
+    let n = s.env.num_enodebs();
+    let all_on = vec![true; n];
+    let mut without = all_on.clone();
+    without[s.target.0] = false;
+
+    let (before, f_before) = optimize_attenuations(&s.env, &all_on, &cfg);
+    let (after, f_after) = optimize_attenuations(&s.env, &without, &cfg);
+    println!(
+        "C_before attenuations: {:?}  (f = {f_before:.2})",
+        before.iter().map(|l| l.0).collect::<Vec<_>>()
+    );
+    println!(
+        "C_after  attenuations: {:?}  (f = {f_after:.2})",
+        after.iter().map(|l| l.0).collect::<Vec<_>>()
+    );
+
+    let traces = figure2_timeline(s, &cfg, SimTime::from_secs(3), SimTime::from_secs(9));
+    println!("\n{:>8} {:>12} {:>12} {:>12}", "t (s)", "proactive", "reactive", "no-tuning");
+    let find = |k: TimelineKind| {
+        traces
+            .iter()
+            .find(|t| t.kind == k)
+            .expect("trace present")
+    };
+    let (p, r, nt) = (
+        find(TimelineKind::Proactive),
+        find(TimelineKind::Reactive),
+        find(TimelineKind::NoTuning),
+    );
+    for i in 0..p.windows.len() {
+        println!(
+            "{:>8.1} {:>12.2} {:>12.2} {:>12.2}",
+            p.windows[i].t_secs, p.windows[i].utility, r.windows[i].utility, nt.windows[i].utility
+        );
+    }
+    println!(
+        "\nReference: f(C_before) {:.2} > f(C_after) {:.2} ≥ f(C_upgrade) {:.2}",
+        p.f_before, p.f_after, p.f_upgrade
+    );
+    write_artifact(
+        &format!("fig02_{}", s.label.split_whitespace().next().unwrap_or("scen")),
+        &traces,
+    );
+}
+
+fn main() {
+    println!("Figure 2 — testbed demonstration (upgrade fires at t = 3 s)");
+    run_scenario(&scenario1());
+    run_scenario(&scenario2());
+    println!(
+        "\nScenario-2 insight: the optimizer's C_after keeps at least one survivor\n\
+         backed off from maximum power — interference management, not brute force."
+    );
+}

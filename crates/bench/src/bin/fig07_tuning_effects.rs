@@ -1,0 +1,72 @@
+//! **Figure 7**: how the two tuning knobs reshape coverage — (a) the
+//! baseline path loss, (b) after a transmit-power increase, (c) after an
+//! antenna uptilt.
+//!
+//! Paper: "tilt-tuning reshapes the angular distribution of radio energy
+//! without increasing total power; it reaches further at the cost of
+//! sacrificing nearby areas". Power-tuning lifts everything uniformly.
+
+use magus_bench::{build_market, Scale};
+use magus_geo::PointM;
+use magus_net::AreaType;
+use magus_propagation::NOMINAL_TILT_INDEX;
+
+fn main() {
+    let market = build_market(AreaType::Suburban, 1, Scale::from_env());
+    let id = market
+        .network()
+        .nearest_sector(PointM::new(0.0, 0.0))
+        .expect("market has sectors");
+    let store = market.store();
+    let site = market.network().sector(id).site;
+    let spec = *market.spec();
+
+    let nominal = store.matrix(id.0, NOMINAL_TILT_INDEX);
+    let uptilt = store.matrix(id.0, NOMINAL_TILT_INDEX - 4); // −2° electrical tilt
+    let power_boost_db = 6.0;
+
+    // Ring statistics: mean received-signal change by distance band.
+    let mut bands: Vec<(f64, f64, Vec<f64>, Vec<f64>)> = vec![
+        (0.0, 600.0, vec![], vec![]),
+        (600.0, 1_500.0, vec![], vec![]),
+        (1_500.0, 3_000.0, vec![], vec![]),
+        (3_000.0, 6_000.0, vec![], vec![]),
+    ];
+    for (c, l_nom) in nominal.iter() {
+        let d = spec.center_of(c).distance(site.position);
+        let Some(l_up) = uptilt.get(c) else { continue };
+        for (lo, hi, ref mut pow_delta, ref mut tilt_delta) in bands.iter_mut() {
+            if d >= *lo && d < *hi {
+                pow_delta.push(power_boost_db); // power shifts RP uniformly
+                tilt_delta.push(l_up.0 - l_nom.0);
+            }
+        }
+    }
+
+    println!("Figure 7 — signal change vs baseline, sector {} (suburban)", id.0);
+    println!(
+        "\n{:>14} {:>22} {:>22}",
+        "distance band", "(b) +6 dB power", "(c) 2° uptilt"
+    );
+    for (lo, hi, pow_delta, tilt_delta) in &bands {
+        let mean = |v: &Vec<f64>| {
+            if v.is_empty() {
+                f64::NAN
+            } else {
+                v.iter().sum::<f64>() / v.len() as f64
+            }
+        };
+        println!(
+            "{:>6.1}–{:<5.1}km {:>20.2}dB {:>20.2}dB",
+            lo / 1000.0,
+            hi / 1000.0,
+            mean(pow_delta),
+            mean(tilt_delta)
+        );
+    }
+    println!(
+        "\nExpected shape: the power column is flat (+6 dB everywhere); the uptilt\n\
+         column is negative near the mast and positive at range — energy is\n\
+         redistributed outward, not created."
+    );
+}

@@ -1,0 +1,124 @@
+//! **Figure 11**: benefits of gradual tuning.
+//!
+//! Top panel: per-step utility with compensation marks ("∧"), never
+//! dipping below f(C_after). Bottom panel: per-step handovers, gradual vs
+//! one-shot. Paper headline numbers for the illustrated scenario: max
+//! simultaneous handovers 2457 vs 9827 (≈3×), 99.7% seamless; across all
+//! scenarios: ≥8× reduction and 96.1% seamless.
+//!
+//! This binary prints the detailed schedule for the suburban scenario (a)
+//! and then sweeps *all* scenarios for the aggregate factors.
+
+use magus_bench::{map_markets_parallel, mean, write_artifact, Scale};
+use magus_core::{plan_gradual, run_recovery_with, ExperimentConfig, GradualParams, TuningKind};
+use magus_net::UpgradeScenario;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Aggregate {
+    area: String,
+    seed: u64,
+    scenario: String,
+    reduction_factor: f64,
+    seamless_fraction: f64,
+    direct_handovers: f64,
+    max_simultaneous: f64,
+    steps: usize,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let cfg = ExperimentConfig::default();
+    let gparams = GradualParams::default();
+    let per_market = map_markets_parallel(scale, |area, seed, market, model| {
+        let mut aggregates: Vec<Aggregate> = Vec::new();
+        let mut details = String::new();
+        for scenario in UpgradeScenario::ALL {
+            let out = run_recovery_with(model, market, scenario, TuningKind::Power, &cfg);
+            let plan = plan_gradual(
+                &model.evaluator,
+                &out.config_before,
+                &out.config_after,
+                &out.targets,
+                &gparams,
+            );
+            if area == magus_net::AreaType::Suburban
+                && seed == 1
+                && scenario == UpgradeScenario::SingleCentralSector
+            {
+                use std::fmt::Write as _;
+                let d = &mut details;
+                let _ = writeln!(d, "\nFigure 11 — gradual tuning schedule (suburban, scenario (a))\n");
+                let _ = writeln!(d, "f(C_before) = {:.1}   floor f(C_after) = {:.1}\n", plan.f_before, plan.f_after);
+                let _ = writeln!(
+                    d,
+                    "{:>4} {:>12} {:>12} {:>12} {:>6}",
+                    "step", "utility", "handovers", "seamless", "comp"
+                );
+                for (k, s) in plan.steps.iter().enumerate() {
+                    let _ = writeln!(
+                        d,
+                        "{:>4} {:>12.1} {:>12.1} {:>12.1} {:>6}",
+                        k,
+                        s.utility,
+                        s.handovers,
+                        s.seamless,
+                        if s.compensations > 0 {
+                            format!("∧×{}", s.compensations)
+                        } else {
+                            String::new()
+                        }
+                    );
+                }
+                let _ = writeln!(
+                    d,
+                    "\nOne-shot (Proactive): {:.1} simultaneous handovers, {:.1}% seamless",
+                    plan.direct.handovers,
+                    plan.direct.seamless_fraction * 100.0
+                );
+                let _ = writeln!(
+                    d,
+                    "Gradual (Proactive Gradual): worst step {:.1} ({:.1}x reduction), {:.1}% seamless",
+                    plan.max_simultaneous,
+                    plan.simultaneous_reduction_factor(),
+                    plan.seamless_fraction * 100.0
+                );
+            }
+            aggregates.push(Aggregate {
+                area: area.to_string(),
+                seed,
+                scenario: scenario.label().to_string(),
+                reduction_factor: plan.simultaneous_reduction_factor(),
+                seamless_fraction: plan.seamless_fraction,
+                direct_handovers: plan.direct.handovers,
+                max_simultaneous: plan.max_simultaneous,
+                steps: plan.steps.len(),
+            });
+        }
+        (aggregates, details)
+    });
+    let mut aggregates: Vec<Aggregate> = Vec::new();
+    for (_, _, (rows, details)) in per_market {
+        if !details.is_empty() {
+            print!("{details}");
+        }
+        aggregates.extend(rows);
+    }
+
+    let finite: Vec<f64> = aggregates
+        .iter()
+        .map(|a| a.reduction_factor)
+        .filter(|f| f.is_finite())
+        .collect();
+    let seamless: Vec<f64> = aggregates.iter().map(|a| a.seamless_fraction).collect();
+    println!("\nAcross all {} scenarios:", aggregates.len());
+    println!(
+        "  mean simultaneous-handover reduction factor: {:.1}x (paper: 8x)",
+        mean(&finite)
+    );
+    println!(
+        "  mean seamless handover fraction: {:.1}% (paper: 96.1%)",
+        mean(&seamless) * 100.0
+    );
+    write_artifact("fig11_gradual", &aggregates);
+}

@@ -1,0 +1,92 @@
+//! **Figure 12**: speed of convergence across the four solution-space
+//! strategies (suburban market, scenario (a)).
+//!
+//! Paper shape: proactive model-based holds f(C_after) from the outage
+//! instant; reactive model-based reaches it in one reconfiguration;
+//! reactive feedback-based needs K steps (27 idealized / ≈310 realistic);
+//! no-tuning stays at f(C_upgrade).
+
+use magus_bench::{build_market, write_artifact, Scale};
+use magus_core::{
+    hybrid_model_feedback, run_recovery_with, strategy_traces, ExperimentConfig, TuningKind,
+};
+use magus_model::standard_setup;
+use magus_net::{AreaType, UpgradeScenario};
+
+fn main() {
+    let scale = Scale::from_env();
+    let market = build_market(AreaType::Suburban, 1, scale);
+    let model = standard_setup(&market, magus_lte::Bandwidth::Mhz10);
+    let cfg = ExperimentConfig::default();
+
+    // Magus's C_after from the usual pipeline.
+    let out = run_recovery_with(
+        &model,
+        &market,
+        UpgradeScenario::SingleCentralSector,
+        TuningKind::Power,
+        &cfg,
+    );
+    let traces = strategy_traces(
+        &model.evaluator,
+        &out.config_before,
+        &out.config_after,
+        &out.targets,
+        &out.neighbors,
+        &cfg.search,
+    );
+
+    println!("\nFigure 12 — utility vs time since the outage (suburban, scenario (a))\n");
+    println!(
+        "f(C_before) = {:.1}   f(C_after) = {:.1}   f(C_upgrade) = {:.1}\n",
+        traces.f_before, traces.f_after, traces.f_upgrade
+    );
+    print!("{:>6}", "t");
+    for (kind, _) in &traces.series {
+        print!(" {:>26}", kind.to_string());
+    }
+    println!();
+    let horizon = traces.series[0].1.len();
+    for t in 0..horizon {
+        print!("{t:>6}");
+        for (_, series) in &traces.series {
+            print!(" {:>26.1}", series[t]);
+        }
+        println!();
+    }
+    println!(
+        "\nReactive feedback convergence: {} idealized steps (paper: 27), {} realistic\n\
+         measurement rounds (paper estimate: 310). At minutes per measurement round, the\n\
+         idealized loop alone needs on the order of hours — Magus needs one deployment.",
+        traces.feedback_steps_idealized, traces.feedback_steps_realistic
+    );
+
+    // The paper's hybrid (§2): model first, feedback polish after — 1+k
+    // steps with k ≪ K.
+    let hybrid = hybrid_model_feedback(
+        &model.evaluator,
+        &out.config_after,
+        &out.neighbors,
+        &cfg.search,
+    );
+    // The feedback loop's own converged utility (last value of its
+    // trace) is the target the hybrid must match.
+    let scratch_final = traces
+        .series
+        .iter()
+        .find(|(k, _)| *k == magus_core::StrategyKind::ReactiveFeedback)
+        .and_then(|(_, v)| v.last().copied())
+        .unwrap_or(traces.f_after);
+    let k = hybrid
+        .steps_until(scratch_final)
+        .map(|k| k.to_string())
+        .unwrap_or_else(|| format!("{}(+)", hybrid.steps));
+    println!(
+        "Hybrid model+feedback: 1 model deployment + k = {k} steps to match the\n\
+         from-scratch feedback optimum (K = {}); continued polish gained {:+.1}\n\
+         further utility beyond it.",
+        traces.feedback_steps_idealized,
+        hybrid.final_utility - scratch_final
+    );
+    write_artifact("fig12_convergence", &traces);
+}

@@ -1,0 +1,117 @@
+//! **Table 1**: recovery ratio for {rural, suburban, urban} × scenarios
+//! {(a), (b), (c)} × tuning {power, tilt, joint}, averaged over the
+//! per-type market replicas.
+//!
+//! Paper reference values (averaged, %):
+//!
+//! ```text
+//!            Rural           Suburban        Urban
+//!            (a)  (b)  (c)   (a)  (b)  (c)   (a)  (b)  (c)
+//! Power     18.3 17.5 11.0  56.5 32.2 24.5  17.1 22.7 14.1
+//! Tilt       8.4 23.0  9.3  37.7 27.9 22.8   8.8 29.7  3.8
+//! Joint     37.0 28.9 17.0  76.4 37.4 38.8  20.1 32.0 19.2
+//! ```
+//!
+//! The expected *shape* (asserted by the integration tests): suburban
+//! beats rural and urban for power tuning, joint ≥ the better of
+//! power/tilt on average, and every cell recovers a positive fraction.
+//! This binary also prints the scenario target sectors — the content of
+//! the paper's Figure 9.
+
+use magus_bench::{map_markets_parallel, mean, write_artifact, Scale};
+use magus_core::{prepare_scenario, ExperimentConfig, TuningKind};
+use magus_model::UtilityKind;
+use magus_net::{AreaType, UpgradeScenario};
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+#[derive(Serialize)]
+struct Cell {
+    area: String,
+    scenario: String,
+    tuning: String,
+    recoveries: Vec<f64>,
+    mean_recovery: f64,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let cfg = ExperimentConfig::default();
+    // (area, scenario, tuning) -> recovery samples over seeds.
+    let mut cells: BTreeMap<(String, String, String), Vec<f64>> = BTreeMap::new();
+
+    let per_market = map_markets_parallel(scale, |area, seed, market, model| {
+        let mut rows = Vec::new();
+        for scenario in UpgradeScenario::ALL {
+            let prepared = prepare_scenario(model, market, scenario, &cfg);
+            eprintln!(
+                "[fig9] {area} seed {seed} scenario {scenario}: targets {:?}",
+                prepared.targets.iter().map(|t| t.0).collect::<Vec<_>>()
+            );
+            for tuning in TuningKind::ALL {
+                let out = prepared.run(model, tuning, &cfg);
+                let r = out.recovery(UtilityKind::Performance);
+                eprintln!(
+                    "[run] {area} seed {seed} {scenario} {tuning}: recovery {:.1}% ({} steps, {} probes)",
+                    r * 100.0,
+                    out.search.steps.len(),
+                    out.search.probes
+                );
+                rows.push((scenario.label().to_string(), tuning.to_string(), r));
+            }
+        }
+        rows
+    });
+    for (area, _seed, rows) in per_market {
+        for (scenario, tuning, r) in rows {
+            cells
+                .entry((area.to_string(), scenario, tuning))
+                .or_default()
+                .push(r);
+        }
+    }
+
+    println!("\nTable 1 — recovery ratio (performance utility), mean over market replicas\n");
+    println!(
+        "{:<8} {:>14} {:>14} {:>14} {:>14} {:>14} {:>14} {:>14} {:>14} {:>14}",
+        "tuning",
+        "rural(a)",
+        "rural(b)",
+        "rural(c)",
+        "suburban(a)",
+        "suburban(b)",
+        "suburban(c)",
+        "urban(a)",
+        "urban(b)",
+        "urban(c)"
+    );
+    let mut artifact = Vec::new();
+    for tuning in TuningKind::ALL {
+        let mut row = format!("{:<8}", tuning.to_string());
+        for area in AreaType::ALL {
+            for scenario in UpgradeScenario::ALL {
+                let key = (
+                    area.to_string(),
+                    scenario.label().to_string(),
+                    tuning.to_string(),
+                );
+                let samples = cells.get(&key).cloned().unwrap_or_default();
+                let m = mean(&samples);
+                row.push_str(&format!(" {:>13.1}%", m * 100.0));
+                artifact.push(Cell {
+                    area: key.0,
+                    scenario: key.1,
+                    tuning: key.2,
+                    recoveries: samples,
+                    mean_recovery: m,
+                });
+            }
+        }
+        println!("{row}");
+    }
+    println!(
+        "\nPaper shape check: suburban(a) power should dominate rural/urban power rows;\n\
+         joint should improve on power in most columns."
+    );
+    write_artifact("table1_recovery", &artifact);
+}

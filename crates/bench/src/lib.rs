@@ -1,0 +1,243 @@
+//! Shared harness for the table/figure binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper (see DESIGN.md's per-experiment index). They share:
+//!
+//! * **Scale control** — `MAGUS_SCALE=tiny|eval|full` selects market
+//!   size. `tiny` smoke-runs in seconds, `eval` (the default) reproduces
+//!   the paper's *shapes* in minutes, `full` uses the paper's raster
+//!   resolution (100 m cells, 24 km analysis regions).
+//! * **Market construction** — the per-area-type presets with per-seed
+//!   replicas (the paper evaluates 3 areas of each type; we mirror that
+//!   with seeds 1..=3).
+//! * **Artifact output** — results are printed as aligned text *and*
+//!   written as JSON under `target/magus-results/` so EXPERIMENTS.md can
+//!   cite exact numbers.
+
+use magus_net::{AreaType, Market, MarketParams};
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// Experiment scale, from `MAGUS_SCALE`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Smoke-test size (coarse cells, small region).
+    Tiny,
+    /// Default: paper-shaped results in minutes.
+    Eval,
+    /// Paper-resolution rasters.
+    Full,
+}
+
+impl Scale {
+    /// Reads `MAGUS_SCALE` (default [`Scale::Eval`]).
+    pub fn from_env() -> Scale {
+        match std::env::var("MAGUS_SCALE").as_deref() {
+            Ok("tiny") => Scale::Tiny,
+            Ok("full") => Scale::Full,
+            _ => Scale::Eval,
+        }
+    }
+}
+
+/// Market parameters for an area type at a scale.
+pub fn market_params(area: AreaType, seed: u64, scale: Scale) -> MarketParams {
+    match scale {
+        Scale::Tiny => MarketParams::tiny(area, seed),
+        Scale::Full => MarketParams::preset(area, seed),
+        Scale::Eval => {
+            let mut p = MarketParams::preset(area, seed);
+            p.cell_size_m = 150.0;
+            p.analysis_span_m = 18_000.0;
+            p.tuning_span_m = 8_000.0;
+            p.footprint_span_m = p.footprint_span_m.min(9_000.0);
+            p.spm.diffraction_samples = 8;
+            p
+        }
+    }
+}
+
+/// Generates (and logs) a market.
+pub fn build_market(area: AreaType, seed: u64, scale: Scale) -> Market {
+    let t0 = std::time::Instant::now();
+    let market = Market::generate(market_params(area, seed, scale));
+    eprintln!(
+        "[setup] {area} market seed {seed}: {} sectors, {} grids ({:.1}s)",
+        market.network().num_sectors(),
+        market.spec().len(),
+        t0.elapsed().as_secs_f64()
+    );
+    market
+}
+
+/// Seeds used for the per-type market replicas (the paper's "3 different
+/// rural areas, suburban areas and urban areas").
+pub const AREA_SEEDS: [u64; 3] = [1, 2, 3];
+
+/// Directory for JSON artifacts.
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from("target/magus-results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Writes a JSON artifact and reports the path.
+pub fn write_artifact<T: Serialize>(name: &str, value: &T) {
+    let path = results_dir().join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serialize artifact");
+    std::fs::write(&path, json).expect("write artifact");
+    eprintln!("[artifact] {}", path.display());
+}
+
+/// Mean of a slice (0 for empty).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Empirical CDF points `(value, fraction ≤ value)` of a sample.
+pub fn cdf(xs: &[f64]) -> Vec<(f64, f64)> {
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let n = sorted.len() as f64;
+    sorted
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| (v, (i + 1) as f64 / n))
+        .collect()
+}
+
+/// Formats a ratio as a percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:+.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let c = cdf(&[3.0, 1.0, 2.0, 2.0]);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.last().unwrap().1, 1.0);
+        for w in c.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+            assert!(w[1].1 >= w[0].1);
+        }
+    }
+
+    #[test]
+    fn mean_handles_empty() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+
+    #[test]
+    fn scale_default_is_eval() {
+        // Note: other tests may set the var; just exercise the parse.
+        assert_eq!(Scale::from_env(), Scale::from_env());
+    }
+
+    #[test]
+    fn eval_params_are_smaller_than_full() {
+        let eval = market_params(AreaType::Suburban, 1, Scale::Eval);
+        let full = market_params(AreaType::Suburban, 1, Scale::Full);
+        assert!(eval.analysis_span_m < full.analysis_span_m);
+        assert!(eval.cell_size_m > full.cell_size_m);
+    }
+}
+
+/// Iterates the evaluation grid — every (area type, seed) market — with
+/// the standard model built once per market. The closure receives each
+/// market exactly once; scenario iteration is the caller's business.
+pub fn for_each_market(
+    scale: Scale,
+    mut f: impl FnMut(AreaType, u64, &Market, &magus_model::StandardModel),
+) {
+    for area in AreaType::ALL {
+        for &seed in &AREA_SEEDS {
+            let market = build_market(area, seed, scale);
+            let model = magus_model::standard_setup(&market, magus_lte::Bandwidth::Mhz10);
+            f(area, seed, &market, &model);
+        }
+    }
+}
+
+/// Parallel variant of [`for_each_market`]: builds the 9 (area, seed)
+/// markets on worker threads (one market each, fed from a crossbeam
+/// channel) and maps each through `f`. Results come back in the same
+/// deterministic (area, seed) order as the sequential version — only the
+/// wall-clock differs. The simulation itself is single-threaded per
+/// market; parallelism is across markets, which is where Table 1's
+/// wall-clock goes.
+pub fn map_markets_parallel<T: Send>(
+    scale: Scale,
+    f: impl Fn(AreaType, u64, &Market, &magus_model::StandardModel) -> T + Sync,
+) -> Vec<(AreaType, u64, T)> {
+    let jobs: Vec<(usize, AreaType, u64)> = AreaType::ALL
+        .iter()
+        .flat_map(|&a| AREA_SEEDS.iter().map(move |&s| (a, s)))
+        .enumerate()
+        .map(|(i, (a, s))| (i, a, s))
+        .collect();
+    let n_jobs = jobs.len();
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(n_jobs);
+    let (tx, rx) = crossbeam::channel::unbounded::<(usize, AreaType, u64)>();
+    for j in jobs {
+        tx.send(j).expect("queue open");
+    }
+    drop(tx);
+    let mut slots: Vec<Option<(AreaType, u64, T)>> = (0..n_jobs).map(|_| None).collect();
+    let slots_mutex = std::sync::Mutex::new(&mut slots);
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            let rx = rx.clone();
+            let f = &f;
+            let slots_mutex = &slots_mutex;
+            scope.spawn(move |_| {
+                while let Ok((i, area, seed)) = rx.recv() {
+                    let market = build_market(area, seed, scale);
+                    let model =
+                        magus_model::standard_setup(&market, magus_lte::Bandwidth::Mhz10);
+                    let out = f(area, seed, &market, &model);
+                    slots_mutex.lock().expect("slots lock")[i] = Some((area, seed, out));
+                }
+            });
+        }
+    })
+    .expect("worker panicked");
+    slots
+        .into_iter()
+        .map(|s| s.expect("every job completed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod parallel_tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order_and_coverage() {
+        std::env::set_var("MAGUS_SCALE", "tiny");
+        let out = map_markets_parallel(Scale::Tiny, |area, seed, market, _model| {
+            (area.to_string(), seed, market.network().num_sectors())
+        });
+        assert_eq!(out.len(), 9);
+        // Deterministic (area, seed) order.
+        let expected: Vec<(String, u64)> = AreaType::ALL
+            .iter()
+            .flat_map(|a| AREA_SEEDS.iter().map(move |&s| (a.to_string(), s)))
+            .collect();
+        let got: Vec<(String, u64)> = out.iter().map(|(a, s, _)| (a.to_string(), *s)).collect();
+        assert_eq!(got, expected);
+        // Sector counts all positive.
+        assert!(out.iter().all(|(_, _, (_, _, n))| *n > 0));
+    }
+}

@@ -1,0 +1,153 @@
+//! Minimal `--key value` / `--flag` argument parsing.
+
+use magus_core::TuningKind;
+use magus_model::UtilityKind;
+use magus_net::{AreaType, UpgradeScenario};
+use std::collections::HashMap;
+
+/// Parsed command-line options with typed accessors and defaults.
+pub struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses `--key value` pairs and bare `--flag`s. Unknown keys are
+    /// accepted here and validated by the typed accessors.
+    pub fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut values = HashMap::new();
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let arg = &argv[i];
+            let Some(key) = arg.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument `{arg}`"));
+            };
+            // A flag is a `--key` followed by another `--…` or nothing.
+            let next_is_value = argv.get(i + 1).map_or(false, |n| !n.starts_with("--"));
+            if next_is_value {
+                values.insert(key.to_string(), argv[i + 1].clone());
+                i += 2;
+            } else {
+                flags.push(key.to_string());
+                i += 1;
+            }
+        }
+        Ok(Args { values, flags })
+    }
+
+    /// `true` if `--json` was given.
+    pub fn json(&self) -> bool {
+        self.flags.iter().any(|f| f == "json")
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(|s| s.as_str())
+    }
+
+    /// `--area`, default suburban.
+    pub fn area(&self) -> Result<AreaType, String> {
+        match self.get("area").unwrap_or("suburban") {
+            "rural" => Ok(AreaType::Rural),
+            "suburban" => Ok(AreaType::Suburban),
+            "urban" => Ok(AreaType::Urban),
+            other => Err(format!("invalid --area `{other}` (rural|suburban|urban)")),
+        }
+    }
+
+    /// `--seed`, default 1.
+    pub fn seed(&self) -> Result<u64, String> {
+        match self.get("seed") {
+            None => Ok(1),
+            Some(s) => s.parse().map_err(|_| format!("invalid --seed `{s}`")),
+        }
+    }
+
+    /// `--size`, default tiny.
+    pub fn size(&self) -> Result<&str, String> {
+        match self.get("size").unwrap_or("tiny") {
+            s @ ("tiny" | "eval" | "full") => Ok(s),
+            other => Err(format!("invalid --size `{other}` (tiny|eval|full)")),
+        }
+    }
+
+    /// `--scenario`, default (a).
+    pub fn scenario(&self) -> Result<UpgradeScenario, String> {
+        match self.get("scenario").unwrap_or("a") {
+            "a" => Ok(UpgradeScenario::SingleCentralSector),
+            "b" => Ok(UpgradeScenario::CentralBaseStation),
+            "c" => Ok(UpgradeScenario::FourCorners),
+            other => Err(format!("invalid --scenario `{other}` (a|b|c)")),
+        }
+    }
+
+    /// `--tuning`, default joint.
+    pub fn tuning(&self) -> Result<TuningKind, String> {
+        match self.get("tuning").unwrap_or("joint") {
+            "power" => Ok(TuningKind::Power),
+            "tilt" => Ok(TuningKind::Tilt),
+            "joint" => Ok(TuningKind::Joint),
+            other => Err(format!("invalid --tuning `{other}` (power|tilt|joint)")),
+        }
+    }
+
+    /// `--utility`, default performance.
+    pub fn utility(&self) -> Result<UtilityKind, String> {
+        match self.get("utility").unwrap_or("performance") {
+            "performance" => Ok(UtilityKind::Performance),
+            "coverage" => Ok(UtilityKind::Coverage),
+            other => Err(format!("invalid --utility `{other}` (performance|coverage)")),
+        }
+    }
+
+    /// `--out`, with a command-specific default.
+    pub fn out(&self, default: &str) -> String {
+        self.get("out").unwrap_or(default).to_string()
+    }
+
+    /// `--in`, if given.
+    pub fn input(&self) -> Option<&str> {
+        self.get("in")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Args {
+        Args::parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse(&[]);
+        assert_eq!(a.area().unwrap(), AreaType::Suburban);
+        assert_eq!(a.seed().unwrap(), 1);
+        assert_eq!(a.size().unwrap(), "tiny");
+        assert!(!a.json());
+    }
+
+    #[test]
+    fn values_and_flags() {
+        let a = parse(&["--area", "urban", "--seed", "7", "--json", "--scenario", "b"]);
+        assert_eq!(a.area().unwrap(), AreaType::Urban);
+        assert_eq!(a.seed().unwrap(), 7);
+        assert!(a.json());
+        assert_eq!(a.scenario().unwrap(), UpgradeScenario::CentralBaseStation);
+    }
+
+    #[test]
+    fn invalid_values_error() {
+        let a = parse(&["--area", "lunar"]);
+        assert!(a.area().is_err());
+        let b = parse(&["--seed", "xyz"]);
+        assert!(b.seed().is_err());
+    }
+
+    #[test]
+    fn positional_rejected() {
+        let argv = vec!["bogus".to_string()];
+        assert!(Args::parse(&argv).is_err());
+    }
+}

@@ -1,0 +1,295 @@
+//! The CLI commands, each a thin orchestration over the library API.
+
+use crate::args::Args;
+use magus_core::{
+    plan_gradual, prepare_scenario, ExperimentConfig, GradualParams, OutagePlaybook,
+};
+use magus_geo::PointM;
+use magus_lte::Bandwidth;
+use magus_model::{standard_setup, ServiceMap, StandardModel, UtilityKind};
+use magus_net::{Market, MarketParams};
+use serde_json::json;
+
+fn market_params(args: &Args) -> Result<MarketParams, String> {
+    let area = args.area()?;
+    let seed = args.seed()?;
+    Ok(match args.size()? {
+        "full" => MarketParams::preset(area, seed),
+        "eval" => {
+            let mut p = MarketParams::preset(area, seed);
+            p.cell_size_m = 150.0;
+            p.analysis_span_m = 18_000.0;
+            p.tuning_span_m = 8_000.0;
+            p.footprint_span_m = p.footprint_span_m.min(9_000.0);
+            p.spm.diffraction_samples = 8;
+            p
+        }
+        _ => MarketParams::tiny(area, seed),
+    })
+}
+
+fn build(args: &Args) -> Result<(Market, StandardModel), String> {
+    let params = market_params(args)?;
+    eprintln!("generating {} market (seed {})…", params.area_type, params.seed);
+    let market = Market::generate(params);
+    let model = standard_setup(&market, Bandwidth::Mhz10);
+    Ok((market, model))
+}
+
+/// `magus market`
+pub fn market(args: &Args) -> Result<(), String> {
+    let (market, model) = build(args)?;
+    let state = model.nominal_state();
+    let map = ServiceMap::capture(&model.evaluator, &state);
+    let noise = magus_model::setup::noise_for(Bandwidth::Mhz10);
+    let interferers = market.interfering_sector_count(noise, 6.0);
+    if args.json() {
+        println!(
+            "{}",
+            json!({
+                "area": market.params().area_type.to_string(),
+                "seed": market.params().seed,
+                "sectors": market.network().num_sectors(),
+                "base_stations": market.network().base_stations().len(),
+                "grids": market.spec().len(),
+                "cell_size_m": market.spec().cell_size,
+                "interfering_sectors": interferers,
+                "coverage_fraction": map.coverage_fraction(),
+            })
+        );
+    } else {
+        println!("area            {}", market.params().area_type);
+        println!("seed            {}", market.params().seed);
+        println!("base stations   {}", market.network().base_stations().len());
+        println!("sectors         {}", market.network().num_sectors());
+        println!(
+            "analysis grid   {}x{} cells of {:.0} m",
+            market.spec().width,
+            market.spec().height,
+            market.spec().cell_size
+        );
+        println!("interferers     {} (into the tuning area)", interferers);
+        println!("coverage        {:.1}%", map.coverage_fraction() * 100.0);
+    }
+    Ok(())
+}
+
+/// `magus evaluate`
+pub fn evaluate(args: &Args) -> Result<(), String> {
+    let (_market, model) = build(args)?;
+    let state = model.nominal_state();
+    let perf = state.utility(UtilityKind::Performance);
+    let cov = state.utility(UtilityKind::Coverage);
+    let map = ServiceMap::capture(&model.evaluator, &state);
+    if args.json() {
+        println!(
+            "{}",
+            json!({
+                "utility_performance": perf,
+                "utility_coverage": cov,
+                "coverage_fraction": map.coverage_fraction(),
+                "total_ues": model.evaluator.ue_layer().total(),
+            })
+        );
+    } else {
+        println!("performance utility  {perf:.1}");
+        println!("coverage utility     {cov:.1} UEs in service");
+        println!("covered grids        {:.1}%", map.coverage_fraction() * 100.0);
+        println!("total UEs            {:.0}", model.evaluator.ue_layer().total());
+    }
+    Ok(())
+}
+
+/// `magus mitigate`
+pub fn mitigate(args: &Args) -> Result<(), String> {
+    let (market, model) = build(args)?;
+    let scenario = args.scenario()?;
+    let tuning = args.tuning()?;
+    let mut cfg = ExperimentConfig::default();
+    cfg.search.utility = args.utility()?;
+    eprintln!("planning mitigation for scenario {scenario} with {tuning} tuning…");
+    let prepared = prepare_scenario(&model, &market, scenario, &cfg);
+    let out = prepared.run(&model, tuning, &cfg);
+    let recovery = out.recovery(cfg.search.utility);
+    if args.json() {
+        println!(
+            "{}",
+            json!({
+                "scenario": scenario.label(),
+                "tuning": tuning.to_string(),
+                "targets": out.targets.iter().map(|t| t.0).collect::<Vec<_>>(),
+                "neighbors": out.neighbors.len(),
+                "f_before": out.before.get(cfg.search.utility),
+                "f_upgrade": out.upgrade.get(cfg.search.utility),
+                "f_after": out.after.get(cfg.search.utility),
+                "recovery_ratio": recovery,
+                "changes": out.search.steps.iter().map(|c| format!("{c:?}")).collect::<Vec<_>>(),
+            })
+        );
+    } else {
+        println!(
+            "targets          {:?}",
+            out.targets.iter().map(|t| t.0).collect::<Vec<_>>()
+        );
+        println!("neighbors        {}", out.neighbors.len());
+        println!("f(C_before)      {:.1}", out.before.get(cfg.search.utility));
+        println!("f(C_upgrade)     {:.1}", out.upgrade.get(cfg.search.utility));
+        println!("f(C_after)       {:.1}", out.after.get(cfg.search.utility));
+        println!("recovery ratio   {:.1}%", recovery * 100.0);
+        println!("changes to push:");
+        for ch in &out.search.steps {
+            println!("  {ch:?}");
+        }
+    }
+    Ok(())
+}
+
+/// `magus gradual`
+pub fn gradual(args: &Args) -> Result<(), String> {
+    let (market, model) = build(args)?;
+    let scenario = args.scenario()?;
+    let tuning = args.tuning()?;
+    let cfg = ExperimentConfig::default();
+    let prepared = prepare_scenario(&model, &market, scenario, &cfg);
+    let out = prepared.run(&model, tuning, &cfg);
+    let plan = plan_gradual(
+        &model.evaluator,
+        &out.config_before,
+        &out.config_after,
+        &out.targets,
+        &GradualParams::default(),
+    );
+    if args.json() {
+        println!("{}", serde_json::to_string_pretty(&plan).expect("serialize plan"));
+        return Ok(());
+    }
+    println!(
+        "migration schedule ({} steps, floor f(C_after) = {:.1}):",
+        plan.steps.len(),
+        plan.f_after
+    );
+    for (k, step) in plan.steps.iter().enumerate() {
+        println!(
+            "  step {k}: utility {:.1}, handovers {:.0} ({:.0} seamless), {} changes",
+            step.utility,
+            step.handovers,
+            step.seamless,
+            step.changes.len()
+        );
+    }
+    println!(
+        "one-shot would cause {:.0} simultaneous handovers; gradual peaks at {:.0} ({:.1}x better), {:.1}% seamless",
+        plan.direct.handovers,
+        plan.max_simultaneous,
+        plan.simultaneous_reduction_factor(),
+        plan.seamless_fraction * 100.0
+    );
+    Ok(())
+}
+
+/// `magus playbook`
+pub fn playbook(args: &Args) -> Result<(), String> {
+    let (market, model) = build(args)?;
+    let cfg = ExperimentConfig::default();
+    let station = market
+        .network()
+        .nearest_base_station(PointM::new(0.0, 0.0))
+        .ok_or("market has no base stations")?;
+    eprintln!(
+        "precomputing playbook for {} sectors of the central station…",
+        station.sectors.len()
+    );
+    let playbook = OutagePlaybook::precompute(
+        &model,
+        &market,
+        &station.sectors,
+        args.tuning()?,
+        &cfg,
+    );
+    let mut rows = Vec::new();
+    for s in &station.sectors {
+        let entry = playbook.lookup(*s).expect("precomputed entry");
+        rows.push(json!({
+            "sector": s.0,
+            "recovery_ratio": entry.outcome.recovery(UtilityKind::Performance),
+            "changes": entry.outcome.config_before.diff(entry.config_after()).len(),
+        }));
+    }
+    if args.json() {
+        println!("{}", json!({ "entries": rows }));
+    } else {
+        println!("outage playbook ({} entries):", playbook.len());
+        for r in rows {
+            println!(
+                "  sector {:>4}: recovery {:>5.1}%, {} changes staged",
+                r["sector"],
+                r["recovery_ratio"].as_f64().unwrap_or(0.0) * 100.0,
+                r["changes"]
+            );
+        }
+    }
+    Ok(())
+}
+
+/// `magus export-db`
+pub fn export_db(args: &Args) -> Result<(), String> {
+    let params = market_params(args)?;
+    eprintln!("generating {} market (seed {})…", params.area_type, params.seed);
+    let market = Market::generate(params);
+    let blob = magus_propagation::encode_store(market.store());
+    let path = args.out("pathloss.mpl");
+    std::fs::write(&path, &blob).map_err(|e| format!("writing {path}: {e}"))?;
+    println!(
+        "wrote {path}: {} sectors, {:.1} MiB",
+        market.store().num_sectors(),
+        blob.len() as f64 / (1024.0 * 1024.0)
+    );
+    Ok(())
+}
+
+/// `magus inspect-db`
+pub fn inspect_db(args: &Args) -> Result<(), String> {
+    let path = args.input().ok_or("--in <path> is required")?;
+    let blob = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let store = magus_propagation::decode_store(&blob).map_err(|e| e.to_string())?;
+    let spec = store.spec();
+    if args.json() {
+        println!(
+            "{}",
+            json!({
+                "sectors": store.num_sectors(),
+                "grid": { "width": spec.width, "height": spec.height, "cell_m": spec.cell_size },
+                "bytes": blob.len(),
+            })
+        );
+    } else {
+        println!("path-loss database {path}");
+        println!("  sectors      {}", store.num_sectors());
+        println!(
+            "  analysis     {}x{} cells of {:.0} m",
+            spec.width, spec.height, spec.cell_size
+        );
+        println!("  size         {:.1} MiB", blob.len() as f64 / (1024.0 * 1024.0));
+        // Spot-check one matrix to prove the blob is usable.
+        let m = store.matrix(0, magus_propagation::NOMINAL_TILT_INDEX);
+        println!(
+            "  sector 0     window {} cells, loss {:?} … sampled OK",
+            m.window().len(),
+            m.values().first()
+        );
+    }
+    Ok(())
+}
+
+/// `magus render`
+pub fn render(args: &Args) -> Result<(), String> {
+    let (_market, model) = build(args)?;
+    let state = model.nominal_state();
+    let map = ServiceMap::capture(&model.evaluator, &state);
+    let spec = *map.spec();
+    let path = args.out("coverage.ppm");
+    let img = magus_viz::serving_map_ppm(map.serving(), spec.width, spec.height);
+    std::fs::write(&path, img).map_err(|e| format!("writing {path}: {e}"))?;
+    println!("wrote {path} ({}x{} cells)", spec.width, spec.height);
+    Ok(())
+}

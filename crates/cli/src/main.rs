@@ -1,0 +1,94 @@
+//! `magus` — operator CLI for the Magus reproduction.
+//!
+//! ```text
+//! magus market   --area suburban --seed 1          market summary
+//! magus evaluate --area suburban --seed 1          nominal-state utilities & coverage
+//! magus mitigate --area suburban --seed 1 --scenario a --tuning joint
+//! magus gradual  --area suburban --seed 1 --scenario a
+//! magus playbook --area suburban --seed 1          precompute central-station outages
+//! magus render   --area suburban --seed 1 --out map.ppm
+//! ```
+//!
+//! Every command accepts `--size tiny|eval|full` (default `tiny`) and
+//! `--json` for machine-readable output. Argument parsing is hand-rolled
+//! (two dozen lines) to keep the workspace's dependency set at the
+//! project baseline.
+
+mod args;
+mod commands;
+
+use args::Args;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+magus — proactive mitigation of planned cellular upgrades (CoNEXT'15 reproduction)
+
+USAGE:
+    magus <COMMAND> [OPTIONS]
+
+COMMANDS:
+    market      Generate a synthetic market and print its summary
+    evaluate    Evaluate the nominal configuration (utilities, coverage)
+    mitigate    Plan mitigation for an upgrade scenario (recovery ratio, change list)
+    gradual     Produce the gradual migration schedule for a scenario
+    playbook    Precompute mitigations for every central-station sector
+    render      Write the coverage map as a PPM image
+    export-db   Write the market's path-loss database (MAGUSPL1 blob)
+    inspect-db  Summarize a previously exported path-loss database
+
+OPTIONS (all commands):
+    --area <rural|suburban|urban>    Market density regime   [default: suburban]
+    --seed <u64>                     Market seed             [default: 1]
+    --size <tiny|eval|full>          Market scale            [default: tiny]
+    --json                           JSON output on stdout
+
+COMMAND OPTIONS:
+    mitigate/gradual:
+        --scenario <a|b|c>           Upgrade scenario        [default: a]
+        --tuning <power|tilt|joint>  Search family           [default: joint]
+        --utility <performance|coverage>                     [default: performance]
+    render:
+        --out <path>                 Output PPM path         [default: coverage.ppm]
+    export-db:
+        --out <path>                 Output blob path        [default: pathloss.mpl]
+    inspect-db:
+        --in <path>                  Blob to inspect         [required]
+
+EXAMPLES:
+    magus mitigate --area suburban --seed 3 --scenario b --tuning joint
+    magus gradual --area urban --scenario a --json
+";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() || argv[0] == "--help" || argv[0] == "-h" || argv[0] == "help" {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let command = argv[0].clone();
+    let args = match Args::parse(&argv[1..]) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\nrun `magus --help` for usage");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "market" => commands::market(&args),
+        "evaluate" => commands::evaluate(&args),
+        "mitigate" => commands::mitigate(&args),
+        "gradual" => commands::gradual(&args),
+        "playbook" => commands::playbook(&args),
+        "render" => commands::render(&args),
+        "export-db" => commands::export_db(&args),
+        "inspect-db" => commands::inspect_db(&args),
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,398 @@
+//! The end-to-end recovery experiment (paper §6, Tables 1–2, Figure 13).
+//!
+//! Pipeline for one (market, scenario, tuning-kind) cell:
+//!
+//! 1. Build the standard model over the market (§4 model + uniform UE
+//!    layer).
+//! 2. **Planning pass**: hill-climb the sectors around the tuning area to
+//!    a local utility optimum — this is `C_before`, standing in for the
+//!    carrier's planner-optimized configuration.
+//! 3. Take the scenario's target sectors off-air → `C_upgrade`.
+//! 4. Run the selected search (power / tilt / joint, or the naive
+//!    baseline) over the neighbor set **B** → `C_after`.
+//! 5. Report the recovery ratio (Formula 7):
+//!    `(f(C_after) − f(C_upgrade)) / (f(C_before) − f(C_upgrade))`.
+//!
+//! Utilities are always recorded under *both* paper metrics so Table 2's
+//! cross-utility cells fall out of the same run.
+
+use crate::hillclimb::{hill_climb, HillClimbParams};
+use crate::tuning::{
+    joint_search, naive_search, power_search, tilt_search, SearchOutcome, SearchParams,
+    TuningKind,
+};
+use magus_lte::Bandwidth;
+use magus_model::{setup::standard_setup, Evaluator, ModelState, StandardModel, UtilityKind};
+use magus_net::{ConfigChange, Configuration, Market, SectorId, UpgradeScenario};
+use serde::{Deserialize, Serialize};
+
+/// Full experiment configuration.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Channel bandwidth (paper: single LTE carrier; testbed used 10 MHz).
+    pub bandwidth: Bandwidth,
+    /// Neighbor set radius as a multiple of the market's inter-site
+    /// distance.
+    pub neighbor_radius_isd: f64,
+    /// Search knobs (also selects the utility being optimized).
+    pub search: SearchParams,
+    /// Whether to run the planning pass (recommended; see module docs).
+    pub pretune: bool,
+    /// Planning-pass knobs.
+    pub pretune_params: HillClimbParams,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            bandwidth: Bandwidth::Mhz10,
+            neighbor_radius_isd: 2.2,
+            search: SearchParams::default(),
+            pretune: true,
+            pretune_params: HillClimbParams::default(),
+        }
+    }
+}
+
+/// A utility reading under both paper metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UtilityReadings {
+    /// Formula 6 (log-rate).
+    pub performance: f64,
+    /// Formula 5 (served-UE count).
+    pub coverage: f64,
+}
+
+impl UtilityReadings {
+    /// Reads both utilities from a state.
+    pub fn of(state: &ModelState) -> UtilityReadings {
+        UtilityReadings {
+            performance: state.utility(UtilityKind::Performance),
+            coverage: state.utility(UtilityKind::Coverage),
+        }
+    }
+
+    /// The reading for one kind.
+    pub fn get(&self, kind: UtilityKind) -> f64 {
+        match kind {
+            UtilityKind::Performance => self.performance,
+            UtilityKind::Coverage => self.coverage,
+        }
+    }
+}
+
+/// Everything a recovery run produces.
+#[derive(Debug, Clone)]
+pub struct RecoveryOutcome {
+    /// Which tuning family ran.
+    pub tuning: TuningKind,
+    /// Sectors taken off-air.
+    pub targets: Vec<SectorId>,
+    /// The neighbor set **B**.
+    pub neighbors: Vec<SectorId>,
+    /// Utilities at `C_before`.
+    pub before: UtilityReadings,
+    /// Utilities at `C_upgrade`.
+    pub upgrade: UtilityReadings,
+    /// Utilities at `C_after`.
+    pub after: UtilityReadings,
+    /// The planner-polished pre-upgrade configuration.
+    pub config_before: Configuration,
+    /// The tuned post-upgrade configuration.
+    pub config_after: Configuration,
+    /// Search bookkeeping.
+    pub search: SearchOutcome,
+}
+
+impl RecoveryOutcome {
+    /// Formula 7 under a utility kind. Positive = recovery; the paper's
+    /// Table 2 shows it can go negative when optimizing the *other*
+    /// utility.
+    pub fn recovery(&self, kind: UtilityKind) -> f64 {
+        let degraded = self.before.get(kind) - self.upgrade.get(kind);
+        if degraded.abs() < 1e-12 {
+            return 0.0; // the upgrade did not hurt this metric
+        }
+        (self.after.get(kind) - self.upgrade.get(kind)) / degraded
+    }
+}
+
+/// The neighbor set **B** for a target list: on-air sectors within
+/// `radius` of any target, excluding the targets themselves.
+pub fn neighbor_set(
+    ev: &Evaluator,
+    targets: &[SectorId],
+    radius_m: f64,
+) -> Vec<SectorId> {
+    let net = ev.network();
+    let mut out: Vec<SectorId> = Vec::new();
+    for &t in targets {
+        let p = net.sector(t).site.position;
+        for id in net.sectors_within(p, radius_m, targets) {
+            if !out.contains(&id) {
+                out.push(id);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// A scenario prepared for tuning runs: the planner-polished `C_before`,
+/// the baseline reference state, and the post-outage starting state.
+///
+/// Preparing once and running several tunings against it amortizes the
+/// expensive planning pass (the paper's Table 1 runs three tunings per
+/// scenario against the same baseline).
+pub struct PreparedScenario {
+    /// Sectors the scenario takes off-air.
+    pub targets: Vec<SectorId>,
+    /// The neighbor set **B**.
+    pub neighbors: Vec<SectorId>,
+    /// Planner-polished pre-upgrade configuration.
+    pub config_before: Configuration,
+    /// Utilities at `C_before`.
+    pub before: UtilityReadings,
+    /// Utilities at `C_upgrade`.
+    pub upgrade: UtilityReadings,
+    /// Model state at `C_before` (the reference for degraded grids).
+    reference: magus_model::ModelState,
+    /// Model state at `C_upgrade` (the search starting point).
+    upgraded: magus_model::ModelState,
+}
+
+/// Prepares a scenario: neighbor selection, planning pass, takedown.
+pub fn prepare_scenario(
+    sm: &StandardModel,
+    market: &Market,
+    scenario: UpgradeScenario,
+    cfg: &ExperimentConfig,
+) -> PreparedScenario {
+    prepare_scenario_for_targets(sm, market, magus_net::upgrade_targets(market, scenario), cfg)
+}
+
+/// Prepares an arbitrary target set (used by the outage playbook, where
+/// the "scenario" is any single sector failing).
+pub fn prepare_scenario_for_targets(
+    sm: &StandardModel,
+    market: &Market,
+    targets: Vec<SectorId>,
+    cfg: &ExperimentConfig,
+) -> PreparedScenario {
+    let ev = &sm.evaluator;
+    let radius = cfg.neighbor_radius_isd * market.params().isd_m;
+    let neighbors = neighbor_set(ev, &targets, radius);
+
+    // Planning pass: polish C_before around the affected area.
+    let mut state = ev.initial_state(&sm.nominal);
+    if cfg.pretune {
+        let mut region = targets.clone();
+        region.extend(neighbors.iter().copied());
+        hill_climb(ev, &mut state, &region, &cfg.pretune_params);
+    }
+    let config_before = state.config().clone();
+    let before = UtilityReadings::of(&state);
+    let reference = state.clone();
+
+    // Take the targets down.
+    for &t in &targets {
+        ev.apply(&mut state, ConfigChange::SetOnAir(t, false));
+    }
+    let upgrade = UtilityReadings::of(&state);
+    PreparedScenario {
+        targets,
+        neighbors,
+        config_before,
+        before,
+        upgrade,
+        reference,
+        upgraded: state,
+    }
+}
+
+impl PreparedScenario {
+    /// Runs one tuning family from this prepared baseline.
+    pub fn run(
+        &self,
+        sm: &StandardModel,
+        tuning: TuningKind,
+        cfg: &ExperimentConfig,
+    ) -> RecoveryOutcome {
+        let ev = &sm.evaluator;
+        let mut state = self.upgraded.clone();
+        let search = match tuning {
+            TuningKind::Power => {
+                power_search(ev, &mut state, &self.reference, &self.neighbors, &cfg.search)
+            }
+            TuningKind::Tilt => {
+                tilt_search(ev, &mut state, &self.targets, &self.neighbors, &cfg.search)
+            }
+            TuningKind::Joint => joint_search(
+                ev,
+                &mut state,
+                &self.reference,
+                &self.targets,
+                &self.neighbors,
+                &cfg.search,
+            ),
+        };
+        self.outcome(tuning, state, search)
+    }
+
+    /// Runs the naive baseline from this prepared baseline (Figure 13).
+    pub fn run_naive(&self, sm: &StandardModel, cfg: &ExperimentConfig) -> RecoveryOutcome {
+        let ev = &sm.evaluator;
+        let mut state = self.upgraded.clone();
+        let search = naive_search(ev, &mut state, &self.targets, &self.neighbors, &cfg.search);
+        self.outcome(TuningKind::Power, state, search)
+    }
+
+    fn outcome(
+        &self,
+        tuning: TuningKind,
+        state: magus_model::ModelState,
+        search: SearchOutcome,
+    ) -> RecoveryOutcome {
+        RecoveryOutcome {
+            tuning,
+            targets: self.targets.clone(),
+            neighbors: self.neighbors.clone(),
+            before: self.before,
+            upgrade: self.upgrade,
+            after: UtilityReadings::of(&state),
+            config_before: self.config_before.clone(),
+            config_after: state.config().clone(),
+            search,
+        }
+    }
+}
+
+/// Runs one recovery experiment, building the model from scratch.
+pub fn run_recovery(
+    market: &Market,
+    scenario: UpgradeScenario,
+    tuning: TuningKind,
+    cfg: &ExperimentConfig,
+) -> RecoveryOutcome {
+    let sm = standard_setup(market, cfg.bandwidth);
+    run_recovery_with(&sm, market, scenario, tuning, cfg)
+}
+
+/// Runs one recovery experiment against an existing model (reuse this
+/// across a market's scenarios/tunings to amortize setup; for several
+/// tunings of the *same* scenario, prefer [`prepare_scenario`]).
+pub fn run_recovery_with(
+    sm: &StandardModel,
+    market: &Market,
+    scenario: UpgradeScenario,
+    tuning: TuningKind,
+    cfg: &ExperimentConfig,
+) -> RecoveryOutcome {
+    prepare_scenario(sm, market, scenario, cfg).run(sm, tuning, cfg)
+}
+
+/// Runs the naive baseline under the same pipeline (for Figure 13's
+/// improvement ratio).
+pub fn run_naive_recovery(
+    sm: &StandardModel,
+    market: &Market,
+    scenario: UpgradeScenario,
+    cfg: &ExperimentConfig,
+) -> RecoveryOutcome {
+    prepare_scenario(sm, market, scenario, cfg).run_naive(sm, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magus_net::{AreaType, MarketParams};
+
+    fn cfg() -> ExperimentConfig {
+        ExperimentConfig::default()
+    }
+
+    #[test]
+    fn recovery_pipeline_produces_sane_numbers() {
+        let market = magus_net::Market::generate(MarketParams::tiny(AreaType::Suburban, 31));
+        let sm = standard_setup(&market, Bandwidth::Mhz10);
+        let out = run_recovery_with(
+            &sm,
+            &market,
+            UpgradeScenario::SingleCentralSector,
+            TuningKind::Power,
+            &cfg(),
+        );
+        // The upgrade must hurt, and tuning must not make things worse
+        // than the upgrade.
+        assert!(out.upgrade.performance < out.before.performance);
+        assert!(out.after.performance >= out.upgrade.performance);
+        let r = out.recovery(UtilityKind::Performance);
+        assert!(r >= 0.0, "recovery {r}");
+        assert!(r <= 1.05, "recovery {r} exceeds full recovery");
+        assert!(!out.neighbors.is_empty());
+        assert!(!out.neighbors.contains(&out.targets[0]));
+    }
+
+    #[test]
+    fn joint_beats_or_matches_tilt_alone() {
+        let market = magus_net::Market::generate(MarketParams::tiny(AreaType::Suburban, 32));
+        let sm = standard_setup(&market, Bandwidth::Mhz10);
+        let tilt = run_recovery_with(
+            &sm,
+            &market,
+            UpgradeScenario::SingleCentralSector,
+            TuningKind::Tilt,
+            &cfg(),
+        );
+        let joint = run_recovery_with(
+            &sm,
+            &market,
+            UpgradeScenario::SingleCentralSector,
+            TuningKind::Joint,
+            &cfg(),
+        );
+        assert!(
+            joint.recovery(UtilityKind::Performance)
+                >= tilt.recovery(UtilityKind::Performance) - 1e-9
+        );
+    }
+
+    #[test]
+    fn naive_runs_and_is_comparable() {
+        let market = magus_net::Market::generate(MarketParams::tiny(AreaType::Suburban, 33));
+        let sm = standard_setup(&market, Bandwidth::Mhz10);
+        let magus = run_recovery_with(
+            &sm,
+            &market,
+            UpgradeScenario::SingleCentralSector,
+            TuningKind::Power,
+            &cfg(),
+        );
+        let naive = run_naive_recovery(&sm, &market, UpgradeScenario::SingleCentralSector, &cfg());
+        // Same C_before / C_upgrade baselines.
+        assert!((magus.before.performance - naive.before.performance).abs() < 1e-9);
+        assert!((magus.upgrade.performance - naive.upgrade.performance).abs() < 1e-9);
+    }
+
+    #[test]
+    fn experiments_are_deterministic() {
+        let market = magus_net::Market::generate(MarketParams::tiny(AreaType::Rural, 34));
+        let sm = standard_setup(&market, Bandwidth::Mhz10);
+        let a = run_recovery_with(
+            &sm,
+            &market,
+            UpgradeScenario::CentralBaseStation,
+            TuningKind::Power,
+            &cfg(),
+        );
+        let b = run_recovery_with(
+            &sm,
+            &market,
+            UpgradeScenario::CentralBaseStation,
+            TuningKind::Power,
+            &cfg(),
+        );
+        assert_eq!(a.search.steps, b.search.steps);
+        assert_eq!(a.after.performance, b.after.performance);
+    }
+}

@@ -1,0 +1,431 @@
+//! Gradual tuning: migrating users ahead of the outage (paper §6,
+//! "Benefits of Gradual Tuning", Figure 11).
+//!
+//! Changing `C_before → C_after` in one shot forces every UE of the
+//! target sector to hand over simultaneously — a signaling storm — and,
+//! worse, those handovers are *hard* (the source has vanished). Magus
+//! instead steps the target sector's power down well before the planned
+//! time, nudging UEs to neighbors a few at a time, and whenever the
+//! predicted utility would fall below `f(C_after)` it spends some of the
+//! planned neighbor retunes (toward `C_after`) to compensate. The
+//! schedule therefore maintains the paper's invariant:
+//!
+//! > "we make sure that the utility never goes below f(C_after)".
+//!
+//! Handovers are accounted as UE mass whose serving sector changes in a
+//! step; a handover is *seamless* when the source sector is still on-air
+//! after the step, *hard* otherwise.
+
+use magus_geo::Db;
+use magus_model::{Evaluator, UtilityKind};
+use magus_net::{ConfigChange, Configuration, SectorId};
+use serde::{Deserialize, Serialize};
+
+/// Knobs of the gradual planner.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GradualParams {
+    /// Utility to protect.
+    pub utility: UtilityKind,
+    /// Per-step power reduction applied to each target sector, dB.
+    pub step_down_db: f64,
+    /// Safety cap on the number of gradual steps.
+    pub max_steps: usize,
+}
+
+impl Default for GradualParams {
+    fn default() -> Self {
+        GradualParams {
+            utility: UtilityKind::Performance,
+            step_down_db: 3.0,
+            max_steps: 24,
+        }
+    }
+}
+
+/// One committed step of the schedule.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GradualStep {
+    /// Changes committed in this step (power-down plus compensations).
+    pub changes: Vec<ConfigChange>,
+    /// Utility after the step.
+    pub utility: f64,
+    /// UE mass that changed serving sector in this step.
+    pub handovers: f64,
+    /// The subset of `handovers` whose source sector was still on-air.
+    pub seamless: f64,
+    /// Number of compensation moves spent (the "∧" marks of Figure 11).
+    pub compensations: usize,
+}
+
+/// The one-shot alternative, for comparison.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DirectOutcome {
+    /// UE mass handing over at the single reconfiguration instant (this
+    /// *is* the max-simultaneous figure).
+    pub handovers: f64,
+    /// Seamless fraction (UEs not served by the vanishing targets).
+    pub seamless_fraction: f64,
+}
+
+/// The full gradual schedule plus its aggregate statistics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GradualOutcome {
+    /// Committed steps, in order (the last one takes the targets
+    /// off-air).
+    pub steps: Vec<GradualStep>,
+    /// Utility at `C_before`.
+    pub f_before: f64,
+    /// Utility at `C_after` — the floor the schedule never dips under.
+    pub f_after: f64,
+    /// Largest per-step handover mass.
+    pub max_simultaneous: f64,
+    /// Total handover mass over the schedule.
+    pub total_handovers: f64,
+    /// Fraction of handover mass that was seamless.
+    pub seamless_fraction: f64,
+    /// The one-shot comparison.
+    pub direct: DirectOutcome,
+}
+
+impl GradualOutcome {
+    /// The paper's headline ratio: one-shot simultaneous handovers over
+    /// the schedule's worst step (≈3× in Figure 11, ≈8× across
+    /// scenarios).
+    pub fn simultaneous_reduction_factor(&self) -> f64 {
+        if self.max_simultaneous > 0.0 {
+            self.direct.handovers / self.max_simultaneous
+        } else if self.direct.handovers > 0.0 {
+            f64::INFINITY
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Handover accounting between two serving maps under the *new*
+/// configuration: returns `(total, seamless)` UE mass.
+fn handovers_between(
+    ev: &Evaluator,
+    old_serving: &[Option<u32>],
+    new_serving: &[Option<u32>],
+    new_config: &Configuration,
+) -> (f64, f64) {
+    let mut total = 0.0;
+    let mut seamless = 0.0;
+    for i in 0..old_serving.len() {
+        let (o, n) = (old_serving[i], new_serving[i]);
+        if o == n {
+            continue;
+        }
+        // Only UEs that *had* service and move to a (possibly different)
+        // sector count as handovers; service loss is not a handover.
+        let (Some(src), Some(_dst)) = (o, n) else {
+            continue;
+        };
+        let ue = ev.ue_at(i);
+        if ue <= 0.0 {
+            continue;
+        }
+        total += ue;
+        if new_config.sector(SectorId(src)).on_air {
+            seamless += ue;
+        }
+    }
+    (total, seamless)
+}
+
+/// Plans the gradual migration from `before` to `after`.
+///
+/// `after` must be the tuned post-upgrade configuration (targets off-air,
+/// neighbors retuned), e.g. the output of
+/// [`crate::tuning::power_search`].
+pub fn plan_gradual(
+    ev: &Evaluator,
+    before: &Configuration,
+    after: &Configuration,
+    targets: &[SectorId],
+    params: &GradualParams,
+) -> GradualOutcome {
+    for &t in targets {
+        assert!(
+            !after.sector(t).on_air,
+            "C_after must have target {t:?} off-air"
+        );
+    }
+    let mut state = ev.initial_state(before);
+    let f_before = state.utility(params.utility);
+    let f_after = ev.initial_state(after).utility(params.utility);
+
+    // Direct (one-shot) comparison.
+    let direct = {
+        let before_state = ev.initial_state(before);
+        let after_state = ev.initial_state(after);
+        let (total, seamless) = handovers_between(
+            ev,
+            &ev.serving_map(&before_state),
+            &ev.serving_map(&after_state),
+            after,
+        );
+        DirectOutcome {
+            handovers: total,
+            seamless_fraction: if total > 0.0 { seamless / total } else { 1.0 },
+        }
+    };
+
+    let mut steps: Vec<GradualStep> = Vec::new();
+    let mut serving_prev = ev.serving_map(&state);
+    // Changes applied to `state` during an aborted partial step; they must
+    // still appear in the recorded schedule (inside the final jump) or a
+    // replay of `steps` would not land on `C_after`.
+    let mut pending: Vec<ConfigChange> = Vec::new();
+
+    for _ in 0..params.max_steps {
+        // Are any UEs still attached to the targets?
+        let attached: f64 = targets.iter().map(|t| state.sector_load(t.0)).sum();
+        let at_floor = targets.iter().all(|&t| {
+            let cur = state.config().sector(t).power;
+            cur <= ev.network().sector(t).min_power
+        });
+        if attached <= 1e-9 || at_floor {
+            break;
+        }
+
+        let mut changes = Vec::new();
+        // Step the targets down.
+        for &t in targets {
+            let ch = ConfigChange::PowerDelta(t, Db(-params.step_down_db));
+            if state.config().would_change(ev.network(), ch) {
+                ev.apply(&mut state, ch);
+                changes.push(ch);
+            }
+        }
+        // Compensate toward C_after while below the floor.
+        let mut compensations = 0usize;
+        loop {
+            if state.utility(params.utility) >= f_after - 1e-9 {
+                break;
+            }
+            // Remaining planned retunes (exclude target on-air moves).
+            let remaining: Vec<ConfigChange> = state
+                .config()
+                .diff(after)
+                .into_iter()
+                .filter(|c| !targets.contains(&c.sector()))
+                .collect();
+            if remaining.is_empty() {
+                break;
+            }
+            let current = state.utility(params.utility);
+            let mut best: Option<(ConfigChange, f64)> = None;
+            for ch in remaining {
+                let u = ev.probe_utility(&mut state, ch, params.utility);
+                if best.map_or(true, |(_, bu)| u > bu) {
+                    best = Some((ch, u));
+                }
+            }
+            let (ch, u) = best.expect("non-empty remaining set");
+            if u <= current + 1e-12 {
+                break; // compensation cannot help further
+            }
+            ev.apply(&mut state, ch);
+            changes.push(ch);
+            compensations += 1;
+        }
+        if state.utility(params.utility) < f_after - 1e-9 {
+            // Cannot hold the floor: the paper jumps straight to C_after.
+            // Roll this partial step into the final jump below.
+            pending = changes;
+            break;
+        }
+        let serving_now = ev.serving_map(&state);
+        let (handovers, seamless) =
+            handovers_between(ev, &serving_prev, &serving_now, state.config());
+        serving_prev = serving_now;
+        steps.push(GradualStep {
+            changes,
+            utility: state.utility(params.utility),
+            handovers,
+            seamless,
+            compensations,
+        });
+    }
+
+    // Final step: jump the rest of the way to C_after (taking the
+    // targets off-air). Any pending partial-step changes are folded in so
+    // replaying the schedule from C_before reproduces C_after exactly.
+    let mut final_changes = pending;
+    let jump = state.config().diff(after);
+    for ch in &jump {
+        ev.apply(&mut state, *ch);
+    }
+    final_changes.extend(jump);
+    let serving_now = ev.serving_map(&state);
+    let (handovers, seamless) = handovers_between(ev, &serving_prev, &serving_now, after);
+    steps.push(GradualStep {
+        changes: final_changes,
+        utility: state.utility(params.utility),
+        handovers,
+        seamless,
+        compensations: 0,
+    });
+
+    let max_simultaneous = steps.iter().map(|s| s.handovers).fold(0.0, f64::max);
+    let total_handovers: f64 = steps.iter().map(|s| s.handovers).sum();
+    let total_seamless: f64 = steps.iter().map(|s| s.seamless).sum();
+    GradualOutcome {
+        steps,
+        f_before,
+        f_after,
+        max_simultaneous,
+        total_handovers,
+        seamless_fraction: if total_handovers > 0.0 {
+            total_seamless / total_handovers
+        } else {
+            1.0
+        },
+        direct,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuning::{power_search, SearchParams};
+    use magus_geo::units::thermal_noise;
+    use magus_geo::{Bearing, GridSpec, PointM};
+    use magus_lte::{Bandwidth, RateMapper};
+    use magus_net::{BsId, Network, Sector, UeLayer};
+    use magus_propagation::{
+        AntennaParams, PathLossStore, PropagationModel, SectorSite, SpmParams, TiltSettings,
+    };
+    use magus_terrain::Terrain;
+    use std::sync::Arc;
+
+    fn fixture() -> (Evaluator, Configuration) {
+        let spec = GridSpec::centered(PointM::new(0.0, 0.0), 150.0, 9_000.0);
+        let model = PropagationModel::new(Arc::new(Terrain::flat(spec)), SpmParams::smooth(), 1);
+        let mk = |id: u32, x: f64, az: f64| {
+            let mut s = Sector::macro_defaults(
+                SectorId(id),
+                BsId(id),
+                SectorSite {
+                    position: PointM::new(x, 0.0),
+                    height_m: 30.0,
+                    azimuth: Bearing::new(az),
+                    antenna: AntennaParams::default(),
+                },
+            );
+            s.nominal_ue_count = 100.0;
+            s
+        };
+        let network = Arc::new(Network::new(vec![
+            mk(0, -2_500.0, 90.0),
+            mk(1, 0.0, 0.0),
+            mk(2, 2_500.0, 270.0),
+        ]));
+        let store = Arc::new(PathLossStore::build(
+            spec,
+            network.sites(),
+            &model,
+            TiltSettings::default(),
+            14_000.0,
+        ));
+        let noise = thermal_noise(Bandwidth::Mhz10.hz(), magus_geo::Db(7.0));
+        let nominal = Configuration::nominal(&network);
+        let probe = Evaluator::new(
+            Arc::clone(&store),
+            Arc::clone(&network),
+            RateMapper::new(Bandwidth::Mhz10),
+            noise,
+            UeLayer::constant(spec, 1.0),
+        );
+        let serving = probe.serving_map(&probe.initial_state(&nominal));
+        let totals: Vec<f64> = network.sectors().iter().map(|s| s.nominal_ue_count).collect();
+        let ue = UeLayer::uniform_per_sector(spec, &serving, &totals);
+        (
+            Evaluator::new(store, network, RateMapper::new(Bandwidth::Mhz10), noise, ue),
+            nominal,
+        )
+    }
+
+    fn after_config(ev: &Evaluator, before: &Configuration) -> Configuration {
+        let reference = ev.initial_state(before);
+        let mut state = ev.initial_state(before);
+        ev.apply(&mut state, ConfigChange::SetOnAir(SectorId(1), false));
+        power_search(
+            ev,
+            &mut state,
+            &reference,
+            &[SectorId(0), SectorId(2)],
+            &SearchParams::default(),
+        );
+        state.config().clone()
+    }
+
+    #[test]
+    fn gradual_never_dips_below_f_after() {
+        let (ev, before) = fixture();
+        let after = after_config(&ev, &before);
+        let out = plan_gradual(&ev, &before, &after, &[SectorId(1)], &GradualParams::default());
+        for (k, step) in out.steps.iter().enumerate() {
+            assert!(
+                step.utility >= out.f_after - 1e-6,
+                "step {k} utility {} below floor {}",
+                step.utility,
+                out.f_after
+            );
+        }
+    }
+
+    #[test]
+    fn gradual_spreads_handovers() {
+        let (ev, before) = fixture();
+        let after = after_config(&ev, &before);
+        let out = plan_gradual(&ev, &before, &after, &[SectorId(1)], &GradualParams::default());
+        assert!(out.steps.len() > 1, "should take multiple steps");
+        assert!(
+            out.max_simultaneous <= out.direct.handovers + 1e-9,
+            "gradual worst step {} must not exceed one-shot {}",
+            out.max_simultaneous,
+            out.direct.handovers
+        );
+        assert!(out.simultaneous_reduction_factor() >= 1.0);
+    }
+
+    #[test]
+    fn gradual_improves_seamless_fraction() {
+        let (ev, before) = fixture();
+        let after = after_config(&ev, &before);
+        let out = plan_gradual(&ev, &before, &after, &[SectorId(1)], &GradualParams::default());
+        assert!(
+            out.seamless_fraction >= out.direct.seamless_fraction - 1e-9,
+            "gradual seamless {} vs direct {}",
+            out.seamless_fraction,
+            out.direct.seamless_fraction
+        );
+        assert!(out.seamless_fraction > 0.5, "most handovers should be seamless");
+    }
+
+    #[test]
+    fn final_configuration_is_c_after() {
+        let (ev, before) = fixture();
+        let after = after_config(&ev, &before);
+        let out = plan_gradual(&ev, &before, &after, &[SectorId(1)], &GradualParams::default());
+        // Replay the schedule and confirm we land exactly on C_after.
+        let mut state = ev.initial_state(&before);
+        for step in &out.steps {
+            for ch in &step.changes {
+                ev.apply(&mut state, *ch);
+            }
+        }
+        assert_eq!(state.config(), &after);
+    }
+
+    #[test]
+    #[should_panic(expected = "off-air")]
+    fn rejects_after_config_with_targets_on_air() {
+        let (ev, before) = fixture();
+        let after = before.clone(); // targets still on-air: invalid
+        plan_gradual(&ev, &before, &after, &[SectorId(1)], &GradualParams::default());
+    }
+}

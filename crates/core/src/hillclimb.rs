@@ -1,0 +1,202 @@
+//! Generic greedy utility hill-climbing.
+//!
+//! Used as the *planning pass*: before any upgrade experiment we let a
+//! planner polish the nominal configuration of the sectors around the
+//! tuning area to a local utility optimum ("radio network planners
+//! attempt to maximize coverage and minimize interference by setting …
+//! transmit power and antenna tilt", §1). Without this, `C_before` would
+//! be arbitrary and the recovery ratio (Formula 7) could exceed 1 simply
+//! because tuning fixes pre-existing planning slack rather than
+//! upgrade-induced loss.
+
+use magus_geo::Db;
+use magus_model::{Evaluator, ModelState, UtilityKind};
+use magus_net::{ConfigChange, SectorId};
+use serde::{Deserialize, Serialize};
+
+/// Knobs for the hill-climber.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HillClimbParams {
+    /// The utility to maximize.
+    pub utility: UtilityKind,
+    /// Power move size, dB.
+    pub step_db: f64,
+    /// Whether tilt ±1 moves are considered too.
+    pub tune_tilt: bool,
+    /// How far below a sector's *nominal* power the planner may go, dB.
+    ///
+    /// Real planners do not mute a deployed sector; without this floor
+    /// the hill-climber can power a sector down to its hardware minimum,
+    /// which makes any later "take that sector off-air" experiment
+    /// degenerate (nothing was being served by it).
+    pub power_floor_below_nominal_db: f64,
+    /// Maximum accepted moves.
+    pub max_moves: usize,
+    /// Minimum improvement to accept a move.
+    pub epsilon: f64,
+}
+
+impl Default for HillClimbParams {
+    fn default() -> Self {
+        HillClimbParams {
+            utility: UtilityKind::Performance,
+            step_db: 1.0,
+            tune_tilt: true,
+            max_moves: 400,
+            epsilon: 1e-9,
+            power_floor_below_nominal_db: 6.0,
+        }
+    }
+}
+
+/// Greedily applies the best single move (power ±step, optionally tilt
+/// ±1) over `sectors` until no move improves the utility. Returns the
+/// applied moves in order.
+pub fn hill_climb(
+    ev: &Evaluator,
+    state: &mut ModelState,
+    sectors: &[SectorId],
+    params: &HillClimbParams,
+) -> Vec<ConfigChange> {
+    let mut applied = Vec::new();
+    while applied.len() < params.max_moves {
+        let current = state.objective(params.utility);
+        let mut best: Option<(ConfigChange, f64)> = None;
+        for &s in sectors {
+            let sc = state.config().sector(s);
+            if !sc.on_air {
+                continue;
+            }
+            let mut candidates: Vec<ConfigChange> =
+                vec![ConfigChange::PowerDelta(s, Db(params.step_db))];
+            let floor = ev.network().sector(s).nominal_power.0
+                - params.power_floor_below_nominal_db;
+            if sc.power.0 - params.step_db >= floor {
+                candidates.push(ConfigChange::PowerDelta(s, Db(-params.step_db)));
+            }
+            if params.tune_tilt {
+                if sc.tilt > 0 {
+                    candidates.push(ConfigChange::SetTilt(s, sc.tilt - 1));
+                }
+                if sc.tilt + 1 < magus_propagation::NUM_TILT_SETTINGS {
+                    candidates.push(ConfigChange::SetTilt(s, sc.tilt + 1));
+                }
+            }
+            for ch in candidates {
+                if !state.config().would_change(ev.network(), ch) {
+                    continue;
+                }
+                let u = ev.probe_objective(state, ch, params.utility);
+                if u > current + params.epsilon && best.map_or(true, |(_, bu)| u > bu) {
+                    best = Some((ch, u));
+                }
+            }
+        }
+        match best {
+            Some((ch, _)) => {
+                ev.apply(state, ch);
+                applied.push(ch);
+            }
+            None => break,
+        }
+    }
+    applied
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magus_geo::units::thermal_noise;
+    use magus_geo::{Bearing, GridSpec, PointM};
+    use magus_lte::{Bandwidth, RateMapper};
+    use magus_net::{BsId, Configuration, Network, Sector, UeLayer};
+    use magus_propagation::{
+        AntennaParams, PathLossStore, PropagationModel, SectorSite, SpmParams, TiltSettings,
+    };
+    use magus_terrain::Terrain;
+    use std::sync::Arc;
+
+    fn fixture() -> (Evaluator, Configuration) {
+        let spec = GridSpec::centered(PointM::new(0.0, 0.0), 200.0, 6_000.0);
+        let model = PropagationModel::new(Arc::new(Terrain::flat(spec)), SpmParams::smooth(), 1);
+        let mk = |id: u32, x: f64, az: f64| {
+            Sector::macro_defaults(
+                SectorId(id),
+                BsId(id),
+                SectorSite {
+                    position: PointM::new(x, 0.0),
+                    height_m: 30.0,
+                    azimuth: Bearing::new(az),
+                    antenna: AntennaParams::default(),
+                },
+            )
+        };
+        let network = Arc::new(Network::new(vec![mk(0, -1_000.0, 90.0), mk(1, 1_000.0, 270.0)]));
+        let store = Arc::new(PathLossStore::build(
+            spec,
+            network.sites(),
+            &model,
+            TiltSettings::default(),
+            10_000.0,
+        ));
+        let noise = thermal_noise(Bandwidth::Mhz10.hz(), magus_geo::Db(7.0));
+        let ue = UeLayer::constant(spec, 1.0);
+        let nominal = Configuration::nominal(&network);
+        (
+            Evaluator::new(store, network, RateMapper::new(Bandwidth::Mhz10), noise, ue),
+            nominal,
+        )
+    }
+
+    #[test]
+    fn hill_climb_never_decreases_utility() {
+        let (ev, config) = fixture();
+        let mut state = ev.initial_state(&config);
+        let before = state.utility(UtilityKind::Performance);
+        let moves = hill_climb(
+            &ev,
+            &mut state,
+            &[SectorId(0), SectorId(1)],
+            &HillClimbParams::default(),
+        );
+        let after = state.utility(UtilityKind::Performance);
+        assert!(after >= before);
+        assert!(moves.len() <= HillClimbParams::default().max_moves);
+    }
+
+    #[test]
+    fn result_is_local_optimum() {
+        let (ev, config) = fixture();
+        let mut state = ev.initial_state(&config);
+        let params = HillClimbParams::default();
+        hill_climb(&ev, &mut state, &[SectorId(0), SectorId(1)], &params);
+        let u = state.utility(params.utility);
+        for s in [SectorId(0), SectorId(1)] {
+            for d in [1.0, -1.0] {
+                let ch = ConfigChange::PowerDelta(s, Db(d));
+                if state.config().would_change(ev.network(), ch) {
+                    let probed = ev.probe_utility(&mut state, ch, params.utility);
+                    assert!(probed <= u + 1e-9, "{ch:?} still improves");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tilt_moves_only_when_enabled() {
+        let (ev, config) = fixture();
+        let mut state = ev.initial_state(&config);
+        let moves = hill_climb(
+            &ev,
+            &mut state,
+            &[SectorId(0), SectorId(1)],
+            &HillClimbParams {
+                tune_tilt: false,
+                ..HillClimbParams::default()
+            },
+        );
+        assert!(moves
+            .iter()
+            .all(|m| matches!(m, ConfigChange::PowerDelta(_, _) | ConfigChange::SetPower(_, _))));
+    }
+}

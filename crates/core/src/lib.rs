@@ -1,0 +1,66 @@
+//! Magus proper: proactive model-based mitigation of planned-upgrade
+//! service disruption (paper §5–§6).
+//!
+//! Everything below consumes the analysis model in [`magus_model`] and
+//! produces *configurations*: the best power/tilt settings for the
+//! neighbors of sectors about to be taken off-air, and a gradual tuning
+//! schedule that migrates users without synchronized-handover storms.
+//!
+//! * [`tuning`] — the search algorithms: Algorithm 1 power tuning
+//!   (candidate set β, escalating step T), greedy tilt tuning, joint
+//!   tilt-then-power, and the naive baseline the paper compares against
+//!   (Figure 13).
+//! * [`hillclimb`] — a generic greedy utility hill-climber, used as the
+//!   pre-upgrade *planning pass* ("network planners attempt to maximize
+//!   coverage and minimize interference") so that `C_before` is locally
+//!   optimal and recovery ratios are meaningful.
+//! * [`strategy`] — the §2 solution-space quadrants (proactive/reactive ×
+//!   model/feedback) as utility-vs-time traces, including the idealized
+//!   and realistic reactive-feedback step counts of Figure 12.
+//! * [`gradual`] — the gradual tuning planner of §6 ("Benefits of Gradual
+//!   Tuning"): steps the target sector's power down, compensates whenever
+//!   predicted utility would fall below `f(C_after)`, and accounts
+//!   seamless vs hard handovers per step (Figure 11).
+//! * [`experiment`] — the end-to-end recovery pipeline behind Table 1,
+//!   Table 2 and Figure 13, including the recovery-ratio metric
+//!   (Formula 7).
+
+pub mod divergence;
+pub mod experiment;
+pub mod playbook;
+pub mod gradual;
+pub mod hillclimb;
+pub mod strategy;
+pub mod tuning;
+
+pub use experiment::{
+    neighbor_set, prepare_scenario, prepare_scenario_for_targets, run_naive_recovery,
+    run_recovery, run_recovery_with, ExperimentConfig, PreparedScenario, RecoveryOutcome,
+    UtilityReadings,
+};
+pub use playbook::{OutagePlaybook, PlaybookEntry};
+pub use divergence::{model_divergence, DivergenceOutcome};
+pub use gradual::{plan_gradual, DirectOutcome, GradualOutcome, GradualParams, GradualStep};
+pub use hillclimb::{hill_climb, HillClimbParams};
+pub use strategy::{
+    hybrid_model_feedback, reactive_feedback, strategy_traces, FeedbackMode, FeedbackOutcome,
+    StrategyKind, TraceSet,
+};
+pub use tuning::{
+    joint_search, naive_search, power_search, tilt_search, SearchOutcome, SearchParams,
+    TuningKind,
+};
+
+/// Single-import surface.
+pub mod prelude {
+    pub use crate::experiment::{
+        neighbor_set, prepare_scenario, run_naive_recovery, run_recovery, run_recovery_with,
+        ExperimentConfig, PreparedScenario, RecoveryOutcome, UtilityReadings,
+    };
+    pub use crate::gradual::{plan_gradual, GradualOutcome, GradualParams};
+    pub use crate::strategy::{reactive_feedback, strategy_traces, FeedbackMode, StrategyKind};
+    pub use crate::tuning::{
+        joint_search, naive_search, power_search, tilt_search, SearchOutcome, SearchParams,
+        TuningKind,
+    };
+}

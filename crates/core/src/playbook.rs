@@ -1,0 +1,144 @@
+//! Precomputed outage playbooks — the paper's future-work extension:
+//!
+//! > "using Magus's predictive model for unplanned outages (using Magus's
+//! > computed configuration as a starting point for feedback control, and
+//! > pre-computing configurations for different outages)".
+//!
+//! A [`OutagePlaybook`] holds, for every sector an operator cares about,
+//! the pre-searched mitigation configuration and its predicted utilities.
+//! When an *unplanned* outage hits, the NOC deploys the stored `C_after`
+//! in one shot (reactive model-based, but with zero model latency), then
+//! optionally lets a feedback loop polish it — the paper's `1 + k` hybrid
+//! with `k ≪ K`.
+
+use crate::experiment::{prepare_scenario_for_targets, ExperimentConfig, RecoveryOutcome};
+use crate::tuning::TuningKind;
+use magus_model::StandardModel;
+use magus_net::{Configuration, SectorId};
+use std::collections::HashMap;
+
+/// One precomputed mitigation.
+#[derive(Debug, Clone)]
+pub struct PlaybookEntry {
+    /// The recovery run that produced this entry (includes `C_after`,
+    /// utilities, and the applied steps).
+    pub outcome: RecoveryOutcome,
+}
+
+impl PlaybookEntry {
+    /// The stored mitigation configuration.
+    pub fn config_after(&self) -> &Configuration {
+        &self.outcome.config_after
+    }
+}
+
+/// Precomputed mitigations for single-sector outages.
+#[derive(Default)]
+pub struct OutagePlaybook {
+    entries: HashMap<SectorId, PlaybookEntry>,
+}
+
+impl OutagePlaybook {
+    /// Precomputes mitigations for every sector in `sectors` (typically
+    /// the sectors of an operator's tuning area), using the given tuning
+    /// family.
+    ///
+    /// This is the batch job an operator would run nightly; each entry is
+    /// an independent single-sector outage search.
+    pub fn precompute(
+        sm: &StandardModel,
+        market: &magus_net::Market,
+        sectors: &[SectorId],
+        tuning: TuningKind,
+        cfg: &ExperimentConfig,
+    ) -> OutagePlaybook {
+        let mut entries = HashMap::new();
+        for &s in sectors {
+            let prepared = prepare_scenario_for_targets(sm, market, vec![s], cfg);
+            let outcome = prepared.run(sm, tuning, cfg);
+            entries.insert(s, PlaybookEntry { outcome });
+        }
+        OutagePlaybook { entries }
+    }
+
+    /// The precomputed mitigation for an outage of `sector`, if present.
+    pub fn lookup(&self, sector: SectorId) -> Option<&PlaybookEntry> {
+        self.entries.get(&sector)
+    }
+
+    /// Number of precomputed entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing has been precomputed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Sectors covered by the playbook.
+    pub fn sectors(&self) -> impl Iterator<Item = SectorId> + '_ {
+        self.entries.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magus_model::{standard_setup, UtilityKind};
+    use magus_net::{AreaType, Market, MarketParams, UpgradeScenario};
+
+    #[test]
+    fn playbook_matches_on_demand_search() {
+        let market = Market::generate(MarketParams::tiny(AreaType::Suburban, 41));
+        let sm = standard_setup(&market, magus_lte::Bandwidth::Mhz10);
+        let cfg = ExperimentConfig::default();
+        // Precompute for the scenario-(a) target, then compare with an
+        // on-demand run.
+        let target = magus_net::upgrade_targets(&market, UpgradeScenario::SingleCentralSector)[0];
+        let playbook =
+            OutagePlaybook::precompute(&sm, &market, &[target], TuningKind::Power, &cfg);
+        assert_eq!(playbook.len(), 1);
+        let entry = playbook.lookup(target).expect("entry present");
+        let on_demand = crate::experiment::run_recovery_with(
+            &sm,
+            &market,
+            UpgradeScenario::SingleCentralSector,
+            TuningKind::Power,
+            &cfg,
+        );
+        assert_eq!(entry.config_after(), &on_demand.config_after);
+        assert_eq!(
+            entry.outcome.recovery(UtilityKind::Performance),
+            on_demand.recovery(UtilityKind::Performance)
+        );
+    }
+
+    #[test]
+    fn lookup_missing_sector_is_none() {
+        let playbook = OutagePlaybook::default();
+        assert!(playbook.is_empty());
+        assert!(playbook.lookup(SectorId(0)).is_none());
+    }
+
+    #[test]
+    fn playbook_covers_multiple_sectors() {
+        let market = Market::generate(MarketParams::tiny(AreaType::Suburban, 42));
+        let sm = standard_setup(&market, magus_lte::Bandwidth::Mhz10);
+        let mut cfg = ExperimentConfig::default();
+        // Keep the batch cheap for the test.
+        cfg.pretune_params.max_moves = 16;
+        let bs = market
+            .network()
+            .nearest_base_station(magus_geo::PointM::new(0.0, 0.0))
+            .expect("base stations exist");
+        let sectors = bs.sectors.clone();
+        let playbook =
+            OutagePlaybook::precompute(&sm, &market, &sectors, TuningKind::Power, &cfg);
+        assert_eq!(playbook.len(), sectors.len());
+        for s in sectors {
+            let e = playbook.lookup(s).expect("entry");
+            assert!(!e.config_after().sector(s).on_air, "target must be off-air");
+        }
+    }
+}

@@ -1,0 +1,430 @@
+//! The §2 solution space: proactive/reactive × model/feedback, and the
+//! convergence comparison of Figure 12.
+//!
+//! The paper's qualitative claims, which these simulations reproduce:
+//!
+//! * **Proactive model-based** (Magus): the utility never drops below
+//!   `f(C_after)` — neighbors are tuned *before* the sector goes down.
+//! * **Reactive model-based**: utility sits at `f(C_upgrade)` for one
+//!   reconfiguration round-trip, then jumps to `f(C_after)`.
+//! * **Reactive feedback-based** (SON-style): utility climbs one
+//!   single-unit change per measurement round; the idealized variant
+//!   applies the *best* candidate each round (K rounds), the realistic
+//!   variant pays one measurement round per candidate probed, which is
+//!   how the paper's 27 idealized steps become ≈310 realistic ones.
+//! * **No tuning**: flat at `f(C_upgrade)`.
+
+use crate::tuning::SearchParams;
+use magus_geo::Db;
+use magus_model::{Evaluator, ModelState};
+use magus_net::{ConfigChange, Configuration, SectorId};
+use serde::{Deserialize, Serialize};
+
+/// The four quadrants of the paper's Figure 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StrategyKind {
+    /// Magus: tune to `C_after` before the outage.
+    ProactiveModel,
+    /// Compute `C_after` from the model, deploy it after the outage.
+    ReactiveModel,
+    /// SON-style iterative feedback after the outage.
+    ReactiveFeedback,
+    /// Leave the neighbors alone.
+    NoTuning,
+}
+
+impl StrategyKind {
+    /// All four, in the paper's discussion order.
+    pub const ALL: [StrategyKind; 4] = [
+        StrategyKind::ProactiveModel,
+        StrategyKind::ReactiveModel,
+        StrategyKind::ReactiveFeedback,
+        StrategyKind::NoTuning,
+    ];
+}
+
+impl std::fmt::Display for StrategyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            StrategyKind::ProactiveModel => "proactive model-based",
+            StrategyKind::ReactiveModel => "reactive model-based",
+            StrategyKind::ReactiveFeedback => "reactive feedback-based",
+            StrategyKind::NoTuning => "no tuning",
+        })
+    }
+}
+
+/// How the feedback loop charges for measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FeedbackMode {
+    /// One step per *applied* change; the best candidate is known for
+    /// free (the paper's "to give benefit to this strategy" setup).
+    Idealized,
+    /// One step per *measured* candidate — every probe requires deploying
+    /// a configuration and extracting performance measures.
+    Realistic,
+}
+
+/// Result of a reactive-feedback run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FeedbackOutcome {
+    /// Utility after each *applied* change (index 0 = at `C_upgrade`).
+    pub trace: Vec<f64>,
+    /// Applied changes, in order.
+    pub changes: Vec<ConfigChange>,
+    /// Convergence cost in steps under the selected mode.
+    pub steps: usize,
+    /// Total candidate measurements performed.
+    pub measurements: usize,
+    /// Final utility reached.
+    pub final_utility: f64,
+}
+
+/// Runs the SON-style feedback loop from the current (post-outage) state:
+/// each round considers ±1 power unit and ±1 tilt unit on every neighbor,
+/// applies the best improving candidate, and stops at a local optimum.
+pub fn reactive_feedback(
+    ev: &Evaluator,
+    state: &mut ModelState,
+    neighbors: &[SectorId],
+    params: &SearchParams,
+    mode: FeedbackMode,
+) -> FeedbackOutcome {
+    let mut trace = vec![state.utility(params.utility)];
+    let mut changes = Vec::new();
+    let mut measurements = 0usize;
+    while changes.len() < params.max_changes {
+        let current = state.objective(params.utility);
+        let mut best: Option<(ConfigChange, f64)> = None;
+        for &b in neighbors {
+            let sc = state.config().sector(b);
+            if !sc.on_air {
+                continue;
+            }
+            let mut candidates = vec![
+                ConfigChange::PowerDelta(b, Db(params.step_db)),
+                ConfigChange::PowerDelta(b, Db(-params.step_db)),
+            ];
+            if sc.tilt > 0 {
+                candidates.push(ConfigChange::SetTilt(b, sc.tilt - 1));
+            }
+            if sc.tilt + 1 < magus_propagation::NUM_TILT_SETTINGS {
+                candidates.push(ConfigChange::SetTilt(b, sc.tilt + 1));
+            }
+            for ch in candidates {
+                if !state.config().would_change(ev.network(), ch) {
+                    continue;
+                }
+                let u = ev.probe_objective(state, ch, params.utility);
+                measurements += 1;
+                if u > current + params.epsilon && best.map_or(true, |(_, bu)| u > bu) {
+                    best = Some((ch, u));
+                }
+            }
+        }
+        match best {
+            Some((ch, _)) => {
+                ev.apply(state, ch);
+                changes.push(ch);
+                trace.push(state.utility(params.utility));
+            }
+            None => break,
+        }
+    }
+    let steps = match mode {
+        FeedbackMode::Idealized => changes.len(),
+        FeedbackMode::Realistic => measurements,
+    };
+    FeedbackOutcome {
+        final_utility: state.utility(params.utility),
+        steps,
+        measurements,
+        trace,
+        changes,
+    }
+}
+
+impl FeedbackOutcome {
+    /// Number of applied steps until the (pure-utility) trace first
+    /// reaches `target`, or `None` if it never does. `Some(0)` means the
+    /// starting configuration already meets the target — the paper's
+    /// best case for the hybrid (`k = 0`).
+    pub fn steps_until(&self, target: f64) -> Option<usize> {
+        self.trace.iter().position(|&u| u >= target - 1e-9)
+    }
+}
+
+/// The paper's hybrid: deploy the model's `C_after` in one step, then
+/// let the feedback loop polish it. Returns the polish outcome — its
+/// `steps` is the paper's `k` (so the hybrid costs `1 + k` steps, with
+/// `k ≪ K` when the model is accurate).
+pub fn hybrid_model_feedback(
+    ev: &Evaluator,
+    after: &Configuration,
+    neighbors: &[SectorId],
+    params: &SearchParams,
+) -> FeedbackOutcome {
+    let mut state = ev.initial_state(after);
+    reactive_feedback(ev, &mut state, neighbors, params, FeedbackMode::Idealized)
+}
+
+/// Utility-versus-time series for all four strategies over a common
+/// timeline (Figure 12).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceSet {
+    /// Utility at `C_before`.
+    pub f_before: f64,
+    /// Utility at `C_upgrade` (no mitigation).
+    pub f_upgrade: f64,
+    /// Utility at `C_after` (Magus's target).
+    pub f_after: f64,
+    /// Per-strategy utility series; index = time step since the outage.
+    pub series: Vec<(StrategyKind, Vec<f64>)>,
+    /// Steps the idealized feedback loop needed to converge (the paper's
+    /// K ≈ 27).
+    pub feedback_steps_idealized: usize,
+    /// Steps the realistic feedback loop needed (the paper's ≈ 310).
+    pub feedback_steps_realistic: usize,
+}
+
+/// Builds Figure 12's comparison. `after` must already contain the tuned
+/// configuration (from one of the searches); the feedback quadrant re-runs
+/// its own optimization from `C_upgrade`.
+pub fn strategy_traces(
+    ev: &Evaluator,
+    before: &Configuration,
+    after: &Configuration,
+    targets: &[SectorId],
+    neighbors: &[SectorId],
+    params: &SearchParams,
+) -> TraceSet {
+    let f_before = ev.initial_state(before).utility(params.utility);
+    // C_upgrade: before + targets off-air.
+    let mut upgrade_cfg = before.clone();
+    for &t in targets {
+        upgrade_cfg.apply(ev.network(), ConfigChange::SetOnAir(t, false));
+    }
+    let mut fb_state = ev.initial_state(&upgrade_cfg);
+    let f_upgrade = fb_state.utility(params.utility);
+    let f_after = ev.initial_state(after).utility(params.utility);
+
+    let fb = reactive_feedback(ev, &mut fb_state, neighbors, params, FeedbackMode::Idealized);
+    let horizon = (fb.trace.len() + 2).max(8);
+
+    let pad = |mut v: Vec<f64>, n: usize| {
+        let last = *v.last().expect("non-empty trace");
+        while v.len() < n {
+            v.push(last);
+        }
+        v
+    };
+    let series = vec![
+        (StrategyKind::ProactiveModel, pad(vec![f_after], horizon)),
+        (
+            StrategyKind::ReactiveModel,
+            pad(vec![f_upgrade, f_after], horizon),
+        ),
+        (StrategyKind::ReactiveFeedback, pad(fb.trace.clone(), horizon)),
+        (StrategyKind::NoTuning, pad(vec![f_upgrade], horizon)),
+    ];
+    TraceSet {
+        f_before,
+        f_upgrade,
+        f_after,
+        series,
+        feedback_steps_idealized: fb.steps,
+        feedback_steps_realistic: fb.measurements,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuning::{power_search, SearchParams};
+    use magus_geo::units::thermal_noise;
+    use magus_geo::{Bearing, GridSpec, PointM};
+    use magus_lte::{Bandwidth, RateMapper};
+    use magus_model::UtilityKind;
+    use magus_net::{BsId, Network, Sector, UeLayer};
+    use magus_propagation::{
+        AntennaParams, PathLossStore, PropagationModel, SectorSite, SpmParams, TiltSettings,
+    };
+    use magus_terrain::Terrain;
+    use std::sync::Arc;
+
+    fn fixture() -> (Evaluator, Configuration) {
+        let spec = GridSpec::centered(PointM::new(0.0, 0.0), 150.0, 9_000.0);
+        let model = PropagationModel::new(Arc::new(Terrain::flat(spec)), SpmParams::smooth(), 1);
+        let mk = |id: u32, x: f64, az: f64| {
+            let mut s = Sector::macro_defaults(
+                SectorId(id),
+                BsId(id),
+                SectorSite {
+                    position: PointM::new(x, 0.0),
+                    height_m: 30.0,
+                    azimuth: Bearing::new(az),
+                    antenna: AntennaParams::default(),
+                },
+            );
+            s.nominal_ue_count = 100.0;
+            s
+        };
+        let network = Arc::new(Network::new(vec![
+            mk(0, -2_500.0, 90.0),
+            mk(1, 0.0, 0.0),
+            mk(2, 2_500.0, 270.0),
+        ]));
+        let store = Arc::new(PathLossStore::build(
+            spec,
+            network.sites(),
+            &model,
+            TiltSettings::default(),
+            14_000.0,
+        ));
+        let noise = thermal_noise(Bandwidth::Mhz10.hz(), magus_geo::Db(7.0));
+        let nominal = Configuration::nominal(&network);
+        let probe = Evaluator::new(
+            Arc::clone(&store),
+            Arc::clone(&network),
+            RateMapper::new(Bandwidth::Mhz10),
+            noise,
+            UeLayer::constant(spec, 1.0),
+        );
+        let serving = probe.serving_map(&probe.initial_state(&nominal));
+        let totals: Vec<f64> = network.sectors().iter().map(|s| s.nominal_ue_count).collect();
+        let ue = UeLayer::uniform_per_sector(spec, &serving, &totals);
+        (
+            Evaluator::new(store, network, RateMapper::new(Bandwidth::Mhz10), noise, ue),
+            nominal,
+        )
+    }
+
+    fn tuned_after(ev: &Evaluator, before: &Configuration) -> Configuration {
+        let reference = ev.initial_state(before);
+        let mut state = ev.initial_state(before);
+        ev.apply(&mut state, ConfigChange::SetOnAir(SectorId(1), false));
+        power_search(
+            ev,
+            &mut state,
+            &reference,
+            &[SectorId(0), SectorId(2)],
+            &SearchParams::default(),
+        );
+        state.config().clone()
+    }
+
+    #[test]
+    fn feedback_trace_is_monotone() {
+        let (ev, before) = fixture();
+        let mut upgrade = before.clone();
+        upgrade.apply(ev.network(), ConfigChange::SetOnAir(SectorId(1), false));
+        let mut st = ev.initial_state(&upgrade);
+        let out = reactive_feedback(
+            &ev,
+            &mut st,
+            &[SectorId(0), SectorId(2)],
+            &SearchParams::default(),
+            FeedbackMode::Idealized,
+        );
+        for w in out.trace.windows(2) {
+            assert!(w[1] > w[0], "feedback utility must strictly improve");
+        }
+        assert_eq!(out.steps, out.changes.len());
+    }
+
+    #[test]
+    fn realistic_mode_costs_more_steps() {
+        let (ev, before) = fixture();
+        let mut upgrade = before.clone();
+        upgrade.apply(ev.network(), ConfigChange::SetOnAir(SectorId(1), false));
+        let mut st1 = ev.initial_state(&upgrade);
+        let ideal = reactive_feedback(
+            &ev,
+            &mut st1,
+            &[SectorId(0), SectorId(2)],
+            &SearchParams::default(),
+            FeedbackMode::Idealized,
+        );
+        let mut st2 = ev.initial_state(&upgrade);
+        let real = reactive_feedback(
+            &ev,
+            &mut st2,
+            &[SectorId(0), SectorId(2)],
+            &SearchParams::default(),
+            FeedbackMode::Realistic,
+        );
+        assert_eq!(ideal.final_utility, real.final_utility);
+        if ideal.steps > 0 {
+            assert!(
+                real.steps > ideal.steps,
+                "realistic {} should exceed idealized {}",
+                real.steps,
+                ideal.steps
+            );
+        }
+    }
+
+    #[test]
+    fn traces_have_paper_shape() {
+        let (ev, before) = fixture();
+        let after = tuned_after(&ev, &before);
+        let ts = strategy_traces(
+            &ev,
+            &before,
+            &after,
+            &[SectorId(1)],
+            &[SectorId(0), SectorId(2)],
+            &SearchParams::default(),
+        );
+        assert!(ts.f_before > ts.f_after, "f(C_before) > f(C_after)");
+        assert!(ts.f_after >= ts.f_upgrade, "f(C_after) >= f(C_upgrade)");
+        let get = |k: StrategyKind| {
+            ts.series
+                .iter()
+                .find(|(s, _)| *s == k)
+                .map(|(_, v)| v.clone())
+                .expect("series present")
+        };
+        // Proactive never below f_after; no-tuning flat at f_upgrade.
+        assert!(get(StrategyKind::ProactiveModel)
+            .iter()
+            .all(|&u| u >= ts.f_after - 1e-9));
+        assert!(get(StrategyKind::NoTuning)
+            .iter()
+            .all(|&u| (u - ts.f_upgrade).abs() < 1e-9));
+        // Reactive model starts at f_upgrade and ends at f_after.
+        let rm = get(StrategyKind::ReactiveModel);
+        assert!((rm[0] - ts.f_upgrade).abs() < 1e-9);
+        assert!((rm.last().unwrap() - ts.f_after).abs() < 1e-9);
+        // All series share a horizon.
+        let h = rm.len();
+        assert!(ts.series.iter().all(|(_, v)| v.len() == h));
+        // Feedback cost ordering.
+        assert!(ts.feedback_steps_realistic >= ts.feedback_steps_idealized);
+    }
+
+    #[test]
+    fn feedback_converges_to_local_optimum() {
+        let (ev, before) = fixture();
+        let mut upgrade = before.clone();
+        upgrade.apply(ev.network(), ConfigChange::SetOnAir(SectorId(1), false));
+        let mut st = ev.initial_state(&upgrade);
+        let params = SearchParams::default();
+        reactive_feedback(
+            &ev,
+            &mut st,
+            &[SectorId(0), SectorId(2)],
+            &params,
+            FeedbackMode::Idealized,
+        );
+        let u = st.utility(UtilityKind::Performance);
+        for b in [SectorId(0), SectorId(2)] {
+            for d in [1.0_f64, -1.0] {
+                let ch = ConfigChange::PowerDelta(b, Db(d));
+                if st.config().would_change(ev.network(), ch) {
+                    assert!(ev.probe_utility(&mut st, ch, params.utility) <= u + 1e-9);
+                }
+            }
+        }
+    }
+}

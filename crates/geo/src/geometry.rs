@@ -1,0 +1,173 @@
+//! Planar geometry in meters.
+//!
+//! All Magus areas are at most tens of kilometers across, so a local
+//! tangent-plane approximation (flat Earth, meters on both axes) is used
+//! throughout, exactly as grid-based coverage planning tools do internally.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, Sub};
+
+/// A point on the local tangent plane, in meters.
+///
+/// `x` grows eastward, `y` grows northward.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PointM {
+    /// Easting in meters.
+    pub x: f64,
+    /// Northing in meters.
+    pub y: f64,
+}
+
+/// A compass bearing in degrees, normalized to `[0, 360)`.
+///
+/// 0° = north, 90° = east — the convention used for sector azimuths.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Bearing(f64);
+
+impl PointM {
+    /// Constructs a point from easting/northing meters.
+    pub const fn new(x: f64, y: f64) -> PointM {
+        PointM { x, y }
+    }
+
+    /// Euclidean distance to `other` in meters.
+    #[inline]
+    pub fn distance(self, other: PointM) -> f64 {
+        (self.x - other.x).hypot(self.y - other.y)
+    }
+
+    /// Compass bearing from `self` toward `other`.
+    ///
+    /// Returns north (0°) for coincident points, keeping the function total.
+    #[inline]
+    pub fn bearing_to(self, other: PointM) -> Bearing {
+        let dx = other.x - self.x;
+        let dy = other.y - self.y;
+        if dx == 0.0 && dy == 0.0 {
+            return Bearing::new(0.0);
+        }
+        // atan2 measured from north, clockwise.
+        Bearing::new(dx.atan2(dy).to_degrees())
+    }
+
+    /// The point `dist` meters from `self` along `bearing`.
+    #[inline]
+    pub fn project(self, bearing: Bearing, dist: f64) -> PointM {
+        let rad = bearing.degrees().to_radians();
+        PointM {
+            x: self.x + dist * rad.sin(),
+            y: self.y + dist * rad.cos(),
+        }
+    }
+
+    /// Midpoint between two points.
+    #[inline]
+    pub fn midpoint(self, other: PointM) -> PointM {
+        PointM {
+            x: (self.x + other.x) / 2.0,
+            y: (self.y + other.y) / 2.0,
+        }
+    }
+}
+
+impl Add for PointM {
+    type Output = PointM;
+    fn add(self, rhs: PointM) -> PointM {
+        PointM::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+impl Sub for PointM {
+    type Output = PointM;
+    fn sub(self, rhs: PointM) -> PointM {
+        PointM::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Bearing {
+    /// Creates a bearing, normalizing any finite degree value into `[0, 360)`.
+    #[inline]
+    pub fn new(degrees: f64) -> Bearing {
+        Bearing(degrees.rem_euclid(360.0))
+    }
+
+    /// The bearing in degrees, in `[0, 360)`.
+    #[inline]
+    pub fn degrees(self) -> f64 {
+        self.0
+    }
+
+    /// Signed smallest angular difference `self - other` in degrees,
+    /// in `(-180, 180]`.
+    ///
+    /// This is the horizontal off-boresight angle used by antenna patterns.
+    #[inline]
+    pub fn angle_from(self, other: Bearing) -> f64 {
+        let mut d = self.0 - other.0;
+        if d > 180.0 {
+            d -= 360.0;
+        } else if d <= -180.0 {
+            d += 360.0;
+        }
+        d
+    }
+}
+
+impl Default for Bearing {
+    fn default() -> Self {
+        Bearing(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_345() {
+        assert!((PointM::new(0.0, 0.0).distance(PointM::new(3.0, 4.0)) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bearings_cardinal() {
+        let o = PointM::new(0.0, 0.0);
+        assert!((o.bearing_to(PointM::new(0.0, 1.0)).degrees() - 0.0).abs() < 1e-9);
+        assert!((o.bearing_to(PointM::new(1.0, 0.0)).degrees() - 90.0).abs() < 1e-9);
+        assert!((o.bearing_to(PointM::new(0.0, -1.0)).degrees() - 180.0).abs() < 1e-9);
+        assert!((o.bearing_to(PointM::new(-1.0, 0.0)).degrees() - 270.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bearing_to_self_is_north() {
+        let p = PointM::new(5.0, 5.0);
+        assert_eq!(p.bearing_to(p).degrees(), 0.0);
+    }
+
+    #[test]
+    fn project_roundtrip() {
+        let o = PointM::new(100.0, 200.0);
+        for deg in [0.0, 37.0, 90.0, 181.5, 359.0] {
+            let p = o.project(Bearing::new(deg), 1234.5);
+            assert!((o.distance(p) - 1234.5).abs() < 1e-9);
+            assert!((o.bearing_to(p).degrees() - deg).abs() < 1e-9, "deg={deg}");
+        }
+    }
+
+    #[test]
+    fn angle_from_wraps() {
+        assert!((Bearing::new(10.0).angle_from(Bearing::new(350.0)) - 20.0).abs() < 1e-9);
+        assert!((Bearing::new(350.0).angle_from(Bearing::new(10.0)) + 20.0).abs() < 1e-9);
+        assert!((Bearing::new(180.0).angle_from(Bearing::new(0.0)) - 180.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bearing_normalization() {
+        assert!((Bearing::new(-90.0).degrees() - 270.0).abs() < 1e-12);
+        assert!((Bearing::new(720.0).degrees() - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn midpoint_is_halfway() {
+        let m = PointM::new(0.0, 0.0).midpoint(PointM::new(10.0, 20.0));
+        assert_eq!(m, PointM::new(5.0, 10.0));
+    }
+}

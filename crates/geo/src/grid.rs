@@ -1,0 +1,415 @@
+//! Georeferenced rasters.
+//!
+//! The Magus model (paper §4.1) represents everything — path loss, received
+//! power, SINR, UE counts — as values on a rectangular grid of (by default)
+//! 100 m cells. [`GridSpec`] fixes the georeferencing of such a raster and
+//! [`GridMap`] stores row-major data over it. [`GridWindow`] describes a
+//! clipped rectangular sub-region, used to scope a sector's path-loss
+//! footprint (the paper's per-sector 60 km × 60 km window) inside the
+//! market-wide analysis raster.
+
+use crate::geometry::PointM;
+use serde::{Deserialize, Serialize};
+
+/// Integer cell coordinates within a [`GridSpec`] (column `x`, row `y`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct GridCoord {
+    /// Column index (west → east).
+    pub x: u32,
+    /// Row index (south → north).
+    pub y: u32,
+}
+
+impl GridCoord {
+    /// Constructs a coordinate.
+    pub const fn new(x: u32, y: u32) -> GridCoord {
+        GridCoord { x, y }
+    }
+}
+
+/// Georeferencing of a raster: origin (south-west corner), square cell
+/// size, and dimensions.
+///
+/// ```
+/// use magus_geo::{GridSpec, PointM};
+/// // The paper's geometry: 100 m cells over a square region.
+/// let spec = GridSpec::centered(PointM::new(0.0, 0.0), 100.0, 10_000.0);
+/// assert_eq!(spec.len(), 100 * 100);
+/// let c = spec.coord_of_point(PointM::new(120.0, -380.0)).unwrap();
+/// assert!(spec.center_of(c).distance(PointM::new(120.0, -380.0)) < 71.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GridSpec {
+    /// South-west corner of cell (0,0), in meters.
+    pub origin: PointM,
+    /// Edge length of a square cell, in meters (paper default: 100 m).
+    pub cell_size: f64,
+    /// Number of columns.
+    pub width: u32,
+    /// Number of rows.
+    pub height: u32,
+}
+
+impl GridSpec {
+    /// Creates a spec. Panics if `cell_size` is not strictly positive or a
+    /// dimension is zero — a zero-area raster is always a caller bug.
+    pub fn new(origin: PointM, cell_size: f64, width: u32, height: u32) -> GridSpec {
+        assert!(cell_size > 0.0, "cell_size must be positive");
+        assert!(width > 0 && height > 0, "grid must be non-empty");
+        GridSpec {
+            origin,
+            cell_size,
+            width,
+            height,
+        }
+    }
+
+    /// A spec centered on `center` spanning `span_m` meters on each side.
+    pub fn centered(center: PointM, cell_size: f64, span_m: f64) -> GridSpec {
+        let cells = (span_m / cell_size).round().max(1.0) as u32;
+        let half = cells as f64 * cell_size / 2.0;
+        GridSpec::new(
+            PointM::new(center.x - half, center.y - half),
+            cell_size,
+            cells,
+            cells,
+        )
+    }
+
+    /// Total number of cells.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.width as usize * self.height as usize
+    }
+
+    /// `true` if the raster holds no cells (never true for a validly
+    /// constructed spec, but kept for API completeness).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Row-major linear index of `c`. Debug-asserts in-bounds.
+    #[inline]
+    pub fn index(&self, c: GridCoord) -> usize {
+        debug_assert!(c.x < self.width && c.y < self.height, "{c:?} out of bounds");
+        c.y as usize * self.width as usize + c.x as usize
+    }
+
+    /// Inverse of [`GridSpec::index`].
+    #[inline]
+    pub fn coord_of_index(&self, i: usize) -> GridCoord {
+        debug_assert!(i < self.len());
+        GridCoord::new((i % self.width as usize) as u32, (i / self.width as usize) as u32)
+    }
+
+    /// Geographic center of cell `c`.
+    #[inline]
+    pub fn center_of(&self, c: GridCoord) -> PointM {
+        PointM::new(
+            self.origin.x + (c.x as f64 + 0.5) * self.cell_size,
+            self.origin.y + (c.y as f64 + 0.5) * self.cell_size,
+        )
+    }
+
+    /// Cell containing geographic point `p`, or `None` if outside the
+    /// raster.
+    #[inline]
+    pub fn coord_of_point(&self, p: PointM) -> Option<GridCoord> {
+        let fx = (p.x - self.origin.x) / self.cell_size;
+        let fy = (p.y - self.origin.y) / self.cell_size;
+        if fx < 0.0 || fy < 0.0 {
+            return None;
+        }
+        let (x, y) = (fx as u32, fy as u32);
+        (x < self.width && y < self.height && fx < self.width as f64 && fy < self.height as f64)
+            .then_some(GridCoord::new(x, y))
+    }
+
+    /// Iterator over all coordinates, row-major (matching index order).
+    pub fn coords(&self) -> impl Iterator<Item = GridCoord> + '_ {
+        let w = self.width;
+        (0..self.len()).map(move |i| GridCoord::new((i as u32) % w, (i as u32) / w))
+    }
+
+    /// The window of this raster that intersects a square of `span_m`
+    /// meters centered at `center` (clipped to raster bounds). Used to
+    /// restrict work to a sector's path-loss footprint.
+    pub fn window_around(&self, center: PointM, span_m: f64) -> GridWindow {
+        let half = span_m / 2.0;
+        let lo_x = ((center.x - half - self.origin.x) / self.cell_size).floor().max(0.0) as u32;
+        let lo_y = ((center.y - half - self.origin.y) / self.cell_size).floor().max(0.0) as u32;
+        let hi_x = (((center.x + half - self.origin.x) / self.cell_size).ceil() as i64)
+            .clamp(0, self.width as i64) as u32;
+        let hi_y = (((center.y + half - self.origin.y) / self.cell_size).ceil() as i64)
+            .clamp(0, self.height as i64) as u32;
+        GridWindow {
+            x0: lo_x.min(hi_x),
+            y0: lo_y.min(hi_y),
+            x1: hi_x,
+            y1: hi_y,
+        }
+    }
+
+    /// Window covering the full raster.
+    pub fn full_window(&self) -> GridWindow {
+        GridWindow {
+            x0: 0,
+            y0: 0,
+            x1: self.width,
+            y1: self.height,
+        }
+    }
+}
+
+/// A half-open rectangular region `[x0, x1) × [y0, y1)` of cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GridWindow {
+    /// Inclusive west column.
+    pub x0: u32,
+    /// Inclusive south row.
+    pub y0: u32,
+    /// Exclusive east column.
+    pub x1: u32,
+    /// Exclusive north row.
+    pub y1: u32,
+}
+
+impl GridWindow {
+    /// Number of cells in the window.
+    #[inline]
+    pub fn len(&self) -> usize {
+        (self.x1.saturating_sub(self.x0) as usize) * (self.y1.saturating_sub(self.y0) as usize)
+    }
+
+    /// `true` if the window covers no cells.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.x1 <= self.x0 || self.y1 <= self.y0
+    }
+
+    /// `true` if `c` lies inside the window.
+    #[inline]
+    pub fn contains(&self, c: GridCoord) -> bool {
+        c.x >= self.x0 && c.x < self.x1 && c.y >= self.y0 && c.y < self.y1
+    }
+
+    /// Iterator over the window's coordinates, row-major.
+    pub fn coords(&self) -> impl Iterator<Item = GridCoord> + '_ {
+        let (x0, x1) = (self.x0, self.x1);
+        (self.y0..self.y1).flat_map(move |y| (x0..x1).map(move |x| GridCoord::new(x, y)))
+    }
+
+    /// Intersection of two windows (possibly empty).
+    pub fn intersect(&self, other: &GridWindow) -> GridWindow {
+        GridWindow {
+            x0: self.x0.max(other.x0),
+            y0: self.y0.max(other.y0),
+            x1: self.x1.min(other.x1),
+            y1: self.y1.min(other.y1),
+        }
+    }
+}
+
+/// A row-major raster of `T` over a [`GridSpec`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridMap<T> {
+    spec: GridSpec,
+    data: Vec<T>,
+}
+
+impl<T: Clone> GridMap<T> {
+    /// Creates a map with every cell set to `fill`.
+    pub fn filled(spec: GridSpec, fill: T) -> GridMap<T> {
+        GridMap {
+            spec,
+            data: vec![fill; spec.len()],
+        }
+    }
+}
+
+impl<T> GridMap<T> {
+    /// Creates a map from existing row-major data.
+    ///
+    /// Panics if `data.len()` does not match the spec — a mismatched raster
+    /// is unrecoverable corruption.
+    pub fn from_vec(spec: GridSpec, data: Vec<T>) -> GridMap<T> {
+        assert_eq!(data.len(), spec.len(), "raster data length mismatch");
+        GridMap { spec, data }
+    }
+
+    /// Builds a map by evaluating `f` at every coordinate (row-major).
+    pub fn from_fn(spec: GridSpec, mut f: impl FnMut(GridCoord) -> T) -> GridMap<T> {
+        let data = (0..spec.len()).map(|i| f(spec.coord_of_index(i))).collect();
+        GridMap { spec, data }
+    }
+
+    /// The raster's georeferencing.
+    #[inline]
+    pub fn spec(&self) -> &GridSpec {
+        &self.spec
+    }
+
+    /// Shared cell access.
+    #[inline]
+    pub fn get(&self, c: GridCoord) -> &T {
+        &self.data[self.spec.index(c)]
+    }
+
+    /// Mutable cell access.
+    #[inline]
+    pub fn get_mut(&mut self, c: GridCoord) -> &mut T {
+        let i = self.spec.index(c);
+        &mut self.data[i]
+    }
+
+    /// The backing row-major slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// The backing row-major slice, mutably.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Iterator over `(coord, &value)` pairs, row-major.
+    pub fn iter(&self) -> impl Iterator<Item = (GridCoord, &T)> + '_ {
+        self.data
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (self.spec.coord_of_index(i), v))
+    }
+
+    /// Maps every cell through `f`, producing a raster of a new type over
+    /// the same spec.
+    pub fn map<U>(&self, mut f: impl FnMut(&T) -> U) -> GridMap<U> {
+        GridMap {
+            spec: self.spec,
+            data: self.data.iter().map(|v| f(v)).collect(),
+        }
+    }
+}
+
+impl GridMap<f64> {
+    /// Minimum and maximum finite values, or `None` if no cell is finite.
+    pub fn finite_range(&self) -> Option<(f64, f64)> {
+        let mut range: Option<(f64, f64)> = None;
+        for &v in &self.data {
+            if v.is_finite() {
+                let (lo, hi) = range.get_or_insert((v, v));
+                if v < *lo {
+                    *lo = v;
+                }
+                if v > *hi {
+                    *hi = v;
+                }
+            }
+        }
+        range
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> GridSpec {
+        GridSpec::new(PointM::new(-500.0, -500.0), 100.0, 10, 8)
+    }
+
+    #[test]
+    fn index_bijection() {
+        let s = spec();
+        for i in 0..s.len() {
+            assert_eq!(s.index(s.coord_of_index(i)), i);
+        }
+    }
+
+    #[test]
+    fn center_and_point_roundtrip() {
+        let s = spec();
+        for c in s.coords() {
+            assert_eq!(s.coord_of_point(s.center_of(c)), Some(c));
+        }
+    }
+
+    #[test]
+    fn out_of_bounds_point_is_none() {
+        let s = spec();
+        assert_eq!(s.coord_of_point(PointM::new(-501.0, 0.0)), None);
+        assert_eq!(s.coord_of_point(PointM::new(501.0, 0.0)), None);
+        assert_eq!(s.coord_of_point(PointM::new(0.0, 300.1)), None);
+    }
+
+    #[test]
+    fn centered_spec_covers_span() {
+        let s = GridSpec::centered(PointM::new(0.0, 0.0), 100.0, 3000.0);
+        assert_eq!(s.width, 30);
+        assert_eq!(s.height, 30);
+        assert!(s.coord_of_point(PointM::new(-1499.0, 1499.0)).is_some());
+    }
+
+    #[test]
+    fn window_clipping() {
+        let s = spec();
+        let w = s.window_around(PointM::new(-500.0, -500.0), 400.0);
+        assert_eq!(w.x0, 0);
+        assert_eq!(w.y0, 0);
+        assert_eq!(w.x1, 2);
+        assert_eq!(w.y1, 2);
+        let full = s.window_around(PointM::new(0.0, 0.0), 1e9);
+        assert_eq!(full, s.full_window());
+    }
+
+    #[test]
+    fn window_coords_count_matches_len() {
+        let w = GridWindow {
+            x0: 2,
+            y0: 1,
+            x1: 5,
+            y1: 4,
+        };
+        assert_eq!(w.coords().count(), w.len());
+        assert_eq!(w.len(), 9);
+        assert!(w.contains(GridCoord::new(2, 1)));
+        assert!(!w.contains(GridCoord::new(5, 1)));
+    }
+
+    #[test]
+    fn window_intersection() {
+        let a = GridWindow { x0: 0, y0: 0, x1: 5, y1: 5 };
+        let b = GridWindow { x0: 3, y0: 4, x1: 9, y1: 9 };
+        let i = a.intersect(&b);
+        assert_eq!(i, GridWindow { x0: 3, y0: 4, x1: 5, y1: 5 });
+        let disjoint = GridWindow { x0: 6, y0: 6, x1: 7, y1: 7 };
+        assert!(a.intersect(&disjoint).is_empty());
+    }
+
+    #[test]
+    fn gridmap_from_fn_and_access() {
+        let s = spec();
+        let m = GridMap::from_fn(s, |c| (c.x + 10 * c.y) as f64);
+        assert_eq!(*m.get(GridCoord::new(3, 2)), 23.0);
+        let doubled = m.map(|v| v * 2.0);
+        assert_eq!(*doubled.get(GridCoord::new(3, 2)), 46.0);
+    }
+
+    #[test]
+    fn finite_range_skips_non_finite() {
+        let s = GridSpec::new(PointM::new(0.0, 0.0), 1.0, 2, 2);
+        let m = GridMap::from_vec(s, vec![f64::NEG_INFINITY, 1.0, 5.0, f64::NAN]);
+        assert_eq!(m.finite_range(), Some((1.0, 5.0)));
+        let empty = GridMap::from_vec(s, vec![f64::NAN; 4]);
+        assert_eq!(empty.finite_range(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "raster data length mismatch")]
+    fn from_vec_length_mismatch_panics() {
+        let s = spec();
+        let _ = GridMap::from_vec(s, vec![0.0; 3]);
+    }
+}

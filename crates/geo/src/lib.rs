@@ -1,0 +1,29 @@
+//! Planar geometry, raster grids, and radio-unit arithmetic for the Magus
+//! reproduction.
+//!
+//! The Magus model (paper §4.1) partitions geography into rectangular grids
+//! of 100 m × 100 m cells and reasons about per-cell path loss (dB),
+//! received power (dBm), and interference sums (linear milliwatts). This
+//! crate provides the shared vocabulary for all of that:
+//!
+//! * [`units`] — strongly-typed decibel/linear power arithmetic ([`Db`],
+//!   [`Dbm`], [`MilliWatt`]) so that "adding two dBm values" is a compile
+//!   error rather than a silent bug.
+//! * [`geometry`] — planar points, distances, and bearings in meters. The
+//!   paper's areas (10 km × 10 km tuning areas inside 30 km × 30 km
+//!   analysis regions, 60 km × 60 km path-loss windows) are small enough
+//!   that a local tangent plane is exact for our purposes.
+//! * [`grid`] — [`GridSpec`]/[`GridMap`] rasters with georeferencing,
+//!   mirroring the Atoll-style per-sector path-loss matrices Magus
+//!   consumes.
+//!
+//! Everything here is deterministic, `no_std`-friendly in spirit (we use
+//! `std` for convenience), and free of I/O.
+
+pub mod geometry;
+pub mod grid;
+pub mod units;
+
+pub use geometry::{Bearing, PointM};
+pub use grid::{GridCoord, GridMap, GridSpec, GridWindow};
+pub use units::{Db, Dbm, MilliWatt};

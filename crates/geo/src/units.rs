@@ -1,0 +1,347 @@
+//! Strongly-typed radio units.
+//!
+//! Three distinct quantities appear throughout the Magus model and are easy
+//! to confuse when all of them are bare `f64`s:
+//!
+//! * **Relative decibels** ([`Db`]) — path loss, antenna gain, power deltas.
+//! * **Absolute power in dBm** ([`Dbm`]) — transmit power, received power,
+//!   noise floor.
+//! * **Linear power in milliwatts** ([`MilliWatt`]) — the only domain in
+//!   which powers may be *summed* (interference accumulation in the SINR
+//!   denominator of paper Formula 2).
+//!
+//! The arithmetic impls encode the physically meaningful operations:
+//! `Dbm + Db = Dbm` (apply a gain/loss), `Dbm - Dbm = Db` (a ratio),
+//! `MilliWatt + MilliWatt = MilliWatt` (incoherent power sum). Adding two
+//! `Dbm` values does not compile.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A relative quantity in decibels (a pure ratio, e.g. path loss or a power
+/// adjustment step).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Db(pub f64);
+
+/// An absolute power level in dBm (decibels relative to one milliwatt).
+///
+/// ```
+/// use magus_geo::{Db, Dbm};
+/// let tx = Dbm(43.0);                  // sector transmit power
+/// let path_loss = Db(-120.0);          // paper Formula 1 convention
+/// let rp = tx + path_loss;             // received power
+/// assert_eq!(rp, Dbm(-77.0));
+/// // Powers are summed in linear milliwatts, never in dB:
+/// let total = rp.to_milliwatt() + rp.to_milliwatt();
+/// assert!((total.to_dbm().0 - (-77.0 + 3.0103)).abs() < 1e-4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Dbm(pub f64);
+
+/// An absolute power level in linear milliwatts.
+///
+/// This is the only representation in which adding powers is physically
+/// meaningful, so interference sums are accumulated here.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct MilliWatt(pub f64);
+
+impl Db {
+    /// The zero adjustment (0 dB = unity gain).
+    pub const ZERO: Db = Db(0.0);
+
+    /// Converts this ratio to its linear factor: `10^(dB/10)`.
+    #[inline]
+    pub fn linear_factor(self) -> f64 {
+        10f64.powf(self.0 / 10.0)
+    }
+
+    /// Builds a `Db` from a linear power ratio.
+    ///
+    /// Returns negative infinity dB for a non-positive ratio, mirroring the
+    /// convention that zero power is "infinitely attenuated".
+    #[inline]
+    pub fn from_linear_factor(ratio: f64) -> Db {
+        if ratio <= 0.0 {
+            Db(f64::NEG_INFINITY)
+        } else {
+            Db(10.0 * ratio.log10())
+        }
+    }
+
+    /// Absolute value of the adjustment.
+    #[inline]
+    pub fn abs(self) -> Db {
+        Db(self.0.abs())
+    }
+
+    /// `true` if the value is finite (not ±∞ or NaN).
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+}
+
+impl Dbm {
+    /// A conventional "no signal" floor, far below any modeled noise level.
+    pub const FLOOR: Dbm = Dbm(-300.0);
+
+    /// Converts to linear milliwatts: `10^(dBm/10)`.
+    #[inline]
+    pub fn to_milliwatt(self) -> MilliWatt {
+        MilliWatt(10f64.powf(self.0 / 10.0))
+    }
+
+    /// `true` if the value is finite (not ±∞ or NaN).
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+
+    /// Clamps this power level into `[lo, hi]`.
+    #[inline]
+    pub fn clamp(self, lo: Dbm, hi: Dbm) -> Dbm {
+        Dbm(self.0.clamp(lo.0, hi.0))
+    }
+
+    /// The larger of two power levels.
+    #[inline]
+    pub fn max(self, other: Dbm) -> Dbm {
+        if other.0 > self.0 {
+            other
+        } else {
+            self
+        }
+    }
+}
+
+impl MilliWatt {
+    /// Zero power.
+    pub const ZERO: MilliWatt = MilliWatt(0.0);
+
+    /// Converts back to dBm. Non-positive powers map to [`Dbm::FLOOR`]
+    /// rather than −∞ so downstream comparisons stay total.
+    #[inline]
+    pub fn to_dbm(self) -> Dbm {
+        if self.0 <= 0.0 {
+            Dbm::FLOOR
+        } else {
+            Dbm(10.0 * self.0.log10())
+        }
+    }
+
+    /// Saturating subtraction: never goes below zero. Used when removing a
+    /// contribution from an interference sum where floating-point error
+    /// could otherwise produce a tiny negative power.
+    #[inline]
+    pub fn saturating_sub(self, other: MilliWatt) -> MilliWatt {
+        MilliWatt((self.0 - other.0).max(0.0))
+    }
+}
+
+impl Add for Db {
+    type Output = Db;
+    #[inline]
+    fn add(self, rhs: Db) -> Db {
+        Db(self.0 + rhs.0)
+    }
+}
+impl Sub for Db {
+    type Output = Db;
+    #[inline]
+    fn sub(self, rhs: Db) -> Db {
+        Db(self.0 - rhs.0)
+    }
+}
+impl Neg for Db {
+    type Output = Db;
+    #[inline]
+    fn neg(self) -> Db {
+        Db(-self.0)
+    }
+}
+impl Mul<f64> for Db {
+    type Output = Db;
+    #[inline]
+    fn mul(self, rhs: f64) -> Db {
+        Db(self.0 * rhs)
+    }
+}
+impl AddAssign for Db {
+    #[inline]
+    fn add_assign(&mut self, rhs: Db) {
+        self.0 += rhs.0;
+    }
+}
+impl SubAssign for Db {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Db) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Add<Db> for Dbm {
+    type Output = Dbm;
+    #[inline]
+    fn add(self, rhs: Db) -> Dbm {
+        Dbm(self.0 + rhs.0)
+    }
+}
+impl Sub<Db> for Dbm {
+    type Output = Dbm;
+    #[inline]
+    fn sub(self, rhs: Db) -> Dbm {
+        Dbm(self.0 - rhs.0)
+    }
+}
+impl Sub<Dbm> for Dbm {
+    type Output = Db;
+    #[inline]
+    fn sub(self, rhs: Dbm) -> Db {
+        Db(self.0 - rhs.0)
+    }
+}
+impl AddAssign<Db> for Dbm {
+    #[inline]
+    fn add_assign(&mut self, rhs: Db) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Add for MilliWatt {
+    type Output = MilliWatt;
+    #[inline]
+    fn add(self, rhs: MilliWatt) -> MilliWatt {
+        MilliWatt(self.0 + rhs.0)
+    }
+}
+impl Sub for MilliWatt {
+    type Output = MilliWatt;
+    #[inline]
+    fn sub(self, rhs: MilliWatt) -> MilliWatt {
+        MilliWatt(self.0 - rhs.0)
+    }
+}
+impl AddAssign for MilliWatt {
+    #[inline]
+    fn add_assign(&mut self, rhs: MilliWatt) {
+        self.0 += rhs.0;
+    }
+}
+impl SubAssign for MilliWatt {
+    #[inline]
+    fn sub_assign(&mut self, rhs: MilliWatt) {
+        self.0 -= rhs.0;
+    }
+}
+impl Div for MilliWatt {
+    type Output = f64;
+    #[inline]
+    fn div(self, rhs: MilliWatt) -> f64 {
+        self.0 / rhs.0
+    }
+}
+impl Mul<f64> for MilliWatt {
+    type Output = MilliWatt;
+    #[inline]
+    fn mul(self, rhs: f64) -> MilliWatt {
+        MilliWatt(self.0 * rhs)
+    }
+}
+impl Sum for MilliWatt {
+    fn sum<I: Iterator<Item = MilliWatt>>(iter: I) -> MilliWatt {
+        MilliWatt(iter.map(|m| m.0).sum())
+    }
+}
+
+impl fmt::Display for Db {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} dB", self.0)
+    }
+}
+impl fmt::Display for Dbm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} dBm", self.0)
+    }
+}
+impl fmt::Display for MilliWatt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4} mW", self.0)
+    }
+}
+
+/// Thermal noise power over a bandwidth, at the standard −174 dBm/Hz
+/// density (290 K), plus a receiver noise figure.
+///
+/// This is the `Noise` term of paper Formula 2.
+pub fn thermal_noise(bandwidth_hz: f64, noise_figure: Db) -> Dbm {
+    Dbm(-174.0 + 10.0 * bandwidth_hz.log10()) + noise_figure
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dbm_milliwatt_roundtrip() {
+        for v in [-120.0, -60.5, 0.0, 23.0, 46.0] {
+            let d = Dbm(v);
+            let back = d.to_milliwatt().to_dbm();
+            assert!((back.0 - v).abs() < 1e-9, "{v} -> {back:?}");
+        }
+    }
+
+    #[test]
+    fn zero_milliwatt_maps_to_floor() {
+        assert_eq!(MilliWatt::ZERO.to_dbm(), Dbm::FLOOR);
+        assert_eq!(MilliWatt(-1.0).to_dbm(), Dbm::FLOOR);
+    }
+
+    #[test]
+    fn db_linear_factor() {
+        assert!((Db(10.0).linear_factor() - 10.0).abs() < 1e-12);
+        assert!((Db(3.0).linear_factor() - 1.9952623149688795).abs() < 1e-12);
+        assert!((Db::from_linear_factor(100.0).0 - 20.0).abs() < 1e-12);
+        assert_eq!(Db::from_linear_factor(0.0).0, f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn typed_arithmetic() {
+        let tx = Dbm(43.0);
+        let pl = Db(-120.0);
+        let rp = tx + pl;
+        assert!((rp.0 - (-77.0)).abs() < 1e-12);
+        let ratio = Dbm(-70.0) - Dbm(-90.0);
+        assert!((ratio.0 - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn milliwatt_sum_matches_linear_addition() {
+        let a = Dbm(-80.0).to_milliwatt();
+        let b = Dbm(-80.0).to_milliwatt();
+        let total = (a + b).to_dbm();
+        // Doubling power is +3.0103 dB.
+        assert!((total.0 - (-80.0 + 10.0 * 2f64.log10())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn saturating_sub_never_negative() {
+        let a = MilliWatt(1.0);
+        let b = MilliWatt(2.0);
+        assert_eq!(a.saturating_sub(b), MilliWatt::ZERO);
+    }
+
+    #[test]
+    fn thermal_noise_10mhz() {
+        // -174 + 10*log10(10e6) = -174 + 70 = -104 dBm, +7 dB NF = -97 dBm.
+        let n = thermal_noise(10e6, Db(7.0));
+        assert!((n.0 - (-97.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dbm_clamp_and_max() {
+        assert_eq!(Dbm(50.0).clamp(Dbm(0.0), Dbm(46.0)), Dbm(46.0));
+        assert_eq!(Dbm(-10.0).max(Dbm(5.0)), Dbm(5.0));
+    }
+}

@@ -1,0 +1,78 @@
+//! Property-based tests of the geometry/raster substrate.
+
+use magus_geo::{Db, Dbm, GridSpec, GridWindow, PointM};
+use proptest::prelude::*;
+
+proptest! {
+    /// dBm ↔ mW roundtrips across the whole plausible power range.
+    #[test]
+    fn dbm_milliwatt_roundtrip(v in -200.0..80.0f64) {
+        let back = Dbm(v).to_milliwatt().to_dbm();
+        prop_assert!((back.0 - v).abs() < 1e-9);
+    }
+
+    /// dB linear factors compose multiplicatively.
+    #[test]
+    fn db_addition_is_linear_multiplication(a in -60.0..60.0f64, b in -60.0..60.0f64) {
+        let composed = (Db(a) + Db(b)).linear_factor();
+        let product = Db(a).linear_factor() * Db(b).linear_factor();
+        prop_assert!((composed - product).abs() <= product * 1e-12);
+    }
+
+    /// Index/coordinate bijection holds for arbitrary raster shapes.
+    #[test]
+    fn grid_index_bijection(w in 1u32..80, h in 1u32..80, ox in -1e5..1e5f64, oy in -1e5..1e5f64) {
+        let spec = GridSpec::new(PointM::new(ox, oy), 100.0, w, h);
+        for i in (0..spec.len()).step_by(7) {
+            prop_assert_eq!(spec.index(spec.coord_of_index(i)), i);
+        }
+    }
+
+    /// Every cell center maps back to its own cell.
+    #[test]
+    fn center_point_roundtrip(w in 1u32..40, h in 1u32..40, cell in 10.0..500.0f64) {
+        let spec = GridSpec::new(PointM::new(-1000.0, 500.0), cell, w, h);
+        for c in spec.coords() {
+            prop_assert_eq!(spec.coord_of_point(spec.center_of(c)), Some(c));
+        }
+    }
+
+    /// A window around any interior point contains that point's cell.
+    #[test]
+    fn window_contains_its_center(x in -4000.0..4000.0f64, y in -4000.0..4000.0f64, span in 100.0..5000.0f64) {
+        let spec = GridSpec::centered(PointM::new(0.0, 0.0), 100.0, 10_000.0);
+        let p = PointM::new(x, y);
+        let w = spec.window_around(p, span);
+        let c = spec.coord_of_point(p).unwrap();
+        prop_assert!(w.contains(c), "{w:?} missing {c:?}");
+    }
+
+    /// Window intersection is commutative and shrinking.
+    #[test]
+    fn window_intersection_properties(
+        a in (0u32..50, 0u32..50, 1u32..50, 1u32..50),
+        b in (0u32..50, 0u32..50, 1u32..50, 1u32..50),
+    ) {
+        let mk = |(x0, y0, dw, dh): (u32, u32, u32, u32)| GridWindow {
+            x0, y0, x1: x0 + dw, y1: y0 + dh,
+        };
+        let (wa, wb) = (mk(a), mk(b));
+        let i1 = wa.intersect(&wb);
+        let i2 = wb.intersect(&wa);
+        prop_assert_eq!(i1, i2);
+        prop_assert!(i1.len() <= wa.len());
+        prop_assert!(i1.len() <= wb.len());
+    }
+
+    /// Bearings always normalize into [0, 360) and projection roundtrips.
+    #[test]
+    fn bearing_projection_roundtrip(deg in -720.0..720.0f64, dist in 1.0..10_000.0f64) {
+        use magus_geo::Bearing;
+        let b = Bearing::new(deg);
+        prop_assert!((0.0..360.0).contains(&b.degrees()));
+        let o = PointM::new(3.0, -7.0);
+        let p = o.project(b, dist);
+        prop_assert!((o.distance(p) - dist).abs() < 1e-6);
+        prop_assert!((o.bearing_to(p).degrees() - b.degrees()).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,134 @@
+//! SINR → CQI → MCS mapping.
+//!
+//! The Channel Quality Indicator is selected as the highest CQI whose
+//! spectral efficiency (TS 36.213 Table 7.2.3-1) does not exceed the
+//! link's achievable efficiency. Achievable efficiency is modeled with the
+//! attenuated Shannon bound `η = min(α · log2(1 + SINR), η_max)` with
+//! `α = 0.6` — the standard approximation from 3GPP TR 36.942 also used by
+//! the LENA simulator the paper cites for its SINR → MCS lookup. The
+//! ceiling is set to 5.6 bits/s/Hz, just above the CQI-15 efficiency, so
+//! the full CQI range is reachable at high SINR (a 4.x ceiling would
+//! artificially forbid 64QAM 8/9 links that real networks do use).
+
+use serde::{Deserialize, Serialize};
+
+/// A CQI value, 0–15. CQI 0 means "out of range" (no usable link).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Cqi(pub u8);
+
+/// An MCS index, 0–28 (29–31 are reserved and never produced here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Mcs(pub u8);
+
+/// Spectral efficiencies of CQI 1..=15 from TS 36.213 Table 7.2.3-1
+/// (bits/s/Hz).
+pub const CQI_EFFICIENCY: [f64; 15] = [
+    0.1523, 0.2344, 0.3770, 0.6016, 0.8770, 1.1758, 1.4766, 1.9141, 2.4063, 2.7305, 3.3223,
+    3.9023, 4.5234, 5.1152, 5.5547,
+];
+
+/// Highest MCS usable at each CQI 1..=15 (conservative downlink mapping;
+/// matches the widely used LENA/amc mapping to within one index).
+const CQI_TO_MCS: [u8; 15] = [0, 0, 2, 4, 6, 8, 11, 13, 16, 18, 21, 23, 25, 27, 28];
+
+/// Attenuated-Shannon spectral efficiency for a linear SINR.
+///
+/// `η = min(0.6 · log2(1 + sinr), 5.6)`, floored at zero for non-positive
+/// SINR.
+pub fn spectral_efficiency(sinr_linear: f64) -> f64 {
+    if sinr_linear <= 0.0 {
+        return 0.0;
+    }
+    (0.6 * (1.0 + sinr_linear).log2()).min(5.6)
+}
+
+/// Maps a linear SINR to a CQI (0 = out of range).
+pub fn cqi_from_sinr(sinr_linear: f64) -> Cqi {
+    let eff = spectral_efficiency(sinr_linear);
+    let mut cqi = 0u8;
+    for (i, &e) in CQI_EFFICIENCY.iter().enumerate() {
+        if eff >= e {
+            cqi = (i + 1) as u8;
+        } else {
+            break;
+        }
+    }
+    Cqi(cqi)
+}
+
+/// Maps a CQI to the MCS the scheduler would select.
+///
+/// Returns `None` for CQI 0 (out of range) — there is no transmittable
+/// MCS.
+pub fn mcs_from_cqi(cqi: Cqi) -> Option<Mcs> {
+    match cqi.0 {
+        0 => None,
+        c @ 1..=15 => Some(Mcs(CQI_TO_MCS[(c - 1) as usize])),
+        _ => Some(Mcs(CQI_TO_MCS[14])), // clamp malformed CQI to the top
+    }
+}
+
+/// Convenience: SINR in dB → CQI.
+pub fn cqi_from_sinr_db(sinr_db: f64) -> Cqi {
+    cqi_from_sinr(10f64.powf(sinr_db / 10.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiency_monotone_and_capped() {
+        let mut prev = 0.0;
+        for i in 0..200 {
+            let sinr = 10f64.powf((i as f64 - 100.0) / 10.0);
+            let e = spectral_efficiency(sinr);
+            assert!(e >= prev, "efficiency decreased at {i}");
+            prev = e;
+        }
+        assert_eq!(spectral_efficiency(1e12), 5.6);
+        assert_eq!(spectral_efficiency(0.0), 0.0);
+        assert_eq!(spectral_efficiency(-1.0), 0.0);
+    }
+
+    #[test]
+    fn cqi_monotone_in_sinr() {
+        let mut prev = Cqi(0);
+        for db in -200..=400 {
+            let c = cqi_from_sinr_db(db as f64 / 10.0);
+            assert!(c >= prev, "CQI decreased at {db}");
+            prev = c;
+        }
+        assert_eq!(prev, Cqi(15));
+    }
+
+    #[test]
+    fn cqi_thresholds_sane() {
+        // Around -7 dB the link becomes usable (CQI 1); well below, CQI 0.
+        assert_eq!(cqi_from_sinr_db(-15.0), Cqi(0));
+        assert!(cqi_from_sinr_db(-5.0) >= Cqi(1));
+        // 20 dB is a strong link.
+        assert!(cqi_from_sinr_db(20.0) >= Cqi(11));
+    }
+
+    #[test]
+    fn mcs_mapping() {
+        assert_eq!(mcs_from_cqi(Cqi(0)), None);
+        assert_eq!(mcs_from_cqi(Cqi(1)), Some(Mcs(0)));
+        assert_eq!(mcs_from_cqi(Cqi(15)), Some(Mcs(28)));
+        // Monotone.
+        let mut prev = Mcs(0);
+        for c in 1..=15u8 {
+            let m = mcs_from_cqi(Cqi(c)).unwrap();
+            assert!(m >= prev);
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn cqi_efficiencies_strictly_increasing() {
+        for w in CQI_EFFICIENCY.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! 3GPP LTE link adaptation for the Magus reproduction.
+//!
+//! The paper (§4.1) maps a grid's SINR to a user rate through the standard
+//! LTE lookup chain:
+//!
+//! > "we look up the corresponding Modulation and Coding Scheme (MCS)
+//! > index for a given SINR value, and then look up the Transport Block
+//! > Size (TBS) index (TS 36.213 Table 7.1.7.1-1) and finally the
+//! > Transport Block Size (Table 7.1.7.2.1-1) to map the SINR to the rate."
+//!
+//! This crate implements exactly that chain:
+//!
+//! * [`cqi`] — SINR → CQI (attenuated-Shannon efficiency match against the
+//!   TS 36.213 Table 7.2.3-1 efficiencies, the approximation used by the
+//!   LENA simulator the paper cites) and CQI → MCS.
+//! * [`tbs`] — MCS → TBS index (Table 7.1.7.1-1) and TBS index × PRB count
+//!   → transport block size in bits (Table 7.1.7.2.1-1, standard
+//!   bandwidth columns).
+//! * [`rate`] — the composed [`RateMapper`]: SINR → bits/s for a given
+//!   channel bandwidth, including the out-of-service threshold
+//!   [`SINR_MIN_DB`] below which the paper sets `r_max(g) = 0`.
+
+pub mod cqi;
+pub mod rate;
+pub mod tbs;
+
+pub use cqi::{cqi_from_sinr, mcs_from_cqi, spectral_efficiency, Cqi, Mcs};
+pub use rate::{Bandwidth, RateMapper, SINR_MIN_DB};
+pub use tbs::{itbs_from_mcs, transport_block_bits, TbsIndex, MAX_ITBS};

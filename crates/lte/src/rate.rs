@@ -1,0 +1,190 @@
+//! The composed SINR → rate mapping of paper §4.1.
+//!
+//! [`RateMapper`] walks the full chain — SINR → CQI → MCS → `I_TBS` → TBS
+//! → bits/s — for a fixed channel bandwidth, with the paper's
+//! out-of-service rule: below `SINR_min` the grid is out of service and
+//! `r_max(g) = 0`.
+
+use crate::cqi::{cqi_from_sinr, mcs_from_cqi};
+use crate::tbs::{itbs_from_mcs, transport_block_bits};
+use serde::{Deserialize, Serialize};
+
+/// The minimum-service SINR threshold in dB (paper §4.1: "There is a SINR
+/// threshold SINR_min to provide the minimum service").
+///
+/// −6.5 dB is the conventional LTE cell-edge QPSK 1/8 operating point and
+/// sits just above the CQI-1 threshold of the attenuated Shannon mapping.
+pub const SINR_MIN_DB: f64 = -6.5;
+
+/// LTE channel bandwidths and their PRB counts (TS 36.101).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Bandwidth {
+    /// 1.4 MHz, 6 PRBs.
+    Mhz1_4,
+    /// 3 MHz, 15 PRBs.
+    Mhz3,
+    /// 5 MHz, 25 PRBs.
+    Mhz5,
+    /// 10 MHz, 50 PRBs — the paper's single-carrier evaluation bandwidth
+    /// and its testbed's experimental license bandwidth.
+    Mhz10,
+    /// 15 MHz, 75 PRBs.
+    Mhz15,
+    /// 20 MHz, 100 PRBs.
+    Mhz20,
+}
+
+impl Bandwidth {
+    /// Number of physical resource blocks.
+    pub fn n_prb(self) -> u32 {
+        match self {
+            Bandwidth::Mhz1_4 => 6,
+            Bandwidth::Mhz3 => 15,
+            Bandwidth::Mhz5 => 25,
+            Bandwidth::Mhz10 => 50,
+            Bandwidth::Mhz15 => 75,
+            Bandwidth::Mhz20 => 100,
+        }
+    }
+
+    /// Occupied bandwidth in Hz (used for the thermal-noise term of the
+    /// SINR denominator). This is the transmission bandwidth
+    /// (PRBs × 180 kHz), not the nominal channel spacing.
+    pub fn hz(self) -> f64 {
+        self.n_prb() as f64 * 180e3
+    }
+}
+
+/// Maps SINR to achievable downlink rate for a fixed bandwidth.
+///
+/// ```
+/// use magus_lte::{Bandwidth, RateMapper};
+/// let m = RateMapper::new(Bandwidth::Mhz10);
+/// assert_eq!(m.max_rate_bps_db(-20.0), 0.0);            // out of service
+/// assert!(m.max_rate_bps_db(10.0) > 5_000_000.0);       // mid-cell
+/// assert_eq!(m.max_rate_bps_db(35.0), 36_696_000.0);    // I_TBS 26 peak
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RateMapper {
+    bandwidth: Bandwidth,
+    sinr_min_linear: f64,
+}
+
+impl RateMapper {
+    /// Creates a mapper with the default [`SINR_MIN_DB`] service
+    /// threshold.
+    pub fn new(bandwidth: Bandwidth) -> RateMapper {
+        RateMapper::with_sinr_min(bandwidth, SINR_MIN_DB)
+    }
+
+    /// Creates a mapper with a custom service threshold in dB.
+    ///
+    /// The paper intentionally chooses a *high* threshold when rendering
+    /// coverage maps (Fig. 4) "to show the clear difference between grids
+    /// that receive good service and other grids"; experiments use the
+    /// default.
+    pub fn with_sinr_min(bandwidth: Bandwidth, sinr_min_db: f64) -> RateMapper {
+        RateMapper {
+            bandwidth,
+            sinr_min_linear: 10f64.powf(sinr_min_db / 10.0),
+        }
+    }
+
+    /// The mapper's bandwidth.
+    pub fn bandwidth(self) -> Bandwidth {
+        self.bandwidth
+    }
+
+    /// The service threshold as a linear SINR.
+    pub fn sinr_min_linear(self) -> f64 {
+        self.sinr_min_linear
+    }
+
+    /// Maximum sustainable rate in bits/s for a *linear* SINR — the
+    /// paper's `r_max(g)`: full-buffer single-user rate at 1 TTI/ms.
+    ///
+    /// Returns 0.0 below the service threshold (grid out of service).
+    pub fn max_rate_bps(self, sinr_linear: f64) -> f64 {
+        if sinr_linear < self.sinr_min_linear || !sinr_linear.is_finite() {
+            return 0.0;
+        }
+        let cqi = cqi_from_sinr(sinr_linear);
+        let Some(mcs) = mcs_from_cqi(cqi) else {
+            return 0.0;
+        };
+        let Some(itbs) = itbs_from_mcs(mcs) else {
+            return 0.0;
+        };
+        // One transport block per 1 ms TTI.
+        transport_block_bits(itbs, self.bandwidth.n_prb()) as f64 * 1000.0
+    }
+
+    /// Convenience: rate for a SINR in dB.
+    pub fn max_rate_bps_db(self, sinr_db: f64) -> f64 {
+        self.max_rate_bps(10f64.powf(sinr_db / 10.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn below_threshold_is_out_of_service() {
+        let m = RateMapper::new(Bandwidth::Mhz10);
+        assert_eq!(m.max_rate_bps_db(-7.0), 0.0);
+        assert_eq!(m.max_rate_bps_db(-40.0), 0.0);
+        assert!(m.max_rate_bps_db(-6.0) > 0.0);
+    }
+
+    #[test]
+    fn rate_monotone_in_sinr() {
+        let m = RateMapper::new(Bandwidth::Mhz10);
+        let mut prev = 0.0;
+        for db in -100..=400 {
+            let r = m.max_rate_bps_db(db as f64 / 10.0);
+            assert!(r >= prev, "rate decreased at {} dB", db as f64 / 10.0);
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn peak_rates_match_expectations() {
+        // 10 MHz single layer peaks at I_TBS 26, 50 PRB = 36,696 bits/ms
+        // ≈ 36.7 Mbps; 20 MHz at 75.4 Mbps.
+        let m10 = RateMapper::new(Bandwidth::Mhz10);
+        assert_eq!(m10.max_rate_bps_db(35.0), 36_696_000.0);
+        let m20 = RateMapper::new(Bandwidth::Mhz20);
+        assert_eq!(m20.max_rate_bps_db(35.0), 75_376_000.0);
+    }
+
+    #[test]
+    fn wider_bandwidth_never_slower() {
+        let m10 = RateMapper::new(Bandwidth::Mhz10);
+        let m20 = RateMapper::new(Bandwidth::Mhz20);
+        for db in [-5.0, 0.0, 5.0, 10.0, 20.0, 30.0] {
+            assert!(m20.max_rate_bps_db(db) >= m10.max_rate_bps_db(db));
+        }
+    }
+
+    #[test]
+    fn custom_threshold_shifts_cutoff() {
+        let strict = RateMapper::with_sinr_min(Bandwidth::Mhz10, 5.0);
+        assert_eq!(strict.max_rate_bps_db(4.0), 0.0);
+        assert!(strict.max_rate_bps_db(6.0) > 0.0);
+    }
+
+    #[test]
+    fn non_finite_sinr_is_zero_rate() {
+        let m = RateMapper::new(Bandwidth::Mhz10);
+        assert_eq!(m.max_rate_bps(f64::NAN), 0.0);
+        assert_eq!(m.max_rate_bps(f64::INFINITY), 0.0);
+    }
+
+    #[test]
+    fn bandwidth_prbs_and_hz() {
+        assert_eq!(Bandwidth::Mhz10.n_prb(), 50);
+        assert_eq!(Bandwidth::Mhz10.hz(), 9e6);
+        assert_eq!(Bandwidth::Mhz1_4.n_prb(), 6);
+    }
+}

@@ -1,0 +1,186 @@
+//! Transport block size tables (TS 36.213 §7.1.7).
+//!
+//! Two lookups, exactly as the paper describes:
+//!
+//! 1. MCS index → TBS index `I_TBS` (Table 7.1.7.1-1).
+//! 2. `(I_TBS, N_PRB)` → transport block size in bits (Table 7.1.7.2.1-1).
+//!
+//! The full 3GPP TBS table has 110 PRB columns; we carry the columns for
+//! the six standard LTE channel bandwidths (6, 15, 25, 50, 75, 100 PRBs —
+//! i.e. 1.4/3/5/10/15/20 MHz), which is all any experiment in the paper
+//! needs. For intermediate PRB allocations (used by the testbed's MAC
+//! scheduler when splitting a subframe), [`transport_block_bits`]
+//! interpolates linearly between columns — TBS is near-linear in N_PRB by
+//! construction, so the interpolation error is far below scheduling noise.
+
+use crate::cqi::Mcs;
+use serde::{Deserialize, Serialize};
+
+/// A TBS index `I_TBS`, 0..=26.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TbsIndex(pub u8);
+
+/// Largest valid TBS index.
+pub const MAX_ITBS: u8 = 26;
+
+/// PRB column headers of [`TBS_TABLE`].
+pub const TBS_PRB_COLUMNS: [u32; 6] = [6, 15, 25, 50, 75, 100];
+
+/// Transport block sizes in bits: rows are `I_TBS` 0..=26, columns are
+/// [`TBS_PRB_COLUMNS`]. Values from TS 36.213 Table 7.1.7.2.1-1.
+pub const TBS_TABLE: [[u32; 6]; 27] = [
+    [152, 392, 680, 1_384, 2_088, 2_792],
+    [208, 520, 904, 1_800, 2_728, 3_624],
+    [256, 648, 1_096, 2_216, 3_368, 4_584],
+    [328, 872, 1_416, 2_856, 4_392, 5_736],
+    [408, 1_064, 1_800, 3_624, 5_352, 7_224],
+    [504, 1_320, 2_216, 4_392, 6_712, 8_760],
+    [600, 1_544, 2_600, 5_160, 7_736, 10_296],
+    [712, 1_800, 3_112, 6_200, 9_144, 12_216],
+    [808, 2_088, 3_496, 6_968, 10_680, 14_112],
+    [936, 2_344, 4_008, 7_992, 11_832, 15_840],
+    [1_032, 2_664, 4_392, 8_760, 12_960, 17_568],
+    [1_192, 2_984, 4_968, 9_912, 14_688, 19_848],
+    [1_352, 3_368, 5_736, 11_448, 16_992, 22_920],
+    [1_544, 3_880, 6_456, 12_960, 19_080, 25_456],
+    [1_736, 4_264, 7_224, 14_112, 21_384, 28_336],
+    [1_800, 4_584, 7_736, 15_264, 22_920, 30_576],
+    [1_928, 4_968, 7_992, 16_416, 24_496, 32_856],
+    [2_152, 5_352, 9_144, 18_336, 27_376, 36_696],
+    [2_344, 5_992, 9_912, 19_848, 29_296, 39_232],
+    [2_600, 6_456, 10_680, 21_384, 32_856, 43_816],
+    [2_792, 6_712, 11_448, 22_920, 35_160, 46_888],
+    [2_984, 7_480, 12_576, 25_456, 37_888, 51_024],
+    [3_240, 7_992, 13_536, 27_376, 40_576, 55_056],
+    [3_496, 8_504, 14_112, 28_336, 42_368, 57_336],
+    [3_752, 9_144, 15_264, 30_576, 46_888, 61_664],
+    [4_008, 9_528, 15_840, 31_704, 47_736, 63_776],
+    [4_584, 11_064, 18_336, 36_696, 55_056, 75_376],
+];
+
+/// MCS → TBS index per TS 36.213 Table 7.1.7.1-1.
+///
+/// Returns `None` for reserved MCS indices (29–31).
+pub fn itbs_from_mcs(mcs: Mcs) -> Option<TbsIndex> {
+    let i = match mcs.0 {
+        m @ 0..=9 => m,             // QPSK
+        m @ 10..=16 => m - 1,       // 16QAM
+        m @ 17..=28 => m - 2,       // 64QAM
+        _ => return None,           // reserved
+    };
+    Some(TbsIndex(i))
+}
+
+/// Transport block size in bits for `(itbs, n_prb)`.
+///
+/// Exact at the standard bandwidth columns; linearly interpolated between
+/// them (and proportionally extrapolated below 6 PRBs). Returns 0 for a
+/// zero-PRB allocation.
+pub fn transport_block_bits(itbs: TbsIndex, n_prb: u32) -> u32 {
+    assert!(itbs.0 <= MAX_ITBS, "invalid I_TBS {}", itbs.0);
+    if n_prb == 0 {
+        return 0;
+    }
+    let row = &TBS_TABLE[itbs.0 as usize];
+    let n = n_prb.min(*TBS_PRB_COLUMNS.last().unwrap());
+    // Below the first column: scale proportionally from the 6-PRB entry.
+    if n <= TBS_PRB_COLUMNS[0] {
+        return ((row[0] as f64) * n as f64 / TBS_PRB_COLUMNS[0] as f64).round() as u32;
+    }
+    // Find the bracketing columns.
+    for w in 0..TBS_PRB_COLUMNS.len() - 1 {
+        let (c0, c1) = (TBS_PRB_COLUMNS[w], TBS_PRB_COLUMNS[w + 1]);
+        if n <= c1 {
+            let t = (n - c0) as f64 / (c1 - c0) as f64;
+            return (row[w] as f64 + (row[w + 1] as f64 - row[w] as f64) * t).round() as u32;
+        }
+    }
+    row[TBS_PRB_COLUMNS.len() - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn itbs_mapping_matches_standard_shape() {
+        assert_eq!(itbs_from_mcs(Mcs(0)), Some(TbsIndex(0)));
+        assert_eq!(itbs_from_mcs(Mcs(9)), Some(TbsIndex(9)));
+        assert_eq!(itbs_from_mcs(Mcs(10)), Some(TbsIndex(9))); // modulation switch
+        assert_eq!(itbs_from_mcs(Mcs(16)), Some(TbsIndex(15)));
+        assert_eq!(itbs_from_mcs(Mcs(17)), Some(TbsIndex(15))); // modulation switch
+        assert_eq!(itbs_from_mcs(Mcs(28)), Some(TbsIndex(26)));
+        assert_eq!(itbs_from_mcs(Mcs(29)), None);
+        assert_eq!(itbs_from_mcs(Mcs(31)), None);
+    }
+
+    #[test]
+    fn tbs_table_rows_monotone_in_itbs() {
+        for col in 0..TBS_PRB_COLUMNS.len() {
+            for r in 0..TBS_TABLE.len() - 1 {
+                assert!(
+                    TBS_TABLE[r + 1][col] >= TBS_TABLE[r][col],
+                    "column {col} not monotone at row {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tbs_table_rows_monotone_in_prb() {
+        for (r, row) in TBS_TABLE.iter().enumerate() {
+            for w in row.windows(2) {
+                assert!(w[1] > w[0], "row {r} not monotone in PRB");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_at_columns() {
+        assert_eq!(transport_block_bits(TbsIndex(26), 100), 75_376);
+        assert_eq!(transport_block_bits(TbsIndex(0), 6), 152);
+        assert_eq!(transport_block_bits(TbsIndex(9), 50), 7_992);
+    }
+
+    #[test]
+    fn interpolation_between_columns() {
+        let at_25 = transport_block_bits(TbsIndex(10), 25);
+        let at_50 = transport_block_bits(TbsIndex(10), 50);
+        let mid = transport_block_bits(TbsIndex(10), 37); // ~48% of the way
+        assert!(mid > at_25 && mid < at_50, "{at_25} < {mid} < {at_50}");
+    }
+
+    #[test]
+    fn small_allocations_scale_down() {
+        let one = transport_block_bits(TbsIndex(5), 1);
+        let six = transport_block_bits(TbsIndex(5), 6);
+        assert!(one > 0 && one < six);
+        assert_eq!(transport_block_bits(TbsIndex(5), 0), 0);
+    }
+
+    #[test]
+    fn interpolated_tbs_monotone_in_prb() {
+        for itbs in [0u8, 9, 15, 26] {
+            let mut prev = 0;
+            for prb in 1..=100 {
+                let v = transport_block_bits(TbsIndex(itbs), prb);
+                assert!(v >= prev, "I_TBS {itbs} decreased at {prb} PRB");
+                prev = v;
+            }
+        }
+    }
+
+    #[test]
+    fn clamps_above_100_prb() {
+        assert_eq!(
+            transport_block_bits(TbsIndex(4), 110),
+            transport_block_bits(TbsIndex(4), 100)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid I_TBS")]
+    fn invalid_itbs_panics() {
+        transport_block_bits(TbsIndex(27), 50);
+    }
+}

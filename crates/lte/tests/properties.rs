@@ -1,0 +1,69 @@
+//! Property-based tests of the LTE link-adaptation chain.
+
+use magus_lte::{
+    cqi_from_sinr, itbs_from_mcs, mcs_from_cqi, transport_block_bits, Bandwidth, Mcs,
+    RateMapper, TbsIndex, MAX_ITBS,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// The full SINR → rate chain is monotone non-decreasing.
+    #[test]
+    fn rate_chain_monotone(a in -30.0..45.0f64, b in -30.0..45.0f64) {
+        let m = RateMapper::new(Bandwidth::Mhz10);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(m.max_rate_bps_db(lo) <= m.max_rate_bps_db(hi));
+    }
+
+    /// CQI selection is monotone in SINR.
+    #[test]
+    fn cqi_monotone(a in 0.0..10_000.0f64, b in 0.0..10_000.0f64) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(cqi_from_sinr(lo) <= cqi_from_sinr(hi));
+    }
+
+    /// TBS is monotone in PRBs for every valid I_TBS, including between
+    /// the 3GPP table columns (interpolated region).
+    #[test]
+    fn tbs_monotone_in_prb(itbs in 0u8..=26, p in 1u32..100) {
+        let t = TbsIndex(itbs);
+        prop_assert!(transport_block_bits(t, p) <= transport_block_bits(t, p + 1));
+    }
+
+    /// TBS is monotone in I_TBS for every PRB allocation.
+    #[test]
+    fn tbs_monotone_in_itbs(itbs in 0u8..26, prb in 1u32..=100) {
+        prop_assert!(
+            transport_block_bits(TbsIndex(itbs), prb)
+                <= transport_block_bits(TbsIndex(itbs + 1), prb)
+        );
+    }
+
+    /// Every non-reserved MCS maps into the valid I_TBS range, and the
+    /// mapping is monotone.
+    #[test]
+    fn mcs_to_itbs_valid_and_monotone(m in 0u8..28) {
+        let a = itbs_from_mcs(Mcs(m)).expect("valid MCS");
+        let b = itbs_from_mcs(Mcs(m + 1)).expect("valid MCS");
+        prop_assert!(a.0 <= MAX_ITBS && b.0 <= MAX_ITBS);
+        prop_assert!(a <= b);
+    }
+
+    /// CQI → MCS never produces a reserved index.
+    #[test]
+    fn cqi_to_mcs_never_reserved(sinr in 0.0..100_000.0f64) {
+        if let Some(m) = mcs_from_cqi(cqi_from_sinr(sinr)) {
+            prop_assert!(m.0 <= 28);
+            prop_assert!(itbs_from_mcs(m).is_some());
+        }
+    }
+
+    /// Wider bandwidths never reduce the rate at equal SINR.
+    #[test]
+    fn bandwidth_ordering(db in -10.0..40.0f64) {
+        let r5 = RateMapper::new(Bandwidth::Mhz5).max_rate_bps_db(db);
+        let r10 = RateMapper::new(Bandwidth::Mhz10).max_rate_bps_db(db);
+        let r20 = RateMapper::new(Bandwidth::Mhz20).max_rate_bps_db(db);
+        prop_assert!(r5 <= r10 && r10 <= r20);
+    }
+}

@@ -1,0 +1,701 @@
+//! The evaluation engine: from-scratch builds, incremental application of
+//! configuration changes, exact undo, and hypothetical single-grid
+//! queries.
+
+use crate::state::{ModelState, Undo, NO_SECTOR};
+use magus_geo::{Dbm, GridWindow};
+use magus_lte::RateMapper;
+use magus_net::{ConfigChange, Configuration, Network, SectorId, UeLayer};
+use magus_propagation::{PathLossMatrix, PathLossStore};
+use std::sync::Arc;
+
+#[inline]
+fn dbm_to_mw(dbm: f64) -> f64 {
+    10f64.powf(dbm / 10.0)
+}
+
+/// The analysis model: immutable inputs plus the evaluation engine.
+pub struct Evaluator {
+    store: Arc<PathLossStore>,
+    network: Arc<Network>,
+    rate: RateMapper,
+    noise_mw: f64,
+    ue: UeLayer,
+    /// Per grid: ids of sectors whose footprint covers it.
+    covering: Vec<Vec<u32>>,
+}
+
+impl Evaluator {
+    /// Builds an evaluator.
+    ///
+    /// * `noise` — the `Noise` term of Formula 2 (thermal + noise figure
+    ///   over the channel bandwidth).
+    /// * `ue` — the UE distribution layer (see [`magus_net::UeLayer`]).
+    pub fn new(
+        store: Arc<PathLossStore>,
+        network: Arc<Network>,
+        rate: RateMapper,
+        noise: Dbm,
+        ue: UeLayer,
+    ) -> Evaluator {
+        assert_eq!(
+            store.num_sectors(),
+            network.num_sectors(),
+            "store and network disagree on sector count"
+        );
+        assert_eq!(
+            ue.raster().spec(),
+            store.spec(),
+            "UE layer raster must match the analysis raster"
+        );
+        let spec = *store.spec();
+        let mut covering: Vec<Vec<u32>> = vec![Vec::new(); spec.len()];
+        for s in 0..store.num_sectors() as u32 {
+            for c in store.window(s).coords() {
+                covering[spec.index(c)].push(s);
+            }
+        }
+        Evaluator {
+            store,
+            network,
+            rate,
+            noise_mw: noise.to_milliwatt().0,
+            ue,
+            covering,
+        }
+    }
+
+    /// The path-loss store backing this evaluator.
+    pub fn store(&self) -> &Arc<PathLossStore> {
+        &self.store
+    }
+
+    /// The network topology.
+    pub fn network(&self) -> &Arc<Network> {
+        &self.network
+    }
+
+    /// The UE layer.
+    pub fn ue_layer(&self) -> &UeLayer {
+        &self.ue
+    }
+
+    /// The rate mapper in use.
+    pub fn rate_mapper(&self) -> RateMapper {
+        self.rate
+    }
+
+    /// UEs resident in grid `i`.
+    #[inline]
+    pub fn ue_at(&self, i: usize) -> f64 {
+        self.ue.at_index(i)
+    }
+
+    /// Builds the full evaluation state for a configuration from scratch
+    /// (the expensive path — use [`Evaluator::apply`] for updates).
+    pub fn initial_state(&self, config: &Configuration) -> ModelState {
+        assert_eq!(config.len(), self.network.num_sectors());
+        let n_grids = self.store.spec().len();
+        let n_sectors = self.network.num_sectors();
+        let mut state = ModelState {
+            config: config.clone(),
+            total_mw: vec![0.0; n_grids],
+            best_idx: vec![NO_SECTOR; n_grids],
+            best_rp: vec![f32::NEG_INFINITY; n_grids],
+            rmax: vec![0.0; n_grids],
+            n_s: vec![0.0; n_sectors],
+            a_s: vec![0.0; n_sectors],
+        };
+        let spec = *self.store.spec();
+        for s in 0..n_sectors as u32 {
+            let sc = config.sector(SectorId(s));
+            if !sc.on_air {
+                continue;
+            }
+            let mat = self.store.matrix(s, sc.tilt);
+            let window = mat.window();
+            for (k, c) in window.coords().enumerate() {
+                let i = spec.index(c);
+                let rp = sc.power.0 + mat.values()[k] as f64;
+                state.total_mw[i] += dbm_to_mw(rp);
+                if rp as f32 > state.best_rp[i] {
+                    state.best_rp[i] = rp as f32;
+                    state.best_idx[i] = s as i32;
+                }
+            }
+        }
+        for i in 0..n_grids {
+            let rmax = self.cell_rmax(&state, i);
+            state.rmax[i] = rmax as f32;
+            self.add_aggregates(&mut state, i);
+        }
+        state
+    }
+
+    /// Maximum rate at grid `i` given the state's current best/total
+    /// fields.
+    fn cell_rmax(&self, state: &ModelState, i: usize) -> f64 {
+        if state.best_idx[i] == NO_SECTOR {
+            return 0.0;
+        }
+        self.rate.max_rate_bps(self.cell_sinr(state, i))
+    }
+
+    /// Linear SINR at grid `i` (Formula 2).
+    #[inline]
+    fn cell_sinr(&self, state: &ModelState, i: usize) -> f64 {
+        if state.best_idx[i] == NO_SECTOR {
+            return 0.0;
+        }
+        let signal = dbm_to_mw(state.best_rp[i] as f64);
+        let interference = (state.total_mw[i] - signal).max(0.0);
+        signal / (self.noise_mw + interference)
+    }
+
+    /// Public SINR accessor (linear).
+    pub fn sinr_linear(&self, state: &ModelState, i: usize) -> f64 {
+        self.cell_sinr(state, i)
+    }
+
+    #[inline]
+    fn sub_aggregates(&self, state: &mut ModelState, i: usize) {
+        let b = state.best_idx[i];
+        if b == NO_SECTOR || state.rmax[i] <= 0.0 {
+            return;
+        }
+        let ue = self.ue.at_index(i);
+        if ue <= 0.0 {
+            return;
+        }
+        state.n_s[b as usize] -= ue;
+        state.a_s[b as usize] -= ue * (state.rmax[i] as f64).log10();
+    }
+
+    #[inline]
+    fn add_aggregates(&self, state: &mut ModelState, i: usize) {
+        let b = state.best_idx[i];
+        if b == NO_SECTOR || state.rmax[i] <= 0.0 {
+            return;
+        }
+        let ue = self.ue.at_index(i);
+        if ue <= 0.0 {
+            return;
+        }
+        state.n_s[b as usize] += ue;
+        state.a_s[b as usize] += ue * (state.rmax[i] as f64).log10();
+    }
+
+    /// Re-derives the best server of grid `i` by scanning its covering
+    /// sectors (used when the previous best weakened).
+    fn rescan_cell(&self, state: &mut ModelState, i: usize) {
+        let mut best = NO_SECTOR;
+        let mut best_rp = f32::NEG_INFINITY;
+        for &s in &self.covering[i] {
+            let sc = state.config.sector(SectorId(s));
+            if !sc.on_air {
+                continue;
+            }
+            let mat = self.store.matrix(s, sc.tilt);
+            let c = self.store.spec().coord_of_index(i);
+            if let Some(l) = mat.get(c) {
+                let rp = (sc.power.0 + l.0) as f32;
+                if rp > best_rp {
+                    best_rp = rp;
+                    best = s as i32;
+                }
+            }
+        }
+        state.best_idx[i] = best;
+        state.best_rp[i] = best_rp;
+    }
+
+    /// Applies a configuration change incrementally and returns an exact
+    /// [`Undo`] record.
+    pub fn apply(&self, state: &mut ModelState, change: ConfigChange) -> Undo {
+        let mut undo = Undo {
+            config: state.config.clone(),
+            cells: Vec::new(),
+            n_s: state.n_s.clone(),
+            a_s: state.a_s.clone(),
+        };
+        let id = change.sector();
+        let before = state.config.sector(id);
+        state.config.apply(&self.network, change);
+        let after = state.config.sector(id);
+        if before == after {
+            return undo; // fully absorbed (e.g. clamped power delta)
+        }
+
+        let s = id.0;
+        // Old and new radio contributions of the changed sector.
+        let old = before
+            .on_air
+            .then(|| (before.power, self.store.matrix(s, before.tilt)));
+        let new = after
+            .on_air
+            .then(|| (after.power, self.store.matrix(s, after.tilt)));
+        if old.is_none() && new.is_none() {
+            return undo; // off-air sector reconfigured: no radio effect
+        }
+        self.sweep(state, &mut undo, s, old, new);
+        undo
+    }
+
+    /// Sweeps the changed sector's footprint, updating every derived
+    /// field.
+    fn sweep(
+        &self,
+        state: &mut ModelState,
+        undo: &mut Undo,
+        s: u32,
+        old: Option<(Dbm, Arc<PathLossMatrix>)>,
+        new: Option<(Dbm, Arc<PathLossMatrix>)>,
+    ) {
+        let spec = *self.store.spec();
+        let window: GridWindow = self.store.window(s);
+        for (k, c) in window.coords().enumerate() {
+            let i = spec.index(c);
+            let old_rp = old.as_ref().map(|(p, m)| p.0 + m.values()[k] as f64);
+            let new_rp = new.as_ref().map(|(p, m)| p.0 + m.values()[k] as f64);
+            if old_rp == new_rp {
+                continue;
+            }
+            undo.cells.push((
+                i as u32,
+                state.total_mw[i],
+                state.best_idx[i],
+                state.best_rp[i],
+                state.rmax[i],
+            ));
+            self.sub_aggregates(state, i);
+
+            let mw_old = old_rp.map_or(0.0, dbm_to_mw);
+            let mw_new = new_rp.map_or(0.0, dbm_to_mw);
+            state.total_mw[i] = (state.total_mw[i] - mw_old + mw_new).max(0.0);
+
+            if state.best_idx[i] == s as i32 {
+                match new_rp {
+                    Some(rp) if rp as f32 >= state.best_rp[i] => {
+                        // Grew while serving: stays best.
+                        state.best_rp[i] = rp as f32;
+                    }
+                    _ => self.rescan_cell(state, i),
+                }
+            } else if let Some(rp) = new_rp {
+                if rp as f32 > state.best_rp[i] || state.best_idx[i] == NO_SECTOR {
+                    state.best_idx[i] = s as i32;
+                    state.best_rp[i] = rp as f32;
+                }
+            }
+
+            state.rmax[i] = self.cell_rmax(state, i) as f32;
+            self.add_aggregates(state, i);
+        }
+    }
+
+    /// Rolls back the most recent change exactly.
+    pub fn undo(&self, state: &mut ModelState, undo: Undo) {
+        state.config = undo.config;
+        for (i, total, best_idx, best_rp, rmax) in undo.cells.into_iter().rev() {
+            let i = i as usize;
+            state.total_mw[i] = total;
+            state.best_idx[i] = best_idx;
+            state.best_rp[i] = best_rp;
+            state.rmax[i] = rmax;
+        }
+        state.n_s = undo.n_s;
+        state.a_s = undo.a_s;
+    }
+
+    /// Probes a change: applies it, reads the utility, rolls back.
+    pub fn probe_utility(
+        &self,
+        state: &mut ModelState,
+        change: ConfigChange,
+        kind: crate::utility::UtilityKind,
+    ) -> f64 {
+        let undo = self.apply(state, change);
+        let u = state.utility(kind);
+        self.undo(state, undo);
+        u
+    }
+
+    /// Probes a change against the *search objective* (see
+    /// [`ModelState::objective`]): applies it, reads the objective,
+    /// rolls back.
+    pub fn probe_objective(
+        &self,
+        state: &mut ModelState,
+        change: ConfigChange,
+        kind: crate::utility::UtilityKind,
+    ) -> f64 {
+        let undo = self.apply(state, change);
+        let u = state.objective(kind);
+        self.undo(state, undo);
+        u
+    }
+
+    /// Hypothetical `r_max` at grid `i` if sector `s`'s power changed by
+    /// `delta_db` (clamped to hardware limits) — the candidate test of
+    /// Algorithm 1, line 4. Exact: re-derives the best server under the
+    /// hypothesis, without touching the state.
+    pub fn hypothetical_rmax(
+        &self,
+        state: &ModelState,
+        i: usize,
+        s: u32,
+        delta_db: f64,
+    ) -> f64 {
+        let sc = state.config.sector(SectorId(s));
+        if !sc.on_air {
+            return state.rmax[i] as f64;
+        }
+        let hw = self.network.sector(SectorId(s));
+        let new_power = (sc.power.0 + delta_db).clamp(hw.min_power.0, hw.max_power.0);
+        if new_power == sc.power.0 {
+            return state.rmax[i] as f64;
+        }
+        let c = self.store.spec().coord_of_index(i);
+        let mat = self.store.matrix(s, sc.tilt);
+        let Some(l) = mat.get(c) else {
+            return state.rmax[i] as f64; // outside s's footprint: no effect
+        };
+        let rp_old = sc.power.0 + l.0;
+        let rp_new = new_power + l.0;
+        let total = (state.total_mw[i] - dbm_to_mw(rp_old) + dbm_to_mw(rp_new)).max(0.0);
+        // Best server under the hypothesis.
+        let (best_idx, best_rp) = if state.best_idx[i] == s as i32 {
+            if rp_new >= state.best_rp[i] as f64 {
+                (s as i32, rp_new)
+            } else {
+                // The serving sector weakened: scan.
+                let mut b = NO_SECTOR;
+                let mut brp = f64::NEG_INFINITY;
+                for &o in &self.covering[i] {
+                    let oc = state.config.sector(SectorId(o));
+                    if !oc.on_air {
+                        continue;
+                    }
+                    let om = self.store.matrix(o, oc.tilt);
+                    if let Some(ol) = om.get(c) {
+                        let rp = if o == s { rp_new } else { oc.power.0 + ol.0 };
+                        if rp > brp {
+                            brp = rp;
+                            b = o as i32;
+                        }
+                    }
+                }
+                (b, brp)
+            }
+        } else if rp_new > state.best_rp[i] as f64 {
+            (s as i32, rp_new)
+        } else {
+            (state.best_idx[i], state.best_rp[i] as f64)
+        };
+        if best_idx == NO_SECTOR {
+            return 0.0;
+        }
+        let signal = dbm_to_mw(best_rp);
+        let interference = (total - signal).max(0.0);
+        self.rate.max_rate_bps(signal / (self.noise_mw + interference))
+    }
+
+    /// Uplink SINR (linear) of a UE in grid `i` toward its serving
+    /// sector — the paper's "our methodology can also be used for uplink
+    /// performance" extension.
+    ///
+    /// Model: reciprocal channel (the same per-(sector, tilt) path-loss
+    /// matrix), UE transmit power `ue_tx_dbm` (LTE power class 3:
+    /// 23 dBm), and one active full-power uplink interferer per *other*
+    /// on-air sector, located at that sector's worst-coupled served grid
+    /// toward the victim — a conservative single-interferer bound. Noise
+    /// uses the same bandwidth as the downlink mapper.
+    pub fn uplink_sinr(&self, state: &ModelState, i: usize, ue_tx_dbm: f64) -> f64 {
+        let Some(serving) = state.serving(i) else {
+            return 0.0;
+        };
+        let sc = state.config.sector(SectorId(serving));
+        let mat = self.store.matrix(serving, sc.tilt);
+        let c = self.store.spec().coord_of_index(i);
+        let Some(l) = mat.get(c) else { return 0.0 };
+        let signal = dbm_to_mw(ue_tx_dbm + l.0);
+        // Interference: for each other sector audible at the serving
+        // site's cell, one UE transmitting at full power from the
+        // strongest-coupled grid *it serves* inside the serving sector's
+        // footprint. Approximated by the best cross-coupling between the
+        // interfering sector's serving set and the serving sector's
+        // matrix.
+        let mut interference = 0.0;
+        for &o in &self.covering[i] {
+            if o == serving {
+                continue;
+            }
+            let oc = state.config.sector(SectorId(o));
+            if !oc.on_air {
+                continue;
+            }
+            // The interfering UE sits roughly at its own cell edge toward
+            // the victim: couple at the interfering sector's own path
+            // loss toward grid i, floored to the victim-serving loss
+            // (the UE cannot be better coupled to the victim than a UE
+            // *in* grid i would be).
+            let om = self.store.matrix(o, oc.tilt);
+            if let Some(ol) = om.get(c) {
+                interference += dbm_to_mw(ue_tx_dbm + ol.0.min(l.0));
+            }
+        }
+        signal / (self.noise_mw + interference)
+    }
+
+    /// Uplink maximum rate at grid `i` in bits/s (same TBS chain as the
+    /// downlink; single UE on the band).
+    pub fn uplink_rmax_bps(&self, state: &ModelState, i: usize, ue_tx_dbm: f64) -> f64 {
+        self.rate.max_rate_bps(self.uplink_sinr(state, i, ue_tx_dbm))
+    }
+
+    /// The serving map (serving sector per grid) of a state — the input
+    /// to [`magus_net::UeLayer::uniform_per_sector`].
+    pub fn serving_map(&self, state: &ModelState) -> Vec<Option<u32>> {
+        (0..state.num_grids()).map(|i| state.serving(i)).collect()
+    }
+
+    /// Grid indices (within `within`, or everywhere if `None`) whose
+    /// per-UE rate in `degraded` is strictly worse than in `reference` —
+    /// the affected-grid set **G** of Algorithm 1.
+    pub fn degraded_grids(
+        &self,
+        reference: &ModelState,
+        degraded: &ModelState,
+        within: Option<GridWindow>,
+    ) -> Vec<u32> {
+        let spec = *self.store.spec();
+        (0..reference.num_grids())
+            .filter(|&i| {
+                if let Some(w) = within {
+                    if !w.contains(spec.coord_of_index(i)) {
+                        return false;
+                    }
+                }
+                degraded.rate_bps(i) < reference.rate_bps(i) - 1e-9
+            })
+            .map(|i| i as u32)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::utility::UtilityKind;
+    use magus_geo::units::thermal_noise;
+    use magus_geo::{Bearing, Db, GridSpec, PointM};
+    use magus_lte::Bandwidth;
+    use magus_net::{BsId, Sector, SectorId};
+    use magus_propagation::{
+        AntennaParams, PropagationModel, SectorSite, SpmParams, TiltSettings,
+    };
+    use magus_terrain::Terrain;
+
+    /// Two opposing sectors, 3 km apart, on a flat 6 km raster.
+    fn fixture() -> (Evaluator, Configuration) {
+        let spec = GridSpec::centered(PointM::new(1_500.0, 0.0), 150.0, 6_000.0);
+        let model = PropagationModel::new(Arc::new(Terrain::flat(spec)), SpmParams::smooth(), 1);
+        let mk = |id: u32, x: f64, az: f64| {
+            Sector::macro_defaults(
+                SectorId(id),
+                BsId(id),
+                SectorSite {
+                    position: PointM::new(x, 0.0),
+                    height_m: 30.0,
+                    azimuth: Bearing::new(az),
+                    antenna: AntennaParams::default(),
+                },
+            )
+        };
+        let network = Arc::new(magus_net::Network::new(vec![
+            mk(0, 0.0, 90.0),
+            mk(1, 3_000.0, 270.0),
+        ]));
+        let store = Arc::new(PathLossStore::build(
+            spec,
+            network.sites(),
+            &model,
+            TiltSettings::default(),
+            12_000.0,
+        ));
+        let noise = thermal_noise(Bandwidth::Mhz10.hz(), Db(7.0));
+        let ue = UeLayer::constant(spec, 1.0);
+        let config = Configuration::nominal(&network);
+        (
+            Evaluator::new(store, network, RateMapper::new(Bandwidth::Mhz10), noise, ue),
+            config,
+        )
+    }
+
+    #[test]
+    fn initial_state_assigns_nearest_serving() {
+        let (ev, config) = fixture();
+        let st = ev.initial_state(&config);
+        let spec = *ev.store().spec();
+        let near0 = spec.coord_of_point(PointM::new(400.0, 0.0)).unwrap();
+        let near1 = spec.coord_of_point(PointM::new(2_600.0, 0.0)).unwrap();
+        assert_eq!(st.serving(spec.index(near0)), Some(0));
+        assert_eq!(st.serving(spec.index(near1)), Some(1));
+    }
+
+    #[test]
+    fn utility_positive_and_coverage_counts_ues() {
+        let (ev, config) = fixture();
+        let st = ev.initial_state(&config);
+        let cov = st.utility(UtilityKind::Coverage);
+        assert!(cov > 0.0);
+        // Coverage utility is a UE count: bounded by total UEs.
+        assert!(cov <= ev.ue_layer().total() + 1e-9);
+        assert!(st.utility(UtilityKind::Performance) > 0.0);
+    }
+
+    #[test]
+    fn taking_sector_down_degrades_utility() {
+        let (ev, config) = fixture();
+        let mut st = ev.initial_state(&config);
+        let before = st.utility(UtilityKind::Performance);
+        let undo = ev.apply(&mut st, ConfigChange::SetOnAir(SectorId(1), false));
+        let during = st.utility(UtilityKind::Performance);
+        assert!(during < before, "{during} !< {before}");
+        ev.undo(&mut st, undo);
+        assert!((st.utility(UtilityKind::Performance) - before).abs() < 1e-9);
+    }
+
+    #[test]
+    fn incremental_matches_full_rebuild() {
+        let (ev, config) = fixture();
+        let mut st = ev.initial_state(&config);
+        let changes = [
+            ConfigChange::PowerDelta(SectorId(0), Db(2.0)),
+            ConfigChange::SetOnAir(SectorId(1), false),
+            ConfigChange::SetTilt(SectorId(0), 2),
+            ConfigChange::PowerDelta(SectorId(0), Db(-4.0)),
+            ConfigChange::SetOnAir(SectorId(1), true),
+        ];
+        for ch in changes {
+            ev.apply(&mut st, ch);
+            let fresh = ev.initial_state(st.config());
+            for i in 0..st.num_grids() {
+                assert_eq!(st.serving(i), fresh.serving(i), "serving mismatch at {i} after {ch:?}");
+                assert!(
+                    (st.rmax_bps(i) - fresh.rmax_bps(i)).abs() < 1.0,
+                    "rmax mismatch at {i} after {ch:?}"
+                );
+            }
+            for k in UtilityKind::ALL {
+                assert!(
+                    (st.utility(k) - fresh.utility(k)).abs() < 1e-6,
+                    "utility {k} mismatch after {ch:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn undo_restores_exactly() {
+        let (ev, config) = fixture();
+        let mut st = ev.initial_state(&config);
+        let reference = ev.initial_state(&config);
+        let undo1 = ev.apply(&mut st, ConfigChange::PowerDelta(SectorId(0), Db(3.0)));
+        let undo2 = ev.apply(&mut st, ConfigChange::SetOnAir(SectorId(1), false));
+        ev.undo(&mut st, undo2);
+        ev.undo(&mut st, undo1);
+        assert_eq!(st.config(), reference.config());
+        for i in 0..st.num_grids() {
+            assert_eq!(st.best_idx[i], reference.best_idx[i]);
+            assert_eq!(st.best_rp[i], reference.best_rp[i]);
+            assert_eq!(st.rmax[i], reference.rmax[i]);
+            assert_eq!(st.total_mw[i], reference.total_mw[i]);
+        }
+        assert_eq!(st.n_s, reference.n_s);
+        assert_eq!(st.a_s, reference.a_s);
+    }
+
+    #[test]
+    fn probe_leaves_state_unchanged() {
+        let (ev, config) = fixture();
+        let mut st = ev.initial_state(&config);
+        let before = st.utility(UtilityKind::Performance);
+        let probed =
+            ev.probe_utility(&mut st, ConfigChange::PowerDelta(SectorId(0), Db(3.0)), UtilityKind::Performance);
+        assert!((st.utility(UtilityKind::Performance) - before).abs() < 1e-12);
+        assert_ne!(probed, before);
+    }
+
+    #[test]
+    fn hypothetical_rmax_matches_real_apply() {
+        let (ev, config) = fixture();
+        let mut st = ev.initial_state(&config);
+        // Take sector 1 down so boosting sector 0 matters.
+        ev.apply(&mut st, ConfigChange::SetOnAir(SectorId(1), false));
+        let spec = *ev.store().spec();
+        let i = spec.index(spec.coord_of_point(PointM::new(2_600.0, 0.0)).unwrap());
+        let hypo = ev.hypothetical_rmax(&st, i, 0, 3.0);
+        let undo = ev.apply(&mut st, ConfigChange::PowerDelta(SectorId(0), Db(3.0)));
+        let real = st.rmax_bps(i);
+        ev.undo(&mut st, undo);
+        assert!((hypo - real).abs() < 1.0, "hypo {hypo} vs real {real}");
+    }
+
+    #[test]
+    fn degraded_grids_nonempty_after_outage() {
+        let (ev, config) = fixture();
+        let reference = ev.initial_state(&config);
+        let mut st = ev.initial_state(&config);
+        ev.apply(&mut st, ConfigChange::SetOnAir(SectorId(1), false));
+        let degraded = ev.degraded_grids(&reference, &st, None);
+        assert!(!degraded.is_empty());
+        // Every reported grid really did degrade.
+        for &g in &degraded {
+            assert!(st.rate_bps(g as usize) < reference.rate_bps(g as usize));
+        }
+    }
+
+    #[test]
+    fn uplink_is_weaker_than_downlink_but_correlated() {
+        let (ev, config) = fixture();
+        let st = ev.initial_state(&config);
+        let mut served = 0usize;
+        let mut uplink_served = 0usize;
+        for i in 0..st.num_grids() {
+            if st.rmax_bps(i) > 0.0 {
+                served += 1;
+                // 23 dBm UE vs 43 dBm sector: uplink never out-covers
+                // downlink under a reciprocal channel.
+                if ev.uplink_rmax_bps(&st, i, 23.0) > 0.0 {
+                    uplink_served += 1;
+                }
+            } else {
+                assert_eq!(ev.uplink_rmax_bps(&st, i, 23.0), 0.0);
+            }
+        }
+        assert!(uplink_served > 0, "some grids must have uplink service");
+        assert!(uplink_served <= served);
+    }
+
+    #[test]
+    fn uplink_rate_monotone_in_ue_power() {
+        let (ev, config) = fixture();
+        let st = ev.initial_state(&config);
+        let spec = *ev.store().spec();
+        let i = spec.index(spec.coord_of_point(PointM::new(400.0, 0.0)).unwrap());
+        assert!(ev.uplink_sinr(&st, i, 23.0) >= ev.uplink_sinr(&st, i, 10.0));
+    }
+
+    #[test]
+    fn clamped_power_change_is_a_noop() {
+        let (ev, config) = fixture();
+        let mut st = ev.initial_state(&config);
+        // Drive to max first.
+        ev.apply(&mut st, ConfigChange::SetPower(SectorId(0), Dbm(46.0)));
+        let before = st.utility(UtilityKind::Performance);
+        let undo = ev.apply(&mut st, ConfigChange::PowerDelta(SectorId(0), Db(5.0)));
+        assert!(undo.cells.is_empty());
+        assert_eq!(st.utility(UtilityKind::Performance), before);
+    }
+}

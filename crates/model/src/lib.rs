@@ -1,0 +1,47 @@
+//! The Magus analysis model (paper §4): coverage & capacity evaluation.
+//!
+//! Given a [`magus_net::Configuration`], the model computes, per grid:
+//! received power from every audible sector (Formula 1), the serving
+//! sector (best RP), SINR (Formula 2), the maximum rate via the LTE
+//! lookup chain, the sector load N(g) (Formula 3) and the actual rate
+//! r(g) = r_max(g)/N(g) (Formula 4) — and from those, the configuration's
+//! utility (§5 Formulas 5/6).
+//!
+//! The paper's search probes *thousands* of candidate configurations, so
+//! evaluation speed is the whole game. The implementation therefore keeps
+//! an incremental [`ModelState`]:
+//!
+//! * per grid: total received power (linear mW, so interference sums are
+//!   physical), the best server and its RP, and the cached max rate;
+//! * per sector: the in-service UE mass `N_s` and the utility aggregate
+//!   `A_s = Σ UE(g)·log10(r_max(g))`, which lets both paper utilities be
+//!   recomputed in O(#sectors) after any change:
+//!   `U_perf = Σ_s A_s − N_s·log10(N_s)` and `U_cov = Σ_s N_s`.
+//!
+//! A configuration change touches only the changed sector's footprint
+//! window; every mutation produces an exact [`Undo`] record, so the
+//! search can *probe* a change (apply → read utility → undo) without any
+//! floating-point drift. `cargo test -p magus-model` includes property
+//! tests asserting incremental ≡ from-scratch evaluation under random
+//! change sequences.
+
+pub mod evaluator;
+pub mod service;
+pub mod setup;
+pub mod state;
+pub mod utility;
+
+pub use evaluator::Evaluator;
+pub use service::ServiceMap;
+pub use setup::{standard_setup, standard_setup_with, StandardModel, UeModel};
+pub use state::{ModelState, Undo};
+pub use utility::UtilityKind;
+
+/// Single-import surface.
+pub mod prelude {
+    pub use crate::evaluator::Evaluator;
+    pub use crate::service::ServiceMap;
+    pub use crate::setup::{standard_setup, standard_setup_with, StandardModel, UeModel};
+    pub use crate::state::ModelState;
+    pub use crate::utility::UtilityKind;
+}

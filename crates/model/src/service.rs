@@ -1,0 +1,153 @@
+//! Immutable service-map snapshots (paper Figures 4/5).
+
+use crate::evaluator::Evaluator;
+use crate::state::ModelState;
+use magus_geo::{GridMap, GridSpec};
+
+/// A frozen snapshot of per-grid service: serving sector, SINR, max rate,
+/// and actual rate — the data behind the paper's coverage-map figures.
+#[derive(Debug, Clone)]
+pub struct ServiceMap {
+    spec: GridSpec,
+    serving: Vec<Option<u32>>,
+    sinr_db: Vec<f64>,
+    rmax_bps: Vec<f64>,
+    rate_bps: Vec<f64>,
+}
+
+impl ServiceMap {
+    /// Captures a snapshot of `state`.
+    pub fn capture(ev: &Evaluator, state: &ModelState) -> ServiceMap {
+        let spec = *ev.store().spec();
+        let n = state.num_grids();
+        let mut serving = Vec::with_capacity(n);
+        let mut sinr_db = Vec::with_capacity(n);
+        let mut rmax_bps = Vec::with_capacity(n);
+        let mut rate_bps = Vec::with_capacity(n);
+        for i in 0..n {
+            serving.push(state.serving(i));
+            let s = ev.sinr_linear(state, i);
+            sinr_db.push(if s > 0.0 { 10.0 * s.log10() } else { f64::NEG_INFINITY });
+            rmax_bps.push(state.rmax_bps(i));
+            rate_bps.push(state.rate_bps(i));
+        }
+        ServiceMap {
+            spec,
+            serving,
+            sinr_db,
+            rmax_bps,
+            rate_bps,
+        }
+    }
+
+    /// The raster spec.
+    pub fn spec(&self) -> &GridSpec {
+        &self.spec
+    }
+
+    /// Serving sector per grid.
+    pub fn serving(&self) -> &[Option<u32>] {
+        &self.serving
+    }
+
+    /// SINR in dB per grid (−∞ where unserved).
+    pub fn sinr_db(&self) -> &[f64] {
+        &self.sinr_db
+    }
+
+    /// Max rate per grid, bits/s.
+    pub fn rmax_bps(&self) -> &[f64] {
+        &self.rmax_bps
+    }
+
+    /// Actual per-UE rate per grid, bits/s.
+    pub fn rate_bps(&self) -> &[f64] {
+        &self.rate_bps
+    }
+
+    /// Fraction of grids with service (`r_max > 0`).
+    pub fn coverage_fraction(&self) -> f64 {
+        let served = self.rmax_bps.iter().filter(|&&r| r > 0.0).count();
+        served as f64 / self.rmax_bps.len() as f64
+    }
+
+    /// SINR raster (for rendering).
+    pub fn sinr_raster(&self) -> GridMap<f64> {
+        GridMap::from_vec(self.spec, self.sinr_db.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magus_geo::units::thermal_noise;
+    use magus_geo::{Bearing, Db, PointM};
+    use magus_lte::{Bandwidth, RateMapper};
+    use magus_net::{BsId, Configuration, Network, Sector, SectorId, UeLayer};
+    use magus_propagation::{
+        AntennaParams, PathLossStore, PropagationModel, SectorSite, SpmParams, TiltSettings,
+    };
+    use magus_terrain::Terrain;
+    use std::sync::Arc;
+
+    fn fixture() -> (Evaluator, ModelState) {
+        let spec = GridSpec::centered(PointM::new(0.0, 0.0), 200.0, 4_000.0);
+        let model = PropagationModel::new(Arc::new(Terrain::flat(spec)), SpmParams::smooth(), 1);
+        let network = Arc::new(Network::new(vec![Sector::macro_defaults(
+            SectorId(0),
+            BsId(0),
+            SectorSite {
+                position: PointM::new(0.0, 0.0),
+                height_m: 30.0,
+                azimuth: Bearing::new(0.0),
+                antenna: AntennaParams::default(),
+            },
+        )]));
+        let store = Arc::new(PathLossStore::build(
+            spec,
+            network.sites(),
+            &model,
+            TiltSettings::default(),
+            10_000.0,
+        ));
+        let ue = UeLayer::constant(spec, 1.0);
+        let ev = Evaluator::new(
+            store,
+            network,
+            RateMapper::new(Bandwidth::Mhz10),
+            thermal_noise(Bandwidth::Mhz10.hz(), Db(7.0)),
+            ue,
+        );
+        let st = ev.initial_state(&Configuration::nominal(ev.network()));
+        (ev, st)
+    }
+
+    #[test]
+    fn snapshot_is_consistent_with_state() {
+        let (ev, st) = fixture();
+        let map = ServiceMap::capture(&ev, &st);
+        for i in 0..st.num_grids() {
+            assert_eq!(map.serving()[i], st.serving(i));
+            assert_eq!(map.rmax_bps()[i], st.rmax_bps(i));
+        }
+    }
+
+    #[test]
+    fn single_sector_covers_its_boresight() {
+        let (ev, st) = fixture();
+        let map = ServiceMap::capture(&ev, &st);
+        assert!(map.coverage_fraction() > 0.2, "{}", map.coverage_fraction());
+        // A cell 600 m north (boresight) must be served with strong SINR.
+        let spec = *map.spec();
+        let i = spec.index(spec.coord_of_point(PointM::new(0.0, 600.0)).unwrap());
+        assert_eq!(map.serving()[i], Some(0));
+        assert!(map.sinr_db()[i] > 10.0);
+    }
+
+    #[test]
+    fn sinr_raster_has_matching_spec() {
+        let (ev, st) = fixture();
+        let map = ServiceMap::capture(&ev, &st);
+        assert_eq!(map.sinr_raster().spec(), map.spec());
+    }
+}

@@ -1,0 +1,184 @@
+//! Standard two-phase model setup for a generated market.
+//!
+//! The UE layer depends on the serving map (paper §4.2: each sector's UE
+//! total is spread over the grids it serves *at the pre-upgrade
+//! configuration*), and the serving map comes from the model — so setup
+//! runs the model twice: once with a placeholder layer to obtain serving
+//! assignments at the nominal configuration, then for real with the
+//! uniform-per-sector layer.
+
+use crate::evaluator::Evaluator;
+use crate::state::ModelState;
+use magus_geo::units::thermal_noise;
+use magus_geo::{Db, Dbm};
+use magus_lte::{Bandwidth, RateMapper};
+use magus_net::{Configuration, Market, Network, UeLayer};
+use std::sync::Arc;
+
+/// How UEs are distributed over serving grids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UeModel {
+    /// The paper's assumption (§4.2): each sector's UE total spread
+    /// evenly over the grids it serves.
+    UniformPerSector,
+    /// The paper's future-work refinement: the same totals, weighted by
+    /// land-use class (urban grids hold more users than forest grids).
+    ClutterWeighted,
+}
+
+/// A ready-to-use model over a market: evaluator plus the nominal-state
+/// baseline.
+pub struct StandardModel {
+    /// The evaluator with the operational UE layer attached.
+    pub evaluator: Evaluator,
+    /// The nominal (pre-upgrade, pre-planning) configuration.
+    pub nominal: Configuration,
+}
+
+/// Receiver noise figure used throughout the reproduction (dB).
+pub const NOISE_FIGURE_DB: f64 = 7.0;
+
+/// The noise term of Formula 2 for a bandwidth.
+pub fn noise_for(bandwidth: Bandwidth) -> Dbm {
+    thermal_noise(bandwidth.hz(), Db(NOISE_FIGURE_DB))
+}
+
+/// Builds the standard evaluator for a market at `bandwidth`, with the
+/// paper's uniform-per-sector UE model.
+pub fn standard_setup(market: &Market, bandwidth: Bandwidth) -> StandardModel {
+    standard_setup_with(market, bandwidth, UeModel::UniformPerSector)
+}
+
+/// Builds the evaluator with an explicit UE distribution model.
+pub fn standard_setup_with(
+    market: &Market,
+    bandwidth: Bandwidth,
+    ue_model: UeModel,
+) -> StandardModel {
+    let network = Arc::new(market.network().clone());
+    let store = Arc::clone(market.store());
+    let rate = RateMapper::new(bandwidth);
+    let noise = noise_for(bandwidth);
+    let nominal = Configuration::nominal(&network);
+
+    // Phase 1: serving map at nominal configuration with a unit layer.
+    let probe = Evaluator::new(
+        Arc::clone(&store),
+        Arc::clone(&network),
+        rate,
+        noise,
+        UeLayer::constant(*store.spec(), 1.0),
+    );
+    let state = probe.initial_state(&nominal);
+    let serving = probe.serving_map(&state);
+
+    // Phase 2: distribute each sector's UE total over its serving grids.
+    let totals: Vec<f64> = network
+        .sectors()
+        .iter()
+        .map(|s| s.nominal_ue_count)
+        .collect();
+    let ue = match ue_model {
+        UeModel::UniformPerSector => {
+            UeLayer::uniform_per_sector(*store.spec(), &serving, &totals)
+        }
+        UeModel::ClutterWeighted => UeLayer::clutter_weighted(
+            *store.spec(),
+            &serving,
+            &totals,
+            market.terrain(),
+        ),
+    };
+    let evaluator = Evaluator::new(store, network, rate, noise, ue);
+    StandardModel { evaluator, nominal }
+}
+
+impl StandardModel {
+    /// Builds the baseline state at the nominal configuration.
+    pub fn nominal_state(&self) -> ModelState {
+        self.evaluator.initial_state(&self.nominal)
+    }
+}
+
+/// Convenience for code that has a network + store but no [`Market`]
+/// (tests, the testbed bridge): same two-phase dance.
+pub fn setup_from_parts(
+    store: Arc<magus_propagation::PathLossStore>,
+    network: Arc<Network>,
+    bandwidth: Bandwidth,
+) -> StandardModel {
+    let rate = RateMapper::new(bandwidth);
+    let noise = noise_for(bandwidth);
+    let nominal = Configuration::nominal(&network);
+    let probe = Evaluator::new(
+        Arc::clone(&store),
+        Arc::clone(&network),
+        rate,
+        noise,
+        UeLayer::constant(*store.spec(), 1.0),
+    );
+    let state = probe.initial_state(&nominal);
+    let serving = probe.serving_map(&state);
+    let totals: Vec<f64> = network
+        .sectors()
+        .iter()
+        .map(|s| s.nominal_ue_count)
+        .collect();
+    let ue = UeLayer::uniform_per_sector(*store.spec(), &serving, &totals);
+    let evaluator = Evaluator::new(store, network, rate, noise, ue);
+    StandardModel { evaluator, nominal }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::utility::UtilityKind;
+    use magus_net::{AreaType, MarketParams};
+
+    #[test]
+    fn standard_setup_conserves_ue_totals() {
+        let market = magus_net::Market::generate(MarketParams::tiny(AreaType::Suburban, 21));
+        let m = standard_setup(&market, Bandwidth::Mhz10);
+        let expected: f64 = market
+            .network()
+            .sectors()
+            .iter()
+            .map(|s| s.nominal_ue_count)
+            .sum();
+        let layered = m.evaluator.ue_layer().total();
+        // Sectors that serve no grids contribute no UEs; everything else
+        // must be conserved.
+        assert!(layered <= expected + 1e-6);
+        assert!(layered > expected * 0.5, "layered {layered} of {expected}");
+    }
+
+    #[test]
+    fn clutter_weighted_setup_conserves_and_differs() {
+        let market = magus_net::Market::generate(MarketParams::tiny(AreaType::Suburban, 21));
+        let uniform = standard_setup(&market, Bandwidth::Mhz10);
+        let weighted =
+            standard_setup_with(&market, Bandwidth::Mhz10, UeModel::ClutterWeighted);
+        // Same total subscriber mass...
+        let (tu, tw) = (
+            uniform.evaluator.ue_layer().total(),
+            weighted.evaluator.ue_layer().total(),
+        );
+        assert!((tu - tw).abs() < tu * 0.05, "totals {tu} vs {tw}");
+        // ...but a different spatial distribution.
+        let du = uniform.evaluator.ue_layer();
+        let dw = weighted.evaluator.ue_layer();
+        let differing = (0..du.raster().spec().len())
+            .filter(|&i| (du.at_index(i) - dw.at_index(i)).abs() > 1e-9)
+            .count();
+        assert!(differing > 0, "clutter weighting should move UE mass");
+    }
+
+    #[test]
+    fn nominal_state_has_positive_utilities() {
+        let market = magus_net::Market::generate(MarketParams::tiny(AreaType::Suburban, 22));
+        let m = standard_setup(&market, Bandwidth::Mhz10);
+        let st = m.nominal_state();
+        assert!(st.utility(UtilityKind::Performance) > 0.0);
+        assert!(st.utility(UtilityKind::Coverage) > 0.0);
+    }
+}

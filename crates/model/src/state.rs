@@ -1,0 +1,139 @@
+//! Mutable evaluation state and exact undo records.
+
+use crate::utility::UtilityKind;
+use magus_net::Configuration;
+
+/// Sentinel for "no serving sector".
+pub(crate) const NO_SECTOR: i32 = -1;
+
+/// The incremental evaluation state of one configuration.
+///
+/// Produced by [`crate::Evaluator::initial_state`] and mutated only
+/// through [`crate::Evaluator::apply`] / [`crate::Evaluator::undo`], which
+/// keep every field consistent.
+#[derive(Debug, Clone)]
+pub struct ModelState {
+    /// The configuration this state describes.
+    pub(crate) config: Configuration,
+    /// Per grid: total received power from all on-air sectors, linear mW.
+    pub(crate) total_mw: Vec<f64>,
+    /// Per grid: serving sector id, or [`NO_SECTOR`].
+    pub(crate) best_idx: Vec<i32>,
+    /// Per grid: serving sector's received power, dBm.
+    pub(crate) best_rp: Vec<f32>,
+    /// Per grid: cached maximum rate `r_max(g)` in bits/s (0 = out of
+    /// service).
+    pub(crate) rmax: Vec<f32>,
+    /// Per sector: in-service UE mass `N_s` (Formula 3 summed over the
+    /// sector's served, in-service grids).
+    pub(crate) n_s: Vec<f64>,
+    /// Per sector: `A_s = Σ UE(g)·log10(r_max(g))` over served,
+    /// in-service grids.
+    pub(crate) a_s: Vec<f64>,
+}
+
+/// Exact rollback data for one applied change.
+#[derive(Debug)]
+pub struct Undo {
+    pub(crate) config: Configuration,
+    /// `(grid index, total_mw, best_idx, best_rp, rmax)` before the
+    /// change, for every touched grid.
+    pub(crate) cells: Vec<(u32, f64, i32, f32, f32)>,
+    pub(crate) n_s: Vec<f64>,
+    pub(crate) a_s: Vec<f64>,
+}
+
+impl ModelState {
+    /// The configuration this state evaluates.
+    pub fn config(&self) -> &Configuration {
+        &self.config
+    }
+
+    /// Serving sector of grid `i` (raster linear index).
+    #[inline]
+    pub fn serving(&self, i: usize) -> Option<u32> {
+        let b = self.best_idx[i];
+        (b != NO_SECTOR).then_some(b as u32)
+    }
+
+    /// Serving sector's received power at grid `i`, dBm, if any.
+    #[inline]
+    pub fn best_rp_dbm(&self, i: usize) -> Option<f64> {
+        (self.best_idx[i] != NO_SECTOR).then(|| self.best_rp[i] as f64)
+    }
+
+    /// Maximum rate `r_max(g)` at grid `i`, bits/s.
+    #[inline]
+    pub fn rmax_bps(&self, i: usize) -> f64 {
+        self.rmax[i] as f64
+    }
+
+    /// Actual per-UE rate `r(g) = r_max(g)/N(g)` at grid `i`, bits/s
+    /// (paper Formula 4). Zero when out of service; equals `r_max` when
+    /// the serving sector carries no UE mass.
+    #[inline]
+    pub fn rate_bps(&self, i: usize) -> f64 {
+        let b = self.best_idx[i];
+        if b == NO_SECTOR || self.rmax[i] <= 0.0 {
+            return 0.0;
+        }
+        let n = self.n_s[b as usize];
+        if n > 0.0 {
+            self.rmax[i] as f64 / n
+        } else {
+            self.rmax[i] as f64
+        }
+    }
+
+    /// In-service UE mass served by sector `s` (the paper's N for that
+    /// sector).
+    #[inline]
+    pub fn sector_load(&self, s: u32) -> f64 {
+        self.n_s[s as usize]
+    }
+
+    /// The overall utility `f(U(C))` for a utility kind, computed from
+    /// the per-sector aggregates in O(#sectors).
+    pub fn utility(&self, kind: UtilityKind) -> f64 {
+        match kind {
+            UtilityKind::Coverage => self.n_s.iter().sum(),
+            UtilityKind::Performance => self
+                .n_s
+                .iter()
+                .zip(self.a_s.iter())
+                .map(|(&n, &a)| if n > 0.0 { a - n * n.log10() } else { 0.0 })
+                .sum(),
+        }
+    }
+
+    /// The *search objective* for a utility kind.
+    ///
+    /// Identical to [`ModelState::utility`] for the performance utility.
+    /// For the coverage utility — which is piecewise-flat (it only moves
+    /// when a grid crosses the service threshold) — a vanishing
+    /// performance tiebreak is added so greedy searches can traverse
+    /// plateaus toward configurations that eventually flip grids into
+    /// service. The tiebreak weight keeps the term far below one UE of
+    /// coverage, so it never overrides a genuine coverage difference;
+    /// reported utilities (and the recovery ratio) always use the pure
+    /// [`ModelState::utility`].
+    pub fn objective(&self, kind: UtilityKind) -> f64 {
+        match kind {
+            UtilityKind::Performance => self.utility(UtilityKind::Performance),
+            UtilityKind::Coverage => {
+                self.utility(UtilityKind::Coverage)
+                    + 1e-6 * self.utility(UtilityKind::Performance)
+            }
+        }
+    }
+
+    /// Number of grids in the raster.
+    pub fn num_grids(&self) -> usize {
+        self.total_mw.len()
+    }
+
+    /// Number of sectors tracked.
+    pub fn num_sectors(&self) -> usize {
+        self.n_s.len()
+    }
+}

@@ -1,0 +1,79 @@
+//! Utility functions (paper §5, "The Evaluation Component").
+//!
+//! The paper defines the overall utility as an additive function of
+//! per-UE utilities and evaluates two concrete choices:
+//!
+//! * **Performance** (Formula 6): `u(r) = log(r)` for `r > 0`, else 0 —
+//!   the proportional-fair log-rate metric of the testbed section.
+//! * **Coverage** (Formula 5): `u(r) = 1` for `r > 0`, else 0 — the
+//!   number of UEs receiving qualified service.
+//!
+//! Rates are in bits/s; the performance utility uses `log10`, so one UE
+//! at 10 Mbps contributes 7.0. (The base only scales utilities uniformly
+//! and cancels out of the paper's recovery ratio.)
+
+use serde::{Deserialize, Serialize};
+
+/// Which of the paper's two utility functions to optimize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UtilityKind {
+    /// Formula 6: sum of `log10(rate)` over served UEs.
+    Performance,
+    /// Formula 5: count of served UEs.
+    Coverage,
+}
+
+impl UtilityKind {
+    /// Both kinds, in the paper's order.
+    pub const ALL: [UtilityKind; 2] = [UtilityKind::Performance, UtilityKind::Coverage];
+
+    /// Per-UE utility of a rate in bits/s.
+    pub fn per_ue(self, rate_bps: f64) -> f64 {
+        if rate_bps <= 0.0 {
+            return 0.0;
+        }
+        match self {
+            UtilityKind::Performance => rate_bps.log10(),
+            UtilityKind::Coverage => 1.0,
+        }
+    }
+}
+
+impl std::fmt::Display for UtilityKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            UtilityKind::Performance => "performance",
+            UtilityKind::Coverage => "coverage",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rate_contributes_nothing() {
+        for k in UtilityKind::ALL {
+            assert_eq!(k.per_ue(0.0), 0.0);
+            assert_eq!(k.per_ue(-5.0), 0.0);
+        }
+    }
+
+    #[test]
+    fn performance_is_log10() {
+        assert!((UtilityKind::Performance.per_ue(10_000_000.0) - 7.0).abs() < 1e-12);
+        assert!((UtilityKind::Performance.per_ue(1_000.0) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_is_binary() {
+        assert_eq!(UtilityKind::Coverage.per_ue(1.0), 1.0);
+        assert_eq!(UtilityKind::Coverage.per_ue(1e9), 1.0);
+    }
+
+    #[test]
+    fn performance_prefers_higher_rates() {
+        assert!(UtilityKind::Performance.per_ue(2e6) > UtilityKind::Performance.per_ue(1e6));
+    }
+}

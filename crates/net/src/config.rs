@@ -1,0 +1,288 @@
+//! The network configuration **C** and change operations.
+//!
+//! Paper §2: "We denote by C the configuration of the cellular network at
+//! any given instant … C represents the collective parameter settings of
+//! all base stations in the network. To *tune* a configuration means to
+//! change the values of parameters for (some of) the base stations."
+//!
+//! [`Configuration`] is that vector: per-sector power, tilt, and on-air
+//! state. [`ConfigChange`] is the paper's `⊕` operator (Algorithm 1 uses
+//! `C ⊕ P_b(T)` for "sector b's power changed by T units"); applying a
+//! change respects each sector's hardware power limits.
+
+use crate::network::Network;
+use crate::sector::SectorId;
+use magus_geo::{Db, Dbm};
+use serde::{Deserialize, Serialize};
+
+/// Per-sector tunable state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SectorConfig {
+    /// Transmit power.
+    pub power: Dbm,
+    /// Tilt index (see [`magus_propagation::TiltSettings`]).
+    pub tilt: u8,
+    /// `false` while the sector is off-air (taken down for the upgrade).
+    pub on_air: bool,
+}
+
+/// The collective parameter settings of all sectors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Configuration {
+    sectors: Vec<SectorConfig>,
+}
+
+/// A single tuning operation — the paper's `⊕` edits.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ConfigChange {
+    /// Adjust sector power by a dB delta (clamped to hardware limits).
+    PowerDelta(SectorId, Db),
+    /// Set sector power to an absolute level (clamped to hardware limits).
+    SetPower(SectorId, Dbm),
+    /// Set the sector's tilt index.
+    SetTilt(SectorId, u8),
+    /// Take the sector off-air or bring it back.
+    SetOnAir(SectorId, bool),
+}
+
+impl ConfigChange {
+    /// The sector this change touches.
+    pub fn sector(&self) -> SectorId {
+        match *self {
+            ConfigChange::PowerDelta(s, _)
+            | ConfigChange::SetPower(s, _)
+            | ConfigChange::SetTilt(s, _)
+            | ConfigChange::SetOnAir(s, _) => s,
+        }
+    }
+}
+
+impl Configuration {
+    /// The nominal (planner-assigned) configuration of a network, all
+    /// sectors on-air.
+    pub fn nominal(network: &Network) -> Configuration {
+        Configuration {
+            sectors: network
+                .sectors()
+                .iter()
+                .map(|s| SectorConfig {
+                    power: s.nominal_power,
+                    tilt: s.nominal_tilt,
+                    on_air: true,
+                })
+                .collect(),
+        }
+    }
+
+    /// Builds a configuration directly from per-sector values.
+    pub fn from_sectors(sectors: Vec<SectorConfig>) -> Configuration {
+        Configuration { sectors }
+    }
+
+    /// Number of sectors covered.
+    pub fn len(&self) -> usize {
+        self.sectors.len()
+    }
+
+    /// `true` if the configuration covers no sectors.
+    pub fn is_empty(&self) -> bool {
+        self.sectors.is_empty()
+    }
+
+    /// The configuration of one sector.
+    #[inline]
+    pub fn sector(&self, id: SectorId) -> SectorConfig {
+        self.sectors[id.idx()]
+    }
+
+    /// All per-sector configs, indexed by [`SectorId`].
+    pub fn sectors(&self) -> &[SectorConfig] {
+        &self.sectors
+    }
+
+    /// Applies a change in place, clamping powers to the hardware limits
+    /// recorded in `network`. Returns the change that was *actually*
+    /// applied (useful when clamping bites).
+    pub fn apply(&mut self, network: &Network, change: ConfigChange) -> ConfigChange {
+        match change {
+            ConfigChange::PowerDelta(id, delta) => {
+                let hw = network.sector(id);
+                let cur = self.sectors[id.idx()].power;
+                let clamped = (cur + delta).clamp(hw.min_power, hw.max_power);
+                self.sectors[id.idx()].power = clamped;
+                ConfigChange::SetPower(id, clamped)
+            }
+            ConfigChange::SetPower(id, p) => {
+                let hw = network.sector(id);
+                let clamped = p.clamp(hw.min_power, hw.max_power);
+                self.sectors[id.idx()].power = clamped;
+                ConfigChange::SetPower(id, clamped)
+            }
+            ConfigChange::SetTilt(id, t) => {
+                assert!(
+                    t < magus_propagation::NUM_TILT_SETTINGS,
+                    "tilt index {t} out of range"
+                );
+                self.sectors[id.idx()].tilt = t;
+                change
+            }
+            ConfigChange::SetOnAir(id, v) => {
+                self.sectors[id.idx()].on_air = v;
+                change
+            }
+        }
+    }
+
+    /// Functional form of [`Configuration::apply`] — the paper's
+    /// `C ⊕ change`.
+    pub fn with(&self, network: &Network, change: ConfigChange) -> Configuration {
+        let mut next = self.clone();
+        next.apply(network, change);
+        next
+    }
+
+    /// Whether applying `change` would actually alter this configuration
+    /// (power changes that are fully absorbed by clamping do not count).
+    pub fn would_change(&self, network: &Network, change: ConfigChange) -> bool {
+        let cur = self.sectors[change.sector().idx()];
+        match change {
+            ConfigChange::PowerDelta(id, delta) => {
+                let hw = network.sector(id);
+                (cur.power + delta).clamp(hw.min_power, hw.max_power) != cur.power
+            }
+            ConfigChange::SetPower(id, p) => {
+                let hw = network.sector(id);
+                p.clamp(hw.min_power, hw.max_power) != cur.power
+            }
+            ConfigChange::SetTilt(_, t) => t != cur.tilt,
+            ConfigChange::SetOnAir(_, v) => v != cur.on_air,
+        }
+    }
+
+    /// Lists the changes that transform `self` into `other`
+    /// (sector-by-sector; both configurations must cover the same
+    /// network).
+    pub fn diff(&self, other: &Configuration) -> Vec<ConfigChange> {
+        assert_eq!(self.len(), other.len(), "configurations cover different networks");
+        let mut out = Vec::new();
+        for (i, (a, b)) in self.sectors.iter().zip(other.sectors.iter()).enumerate() {
+            let id = SectorId(i as u32);
+            if a.on_air != b.on_air {
+                out.push(ConfigChange::SetOnAir(id, b.on_air));
+            }
+            if a.power != b.power {
+                out.push(ConfigChange::SetPower(id, b.power));
+            }
+            if a.tilt != b.tilt {
+                out.push(ConfigChange::SetTilt(id, b.tilt));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Network;
+    use crate::sector::{BsId, Sector};
+    use magus_geo::{Bearing, PointM};
+    use magus_propagation::{AntennaParams, SectorSite};
+
+    fn toy_network(n: u32) -> Network {
+        let sectors = (0..n)
+            .map(|i| {
+                Sector::macro_defaults(
+                    SectorId(i),
+                    BsId(i / 3),
+                    SectorSite {
+                        position: PointM::new(i as f64 * 1000.0, 0.0),
+                        height_m: 30.0,
+                        azimuth: Bearing::new(0.0),
+                        antenna: AntennaParams::default(),
+                    },
+                )
+            })
+            .collect();
+        Network::new(sectors)
+    }
+
+    #[test]
+    fn nominal_matches_network() {
+        let net = toy_network(6);
+        let c = Configuration::nominal(&net);
+        assert_eq!(c.len(), 6);
+        for s in c.sectors() {
+            assert_eq!(s.power, Dbm(43.0));
+            assert!(s.on_air);
+        }
+    }
+
+    #[test]
+    fn power_delta_clamps_at_max() {
+        let net = toy_network(3);
+        let mut c = Configuration::nominal(&net);
+        let applied = c.apply(&net, ConfigChange::PowerDelta(SectorId(1), Db(10.0)));
+        assert_eq!(c.sector(SectorId(1)).power, Dbm(46.0)); // max
+        assert_eq!(applied, ConfigChange::SetPower(SectorId(1), Dbm(46.0)));
+        // Other sectors untouched.
+        assert_eq!(c.sector(SectorId(0)).power, Dbm(43.0));
+    }
+
+    #[test]
+    fn would_change_detects_clamp_absorption() {
+        let net = toy_network(1);
+        let mut c = Configuration::nominal(&net);
+        c.apply(&net, ConfigChange::SetPower(SectorId(0), Dbm(46.0)));
+        assert!(!c.would_change(&net, ConfigChange::PowerDelta(SectorId(0), Db(1.0))));
+        assert!(c.would_change(&net, ConfigChange::PowerDelta(SectorId(0), Db(-1.0))));
+    }
+
+    #[test]
+    fn diff_roundtrip() {
+        let net = toy_network(4);
+        let a = Configuration::nominal(&net);
+        let mut b = a.clone();
+        b.apply(&net, ConfigChange::SetOnAir(SectorId(2), false));
+        b.apply(&net, ConfigChange::PowerDelta(SectorId(0), Db(2.0)));
+        b.apply(&net, ConfigChange::SetTilt(SectorId(3), 4));
+        let changes = a.diff(&b);
+        assert_eq!(changes.len(), 3);
+        let mut replay = a.clone();
+        for ch in changes {
+            replay.apply(&net, ch);
+        }
+        assert_eq!(replay, b);
+    }
+
+    #[test]
+    fn with_is_pure() {
+        let net = toy_network(2);
+        let a = Configuration::nominal(&net);
+        let b = a.with(&net, ConfigChange::SetTilt(SectorId(0), 2));
+        assert_eq!(a.sector(SectorId(0)).tilt, magus_propagation::NOMINAL_TILT_INDEX);
+        assert_eq!(b.sector(SectorId(0)).tilt, 2);
+    }
+
+    #[test]
+    fn configuration_serde_roundtrip() {
+        let net = toy_network(3);
+        let mut c = Configuration::nominal(&net);
+        c.apply(&net, ConfigChange::SetOnAir(SectorId(1), false));
+        c.apply(&net, ConfigChange::SetTilt(SectorId(2), 3));
+        let json = serde_json::to_string(&c).expect("serialize");
+        let back: Configuration = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_tilt_rejected() {
+        let net = toy_network(1);
+        let mut c = Configuration::nominal(&net);
+        c.apply(
+            &net,
+            ConfigChange::SetTilt(SectorId(0), magus_propagation::NUM_TILT_SETTINGS),
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! Cellular network objects, market generation, and upgrade scenarios.
+//!
+//! This crate holds everything the paper treats as *operational input*:
+//!
+//! * [`sector`] / [`network`] — base stations, sectors, and their static
+//!   siting plus tunable limits (max transmit power, tilt range).
+//! * [`config`] — the paper's configuration **C**: "the collective
+//!   parameter settings of all base stations in the network" (§2), with
+//!   typed change operations (`⊕` in Algorithm 1) and diffing.
+//! * [`markets`] — synthetic stand-ins for the paper's three US markets:
+//!   jittered-hexagonal layouts at rural / suburban / urban densities,
+//!   calibrated so interferer counts land near the paper's 26 / 55 / 178.
+//! * [`ue`] — UE distribution layers: the paper's uniform-per-sector
+//!   assumption, plus the clutter-weighted refinement it defers to future
+//!   work.
+//! * [`scenario`] — the paper's three upgrade scenarios (Figure 9):
+//!   single central sector, whole central base station, four corner
+//!   sectors.
+
+pub mod config;
+pub mod markets;
+pub mod network;
+pub mod scenario;
+pub mod sector;
+pub mod ue;
+
+pub use config::{ConfigChange, Configuration, SectorConfig};
+pub use markets::{AreaType, Market, MarketParams};
+pub use network::{BaseStation, Network};
+pub use scenario::{upgrade_targets, UpgradeScenario};
+pub use sector::{BsId, Sector, SectorId};
+pub use ue::UeLayer;
+
+/// Single-import surface for downstream crates and examples.
+pub mod prelude {
+    pub use crate::config::{ConfigChange, Configuration, SectorConfig};
+    pub use crate::markets::{AreaType, Market, MarketParams};
+    pub use crate::network::{BaseStation, Network};
+    pub use crate::scenario::{upgrade_targets, UpgradeScenario};
+    pub use crate::sector::{BsId, Sector, SectorId};
+    pub use crate::ue::UeLayer;
+}

@@ -1,0 +1,400 @@
+//! Synthetic market generation.
+//!
+//! The paper evaluates on "three different markets in the United States",
+//! selecting rural / suburban / urban areas whose sector densities differ
+//! sharply ("on average 26 sectors that interfere with the sectors in our
+//! rural area, 55 … suburban, 178 … urban", §6). We reproduce the three
+//! *density regimes* — the thing the recovery result actually depends on:
+//!
+//! * **Rural** — large inter-site distance over hilly, open terrain. The
+//!   network is noise-limited: neighbors are too far to cover a failed
+//!   sector even at maximum power (paper Figure 10).
+//! * **Suburban** — moderate density. Neighbors can reach the affected
+//!   grids and interference is tolerable: the regime where Magus recovers
+//!   the most.
+//! * **Urban** — dense, interference-limited. Plenty of signal reach but
+//!   every dB of extra power degrades someone else's SINR.
+//!
+//! Base stations sit on a jittered hexagonal lattice (the standard
+//! planning abstraction), each with three sectors at ±120° jittered
+//! azimuths. Everything derives from one seed.
+
+use crate::network::Network;
+use crate::sector::{BsId, Sector, SectorId};
+use magus_geo::{Bearing, Dbm, GridSpec, GridWindow, PointM};
+use magus_propagation::{
+    AntennaParams, PathLossStore, PropagationModel, SectorSite, SpmParams, TiltSettings,
+};
+use magus_terrain::{ClutterParams, Terrain, TerrainParams};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// The paper's three area categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AreaType {
+    /// Sparse, noise-limited.
+    Rural,
+    /// Moderate density — the sweet spot for recovery.
+    Suburban,
+    /// Dense, interference-limited.
+    Urban,
+}
+
+impl AreaType {
+    /// All three area types, in the paper's table order.
+    pub const ALL: [AreaType; 3] = [AreaType::Rural, AreaType::Suburban, AreaType::Urban];
+}
+
+impl std::fmt::Display for AreaType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            AreaType::Rural => "rural",
+            AreaType::Suburban => "suburban",
+            AreaType::Urban => "urban",
+        };
+        f.write_str(s)
+    }
+}
+
+/// All knobs of market generation.
+#[derive(Debug, Clone)]
+pub struct MarketParams {
+    /// Which density regime to generate.
+    pub area_type: AreaType,
+    /// Master seed; all geography, layout jitter, and shadowing derive
+    /// from it.
+    pub seed: u64,
+    /// Analysis raster cell size, meters (paper: 100 m).
+    pub cell_size_m: f64,
+    /// Side of the square analysis region, meters (paper: 30 km around a
+    /// 10 km tuning area).
+    pub analysis_span_m: f64,
+    /// Side of the central square tuning area, meters.
+    pub tuning_span_m: f64,
+    /// Inter-site distance of the hexagonal lattice, meters.
+    pub isd_m: f64,
+    /// Positional jitter as a fraction of ISD.
+    pub pos_jitter_frac: f64,
+    /// Azimuth jitter, degrees.
+    pub azimuth_jitter_deg: f64,
+    /// Side of each sector's path-loss footprint window, meters.
+    pub footprint_span_m: f64,
+    /// Mean UEs served per sector at nominal configuration.
+    pub ue_per_sector: f64,
+    /// Terrain generation parameters.
+    pub terrain: TerrainParams,
+    /// Clutter generation parameters.
+    pub clutter: ClutterParams,
+    /// Propagation model constants.
+    pub spm: SpmParams,
+}
+
+impl MarketParams {
+    /// The calibrated preset for an area type.
+    pub fn preset(area_type: AreaType, seed: u64) -> MarketParams {
+        let base = MarketParams {
+            area_type,
+            seed,
+            cell_size_m: 100.0,
+            analysis_span_m: 24_000.0,
+            tuning_span_m: 10_000.0,
+            isd_m: 2_400.0,
+            pos_jitter_frac: 0.12,
+            azimuth_jitter_deg: 12.0,
+            footprint_span_m: 10_000.0,
+            ue_per_sector: 1_200.0,
+            terrain: TerrainParams::rolling(),
+            clutter: ClutterParams::default(),
+            spm: SpmParams::default(),
+        };
+        match area_type {
+            AreaType::Rural => MarketParams {
+                isd_m: 4_500.0,
+                footprint_span_m: 16_000.0,
+                ue_per_sector: 400.0,
+                terrain: TerrainParams::hilly(),
+                clutter: ClutterParams::rural(),
+                ..base
+            },
+            AreaType::Suburban => base,
+            AreaType::Urban => MarketParams {
+                isd_m: 1_100.0,
+                footprint_span_m: 5_000.0,
+                ue_per_sector: 2_500.0,
+                terrain: TerrainParams::rolling(),
+                clutter: ClutterParams::metropolitan(PointM::new(0.0, 0.0)),
+                ..base
+            },
+        }
+    }
+
+    /// A down-scaled preset for unit tests: coarse cells, small spans,
+    /// few sectors — same regime, two orders of magnitude cheaper.
+    pub fn tiny(area_type: AreaType, seed: u64) -> MarketParams {
+        let mut p = MarketParams::preset(area_type, seed);
+        p.cell_size_m = 250.0;
+        p.analysis_span_m = 10_000.0;
+        p.tuning_span_m = 5_000.0;
+        p.footprint_span_m = p.footprint_span_m.min(8_000.0);
+        p.spm.diffraction_samples = 6;
+        p
+    }
+}
+
+/// A generated market: geography, network, rasters, and path-loss store.
+pub struct Market {
+    params: MarketParams,
+    network: Network,
+    terrain: Arc<Terrain>,
+    spec: GridSpec,
+    tuning_window: GridWindow,
+    store: Arc<PathLossStore>,
+}
+
+impl Market {
+    /// Generates a market from parameters. This computes every sector's
+    /// base path-loss matrix, so it is the expensive step of an
+    /// experiment (seconds in release builds for full presets).
+    pub fn generate(params: MarketParams) -> Market {
+        let center = PointM::new(0.0, 0.0);
+        let spec = GridSpec::centered(center, params.cell_size_m, params.analysis_span_m);
+        let terrain = Arc::new(Terrain::generate(
+            spec,
+            params.seed,
+            &params.terrain,
+            &params.clutter,
+        ));
+        let network = lay_out_network(&params);
+        let model = PropagationModel::new(
+            Arc::clone(&terrain),
+            params.spm,
+            params.seed ^ 0x5107_AD10,
+        );
+        let store = Arc::new(PathLossStore::build(
+            spec,
+            network.sites(),
+            &model,
+            TiltSettings::default(),
+            params.footprint_span_m,
+        ));
+        let tuning_window = spec.window_around(center, params.tuning_span_m);
+        Market {
+            params,
+            network,
+            terrain,
+            spec,
+            tuning_window,
+            store,
+        }
+    }
+
+    /// The generation parameters.
+    pub fn params(&self) -> &MarketParams {
+        &self.params
+    }
+
+    /// The network topology.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// The geography.
+    pub fn terrain(&self) -> &Arc<Terrain> {
+        &self.terrain
+    }
+
+    /// The analysis raster spec.
+    pub fn spec(&self) -> &GridSpec {
+        &self.spec
+    }
+
+    /// The central tuning window (the paper tunes sectors inside a
+    /// 10 km × 10 km area of a 30 km × 30 km analysis region).
+    pub fn tuning_window(&self) -> GridWindow {
+        self.tuning_window
+    }
+
+    /// The path-loss store (per sector, per tilt).
+    pub fn store(&self) -> &Arc<PathLossStore> {
+        &self.store
+    }
+
+    /// Builds an alternative path-loss store over the *same* geography,
+    /// layout, and parameters but a different shadowing seed — a stand-in
+    /// for "reality diverged from the planning database" (the paper's
+    /// caveat that a model-based approach "might reach a sub-optimal
+    /// configuration" when conditions do not match the model).
+    pub fn store_with_shadowing_seed(&self, seed: u64) -> Arc<PathLossStore> {
+        self.store_with_shadowing_blend(seed, 1.0)
+    }
+
+    /// Like [`Market::store_with_shadowing_seed`], but only *partially*
+    /// divergent: the new shadowing field is a variance-preserving blend
+    /// of the market's own field (weight `1 − w²`½) and an independent
+    /// one (weight `w`). `w = 0` reproduces the market's store exactly.
+    pub fn store_with_shadowing_blend(&self, seed: u64, weight: f64) -> Arc<PathLossStore> {
+        let base = PropagationModel::new(
+            Arc::clone(&self.terrain),
+            self.params.spm,
+            self.params.seed ^ 0x5107_AD10,
+        );
+        let model = base.with_shadowing_blend(seed ^ 0xB1E2_D5EED, weight);
+        Arc::new(PathLossStore::build(
+            self.spec,
+            self.network.sites(),
+            &model,
+            TiltSettings::default(),
+            self.params.footprint_span_m,
+        ))
+    }
+
+    /// Number of sectors whose maximum-power boresight signal reaches at
+    /// least `noise_floor − margin_db` somewhere in the tuning area — the
+    /// paper's "sectors that interfere with the sectors in our area"
+    /// count (Figure 8 commentary). Use a *negative* margin to require
+    /// the signal to clear the noise floor (stricter, closer to what
+    /// materially interferes with SINR).
+    pub fn interfering_sector_count(&self, noise_floor: Dbm, margin_db: f64) -> usize {
+        let half = self.params.tuning_span_m / 2.0;
+        self.network
+            .sectors()
+            .iter()
+            .filter(|s| {
+                let p = s.site.position;
+                // Distance from mast to the nearest point of the tuning
+                // square.
+                let dx = (p.x.abs() - half).max(0.0);
+                let dy = (p.y.abs() - half).max(0.0);
+                let d = dx.hypot(dy).max(self.params.spm.min_distance_m);
+                let best_rp = s.max_power.0 + s.site.antenna.boresight_gain_dbi
+                    - self.params.spm.distance_loss_db(d);
+                best_rp >= noise_floor.0 - margin_db
+            })
+            .count()
+    }
+}
+
+/// Lays the jittered hexagonal lattice and instantiates sectors.
+fn lay_out_network(params: &MarketParams) -> Network {
+    let mut rng = ChaCha8Rng::seed_from_u64(params.seed ^ 0x1A77_1CE5);
+    let half = params.analysis_span_m / 2.0;
+    let row_h = params.isd_m * 3f64.sqrt() / 2.0;
+    let mut sectors = Vec::new();
+    let mut bs = 0u32;
+    let n_rows = (params.analysis_span_m / row_h).ceil() as i64;
+    let n_cols = (params.analysis_span_m / params.isd_m).ceil() as i64;
+    for r in -(n_rows / 2)..=(n_rows / 2) {
+        for c in -(n_cols / 2)..=(n_cols / 2) {
+            let offset = if r.rem_euclid(2) == 0 {
+                0.0
+            } else {
+                params.isd_m / 2.0
+            };
+            let jx = rng.random_range(-1.0..1.0) * params.pos_jitter_frac * params.isd_m;
+            let jy = rng.random_range(-1.0..1.0) * params.pos_jitter_frac * params.isd_m;
+            let x = c as f64 * params.isd_m + offset + jx;
+            let y = r as f64 * row_h + jy;
+            if x.abs() > half || y.abs() > half {
+                continue;
+            }
+            let position = PointM::new(x, y);
+            let base_az = rng.random_range(0.0..120.0);
+            for k in 0..3u32 {
+                let az = base_az
+                    + k as f64 * 120.0
+                    + rng.random_range(-1.0..1.0) * params.azimuth_jitter_deg;
+                let id = SectorId(sectors.len() as u32);
+                let site = SectorSite {
+                    position,
+                    height_m: 30.0,
+                    azimuth: Bearing::new(az),
+                    antenna: AntennaParams::default(),
+                };
+                let mut sector = Sector::macro_defaults(id, BsId(bs), site);
+                // Mild operational diversity in load.
+                sector.nominal_ue_count =
+                    params.ue_per_sector * rng.random_range(0.7..1.3);
+                sectors.push(sector);
+            }
+            bs += 1;
+        }
+    }
+    Network::new(sectors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magus_geo::units::thermal_noise;
+    use magus_geo::Db;
+
+    #[test]
+    fn tiny_markets_generate_and_are_deterministic() {
+        let a = Market::generate(MarketParams::tiny(AreaType::Suburban, 11));
+        let b = Market::generate(MarketParams::tiny(AreaType::Suburban, 11));
+        assert_eq!(a.network(), b.network());
+        assert!(a.network().num_sectors() > 0);
+        assert_eq!(a.network().num_sectors() % 3, 0, "3 sectors per BS");
+    }
+
+    #[test]
+    fn density_ordering_matches_regimes() {
+        let r = Market::generate(MarketParams::tiny(AreaType::Rural, 5));
+        let s = Market::generate(MarketParams::tiny(AreaType::Suburban, 5));
+        let u = Market::generate(MarketParams::tiny(AreaType::Urban, 5));
+        assert!(r.network().num_sectors() < s.network().num_sectors());
+        assert!(s.network().num_sectors() < u.network().num_sectors());
+    }
+
+    #[test]
+    fn interferer_counts_increase_with_density() {
+        let noise = thermal_noise(9e6, Db(7.0));
+        let r = Market::generate(MarketParams::tiny(AreaType::Rural, 5))
+            .interfering_sector_count(noise, 6.0);
+        let u = Market::generate(MarketParams::tiny(AreaType::Urban, 5))
+            .interfering_sector_count(noise, 6.0);
+        assert!(r < u, "rural {r} vs urban {u}");
+    }
+
+    #[test]
+    fn tuning_window_is_centered() {
+        let m = Market::generate(MarketParams::tiny(AreaType::Suburban, 2));
+        let w = m.tuning_window();
+        let spec = m.spec();
+        assert!(w.len() > 0);
+        // Window should be roughly centered in the raster.
+        let mid_x = (w.x0 + w.x1) / 2;
+        assert!((mid_x as i64 - spec.width as i64 / 2).abs() <= 1);
+    }
+
+    #[test]
+    fn alternate_shadowing_store_differs_but_shares_geometry() {
+        let m = Market::generate(MarketParams::tiny(AreaType::Suburban, 4));
+        let alt = m.store_with_shadowing_seed(999);
+        assert_eq!(alt.num_sectors(), m.store().num_sectors());
+        assert_eq!(alt.window(0), m.store().window(0));
+        // Same geometry, different shadowing draws.
+        let a = m.store().matrix(0, magus_propagation::NOMINAL_TILT_INDEX);
+        let b = alt.matrix(0, magus_propagation::NOMINAL_TILT_INDEX);
+        let differing = a
+            .values()
+            .iter()
+            .zip(b.values().iter())
+            .filter(|(x, y)| x != y)
+            .count();
+        assert!(differing > a.values().len() / 2);
+    }
+
+    #[test]
+    fn sector_positions_inside_analysis_region() {
+        let m = Market::generate(MarketParams::tiny(AreaType::Urban, 9));
+        let half = m.params().analysis_span_m / 2.0;
+        for s in m.network().sectors() {
+            assert!(s.site.position.x.abs() <= half);
+            assert!(s.site.position.y.abs() <= half);
+        }
+    }
+}

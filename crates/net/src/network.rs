@@ -1,0 +1,186 @@
+//! The network: a sector table plus base-station grouping.
+
+use crate::sector::{BsId, Sector, SectorId};
+use magus_geo::PointM;
+use serde::{Deserialize, Serialize};
+
+/// A base station: a co-sited group of sectors (paper: "typically 3").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BaseStation {
+    /// The station's id.
+    pub id: BsId,
+    /// Mast location.
+    pub position: PointM,
+    /// Sectors hosted on this mast.
+    pub sectors: Vec<SectorId>,
+}
+
+/// An immutable cellular network topology.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Network {
+    sectors: Vec<Sector>,
+    base_stations: Vec<BaseStation>,
+}
+
+impl Network {
+    /// Builds a network from a sector table, deriving base-station
+    /// grouping from each sector's `bs` field.
+    ///
+    /// Panics if sector ids are not dense `0..n` in table order — the id
+    /// *is* the table index throughout the workspace.
+    pub fn new(sectors: Vec<Sector>) -> Network {
+        for (i, s) in sectors.iter().enumerate() {
+            assert_eq!(s.id.idx(), i, "sector ids must be dense and in order");
+        }
+        let max_bs = sectors.iter().map(|s| s.bs.idx() + 1).max().unwrap_or(0);
+        let mut base_stations: Vec<BaseStation> = (0..max_bs)
+            .map(|i| BaseStation {
+                id: BsId(i as u32),
+                position: PointM::new(0.0, 0.0),
+                sectors: Vec::new(),
+            })
+            .collect();
+        for s in &sectors {
+            let b = &mut base_stations[s.bs.idx()];
+            b.sectors.push(s.id);
+            b.position = s.site.position;
+        }
+        base_stations.retain(|b| !b.sectors.is_empty());
+        Network {
+            sectors,
+            base_stations,
+        }
+    }
+
+    /// The sector table (index = [`SectorId`]).
+    pub fn sectors(&self) -> &[Sector] {
+        &self.sectors
+    }
+
+    /// One sector by id.
+    #[inline]
+    pub fn sector(&self, id: SectorId) -> &Sector {
+        &self.sectors[id.idx()]
+    }
+
+    /// Number of sectors.
+    pub fn num_sectors(&self) -> usize {
+        self.sectors.len()
+    }
+
+    /// The base stations.
+    pub fn base_stations(&self) -> &[BaseStation] {
+        &self.base_stations
+    }
+
+    /// The base station whose mast is nearest to `p`.
+    pub fn nearest_base_station(&self, p: PointM) -> Option<&BaseStation> {
+        self.base_stations
+            .iter()
+            .min_by(|a, b| {
+                a.position
+                    .distance(p)
+                    .partial_cmp(&b.position.distance(p))
+                    .expect("distances are finite")
+            })
+    }
+
+    /// The sector whose mast is nearest to `p` (ties broken by id).
+    pub fn nearest_sector(&self, p: PointM) -> Option<SectorId> {
+        self.sectors
+            .iter()
+            .min_by(|a, b| {
+                a.site
+                    .position
+                    .distance(p)
+                    .partial_cmp(&b.site.position.distance(p))
+                    .expect("distances are finite")
+            })
+            .map(|s| s.id)
+    }
+
+    /// Sector ids whose masts lie within `radius_m` of `p`, excluding any
+    /// in `exclude` — the neighbor set **B** fed to Algorithm 1.
+    pub fn sectors_within(
+        &self,
+        p: PointM,
+        radius_m: f64,
+        exclude: &[SectorId],
+    ) -> Vec<SectorId> {
+        self.sectors
+            .iter()
+            .filter(|s| !exclude.contains(&s.id) && s.site.position.distance(p) <= radius_m)
+            .map(|s| s.id)
+            .collect()
+    }
+
+    /// The siting objects of all sectors, in id order — the input the
+    /// path-loss store wants.
+    pub fn sites(&self) -> Vec<magus_propagation::SectorSite> {
+        self.sectors.iter().map(|s| s.site).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magus_geo::Bearing;
+    use magus_propagation::{AntennaParams, SectorSite};
+
+    fn sector_at(id: u32, bs: u32, x: f64, y: f64) -> Sector {
+        Sector::macro_defaults(
+            SectorId(id),
+            BsId(bs),
+            SectorSite {
+                position: PointM::new(x, y),
+                height_m: 30.0,
+                azimuth: Bearing::new((id % 3) as f64 * 120.0),
+                antenna: AntennaParams::default(),
+            },
+        )
+    }
+
+    fn net() -> Network {
+        Network::new(vec![
+            sector_at(0, 0, 0.0, 0.0),
+            sector_at(1, 0, 0.0, 0.0),
+            sector_at(2, 0, 0.0, 0.0),
+            sector_at(3, 1, 3000.0, 0.0),
+            sector_at(4, 1, 3000.0, 0.0),
+            sector_at(5, 1, 3000.0, 0.0),
+        ])
+    }
+
+    #[test]
+    fn grouping_by_base_station() {
+        let n = net();
+        assert_eq!(n.base_stations().len(), 2);
+        assert_eq!(n.base_stations()[0].sectors.len(), 3);
+        assert_eq!(n.base_stations()[1].position, PointM::new(3000.0, 0.0));
+    }
+
+    #[test]
+    fn nearest_lookups() {
+        let n = net();
+        assert_eq!(
+            n.nearest_base_station(PointM::new(2000.0, 0.0)).unwrap().id,
+            BsId(1)
+        );
+        assert_eq!(n.nearest_sector(PointM::new(100.0, 50.0)), Some(SectorId(0)));
+    }
+
+    #[test]
+    fn sectors_within_excludes() {
+        let n = net();
+        let found = n.sectors_within(PointM::new(0.0, 0.0), 1000.0, &[SectorId(1)]);
+        assert_eq!(found, vec![SectorId(0), SectorId(2)]);
+        let all = n.sectors_within(PointM::new(0.0, 0.0), 10_000.0, &[]);
+        assert_eq!(all.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "dense")]
+    fn non_dense_ids_panic() {
+        Network::new(vec![sector_at(1, 0, 0.0, 0.0)]);
+    }
+}

@@ -1,0 +1,132 @@
+//! The paper's three upgrade scenarios (Figure 9).
+//!
+//! > "(a) upgrading a single sector at a centrally-located base station,
+//! > (b) upgrading three sectors located at the same central base
+//! > station, and (c) upgrade four sectors at the four corners of the
+//! > region."
+
+use crate::markets::Market;
+use crate::sector::SectorId;
+use magus_geo::PointM;
+use serde::{Deserialize, Serialize};
+
+/// Which planned-upgrade pattern to apply to a market's tuning area.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UpgradeScenario {
+    /// (a) One sector of the most central base station.
+    SingleCentralSector,
+    /// (b) All sectors of the most central base station.
+    CentralBaseStation,
+    /// (c) One sector near each corner of the tuning area.
+    FourCorners,
+}
+
+impl UpgradeScenario {
+    /// All three scenarios, in the paper's (a)/(b)/(c) order.
+    pub const ALL: [UpgradeScenario; 3] = [
+        UpgradeScenario::SingleCentralSector,
+        UpgradeScenario::CentralBaseStation,
+        UpgradeScenario::FourCorners,
+    ];
+
+    /// The paper's label for the scenario.
+    pub fn label(self) -> &'static str {
+        match self {
+            UpgradeScenario::SingleCentralSector => "(a)",
+            UpgradeScenario::CentralBaseStation => "(b)",
+            UpgradeScenario::FourCorners => "(c)",
+        }
+    }
+}
+
+impl std::fmt::Display for UpgradeScenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The sectors a scenario takes off-air in `market`.
+///
+/// Deterministic given the market; duplicates are removed for
+/// [`UpgradeScenario::FourCorners`] when two corners share their nearest
+/// sector (possible in sparse rural markets).
+pub fn upgrade_targets(market: &Market, scenario: UpgradeScenario) -> Vec<SectorId> {
+    let net = market.network();
+    let center = PointM::new(0.0, 0.0);
+    match scenario {
+        UpgradeScenario::SingleCentralSector => {
+            let bs = net
+                .nearest_base_station(center)
+                .expect("market has base stations");
+            vec![bs.sectors[0]]
+        }
+        UpgradeScenario::CentralBaseStation => {
+            let bs = net
+                .nearest_base_station(center)
+                .expect("market has base stations");
+            bs.sectors.clone()
+        }
+        UpgradeScenario::FourCorners => {
+            let half = market.params().tuning_span_m / 2.0;
+            let mut out: Vec<SectorId> = Vec::new();
+            for (sx, sy) in [(-1.0, -1.0), (-1.0, 1.0), (1.0, -1.0), (1.0, 1.0)] {
+                let corner = PointM::new(sx * half, sy * half);
+                if let Some(id) = net.nearest_sector(corner) {
+                    if !out.contains(&id) {
+                        out.push(id);
+                    }
+                }
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::markets::{AreaType, MarketParams};
+
+    fn market() -> Market {
+        Market::generate(MarketParams::tiny(AreaType::Suburban, 17))
+    }
+
+    #[test]
+    fn scenario_a_is_one_central_sector() {
+        let m = market();
+        let t = upgrade_targets(&m, UpgradeScenario::SingleCentralSector);
+        assert_eq!(t.len(), 1);
+        // It must belong to the base station nearest the center.
+        let bs = m.network().nearest_base_station(PointM::new(0.0, 0.0)).unwrap();
+        assert!(bs.sectors.contains(&t[0]));
+    }
+
+    #[test]
+    fn scenario_b_is_whole_station() {
+        let m = market();
+        let t = upgrade_targets(&m, UpgradeScenario::CentralBaseStation);
+        assert_eq!(t.len(), 3);
+        let bs_of = |id: SectorId| m.network().sector(id).bs;
+        assert!(t.iter().all(|&id| bs_of(id) == bs_of(t[0])));
+    }
+
+    #[test]
+    fn scenario_c_targets_distinct_corner_sectors() {
+        let m = market();
+        let t = upgrade_targets(&m, UpgradeScenario::FourCorners);
+        assert!(!t.is_empty() && t.len() <= 4);
+        // No duplicates.
+        let mut sorted = t.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), t.len());
+    }
+
+    #[test]
+    fn targets_are_deterministic() {
+        let m = market();
+        for s in UpgradeScenario::ALL {
+            assert_eq!(upgrade_targets(&m, s), upgrade_targets(&m, s));
+        }
+    }
+}

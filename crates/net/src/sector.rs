@@ -1,0 +1,115 @@
+//! Sectors and base stations.
+//!
+//! Paper §4: "One base station usually contains multiple (typically 3)
+//! sectors, facing at different directions." A [`Sector`] couples its
+//! physical siting ([`magus_propagation::SectorSite`]) with the nominal
+//! configuration planners assigned it and the hard limits any tuning must
+//! respect (notably maximum transmit power — the constraint that makes
+//! rural recovery hard in paper Figure 10).
+
+use magus_geo::Dbm;
+use magus_propagation::{SectorSite, NOMINAL_TILT_INDEX};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a sector: index into the network's sector table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SectorId(pub u32);
+
+/// Identifier of a base station.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BsId(pub u32);
+
+impl SectorId {
+    /// The sector id as a `usize` index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl BsId {
+    /// The base-station id as a `usize` index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A sector: siting, nominal configuration, and tuning limits.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sector {
+    /// This sector's id (its index in the network's sector table).
+    pub id: SectorId,
+    /// Owning base station.
+    pub bs: BsId,
+    /// Physical siting (position, height, azimuth, antenna).
+    pub site: SectorSite,
+    /// Planner-assigned transmit power.
+    pub nominal_power: Dbm,
+    /// Planner-assigned tilt index.
+    pub nominal_tilt: u8,
+    /// Hardware maximum transmit power. Tuning may never exceed this —
+    /// the binding constraint in rural areas (paper Figure 10: "+10 dB …
+    /// probably already exceeds the maximum transmission power of that
+    /// sector").
+    pub max_power: Dbm,
+    /// Hardware minimum transmit power (attenuator floor).
+    pub min_power: Dbm,
+    /// Total UEs this sector serves at nominal configuration (operational
+    /// input; drives the uniform-per-sector UE layer).
+    pub nominal_ue_count: f64,
+}
+
+impl Sector {
+    /// A macro sector with conventional defaults: 43 dBm nominal, 46 dBm
+    /// max, nominal tilt, 600 UEs.
+    pub fn macro_defaults(id: SectorId, bs: BsId, site: SectorSite) -> Sector {
+        Sector {
+            id,
+            bs,
+            site,
+            nominal_power: Dbm(43.0),
+            nominal_tilt: NOMINAL_TILT_INDEX,
+            max_power: Dbm(46.0),
+            min_power: Dbm(10.0),
+            nominal_ue_count: 600.0,
+        }
+    }
+
+    /// Headroom between nominal and maximum power, in dB.
+    pub fn power_headroom_db(&self) -> f64 {
+        self.max_power.0 - self.nominal_power.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magus_geo::{Bearing, PointM};
+    use magus_propagation::AntennaParams;
+
+    fn site() -> SectorSite {
+        SectorSite {
+            position: PointM::new(0.0, 0.0),
+            height_m: 30.0,
+            azimuth: Bearing::new(120.0),
+            antenna: AntennaParams::default(),
+        }
+    }
+
+    #[test]
+    fn macro_defaults_are_sane() {
+        let s = Sector::macro_defaults(SectorId(3), BsId(1), site());
+        assert_eq!(s.id, SectorId(3));
+        assert_eq!(s.bs, BsId(1));
+        assert!(s.max_power > s.nominal_power);
+        assert!(s.nominal_power > s.min_power);
+        assert!((s.power_headroom_db() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ids_index() {
+        assert_eq!(SectorId(7).idx(), 7);
+        assert_eq!(BsId(2).idx(), 2);
+    }
+}

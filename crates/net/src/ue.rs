@@ -1,0 +1,205 @@
+//! UE distribution layers.
+//!
+//! Paper §4.2: *"we make a simple assumption: all grids served by a
+//! particular sector contain the same number of UEs … the number of UEs
+//! in each grid is obtained by dividing the total amount of UEs served by
+//! the sector by the number of grids that the sector serves."* That is
+//! [`UeLayer::uniform_per_sector`]. The clutter-weighted builder
+//! implements the finer-grained distribution the paper defers to future
+//! work.
+//!
+//! A layer is a raster of *fractional UE counts*; the model's load term
+//! N(g) (paper Formula 3) sums these over serving sets.
+
+use magus_geo::{GridMap, GridSpec};
+use magus_terrain::Terrain;
+
+/// UEs per grid cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UeLayer {
+    map: GridMap<f64>,
+}
+
+impl UeLayer {
+    /// The paper's assumption: each sector's total UE count spread evenly
+    /// over the grids it serves.
+    ///
+    /// * `serving` — serving sector per grid index (`None` = out of
+    ///   service), as computed by the model at the *pre-upgrade*
+    ///   configuration.
+    /// * `sector_totals` — total UEs per sector id.
+    ///
+    /// Grids without service get zero UEs (the paper's operational data
+    /// has no subscribers outside coverage by construction).
+    pub fn uniform_per_sector(
+        spec: GridSpec,
+        serving: &[Option<u32>],
+        sector_totals: &[f64],
+    ) -> UeLayer {
+        assert_eq!(serving.len(), spec.len(), "serving map size mismatch");
+        let mut grids_per_sector = vec![0usize; sector_totals.len()];
+        for s in serving.iter().flatten() {
+            grids_per_sector[*s as usize] += 1;
+        }
+        let data = serving
+            .iter()
+            .map(|s| match s {
+                Some(id) => {
+                    let n = grids_per_sector[*id as usize];
+                    if n == 0 {
+                        0.0
+                    } else {
+                        sector_totals[*id as usize] / n as f64
+                    }
+                }
+                None => 0.0,
+            })
+            .collect();
+        UeLayer {
+            map: GridMap::from_vec(spec, data),
+        }
+    }
+
+    /// Future-work extension: distribute each sector's total over its
+    /// serving grids *weighted by clutter class* (urban grids hold more
+    /// users than forest grids).
+    pub fn clutter_weighted(
+        spec: GridSpec,
+        serving: &[Option<u32>],
+        sector_totals: &[f64],
+        terrain: &Terrain,
+    ) -> UeLayer {
+        assert_eq!(serving.len(), spec.len(), "serving map size mismatch");
+        let weights: Vec<f64> = (0..spec.len())
+            .map(|i| {
+                terrain
+                    .clutter_at(spec.center_of(spec.coord_of_index(i)))
+                    .ue_density_weight()
+            })
+            .collect();
+        let mut weight_per_sector = vec![0.0f64; sector_totals.len()];
+        for (i, s) in serving.iter().enumerate() {
+            if let Some(id) = s {
+                weight_per_sector[*id as usize] += weights[i];
+            }
+        }
+        let data = serving
+            .iter()
+            .enumerate()
+            .map(|(i, s)| match s {
+                Some(id) => {
+                    let total_w = weight_per_sector[*id as usize];
+                    if total_w <= 0.0 {
+                        0.0
+                    } else {
+                        sector_totals[*id as usize] * weights[i] / total_w
+                    }
+                }
+                None => 0.0,
+            })
+            .collect();
+        UeLayer {
+            map: GridMap::from_vec(spec, data),
+        }
+    }
+
+    /// Builds a layer from explicit per-grid counts (load-balancing
+    /// studies, surge modeling).
+    pub fn from_raster_data(spec: GridSpec, data: Vec<f64>) -> UeLayer {
+        UeLayer {
+            map: GridMap::from_vec(spec, data),
+        }
+    }
+
+    /// A uniform density everywhere (for synthetic micro-tests).
+    pub fn constant(spec: GridSpec, per_grid: f64) -> UeLayer {
+        UeLayer {
+            map: GridMap::filled(spec, per_grid),
+        }
+    }
+
+    /// UEs in grid `i` (raster linear index).
+    #[inline]
+    pub fn at_index(&self, i: usize) -> f64 {
+        self.map.as_slice()[i]
+    }
+
+    /// The underlying raster.
+    pub fn raster(&self) -> &GridMap<f64> {
+        &self.map
+    }
+
+    /// Total UEs in the layer.
+    pub fn total(&self) -> f64 {
+        self.map.as_slice().iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magus_geo::PointM;
+
+    fn spec() -> GridSpec {
+        GridSpec::new(PointM::new(0.0, 0.0), 100.0, 4, 4)
+    }
+
+    #[test]
+    fn uniform_per_sector_spreads_evenly() {
+        // Sector 0 serves 8 grids, sector 1 serves 4, 4 unserved.
+        let mut serving = vec![Some(0u32); 8];
+        serving.extend(vec![Some(1u32); 4]);
+        serving.extend(vec![None; 4]);
+        let layer = UeLayer::uniform_per_sector(spec(), &serving, &[80.0, 100.0]);
+        assert_eq!(layer.at_index(0), 10.0);
+        assert_eq!(layer.at_index(9), 25.0);
+        assert_eq!(layer.at_index(14), 0.0);
+        assert!((layer.total() - 180.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn totals_are_conserved() {
+        let serving: Vec<Option<u32>> = (0..16).map(|i| Some((i % 3) as u32)).collect();
+        let totals = [30.0, 60.0, 90.0];
+        let layer = UeLayer::uniform_per_sector(spec(), &serving, &totals);
+        assert!((layer.total() - 180.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sector_with_no_grids_contributes_nothing() {
+        let serving = vec![Some(0u32); 16];
+        let layer = UeLayer::uniform_per_sector(spec(), &serving, &[16.0, 999.0]);
+        assert!((layer.total() - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clutter_weighted_conserves_totals() {
+        use magus_terrain::Terrain;
+        let terrain = Terrain::flat(spec());
+        let serving: Vec<Option<u32>> = (0..16).map(|_| Some(0u32)).collect();
+        let layer = UeLayer::clutter_weighted(spec(), &serving, &[48.0], &terrain);
+        // Flat terrain = all Open, equal weights → uniform 3 per grid.
+        assert!((layer.total() - 48.0).abs() < 1e-9);
+        assert!((layer.at_index(5) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_raster_data_layer() {
+        let layer = UeLayer::from_raster_data(spec(), (0..16).map(|i| i as f64).collect());
+        assert_eq!(layer.at_index(5), 5.0);
+        assert!((layer.total() - 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_layer() {
+        let layer = UeLayer::constant(spec(), 2.5);
+        assert_eq!(layer.at_index(7), 2.5);
+        assert!((layer.total() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn mismatched_serving_map_panics() {
+        UeLayer::uniform_per_sector(spec(), &[None; 3], &[1.0]);
+    }
+}

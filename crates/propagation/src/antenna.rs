@@ -1,0 +1,204 @@
+//! Sector antenna patterns and tilt settings.
+//!
+//! Patterns follow the 3GPP TR 36.814 macro-cell model:
+//!
+//! * horizontal attenuation `A_h(φ) = min(12 (φ/φ_3dB)², A_max)`,
+//! * vertical attenuation `A_v(θ) = min(12 ((θ−θ_tilt)/θ_3dB)², SLA_v)`,
+//! * combined `A(φ,θ) = min(A_h + A_v, A_max)`,
+//!
+//! subtracted from the boresight gain. Electrical downtilt shifts the
+//! vertical pattern; this is what paper Figure 7(c) exploits — an uptilt
+//! "reaches further at the cost of sacrificing nearby areas".
+
+use magus_geo::{Bearing, Db};
+use serde::{Deserialize, Serialize};
+
+/// Number of tilt settings available per sector. The paper's Atoll data
+/// "contains 16 different tilt settings besides the normal case"; we use
+/// indices `0..=16` at 0.5° spacing (0°–8° downtilt).
+pub const NUM_TILT_SETTINGS: u8 = 17;
+
+/// The "normal case" tilt index (4° downtilt), the default planning value
+/// for macro sectors.
+pub const NOMINAL_TILT_INDEX: u8 = 8;
+
+/// Mapping between tilt indices and electrical downtilt degrees.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TiltSettings {
+    /// Downtilt of index 0 in degrees.
+    pub min_downtilt_deg: f64,
+    /// Increment per index in degrees.
+    pub step_deg: f64,
+}
+
+impl Default for TiltSettings {
+    fn default() -> Self {
+        TiltSettings {
+            min_downtilt_deg: 0.0,
+            step_deg: 0.5,
+        }
+    }
+}
+
+impl TiltSettings {
+    /// Downtilt angle in degrees for a tilt index (positive = down).
+    pub fn downtilt_deg(&self, index: u8) -> f64 {
+        assert!(index < NUM_TILT_SETTINGS, "tilt index {index} out of range");
+        self.min_downtilt_deg + self.step_deg * index as f64
+    }
+}
+
+/// Electrical characteristics of a sector antenna.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AntennaParams {
+    /// Boresight gain in dBi.
+    pub boresight_gain_dbi: f64,
+    /// Horizontal 3 dB beamwidth in degrees (TR 36.814: 70°).
+    pub horiz_beamwidth_deg: f64,
+    /// Vertical 3 dB beamwidth in degrees (TR 36.814: 10°).
+    pub vert_beamwidth_deg: f64,
+    /// Maximum horizontal attenuation / front-to-back ratio in dB
+    /// (TR 36.814: 25 dB).
+    pub max_attenuation_db: f64,
+    /// Vertical side-lobe attenuation floor in dB (TR 36.814: 20 dB).
+    pub sla_v_db: f64,
+}
+
+impl Default for AntennaParams {
+    /// A macro sector antenna: 15 dBi, 70° horizontal beamwidth,
+    /// 6.5° vertical beamwidth (typical of real high-gain macro panels,
+    /// and what makes electrical tilt an effective coverage knob),
+    /// 25 dB front-to-back, 20 dB vertical side-lobe floor.
+    fn default() -> Self {
+        AntennaParams {
+            boresight_gain_dbi: 15.0,
+            horiz_beamwidth_deg: 70.0,
+            vert_beamwidth_deg: 6.5,
+            max_attenuation_db: 25.0,
+            sla_v_db: 20.0,
+        }
+    }
+}
+
+impl AntennaParams {
+    /// An idealized omnidirectional antenna (testbed-style small cell).
+    pub fn omni(gain_dbi: f64) -> AntennaParams {
+        AntennaParams {
+            boresight_gain_dbi: gain_dbi,
+            horiz_beamwidth_deg: 360.0,
+            vert_beamwidth_deg: 90.0,
+            max_attenuation_db: 0.0,
+            sla_v_db: 0.0,
+        }
+    }
+
+    /// Antenna gain (dB, relative to isotropic) toward a direction given
+    /// by horizontal off-boresight angle `phi_deg` (−180..180) and
+    /// vertical angle `theta_deg` measured *downward* from the horizon
+    /// (positive = below the antenna), for electrical downtilt
+    /// `downtilt_deg`.
+    pub fn gain_db(&self, phi_deg: f64, theta_deg: f64, downtilt_deg: f64) -> Db {
+        let a_h = if self.horiz_beamwidth_deg >= 360.0 {
+            0.0
+        } else {
+            (12.0 * (phi_deg / self.horiz_beamwidth_deg).powi(2)).min(self.max_attenuation_db)
+        };
+        let a_v = if self.sla_v_db <= 0.0 {
+            0.0
+        } else {
+            (12.0 * ((theta_deg - downtilt_deg) / self.vert_beamwidth_deg).powi(2))
+                .min(self.sla_v_db)
+        };
+        let a = if self.max_attenuation_db > 0.0 {
+            (a_h + a_v).min(self.max_attenuation_db)
+        } else {
+            a_h + a_v
+        };
+        Db(self.boresight_gain_dbi - a)
+    }
+}
+
+/// Physical siting of one sector: everything the propagation model needs
+/// that is *not* a tunable configuration parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SectorSite {
+    /// Antenna position on the tangent plane.
+    pub position: magus_geo::PointM,
+    /// Antenna height above local ground, meters.
+    pub height_m: f64,
+    /// Boresight azimuth.
+    pub azimuth: Bearing,
+    /// Antenna electrical characteristics.
+    pub antenna: AntennaParams,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn macro_ant() -> AntennaParams {
+        AntennaParams::default()
+    }
+
+    #[test]
+    fn boresight_gets_full_gain() {
+        let a = macro_ant();
+        let g = a.gain_db(0.0, 4.0, 4.0);
+        assert!((g.0 - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gain_decreases_off_boresight() {
+        let a = macro_ant();
+        let g0 = a.gain_db(0.0, 4.0, 4.0);
+        let g35 = a.gain_db(35.0, 4.0, 4.0);
+        let g90 = a.gain_db(90.0, 4.0, 4.0);
+        assert!(g35 < g0);
+        assert!(g90 < g35);
+        // At the 3 dB beamwidth edge (±35°), attenuation is 3 dB.
+        assert!((g0.0 - g35.0 - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn back_lobe_is_floored() {
+        let a = macro_ant();
+        let back = a.gain_db(180.0, 4.0, 4.0);
+        assert!((back.0 - (15.0 - 25.0)).abs() < 1e-9);
+        // Combined attenuation can never exceed the front-to-back ratio.
+        let worst = a.gain_db(180.0, 90.0, 0.0);
+        assert!((worst.0 - (15.0 - 25.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn downtilt_shifts_vertical_peak() {
+        let a = macro_ant();
+        // With 6° downtilt, a point 6° below the horizon is on boresight.
+        assert!(a.gain_db(0.0, 6.0, 6.0) > a.gain_db(0.0, 0.0, 6.0));
+        // Uptilting (smaller downtilt) favors the horizon (far grids).
+        assert!(a.gain_db(0.0, 0.5, 1.0) > a.gain_db(0.0, 0.5, 6.0));
+        // …and sacrifices steep (nearby) angles.
+        assert!(a.gain_db(0.0, 12.0, 1.0) < a.gain_db(0.0, 12.0, 6.0));
+    }
+
+    #[test]
+    fn omni_is_direction_independent_horizontally() {
+        let a = AntennaParams::omni(2.0);
+        for phi in [-170.0, -35.0, 0.0, 90.0, 179.0] {
+            assert_eq!(a.gain_db(phi, 0.0, 0.0), Db(2.0));
+        }
+    }
+
+    #[test]
+    fn tilt_settings_mapping() {
+        let t = TiltSettings::default();
+        assert_eq!(t.downtilt_deg(0), 0.0);
+        assert_eq!(t.downtilt_deg(NOMINAL_TILT_INDEX), 4.0);
+        assert_eq!(t.downtilt_deg(16), 8.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn tilt_index_out_of_range_panics() {
+        TiltSettings::default().downtilt_deg(NUM_TILT_SETTINGS);
+    }
+}

@@ -1,0 +1,134 @@
+//! Single knife-edge diffraction (ITU-R P.526).
+//!
+//! For each radio path we find the dominant obstruction — the terrain
+//! sample with the largest Fresnel parameter ν relative to the
+//! transmitter→receiver line-of-sight — and charge the standard
+//! approximation of the Fresnel integral loss:
+//!
+//! `J(ν) = 6.9 + 20·log10( sqrt((ν−0.1)² + 1) + ν − 0.1 )`  for ν > −0.78,
+//! else 0.
+//!
+//! This is the same single-edge treatment planning tools apply per grid
+//! when full 3D ray tracing is disabled, and is what bends our path-loss
+//! contours around ridgelines.
+
+/// Knife-edge loss in dB for Fresnel parameter `nu`.
+///
+/// Returns 0 for `nu <= -0.78` (obstruction comfortably below the first
+/// Fresnel zone).
+pub fn knife_edge_loss_db(nu: f64) -> f64 {
+    if nu <= -0.78 {
+        return 0.0;
+    }
+    6.9 + 20.0 * (((nu - 0.1) * (nu - 0.1) + 1.0).sqrt() + nu - 0.1).log10()
+}
+
+/// Fresnel parameter for an obstruction `h` meters above the LOS line,
+/// with distances `d1`/`d2` meters to each endpoint at wavelength
+/// `lambda` meters.
+pub fn fresnel_nu(h: f64, d1: f64, d2: f64, lambda: f64) -> f64 {
+    debug_assert!(d1 > 0.0 && d2 > 0.0 && lambda > 0.0);
+    h * (2.0 * (d1 + d2) / (lambda * d1 * d2)).sqrt()
+}
+
+/// Diffraction loss in dB over a terrain profile.
+///
+/// * `tx_h` / `rx_h` — absolute heights (terrain + antenna) of the
+///   endpoints in meters.
+/// * `profile` — absolute terrain heights at evenly spaced interior
+///   points (see `magus_terrain::sample_profile`).
+/// * `dist_m` — total path length in meters.
+/// * `lambda_m` — wavelength in meters.
+///
+/// Uses the dominant (maximum-ν) edge only.
+pub fn profile_diffraction_loss_db(
+    tx_h: f64,
+    rx_h: f64,
+    profile: &[f64],
+    dist_m: f64,
+    lambda_m: f64,
+) -> f64 {
+    if profile.is_empty() || dist_m <= 0.0 {
+        return 0.0;
+    }
+    let n = profile.len();
+    let mut max_nu = f64::NEG_INFINITY;
+    for (i, &ground) in profile.iter().enumerate() {
+        let t = (i + 1) as f64 / (n + 1) as f64;
+        let d1 = dist_m * t;
+        let d2 = dist_m - d1;
+        // Height of the LOS line above datum at this point.
+        let los = tx_h + (rx_h - tx_h) * t;
+        let h = ground - los;
+        let nu = fresnel_nu(h, d1, d2, lambda_m);
+        if nu > max_nu {
+            max_nu = nu;
+        }
+    }
+    knife_edge_loss_db(max_nu)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clear_path_has_no_loss() {
+        assert_eq!(knife_edge_loss_db(-1.0), 0.0);
+        assert_eq!(knife_edge_loss_db(-0.79), 0.0);
+    }
+
+    #[test]
+    fn grazing_incidence_is_about_6db() {
+        // ν = 0 (edge exactly on the LOS line) → J ≈ 6 dB.
+        let j = knife_edge_loss_db(0.0);
+        assert!((j - 6.0).abs() < 0.1, "J(0) = {j}");
+    }
+
+    #[test]
+    fn loss_monotone_in_nu() {
+        let mut prev = 0.0;
+        for i in 0..100 {
+            let nu = -0.78 + i as f64 * 0.1;
+            let j = knife_edge_loss_db(nu);
+            assert!(j >= prev, "J decreased at ν={nu}");
+            prev = j;
+        }
+        // Large obstructions are very lossy.
+        assert!(knife_edge_loss_db(5.0) > 25.0);
+    }
+
+    #[test]
+    fn fresnel_nu_scales_with_height() {
+        let lambda = 0.143; // ~2.1 GHz
+        let a = fresnel_nu(10.0, 1000.0, 1000.0, lambda);
+        let b = fresnel_nu(20.0, 1000.0, 1000.0, lambda);
+        assert!((b - 2.0 * a).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flat_profile_below_endpoints_is_nearly_lossless() {
+        // Antennas at 30 m / 1.5 m over flat ground: the LOS clears, but
+        // Fresnel clearance is marginal right next to the 1.5 m receiver,
+        // so up to ~1–2 dB of grazing loss is physically expected.
+        let profile = vec![0.0; 16];
+        let loss = profile_diffraction_loss_db(30.0, 1.5, &profile, 5_000.0, 0.143);
+        assert!((0.0..2.0).contains(&loss), "grazing loss {loss}");
+        // With a tall receiver the clearance is comfortable everywhere.
+        let tall = profile_diffraction_loss_db(30.0, 25.0, &profile, 5_000.0, 0.143);
+        assert_eq!(tall, 0.0);
+    }
+
+    #[test]
+    fn ridge_between_endpoints_is_lossy() {
+        let mut profile = vec![0.0; 15];
+        profile[7] = 80.0; // an 80 m ridge mid-path
+        let loss = profile_diffraction_loss_db(30.0, 1.5, &profile, 5_000.0, 0.143);
+        assert!(loss > 15.0, "ridge loss {loss}");
+    }
+
+    #[test]
+    fn empty_profile_is_lossless() {
+        assert_eq!(profile_diffraction_loss_db(30.0, 1.5, &[], 1000.0, 0.143), 0.0);
+    }
+}

@@ -1,0 +1,228 @@
+//! Binary serialization of the path-loss database.
+//!
+//! The paper's Atoll data is a *database product*: computed offline,
+//! refreshed periodically, and consumed by planning tools ("this path
+//! loss data is refreshed periodically as needed and Magus always uses
+//! latest path loss data", §4.2). This module gives the reproduction the
+//! same operational affordance: a [`PathLossStore`] can be exported to a
+//! compact binary blob (and reloaded) so markets are generated once and
+//! mitigations planned many times, without re-running terrain
+//! propagation.
+//!
+//! Format `MAGUSPL1`:
+//!
+//! ```text
+//! magic     8 bytes  "MAGUSPL1"
+//! hdr_len   u32 LE   length of the JSON header
+//! header    JSON     { spec, sites, tilts, sector windows }
+//! per sector, in id order:
+//!     base      window.len() × f32 LE   (tilt-independent loss, dB)
+//!     theta     window.len() × f32 LE   (vertical angle, degrees)
+//! ```
+//!
+//! The geometry/meta header is JSON (tiny, human-inspectable); the bulk
+//! rasters are raw little-endian `f32`, written and parsed with
+//! [`bytes`]. Per-tilt matrices are *not* stored — they are assembled
+//! from base+theta on demand exactly as in a freshly built store.
+
+use crate::antenna::{SectorSite, TiltSettings};
+use crate::store::PathLossStore;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use magus_geo::{GridSpec, GridWindow};
+use serde::{Deserialize, Serialize};
+
+const MAGIC: &[u8; 8] = b"MAGUSPL1";
+
+/// Errors produced when decoding a path-loss database blob.
+#[derive(Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The blob does not start with the `MAGUSPL1` magic.
+    BadMagic,
+    /// The blob ended before the declared content.
+    Truncated,
+    /// The JSON header failed to parse.
+    BadHeader(String),
+    /// Raster sizes disagree with the header's windows.
+    Inconsistent(&'static str),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "not a MAGUSPL1 blob"),
+            DecodeError::Truncated => write!(f, "blob truncated"),
+            DecodeError::BadHeader(e) => write!(f, "bad header: {e}"),
+            DecodeError::Inconsistent(w) => write!(f, "inconsistent blob: {w}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+#[derive(Serialize, Deserialize)]
+struct Header {
+    spec: GridSpec,
+    sites: Vec<SectorSite>,
+    tilts: TiltSettings,
+    windows: Vec<GridWindow>,
+}
+
+/// Encodes a store into a `MAGUSPL1` blob.
+pub fn encode_store(store: &PathLossStore) -> Bytes {
+    let n = store.num_sectors() as u32;
+    let header = Header {
+        spec: *store.spec(),
+        sites: (0..n).map(|s| *store.site(s)).collect(),
+        tilts: store.tilt_settings(),
+        windows: (0..n).map(|s| store.window(s)).collect(),
+    };
+    let header_json = serde_json::to_vec(&header).expect("header serializes");
+    let mut buf = BytesMut::with_capacity(
+        16 + header_json.len()
+            + (0..n)
+                .map(|s| store.window(s).len() * 8)
+                .sum::<usize>(),
+    );
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(header_json.len() as u32);
+    buf.put_slice(&header_json);
+    for s in 0..n {
+        let (base, theta) = store.base_arrays(s);
+        for &v in base {
+            buf.put_f32_le(v);
+        }
+        for &v in theta {
+            buf.put_f32_le(v);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a `MAGUSPL1` blob back into a store.
+pub fn decode_store(blob: &[u8]) -> Result<PathLossStore, DecodeError> {
+    let mut buf = blob;
+    if buf.remaining() < 12 {
+        return Err(DecodeError::Truncated);
+    }
+    let mut magic = [0u8; 8];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let hdr_len = buf.get_u32_le() as usize;
+    if buf.remaining() < hdr_len {
+        return Err(DecodeError::Truncated);
+    }
+    let header: Header = serde_json::from_slice(&buf[..hdr_len])
+        .map_err(|e| DecodeError::BadHeader(e.to_string()))?;
+    buf.advance(hdr_len);
+    if header.sites.len() != header.windows.len() {
+        return Err(DecodeError::Inconsistent("sites vs windows"));
+    }
+    let mut bases = Vec::with_capacity(header.sites.len());
+    for w in &header.windows {
+        let cells = w.len();
+        if buf.remaining() < cells * 8 {
+            return Err(DecodeError::Truncated);
+        }
+        let mut base = Vec::with_capacity(cells);
+        for _ in 0..cells {
+            base.push(buf.get_f32_le());
+        }
+        let mut theta = Vec::with_capacity(cells);
+        for _ in 0..cells {
+            theta.push(buf.get_f32_le());
+        }
+        bases.push((*w, base, theta));
+    }
+    Ok(PathLossStore::from_parts(
+        header.spec,
+        header.sites,
+        header.tilts,
+        bases,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::antenna::{AntennaParams, NOMINAL_TILT_INDEX};
+    use crate::spm::{PropagationModel, SpmParams};
+    use magus_geo::{Bearing, PointM};
+    use magus_terrain::Terrain;
+    use std::sync::Arc;
+
+    fn store() -> PathLossStore {
+        let spec = GridSpec::centered(PointM::new(0.0, 0.0), 250.0, 6_000.0);
+        let model = PropagationModel::new(Arc::new(Terrain::flat(spec)), SpmParams::default(), 5);
+        let sites = vec![
+            SectorSite {
+                position: PointM::new(-800.0, 0.0),
+                height_m: 30.0,
+                azimuth: Bearing::new(45.0),
+                antenna: AntennaParams::default(),
+            },
+            SectorSite {
+                position: PointM::new(900.0, 300.0),
+                height_m: 25.0,
+                azimuth: Bearing::new(200.0),
+                antenna: AntennaParams::default(),
+            },
+        ];
+        PathLossStore::build(spec, sites, &model, TiltSettings::default(), 5_000.0)
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_matrix() {
+        let original = store();
+        let blob = encode_store(&original);
+        let decoded = decode_store(&blob).expect("decodes");
+        assert_eq!(decoded.num_sectors(), original.num_sectors());
+        for s in 0..original.num_sectors() as u32 {
+            assert_eq!(decoded.window(s), original.window(s));
+            for tilt in [0u8, NOMINAL_TILT_INDEX, 16] {
+                assert_eq!(
+                    decoded.matrix(s, tilt).values(),
+                    original.matrix(s, tilt).values(),
+                    "sector {s} tilt {tilt}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut blob = encode_store(&store()).to_vec();
+        blob[0] = b'X';
+        assert!(matches!(decode_store(&blob), Err(DecodeError::BadMagic)));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let blob = encode_store(&store());
+        for cut in [4usize, 11, blob.len() / 2, blob.len() - 1] {
+            let r = decode_store(&blob[..cut]);
+            assert!(r.is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn corrupt_header_rejected() {
+        let mut blob = encode_store(&store()).to_vec();
+        // Stomp the JSON header.
+        blob[14] = b'!';
+        assert!(matches!(
+            decode_store(&blob),
+            Err(DecodeError::BadHeader(_)) | Err(DecodeError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn blob_is_compact() {
+        let s = store();
+        let blob = encode_store(&s);
+        let cells: usize = (0..s.num_sectors() as u32).map(|i| s.window(i).len()).sum();
+        // 8 bytes per cell (two f32 rasters) plus a small header.
+        assert!(blob.len() < cells * 8 + 4_096, "{} bytes", blob.len());
+    }
+}

@@ -1,0 +1,38 @@
+//! Path-loss modeling: the reproduction's stand-in for the Atoll database.
+//!
+//! The paper's model consumes "one path-loss matrix (600×600 values, in
+//! dB) per antenna-tilt configuration" per sector, produced by Atoll's
+//! Standard Propagation Model with terrain/clutter corrections (§4.2).
+//! This crate generates matrices of exactly that shape from the synthetic
+//! geography in [`magus_terrain`]:
+//!
+//! * [`antenna`] — 3GPP TR 36.814 sector antenna patterns (parabolic
+//!   horizontal/vertical attenuation, electrical downtilt, side/back-lobe
+//!   floors) and the tilt-setting grid (17 settings, 0.5° apart — the
+//!   paper's Atoll data has "16 different tilt settings besides the
+//!   normal case").
+//! * [`spm`] — the Standard Propagation Model core: COST-231-Hata-family
+//!   distance law, free-space lower bound, per-grid clutter excess loss,
+//!   knife-edge terrain diffraction, and spatially-consistent lognormal
+//!   shadowing.
+//! * [`diffraction`] — ITU-R P.526 single-knife-edge loss.
+//! * [`store`] — [`PathLossStore`]: per-sector windows over the analysis
+//!   raster, the tilt-independent base matrix computed once, per-tilt
+//!   matrices assembled (and cached) on demand, plus the paper's global
+//!   tilt-delta approximation for its ablation.
+//!
+//! The crucial property, inherited by everything downstream: a path-loss
+//! value is a pure function of `(seed, geography, sector, tilt, cell)` —
+//! re-querying never re-rolls the environment.
+
+pub mod antenna;
+pub mod io;
+pub mod diffraction;
+pub mod spm;
+pub mod store;
+
+pub use antenna::{AntennaParams, SectorSite, TiltSettings, NOMINAL_TILT_INDEX, NUM_TILT_SETTINGS};
+pub use diffraction::knife_edge_loss_db;
+pub use spm::{PropagationModel, SpmParams};
+pub use io::{decode_store, encode_store, DecodeError};
+pub use store::{PathLossMatrix, PathLossStore};

@@ -1,0 +1,351 @@
+//! The Standard Propagation Model.
+//!
+//! Atoll's SPM (which produced the paper's operational data) is a
+//! COST-231-Hata-family model: a `K1 + K2·log10(d)` distance law whose
+//! constants are fitted per market, *"modified with empirical constants
+//! to capture terrain, foliage, and clutter effects for each grid"*
+//! (paper §4.2). We reproduce that structure exactly:
+//!
+//! ```text
+//! PL(g) = max(SPM distance law, free-space) — the physical lower bound
+//!       + clutter excess loss at g
+//!       + knife-edge diffraction over the terrain profile to g
+//!       + lognormal shadowing (spatially consistent, per sector–grid)
+//! ```
+//!
+//! The crate convention matches the paper's Formula 1: path loss values
+//! `L` are **negative** dB gains, so `RP = P + L`.
+
+use crate::antenna::SectorSite;
+use crate::diffraction::profile_diffraction_loss_db;
+use magus_geo::{Db, PointM};
+use magus_terrain::{hash01, sample_profile, Terrain};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Tunable constants of the Standard Propagation Model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpmParams {
+    /// Carrier frequency in MHz (paper testbed: band 7, DL 2635 MHz;
+    /// macro default here: 2100 MHz).
+    pub frequency_mhz: f64,
+    /// Intercept `K1` in dB: path loss at 1 km before corrections.
+    /// The COST-231-Hata urban value at 2100 MHz / 30 m eNodeB / 1.5 m UE
+    /// is ≈ 138.5 dB.
+    pub k1_db: f64,
+    /// Distance slope `K2` (dB per decade of km). COST-231-Hata with a
+    /// 30 m base station gives ≈ 35.2.
+    pub k2_db_per_decade: f64,
+    /// UE antenna height in meters (for diffraction endpoints).
+    pub rx_height_m: f64,
+    /// Minimum modeling distance in meters; nearer grids are clamped here
+    /// (standard practice — the near field is not the SPM's regime).
+    pub min_distance_m: f64,
+    /// Number of interior samples of the terrain profile used for
+    /// diffraction. 0 disables diffraction.
+    pub diffraction_samples: usize,
+    /// Lognormal shadowing standard deviation in dB. 0 disables
+    /// shadowing.
+    pub shadowing_sigma_db: f64,
+}
+
+impl Default for SpmParams {
+    fn default() -> Self {
+        SpmParams {
+            frequency_mhz: 2100.0,
+            k1_db: 138.5,
+            k2_db_per_decade: 35.2,
+            rx_height_m: 1.5,
+            min_distance_m: 35.0,
+            diffraction_samples: 12,
+            shadowing_sigma_db: 6.0,
+        }
+    }
+}
+
+impl SpmParams {
+    /// A smooth, deterministic variant with no shadowing and no
+    /// diffraction — useful for analytical tests.
+    pub fn smooth() -> SpmParams {
+        SpmParams {
+            diffraction_samples: 0,
+            shadowing_sigma_db: 0.0,
+            ..SpmParams::default()
+        }
+    }
+
+    /// Wavelength in meters.
+    pub fn lambda_m(&self) -> f64 {
+        299_792_458.0 / (self.frequency_mhz * 1e6)
+    }
+
+    /// Free-space path loss in dB at `d_m` meters (positive number).
+    pub fn free_space_db(&self, d_m: f64) -> f64 {
+        let d_km = (d_m / 1000.0).max(1e-6);
+        32.45 + 20.0 * self.frequency_mhz.log10() + 20.0 * d_km.log10()
+    }
+
+    /// SPM distance-law loss in dB at `d_m` meters (positive number),
+    /// floored by free space.
+    pub fn distance_loss_db(&self, d_m: f64) -> f64 {
+        let d = d_m.max(self.min_distance_m);
+        let d_km = d / 1000.0;
+        let spm = self.k1_db + self.k2_db_per_decade * d_km.log10();
+        spm.max(self.free_space_db(d))
+    }
+}
+
+/// A fully specified propagation environment: geography + SPM constants +
+/// shadowing seed.
+#[derive(Debug, Clone)]
+pub struct PropagationModel {
+    terrain: Arc<Terrain>,
+    params: SpmParams,
+    seed: u64,
+    /// Optional second shadowing field blended in with weight `w`
+    /// (`0 < w ≤ 1`): models a radio environment that has *partially*
+    /// drifted from the planning database. The blend keeps the marginal
+    /// shadowing variance at σ² (`√(1−w²)·A + w·B` of two unit fields).
+    blend: Option<(u64, f64)>,
+}
+
+impl PropagationModel {
+    /// Creates a model over `terrain` with explicit parameters and a
+    /// shadowing seed.
+    pub fn new(terrain: Arc<Terrain>, params: SpmParams, seed: u64) -> PropagationModel {
+        PropagationModel {
+            terrain,
+            params,
+            seed,
+            blend: None,
+        }
+    }
+
+    /// A model whose shadowing field is a variance-preserving blend of
+    /// this model's field and an independent one: weight 0 reproduces
+    /// `self`, weight 1 is fully independent shadowing.
+    pub fn with_shadowing_blend(&self, other_seed: u64, weight: f64) -> PropagationModel {
+        assert!((0.0..=1.0).contains(&weight), "blend weight out of range");
+        PropagationModel {
+            terrain: Arc::clone(&self.terrain),
+            params: self.params,
+            seed: self.seed,
+            blend: (weight > 0.0).then_some((other_seed, weight)),
+        }
+    }
+
+    /// The model parameters.
+    pub fn params(&self) -> &SpmParams {
+        &self.params
+    }
+
+    /// The geography.
+    pub fn terrain(&self) -> &Terrain {
+        &self.terrain
+    }
+
+    /// Tilt-independent part of the path loss from a sector site to a
+    /// point: distance law + clutter + diffraction + shadowing, plus the
+    /// *horizontal* antenna discrimination (which does not change with
+    /// tilt). Returned as a **negative** dB gain per the paper's Formula 1
+    /// convention.
+    ///
+    /// `sector_key` keys the shadowing stream so different sectors see
+    /// independent (but individually stable) shadowing toward the same
+    /// grid.
+    pub fn base_loss_db(&self, site: &SectorSite, sector_key: u64, target: PointM) -> Db {
+        let p = &self.params;
+        let dist = site.position.distance(target);
+        let mut loss = p.distance_loss_db(dist);
+
+        // Clutter excess at the receiving grid.
+        loss += self.terrain.clutter_at(target).excess_loss_db();
+
+        // Terrain diffraction.
+        if p.diffraction_samples > 0 && dist > p.min_distance_m {
+            let tx_abs = self.terrain.elevation_at(site.position) + site.height_m;
+            let rx_abs = self.terrain.elevation_at(target) + p.rx_height_m;
+            let profile = sample_profile(
+                self.terrain.elevation(),
+                site.position,
+                target,
+                p.diffraction_samples,
+            );
+            loss += profile_diffraction_loss_db(tx_abs, rx_abs, &profile, dist, p.lambda_m());
+        }
+
+        // Spatially-consistent lognormal shadowing: one stable draw per
+        // (sector, 100 m cell). Quantize target to decameters so nearby
+        // queries in the same cell agree.
+        if p.shadowing_sigma_db > 0.0 {
+            let qx = (target.x / 100.0).floor() as i64;
+            let qy = (target.y / 100.0).floor() as i64;
+            let mut field = magus_terrain::noise::hash_normal(self.seed ^ sector_key, qx, qy);
+            if let Some((seed_b, w)) = self.blend {
+                let other = magus_terrain::noise::hash_normal(seed_b ^ sector_key, qx, qy);
+                field = (1.0 - w * w).sqrt() * field + w * other;
+            }
+            loss += field * p.shadowing_sigma_db;
+        }
+
+        // Horizontal antenna discrimination (tilt-independent).
+        let phi = site.position.bearing_to(target).angle_from(site.azimuth);
+        let horiz_gain = site.antenna.gain_db(phi, 0.0, 0.0).0 - site.antenna.boresight_gain_dbi;
+        // `horiz_gain` is ≤ 0 (pure discrimination); boresight gain and the
+        // vertical pattern are applied by the tilt-dependent stage.
+        Db(-(loss - horiz_gain))
+    }
+
+    /// Tilt-dependent part: boresight gain plus vertical-pattern gain
+    /// toward `target` for downtilt `downtilt_deg`. Positive dB values
+    /// increase received power.
+    pub fn tilt_gain_db(&self, site: &SectorSite, target: PointM, downtilt_deg: f64) -> Db {
+        let dist = site.position.distance(target).max(self.params.min_distance_m);
+        let tx_abs = self.terrain.elevation_at(site.position) + site.height_m;
+        let rx_abs = self.terrain.elevation_at(target) + self.params.rx_height_m;
+        // Angle below the horizon toward the target (positive = down).
+        let theta = ((tx_abs - rx_abs) / dist).atan().to_degrees();
+        // Vertical pattern relative to an un-tilted, gain-stripped antenna.
+        let g = site.antenna.gain_db(0.0, theta, downtilt_deg);
+        Db(g.0)
+    }
+
+    /// Full path loss (negative dB gain) toward `target` at a given
+    /// downtilt: base loss plus tilt gain.
+    pub fn total_loss_db(
+        &self,
+        site: &SectorSite,
+        sector_key: u64,
+        target: PointM,
+        downtilt_deg: f64,
+    ) -> Db {
+        self.base_loss_db(site, sector_key, target) + self.tilt_gain_db(site, target, downtilt_deg)
+    }
+
+    /// A deterministic jitter in `[0,1)` associated with a sector key —
+    /// exposed for callers that need per-sector stable randomness aligned
+    /// with this model's seed (e.g. calibration noise).
+    pub fn sector_jitter(&self, sector_key: u64) -> f64 {
+        hash01(self.seed, sector_key as i64, !sector_key as i64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::antenna::AntennaParams;
+    use magus_geo::{Bearing, GridSpec};
+
+    fn flat_model(params: SpmParams) -> PropagationModel {
+        let spec = GridSpec::new(PointM::new(-20_000.0, -20_000.0), 200.0, 200, 200);
+        PropagationModel::new(Arc::new(Terrain::flat(spec)), params, 7)
+    }
+
+    fn site() -> SectorSite {
+        SectorSite {
+            position: PointM::new(0.0, 0.0),
+            height_m: 30.0,
+            azimuth: Bearing::new(0.0),
+            antenna: AntennaParams::default(),
+        }
+    }
+
+    #[test]
+    fn loss_grows_with_distance() {
+        let m = flat_model(SpmParams::smooth());
+        let s = site();
+        let near = m.base_loss_db(&s, 1, PointM::new(0.0, 500.0));
+        let far = m.base_loss_db(&s, 1, PointM::new(0.0, 5_000.0));
+        assert!(near.0 > far.0, "near {near:?} vs far {far:?}");
+        // Slope between 1 km and 10 km should equal K2.
+        let l1 = m.base_loss_db(&s, 1, PointM::new(0.0, 1_000.0));
+        let l10 = m.base_loss_db(&s, 1, PointM::new(0.0, 10_000.0));
+        assert!((l1.0 - l10.0 - 35.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn free_space_bound_engages_near_the_mast() {
+        let p = SpmParams::smooth();
+        // At very short ranges the Hata-style extrapolation dips below
+        // free space; the max() keeps physics honest.
+        assert!(p.distance_loss_db(40.0) >= p.free_space_db(40.0) - 1e-9);
+    }
+
+    #[test]
+    fn behind_the_antenna_is_weaker() {
+        let m = flat_model(SpmParams::smooth());
+        let s = site(); // pointing north
+        let front = m.base_loss_db(&s, 1, PointM::new(0.0, 2_000.0));
+        let back = m.base_loss_db(&s, 1, PointM::new(0.0, -2_000.0));
+        assert!((front.0 - back.0 - 25.0).abs() < 1e-9, "front-to-back");
+    }
+
+    #[test]
+    fn shadowing_blend_interpolates() {
+        let mut p = SpmParams::smooth();
+        p.shadowing_sigma_db = 8.0;
+        let m = flat_model(p);
+        let s = site();
+        let t = PointM::new(1_500.0, 2_500.0);
+        let base = m.base_loss_db(&s, 1, t);
+        // Weight 0 is exactly the base model.
+        assert_eq!(m.with_shadowing_blend(99, 0.0).base_loss_db(&s, 1, t), base);
+        // Weight 1 generally differs.
+        let full = m.with_shadowing_blend(99, 1.0).base_loss_db(&s, 1, t);
+        assert_ne!(full, base);
+        // Intermediate weights land between-ish (monotone pull).
+        let half = m.with_shadowing_blend(99, 0.5).base_loss_db(&s, 1, t);
+        let lo = base.0.min(full.0) - 4.0;
+        let hi = base.0.max(full.0) + 4.0;
+        assert!((lo..=hi).contains(&half.0));
+    }
+
+    #[test]
+    fn shadowing_is_stable_and_zero_mean_ish() {
+        let mut p = SpmParams::smooth();
+        p.shadowing_sigma_db = 8.0;
+        let m = flat_model(p);
+        let s = site();
+        let t = PointM::new(1_000.0, 3_000.0);
+        assert_eq!(m.base_loss_db(&s, 5, t), m.base_loss_db(&s, 5, t));
+        // Different sector keys decorrelate the draw.
+        assert_ne!(m.base_loss_db(&s, 5, t), m.base_loss_db(&s, 6, t));
+    }
+
+    #[test]
+    fn uptilt_helps_far_grids_hurts_near() {
+        let m = flat_model(SpmParams::smooth());
+        let s = site();
+        let near = PointM::new(0.0, 300.0);
+        let far = PointM::new(0.0, 8_000.0);
+        // 30 m mast: "near" is ~5.7° below horizon, "far" ~0.2°.
+        let near_down = m.tilt_gain_db(&s, near, 6.0);
+        let near_up = m.tilt_gain_db(&s, near, 0.0);
+        let far_down = m.tilt_gain_db(&s, far, 6.0);
+        let far_up = m.tilt_gain_db(&s, far, 0.0);
+        assert!(far_up > far_down, "uptilt should reach further");
+        assert!(near_down > near_up, "downtilt should favor nearby");
+    }
+
+    #[test]
+    fn total_loss_is_base_plus_tilt() {
+        let m = flat_model(SpmParams::smooth());
+        let s = site();
+        let t = PointM::new(500.0, 4_000.0);
+        let total = m.total_loss_db(&s, 3, t, 4.0);
+        let parts = m.base_loss_db(&s, 3, t) + m.tilt_gain_db(&s, t, 4.0);
+        assert!((total.0 - parts.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn typical_macro_values_are_plausible() {
+        // 46 dBm + L at 1 km boresight should live in the −60..−90 dBm
+        // band for a 15 dBi macro antenna — a sanity anchor against the
+        // paper's "−20 dB close to the sector … −200 dB at the boundary".
+        let m = flat_model(SpmParams::smooth());
+        let s = site();
+        let l = m.total_loss_db(&s, 1, PointM::new(0.0, 1_000.0), 4.0);
+        let rp = 46.0 + l.0;
+        assert!((-95.0..=-55.0).contains(&rp), "RP at 1 km = {rp} dBm");
+    }
+}

@@ -1,0 +1,390 @@
+//! The path-loss matrix store — our stand-in for the Atoll database.
+//!
+//! The paper (§4.2): *"each sector's path loss data covers a 60 km × 60 km
+//! square area centered at the sector's location … one path-loss reading
+//! for each grid, resulting in one path-loss matrix per antenna tilt
+//! configuration."*
+//!
+//! [`PathLossStore`] reproduces that interface over the analysis raster:
+//! each sector gets a clipped window centered on it, a **base matrix**
+//! (everything tilt-independent: distance law, clutter, diffraction,
+//! shadowing, horizontal antenna discrimination) computed once, and
+//! per-tilt matrices assembled on demand by adding the vertical-pattern
+//! gain — then cached, so repeated model evaluations pay one `HashMap`
+//! lookup.
+//!
+//! The decomposition `L(tilt, g) = base(g) + vertical(θ(g), tilt)` is
+//! exact for our antenna model up to the combined-attenuation floor (deep
+//! back-lobe cells can be attenuated by horizontal and vertical floors
+//! simultaneously, where TR 36.814 would cap their sum; those cells are
+//! ≥ 45 dB down and never decide a serving assignment).
+//!
+//! The store also implements the paper's *global tilt-delta
+//! approximation* ("the change to a path loss matrix caused by a specific
+//! uptilt or downtilt is the same across all sectors") for the ablation
+//! bench: [`PathLossStore::approx_tilt_delta_db`].
+
+use crate::antenna::{SectorSite, TiltSettings, NUM_TILT_SETTINGS};
+use crate::spm::PropagationModel;
+use magus_geo::{Db, GridCoord, GridSpec, GridWindow};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// A per-sector path-loss raster over a window of the analysis grid.
+///
+/// Values are **negative** dB gains (paper Formula 1 convention:
+/// `RP = P + L`). Cells outside the window have no reading — the sector
+/// is assumed inaudible there, exactly like a missing Atoll export cell.
+#[derive(Debug, Clone)]
+pub struct PathLossMatrix {
+    window: GridWindow,
+    width: u32,
+    values: Vec<f32>,
+}
+
+impl PathLossMatrix {
+    /// Builds a matrix from a window and row-major values within it.
+    pub fn new(window: GridWindow, values: Vec<f32>) -> PathLossMatrix {
+        assert_eq!(values.len(), window.len(), "window/value length mismatch");
+        PathLossMatrix {
+            window,
+            width: window.x1 - window.x0,
+            values,
+        }
+    }
+
+    /// The matrix's window in analysis-grid coordinates.
+    pub fn window(&self) -> GridWindow {
+        self.window
+    }
+
+    /// Path loss at an analysis-grid coordinate, or `None` outside the
+    /// window.
+    #[inline]
+    pub fn get(&self, c: GridCoord) -> Option<Db> {
+        if !self.window.contains(c) {
+            return None;
+        }
+        let i =
+            (c.y - self.window.y0) as usize * self.width as usize + (c.x - self.window.x0) as usize;
+        Some(Db(self.values[i] as f64))
+    }
+
+    /// Raw row-major values within the window.
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Iterates `(coord, loss)` over the window.
+    pub fn iter(&self) -> impl Iterator<Item = (GridCoord, Db)> + '_ {
+        self.window
+            .coords()
+            .zip(self.values.iter())
+            .map(|(c, &v)| (c, Db(v as f64)))
+    }
+}
+
+/// Tilt-independent per-sector data.
+struct SectorBase {
+    window: GridWindow,
+    /// Base loss per window cell (negative dB).
+    base: Vec<f32>,
+    /// Vertical angle below the horizon toward each window cell, degrees.
+    theta_deg: Vec<f32>,
+}
+
+/// Per-sector, per-tilt path-loss matrices over an analysis raster.
+pub struct PathLossStore {
+    spec: GridSpec,
+    sites: Vec<SectorSite>,
+    tilts: TiltSettings,
+    bases: Vec<SectorBase>,
+    cache: Mutex<HashMap<(u32, u8), Arc<PathLossMatrix>>>,
+}
+
+impl PathLossStore {
+    /// Builds the store: computes every sector's base matrix over a
+    /// window of `footprint_span_m` meters centered on the sector
+    /// (clipped to the analysis raster).
+    ///
+    /// The paper's footprints are 60 km; for macro parameters anything
+    /// beyond ~15 km is > 35 dB below the noise floor, so smaller
+    /// footprints change nothing but memory.
+    pub fn build(
+        spec: GridSpec,
+        sites: Vec<SectorSite>,
+        model: &PropagationModel,
+        tilts: TiltSettings,
+        footprint_span_m: f64,
+    ) -> PathLossStore {
+        let bases = sites
+            .iter()
+            .enumerate()
+            .map(|(id, site)| {
+                let window = spec.window_around(site.position, footprint_span_m);
+                let mut base = Vec::with_capacity(window.len());
+                let mut theta = Vec::with_capacity(window.len());
+                let tx_abs = model.terrain().elevation_at(site.position) + site.height_m;
+                for c in window.coords() {
+                    let p = spec.center_of(c);
+                    base.push(model.base_loss_db(site, id as u64, p).0 as f32);
+                    let dist = site.position.distance(p).max(model.params().min_distance_m);
+                    let rx_abs = model.terrain().elevation_at(p) + model.params().rx_height_m;
+                    theta.push(((tx_abs - rx_abs) / dist).atan().to_degrees() as f32);
+                }
+                SectorBase {
+                    window,
+                    base,
+                    theta_deg: theta,
+                }
+            })
+            .collect();
+        PathLossStore {
+            spec,
+            sites,
+            tilts,
+            bases,
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The analysis raster spec.
+    pub fn spec(&self) -> &GridSpec {
+        &self.spec
+    }
+
+    /// Number of sectors in the store.
+    pub fn num_sectors(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// The siting of sector `id`.
+    pub fn site(&self, id: u32) -> &SectorSite {
+        &self.sites[id as usize]
+    }
+
+    /// The tilt-settings mapping used by this store.
+    pub fn tilt_settings(&self) -> TiltSettings {
+        self.tilts
+    }
+
+    /// The footprint window of sector `id`.
+    pub fn window(&self, id: u32) -> GridWindow {
+        self.bases[id as usize].window
+    }
+
+    /// The path-loss matrix of sector `id` at tilt index `tilt`
+    /// (assembled on first use, cached thereafter).
+    pub fn matrix(&self, id: u32, tilt: u8) -> Arc<PathLossMatrix> {
+        assert!(tilt < NUM_TILT_SETTINGS, "tilt index {tilt} out of range");
+        if let Some(m) = self.cache.lock().unwrap().get(&(id, tilt)) {
+            return Arc::clone(m);
+        }
+        let built = Arc::new(self.assemble(id, tilt));
+        self.cache
+            .lock()
+            .unwrap()
+            .entry((id, tilt))
+            .or_insert(built)
+            .clone()
+    }
+
+    fn assemble(&self, id: u32, tilt: u8) -> PathLossMatrix {
+        let sb = &self.bases[id as usize];
+        let ant = self.sites[id as usize].antenna;
+        let downtilt = self.tilts.downtilt_deg(tilt);
+        let values = sb
+            .base
+            .iter()
+            .zip(sb.theta_deg.iter())
+            .map(|(&b, &th)| {
+                let g = ant.gain_db(0.0, th as f64, downtilt);
+                b + g.0 as f32
+            })
+            .collect();
+        PathLossMatrix::new(sb.window, values)
+    }
+
+    /// Rebuilds a store from previously computed per-sector base arrays
+    /// (the deserialization path — see [`crate::io`]).
+    pub fn from_parts(
+        spec: GridSpec,
+        sites: Vec<SectorSite>,
+        tilts: TiltSettings,
+        bases: Vec<(GridWindow, Vec<f32>, Vec<f32>)>,
+    ) -> PathLossStore {
+        assert_eq!(sites.len(), bases.len(), "sites vs bases length mismatch");
+        let bases = bases
+            .into_iter()
+            .map(|(window, base, theta_deg)| {
+                assert_eq!(base.len(), window.len(), "base raster size mismatch");
+                assert_eq!(theta_deg.len(), window.len(), "theta raster size mismatch");
+                SectorBase {
+                    window,
+                    base,
+                    theta_deg,
+                }
+            })
+            .collect();
+        PathLossStore {
+            spec,
+            sites,
+            tilts,
+            bases,
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The tilt-independent base arrays of sector `id`: `(base loss dB,
+    /// vertical angle deg)`, row-major over [`PathLossStore::window`].
+    /// Used by the binary exporter.
+    pub fn base_arrays(&self, id: u32) -> (&[f32], &[f32]) {
+        let sb = &self.bases[id as usize];
+        (&sb.base, &sb.theta_deg)
+    }
+
+    /// Number of matrices currently cached (for tests / metrics).
+    pub fn cached_matrices(&self) -> usize {
+        self.cache.lock().unwrap().len()
+    }
+
+    /// The paper's global tilt-delta approximation: the dB change a tilt
+    /// move `from → to` causes at horizontal distance `dist_m`, computed
+    /// from a flat-earth reference geometry with the average site height.
+    /// One delta curve serves all sectors (paper §5, "Antenna Tilt
+    /// Tuning").
+    pub fn approx_tilt_delta_db(&self, dist_m: f64, from: u8, to: u8) -> Db {
+        let avg_h = self.sites.iter().map(|s| s.height_m).sum::<f64>()
+            / self.sites.len().max(1) as f64;
+        let rx_h = 1.5;
+        let theta = ((avg_h - rx_h) / dist_m.max(1.0)).atan().to_degrees();
+        // A representative macro antenna (first site's, or default).
+        let ant = self
+            .sites
+            .first()
+            .map(|s| s.antenna)
+            .unwrap_or_default();
+        let g_from = ant.gain_db(0.0, theta, self.tilts.downtilt_deg(from));
+        let g_to = ant.gain_db(0.0, theta, self.tilts.downtilt_deg(to));
+        g_to - g_from
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::antenna::{AntennaParams, NOMINAL_TILT_INDEX};
+    use crate::spm::SpmParams;
+    use magus_geo::{Bearing, PointM};
+    use magus_terrain::Terrain;
+
+    fn store() -> PathLossStore {
+        let spec = GridSpec::new(PointM::new(-5_000.0, -5_000.0), 100.0, 100, 100);
+        let model = PropagationModel::new(
+            Arc::new(Terrain::flat(spec)),
+            SpmParams::smooth(),
+            3,
+        );
+        let sites = vec![
+            SectorSite {
+                position: PointM::new(0.0, 0.0),
+                height_m: 30.0,
+                azimuth: Bearing::new(0.0),
+                antenna: AntennaParams::default(),
+            },
+            SectorSite {
+                position: PointM::new(2_000.0, 0.0),
+                height_m: 30.0,
+                azimuth: Bearing::new(180.0),
+                antenna: AntennaParams::default(),
+            },
+        ];
+        PathLossStore::build(spec, sites, &model, TiltSettings::default(), 8_000.0)
+    }
+
+    #[test]
+    fn windows_are_centered_and_clipped() {
+        let s = store();
+        let w0 = s.window(0);
+        // Sector 0 is at the raster center: 8 km span = 80 cells.
+        assert_eq!(w0.len(), 80 * 80);
+        // Sector 1 is 2 km east: window clips at the east edge.
+        let w1 = s.window(1);
+        assert!(w1.len() < 80 * 80);
+        assert_eq!(w1.x1, 100);
+    }
+
+    #[test]
+    fn matrix_cached_after_first_use() {
+        let s = store();
+        assert_eq!(s.cached_matrices(), 0);
+        let a = s.matrix(0, NOMINAL_TILT_INDEX);
+        let b = s.matrix(0, NOMINAL_TILT_INDEX);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(s.cached_matrices(), 1);
+    }
+
+    #[test]
+    fn matrix_matches_model_composition() {
+        let s = store();
+        let m = s.matrix(0, NOMINAL_TILT_INDEX);
+        // Spot-check: loss at a forward cell is finite and negative, and
+        // closer cells lose less.
+        let spec = *s.spec();
+        let near = spec.coord_of_point(PointM::new(0.0, 500.0)).unwrap();
+        let far = spec.coord_of_point(PointM::new(0.0, 3_500.0)).unwrap();
+        let ln = m.get(near).unwrap();
+        let lf = m.get(far).unwrap();
+        assert!(ln.0 < 0.0 && lf.0 < 0.0);
+        assert!(ln.0 > lf.0);
+    }
+
+    #[test]
+    fn outside_window_is_none() {
+        let s = store();
+        let m = s.matrix(0, NOMINAL_TILT_INDEX);
+        assert!(m.get(GridCoord::new(0, 0)).is_none());
+    }
+
+    #[test]
+    fn uptilt_vs_downtilt_shape() {
+        let s = store();
+        let spec = *s.spec();
+        let nominal = s.matrix(0, NOMINAL_TILT_INDEX);
+        let up = s.matrix(0, 0); // 0° downtilt = fully uptilted
+        let far = spec.coord_of_point(PointM::new(0.0, 3_900.0)).unwrap();
+        let near = spec.coord_of_point(PointM::new(0.0, 200.0)).unwrap();
+        assert!(
+            up.get(far).unwrap() > nominal.get(far).unwrap(),
+            "uptilt should strengthen far cells"
+        );
+        assert!(
+            up.get(near).unwrap() < nominal.get(near).unwrap(),
+            "uptilt should weaken near cells"
+        );
+    }
+
+    #[test]
+    fn approx_tilt_delta_matches_direction() {
+        let s = store();
+        // Far away, uptilting from nominal adds gain.
+        let d = s.approx_tilt_delta_db(4_000.0, NOMINAL_TILT_INDEX, 0);
+        assert!(d.0 > 0.0, "{d:?}");
+        // Identity move changes nothing.
+        let z = s.approx_tilt_delta_db(4_000.0, 8, 8);
+        assert_eq!(z.0, 0.0);
+    }
+
+    #[test]
+    fn matrix_iter_covers_window() {
+        let s = store();
+        let m = s.matrix(1, NOMINAL_TILT_INDEX);
+        assert_eq!(m.iter().count(), m.window().len());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_tilt_panics() {
+        store().matrix(0, NUM_TILT_SETTINGS);
+    }
+}

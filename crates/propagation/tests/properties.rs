@@ -1,0 +1,83 @@
+//! Property-based tests of the propagation substrate.
+
+use magus_geo::{Bearing, GridSpec, PointM};
+use magus_propagation::{
+    AntennaParams, PathLossStore, PropagationModel, SectorSite, SpmParams, TiltSettings,
+    NUM_TILT_SETTINGS,
+};
+use magus_terrain::Terrain;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn site(az: f64) -> SectorSite {
+    SectorSite {
+        position: PointM::new(0.0, 0.0),
+        height_m: 30.0,
+        azimuth: Bearing::new(az),
+        antenna: AntennaParams::default(),
+    }
+}
+
+proptest! {
+    /// Antenna gain never exceeds boresight and never drops below
+    /// boresight minus the front-to-back ratio plus the vertical floor.
+    #[test]
+    fn antenna_gain_bounded(phi in -180.0..180.0f64, theta in -90.0..90.0f64, tilt in 0.0..8.0f64) {
+        let a = AntennaParams::default();
+        let g = a.gain_db(phi, theta, tilt).0;
+        prop_assert!(g <= a.boresight_gain_dbi + 1e-12);
+        prop_assert!(g >= a.boresight_gain_dbi - a.max_attenuation_db - 1e-12);
+    }
+
+    /// Boresight is the horizontal maximum at any fixed vertical angle.
+    #[test]
+    fn boresight_is_horizontal_max(phi in -180.0..180.0f64, theta in -20.0..20.0f64) {
+        let a = AntennaParams::default();
+        prop_assert!(a.gain_db(phi, theta, 4.0) <= a.gain_db(0.0, theta, 4.0));
+    }
+
+    /// Smooth-model path loss decreases monotonically with distance along
+    /// the boresight ray (no terrain, no shadowing).
+    #[test]
+    fn loss_monotone_with_distance(d1 in 100.0..9_000.0f64, d2 in 100.0..9_000.0f64) {
+        let spec = GridSpec::centered(PointM::new(0.0, 0.0), 200.0, 20_000.0);
+        let model = PropagationModel::new(Arc::new(Terrain::flat(spec)), SpmParams::smooth(), 1);
+        let s = site(0.0);
+        let (near, far) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        let ln = model.total_loss_db(&s, 0, PointM::new(0.0, near), 4.0);
+        let lf = model.total_loss_db(&s, 0, PointM::new(0.0, far), 4.0);
+        prop_assert!(ln.0 >= lf.0 - 1e-9, "near {near} {ln:?} vs far {far} {lf:?}");
+    }
+
+    /// Every tilt matrix in the store agrees with the matrix rebuilt from
+    /// scratch (the cache is transparent).
+    #[test]
+    fn store_matrices_deterministic(tilt in 0u8..NUM_TILT_SETTINGS, az in 0.0..360.0f64) {
+        let spec = GridSpec::centered(PointM::new(0.0, 0.0), 400.0, 6_000.0);
+        let model = PropagationModel::new(Arc::new(Terrain::flat(spec)), SpmParams::smooth(), 9);
+        let build = || PathLossStore::build(
+            spec,
+            vec![site(az)],
+            &model,
+            TiltSettings::default(),
+            5_000.0,
+        );
+        let (s1, s2) = (build(), build());
+        let (m1, m2) = (s1.matrix(0, tilt), s2.matrix(0, tilt));
+        prop_assert_eq!(m1.values(), m2.values());
+    }
+
+    /// The shadowing blend is variance-preserving at the extremes: weight
+    /// 0 reproduces the base field exactly.
+    #[test]
+    fn blend_weight_zero_is_identity(seed in 0u64..1000, x in -3_000.0..3_000.0f64, y in -3_000.0..3_000.0f64) {
+        let spec = GridSpec::centered(PointM::new(0.0, 0.0), 400.0, 8_000.0);
+        let mut params = SpmParams::smooth();
+        params.shadowing_sigma_db = 8.0;
+        let model = PropagationModel::new(Arc::new(Terrain::flat(spec)), params, 5);
+        let blended = model.with_shadowing_blend(seed, 0.0);
+        let s = site(0.0);
+        let p = PointM::new(x, y);
+        prop_assert_eq!(model.base_loss_db(&s, 2, p), blended.base_loss_db(&s, 2, p));
+    }
+}

@@ -1,0 +1,275 @@
+//! Land-use (clutter) synthesis.
+//!
+//! Clutter drives two things in the reproduction, mirroring how Atoll data
+//! is built (paper §4.2): a per-class excess propagation loss, and an
+//! optional UE-density weight (the paper's "finer-grain UE distribution"
+//! future-work extension).
+//!
+//! The generator arranges classes by distance from one or more urban
+//! cores, perturbed by value noise so boundaries are organic: dense urban
+//! at the core, urban, then suburban ring, then open/forest countryside,
+//! with noise-carved water bodies.
+
+use crate::noise::value_noise;
+use magus_geo::{GridMap, GridSpec, PointM};
+use serde::{Deserialize, Serialize};
+
+/// Land-use class of a grid cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ClutterClass {
+    /// Open water — lowest propagation loss, no users.
+    Water,
+    /// Open fields / farmland.
+    Open,
+    /// Forest / heavy foliage.
+    Forest,
+    /// Low-density residential.
+    Suburban,
+    /// Mid-rise urban.
+    Urban,
+    /// High-rise urban core.
+    DenseUrban,
+}
+
+impl ClutterClass {
+    /// All classes, ordered from least to most built-up.
+    pub const ALL: [ClutterClass; 6] = [
+        ClutterClass::Water,
+        ClutterClass::Open,
+        ClutterClass::Forest,
+        ClutterClass::Suburban,
+        ClutterClass::Urban,
+        ClutterClass::DenseUrban,
+    ];
+
+    /// Typical excess propagation loss for the class in dB, added on top
+    /// of the distance-based Standard Propagation Model term. Values are
+    /// in line with published COST-231 clutter corrections.
+    pub fn excess_loss_db(self) -> f64 {
+        match self {
+            ClutterClass::Water => -2.0,
+            ClutterClass::Open => 0.0,
+            ClutterClass::Forest => 8.0,
+            ClutterClass::Suburban => 6.0,
+            ClutterClass::Urban => 12.0,
+            ClutterClass::DenseUrban => 18.0,
+        }
+    }
+
+    /// Relative user-density weight of the class (dimensionless), used by
+    /// the clutter-weighted UE distribution extension.
+    pub fn ue_density_weight(self) -> f64 {
+        match self {
+            ClutterClass::Water => 0.0,
+            ClutterClass::Open => 0.2,
+            ClutterClass::Forest => 0.05,
+            ClutterClass::Suburban => 1.0,
+            ClutterClass::Urban => 3.0,
+            ClutterClass::DenseUrban => 6.0,
+        }
+    }
+}
+
+/// Parameters for clutter synthesis.
+#[derive(Debug, Clone)]
+pub struct ClutterParams {
+    /// Urban core centers (meters). Empty = fully rural area.
+    pub cores: Vec<PointM>,
+    /// Radius of the dense-urban zone around each core, meters.
+    pub dense_urban_radius_m: f64,
+    /// Radius of the urban zone, meters.
+    pub urban_radius_m: f64,
+    /// Radius of the suburban ring, meters.
+    pub suburban_radius_m: f64,
+    /// Fraction (0–1) of countryside carved into forest by noise.
+    pub forest_fraction: f64,
+    /// Fraction (0–1) of the lowest-noise cells carved into water.
+    pub water_fraction: f64,
+    /// Amplitude (meters) of the noise perturbation of ring boundaries.
+    pub boundary_jitter_m: f64,
+}
+
+impl Default for ClutterParams {
+    fn default() -> Self {
+        ClutterParams {
+            cores: vec![PointM::new(0.0, 0.0)],
+            dense_urban_radius_m: 1_500.0,
+            urban_radius_m: 4_000.0,
+            suburban_radius_m: 12_000.0,
+            forest_fraction: 0.25,
+            water_fraction: 0.05,
+            boundary_jitter_m: 1_200.0,
+        }
+    }
+}
+
+impl ClutterParams {
+    /// No cores at all — open countryside with forest and water.
+    pub fn rural() -> Self {
+        ClutterParams {
+            cores: vec![],
+            forest_fraction: 0.35,
+            ..ClutterParams::default()
+        }
+    }
+
+    /// A single large metropolitan core (most of the area urban).
+    pub fn metropolitan(core: PointM) -> Self {
+        ClutterParams {
+            cores: vec![core],
+            dense_urban_radius_m: 3_000.0,
+            urban_radius_m: 8_000.0,
+            suburban_radius_m: 20_000.0,
+            water_fraction: 0.03,
+            ..ClutterParams::default()
+        }
+    }
+}
+
+/// A clutter raster with nearest-cell sampling.
+#[derive(Debug, Clone)]
+pub struct ClutterMap {
+    map: GridMap<ClutterClass>,
+}
+
+impl ClutterMap {
+    /// Generates clutter over `spec` from `seed`.
+    pub fn generate(spec: GridSpec, seed: u64, params: &ClutterParams) -> ClutterMap {
+        let jitter_seed = seed ^ 0x0C1A_55E5;
+        let carve_seed = seed ^ 0xF0_0D5;
+        let map = GridMap::from_fn(spec, |c| {
+            let p = spec.center_of(c);
+            // Distance to nearest core, perturbed so rings are organic.
+            let core_dist = params
+                .cores
+                .iter()
+                .map(|core| core.distance(p))
+                .fold(f64::INFINITY, f64::min);
+            let jitter = (value_noise(jitter_seed, c.x as f64, c.y as f64, 0.05, 4) - 0.5)
+                * 2.0
+                * params.boundary_jitter_m;
+            let d = core_dist + jitter;
+            if d < params.dense_urban_radius_m {
+                return ClutterClass::DenseUrban;
+            }
+            if d < params.urban_radius_m {
+                return ClutterClass::Urban;
+            }
+            if d < params.suburban_radius_m {
+                return ClutterClass::Suburban;
+            }
+            // Countryside: carve water in the lowest noise band, forest in
+            // the highest. Multi-octave value noise concentrates around
+            // 0.5, so stretch the contrast to restore usable tails before
+            // thresholding.
+            let raw = value_noise(carve_seed, c.x as f64, c.y as f64, 0.04, 4);
+            let n = (0.5 + (raw - 0.5) * 2.5).clamp(0.0, 1.0);
+            if n < params.water_fraction {
+                ClutterClass::Water
+            } else if n > 1.0 - params.forest_fraction {
+                ClutterClass::Forest
+            } else {
+                ClutterClass::Open
+            }
+        });
+        ClutterMap { map }
+    }
+
+    /// A raster with one class everywhere.
+    pub fn uniform(spec: GridSpec, class: ClutterClass) -> ClutterMap {
+        ClutterMap {
+            map: GridMap::filled(spec, class),
+        }
+    }
+
+    /// Class at a geographic point (nearest cell, clamped to the raster).
+    pub fn sample(&self, p: PointM) -> ClutterClass {
+        let spec = self.map.spec();
+        let x = (((p.x - spec.origin.x) / spec.cell_size).floor() as i64)
+            .clamp(0, spec.width as i64 - 1) as u32;
+        let y = (((p.y - spec.origin.y) / spec.cell_size).floor() as i64)
+            .clamp(0, spec.height as i64 - 1) as u32;
+        *self.map.get(magus_geo::GridCoord::new(x, y))
+    }
+
+    /// The underlying raster.
+    pub fn raster(&self) -> &GridMap<ClutterClass> {
+        &self.map
+    }
+
+    /// Fraction of cells with the given class.
+    pub fn fraction(&self, class: ClutterClass) -> f64 {
+        let n = self.map.as_slice().iter().filter(|&&c| c == class).count();
+        n as f64 / self.map.spec().len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> GridSpec {
+        GridSpec::centered(PointM::new(0.0, 0.0), 100.0, 30_000.0)
+    }
+
+    #[test]
+    fn core_is_dense_urban() {
+        let cm = ClutterMap::generate(spec(), 3, &ClutterParams::default());
+        assert_eq!(cm.sample(PointM::new(0.0, 0.0)), ClutterClass::DenseUrban);
+    }
+
+    #[test]
+    fn rural_params_have_no_urban() {
+        let cm = ClutterMap::generate(spec(), 3, &ClutterParams::rural());
+        assert_eq!(cm.fraction(ClutterClass::DenseUrban), 0.0);
+        assert_eq!(cm.fraction(ClutterClass::Urban), 0.0);
+        assert!(cm.fraction(ClutterClass::Open) > 0.3);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let cm = ClutterMap::generate(spec(), 8, &ClutterParams::default());
+        let total: f64 = ClutterClass::ALL.iter().map(|&c| cm.fraction(c)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn water_fraction_is_respected_roughly() {
+        let params = ClutterParams::rural();
+        let cm = ClutterMap::generate(spec(), 5, &params);
+        let w = cm.fraction(ClutterClass::Water);
+        // Value noise is not perfectly uniform; just verify the knob works.
+        assert!(w > 0.0 && w < params.water_fraction * 4.0, "water {w}");
+    }
+
+    #[test]
+    fn metropolitan_is_more_urban_than_default() {
+        let d = ClutterMap::generate(spec(), 5, &ClutterParams::default());
+        let m = ClutterMap::generate(
+            spec(),
+            5,
+            &ClutterParams::metropolitan(PointM::new(0.0, 0.0)),
+        );
+        let urb = |cm: &ClutterMap| {
+            cm.fraction(ClutterClass::Urban) + cm.fraction(ClutterClass::DenseUrban)
+        };
+        assert!(urb(&m) > urb(&d));
+    }
+
+    #[test]
+    fn excess_loss_ordering() {
+        assert!(
+            ClutterClass::DenseUrban.excess_loss_db() > ClutterClass::Suburban.excess_loss_db()
+        );
+        assert!(ClutterClass::Suburban.excess_loss_db() > ClutterClass::Open.excess_loss_db());
+        assert!(ClutterClass::Water.excess_loss_db() <= ClutterClass::Open.excess_loss_db());
+    }
+
+    #[test]
+    fn density_weights_nonnegative() {
+        for c in ClutterClass::ALL {
+            assert!(c.ue_density_weight() >= 0.0);
+        }
+        assert_eq!(ClutterClass::Water.ue_density_weight(), 0.0);
+    }
+}

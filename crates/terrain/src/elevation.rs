@@ -1,0 +1,278 @@
+//! Fractal terrain elevation.
+//!
+//! A diamond-square heightfield is generated on an internal power-of-two
+//! lattice and resampled (bilinearly) onto the caller's [`GridSpec`]. The
+//! diamond-square midpoint-displacement algorithm gives the 1/f-style
+//! roughness spectrum typical of real topography, which is what produces
+//! the irregular path-loss contours of the paper's Figure 3 once
+//! diffraction is applied.
+
+use crate::noise::value_noise;
+use magus_geo::{GridCoord, GridMap, GridSpec, PointM};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Parameters controlling terrain generation.
+#[derive(Debug, Clone)]
+pub struct TerrainParams {
+    /// Peak-to-peak elevation range in meters of the base fractal.
+    pub relief_m: f64,
+    /// Roughness in `(0, 1]`: the factor by which displacement amplitude
+    /// decays per diamond-square level. Higher = craggier.
+    pub roughness: f64,
+    /// Internal lattice size exponent: the fractal is generated on a
+    /// `(2^n + 1)²` lattice. 7 (129×129) is plenty for 10–60 km areas.
+    pub lattice_exp: u32,
+    /// Amplitude (meters) of fine value-noise detail added on top of the
+    /// fractal so that resampling onto fine grids does not look faceted.
+    pub detail_m: f64,
+}
+
+impl Default for TerrainParams {
+    fn default() -> Self {
+        TerrainParams {
+            relief_m: 120.0,
+            roughness: 0.55,
+            lattice_exp: 7,
+            detail_m: 8.0,
+        }
+    }
+}
+
+impl TerrainParams {
+    /// Gentle rolling terrain (suburban-plains flavor).
+    pub fn rolling() -> Self {
+        TerrainParams {
+            relief_m: 60.0,
+            roughness: 0.5,
+            ..TerrainParams::default()
+        }
+    }
+
+    /// Pronounced hills (rural-highlands flavor) — strong diffraction.
+    pub fn hilly() -> Self {
+        TerrainParams {
+            relief_m: 350.0,
+            roughness: 0.65,
+            ..TerrainParams::default()
+        }
+    }
+}
+
+/// An elevation raster with bilinear sampling.
+#[derive(Debug, Clone)]
+pub struct ElevationMap {
+    map: GridMap<f64>,
+}
+
+impl ElevationMap {
+    /// Generates an elevation map over `spec` from `seed`.
+    pub fn generate(spec: GridSpec, seed: u64, params: &TerrainParams) -> ElevationMap {
+        let lattice = diamond_square(seed, params);
+        let n = lattice.len() - 1; // lattice is (n+1) x (n+1)
+        let w = spec.width as f64;
+        let h = spec.height as f64;
+        let detail_seed = seed ^ 0xD17A_1125;
+        let map = GridMap::from_fn(spec, |c| {
+            // Map grid coords to lattice space [0, n].
+            let lx = c.x as f64 / w * n as f64;
+            let ly = c.y as f64 / h * n as f64;
+            let base = bilinear(&lattice, lx, ly);
+            let detail = (value_noise(detail_seed, c.x as f64, c.y as f64, 0.11, 3) - 0.5)
+                * 2.0
+                * params.detail_m;
+            (base * params.relief_m + detail).max(0.0)
+        });
+        ElevationMap { map }
+    }
+
+    /// A constant-elevation map.
+    pub fn flat(spec: GridSpec, elevation_m: f64) -> ElevationMap {
+        ElevationMap {
+            map: GridMap::filled(spec, elevation_m),
+        }
+    }
+
+    /// Elevation at a geographic point, clamped to the raster edge.
+    pub fn sample(&self, p: PointM) -> f64 {
+        let spec = self.map.spec();
+        let fx = ((p.x - spec.origin.x) / spec.cell_size - 0.5)
+            .clamp(0.0, (spec.width - 1) as f64);
+        let fy = ((p.y - spec.origin.y) / spec.cell_size - 0.5)
+            .clamp(0.0, (spec.height - 1) as f64);
+        let x0 = fx.floor() as u32;
+        let y0 = fy.floor() as u32;
+        let x1 = (x0 + 1).min(spec.width - 1);
+        let y1 = (y0 + 1).min(spec.height - 1);
+        let tx = fx - x0 as f64;
+        let ty = fy - y0 as f64;
+        let v00 = *self.map.get(GridCoord::new(x0, y0));
+        let v10 = *self.map.get(GridCoord::new(x1, y0));
+        let v01 = *self.map.get(GridCoord::new(x0, y1));
+        let v11 = *self.map.get(GridCoord::new(x1, y1));
+        let a = v00 + (v10 - v00) * tx;
+        let b = v01 + (v11 - v01) * tx;
+        a + (b - a) * ty
+    }
+
+    /// The underlying raster.
+    pub fn raster(&self) -> &GridMap<f64> {
+        &self.map
+    }
+}
+
+/// Bilinear interpolation on a square lattice stored as rows of equal
+/// length; coordinates are clamped to the lattice.
+fn bilinear(lattice: &[Vec<f64>], x: f64, y: f64) -> f64 {
+    let n = lattice.len() - 1;
+    let x = x.clamp(0.0, n as f64);
+    let y = y.clamp(0.0, n as f64);
+    let x0 = x.floor() as usize;
+    let y0 = y.floor() as usize;
+    let x1 = (x0 + 1).min(n);
+    let y1 = (y0 + 1).min(n);
+    let tx = x - x0 as f64;
+    let ty = y - y0 as f64;
+    let a = lattice[y0][x0] + (lattice[y0][x1] - lattice[y0][x0]) * tx;
+    let b = lattice[y1][x0] + (lattice[y1][x1] - lattice[y1][x0]) * tx;
+    a + (b - a) * ty
+}
+
+/// Classic diamond-square on a `(2^exp + 1)²` lattice, normalized to
+/// `[0, 1]`.
+fn diamond_square(seed: u64, params: &TerrainParams) -> Vec<Vec<f64>> {
+    let n = 1usize << params.lattice_exp;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut grid = vec![vec![0.0f64; n + 1]; n + 1];
+    // Seed the corners.
+    for &(y, x) in &[(0, 0), (0, n), (n, 0), (n, n)] {
+        grid[y][x] = rng.random_range(0.0..1.0);
+    }
+    let mut step = n;
+    let mut amp = 0.5f64;
+    while step > 1 {
+        let half = step / 2;
+        // Diamond step: centers of squares.
+        for y in (half..n).step_by(step) {
+            for x in (half..n).step_by(step) {
+                let avg = (grid[y - half][x - half]
+                    + grid[y - half][x + half]
+                    + grid[y + half][x - half]
+                    + grid[y + half][x + half])
+                    / 4.0;
+                grid[y][x] = avg + rng.random_range(-amp..amp);
+            }
+        }
+        // Square step: edge midpoints.
+        for y in (0..=n).step_by(half) {
+            let x_start = if (y / half) % 2 == 0 { half } else { 0 };
+            for x in (x_start..=n).step_by(step) {
+                let mut sum = 0.0;
+                let mut cnt = 0.0;
+                if y >= half {
+                    sum += grid[y - half][x];
+                    cnt += 1.0;
+                }
+                if y + half <= n {
+                    sum += grid[y + half][x];
+                    cnt += 1.0;
+                }
+                if x >= half {
+                    sum += grid[y][x - half];
+                    cnt += 1.0;
+                }
+                if x + half <= n {
+                    sum += grid[y][x + half];
+                    cnt += 1.0;
+                }
+                grid[y][x] = sum / cnt + rng.random_range(-amp..amp);
+            }
+        }
+        step = half;
+        amp *= params.roughness;
+    }
+    // Normalize to [0, 1].
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for row in &grid {
+        for &v in row {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    }
+    let span = (hi - lo).max(1e-12);
+    for row in &mut grid {
+        for v in row.iter_mut() {
+            *v = (*v - lo) / span;
+        }
+    }
+    grid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> GridSpec {
+        GridSpec::new(PointM::new(0.0, 0.0), 100.0, 100, 100)
+    }
+
+    #[test]
+    fn elevation_in_expected_range() {
+        let p = TerrainParams::default();
+        let e = ElevationMap::generate(spec(), 9, &p);
+        let (lo, hi) = e.raster().finite_range().unwrap();
+        assert!(lo >= 0.0);
+        assert!(hi <= p.relief_m + p.detail_m + 1e-9, "hi={hi}");
+        // A fractal should actually use a good part of its range.
+        assert!(hi - lo > p.relief_m * 0.3, "range {lo}..{hi} too flat");
+    }
+
+    #[test]
+    fn sample_matches_cell_centers() {
+        let e = ElevationMap::generate(spec(), 4, &TerrainParams::default());
+        for c in [GridCoord::new(0, 0), GridCoord::new(50, 7), GridCoord::new(99, 99)] {
+            let p = spec().center_of(c);
+            let direct = *e.raster().get(c);
+            assert!((e.sample(p) - direct).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sample_clamps_outside_raster() {
+        let e = ElevationMap::generate(spec(), 4, &TerrainParams::default());
+        let inside = e.sample(spec().center_of(GridCoord::new(0, 0)));
+        let outside = e.sample(PointM::new(-10_000.0, -10_000.0));
+        assert_eq!(inside, outside);
+    }
+
+    #[test]
+    fn terrain_is_spatially_correlated() {
+        // Neighbor cells should be far more similar than random pairs.
+        let e = ElevationMap::generate(spec(), 21, &TerrainParams::default());
+        let mut neighbor_diff = 0.0;
+        let mut cnt = 0.0;
+        for y in 0..99 {
+            for x in 0..99 {
+                let a = *e.raster().get(GridCoord::new(x, y));
+                let b = *e.raster().get(GridCoord::new(x + 1, y));
+                neighbor_diff += (a - b).abs();
+                cnt += 1.0;
+            }
+        }
+        neighbor_diff /= cnt;
+        let (lo, hi) = e.raster().finite_range().unwrap();
+        assert!(
+            neighbor_diff < (hi - lo) * 0.12,
+            "neighbor diff {neighbor_diff} vs range {}",
+            hi - lo
+        );
+    }
+
+    #[test]
+    fn presets_have_expected_relief_ordering() {
+        assert!(TerrainParams::hilly().relief_m > TerrainParams::default().relief_m);
+        assert!(TerrainParams::rolling().relief_m < TerrainParams::default().relief_m);
+    }
+}

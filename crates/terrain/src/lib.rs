@@ -1,0 +1,130 @@
+//! Deterministic synthetic geography for the Magus reproduction.
+//!
+//! The paper drives its model with Atoll path-loss matrices that bake in
+//! "terrain, buildings, foliage, etc." (§4.2). We do not have that
+//! proprietary data, so this crate synthesizes the geography those
+//! matrices were derived from:
+//!
+//! * [`elevation`] — fractal terrain elevation (diamond-square), so path
+//!   loss picks up knife-edge diffraction over ridgelines and the
+//!   irregular contours visible in the paper's Figure 3.
+//! * [`clutter`] — land-use classes (water / open / forest / suburban /
+//!   urban / dense-urban) arranged around one or more urban cores, feeding
+//!   per-class clutter losses and optionally UE density weighting.
+//! * [`noise`] — seed-stable hash noise used for spatially-consistent
+//!   lognormal shadowing and clutter texture. The same (seed, cell) always
+//!   produces the same value on every platform, which is what makes whole
+//!   experiments reproducible from a single `u64`.
+//!
+//! Everything is generated from an explicit seed; there is no global RNG.
+
+pub mod clutter;
+pub mod elevation;
+pub mod noise;
+pub mod profile;
+
+pub use clutter::{ClutterClass, ClutterMap, ClutterParams};
+pub use elevation::{ElevationMap, TerrainParams};
+pub use noise::{hash01, value_noise};
+pub use profile::sample_profile;
+
+use magus_geo::{GridSpec, PointM};
+
+/// A complete synthetic geography: elevation plus clutter over a common
+/// raster.
+#[derive(Debug, Clone)]
+pub struct Terrain {
+    elevation: ElevationMap,
+    clutter: ClutterMap,
+}
+
+impl Terrain {
+    /// Generates terrain for `spec` from an explicit seed and parameters.
+    pub fn generate(
+        spec: GridSpec,
+        seed: u64,
+        terrain: &TerrainParams,
+        clutter: &ClutterParams,
+    ) -> Terrain {
+        let elevation = ElevationMap::generate(spec, seed, terrain);
+        let clutter = ClutterMap::generate(spec, seed.wrapping_add(0x9E3779B97F4A7C15), clutter);
+        Terrain { elevation, clutter }
+    }
+
+    /// Perfectly flat, open terrain — useful for tests and for isolating
+    /// the pure propagation model from geography effects.
+    pub fn flat(spec: GridSpec) -> Terrain {
+        Terrain {
+            elevation: ElevationMap::flat(spec, 0.0),
+            clutter: ClutterMap::uniform(spec, ClutterClass::Open),
+        }
+    }
+
+    /// Elevation in meters at a geographic point (bilinear, clamped at the
+    /// raster edge).
+    pub fn elevation_at(&self, p: PointM) -> f64 {
+        self.elevation.sample(p)
+    }
+
+    /// Clutter class at a geographic point (nearest cell, clamped).
+    pub fn clutter_at(&self, p: PointM) -> ClutterClass {
+        self.clutter.sample(p)
+    }
+
+    /// The elevation raster.
+    pub fn elevation(&self) -> &ElevationMap {
+        &self.elevation
+    }
+
+    /// The clutter raster.
+    pub fn clutter(&self) -> &ClutterMap {
+        &self.clutter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magus_geo::GridSpec;
+
+    fn spec() -> GridSpec {
+        GridSpec::new(PointM::new(0.0, 0.0), 100.0, 64, 64)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let tp = TerrainParams::default();
+        let cp = ClutterParams::default();
+        let a = Terrain::generate(spec(), 42, &tp, &cp);
+        let b = Terrain::generate(spec(), 42, &tp, &cp);
+        for c in spec().coords() {
+            let p = spec().center_of(c);
+            assert_eq!(a.elevation_at(p), b.elevation_at(p));
+            assert_eq!(a.clutter_at(p), b.clutter_at(p));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let tp = TerrainParams::default();
+        let cp = ClutterParams::default();
+        let a = Terrain::generate(spec(), 1, &tp, &cp);
+        let b = Terrain::generate(spec(), 2, &tp, &cp);
+        let differing = spec()
+            .coords()
+            .filter(|&c| {
+                let p = spec().center_of(c);
+                a.elevation_at(p) != b.elevation_at(p)
+            })
+            .count();
+        assert!(differing > spec().len() / 2, "only {differing} cells differ");
+    }
+
+    #[test]
+    fn flat_terrain_is_flat_and_open() {
+        let t = Terrain::flat(spec());
+        let p = PointM::new(3210.0, 987.0);
+        assert_eq!(t.elevation_at(p), 0.0);
+        assert_eq!(t.clutter_at(p), ClutterClass::Open);
+    }
+}

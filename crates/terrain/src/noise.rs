@@ -1,0 +1,147 @@
+//! Seed-stable procedural noise.
+//!
+//! Two primitives:
+//!
+//! * [`hash01`] — a per-cell hash mapped to `[0, 1)`. Pure function of
+//!   `(seed, x, y)`, so the same cell always gets the same draw; this is
+//!   what makes lognormal shadowing *spatially consistent* (re-evaluating
+//!   the model never re-rolls the environment).
+//! * [`value_noise`] — smooth multi-octave value noise built on the hash,
+//!   used for clutter texture and elevation detail.
+//!
+//! The hash is SplitMix64-style: fast, well distributed, and identical on
+//! every platform (no floating-point trigonometry involved).
+
+/// Mixes a 64-bit value through the SplitMix64 finalizer.
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic hash of an integer lattice cell to `[0, 1)`.
+#[inline]
+pub fn hash01(seed: u64, x: i64, y: i64) -> f64 {
+    let h = splitmix64(seed ^ splitmix64(x as u64) ^ splitmix64((y as u64).rotate_left(32)));
+    // Use the top 53 bits for a uniform double in [0, 1).
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Deterministic hash of a lattice cell to a standard-normal-ish value.
+///
+/// Uses the sum of four uniforms (Irwin–Hall), rescaled to unit variance —
+/// plenty for shadowing, which is itself only log-normally *approximate*
+/// in reality, and avoids platform-dependent `ln`/`cos` corner cases of
+/// Box–Muller at the 0 boundary.
+#[inline]
+pub fn hash_normal(seed: u64, x: i64, y: i64) -> f64 {
+    let s = hash01(seed, x, y)
+        + hash01(seed ^ 0xA5A5_A5A5, x, y)
+        + hash01(seed ^ 0x5A5A_5A5A, x, y)
+        + hash01(seed ^ 0x0F0F_F0F0, x, y);
+    // Sum of 4 U(0,1): mean 2, variance 4/12 = 1/3.
+    (s - 2.0) * (3.0f64).sqrt()
+}
+
+#[inline]
+fn smoothstep(t: f64) -> f64 {
+    t * t * (3.0 - 2.0 * t)
+}
+
+/// Single-octave value noise at continuous coordinates (lattice spacing 1).
+fn value_noise_octave(seed: u64, x: f64, y: f64) -> f64 {
+    let x0 = x.floor();
+    let y0 = y.floor();
+    let tx = smoothstep(x - x0);
+    let ty = smoothstep(y - y0);
+    let (xi, yi) = (x0 as i64, y0 as i64);
+    let v00 = hash01(seed, xi, yi);
+    let v10 = hash01(seed, xi + 1, yi);
+    let v01 = hash01(seed, xi, yi + 1);
+    let v11 = hash01(seed, xi + 1, yi + 1);
+    let a = v00 + (v10 - v00) * tx;
+    let b = v01 + (v11 - v01) * tx;
+    a + (b - a) * ty
+}
+
+/// Multi-octave value noise in `[0, 1]` (approximately).
+///
+/// * `base_freq` — lattice frequency of the first octave (cycles per unit
+///   of `x`/`y`).
+/// * `octaves` — number of octaves; each successive octave doubles the
+///   frequency and halves the amplitude.
+pub fn value_noise(seed: u64, x: f64, y: f64, base_freq: f64, octaves: u32) -> f64 {
+    let mut total = 0.0;
+    let mut amp = 1.0;
+    let mut freq = base_freq;
+    let mut norm = 0.0;
+    for o in 0..octaves {
+        total += amp * value_noise_octave(seed.wrapping_add(o as u64 * 0x1234_5678_9ABC), x * freq, y * freq);
+        norm += amp;
+        amp *= 0.5;
+        freq *= 2.0;
+    }
+    total / norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash01_in_unit_interval() {
+        for i in 0..10_000i64 {
+            let v = hash01(7, i, i * 31 + 5);
+            assert!((0.0..1.0).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn hash01_deterministic_and_seed_sensitive() {
+        assert_eq!(hash01(1, 10, 20), hash01(1, 10, 20));
+        assert_ne!(hash01(1, 10, 20), hash01(2, 10, 20));
+        assert_ne!(hash01(1, 10, 20), hash01(1, 11, 20));
+        assert_ne!(hash01(1, 10, 20), hash01(1, 10, 21));
+    }
+
+    #[test]
+    fn hash01_mean_is_roughly_half() {
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|i| hash01(99, i, -i * 7)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn hash_normal_moments() {
+        let n = 50_000;
+        let vals: Vec<f64> = (0..n).map(|i| hash_normal(3, i, i / 3)).collect();
+        let mean = vals.iter().sum::<f64>() / n as f64;
+        let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn value_noise_is_smooth() {
+        // Adjacent samples at a fine step should differ far less than the
+        // full range — this catches accidental per-sample hashing.
+        let mut max_step = 0.0f64;
+        for i in 0..1000 {
+            let x = i as f64 * 0.01;
+            let a = value_noise(5, x, 0.3, 0.5, 4);
+            let b = value_noise(5, x + 0.01, 0.3, 0.5, 4);
+            max_step = max_step.max((a - b).abs());
+        }
+        assert!(max_step < 0.1, "max adjacent step {max_step}");
+    }
+
+    #[test]
+    fn value_noise_range() {
+        for i in 0..2000 {
+            let v = value_noise(11, i as f64 * 0.37, i as f64 * 0.11, 0.25, 5);
+            assert!((0.0..=1.0).contains(&v), "{v}");
+        }
+    }
+}

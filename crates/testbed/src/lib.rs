@@ -1,0 +1,41 @@
+//! A packet-level LTE testbed simulator — the reproduction of the paper's
+//! §3 experimental platform.
+//!
+//! The original testbed is physical: 4 Cavium LTE Release-9 small cells,
+//! 10 Intel-NUC-hosted UEs with Sierra Wireless dongles, and an Aricent
+//! EPC (MME/SGW/PGW/HSS/PCRF), indoors on one floor, band 7, 10 MHz,
+//! software power attenuators `L ∈ [1, 30]`, utility measured as the sum
+//! of log downlink TCP rates. None of that hardware is available, so this
+//! crate rebuilds the platform as a discrete-event simulation with the
+//! same moving parts:
+//!
+//! * [`event`] — the event engine (time-ordered queue, deterministic
+//!   tie-breaking).
+//! * [`radio`] — the indoor radio environment: log-distance path loss
+//!   with deterministic multipath texture, per-eNodeB software
+//!   attenuators, SINR with full-buffer interference.
+//! * [`sim`] — eNodeBs (equal-share MAC over the LTE TBS tables), UEs
+//!   (RSRP cell selection, A3 handover with hysteresis, radio-link
+//!   failure on serving loss), and an EPC control plane whose MME has a
+//!   bounded signaling service rate — which is exactly why synchronized
+//!   handovers hurt (§6's motivation).
+//! * [`scenario`] — the paper's Scenario 1 (2 eNodeBs) and Scenario 2
+//!   (3 eNodeBs, interference-limited) layouts, attenuation-sweep
+//!   optimization, and the proactive/reactive/no-tuning timelines of
+//!   Figure 2.
+//!
+//! Everything is deterministic given the layout (no RNG in the hot path;
+//! multipath texture is hash-based).
+
+pub mod event;
+pub mod radio;
+pub mod scenario;
+pub mod sim;
+
+pub use event::{EventQueue, SimTime};
+pub use radio::{AttenuationLevel, RadioEnvironment, UE_NOISE_FIGURE_DB};
+pub use scenario::{
+    figure2_timeline, optimize_attenuations, scenario1, scenario2, steady_state_utility,
+    Scenario, TimelineKind, TimelinePoint,
+};
+pub use sim::{EnodebId, HandoverStats, Mobility, Scheduler, Sim, SimConfig, SimReport, UeId};

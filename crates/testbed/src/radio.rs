@@ -1,0 +1,194 @@
+//! The indoor radio environment.
+//!
+//! Paper §3.1: each eNodeB radio reaches 125 mW (≈21 dBm) and is tuned by
+//! a software attenuator whose level `L` runs from 30 (maximum
+//! attenuation, minimum power) to 1, in steps of 1. We model each unit as
+//! 1 dB, so the effective transmit power is `21 dBm − L dB`.
+//!
+//! Propagation is indoor log-distance (exponent 3.0, reference loss
+//! 40 dB at 1 m for band 7) plus a deterministic per-link multipath
+//! texture of a few dB — enough irregularity that optimal attenuation
+//! settings are not trivially symmetric, as on the real floor.
+
+use magus_geo::{Db, Dbm, PointM};
+use serde::{Deserialize, Serialize};
+
+/// Receiver noise figure of the UE dongles, dB.
+pub const UE_NOISE_FIGURE_DB: f64 = 9.0;
+
+/// Maximum radio power of the Cavium small cells (125 mW).
+pub const MAX_TX_DBM: f64 = 21.0;
+
+/// A software attenuation level, `1..=30` (30 = minimum power).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AttenuationLevel(pub u8);
+
+impl AttenuationLevel {
+    /// Minimum power (maximum attenuation).
+    pub const MIN_POWER: AttenuationLevel = AttenuationLevel(30);
+    /// Maximum power (minimum attenuation).
+    pub const MAX_POWER: AttenuationLevel = AttenuationLevel(1);
+
+    /// Creates a level, panicking outside `1..=30` (the hardware range).
+    pub fn new(l: u8) -> AttenuationLevel {
+        assert!((1..=30).contains(&l), "attenuation level {l} out of range");
+        AttenuationLevel(l)
+    }
+
+    /// Effective transmit power at this level.
+    pub fn tx_power(self) -> Dbm {
+        Dbm(MAX_TX_DBM) + Db(-(self.0 as f64))
+    }
+
+    /// One step toward maximum power, saturating at L=1.
+    pub fn stronger(self) -> AttenuationLevel {
+        AttenuationLevel(self.0.saturating_sub(1).max(1))
+    }
+
+    /// One step toward minimum power, saturating at L=30.
+    pub fn weaker(self) -> AttenuationLevel {
+        AttenuationLevel((self.0 + 1).min(30))
+    }
+}
+
+/// The static geometry: eNodeB and UE positions on the floor.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RadioEnvironment {
+    enodeb_positions: Vec<PointM>,
+    ue_positions: Vec<PointM>,
+    /// Seed for the multipath texture.
+    seed: u64,
+}
+
+impl RadioEnvironment {
+    /// Builds an environment from positions (meters, indoor scale).
+    pub fn new(enodebs: Vec<PointM>, ues: Vec<PointM>, seed: u64) -> RadioEnvironment {
+        RadioEnvironment {
+            enodeb_positions: enodebs,
+            ue_positions: ues,
+            seed,
+        }
+    }
+
+    /// Number of eNodeBs.
+    pub fn num_enodebs(&self) -> usize {
+        self.enodeb_positions.len()
+    }
+
+    /// Number of UEs.
+    pub fn num_ues(&self) -> usize {
+        self.ue_positions.len()
+    }
+
+    /// Current position of UE `u`.
+    pub fn ue_position(&self, u: usize) -> PointM {
+        self.ue_positions[u]
+    }
+
+    /// Moves UE `u` (mobility models drive this between scheduling
+    /// quanta).
+    pub fn set_ue_position(&mut self, u: usize, p: PointM) {
+        self.ue_positions[u] = p;
+    }
+
+    /// Deterministic per-(link, slot) fast-fading factor in dB, zero-mean
+    /// over slots. Models small-scale multipath variation so a
+    /// proportional-fair scheduler has diversity to exploit.
+    pub fn fast_fading_db(&self, e: usize, u: usize, slot: u64, sigma_db: f64) -> f64 {
+        let h = magus_hash(self.seed ^ 0xFAD_E, (e as u64) << 32 | u as u64, slot);
+        // Sum of two uniforms, zero-mean, bounded: adequate for fading
+        // texture without platform-dependent transcendentals.
+        let h2 = magus_hash(self.seed ^ 0xFAD_E2, (u as u64) << 32 | e as u64, slot);
+        (h + h2 - 1.0) * sigma_db * 1.73
+    }
+
+    /// Path loss (positive dB) between eNodeB `e` and UE `u`, excluding
+    /// the attenuator.
+    pub fn path_loss_db(&self, e: usize, u: usize) -> f64 {
+        let d = self.enodeb_positions[e]
+            .distance(self.ue_positions[u])
+            .max(1.0);
+        // Indoor log-distance: 40 dB at 1 m (band 7), exponent 3.0.
+        let base = 40.0 + 30.0 * d.log10();
+        // Deterministic multipath/wall texture in [-4, +4] dB per link.
+        let h = magus_hash(self.seed, e as u64, u as u64);
+        base + (h - 0.5) * 8.0
+    }
+
+    /// Received power at UE `u` from eNodeB `e` at attenuation `l`.
+    pub fn rx_power(&self, e: usize, u: usize, l: AttenuationLevel) -> Dbm {
+        l.tx_power() + Db(-self.path_loss_db(e, u))
+    }
+}
+
+/// SplitMix-style hash to `[0, 1)` for the multipath texture.
+fn magus_hash(seed: u64, a: u64, b: u64) -> f64 {
+    let mut z = seed ^ a.wrapping_mul(0x9E3779B97F4A7C15) ^ b.rotate_left(31);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env() -> RadioEnvironment {
+        RadioEnvironment::new(
+            vec![PointM::new(0.0, 0.0), PointM::new(40.0, 0.0)],
+            vec![PointM::new(5.0, 2.0), PointM::new(35.0, 1.0)],
+            7,
+        )
+    }
+
+    #[test]
+    fn attenuation_maps_to_power() {
+        assert!((AttenuationLevel::MAX_POWER.tx_power().0 - 20.0).abs() < 1e-12);
+        assert!((AttenuationLevel::MIN_POWER.tx_power().0 - (-9.0)).abs() < 1e-12);
+        assert!(AttenuationLevel(5).tx_power() > AttenuationLevel(10).tx_power());
+    }
+
+    #[test]
+    fn stronger_weaker_saturate() {
+        assert_eq!(AttenuationLevel(1).stronger(), AttenuationLevel(1));
+        assert_eq!(AttenuationLevel(30).weaker(), AttenuationLevel(30));
+        assert_eq!(AttenuationLevel(5).stronger(), AttenuationLevel(4));
+        assert_eq!(AttenuationLevel(5).weaker(), AttenuationLevel(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_level_panics() {
+        AttenuationLevel::new(0);
+    }
+
+    #[test]
+    fn nearer_enodeb_is_louder() {
+        let e = env();
+        // UE 0 is near eNodeB 0; at equal attenuation it must hear it
+        // better (multipath texture is only ±4 dB, distance gap is huge).
+        let l = AttenuationLevel(1);
+        assert!(e.rx_power(0, 0, l) > e.rx_power(1, 0, l));
+        assert!(e.rx_power(1, 1, l) > e.rx_power(0, 1, l));
+    }
+
+    #[test]
+    fn path_loss_is_deterministic() {
+        let a = env();
+        let b = env();
+        for e in 0..2 {
+            for u in 0..2 {
+                assert_eq!(a.path_loss_db(e, u), b.path_loss_db(e, u));
+            }
+        }
+    }
+
+    #[test]
+    fn rx_power_tracks_attenuation_linearly() {
+        let e = env();
+        let p1 = e.rx_power(0, 0, AttenuationLevel(1)).0;
+        let p11 = e.rx_power(0, 0, AttenuationLevel(11)).0;
+        assert!((p1 - p11 - 10.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,877 @@
+//! The testbed simulation proper: eNodeBs, UEs, and the EPC control
+//! plane as message-driven state machines over the event queue.
+//!
+//! Modeling choices, each anchored to the paper's platform:
+//!
+//! * **MAC** — full-buffer downlink with two disciplines: equal capacity
+//!   sharing (what proportional fair converges to under full buffers and
+//!   a static channel — exactly the paper's Formula 4), and a true
+//!   slot-by-slot proportional-fair scheduler with deterministic fast
+//!   fading for multi-user diversity.
+//! * **Mobility** — UEs measure RSRP every period; an A3-style event
+//!   (neighbor > serving + hysteresis) triggers a handover, which costs a
+//!   control-plane round through the MME plus a short data interruption
+//!   (*seamless*). If the serving cell vanishes (planned upgrade), the UE
+//!   discovers it via radio-link failure, then re-attaches from scratch —
+//!   a much longer outage (*hard* handover, paper §6).
+//! * **EPC** — one MME with a serial signaling processor: each attach /
+//!   path-switch occupies it for a fixed service time, and without X2
+//!   links every handover is relayed through the MME twice (S1
+//!   handover). Synchronized handovers queue up and the queue depth,
+//!   job count, and busy time are visible in the stats — the precise
+//!   mechanism behind "synchronized handovers … can severely strain the
+//!   cellular network".
+
+use crate::event::{EventQueue, SimTime};
+use crate::radio::{AttenuationLevel, RadioEnvironment, UE_NOISE_FIGURE_DB};
+use magus_geo::units::thermal_noise;
+use magus_geo::Db;
+use magus_lte::{Bandwidth, RateMapper};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Downlink MAC scheduling discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Scheduler {
+    /// Equal capacity sharing — what proportional fair converges to under
+    /// full buffers and a static channel (and the paper's Formula 4).
+    EqualShare,
+    /// Slot-by-slot proportional fair: each quantum the full band goes to
+    /// the UE maximizing `instantaneous rate / EWMA throughput`, with
+    /// deterministic fast fading providing multi-user diversity.
+    ProportionalFair {
+        /// EWMA smoothing factor for the average-throughput term.
+        ewma_alpha: f64,
+        /// Fast-fading standard deviation, dB.
+        fading_sigma_db: f64,
+    },
+}
+
+/// UE movement model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Mobility {
+    /// UEs stay where they were placed (the paper's testbed).
+    Static,
+    /// Random-waypoint-style drift inside a bounding box: each UE walks
+    /// toward a deterministic per-UE waypoint at `speed_mps`, picking a
+    /// new waypoint on arrival.
+    Waypoint {
+        /// Walking speed, m/s.
+        speed_mps: f64,
+        /// Bounding box min corner (meters).
+        min_x: f64,
+        /// Bounding box min corner (meters).
+        min_y: f64,
+        /// Bounding box max corner (meters).
+        max_x: f64,
+        /// Bounding box max corner (meters).
+        max_y: f64,
+    },
+}
+
+/// Index of an eNodeB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EnodebId(pub usize);
+
+/// Index of a UE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct UeId(pub usize);
+
+/// Simulation parameters (defaults follow LTE signaling norms).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// MAC scheduling quantum, ms.
+    pub sched_quantum_ms: u64,
+    /// UE measurement-report period, ms.
+    pub measurement_period_ms: u64,
+    /// A3 hysteresis, dB.
+    pub a3_hysteresis_db: f64,
+    /// Data interruption of a seamless (X2-style) handover, ms.
+    pub seamless_interruption_ms: u64,
+    /// Time for a UE to declare radio-link failure after its cell
+    /// vanishes, ms.
+    pub rlf_detection_ms: u64,
+    /// Radio-level re-attach time after RLF (excluding MME queueing), ms.
+    pub reattach_time_ms: u64,
+    /// MME per-message service time, ms.
+    pub mme_service_time_ms: u64,
+    /// Whether eNodeBs share X2 links. With X2, a handover is a direct
+    /// eNodeB↔eNodeB affair costing the MME only a path switch; without,
+    /// it becomes an S1 handover fully relayed through the MME (two
+    /// signaling jobs and a longer interruption) — the distinction that
+    /// makes core-network load sensitive to the handover mix.
+    pub x2_available: bool,
+    /// Extra data interruption of an S1 (MME-relayed) handover, ms.
+    pub s1_extra_interruption_ms: u64,
+    /// Channel bandwidth.
+    pub bandwidth: Bandwidth,
+    /// Utility/trace window length, ms.
+    pub window_ms: u64,
+    /// MAC scheduling discipline.
+    pub scheduler: Scheduler,
+    /// UE movement model.
+    pub mobility: Mobility,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            sched_quantum_ms: 10,
+            measurement_period_ms: 100,
+            a3_hysteresis_db: 3.0,
+            seamless_interruption_ms: 40,
+            rlf_detection_ms: 200,
+            reattach_time_ms: 80,
+            mme_service_time_ms: 5,
+            x2_available: true,
+            s1_extra_interruption_ms: 60,
+            bandwidth: Bandwidth::Mhz10,
+            window_ms: 500,
+            scheduler: Scheduler::EqualShare,
+            mobility: Mobility::Static,
+        }
+    }
+}
+
+/// A scheduled configuration change (the upgrade timeline).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ChangeOp {
+    /// Retune one eNodeB's attenuator.
+    SetAttenuation(EnodebId, AttenuationLevel),
+    /// Take an eNodeB off-air (or back on).
+    SetOnAir(EnodebId, bool),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum UeState {
+    /// Attached and receiving data.
+    Connected,
+    /// Executing a seamless handover; data resumes at the given time.
+    HandingOver { target: usize },
+    /// Serving cell lost; waiting out RLF detection.
+    RadioLinkFailure,
+    /// Re-attaching through the MME.
+    Reattaching { target: usize },
+}
+
+#[derive(Debug, Clone, Copy)]
+enum MmeJob {
+    /// X2 path switch for a seamless handover.
+    PathSwitch { ue: usize, target: usize },
+    /// First leg of an S1 handover (handover-required / request relay);
+    /// completion enqueues the path switch.
+    S1Relay { ue: usize, target: usize },
+    /// Full attach after RLF.
+    Attach { ue: usize, target: usize },
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    MacQuantum,
+    Measure,
+    RlfExpired { ue: usize },
+    MmeDone,
+    HandoverFinish { ue: usize, target: usize, seamless: bool },
+    Apply { index: usize },
+    WindowClose,
+}
+
+/// Handover accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct HandoverStats {
+    /// Handovers whose source was on-air at trigger time.
+    pub seamless: usize,
+    /// RLF-driven re-attachments.
+    pub hard: usize,
+    /// Deepest MME signaling backlog observed.
+    pub max_mme_queue: usize,
+    /// Largest number of handovers triggered in one measurement round.
+    pub max_simultaneous: usize,
+    /// Total signaling jobs the MME processed.
+    pub mme_jobs: usize,
+    /// Total MME busy time, ms (utilization = busy / run length).
+    pub mme_busy_ms: u64,
+}
+
+/// A (time, utility, per-UE Mbps) sample of one trace window.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WindowSample {
+    /// Window end, seconds.
+    pub t_secs: f64,
+    /// Sum of log10(Mbps) over UEs with data in the window.
+    pub utility: f64,
+    /// Per-UE average rate in the window, Mbps.
+    pub rates_mbps: Vec<f64>,
+}
+
+/// Final report of a run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Per-UE mean downlink rate over the whole run, Mbps.
+    pub mean_rates_mbps: Vec<f64>,
+    /// Sum of log10(Mbps) over UEs with non-zero rate — the paper's
+    /// testbed utility.
+    pub utility: f64,
+    /// Handover accounting.
+    pub handovers: HandoverStats,
+    /// Per-window trace.
+    pub windows: Vec<WindowSample>,
+}
+
+/// The testbed simulator.
+pub struct Sim {
+    cfg: SimConfig,
+    env: RadioEnvironment,
+    rate: RateMapper,
+    noise_mw: f64,
+    queue: EventQueue<Event>,
+    timeline: Vec<(SimTime, ChangeOp)>,
+
+    atten: Vec<AttenuationLevel>,
+    on_air: Vec<bool>,
+    ue_serving: Vec<usize>,
+    ue_state: Vec<UeState>,
+
+    mme_queue: VecDeque<MmeJob>,
+    mme_busy: bool,
+
+    delivered_bits: Vec<f64>,
+    /// EWMA throughput per UE (bits/s) for the PF metric.
+    ewma_thpt: Vec<f64>,
+    /// Waypoint per UE for the mobility model.
+    waypoints: Vec<magus_geo::PointM>,
+    waypoint_seq: Vec<u64>,
+    window_bits: Vec<f64>,
+    windows: Vec<WindowSample>,
+    stats: HandoverStats,
+    end: SimTime,
+}
+
+impl Sim {
+    /// Builds a simulation: all UEs start attached to their
+    /// strongest on-air cell (the paper's step (a): "first let the UEs
+    /// attach to their preferred eNodeB").
+    pub fn new(
+        env: RadioEnvironment,
+        initial_atten: Vec<AttenuationLevel>,
+        cfg: SimConfig,
+        timeline: Vec<(SimTime, ChangeOp)>,
+    ) -> Sim {
+        assert_eq!(env.num_enodebs(), initial_atten.len());
+        let n_e = env.num_enodebs();
+        let n_u = env.num_ues();
+        let on_air = vec![true; n_e];
+        let rate = RateMapper::new(cfg.bandwidth);
+        let noise_mw = thermal_noise(cfg.bandwidth.hz(), Db(UE_NOISE_FIGURE_DB))
+            .to_milliwatt()
+            .0;
+        let mut sim = Sim {
+            cfg,
+            env,
+            rate,
+            noise_mw,
+            queue: EventQueue::new(),
+            timeline,
+            atten: initial_atten,
+            on_air,
+            ue_serving: vec![0; n_u],
+            ue_state: vec![UeState::Connected; n_u],
+            mme_queue: VecDeque::new(),
+            mme_busy: false,
+            delivered_bits: vec![0.0; n_u],
+            ewma_thpt: vec![1.0; n_u],
+            waypoints: vec![magus_geo::PointM::new(0.0, 0.0); n_u],
+            waypoint_seq: vec![0; n_u],
+            window_bits: vec![0.0; n_u],
+            windows: Vec::new(),
+            stats: HandoverStats::default(),
+            end: SimTime::ZERO,
+        };
+        for u in 0..n_u {
+            sim.ue_serving[u] = sim.best_cell(u).unwrap_or(0);
+        }
+        sim
+    }
+
+    /// Strongest on-air cell for UE `u`.
+    fn best_cell(&self, u: usize) -> Option<usize> {
+        (0..self.env.num_enodebs())
+            .filter(|&e| self.on_air[e])
+            .max_by(|&a, &b| {
+                self.env
+                    .rx_power(a, u, self.atten[a])
+                    .partial_cmp(&self.env.rx_power(b, u, self.atten[b]))
+                    .expect("finite powers")
+            })
+    }
+
+    /// Linear SINR of UE `u` toward cell `e`.
+    fn sinr(&self, u: usize, e: usize) -> f64 {
+        if !self.on_air[e] {
+            return 0.0;
+        }
+        let signal = self.env.rx_power(e, u, self.atten[e]).to_milliwatt().0;
+        let interference: f64 = (0..self.env.num_enodebs())
+            .filter(|&o| o != e && self.on_air[o])
+            .map(|o| self.env.rx_power(o, u, self.atten[o]).to_milliwatt().0)
+            .sum();
+        signal / (self.noise_mw + interference)
+    }
+
+    /// Number of UEs currently drawing capacity from cell `e`.
+    fn load(&self, e: usize) -> usize {
+        (0..self.env.num_ues())
+            .filter(|&u| self.ue_serving[u] == e && self.ue_state[u] == UeState::Connected)
+            .count()
+    }
+
+    fn enqueue_mme(&mut self, job: MmeJob) {
+        self.mme_queue.push_back(job);
+        self.stats.max_mme_queue = self.stats.max_mme_queue.max(self.mme_queue.len());
+        if !self.mme_busy {
+            self.mme_busy = true;
+            let at = self.queue.now().after_millis(self.cfg.mme_service_time_ms);
+            self.queue.schedule(at, Event::MmeDone);
+        }
+    }
+
+    /// Runs the simulation for `duration` and reports.
+    pub fn run(mut self, duration: SimTime) -> SimReport {
+        self.end = duration;
+        // The MAC credits each quantum's interval [t, t+dt) at its start,
+        // so the first quantum fires at t = 0 and none fires at t ≥ end;
+        // window closes at interval boundaries then see exactly the
+        // traffic of their window regardless of event tie-breaking.
+        self.queue.schedule(SimTime::ZERO, Event::MacQuantum);
+        self.queue.schedule(
+            SimTime(self.cfg.measurement_period_ms * 1_000),
+            Event::Measure,
+        );
+        self.queue
+            .schedule(SimTime(self.cfg.window_ms * 1_000), Event::WindowClose);
+        for (i, (at, _)) in self.timeline.iter().enumerate() {
+            assert!(*at <= duration, "timeline change beyond run duration");
+            self.queue.schedule(*at, Event::Apply { index: i });
+        }
+
+        while let Some((now, ev)) = self.queue.pop() {
+            if now > self.end {
+                break;
+            }
+            self.dispatch(now, ev);
+        }
+        self.report()
+    }
+
+    fn dispatch(&mut self, now: SimTime, ev: Event) {
+        match ev {
+            Event::MacQuantum => {
+                if now >= self.end {
+                    return; // the interval [now, now+dt) lies beyond the run
+                }
+                let dt = self.cfg.sched_quantum_ms as f64 / 1_000.0;
+                self.step_mobility(dt);
+                // RLF detection first (cells can vanish between quanta).
+                for u in 0..self.env.num_ues() {
+                    if self.ue_state[u] == UeState::Connected && !self.on_air[self.ue_serving[u]] {
+                        self.ue_state[u] = UeState::RadioLinkFailure;
+                        self.queue.schedule(
+                            now.after_millis(self.cfg.rlf_detection_ms),
+                            Event::RlfExpired { ue: u },
+                        );
+                    }
+                }
+                let slot = now.0 / (self.cfg.sched_quantum_ms * 1_000).max(1);
+                match self.cfg.scheduler {
+                    Scheduler::EqualShare => {
+                        for u in 0..self.env.num_ues() {
+                            if self.ue_state[u] != UeState::Connected {
+                                continue;
+                            }
+                            let e = self.ue_serving[u];
+                            let n = self.load(e).max(1);
+                            let bits = self.rate.max_rate_bps(self.sinr(u, e)) / n as f64 * dt;
+                            self.delivered_bits[u] += bits;
+                            self.window_bits[u] += bits;
+                        }
+                    }
+                    Scheduler::ProportionalFair {
+                        ewma_alpha,
+                        fading_sigma_db,
+                    } => {
+                        // Per cell: full band to the PF-metric-maximal UE.
+                        for e in 0..self.env.num_enodebs() {
+                            if !self.on_air[e] {
+                                continue;
+                            }
+                            let mut best: Option<(usize, f64, f64)> = None;
+                            for u in 0..self.env.num_ues() {
+                                if self.ue_state[u] != UeState::Connected
+                                    || self.ue_serving[u] != e
+                                {
+                                    continue;
+                                }
+                                let fade =
+                                    self.env.fast_fading_db(e, u, slot, fading_sigma_db);
+                                let inst = self
+                                    .rate
+                                    .max_rate_bps(self.sinr(u, e) * 10f64.powf(fade / 10.0));
+                                let metric = inst / self.ewma_thpt[u].max(1.0);
+                                if best.map_or(true, |(_, m, _)| metric > m) {
+                                    best = Some((u, metric, inst));
+                                }
+                            }
+                            // EWMA update for every attached UE; only the
+                            // winner receives bits this slot.
+                            for u in 0..self.env.num_ues() {
+                                if self.ue_state[u] != UeState::Connected
+                                    || self.ue_serving[u] != e
+                                {
+                                    continue;
+                                }
+                                let served = best.map_or(0.0, |(w, _, inst)| {
+                                    if w == u {
+                                        inst
+                                    } else {
+                                        0.0
+                                    }
+                                });
+                                self.delivered_bits[u] += served * dt;
+                                self.window_bits[u] += served * dt;
+                                self.ewma_thpt[u] =
+                                    (1.0 - ewma_alpha) * self.ewma_thpt[u] + ewma_alpha * served;
+                            }
+                        }
+                    }
+                }
+                self.queue.schedule(
+                    now.after_millis(self.cfg.sched_quantum_ms),
+                    Event::MacQuantum,
+                );
+            }
+            Event::Measure => {
+                let mut triggered = 0usize;
+                for u in 0..self.env.num_ues() {
+                    if self.ue_state[u] != UeState::Connected {
+                        continue;
+                    }
+                    let serving = self.ue_serving[u];
+                    if !self.on_air[serving] {
+                        continue; // MacQuantum handles RLF
+                    }
+                    let Some(best) = self.best_cell(u) else { continue };
+                    if best == serving {
+                        continue;
+                    }
+                    let gain = self.env.rx_power(best, u, self.atten[best]).0
+                        - self.env.rx_power(serving, u, self.atten[serving]).0;
+                    if gain > self.cfg.a3_hysteresis_db {
+                        self.ue_state[u] = UeState::HandingOver { target: best };
+                        if self.cfg.x2_available {
+                            self.enqueue_mme(MmeJob::PathSwitch { ue: u, target: best });
+                        } else {
+                            self.enqueue_mme(MmeJob::S1Relay { ue: u, target: best });
+                        }
+                        triggered += 1;
+                    }
+                }
+                self.stats.max_simultaneous = self.stats.max_simultaneous.max(triggered);
+                self.queue.schedule(
+                    now.after_millis(self.cfg.measurement_period_ms),
+                    Event::Measure,
+                );
+            }
+            Event::RlfExpired { ue } => {
+                if self.ue_state[ue] != UeState::RadioLinkFailure {
+                    return;
+                }
+                match self.best_cell(ue) {
+                    Some(target) => {
+                        self.ue_state[ue] = UeState::Reattaching { target };
+                        self.enqueue_mme(MmeJob::Attach { ue, target });
+                    }
+                    None => {
+                        // No cell anywhere: retry detection later.
+                        self.queue.schedule(
+                            now.after_millis(self.cfg.rlf_detection_ms),
+                            Event::RlfExpired { ue },
+                        );
+                    }
+                }
+            }
+            Event::MmeDone => {
+                let job = self.mme_queue.pop_front().expect("MME busy with no job");
+                self.stats.mme_jobs += 1;
+                self.stats.mme_busy_ms += self.cfg.mme_service_time_ms;
+                match job {
+                    MmeJob::S1Relay { ue, target } => {
+                        // The relay leg done; the path switch (second S1
+                        // message) now queues like any other job.
+                        self.mme_queue.push_back(MmeJob::PathSwitch { ue, target });
+                        self.stats.max_mme_queue =
+                            self.stats.max_mme_queue.max(self.mme_queue.len());
+                    }
+                    MmeJob::PathSwitch { ue, target } => {
+                        let interruption = if self.cfg.x2_available {
+                            self.cfg.seamless_interruption_ms
+                        } else {
+                            self.cfg.seamless_interruption_ms + self.cfg.s1_extra_interruption_ms
+                        };
+                        self.queue.schedule(
+                            now.after_millis(interruption),
+                            Event::HandoverFinish {
+                                ue,
+                                target,
+                                seamless: true,
+                            },
+                        );
+                    }
+                    MmeJob::Attach { ue, target } => {
+                        self.queue.schedule(
+                            now.after_millis(self.cfg.reattach_time_ms),
+                            Event::HandoverFinish {
+                                ue,
+                                target,
+                                seamless: false,
+                            },
+                        );
+                    }
+                }
+                if self.mme_queue.is_empty() {
+                    self.mme_busy = false;
+                } else {
+                    self.queue.schedule(
+                        now.after_millis(self.cfg.mme_service_time_ms),
+                        Event::MmeDone,
+                    );
+                }
+            }
+            Event::HandoverFinish { ue, target, seamless } => {
+                self.ue_serving[ue] = target;
+                self.ue_state[ue] = UeState::Connected;
+                if seamless {
+                    self.stats.seamless += 1;
+                } else {
+                    self.stats.hard += 1;
+                }
+            }
+            Event::Apply { index } => {
+                let (_, op) = self.timeline[index];
+                match op {
+                    ChangeOp::SetAttenuation(EnodebId(e), l) => self.atten[e] = l,
+                    ChangeOp::SetOnAir(EnodebId(e), v) => self.on_air[e] = v,
+                }
+            }
+            Event::WindowClose => {
+                let dt = self.cfg.window_ms as f64 / 1_000.0;
+                let rates: Vec<f64> = self
+                    .window_bits
+                    .iter()
+                    .map(|&b| b / dt / 1e6)
+                    .collect();
+                let utility = rates
+                    .iter()
+                    .filter(|&&r| r > 0.0)
+                    .map(|&r| r.log10())
+                    .sum();
+                self.windows.push(WindowSample {
+                    t_secs: now.as_secs_f64(),
+                    utility,
+                    rates_mbps: rates,
+                });
+                self.window_bits.iter_mut().for_each(|b| *b = 0.0);
+                self.queue
+                    .schedule(now.after_millis(self.cfg.window_ms), Event::WindowClose);
+            }
+        }
+    }
+
+    /// Deterministic waypoint for (ue, seq) inside the mobility box.
+    fn waypoint_for(&self, u: usize, seq: u64, min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> magus_geo::PointM {
+        let mut z = (u as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15) ^ seq.rotate_left(17);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z ^= z >> 27;
+        let fx = (z >> 11) as f64 / (1u64 << 53) as f64;
+        let fy = ((z.wrapping_mul(0x94D049BB133111EB)) >> 11) as f64 / (1u64 << 53) as f64;
+        magus_geo::PointM::new(min_x + fx * (max_x - min_x), min_y + fy * (max_y - min_y))
+    }
+
+    /// Advances UE positions by one quantum under the mobility model.
+    fn step_mobility(&mut self, dt: f64) {
+        let Mobility::Waypoint {
+            speed_mps,
+            min_x,
+            min_y,
+            max_x,
+            max_y,
+        } = self.cfg.mobility
+        else {
+            return;
+        };
+        for u in 0..self.env.num_ues() {
+            let pos = self.env.ue_position(u);
+            let mut target = self.waypoints[u];
+            if self.waypoint_seq[u] == 0 || pos.distance(target) < speed_mps * dt {
+                self.waypoint_seq[u] += 1;
+                target = self.waypoint_for(u, self.waypoint_seq[u], min_x, min_y, max_x, max_y);
+                self.waypoints[u] = target;
+            }
+            let d = pos.distance(target).max(1e-9);
+            let step = (speed_mps * dt).min(d);
+            let next = magus_geo::PointM::new(
+                pos.x + (target.x - pos.x) / d * step,
+                pos.y + (target.y - pos.y) / d * step,
+            );
+            self.env.set_ue_position(u, next);
+        }
+    }
+
+    fn report(self) -> SimReport {
+        let secs = self.end.as_secs_f64();
+        let mean_rates_mbps: Vec<f64> = self
+            .delivered_bits
+            .iter()
+            .map(|&b| b / secs / 1e6)
+            .collect();
+        let utility = mean_rates_mbps
+            .iter()
+            .filter(|&&r| r > 0.0)
+            .map(|&r| r.log10())
+            .sum();
+        SimReport {
+            mean_rates_mbps,
+            utility,
+            handovers: self.stats,
+            windows: self.windows,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magus_geo::PointM;
+
+    fn env2() -> RadioEnvironment {
+        RadioEnvironment::new(
+            vec![PointM::new(0.0, 0.0), PointM::new(40.0, 0.0)],
+            vec![
+                PointM::new(5.0, 2.0),
+                PointM::new(33.0, 1.0),
+                PointM::new(44.0, -2.0),
+            ],
+            11,
+        )
+    }
+
+    fn quiet() -> Vec<AttenuationLevel> {
+        vec![AttenuationLevel(10), AttenuationLevel(10)]
+    }
+
+    #[test]
+    fn ues_attach_to_strongest_and_receive_data() {
+        let sim = Sim::new(env2(), quiet(), SimConfig::default(), vec![]);
+        let report = sim.run(SimTime::from_secs(2));
+        assert!(report.mean_rates_mbps.iter().all(|&r| r > 0.0));
+        assert!(report.utility > 0.0);
+        assert_eq!(report.handovers.hard, 0);
+    }
+
+    #[test]
+    fn outage_without_tuning_degrades_utility() {
+        let baseline = Sim::new(env2(), quiet(), SimConfig::default(), vec![])
+            .run(SimTime::from_secs(4));
+        let outage_timeline = vec![(
+            SimTime::from_secs(1),
+            ChangeOp::SetOnAir(EnodebId(1), false),
+        )];
+        let outage = Sim::new(env2(), quiet(), SimConfig::default(), outage_timeline)
+            .run(SimTime::from_secs(4));
+        assert!(
+            outage.utility < baseline.utility,
+            "outage {} !< baseline {}",
+            outage.utility,
+            baseline.utility
+        );
+        // The orphaned UEs re-attached the hard way.
+        assert!(outage.handovers.hard >= 1);
+    }
+
+    #[test]
+    fn rlf_ues_eventually_reconnect() {
+        let timeline = vec![(SimTime::from_secs(1), ChangeOp::SetOnAir(EnodebId(1), false))];
+        let report = Sim::new(env2(), quiet(), SimConfig::default(), timeline)
+            .run(SimTime::from_secs(4));
+        // After re-attach, the last window should show data for all UEs
+        // (eNodeB 0 covers the floor once it's the only cell).
+        let last = report.windows.last().expect("windows recorded");
+        assert!(last.rates_mbps.iter().all(|&r| r > 0.0), "{last:?}");
+    }
+
+    #[test]
+    fn power_tuning_triggers_seamless_handover() {
+        // Crank eNodeB 0 and mute eNodeB 1: UEs near the boundary should
+        // hand over seamlessly (both cells stay on-air).
+        let timeline = vec![
+            (
+                SimTime::from_secs(1),
+                ChangeOp::SetAttenuation(EnodebId(0), AttenuationLevel(1)),
+            ),
+            (
+                SimTime::from_secs(1),
+                ChangeOp::SetAttenuation(EnodebId(1), AttenuationLevel(30)),
+            ),
+        ];
+        let report = Sim::new(env2(), quiet(), SimConfig::default(), timeline)
+            .run(SimTime::from_secs(4));
+        assert!(
+            report.handovers.seamless >= 1,
+            "expected seamless handovers, got {:?}",
+            report.handovers
+        );
+        assert_eq!(report.handovers.hard, 0);
+    }
+
+    #[test]
+    fn windows_cover_the_run() {
+        let report = Sim::new(env2(), quiet(), SimConfig::default(), vec![])
+            .run(SimTime::from_secs(2));
+        // 2 s / 500 ms = 4 windows.
+        assert_eq!(report.windows.len(), 4);
+        assert!(report.windows[0].t_secs < report.windows[3].t_secs);
+    }
+
+    #[test]
+    fn determinism() {
+        let run = || {
+            Sim::new(env2(), quiet(), SimConfig::default(), vec![])
+                .run(SimTime::from_secs(2))
+                .mean_rates_mbps
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn proportional_fair_beats_equal_share_on_sum_rate_with_fading() {
+        // With multi-user diversity, PF's sum throughput should not be
+        // materially worse than equal share, and its allocations remain
+        // work-conserving (all rates positive).
+        let mut cfg = SimConfig::default();
+        cfg.scheduler = Scheduler::ProportionalFair {
+            ewma_alpha: 0.1,
+            fading_sigma_db: 4.0,
+        };
+        let pf = Sim::new(env2(), quiet(), cfg, vec![]).run(SimTime::from_secs(5));
+        let eq = Sim::new(env2(), quiet(), SimConfig::default(), vec![])
+            .run(SimTime::from_secs(5));
+        assert!(pf.mean_rates_mbps.iter().all(|&r| r > 0.0), "{pf:?}");
+        let sum = |r: &SimReport| r.mean_rates_mbps.iter().sum::<f64>();
+        assert!(
+            sum(&pf) > sum(&eq) * 0.8,
+            "PF sum rate {} vs equal-share {}",
+            sum(&pf),
+            sum(&eq)
+        );
+    }
+
+    #[test]
+    fn mobility_triggers_handovers_without_config_changes() {
+        let mut cfg = SimConfig::default();
+        cfg.mobility = Mobility::Waypoint {
+            speed_mps: 8.0,
+            min_x: -5.0,
+            min_y: -5.0,
+            max_x: 50.0,
+            max_y: 10.0,
+        };
+        let report = Sim::new(env2(), quiet(), cfg, vec![]).run(SimTime::from_secs(30));
+        assert!(
+            report.handovers.seamless >= 1,
+            "walking UEs should hand over: {:?}",
+            report.handovers
+        );
+        assert_eq!(report.handovers.hard, 0);
+    }
+
+    #[test]
+    fn mobility_is_deterministic() {
+        let mut cfg = SimConfig::default();
+        cfg.mobility = Mobility::Waypoint {
+            speed_mps: 5.0,
+            min_x: 0.0,
+            min_y: 0.0,
+            max_x: 45.0,
+            max_y: 8.0,
+        };
+        let run = || {
+            Sim::new(env2(), quiet(), cfg, vec![])
+                .run(SimTime::from_secs(10))
+                .mean_rates_mbps
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn s1_handovers_double_the_mme_load() {
+        let timeline = vec![
+            (
+                SimTime::from_secs(1),
+                ChangeOp::SetAttenuation(EnodebId(0), AttenuationLevel(1)),
+            ),
+            (
+                SimTime::from_secs(1),
+                ChangeOp::SetAttenuation(EnodebId(1), AttenuationLevel(30)),
+            ),
+        ];
+        let x2 = Sim::new(env2(), quiet(), SimConfig::default(), timeline.clone())
+            .run(SimTime::from_secs(4));
+        let mut cfg = SimConfig::default();
+        cfg.x2_available = false;
+        let s1 = Sim::new(env2(), quiet(), cfg, timeline).run(SimTime::from_secs(4));
+        assert_eq!(
+            x2.handovers.seamless, s1.handovers.seamless,
+            "same radio events either way"
+        );
+        if x2.handovers.seamless > 0 {
+            assert!(
+                s1.handovers.mme_jobs > x2.handovers.mme_jobs,
+                "S1 relaying must cost extra MME work: {} vs {}",
+                s1.handovers.mme_jobs,
+                x2.handovers.mme_jobs
+            );
+        }
+    }
+
+    #[test]
+    fn mme_utilization_is_accounted() {
+        let timeline = vec![(SimTime::from_secs(1), ChangeOp::SetOnAir(EnodebId(1), false))];
+        let report = Sim::new(env2(), quiet(), SimConfig::default(), timeline)
+            .run(SimTime::from_secs(4));
+        assert_eq!(
+            report.handovers.mme_busy_ms,
+            report.handovers.mme_jobs as u64 * SimConfig::default().mme_service_time_ms
+        );
+        assert!(report.handovers.mme_jobs >= report.handovers.hard);
+    }
+
+    #[test]
+    fn mme_queue_depth_grows_with_synchronized_handovers() {
+        // Many UEs on eNodeB 1; killing it floods the MME with attaches.
+        let many_ues: Vec<PointM> = (0..12)
+            .map(|i| PointM::new(38.0 + (i % 4) as f64 * 2.0, (i / 4) as f64 * 2.0))
+            .collect();
+        let env = RadioEnvironment::new(
+            vec![PointM::new(0.0, 0.0), PointM::new(40.0, 0.0)],
+            many_ues,
+            5,
+        );
+        let timeline = vec![(SimTime::from_secs(1), ChangeOp::SetOnAir(EnodebId(1), false))];
+        let report = Sim::new(env, quiet(), SimConfig::default(), timeline)
+            .run(SimTime::from_secs(4));
+        assert!(
+            report.handovers.max_mme_queue >= 6,
+            "synchronized storm should pile up at the MME: {:?}",
+            report.handovers
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests of the discrete-event testbed.
+
+use magus_geo::PointM;
+use magus_testbed::sim::{ChangeOp, Sim, SimConfig};
+use magus_testbed::{AttenuationLevel, EnodebId, EventQueue, RadioEnvironment, SimTime};
+use proptest::prelude::*;
+
+fn env(seed: u64) -> RadioEnvironment {
+    RadioEnvironment::new(
+        vec![PointM::new(0.0, 0.0), PointM::new(40.0, 0.0)],
+        vec![
+            PointM::new(5.0, 2.0),
+            PointM::new(20.0, -3.0),
+            PointM::new(36.0, 1.0),
+        ],
+        seed,
+    )
+}
+
+proptest! {
+    /// The event queue pops any schedule in time order, FIFO within ties.
+    #[test]
+    fn queue_is_a_stable_priority_queue(times in prop::collection::vec(0u64..1000, 1..60)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime(t), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some((t, i)) = q.pop() {
+            if let Some((lt, li)) = last {
+                prop_assert!(t >= lt);
+                if t == lt {
+                    prop_assert!(i > li, "FIFO violated for equal times");
+                }
+            }
+            last = Some((t, i));
+        }
+    }
+
+    /// Any attenuation timeline leaves the simulation consistent: rates
+    /// non-negative, handover counters coherent, windows complete.
+    #[test]
+    fn sim_is_total_under_random_attenuation_timelines(
+        seed in 0u64..50,
+        changes in prop::collection::vec((1u64..4000, 0usize..2, 1u8..=30), 0..8),
+    ) {
+        let mut timeline: Vec<(SimTime, ChangeOp)> = changes
+            .into_iter()
+            .map(|(ms, e, l)| {
+                (
+                    SimTime::from_millis(ms),
+                    ChangeOp::SetAttenuation(EnodebId(e), AttenuationLevel::new(l)),
+                )
+            })
+            .collect();
+        timeline.sort_by_key(|(t, _)| *t);
+        let report = Sim::new(
+            env(seed),
+            vec![AttenuationLevel(10), AttenuationLevel(10)],
+            SimConfig::default(),
+            timeline,
+        )
+        .run(SimTime::from_secs(5));
+        prop_assert!(report.mean_rates_mbps.iter().all(|r| r.is_finite() && *r >= 0.0));
+        prop_assert_eq!(report.windows.len(), 10); // 5 s / 500 ms
+        prop_assert!(report.handovers.max_mme_queue >= report.handovers.hard.min(1));
+    }
+
+    /// Runs are bit-for-bit deterministic for any seed and timeline.
+    #[test]
+    fn sim_deterministic(seed in 0u64..50, outage_ms in 500u64..3_000) {
+        let timeline = vec![(
+            SimTime::from_millis(outage_ms),
+            ChangeOp::SetOnAir(EnodebId(1), false),
+        )];
+        let run = || {
+            Sim::new(
+                env(seed),
+                vec![AttenuationLevel(8), AttenuationLevel(8)],
+                SimConfig::default(),
+                timeline.clone(),
+            )
+            .run(SimTime::from_secs(4))
+        };
+        let (a, b) = (run(), run());
+        prop_assert_eq!(a.mean_rates_mbps, b.mean_rates_mbps);
+        prop_assert_eq!(a.handovers, b.handovers);
+    }
+
+    /// Traffic accounting is conserved: the whole-run mean rates equal
+    /// the sum of the per-window traffic (same increments, two ledgers).
+    #[test]
+    fn window_traffic_conserves_totals(seed in 0u64..30, outage_ms in 500u64..3_500) {
+        let secs = 4.0;
+        let report = Sim::new(
+            env(seed),
+            vec![AttenuationLevel(10), AttenuationLevel(10)],
+            SimConfig::default(),
+            vec![(SimTime::from_millis(outage_ms), ChangeOp::SetOnAir(EnodebId(1), false))],
+        )
+        .run(SimTime::from_secs(4));
+        let window_dt = SimConfig::default().window_ms as f64 / 1_000.0;
+        for u in 0..3 {
+            let from_windows: f64 = report
+                .windows
+                .iter()
+                .map(|w| w.rates_mbps[u] * window_dt)
+                .sum();
+            let from_totals = report.mean_rates_mbps[u] * secs;
+            prop_assert!(
+                (from_windows - from_totals).abs() < 1e-6 * from_totals.max(1.0),
+                "UE {u}: windows {from_windows} vs totals {from_totals}"
+            );
+        }
+    }
+}

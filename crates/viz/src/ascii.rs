@@ -1,0 +1,129 @@
+//! Terminal heat maps.
+
+use magus_geo::{GridCoord, GridMap};
+
+/// Intensity ramp from empty to full.
+const RAMP: &[u8] = b" .:-=+*#%@";
+
+/// Renders a scalar raster as an ASCII heat map, downsampled to at most
+/// `max_width` columns. Non-finite cells render as spaces. Row 0 of the
+/// raster (south) is printed last so north is up.
+pub fn ascii_heatmap(map: &GridMap<f64>, max_width: usize) -> String {
+    let spec = *map.spec();
+    let step = (spec.width as usize).div_ceil(max_width).max(1);
+    let (lo, hi) = map.finite_range().unwrap_or((0.0, 1.0));
+    let span = (hi - lo).max(1e-12);
+    let mut out = String::new();
+    let mut y = spec.height as i64 - step as i64;
+    while y >= 0 {
+        for x in (0..spec.width as usize).step_by(step) {
+            // Average the block.
+            let mut sum = 0.0;
+            let mut n = 0.0;
+            for dy in 0..step.min(spec.height as usize - y as usize) {
+                for dx in 0..step.min(spec.width as usize - x) {
+                    let v = *map.get(GridCoord::new((x + dx) as u32, y as u32 + dy as u32));
+                    if v.is_finite() {
+                        sum += v;
+                        n += 1.0;
+                    }
+                }
+            }
+            if n == 0.0 {
+                out.push(' ');
+            } else {
+                let t = ((sum / n - lo) / span).clamp(0.0, 1.0);
+                let idx = (t * (RAMP.len() - 1) as f64).round() as usize;
+                out.push(RAMP[idx] as char);
+            }
+        }
+        out.push('\n');
+        y -= step as i64;
+    }
+    out
+}
+
+/// Renders a serving map: each sector gets a stable letter/digit, unserved
+/// cells are `.` — the console cousin of the paper's Figure 4.
+pub fn ascii_serving_map(
+    serving: &[Option<u32>],
+    width: u32,
+    height: u32,
+    max_width: usize,
+) -> String {
+    assert_eq!(serving.len(), (width as usize) * (height as usize));
+    const GLYPHS: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789";
+    let step = (width as usize).div_ceil(max_width).max(1);
+    let mut out = String::new();
+    let mut y = height as i64 - step as i64;
+    while y >= 0 {
+        for x in (0..width as usize).step_by(step) {
+            let i = y as usize * width as usize + x;
+            match serving[i] {
+                Some(s) => out.push(GLYPHS[s as usize % GLYPHS.len()] as char),
+                None => out.push('.'),
+            }
+        }
+        out.push('\n');
+        y -= step as i64;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magus_geo::{GridSpec, PointM};
+
+    fn spec(w: u32, h: u32) -> GridSpec {
+        GridSpec::new(PointM::new(0.0, 0.0), 100.0, w, h)
+    }
+
+    #[test]
+    fn heatmap_has_expected_dimensions() {
+        let map = GridMap::from_fn(spec(20, 10), |c| c.x as f64);
+        let art = ascii_heatmap(&map, 20);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 10);
+        assert!(lines.iter().all(|l| l.len() == 20));
+    }
+
+    #[test]
+    fn heatmap_downsamples() {
+        let map = GridMap::from_fn(spec(100, 100), |c| (c.x + c.y) as f64);
+        let art = ascii_heatmap(&map, 25);
+        assert!(art.lines().next().unwrap().len() <= 25);
+    }
+
+    #[test]
+    fn gradient_renders_light_to_dark() {
+        let map = GridMap::from_fn(spec(10, 1), |c| c.x as f64);
+        let art = ascii_heatmap(&map, 10);
+        let row = art.lines().next().unwrap().as_bytes();
+        assert_eq!(row[0], b' ');
+        assert_eq!(row[9], b'@');
+    }
+
+    #[test]
+    fn non_finite_cells_are_blank() {
+        let map = GridMap::from_fn(spec(3, 1), |c| {
+            if c.x == 1 {
+                f64::NEG_INFINITY
+            } else {
+                1.0
+            }
+        });
+        let art = ascii_heatmap(&map, 3);
+        assert_eq!(art.lines().next().unwrap().as_bytes()[1], b' ');
+    }
+
+    #[test]
+    fn serving_map_glyphs() {
+        let serving = vec![Some(0), Some(1), None, Some(0)];
+        let art = ascii_serving_map(&serving, 2, 2, 2);
+        // North (row 1) first: [None, Some(0)] then [Some(0), Some(1)].
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines[0], ".A");
+        assert_eq!(lines[1], "AB");
+    }
+}

@@ -1,0 +1,93 @@
+//! PGM/PPM raster export (binary NetPBM — viewable everywhere, zero
+//! dependencies).
+
+use magus_geo::{GridCoord, GridMap};
+
+/// Encodes a scalar raster as a binary PGM (P5) grayscale image, north
+/// up. Non-finite values map to black.
+pub fn heatmap_pgm(map: &GridMap<f64>) -> Vec<u8> {
+    let spec = *map.spec();
+    let (lo, hi) = map.finite_range().unwrap_or((0.0, 1.0));
+    let span = (hi - lo).max(1e-12);
+    let mut out = format!("P5\n{} {}\n255\n", spec.width, spec.height).into_bytes();
+    for y in (0..spec.height).rev() {
+        for x in 0..spec.width {
+            let v = *map.get(GridCoord::new(x, y));
+            let px = if v.is_finite() {
+                (((v - lo) / span).clamp(0.0, 1.0) * 255.0) as u8
+            } else {
+                0
+            };
+            out.push(px);
+        }
+    }
+    out
+}
+
+/// Stable pseudo-random color for a sector id (never near-black, so
+/// unserved cells stay distinguishable).
+fn sector_color(s: u32) -> [u8; 3] {
+    let mut z = (s as u64).wrapping_mul(0x9E3779B97F4A7C15) ^ 0xC0FFEE;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z ^= z >> 27;
+    let r = 64 + (z & 0xBF) as u8;
+    let g = 64 + ((z >> 8) & 0xBF) as u8;
+    let b = 64 + ((z >> 16) & 0xBF) as u8;
+    [r, g, b]
+}
+
+/// Encodes a serving map as a binary PPM (P6) image: one stable color per
+/// sector, black where out of service — the paper's Figure 4 rendering.
+pub fn serving_map_ppm(serving: &[Option<u32>], width: u32, height: u32) -> Vec<u8> {
+    assert_eq!(serving.len(), (width as usize) * (height as usize));
+    let mut out = format!("P6\n{width} {height}\n255\n").into_bytes();
+    for y in (0..height).rev() {
+        for x in 0..width {
+            let i = y as usize * width as usize + x as usize;
+            let rgb = match serving[i] {
+                Some(s) => sector_color(s),
+                None => [0, 0, 0],
+            };
+            out.extend_from_slice(&rgb);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magus_geo::{GridSpec, PointM};
+
+    #[test]
+    fn pgm_header_and_size() {
+        let spec = GridSpec::new(PointM::new(0.0, 0.0), 1.0, 8, 4);
+        let map = GridMap::from_fn(spec, |c| c.x as f64);
+        let img = heatmap_pgm(&map);
+        assert!(img.starts_with(b"P5\n8 4\n255\n"));
+        assert_eq!(img.len(), b"P5\n8 4\n255\n".len() + 32);
+    }
+
+    #[test]
+    fn ppm_header_and_size() {
+        let serving = vec![Some(0u32); 12];
+        let img = serving_map_ppm(&serving, 4, 3);
+        assert!(img.starts_with(b"P6\n4 3\n255\n"));
+        assert_eq!(img.len(), b"P6\n4 3\n255\n".len() + 36);
+    }
+
+    #[test]
+    fn unserved_is_black_served_is_not() {
+        let serving = vec![None, Some(3u32)];
+        let img = serving_map_ppm(&serving, 2, 1);
+        let body = &img[b"P6\n2 1\n255\n".len()..];
+        assert_eq!(&body[0..3], &[0, 0, 0]);
+        assert!(body[3] >= 64 && body[4] >= 64 && body[5] >= 64);
+    }
+
+    #[test]
+    fn sector_colors_are_stable_and_distinct_enough() {
+        assert_eq!(sector_color(7), sector_color(7));
+        assert_ne!(sector_color(1), sector_color(2));
+    }
+}

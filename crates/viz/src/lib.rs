@@ -1,0 +1,17 @@
+//! Rendering of model rasters — the reproduction of the paper's map
+//! figures (3, 4, 5, 7, 8, 10).
+//!
+//! Two output forms:
+//!
+//! * [`ascii`] — terminal heat maps (downsampled), used by the figure
+//!   binaries so every map figure is inspectable without leaving the
+//!   console.
+//! * [`image`] — PGM (grayscale) / PPM (color) writers for full-resolution
+//!   rasters: path-loss maps (Fig. 3/7), serving-sector coverage maps
+//!   with out-of-service cells in black (Fig. 4/8/10).
+
+pub mod ascii;
+pub mod image;
+
+pub use ascii::{ascii_heatmap, ascii_serving_map};
+pub use image::{heatmap_pgm, serving_map_ppm};

@@ -1,0 +1,118 @@
+//! Load balancing with the Magus machinery — the paper's last
+//! future-work item ("or for load-balancing and reducing congestion").
+//!
+//! ```sh
+//! cargo run --release --example flash_crowd
+//! ```
+//!
+//! A stadium event multiplies the UE density in a small cluster of grids
+//! by 25×. The serving sector's shared capacity collapses (Formula 4:
+//! r = r_max / N). The same predictive hill-climb Magus uses for planning
+//! then retunes the surrounding sectors — pulling some of the crowd onto
+//! neighbors — and recovers part of the lost utility without any sector
+//! going down at all.
+
+use magus::core::{hill_climb, neighbor_set, ExperimentConfig};
+use magus::geo::PointM;
+use magus::lte::{Bandwidth, RateMapper};
+use magus::model::{setup::noise_for, Evaluator, UtilityKind};
+use magus::net::{AreaType, Configuration, Market, MarketParams, UeLayer};
+use std::sync::Arc;
+
+fn main() {
+    let market = Market::generate(MarketParams::tiny(AreaType::Suburban, 99));
+    let network = Arc::new(market.network().clone());
+    let store = Arc::clone(market.store());
+    let spec = *market.spec();
+    let rate = RateMapper::new(Bandwidth::Mhz10);
+    let noise = noise_for(Bandwidth::Mhz10);
+
+    // Baseline UE layer (the standard two-phase construction).
+    let probe = Evaluator::new(
+        Arc::clone(&store),
+        Arc::clone(&network),
+        rate,
+        noise,
+        UeLayer::constant(spec, 1.0),
+    );
+    let nominal = Configuration::nominal(&network);
+    let serving = probe.serving_map(&probe.initial_state(&nominal));
+    let totals: Vec<f64> = network.sectors().iter().map(|s| s.nominal_ue_count).collect();
+    let base_layer = UeLayer::uniform_per_sector(spec, &serving, &totals);
+
+    // The stadium: 25× density within 600 m of a point near the center.
+    let stadium = PointM::new(700.0, -400.0);
+    let surged_data: Vec<f64> = (0..spec.len())
+        .map(|i| {
+            let p = spec.center_of(spec.coord_of_index(i));
+            let base = base_layer.at_index(i);
+            if p.distance(stadium) < 600.0 {
+                base * 25.0
+            } else {
+                base
+            }
+        })
+        .collect();
+    let surge = UeLayer::from_raster_data(spec, surged_data);
+
+    let normal_ev = Evaluator::new(
+        Arc::clone(&store),
+        Arc::clone(&network),
+        rate,
+        noise,
+        base_layer,
+    );
+    let crowd_ev = Evaluator::new(store, network, rate, noise, surge);
+
+    // Mean per-UE rate inside the stadium cluster — the congestion
+    // metric a crowd actually feels.
+    let cluster: Vec<usize> = (0..spec.len())
+        .filter(|&i| spec.center_of(spec.coord_of_index(i)).distance(stadium) < 600.0)
+        .collect();
+    let cluster_rate = |ev: &Evaluator, st: &magus::model::ModelState| {
+        let mut sum = 0.0;
+        let mut ue = 0.0;
+        for &i in &cluster {
+            let u = ev.ue_at(i);
+            sum += st.rate_bps(i) * u;
+            ue += u;
+        }
+        sum / ue.max(1e-9) / 1e3 // kbit/s per UE
+    };
+
+    let normal_state = normal_ev.initial_state(&nominal);
+    let mut state = crowd_ev.initial_state(&nominal);
+    let u_crowd = state.utility(UtilityKind::Performance);
+    println!(
+        "stadium-cluster mean rate, normal day:   {:7.2} kbps/UE",
+        cluster_rate(&normal_ev, &normal_state)
+    );
+    let before_rate = cluster_rate(&crowd_ev, &state);
+    println!("stadium-cluster mean rate, during event: {before_rate:7.2} kbps/UE (congested)");
+
+    // Rebalance: hill-climb the sectors around the stadium.
+    let cfg = ExperimentConfig::default();
+    let hot = crowd_ev
+        .network()
+        .nearest_sector(stadium)
+        .expect("sectors exist");
+    let mut region = neighbor_set(&crowd_ev, &[hot], 2.2 * market.params().isd_m);
+    region.push(hot);
+    let moves = hill_climb(&crowd_ev, &mut state, &region, &cfg.pretune_params);
+    let u_balanced = state.utility(UtilityKind::Performance);
+    let after_rate = cluster_rate(&crowd_ev, &state);
+    println!(
+        "stadium-cluster mean rate, rebalanced:   {after_rate:7.2} kbps/UE ({} config changes)",
+        moves.len()
+    );
+    println!(
+        "\nevent-day utility: {u_crowd:.1} -> {u_balanced:.1} ({:+.1}); cluster rate {:+.0}%",
+        u_balanced - u_crowd,
+        (after_rate / before_rate.max(1e-9) - 1.0) * 100.0
+    );
+    println!(
+        "\nThe same model, utilities, and search that mitigate planned outages\n\
+         redistribute a flash crowd — no sector was taken down; power and tilt\n\
+         moves alone shifted load off the hot cell."
+    );
+}

@@ -1,0 +1,124 @@
+//! Drive the packet-level LTE testbed (§3) directly.
+//!
+//! ```sh
+//! cargo run --release --example testbed_demo
+//! ```
+//!
+//! A busy-floor variant of the paper's Scenario 2: three eNodeBs, with a
+//! dozen UEs concentrated around the middle cell that is scheduled for a
+//! planned upgrade. Contrasts a hard cutover against a gradual
+//! attenuation ramp-down — watching the MME signaling queue, the
+//! seamless/hard handover split, and the per-window utility.
+
+use magus::geo::PointM;
+use magus::testbed::sim::{ChangeOp, Sim, SimConfig, SimReport};
+use magus::testbed::{
+    optimize_attenuations, AttenuationLevel, EnodebId, RadioEnvironment, SimTime,
+};
+
+fn busy_floor() -> RadioEnvironment {
+    let enodebs = vec![
+        PointM::new(0.0, 0.0),
+        PointM::new(25.0, 0.0),
+        PointM::new(50.0, 0.0),
+    ];
+    // A dozen UEs, most of them camped on the middle cell.
+    let mut ues = vec![PointM::new(4.0, 3.0), PointM::new(52.0, -2.0)];
+    for i in 0..10 {
+        ues.push(PointM::new(17.0 + (i % 5) as f64 * 3.4, -4.0 + (i / 5) as f64 * 8.0));
+    }
+    RadioEnvironment::new(enodebs, ues, 0xBEEF)
+}
+
+fn summarize(label: &str, r: &SimReport) {
+    println!(
+        "{label:<14} seamless {:>3}  hard {:>3}  max MME backlog {:>3}  utility {:>6.2}",
+        r.handovers.seamless, r.handovers.hard, r.handovers.max_mme_queue, r.utility
+    );
+}
+
+fn main() {
+    let env = busy_floor();
+    let cfg = SimConfig::default();
+    let target = EnodebId(1);
+    let n = env.num_enodebs();
+    let all_on = vec![true; n];
+    let mut without = all_on.clone();
+    without[target.0] = false;
+
+    let (before, f_before) = optimize_attenuations(&env, &all_on, &cfg);
+    let (after, f_after) = optimize_attenuations(&env, &without, &cfg);
+    println!("== busy floor: 3 eNodeBs, {} UEs, middle cell upgraded ==", env.num_ues());
+    println!(
+        "C_before L = {:?} (f = {f_before:.2});  C_after L = {:?} (f = {f_after:.2})\n",
+        before.iter().map(|l| l.0).collect::<Vec<_>>(),
+        after.iter().map(|l| l.0).collect::<Vec<_>>()
+    );
+
+    // Run A: hard cutover at t = 3 s.
+    let mut hard_timeline = vec![(SimTime::from_secs(3), ChangeOp::SetOnAir(target, false))];
+    for e in 0..n {
+        if e != target.0 {
+            hard_timeline.push((
+                SimTime::from_secs(3),
+                ChangeOp::SetAttenuation(EnodebId(e), after[e]),
+            ));
+        }
+    }
+    let hard = Sim::new(env.clone(), before.clone(), cfg, hard_timeline)
+        .run(SimTime::from_secs(10));
+
+    // Run B: gradual, the Magus way — ramp the target down while ramping
+    // the helping neighbors up *in lockstep* (so UEs always have somewhere
+    // better to go, but the boost never swamps the still-serving target),
+    // and defer the harmful parts of C_after (neighbor power reductions)
+    // to the cutover itself.
+    let mut gradual_timeline = Vec::new();
+    let mut levels: Vec<AttenuationLevel> = before.clone();
+    let mut t = SimTime::from_millis(1_000);
+    loop {
+        let mut moved = false;
+        if levels[target.0] != AttenuationLevel::MIN_POWER {
+            levels[target.0] = levels[target.0].weaker();
+            gradual_timeline.push((t, ChangeOp::SetAttenuation(target, levels[target.0])));
+            moved = true;
+        }
+        for e in 0..n {
+            // Boosting neighbors step toward their C_after power.
+            if e != target.0 && after[e] < levels[e] {
+                levels[e] = levels[e].stronger();
+                gradual_timeline.push((t, ChangeOp::SetAttenuation(EnodebId(e), levels[e])));
+                moved = true;
+            }
+        }
+        if !moved {
+            break;
+        }
+        t = t.after_millis(80);
+    }
+    gradual_timeline.push((SimTime::from_secs(3), ChangeOp::SetOnAir(target, false)));
+    for e in 0..n {
+        if e != target.0 && after[e] > levels[e] {
+            // Power reductions wait for the cutover.
+            gradual_timeline.push((SimTime::from_secs(3), ChangeOp::SetAttenuation(EnodebId(e), after[e])));
+        }
+    }
+    gradual_timeline.sort_by_key(|(at, _)| *at);
+    let gradual = Sim::new(env.clone(), before, cfg, gradual_timeline)
+        .run(SimTime::from_secs(10));
+
+    summarize("hard cutover", &hard);
+    summarize("gradual", &gradual);
+
+    println!("\nper-window utility (t, hard, gradual):");
+    for (h, g) in hard.windows.iter().zip(gradual.windows.iter()) {
+        println!("{:>6.1}s {:>8.2} {:>8.2}", h.t_secs, h.utility, g.utility);
+    }
+    println!(
+        "\nThe gradual run converts radio-link-failure re-attachments into ordinary\n\
+         seamless handovers and flattens the MME's signaling spike — the testbed-level\n\
+         view of the paper's Figure 11. The utility sag during the ramp is the cost a\n\
+         *fixed* ramp pays; Magus's model-predictive planner compensates each step so\n\
+         utility never drops below f(C_after) — see examples/upgrade_playbook.rs."
+    );
+}

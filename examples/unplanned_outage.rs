@@ -1,0 +1,66 @@
+//! Unplanned-outage response with a precomputed playbook.
+//!
+//! ```sh
+//! cargo run --release --example unplanned_outage
+//! ```
+//!
+//! The paper's future-work scenario: Magus's predictive model is run
+//! *ahead of time* for every sector that could fail, so when an
+//! unplanned outage hits, the NOC deploys the stored mitigation in one
+//! shot (no model latency), then lets a short feedback polish run — the
+//! hybrid `1 + k` strategy of the paper's §2.
+
+use magus::core::{
+    hybrid_model_feedback, ExperimentConfig, OutagePlaybook, TuningKind,
+};
+use magus::model::{standard_setup, UtilityKind};
+use magus::net::{AreaType, Market, MarketParams};
+use magus::geo::PointM;
+
+fn main() {
+    let market = Market::generate(MarketParams::tiny(AreaType::Suburban, 55));
+    let model = standard_setup(&market, magus::lte::Bandwidth::Mhz10);
+    let cfg = ExperimentConfig::default();
+
+    // Nightly batch job: precompute mitigations for the central station's
+    // sectors (scale to a whole market in production).
+    let station = market
+        .network()
+        .nearest_base_station(PointM::new(0.0, 0.0))
+        .expect("market has stations");
+    println!(
+        "precomputing playbook for base station {:?} (sectors {:?})…",
+        station.id,
+        station.sectors.iter().map(|s| s.0).collect::<Vec<_>>()
+    );
+    let playbook =
+        OutagePlaybook::precompute(&model, &market, &station.sectors, TuningKind::Power, &cfg);
+
+    // 03:12 AM: one of those sectors drops without warning.
+    let failed = station.sectors[1];
+    let entry = playbook.lookup(failed).expect("playbook covers the sector");
+    let o = &entry.outcome;
+    println!("\nunplanned outage of sector {}:", failed.0);
+    println!(
+        "  predicted loss without mitigation: {:.1} -> {:.1}",
+        o.before.performance, o.upgrade.performance
+    );
+    println!(
+        "  stored mitigation recovers {:.1}% immediately ({} changes, zero model latency)",
+        o.recovery(UtilityKind::Performance) * 100.0,
+        o.config_before.diff(&o.config_after).len()
+    );
+
+    // Optional feedback polish from the stored configuration (k ≪ K).
+    let polish = hybrid_model_feedback(
+        &model.evaluator,
+        &o.config_after,
+        &o.neighbors,
+        &cfg.search,
+    );
+    println!(
+        "  feedback polish: k = {} extra steps, {:+.2} additional utility",
+        polish.steps,
+        polish.final_utility - o.after.performance
+    );
+}

@@ -1,0 +1,35 @@
+//! Facade crate for the Magus reproduction.
+//!
+//! Re-exports the whole workspace under one roof so examples and
+//! downstream users can depend on a single crate:
+//!
+//! ```
+//! use magus::prelude::*;
+//! ```
+//!
+//! See the individual crates for subsystem documentation:
+//! [`magus_core`] (search & mitigation), [`magus_model`] (coverage /
+//! capacity analysis), [`magus_net`] (topology & scenarios),
+//! [`magus_propagation`] (path loss), [`magus_lte`] (link adaptation),
+//! [`magus_terrain`] (synthetic geography), [`magus_testbed`] (the §3
+//! LTE testbed simulator), [`magus_viz`] (map rendering), and
+//! [`magus_geo`] (grids & units).
+
+pub use magus_core as core;
+pub use magus_geo as geo;
+pub use magus_lte as lte;
+pub use magus_model as model;
+pub use magus_net as net;
+pub use magus_propagation as propagation;
+pub use magus_terrain as terrain;
+pub use magus_testbed as testbed;
+pub use magus_viz as viz;
+
+/// Convenient single-import surface for examples and quickstarts.
+pub mod prelude {
+    pub use magus_core::prelude::*;
+    pub use magus_geo::{Db, Dbm, GridCoord, GridSpec, MilliWatt, PointM};
+    pub use magus_lte::RateMapper;
+    pub use magus_model::prelude::*;
+    pub use magus_net::prelude::*;
+}

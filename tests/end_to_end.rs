@@ -1,0 +1,144 @@
+//! End-to-end pipeline tests across crates: determinism, hardware-limit
+//! compliance, and schedule replay.
+
+use magus::core::{
+    plan_gradual, run_recovery_with, ExperimentConfig, GradualParams, TuningKind,
+};
+use magus::model::{standard_setup, UtilityKind};
+use magus::net::{AreaType, ConfigChange, Market, MarketParams, UpgradeScenario};
+use magus::propagation::NUM_TILT_SETTINGS;
+
+#[test]
+fn full_pipeline_is_deterministic_across_rebuilds() {
+    let run = || {
+        let market = Market::generate(MarketParams::tiny(AreaType::Suburban, 77));
+        let model = standard_setup(&market, magus::lte::Bandwidth::Mhz10);
+        let out = run_recovery_with(
+            &model,
+            &market,
+            UpgradeScenario::CentralBaseStation,
+            TuningKind::Joint,
+            &ExperimentConfig::default(),
+        );
+        (
+            out.recovery(UtilityKind::Performance),
+            out.search.steps.clone(),
+            out.config_after.clone(),
+        )
+    };
+    let (r1, s1, c1) = run();
+    let (r2, s2, c2) = run();
+    assert_eq!(r1, r2);
+    assert_eq!(s1, s2);
+    assert_eq!(c1, c2);
+}
+
+#[test]
+fn tuned_configuration_respects_hardware_limits() {
+    let market = Market::generate(MarketParams::tiny(AreaType::Urban, 5));
+    let model = standard_setup(&market, magus::lte::Bandwidth::Mhz10);
+    let out = run_recovery_with(
+        &model,
+        &market,
+        UpgradeScenario::FourCorners,
+        TuningKind::Joint,
+        &ExperimentConfig::default(),
+    );
+    // Targets are off-air in C_after.
+    for &t in &out.targets {
+        assert!(!out.config_after.sector(t).on_air);
+    }
+    // Every sector within its power bounds and tilt range.
+    for (i, sc) in out.config_after.sectors().iter().enumerate() {
+        let hw = market.network().sectors()[i];
+        assert!(sc.power <= hw.max_power, "sector {i} above max power");
+        assert!(sc.power >= hw.min_power, "sector {i} below min power");
+        assert!(sc.tilt < NUM_TILT_SETTINGS);
+    }
+    // Only targets and neighbors were touched relative to C_before.
+    for ch in out.config_before.diff(&out.config_after) {
+        let s = ch.sector();
+        assert!(
+            out.targets.contains(&s) || out.neighbors.contains(&s),
+            "change {ch:?} touched a sector outside targets/neighbors"
+        );
+    }
+}
+
+#[test]
+fn gradual_schedule_replays_to_c_after_exactly() {
+    let market = Market::generate(MarketParams::tiny(AreaType::Suburban, 13));
+    let model = standard_setup(&market, magus::lte::Bandwidth::Mhz10);
+    let out = run_recovery_with(
+        &model,
+        &market,
+        UpgradeScenario::SingleCentralSector,
+        TuningKind::Power,
+        &ExperimentConfig::default(),
+    );
+    let plan = plan_gradual(
+        &model.evaluator,
+        &out.config_before,
+        &out.config_after,
+        &out.targets,
+        &GradualParams::default(),
+    );
+    let ev = &model.evaluator;
+    let mut state = ev.initial_state(&out.config_before);
+    let mut total_handovers = 0.0;
+    for step in &plan.steps {
+        for ch in &step.changes {
+            ev.apply(&mut state, *ch);
+        }
+        total_handovers += step.handovers;
+    }
+    assert_eq!(state.config(), &out.config_after);
+    assert!((total_handovers - plan.total_handovers).abs() < 1e-9);
+}
+
+#[test]
+fn upgrade_scenarios_disrupt_service_in_every_area_type() {
+    for area in AreaType::ALL {
+        let market = Market::generate(MarketParams::tiny(area, 2));
+        let model = standard_setup(&market, magus::lte::Bandwidth::Mhz10);
+        let ev = &model.evaluator;
+        let mut state = model.nominal_state();
+        let before = state.utility(UtilityKind::Performance);
+        for t in magus::net::upgrade_targets(&market, UpgradeScenario::CentralBaseStation) {
+            ev.apply(&mut state, ConfigChange::SetOnAir(t, false));
+        }
+        let after = state.utility(UtilityKind::Performance);
+        assert!(
+            after < before,
+            "{area}: taking the central station down must hurt ({before} -> {after})"
+        );
+    }
+}
+
+#[test]
+fn recovery_readings_are_internally_consistent() {
+    let market = Market::generate(MarketParams::tiny(AreaType::Suburban, 9));
+    let model = standard_setup(&market, magus::lte::Bandwidth::Mhz10);
+    let out = run_recovery_with(
+        &model,
+        &market,
+        UpgradeScenario::SingleCentralSector,
+        TuningKind::Power,
+        &ExperimentConfig::default(),
+    );
+    // Formula 7 recomputed by hand from the readings.
+    let manual = (out.after.performance - out.upgrade.performance)
+        / (out.before.performance - out.upgrade.performance);
+    assert!((out.recovery(UtilityKind::Performance) - manual).abs() < 1e-12);
+    // Replaying the search steps from C_upgrade reaches C_after.
+    let ev = &model.evaluator;
+    let mut state = ev.initial_state(&out.config_before);
+    for &t in &out.targets {
+        ev.apply(&mut state, ConfigChange::SetOnAir(t, false));
+    }
+    for ch in &out.search.steps {
+        ev.apply(&mut state, *ch);
+    }
+    assert_eq!(state.config(), &out.config_after);
+    assert!((state.utility(UtilityKind::Performance) - out.after.performance).abs() < 1e-6);
+}

@@ -1,0 +1,165 @@
+//! Property-based tests of the analysis model's core invariant: the
+//! incremental evaluation engine is *exactly* equivalent to rebuilding
+//! the state from scratch, under arbitrary change sequences — and undo
+//! rolls back perfectly.
+
+use magus::geo::units::thermal_noise;
+use magus::geo::{Bearing, Db, GridSpec, PointM};
+use magus::lte::{Bandwidth, RateMapper};
+use magus::model::{Evaluator, UtilityKind};
+use magus::net::{BsId, ConfigChange, Configuration, Network, Sector, SectorId, UeLayer};
+use magus::propagation::{
+    AntennaParams, PathLossStore, PropagationModel, SectorSite, SpmParams, TiltSettings,
+    NUM_TILT_SETTINGS,
+};
+use magus::terrain::Terrain;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const N_SECTORS: u32 = 4;
+
+fn fixture() -> (Evaluator, Configuration) {
+    let spec = GridSpec::centered(PointM::new(0.0, 0.0), 250.0, 8_000.0);
+    let model = PropagationModel::new(Arc::new(Terrain::flat(spec)), SpmParams::smooth(), 5);
+    let mk = |id: u32, x: f64, y: f64, az: f64| {
+        let mut s = Sector::macro_defaults(
+            SectorId(id),
+            BsId(id),
+            SectorSite {
+                position: PointM::new(x, y),
+                height_m: 30.0,
+                azimuth: Bearing::new(az),
+                antenna: AntennaParams::default(),
+            },
+        );
+        s.nominal_ue_count = 50.0 + id as f64 * 10.0;
+        s
+    };
+    let network = Arc::new(Network::new(vec![
+        mk(0, -2_000.0, 0.0, 90.0),
+        mk(1, 2_000.0, 0.0, 270.0),
+        mk(2, 0.0, 2_000.0, 180.0),
+        mk(3, 0.0, -2_000.0, 0.0),
+    ]));
+    let store = Arc::new(PathLossStore::build(
+        spec,
+        network.sites(),
+        &model,
+        TiltSettings::default(),
+        10_000.0,
+    ));
+    let noise = thermal_noise(Bandwidth::Mhz10.hz(), Db(7.0));
+    let ue = UeLayer::constant(spec, 1.0);
+    let nominal = Configuration::nominal(&network);
+    (
+        Evaluator::new(store, network, RateMapper::new(Bandwidth::Mhz10), noise, ue),
+        nominal,
+    )
+}
+
+/// An arbitrary configuration change over the fixture's sectors.
+fn change_strategy() -> impl Strategy<Value = ConfigChange> {
+    let sector = 0..N_SECTORS;
+    prop_oneof![
+        (sector.clone(), -6.0..6.0f64)
+            .prop_map(|(s, d)| ConfigChange::PowerDelta(SectorId(s), Db(d))),
+        (sector.clone(), 0..NUM_TILT_SETTINGS)
+            .prop_map(|(s, t)| ConfigChange::SetTilt(SectorId(s), t)),
+        (sector.clone(), any::<bool>()).prop_map(|(s, v)| ConfigChange::SetOnAir(SectorId(s), v)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Incremental application of any change sequence yields exactly the
+    /// state a from-scratch rebuild produces.
+    #[test]
+    fn incremental_equals_full_rebuild(changes in prop::collection::vec(change_strategy(), 1..8)) {
+        let (ev, config) = fixture();
+        let mut st = ev.initial_state(&config);
+        for ch in changes {
+            ev.apply(&mut st, ch);
+        }
+        let fresh = ev.initial_state(st.config());
+        for i in 0..st.num_grids() {
+            prop_assert_eq!(st.serving(i), fresh.serving(i), "serving mismatch at {}", i);
+            prop_assert!((st.rmax_bps(i) - fresh.rmax_bps(i)).abs() < 1.0,
+                "rmax mismatch at {}: {} vs {}", i, st.rmax_bps(i), fresh.rmax_bps(i));
+        }
+        for k in UtilityKind::ALL {
+            prop_assert!((st.utility(k) - fresh.utility(k)).abs() < 1e-6);
+        }
+    }
+
+    /// Applying then undoing any change sequence restores every field.
+    #[test]
+    fn undo_is_exact(changes in prop::collection::vec(change_strategy(), 1..8)) {
+        let (ev, config) = fixture();
+        let reference = ev.initial_state(&config);
+        let mut st = ev.initial_state(&config);
+        let mut undos = Vec::new();
+        for ch in changes {
+            undos.push(ev.apply(&mut st, ch));
+        }
+        for u in undos.into_iter().rev() {
+            ev.undo(&mut st, u);
+        }
+        prop_assert_eq!(st.config(), reference.config());
+        for i in 0..st.num_grids() {
+            prop_assert_eq!(st.serving(i), reference.serving(i));
+            prop_assert_eq!(st.rmax_bps(i), reference.rmax_bps(i));
+        }
+        for k in UtilityKind::ALL {
+            prop_assert_eq!(st.utility(k), reference.utility(k));
+        }
+    }
+
+    /// Probing any change never mutates observable state.
+    #[test]
+    fn probe_is_pure(ch in change_strategy()) {
+        let (ev, config) = fixture();
+        let mut st = ev.initial_state(&config);
+        let u_before = st.utility(UtilityKind::Performance);
+        let serving_before: Vec<_> = (0..st.num_grids()).map(|i| st.serving(i)).collect();
+        let _ = ev.probe_utility(&mut st, ch, UtilityKind::Performance);
+        prop_assert_eq!(st.utility(UtilityKind::Performance), u_before);
+        let serving_after: Vec<_> = (0..st.num_grids()).map(|i| st.serving(i)).collect();
+        prop_assert_eq!(serving_before, serving_after);
+    }
+
+    /// Taking any subset of sectors off-air can only lower both
+    /// utilities (capacity is removed, never added).
+    #[test]
+    fn outages_never_increase_utility(mask in prop::collection::vec(any::<bool>(), N_SECTORS as usize)) {
+        let (ev, config) = fixture();
+        let mut st = ev.initial_state(&config);
+        let before_perf = st.utility(UtilityKind::Performance);
+        let before_cov = st.utility(UtilityKind::Coverage);
+        for (i, &down) in mask.iter().enumerate() {
+            if down {
+                ev.apply(&mut st, ConfigChange::SetOnAir(SectorId(i as u32), false));
+            }
+        }
+        prop_assert!(st.utility(UtilityKind::Coverage) <= before_cov + 1e-9);
+        // Performance can only drop too: fewer servers, shared load.
+        prop_assert!(st.utility(UtilityKind::Performance) <= before_perf + 1e-6);
+    }
+
+    /// UE layers conserve sector totals for any serving assignment.
+    #[test]
+    fn ue_layer_conserves_mass(assignment in prop::collection::vec(0..3u32, 64)) {
+        let spec = GridSpec::new(PointM::new(0.0, 0.0), 100.0, 8, 8);
+        let serving: Vec<Option<u32>> = assignment.iter().map(|&s| Some(s)).collect();
+        let totals = [30.0, 60.0, 90.0];
+        let layer = UeLayer::uniform_per_sector(spec, &serving, &totals);
+        // Every sector present in the assignment delivers its full total.
+        let mut expected = 0.0;
+        for (s, &t) in totals.iter().enumerate() {
+            if assignment.iter().any(|&a| a == s as u32) {
+                expected += t;
+            }
+        }
+        prop_assert!((layer.total() - expected).abs() < 1e-9);
+    }
+}
