@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, release build, tests, and the static audit.
+# Run from the repo root. Fails fast on the first broken stage.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> magus-audit check"
+REPORT=target/audit-report.json
+cargo run -q --release -p magus-audit -- check --json "$REPORT"
+
+# Surface the machine-readable summary the audit binary just wrote.
+python3 - "$REPORT" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+print(f"audit: ok={r['ok']} "
+      f"unsuppressed={r['unsuppressed_total']} "
+      f"suppressed={r['suppressed_total']}")
+for p in r["passes"]:
+    print(f"  {p['pass']}: {p['unsuppressed']} open, {p['suppressed']} allowlisted")
+if r["unused_allow_rules"]:
+    print("  stale allowlist rules:")
+    for rule in r["unused_allow_rules"]:
+        print(f"    {rule}")
+EOF
+
+echo "CI: all stages green"

@@ -1,0 +1,153 @@
+//! The explicit allowlist.
+//!
+//! Format: one rule per line, four `|`-separated fields:
+//!
+//! ```text
+//! <pass> | <file suffix> | <needle> | <reason>
+//! ```
+//!
+//! A finding is suppressed when a rule's pass matches exactly, the
+//! rule's file is a suffix of the finding's path, and the needle occurs
+//! in the finding's source line (`*` matches any line). The reason is
+//! mandatory — an allowlist entry without a justification is itself an
+//! audit failure. `#` starts a comment.
+
+use crate::report::Finding;
+use crate::AuditError;
+use std::cell::Cell;
+use std::path::Path;
+
+/// One parsed allowlist rule.
+#[derive(Debug, Clone)]
+pub struct AllowRule {
+    /// Pass id the rule applies to.
+    pub pass: String,
+    /// Path suffix the rule applies to (forward slashes).
+    pub file: String,
+    /// Substring that must occur in the offending line (`*` = any).
+    pub needle: String,
+    /// Human justification; mandatory.
+    pub reason: String,
+    /// Source line in the allowlist file (for diagnostics).
+    pub source_line: usize,
+    hits: Cell<usize>,
+}
+
+impl AllowRule {
+    /// Whether this rule suppresses `f`.
+    fn matches(&self, f: &Finding) -> bool {
+        self.pass == f.pass
+            && f.file.ends_with(&self.file)
+            && (self.needle == "*" || f.snippet.contains(&self.needle))
+    }
+}
+
+/// A parsed allowlist file.
+#[derive(Debug, Clone, Default)]
+pub struct Allowlist {
+    /// The rules, in file order.
+    pub rules: Vec<AllowRule>,
+}
+
+impl Allowlist {
+    /// An empty allowlist (suppresses nothing).
+    pub fn empty() -> Allowlist {
+        Allowlist::default()
+    }
+
+    /// Parses the allowlist text. Malformed lines are hard errors: a
+    /// silently ignored rule would un-suppress findings on a typo.
+    pub fn parse(text: &str) -> Result<Allowlist, AuditError> {
+        let mut rules = Vec::new();
+        for (no, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let parts: Vec<&str> = line.splitn(4, '|').map(str::trim).collect();
+            if parts.len() != 4 {
+                return Err(AuditError::BadAllowRule(
+                    no + 1,
+                    "expected `pass | file | needle | reason`".to_string(),
+                ));
+            }
+            if parts[3].is_empty() {
+                return Err(AuditError::BadAllowRule(
+                    no + 1,
+                    "reason string is mandatory".to_string(),
+                ));
+            }
+            rules.push(AllowRule {
+                pass: parts[0].to_string(),
+                file: parts[1].to_string(),
+                needle: parts[2].to_string(),
+                reason: parts[3].to_string(),
+                source_line: no + 1,
+                hits: Cell::new(0),
+            });
+        }
+        Ok(Allowlist { rules })
+    }
+
+    /// Loads `path`; a missing file is an empty allowlist.
+    pub fn load(path: &Path) -> Result<Allowlist, AuditError> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Allowlist::parse(&text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Allowlist::empty()),
+            Err(e) => Err(AuditError::Io(path.to_path_buf(), e)),
+        }
+    }
+
+    /// Returns the matching rule's reason, and counts the hit.
+    pub fn suppression(&self, f: &Finding) -> Option<&AllowRule> {
+        let rule = self.rules.iter().find(|r| r.matches(f))?;
+        rule.hits.set(rule.hits.get() + 1);
+        Some(rule)
+    }
+
+    /// Rules that suppressed nothing — stale entries worth pruning.
+    pub fn unused(&self) -> Vec<&AllowRule> {
+        self.rules.iter().filter(|r| r.hits.get() == 0).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding() -> Finding {
+        Finding {
+            pass: "panic-freedom".into(),
+            file: "crates/core/src/gradual.rs".into(),
+            line: 226,
+            snippet: "let (ch, u) = best.expect(\"non-empty remaining set\");".into(),
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn parses_and_matches() {
+        let a = Allowlist::parse(
+            "# comment\npanic-freedom | core/src/gradual.rs | best.expect | loop ran at least once\n",
+        )
+        .expect("parses");
+        assert_eq!(a.rules.len(), 1);
+        assert!(a.suppression(&finding()).is_some());
+        assert!(a.unused().is_empty());
+    }
+
+    #[test]
+    fn wrong_pass_or_file_does_not_match() {
+        let a =
+            Allowlist::parse("cast-audit | gradual.rs | * | x\npanic-freedom | other.rs | * | x\n")
+                .expect("parses");
+        assert!(a.suppression(&finding()).is_none());
+        assert_eq!(a.unused().len(), 2);
+    }
+
+    #[test]
+    fn missing_reason_is_an_error() {
+        assert!(Allowlist::parse("panic-freedom | a.rs | * |\n").is_err());
+        assert!(Allowlist::parse("panic-freedom | a.rs | *\n").is_err());
+    }
+}

@@ -1,0 +1,162 @@
+//! Static-analysis gate for the Magus workspace.
+//!
+//! `cargo run -p magus-audit -- check` walks every `crates/*/src/**.rs`
+//! with a comment/string-aware line scanner and enforces four passes:
+//!
+//! * **unit-safety** — public `fn` signatures in library crates must not
+//!   take bare `f64` parameters whose names claim a radio unit
+//!   (`*_db`, `*_dbm`, `power`, `loss`, `gain`, `tilt_deg`, `dist*`);
+//!   the `magus_geo::units` newtypes exist for exactly that.
+//! * **panic-freedom** — no `.unwrap()` / `.expect(` / `panic!(` in
+//!   non-test library code (`#[cfg(test)]` modules and the `bench`,
+//!   `cli`, and `audit` binaries are exempt).
+//! * **cast-audit** — narrowing `as usize` / `as u32` / `as i32` casts
+//!   on *computed* expressions (preceding token ends in `)` or `]`) in
+//!   the numeric crates (`geo`, `propagation`, `model`, `lte`) must go
+//!   through the checked helpers in `magus_geo::cast`.
+//! * **lint-gate** — the workspace root must declare
+//!   `[workspace.lints]`, every member must inherit it with
+//!   `lints.workspace = true`, and every crate root must carry
+//!   `#![forbid(unsafe_code)]`.
+//!
+//! Findings are suppressed only through the explicit allowlist file
+//! (`audit.allowlist` at the audited root) where every rule carries a
+//! human reason string. The run emits a machine-readable JSON report
+//! and exits non-zero when any finding is left unsuppressed.
+//!
+//! The crate is deliberately std-only so the gate keeps working while
+//! the rest of the workspace is mid-refactor.
+
+#![forbid(unsafe_code)]
+
+pub mod allow;
+pub mod passes;
+pub mod report;
+pub mod scan;
+
+use std::path::{Path, PathBuf};
+
+pub use allow::Allowlist;
+pub use report::{AuditReport, Finding, PassStats};
+pub use scan::SourceFile;
+
+/// Everything that can go wrong while auditing (I/O, bad allowlist).
+#[derive(Debug)]
+pub enum AuditError {
+    /// Reading a file or walking a directory failed.
+    Io(PathBuf, std::io::Error),
+    /// The allowlist file is malformed (line number, explanation).
+    BadAllowRule(usize, String),
+}
+
+impl std::fmt::Display for AuditError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AuditError::Io(p, e) => write!(f, "{}: {e}", p.display()),
+            AuditError::BadAllowRule(n, why) => {
+                write!(f, "allowlist line {n}: {why}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AuditError {}
+
+/// Crates whose code is allowed to panic: binaries and harnesses where
+/// aborting with a message *is* the error-reporting strategy.
+pub const PANIC_EXEMPT_CRATES: &[&str] = &["bench", "cli", "audit"];
+
+/// Crates audited for narrowing casts: the numeric core where a silent
+/// wrap corrupts grid indices or path-loss math.
+pub const CAST_AUDIT_CRATES: &[&str] = &["geo", "propagation", "model", "lte"];
+
+/// Binary-only crates: `unit-safety` skips them (no public library API).
+pub const BINARY_CRATES: &[&str] = &["cli", "audit"];
+
+/// Recursively collects `.rs` files under `dir`, sorted for stable output.
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), AuditError> {
+    let entries = std::fs::read_dir(dir).map_err(|e| AuditError::Io(dir.to_path_buf(), e))?;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| AuditError::Io(dir.to_path_buf(), e))?;
+        paths.push(entry.path());
+    }
+    paths.sort();
+    for p in paths {
+        if p.is_dir() {
+            rust_files(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Loads and scans every `crates/*/src/**.rs` under `root`.
+pub fn load_workspace_sources(root: &Path) -> Result<Vec<SourceFile>, AuditError> {
+    let crates_dir = root.join("crates");
+    let entries =
+        std::fs::read_dir(&crates_dir).map_err(|e| AuditError::Io(crates_dir.clone(), e))?;
+    let mut crate_dirs: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| AuditError::Io(crates_dir.clone(), e))?;
+        let p = entry.path();
+        if p.is_dir() {
+            crate_dirs.push(p);
+        }
+    }
+    crate_dirs.sort();
+
+    let mut sources = Vec::new();
+    for crate_dir in &crate_dirs {
+        let crate_name = crate_dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let src = crate_dir.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        rust_files(&src, &mut files)?;
+        for path in files {
+            let text =
+                std::fs::read_to_string(&path).map_err(|e| AuditError::Io(path.clone(), e))?;
+            let rel = relative_display(root, &path);
+            sources.push(SourceFile::scan(path, rel, crate_name.clone(), &text));
+        }
+    }
+    Ok(sources)
+}
+
+/// `path` relative to `root`, with forward slashes, for stable reports.
+fn relative_display(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Runs every pass over `root` and folds the allowlist in.
+pub fn run_audit(root: &Path, allow: &Allowlist) -> Result<AuditReport, AuditError> {
+    let sources = load_workspace_sources(root)?;
+    let mut findings = Vec::new();
+    findings.extend(passes::unit_safety(&sources));
+    findings.extend(passes::panic_freedom(&sources));
+    findings.extend(passes::cast_audit(&sources));
+    findings.extend(passes::lint_gate(root)?);
+    Ok(report::build_report(root, findings, allow))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_display_uses_forward_slashes() {
+        let root = Path::new("/a/b");
+        let p = Path::new("/a/b/crates/geo/src/lib.rs");
+        assert_eq!(relative_display(root, p), "crates/geo/src/lib.rs");
+    }
+}

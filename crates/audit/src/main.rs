@@ -1,0 +1,92 @@
+//! `magus-audit` — the workspace static-analysis gate.
+//!
+//! ```text
+//! magus-audit check [--root DIR] [--allowlist FILE] [--json FILE]
+//! ```
+//!
+//! Exits 0 when every finding is fixed or allowlisted, 1 when findings
+//! remain, 2 on usage or I/O errors.
+
+#![forbid(unsafe_code)]
+
+use magus_audit::{run_audit, Allowlist, AuditError};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    root: PathBuf,
+    allowlist: Option<PathBuf>,
+    json: Option<PathBuf>,
+}
+
+fn usage() -> &'static str {
+    "usage: magus-audit check [--root DIR] [--allowlist FILE] [--json FILE]"
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        Some("check") => {}
+        Some(other) => return Err(format!("unknown command `{other}`\n{}", usage())),
+        None => return Err(usage().to_string()),
+    }
+    let mut opts = Options {
+        root: PathBuf::from("."),
+        allowlist: None,
+        json: None,
+    };
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value\n{}", usage()))
+        };
+        match flag.as_str() {
+            "--root" => opts.root = PathBuf::from(value("--root")?),
+            "--allowlist" => opts.allowlist = Some(PathBuf::from(value("--allowlist")?)),
+            "--json" => opts.json = Some(PathBuf::from(value("--json")?)),
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+    }
+    Ok(opts)
+}
+
+fn run(opts: &Options) -> Result<bool, AuditError> {
+    let allow_path = opts
+        .allowlist
+        .clone()
+        .unwrap_or_else(|| opts.root.join("audit.allowlist"));
+    let allow = Allowlist::load(&allow_path)?;
+    let report = run_audit(&opts.root, &allow)?;
+    print!("{}", report.render_text());
+    let json_path = opts
+        .json
+        .clone()
+        .unwrap_or_else(|| opts.root.join("target").join("audit-report.json"));
+    if let Some(parent) = json_path.parent() {
+        std::fs::create_dir_all(parent).map_err(|e| AuditError::Io(parent.to_path_buf(), e))?;
+    }
+    std::fs::write(&json_path, report.to_json())
+        .map_err(|e| AuditError::Io(json_path.clone(), e))?;
+    println!("report: {}", json_path.display());
+    Ok(report.ok())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&opts) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(e) => {
+            eprintln!("magus-audit: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

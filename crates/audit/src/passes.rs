@@ -1,0 +1,484 @@
+//! The four audit passes.
+
+use crate::report::Finding;
+use crate::scan::SourceFile;
+use crate::{AuditError, BINARY_CRATES, CAST_AUDIT_CRATES, PANIC_EXEMPT_CRATES};
+use std::path::Path;
+
+/// Pass identifiers, as they appear in reports and the allowlist.
+pub const PASS_UNIT_SAFETY: &str = "unit-safety";
+/// See [`PASS_UNIT_SAFETY`].
+pub const PASS_PANIC_FREEDOM: &str = "panic-freedom";
+/// See [`PASS_UNIT_SAFETY`].
+pub const PASS_CAST_AUDIT: &str = "cast-audit";
+/// See [`PASS_UNIT_SAFETY`].
+pub const PASS_LINT_GATE: &str = "lint-gate";
+
+fn finding(pass: &str, file: &SourceFile, line_no: usize, message: String) -> Finding {
+    Finding {
+        pass: pass.to_string(),
+        file: file.rel.clone(),
+        line: line_no + 1,
+        snippet: file.lines[line_no].raw.trim().to_string(),
+        message,
+    }
+}
+
+// ---------------------------------------------------------------- unit-safety
+
+/// Parameter names that claim a radio unit. A bare `f64` with such a
+/// name should be one of the `magus_geo::units` newtypes instead.
+fn unit_suspicious(name: &str) -> Option<&'static str> {
+    let n = name.to_ascii_lowercase();
+    if n.ends_with("_dbm") {
+        Some("Dbm")
+    } else if n.ends_with("_db") {
+        Some("Db")
+    } else if n.ends_with("_mw") {
+        Some("MilliWatt")
+    } else if n.contains("power") {
+        Some("Dbm (or MilliWatt for linear sums)")
+    } else if n.contains("loss") || n.contains("gain") {
+        Some("Db")
+    } else if n == "tilt_deg" || n.ends_with("tilt_deg") || n.starts_with("dist") {
+        Some("a dedicated quantity type (or a documented raw-f64 unit)")
+    } else {
+        None
+    }
+}
+
+/// Flags public `fn` parameters typed as bare `f64` whose names match
+/// the unit patterns above. Signature text may span multiple lines.
+pub fn unit_safety(sources: &[SourceFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for file in sources {
+        if BINARY_CRATES.contains(&file.crate_name.as_str()) {
+            continue;
+        }
+        let mut i = 0;
+        while i < file.lines.len() {
+            let line = &file.lines[i];
+            if line.in_test || !is_pub_fn_line(&line.code) {
+                i += 1;
+                continue;
+            }
+            let (sig, consumed) = collect_signature(file, i);
+            for (pname, ptype) in split_params(&sig) {
+                if ptype == "f64" {
+                    if let Some(suggest) = unit_suspicious(&pname) {
+                        out.push(finding(
+                            PASS_UNIT_SAFETY,
+                            file,
+                            i,
+                            format!(
+                                "public fn takes bare `f64` parameter `{pname}`; \
+                                 use {suggest} from magus_geo::units"
+                            ),
+                        ));
+                    }
+                }
+            }
+            i += consumed.max(1);
+        }
+    }
+    out
+}
+
+/// Whether a sanitized line opens a `pub … fn` item.
+fn is_pub_fn_line(code: &str) -> bool {
+    let t = code.trim_start();
+    if !t.starts_with("pub ") && !t.starts_with("pub(") {
+        return false;
+    }
+    // `pub fn`, `pub(crate) fn`, `pub const fn`, `pub unsafe fn`, …
+    match t.find("fn ") {
+        Some(pos) => t[..pos]
+            .split_whitespace()
+            .all(|w| w.starts_with("pub") || matches!(w, "const" | "unsafe" | "extern" | "async")),
+        None => false,
+    }
+}
+
+/// Joins lines from `start` until the parameter list's parentheses
+/// balance. Returns the text between the outermost parens and the line
+/// count consumed.
+fn collect_signature(file: &SourceFile, start: usize) -> (String, usize) {
+    let mut buf = String::new();
+    let mut consumed = 0;
+    for line in file.lines.iter().skip(start).take(24) {
+        buf.push_str(&line.code);
+        buf.push(' ');
+        consumed += 1;
+        if paren_balanced(&buf) {
+            break;
+        }
+    }
+    let open = match buf.find('(') {
+        Some(p) => p,
+        None => return (String::new(), consumed),
+    };
+    let mut depth = 0i32;
+    for (off, ch) in buf[open..].char_indices() {
+        match ch {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return (buf[open + 1..open + off].to_string(), consumed);
+                }
+            }
+            _ => {}
+        }
+    }
+    (String::new(), consumed)
+}
+
+/// Whether the text after the first `(` has balanced parentheses.
+fn paren_balanced(buf: &str) -> bool {
+    let Some(open) = buf.find('(') else {
+        return false;
+    };
+    let mut depth = 0i32;
+    for ch in buf[open..].chars() {
+        match ch {
+            '(' => depth += 1,
+            ')' => depth -= 1,
+            _ => {}
+        }
+    }
+    depth == 0
+}
+
+/// Splits a parameter list at top-level commas into `(name, type)`
+/// pairs, skipping `self` receivers and patterns without a simple name.
+fn split_params(sig: &str) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for part in split_top_level(sig) {
+        let part = part.trim();
+        let Some(colon) = find_top_level_colon(part) else {
+            continue; // `self`, `&mut self`, …
+        };
+        let name = part[..colon]
+            .trim()
+            .trim_start_matches("mut ")
+            .trim()
+            .to_string();
+        let ty = part[colon + 1..].trim().to_string();
+        if name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') && !name.is_empty() {
+            out.push((name, ty));
+        }
+    }
+    out
+}
+
+/// Splits on commas not nested in `<>`, `()`, or `[]`.
+fn split_top_level(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut cur = String::new();
+    for ch in s.chars() {
+        match ch {
+            '<' | '(' | '[' => {
+                depth += 1;
+                cur.push(ch);
+            }
+            '>' | ')' | ']' => {
+                depth -= 1;
+                cur.push(ch);
+            }
+            ',' if depth == 0 => {
+                out.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(ch),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// First `:` at angle/paren depth 0 (skips `::` paths inside types).
+fn find_top_level_colon(s: &str) -> Option<usize> {
+    let bytes = s.as_bytes();
+    let mut depth = 0i32;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'<' | b'(' | b'[' => depth += 1,
+            b'>' | b')' | b']' => depth -= 1,
+            b':' if depth == 0 => {
+                if bytes.get(i + 1) == Some(&b':') {
+                    i += 2;
+                    continue;
+                }
+                return Some(i);
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+// -------------------------------------------------------------- panic-freedom
+
+/// Tokens the panic-freedom pass hunts for in non-test library code.
+const PANIC_TOKENS: &[&str] = &[".unwrap()", ".expect(", "panic!("];
+
+/// Flags `.unwrap()` / `.expect(` / `panic!(` outside test modules in
+/// library crates. `debug_assert!`/`assert!` are deliberately allowed:
+/// stated invariants are the point, silent `unwrap` panics are not.
+pub fn panic_freedom(sources: &[SourceFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for file in sources {
+        if PANIC_EXEMPT_CRATES.contains(&file.crate_name.as_str()) {
+            continue;
+        }
+        for (no, line) in file.lines.iter().enumerate() {
+            if line.in_test {
+                continue;
+            }
+            for tok in PANIC_TOKENS {
+                if line.code.contains(tok) {
+                    out.push(finding(
+                        PASS_PANIC_FREEDOM,
+                        file,
+                        no,
+                        format!(
+                            "`{tok}` in non-test library code; return a Result, \
+                             use a total operation, or allowlist with a reason"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+// ----------------------------------------------------------------- cast-audit
+
+/// Narrowing integer targets the cast pass watches.
+const NARROW_TARGETS: &[&str] = &["usize", "u32", "i32"];
+
+/// Flags `…) as usize` / `…] as u32` style casts — a computed value
+/// narrowed without a range check — in the numeric crates.
+pub fn cast_audit(sources: &[SourceFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for file in sources {
+        if !CAST_AUDIT_CRATES.contains(&file.crate_name.as_str()) {
+            continue;
+        }
+        for (no, line) in file.lines.iter().enumerate() {
+            if line.in_test {
+                continue;
+            }
+            for target in NARROW_TARGETS {
+                let needle = format!(" as {target}");
+                let mut search = 0;
+                while let Some(pos) = line.code[search..].find(&needle) {
+                    let abs = search + pos;
+                    let end = abs + needle.len();
+                    search = end;
+                    // Must be a whole-token match (`as usize` not `as usized`).
+                    if line.code[end..]
+                        .chars()
+                        .next()
+                        .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
+                    {
+                        continue;
+                    }
+                    let before = line.code[..abs].trim_end();
+                    if before.ends_with(')') || before.ends_with(']') {
+                        out.push(finding(
+                            PASS_CAST_AUDIT,
+                            file,
+                            no,
+                            format!(
+                                "computed expression narrowed with `as {target}`; \
+                                 use a checked helper from magus_geo::cast"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+// ------------------------------------------------------------------ lint-gate
+
+/// Verifies the workspace lint plumbing: `[workspace.lints]` at the
+/// root, `lints.workspace = true` in every member, and
+/// `#![forbid(unsafe_code)]` at every crate root.
+pub fn lint_gate(root: &Path) -> Result<Vec<Finding>, AuditError> {
+    let mut out = Vec::new();
+    let root_manifest = root.join("Cargo.toml");
+    let root_text = toml_without_comments(
+        &std::fs::read_to_string(&root_manifest)
+            .map_err(|e| AuditError::Io(root_manifest.clone(), e))?,
+    );
+    if !root_text.contains("[workspace.lints") {
+        out.push(Finding {
+            pass: PASS_LINT_GATE.to_string(),
+            file: "Cargo.toml".to_string(),
+            line: 1,
+            snippet: "[workspace]".to_string(),
+            message: "workspace root does not declare [workspace.lints]".to_string(),
+        });
+    }
+
+    let crates_dir = root.join("crates");
+    let entries =
+        std::fs::read_dir(&crates_dir).map_err(|e| AuditError::Io(crates_dir.clone(), e))?;
+    let mut crate_dirs: Vec<_> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+
+    for dir in crate_dirs {
+        let name = dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let manifest = dir.join("Cargo.toml");
+        let rel_manifest = format!("crates/{name}/Cargo.toml");
+        match std::fs::read_to_string(&manifest) {
+            Ok(text) => {
+                let text = toml_without_comments(&text);
+                let inherits = text.contains("lints.workspace = true")
+                    || (text.contains("[lints]") && text.contains("workspace = true"));
+                if !inherits {
+                    out.push(Finding {
+                        pass: PASS_LINT_GATE.to_string(),
+                        file: rel_manifest.clone(),
+                        line: 1,
+                        snippet: format!("[package] name = \"{name}\""),
+                        message: "member does not inherit workspace lints \
+                                  (`lints.workspace = true`)"
+                            .to_string(),
+                    });
+                }
+            }
+            Err(e) => return Err(AuditError::Io(manifest, e)),
+        }
+        // Crate root: lib.rs for libraries, main.rs for pure binaries.
+        let crate_root = ["src/lib.rs", "src/main.rs"]
+            .iter()
+            .map(|p| dir.join(p))
+            .find(|p| p.is_file());
+        if let Some(root_file) = crate_root {
+            let text = crate::scan::sanitize(
+                &std::fs::read_to_string(&root_file)
+                    .map_err(|e| AuditError::Io(root_file.clone(), e))?,
+            );
+            if !text.contains("#![forbid(unsafe_code)]") {
+                let rel = format!(
+                    "crates/{name}/src/{}",
+                    root_file
+                        .file_name()
+                        .map(|n| n.to_string_lossy().into_owned())
+                        .unwrap_or_default()
+                );
+                out.push(Finding {
+                    pass: PASS_LINT_GATE.to_string(),
+                    file: rel,
+                    line: 1,
+                    snippet: String::new(),
+                    message: "crate root does not declare #![forbid(unsafe_code)]".to_string(),
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// TOML text with `#` comments removed (quote-unaware on purpose: no
+/// manifest in this workspace puts `#` inside a string we care about).
+fn toml_without_comments(text: &str) -> String {
+    text.lines()
+        .map(|l| l.split('#').next().unwrap_or(""))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn file(crate_name: &str, src: &str) -> SourceFile {
+        SourceFile::scan(
+            PathBuf::from("mem.rs"),
+            format!("crates/{crate_name}/src/mem.rs"),
+            crate_name.to_string(),
+            src,
+        )
+    }
+
+    #[test]
+    fn unit_safety_flags_bare_f64_units() {
+        let f = file(
+            "geo",
+            "pub fn rx(power_dbm: f64, name: &str) -> f64 { power_dbm }\n",
+        );
+        let found = unit_safety(&[f]);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].message.contains("power_dbm"));
+    }
+
+    #[test]
+    fn unit_safety_handles_multiline_signatures() {
+        let f = file(
+            "geo",
+            "pub fn blend(\n    a: f64,\n    path_loss_db: f64,\n) -> f64 {\n    a\n}\n",
+        );
+        let found = unit_safety(&[f]);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].message.contains("path_loss_db"));
+    }
+
+    #[test]
+    fn unit_safety_ignores_newtyped_params_and_tests() {
+        let f = file(
+            "geo",
+            "pub fn rx(power: Dbm) -> Dbm { power }\n#[cfg(test)]\nmod t {\n    pub fn bad(loss_db: f64) {}\n}\n",
+        );
+        assert!(unit_safety(&[f]).is_empty());
+    }
+
+    #[test]
+    fn panic_freedom_skips_tests_comments_and_exempt_crates() {
+        let lib = file(
+            "geo",
+            "pub fn f(x: Option<u8>) -> u8 {\n    // .unwrap() in prose is fine\n    x.unwrap()\n}\n#[cfg(test)]\nmod t {\n    fn g() { None::<u8>.unwrap(); }\n}\n",
+        );
+        let found = panic_freedom(&[lib]);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].line, 3);
+        let cli = file("cli", "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n");
+        assert!(panic_freedom(&[cli]).is_empty());
+    }
+
+    #[test]
+    fn cast_audit_flags_computed_narrowing_only() {
+        let f = file(
+            "propagation",
+            "fn f(a: f64, i: u32, v: &[u8]) {\n    let x = (a * 2.0) as usize;\n    let y = i as usize;\n    let z = v[0] as usize;\n    let w = v.len() as u32;\n}\n",
+        );
+        let found = cast_audit(&[f]);
+        // `(a * 2.0) as usize` and `v.len() as u32` are computed;
+        // `i as usize` is a plain widening rebind; `v[0] as usize`
+        // follows `]` and is flagged too.
+        assert_eq!(found.len(), 3, "{found:?}");
+    }
+
+    #[test]
+    fn cast_audit_limited_to_numeric_crates() {
+        let f = file("viz", "fn f(a: f64) { let x = (a * 2.0) as usize; }\n");
+        assert!(cast_audit(&[f]).is_empty());
+    }
+}

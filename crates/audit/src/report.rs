@@ -1,0 +1,275 @@
+//! Findings, report assembly, and JSON emission (hand-rolled — the
+//! auditor is std-only by design).
+
+use crate::allow::Allowlist;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One audit finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Pass id (`unit-safety`, `panic-freedom`, `cast-audit`, `lint-gate`).
+    pub pass: String,
+    /// Path relative to the audited root, forward slashes.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The trimmed offending source line.
+    pub snippet: String,
+    /// What is wrong and what to do instead.
+    pub message: String,
+}
+
+/// A finding plus the allowlist reason that suppressed it.
+#[derive(Debug, Clone)]
+pub struct Suppressed {
+    /// The underlying finding.
+    pub finding: Finding,
+    /// The allowlist rule's reason string.
+    pub reason: String,
+}
+
+/// Per-pass counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassStats {
+    /// Pass id.
+    pub pass: String,
+    /// Findings not covered by the allowlist.
+    pub unsuppressed: usize,
+    /// Findings covered by the allowlist.
+    pub suppressed: usize,
+}
+
+/// The complete result of one audit run.
+#[derive(Debug, Clone)]
+pub struct AuditReport {
+    /// The audited root, as given.
+    pub root: String,
+    /// Per-pass counts, in canonical pass order.
+    pub passes: Vec<PassStats>,
+    /// Unsuppressed findings (these fail the run).
+    pub findings: Vec<Finding>,
+    /// Allowlisted findings with their reasons.
+    pub suppressed: Vec<Suppressed>,
+    /// Allowlist rules that matched nothing (stale).
+    pub unused_allow_rules: Vec<String>,
+}
+
+impl AuditReport {
+    /// Whether the run passes (no unsuppressed findings).
+    pub fn ok(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Serializes the report as JSON.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"root\": {},", json_str(&self.root));
+        let _ = writeln!(s, "  \"ok\": {},", self.ok());
+        let _ = writeln!(s, "  \"unsuppressed_total\": {},", self.findings.len());
+        let _ = writeln!(s, "  \"suppressed_total\": {},", self.suppressed.len());
+        s.push_str("  \"passes\": [\n");
+        for (i, p) in self.passes.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"pass\": {}, \"unsuppressed\": {}, \"suppressed\": {}}}",
+                json_str(&p.pass),
+                p.unsuppressed,
+                p.suppressed
+            );
+            s.push_str(if i + 1 < self.passes.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"findings\": [\n");
+        for (i, f) in self.findings.iter().enumerate() {
+            s.push_str("    ");
+            s.push_str(&finding_json(f, None));
+            s.push_str(if i + 1 < self.findings.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"suppressed\": [\n");
+        for (i, sp) in self.suppressed.iter().enumerate() {
+            s.push_str("    ");
+            s.push_str(&finding_json(&sp.finding, Some(&sp.reason)));
+            s.push_str(if i + 1 < self.suppressed.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"unused_allow_rules\": [");
+        for (i, r) in self.unused_allow_rules.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&json_str(r));
+        }
+        s.push_str("]\n}\n");
+        s
+    }
+
+    /// One-line-per-finding human summary for the terminal.
+    pub fn render_text(&self) -> String {
+        let mut s = String::new();
+        for f in &self.findings {
+            let _ = writeln!(
+                s,
+                "{}:{}: [{}] {}\n    {}",
+                f.file, f.line, f.pass, f.message, f.snippet
+            );
+        }
+        for p in &self.passes {
+            let _ = writeln!(
+                s,
+                "pass {:<14} {:>3} finding(s), {:>3} allowlisted",
+                p.pass, p.unsuppressed, p.suppressed
+            );
+        }
+        for r in &self.unused_allow_rules {
+            let _ = writeln!(s, "warning: unused allowlist rule: {r}");
+        }
+        let _ = writeln!(
+            s,
+            "audit: {}",
+            if self.ok() {
+                "PASS"
+            } else {
+                "FAIL (fix the findings or allowlist them with a reason)"
+            }
+        );
+        s
+    }
+}
+
+/// Splits raw findings into suppressed/unsuppressed and tallies passes.
+pub fn build_report(root: &Path, all: Vec<Finding>, allow: &Allowlist) -> AuditReport {
+    use crate::passes::{PASS_CAST_AUDIT, PASS_LINT_GATE, PASS_PANIC_FREEDOM, PASS_UNIT_SAFETY};
+    let mut findings = Vec::new();
+    let mut suppressed = Vec::new();
+    for f in all {
+        match allow.suppression(&f) {
+            Some(rule) => suppressed.push(Suppressed {
+                finding: f,
+                reason: rule.reason.clone(),
+            }),
+            None => findings.push(f),
+        }
+    }
+    let passes = [
+        PASS_UNIT_SAFETY,
+        PASS_PANIC_FREEDOM,
+        PASS_CAST_AUDIT,
+        PASS_LINT_GATE,
+    ]
+    .iter()
+    .map(|&pass| PassStats {
+        pass: pass.to_string(),
+        unsuppressed: findings.iter().filter(|f| f.pass == pass).count(),
+        suppressed: suppressed.iter().filter(|s| s.finding.pass == pass).count(),
+    })
+    .collect();
+    let unused_allow_rules = allow
+        .unused()
+        .iter()
+        .map(|r| {
+            format!(
+                "line {}: {} | {} | {}",
+                r.source_line, r.pass, r.file, r.needle
+            )
+        })
+        .collect();
+    AuditReport {
+        root: root.display().to_string(),
+        passes,
+        findings,
+        suppressed,
+        unused_allow_rules,
+    }
+}
+
+fn finding_json(f: &Finding, reason: Option<&str>) -> String {
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "{{\"pass\": {}, \"file\": {}, \"line\": {}, \"snippet\": {}, \"message\": {}",
+        json_str(&f.pass),
+        json_str(&f.file),
+        f.line,
+        json_str(&f.snippet),
+        json_str(&f.message)
+    );
+    if let Some(r) = reason {
+        let _ = write!(s, ", \"reason\": {}", json_str(r));
+    }
+    s.push('}');
+    s
+}
+
+/// Escapes `v` as a JSON string literal.
+fn json_str(v: &str) -> String {
+    let mut out = String::with_capacity(v.len() + 2);
+    out.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn report_counts_and_ok_flag() {
+        let allow = Allowlist::parse("cast-audit | x.rs | * | checked upstream\n").expect("parses");
+        let all = vec![
+            Finding {
+                pass: "cast-audit".into(),
+                file: "crates/geo/src/x.rs".into(),
+                line: 3,
+                snippet: "let a = (b) as u32;".into(),
+                message: "m".into(),
+            },
+            Finding {
+                pass: "panic-freedom".into(),
+                file: "crates/geo/src/y.rs".into(),
+                line: 9,
+                snippet: "z.unwrap()".into(),
+                message: "m".into(),
+            },
+        ];
+        let r = build_report(Path::new("/tmp/root"), all, &allow);
+        assert!(!r.ok());
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.suppressed.len(), 1);
+        let json = r.to_json();
+        assert!(json.contains("\"unsuppressed_total\": 1"));
+        assert!(json.contains("\"reason\": \"checked upstream\""));
+    }
+}

@@ -1,0 +1,285 @@
+//! Comment/string-aware source scanning.
+//!
+//! The auditor is a *line/token* scanner, not a Rust parser: it blanks
+//! comment bodies and string/char literal contents (preserving the
+//! delimiters) so token searches cannot match prose, and it tracks brace
+//! depth to know which lines live inside a `#[cfg(test)]` module.
+
+use std::path::PathBuf;
+
+/// One scanned line of source.
+#[derive(Debug, Clone)]
+pub struct LineInfo {
+    /// The original text (used for snippets and allowlist matching).
+    pub raw: String,
+    /// The text with comments removed and literal contents blanked.
+    pub code: String,
+    /// Whether the line is inside a `#[cfg(test)]` module body.
+    pub in_test: bool,
+}
+
+/// A scanned source file.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Absolute path on disk.
+    pub path: PathBuf,
+    /// Path relative to the audited root, forward slashes.
+    pub rel: String,
+    /// The `crates/<name>` directory the file belongs to.
+    pub crate_name: String,
+    /// Scanned lines, in order.
+    pub lines: Vec<LineInfo>,
+}
+
+/// Lexer state carried across lines.
+enum Mode {
+    Code,
+    Block { depth: u32 },
+    Str,
+    RawStr { hashes: u32 },
+}
+
+impl SourceFile {
+    /// Scans `text` into sanitized lines with test-module flags.
+    pub fn scan(path: PathBuf, rel: String, crate_name: String, text: &str) -> SourceFile {
+        let sanitized = sanitize(text);
+        let mut lines = Vec::new();
+        // Brace-depth bookkeeping for `#[cfg(test)]` blocks. `pending`
+        // is set when the attribute is seen; the next `{` opens the
+        // test block and records its depth.
+        let mut depth: i64 = 0;
+        let mut pending_test = false;
+        let mut test_depth: Option<i64> = None;
+        for (raw, code) in text.lines().zip(sanitized.lines()) {
+            let started_in_test = test_depth.is_some();
+            if code.contains("#[cfg(test)]") {
+                pending_test = true;
+            }
+            for ch in code.chars() {
+                match ch {
+                    '{' => {
+                        depth += 1;
+                        if pending_test && test_depth.is_none() {
+                            test_depth = Some(depth);
+                            pending_test = false;
+                        }
+                    }
+                    '}' => {
+                        if test_depth == Some(depth) {
+                            test_depth = None;
+                        }
+                        depth -= 1;
+                    }
+                    _ => {}
+                }
+            }
+            lines.push(LineInfo {
+                raw: raw.to_string(),
+                code: code.to_string(),
+                in_test: started_in_test || test_depth.is_some(),
+            });
+        }
+        SourceFile {
+            path,
+            rel,
+            crate_name,
+            lines,
+        }
+    }
+}
+
+/// Returns `text` with comment bodies removed and string/char literal
+/// contents replaced by spaces (delimiters kept). Newlines survive so
+/// line numbers stay aligned with the original.
+pub fn sanitize(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut mode = Mode::Code;
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match mode {
+            Mode::Code => match (c, next) {
+                ('/', Some('/')) => {
+                    // Line comment (incl. doc comments): drop to EOL.
+                    while i < chars.len() && chars[i] != '\n' {
+                        i += 1;
+                    }
+                    continue;
+                }
+                ('/', Some('*')) => {
+                    mode = Mode::Block { depth: 1 };
+                    i += 2;
+                    continue;
+                }
+                ('r', Some('"')) | ('r', Some('#')) if raw_str_at(&chars, i).is_some() => {
+                    let hashes = raw_str_at(&chars, i).unwrap_or(0);
+                    out.push_str("r\"");
+                    i += 2 + hashes as usize;
+                    mode = Mode::RawStr { hashes };
+                    continue;
+                }
+                ('"', _) => {
+                    out.push('"');
+                    mode = Mode::Str;
+                    i += 1;
+                    continue;
+                }
+                ('\'', _) => {
+                    // Char literal vs lifetime: a literal closes with a
+                    // quote within a few chars (`'a'`, `'\n'`, `'\u{7}'`).
+                    if let Some(end) = char_literal_end(&chars, i) {
+                        out.push('\'');
+                        out.push('\'');
+                        i = end + 1;
+                    } else {
+                        out.push('\'');
+                        i += 1;
+                    }
+                    continue;
+                }
+                _ => {
+                    out.push(c);
+                    i += 1;
+                }
+            },
+            Mode::Block { depth } => match (c, next) {
+                ('*', Some('/')) => {
+                    mode = if depth == 1 {
+                        Mode::Code
+                    } else {
+                        Mode::Block { depth: depth - 1 }
+                    };
+                    i += 2;
+                }
+                ('/', Some('*')) => {
+                    mode = Mode::Block { depth: depth + 1 };
+                    i += 2;
+                }
+                ('\n', _) => {
+                    out.push('\n');
+                    i += 1;
+                }
+                _ => {
+                    i += 1;
+                }
+            },
+            Mode::Str => match (c, next) {
+                ('\\', Some(_)) => {
+                    i += 2;
+                }
+                ('"', _) => {
+                    out.push('"');
+                    mode = Mode::Code;
+                    i += 1;
+                }
+                ('\n', _) => {
+                    out.push('\n');
+                    i += 1;
+                }
+                _ => {
+                    i += 1;
+                }
+            },
+            Mode::RawStr { hashes } => {
+                if c == '"' && closes_raw(&chars, i, hashes) {
+                    out.push('"');
+                    i += 1 + hashes as usize;
+                    mode = Mode::Code;
+                } else {
+                    if c == '\n' {
+                        out.push('\n');
+                    }
+                    i += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// If `chars[i..]` starts a raw string (`r"` or `r#…#"`), returns the
+/// hash count; `None` for raw identifiers like `r#fn`.
+fn raw_str_at(chars: &[char], i: usize) -> Option<u32> {
+    debug_assert!(chars[i] == 'r');
+    let mut j = i + 1;
+    let mut hashes = 0u32;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (chars.get(j) == Some(&'"')).then_some(hashes)
+}
+
+/// Whether the `"` at `i` is followed by `hashes` hash marks.
+fn closes_raw(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Index of the closing quote if `chars[i]` opens a char literal.
+fn char_literal_end(chars: &[char], i: usize) -> Option<usize> {
+    debug_assert!(chars[i] == '\'');
+    let mut j = i + 1;
+    if chars.get(j) == Some(&'\\') {
+        // Escape: skip the backslash and scan to the closing quote
+        // (covers \n, \', \u{…}).
+        j += 2;
+        while j < chars.len() && chars[j] != '\'' && j - i < 12 {
+            j += 1;
+        }
+        (chars.get(j) == Some(&'\'')).then_some(j)
+    } else {
+        // Unescaped: exactly one char then a quote, else it's a lifetime.
+        (chars.get(j + 1) == Some(&'\'')).then_some(j + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_comments_and_string_bodies() {
+        let src =
+            "let a = 1; // call .unwrap() here\nlet s = \".unwrap()\";\n/* panic!( */ let b = 2;\n";
+        let out = sanitize(src);
+        assert!(!out.contains("unwrap"));
+        assert!(!out.contains("panic"));
+        assert!(out.contains("let a = 1;"));
+        assert!(out.contains("let b = 2;"));
+        assert_eq!(out.matches('\n').count(), src.matches('\n').count());
+    }
+
+    #[test]
+    fn keeps_lifetimes_but_blanks_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }\n";
+        let out = sanitize(src);
+        assert!(out.contains("<'a>"));
+        assert!(out.contains("&'a str"));
+        assert!(!out.contains("'x'"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let src = "let s = r#\"no .expect( inside\"#; let t = 3;\n";
+        let out = sanitize(src);
+        assert!(!out.contains("expect"));
+        assert!(out.contains("let t = 3;"));
+    }
+
+    #[test]
+    fn cfg_test_module_lines_are_flagged() {
+        let src = "pub fn a() { b.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\npub fn c() {}\n";
+        let f = SourceFile::scan(PathBuf::from("x.rs"), "x.rs".into(), "geo".into(), src);
+        let flags: Vec<bool> = f.lines.iter().map(|l| l.in_test).collect();
+        assert_eq!(flags, vec![false, false, true, true, true, false]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let out = sanitize("/* a /* b */ c */ let x = 1;\n");
+        assert!(out.contains("let x = 1;"));
+        assert!(!out.contains('a'));
+    }
+}

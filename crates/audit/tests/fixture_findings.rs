@@ -1,0 +1,110 @@
+//! The audit engine against a known-bad fixture workspace: exact
+//! finding counts, allowlist suppression, and binary exit codes.
+
+use magus_audit::{run_audit, Allowlist};
+use std::path::{Path, PathBuf};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/bad")
+}
+
+fn count(report: &magus_audit::AuditReport, pass: &str) -> (usize, usize) {
+    let p = report
+        .passes
+        .iter()
+        .find(|p| p.pass == pass)
+        .unwrap_or_else(|| panic!("pass {pass} missing from report"));
+    (p.unsuppressed, p.suppressed)
+}
+
+#[test]
+fn bad_fixture_yields_exact_finding_counts() {
+    let report = run_audit(&fixture_root(), &Allowlist::empty()).expect("audit runs");
+    assert_eq!(count(&report, "unit-safety"), (3, 0), "{report:#?}");
+    assert_eq!(count(&report, "panic-freedom"), (3, 0), "{report:#?}");
+    assert_eq!(count(&report, "cast-audit"), (2, 0), "{report:#?}");
+    assert_eq!(count(&report, "lint-gate"), (5, 0), "{report:#?}");
+    assert!(!report.ok());
+    assert_eq!(report.findings.len(), 13);
+}
+
+#[test]
+fn fixture_findings_point_at_the_right_lines() {
+    let report = run_audit(&fixture_root(), &Allowlist::empty()).expect("audit runs");
+    let at = |pass: &str, line: usize| {
+        report
+            .findings
+            .iter()
+            .filter(|f| f.pass == pass && f.line == line && f.file.ends_with("geo/src/lib.rs"))
+            .count()
+    };
+    // Both bare-f64 unit params of `rx_power` sit on the signature line.
+    assert_eq!(at("unit-safety", 6), 2);
+    // The multi-line `blend` signature is attributed to its first line.
+    assert_eq!(at("unit-safety", 11), 1);
+    // `panic!`, then `unwrap` + `expect` on one line.
+    assert_eq!(at("panic-freedom", 23), 1);
+    assert_eq!(at("panic-freedom", 25), 2);
+    // The two computed narrowings.
+    assert_eq!(at("cast-audit", 30), 1);
+    assert_eq!(at("cast-audit", 31), 1);
+    // Nothing from the cfg(test) module (lines 36+) or from the
+    // panic-exempt cli crate's code.
+    assert!(report.findings.iter().all(|f| {
+        !(f.file.ends_with("geo/src/lib.rs") && f.line >= 36)
+            && !(f.pass == "panic-freedom" && f.file.contains("cli"))
+            && !(f.pass == "cast-audit" && f.file.contains("cli"))
+    }));
+}
+
+#[test]
+fn allowlist_suppresses_and_reports_stale_rules() {
+    let allow = Allowlist::parse(
+        "panic-freedom | geo/src/lib.rs | * | fixture: panics accepted for this test\n\
+         cast-audit | geo/src/lib.rs | (a * b) as u32 | fixture: checked upstream\n\
+         unit-safety | no/such/file.rs | * | fixture: stale rule\n",
+    )
+    .expect("allowlist parses");
+    let report = run_audit(&fixture_root(), &allow).expect("audit runs");
+    assert_eq!(count(&report, "panic-freedom"), (0, 3));
+    assert_eq!(count(&report, "cast-audit"), (1, 1));
+    assert_eq!(count(&report, "unit-safety"), (3, 0));
+    assert_eq!(report.unused_allow_rules.len(), 1, "{report:#?}");
+    assert!(report.unused_allow_rules[0].contains("no/such/file.rs"));
+    assert!(!report.ok(), "unit-safety and lint-gate findings remain");
+    // Reasons ride along into the report and its JSON form.
+    assert!(report
+        .suppressed
+        .iter()
+        .any(|s| s.reason.contains("checked upstream")));
+    assert!(report
+        .to_json()
+        .contains("\"reason\": \"fixture: checked upstream\""));
+}
+
+#[test]
+fn binary_exits_nonzero_on_fixture_and_writes_json() {
+    let out_dir = std::env::temp_dir().join("magus-audit-fixture-test");
+    std::fs::create_dir_all(&out_dir).expect("temp dir");
+    let json = out_dir.join("report.json");
+    let status = std::process::Command::new(env!("CARGO_BIN_EXE_magus-audit"))
+        .args(["check", "--root"])
+        .arg(fixture_root())
+        .arg("--json")
+        .arg(&json)
+        .output()
+        .expect("binary runs");
+    assert_eq!(status.status.code(), Some(1), "{status:?}");
+    let text = std::fs::read_to_string(&json).expect("report written");
+    assert!(text.contains("\"ok\": false"));
+    assert!(text.contains("\"unsuppressed_total\": 13"));
+}
+
+#[test]
+fn binary_rejects_bad_usage() {
+    let status = std::process::Command::new(env!("CARGO_BIN_EXE_magus-audit"))
+        .arg("frobnicate")
+        .output()
+        .expect("binary runs");
+    assert_eq!(status.status.code(), Some(2));
+}

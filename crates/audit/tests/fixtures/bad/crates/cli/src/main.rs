@@ -1,0 +1,10 @@
+// Fixture binary crate. `cli` is panic-exempt and not a cast-audit
+// crate, so none of the lines below may produce findings; only the
+// missing #![forbid(unsafe_code)] and lints inheritance are flagged.
+
+fn main() {
+    let v: Option<u32> = Some(1);
+    println!("{}", v.unwrap());
+    let x = (1.5f64 * 2.0) as u32;
+    println!("{x}");
+}

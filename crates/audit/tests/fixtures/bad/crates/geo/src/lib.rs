@@ -1,0 +1,45 @@
+// Fixture library crate. Deliberately violates every pass; the
+// integration test asserts the exact finding set. Missing
+// #![forbid(unsafe_code)] is itself one of the violations.
+
+/// unit-safety: two bare-f64 unit parameters (one per line pattern).
+pub fn rx_power(power_dbm: f64, margin_db: f64) -> f64 {
+    power_dbm - margin_db
+}
+
+/// unit-safety: multi-line signature with one flagged parameter.
+pub fn blend(
+    weight: f64,
+    path_loss_db: f64,
+) -> f64 {
+    weight * path_loss_db
+}
+
+/// panic-freedom: one unwrap, one expect, one panic.
+pub fn risky(v: Option<u32>) -> u32 {
+    // A comment mentioning .unwrap() must not be flagged.
+    let s = "a string mentioning .expect( must not be flagged";
+    if s.is_empty() {
+        panic!("empty");
+    }
+    v.unwrap() + v.expect("present")
+}
+
+/// cast-audit: two computed narrowings; the widening rebind is fine.
+pub fn narrow(a: f64, b: f64, i: u16) -> usize {
+    let x = (a * b) as u32;
+    let y = [1u8, 2][x as usize % 2] as i32;
+    let ok = i as usize; // plain identifier widening: not flagged
+    x as usize + y as usize + ok
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_panic() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        let loss_db: f64 = 3.0;
+        assert!((loss_db * 2.0) as u32 == 6);
+    }
+}

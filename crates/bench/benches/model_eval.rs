@@ -48,14 +48,17 @@ fn bench_model(c: &mut Criterion) {
         let n = state.num_grids();
         b.iter(|| {
             i = (i + 97) % n;
-            black_box(ev.hypothetical_rmax(&state, i, neighbor.0, 2.0))
+            black_box(ev.hypothetical_rmax(&state, i, neighbor.0, Db(2.0)))
         })
     });
     // Tilt changes sweep the same window but with a matrix swap.
     c.bench_function("model/incremental_tilt_change", |b| {
         b.iter(|| {
             let cur = state.config().sector(neighbor).tilt;
-            let undo = ev.apply(&mut state, ConfigChange::SetTilt(neighbor, cur.saturating_sub(1)));
+            let undo = ev.apply(
+                &mut state,
+                ConfigChange::SetTilt(neighbor, cur.saturating_sub(1)),
+            );
             ev.undo(&mut state, undo);
         })
     });

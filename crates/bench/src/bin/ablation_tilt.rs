@@ -47,7 +47,9 @@ fn main() {
             let tilted = store.matrix(s, tilt);
             let site = store.site(s);
             for (c, l_nom) in nominal.iter() {
-                let Some(l_tilt) = tilted.get(c) else { continue };
+                let Some(l_tilt) = tilted.get(c) else {
+                    continue;
+                };
                 let true_delta = l_tilt.0 - l_nom.0;
                 let d = spec.center_of(c).distance(site.position);
                 let approx = store.approx_tilt_delta_db(d, NOMINAL_TILT_INDEX, tilt).0;

@@ -10,11 +10,10 @@
 //! floor; the ordering and the interference insight must hold.
 
 use magus_bench::write_artifact;
-use magus_testbed::{
-    figure2_timeline, optimize_attenuations, scenario1, scenario2, Scenario, SimTime,
-    TimelineKind,
-};
 use magus_testbed::sim::SimConfig;
+use magus_testbed::{
+    figure2_timeline, optimize_attenuations, scenario1, scenario2, Scenario, SimTime, TimelineKind,
+};
 
 fn run_scenario(s: &Scenario) {
     let cfg = SimConfig::default();
@@ -37,13 +36,11 @@ fn run_scenario(s: &Scenario) {
     );
 
     let traces = figure2_timeline(s, &cfg, SimTime::from_secs(3), SimTime::from_secs(9));
-    println!("\n{:>8} {:>12} {:>12} {:>12}", "t (s)", "proactive", "reactive", "no-tuning");
-    let find = |k: TimelineKind| {
-        traces
-            .iter()
-            .find(|t| t.kind == k)
-            .expect("trace present")
-    };
+    println!(
+        "\n{:>8} {:>12} {:>12} {:>12}",
+        "t (s)", "proactive", "reactive", "no-tuning"
+    );
+    let find = |k: TimelineKind| traces.iter().find(|t| t.kind == k).expect("trace present");
     let (p, r, nt) = (
         find(TimelineKind::Proactive),
         find(TimelineKind::Reactive),
@@ -60,7 +57,10 @@ fn run_scenario(s: &Scenario) {
         p.f_before, p.f_after, p.f_upgrade
     );
     write_artifact(
-        &format!("fig02_{}", s.label.split_whitespace().next().unwrap_or("scen")),
+        &format!(
+            "fig02_{}",
+            s.label.split_whitespace().next().unwrap_or("scen")
+        ),
         &traces,
     );
 }

@@ -32,7 +32,10 @@ fn main() {
     let map = GridMap::from_vec(sub, mat.values().iter().map(|&v| v as f64).collect());
     let (lo, hi) = map.finite_range().expect("finite losses");
 
-    println!("Figure 3 — path loss of sector {} (suburban market)", center.0);
+    println!(
+        "Figure 3 — path loss of sector {} (suburban market)",
+        center.0
+    );
     println!(
         "window {}x{} cells, loss range {:.0} dB … {:.0} dB (paper: −20 … −200 dB)\n",
         w.x1 - w.x0,

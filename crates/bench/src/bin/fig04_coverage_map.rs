@@ -51,5 +51,7 @@ fn main() {
     )
     .expect("write PPM");
     println!("\nfull-resolution map: {}", path.display());
-    println!("Same-letter blobs = one serving sector; '.' = below display threshold (coverage hole).");
+    println!(
+        "Same-letter blobs = one serving sector; '.' = below display threshold (coverage hole)."
+    );
 }

@@ -43,7 +43,10 @@ fn main() {
         }
     }
 
-    println!("Figure 7 — signal change vs baseline, sector {} (suburban)", id.0);
+    println!(
+        "Figure 7 — signal change vs baseline, sector {} (suburban)",
+        id.0
+    );
     println!(
         "\n{:>14} {:>22} {:>22}",
         "distance band", "(b) +6 dB power", "(c) 2° uptilt"

@@ -28,7 +28,7 @@ fn main() {
     for area in AreaType::ALL {
         for (k, &seed) in AREA_SEEDS.iter().enumerate() {
             let market = build_market(area, seed, scale);
-            let interferers = market.interfering_sector_count(noise, -6.0);
+            let interferers = market.interfering_sector_count(noise, Db(-6.0));
             let mut coverage = f64::NAN;
             // Render the first replica of each type.
             if k == 0 {

@@ -48,8 +48,15 @@ fn main() {
             {
                 use std::fmt::Write as _;
                 let d = &mut details;
-                let _ = writeln!(d, "\nFigure 11 — gradual tuning schedule (suburban, scenario (a))\n");
-                let _ = writeln!(d, "f(C_before) = {:.1}   floor f(C_after) = {:.1}\n", plan.f_before, plan.f_after);
+                let _ = writeln!(
+                    d,
+                    "\nFigure 11 — gradual tuning schedule (suburban, scenario (a))\n"
+                );
+                let _ = writeln!(
+                    d,
+                    "f(C_before) = {:.1}   floor f(C_after) = {:.1}\n",
+                    plan.f_before, plan.f_after
+                );
                 let _ = writeln!(
                     d,
                     "{:>4} {:>12} {:>12} {:>12} {:>6}",

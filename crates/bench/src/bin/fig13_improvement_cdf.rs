@@ -68,7 +68,10 @@ fn main() {
         .map(|s| s.improvement_ratio)
         .filter(|r| r.is_finite())
         .collect();
-    println!("\nFigure 13 — improvement ratio CDF (Magus / naive), {} scenarios\n", samples.len());
+    println!(
+        "\nFigure 13 — improvement ratio CDF (Magus / naive), {} scenarios\n",
+        samples.len()
+    );
     println!("{:>10} {:>8}", "ratio", "CDF");
     for (v, f) in cdf(&finite) {
         println!("{v:>10.3} {f:>8.2}");

@@ -14,6 +14,8 @@
 //!   written as JSON under `target/magus-results/` so EXPERIMENTS.md can
 //!   cite exact numbers.
 
+#![forbid(unsafe_code)]
+
 use magus_net::{AreaType, Market, MarketParams};
 use serde::Serialize;
 use std::path::PathBuf;
@@ -204,8 +206,7 @@ pub fn map_markets_parallel<T: Send>(
             scope.spawn(move |_| {
                 while let Ok((i, area, seed)) = rx.recv() {
                     let market = build_market(area, seed, scale);
-                    let model =
-                        magus_model::standard_setup(&market, magus_lte::Bandwidth::Mhz10);
+                    let model = magus_model::standard_setup(&market, magus_lte::Bandwidth::Mhz10);
                     let out = f(area, seed, &market, &model);
                     slots_mutex.lock().expect("slots lock")[i] = Some((area, seed, out));
                 }

@@ -96,7 +96,9 @@ impl Args {
         match self.get("utility").unwrap_or("performance") {
             "performance" => Ok(UtilityKind::Performance),
             "coverage" => Ok(UtilityKind::Coverage),
-            other => Err(format!("invalid --utility `{other}` (performance|coverage)")),
+            other => Err(format!(
+                "invalid --utility `{other}` (performance|coverage)"
+            )),
         }
     }
 
@@ -130,7 +132,15 @@ mod tests {
 
     #[test]
     fn values_and_flags() {
-        let a = parse(&["--area", "urban", "--seed", "7", "--json", "--scenario", "b"]);
+        let a = parse(&[
+            "--area",
+            "urban",
+            "--seed",
+            "7",
+            "--json",
+            "--scenario",
+            "b",
+        ]);
         assert_eq!(a.area().unwrap(), AreaType::Urban);
         assert_eq!(a.seed().unwrap(), 7);
         assert!(a.json());

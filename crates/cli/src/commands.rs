@@ -1,10 +1,8 @@
 //! The CLI commands, each a thin orchestration over the library API.
 
 use crate::args::Args;
-use magus_core::{
-    plan_gradual, prepare_scenario, ExperimentConfig, GradualParams, OutagePlaybook,
-};
-use magus_geo::PointM;
+use magus_core::{plan_gradual, prepare_scenario, ExperimentConfig, GradualParams, OutagePlaybook};
+use magus_geo::{Db, PointM};
 use magus_lte::Bandwidth;
 use magus_model::{standard_setup, ServiceMap, StandardModel, UtilityKind};
 use magus_net::{Market, MarketParams};
@@ -30,7 +28,10 @@ fn market_params(args: &Args) -> Result<MarketParams, String> {
 
 fn build(args: &Args) -> Result<(Market, StandardModel), String> {
     let params = market_params(args)?;
-    eprintln!("generating {} market (seed {})…", params.area_type, params.seed);
+    eprintln!(
+        "generating {} market (seed {})…",
+        params.area_type, params.seed
+    );
     let market = Market::generate(params);
     let model = standard_setup(&market, Bandwidth::Mhz10);
     Ok((market, model))
@@ -42,7 +43,7 @@ pub fn market(args: &Args) -> Result<(), String> {
     let state = model.nominal_state();
     let map = ServiceMap::capture(&model.evaluator, &state);
     let noise = magus_model::setup::noise_for(Bandwidth::Mhz10);
-    let interferers = market.interfering_sector_count(noise, 6.0);
+    let interferers = market.interfering_sector_count(noise, Db(6.0));
     if args.json() {
         println!(
             "{}",
@@ -94,8 +95,14 @@ pub fn evaluate(args: &Args) -> Result<(), String> {
     } else {
         println!("performance utility  {perf:.1}");
         println!("coverage utility     {cov:.1} UEs in service");
-        println!("covered grids        {:.1}%", map.coverage_fraction() * 100.0);
-        println!("total UEs            {:.0}", model.evaluator.ue_layer().total());
+        println!(
+            "covered grids        {:.1}%",
+            map.coverage_fraction() * 100.0
+        );
+        println!(
+            "total UEs            {:.0}",
+            model.evaluator.ue_layer().total()
+        );
     }
     Ok(())
 }
@@ -133,7 +140,10 @@ pub fn mitigate(args: &Args) -> Result<(), String> {
         );
         println!("neighbors        {}", out.neighbors.len());
         println!("f(C_before)      {:.1}", out.before.get(cfg.search.utility));
-        println!("f(C_upgrade)     {:.1}", out.upgrade.get(cfg.search.utility));
+        println!(
+            "f(C_upgrade)     {:.1}",
+            out.upgrade.get(cfg.search.utility)
+        );
         println!("f(C_after)       {:.1}", out.after.get(cfg.search.utility));
         println!("recovery ratio   {:.1}%", recovery * 100.0);
         println!("changes to push:");
@@ -160,7 +170,10 @@ pub fn gradual(args: &Args) -> Result<(), String> {
         &GradualParams::default(),
     );
     if args.json() {
-        println!("{}", serde_json::to_string_pretty(&plan).expect("serialize plan"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&plan).expect("serialize plan")
+        );
         return Ok(());
     }
     println!(
@@ -199,13 +212,8 @@ pub fn playbook(args: &Args) -> Result<(), String> {
         "precomputing playbook for {} sectors of the central station…",
         station.sectors.len()
     );
-    let playbook = OutagePlaybook::precompute(
-        &model,
-        &market,
-        &station.sectors,
-        args.tuning()?,
-        &cfg,
-    );
+    let playbook =
+        OutagePlaybook::precompute(&model, &market, &station.sectors, args.tuning()?, &cfg);
     let mut rows = Vec::new();
     for s in &station.sectors {
         let entry = playbook.lookup(*s).expect("precomputed entry");
@@ -234,7 +242,10 @@ pub fn playbook(args: &Args) -> Result<(), String> {
 /// `magus export-db`
 pub fn export_db(args: &Args) -> Result<(), String> {
     let params = market_params(args)?;
-    eprintln!("generating {} market (seed {})…", params.area_type, params.seed);
+    eprintln!(
+        "generating {} market (seed {})…",
+        params.area_type, params.seed
+    );
     let market = Market::generate(params);
     let blob = magus_propagation::encode_store(market.store());
     let path = args.out("pathloss.mpl");
@@ -269,7 +280,10 @@ pub fn inspect_db(args: &Args) -> Result<(), String> {
             "  analysis     {}x{} cells of {:.0} m",
             spec.width, spec.height, spec.cell_size
         );
-        println!("  size         {:.1} MiB", blob.len() as f64 / (1024.0 * 1024.0));
+        println!(
+            "  size         {:.1} MiB",
+            blob.len() as f64 / (1024.0 * 1024.0)
+        );
         // Spot-check one matrix to prove the blob is usable.
         let m = store.matrix(0, magus_propagation::NOMINAL_TILT_INDEX);
         println!(

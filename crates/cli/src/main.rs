@@ -14,6 +14,8 @@
 //! (two dozen lines) to keep the workspace's dependency set at the
 //! project baseline.
 
+#![forbid(unsafe_code)]
+
 mod args;
 mod commands;
 

@@ -158,7 +158,11 @@ mod tests {
         assert!((0.0..=2.0).contains(&out.predicted_recovery));
         // Polish reaches (at least) the quality of a from-scratch
         // feedback run — the hybrid loses nothing.
-        assert!(out.polished_score >= 0.95, "polished {}", out.polished_score);
+        assert!(
+            out.polished_score >= 0.95,
+            "polished {}",
+            out.polished_score
+        );
     }
 
     #[test]

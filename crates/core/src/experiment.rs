@@ -18,8 +18,7 @@
 
 use crate::hillclimb::{hill_climb, HillClimbParams};
 use crate::tuning::{
-    joint_search, naive_search, power_search, tilt_search, SearchOutcome, SearchParams,
-    TuningKind,
+    joint_search, naive_search, power_search, tilt_search, SearchOutcome, SearchParams, TuningKind,
 };
 use magus_lte::Bandwidth;
 use magus_model::{setup::standard_setup, Evaluator, ModelState, StandardModel, UtilityKind};
@@ -119,11 +118,7 @@ impl RecoveryOutcome {
 
 /// The neighbor set **B** for a target list: on-air sectors within
 /// `radius` of any target, excluding the targets themselves.
-pub fn neighbor_set(
-    ev: &Evaluator,
-    targets: &[SectorId],
-    radius_m: f64,
-) -> Vec<SectorId> {
+pub fn neighbor_set(ev: &Evaluator, targets: &[SectorId], radius_m: f64) -> Vec<SectorId> {
     let net = ev.network();
     let mut out: Vec<SectorId> = Vec::new();
     for &t in targets {
@@ -168,7 +163,12 @@ pub fn prepare_scenario(
     scenario: UpgradeScenario,
     cfg: &ExperimentConfig,
 ) -> PreparedScenario {
-    prepare_scenario_for_targets(sm, market, magus_net::upgrade_targets(market, scenario), cfg)
+    prepare_scenario_for_targets(
+        sm,
+        market,
+        magus_net::upgrade_targets(market, scenario),
+        cfg,
+    )
 }
 
 /// Prepares an arbitrary target set (used by the outage playbook, where
@@ -221,9 +221,13 @@ impl PreparedScenario {
         let ev = &sm.evaluator;
         let mut state = self.upgraded.clone();
         let search = match tuning {
-            TuningKind::Power => {
-                power_search(ev, &mut state, &self.reference, &self.neighbors, &cfg.search)
-            }
+            TuningKind::Power => power_search(
+                ev,
+                &mut state,
+                &self.reference,
+                &self.neighbors,
+                &cfg.search,
+            ),
             TuningKind::Tilt => {
                 tilt_search(ev, &mut state, &self.targets, &self.neighbors, &cfg.search)
             }

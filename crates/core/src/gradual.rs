@@ -340,7 +340,11 @@ mod tests {
             UeLayer::constant(spec, 1.0),
         );
         let serving = probe.serving_map(&probe.initial_state(&nominal));
-        let totals: Vec<f64> = network.sectors().iter().map(|s| s.nominal_ue_count).collect();
+        let totals: Vec<f64> = network
+            .sectors()
+            .iter()
+            .map(|s| s.nominal_ue_count)
+            .collect();
         let ue = UeLayer::uniform_per_sector(spec, &serving, &totals);
         (
             Evaluator::new(store, network, RateMapper::new(Bandwidth::Mhz10), noise, ue),
@@ -366,7 +370,13 @@ mod tests {
     fn gradual_never_dips_below_f_after() {
         let (ev, before) = fixture();
         let after = after_config(&ev, &before);
-        let out = plan_gradual(&ev, &before, &after, &[SectorId(1)], &GradualParams::default());
+        let out = plan_gradual(
+            &ev,
+            &before,
+            &after,
+            &[SectorId(1)],
+            &GradualParams::default(),
+        );
         for (k, step) in out.steps.iter().enumerate() {
             assert!(
                 step.utility >= out.f_after - 1e-6,
@@ -381,7 +391,13 @@ mod tests {
     fn gradual_spreads_handovers() {
         let (ev, before) = fixture();
         let after = after_config(&ev, &before);
-        let out = plan_gradual(&ev, &before, &after, &[SectorId(1)], &GradualParams::default());
+        let out = plan_gradual(
+            &ev,
+            &before,
+            &after,
+            &[SectorId(1)],
+            &GradualParams::default(),
+        );
         assert!(out.steps.len() > 1, "should take multiple steps");
         assert!(
             out.max_simultaneous <= out.direct.handovers + 1e-9,
@@ -396,21 +412,36 @@ mod tests {
     fn gradual_improves_seamless_fraction() {
         let (ev, before) = fixture();
         let after = after_config(&ev, &before);
-        let out = plan_gradual(&ev, &before, &after, &[SectorId(1)], &GradualParams::default());
+        let out = plan_gradual(
+            &ev,
+            &before,
+            &after,
+            &[SectorId(1)],
+            &GradualParams::default(),
+        );
         assert!(
             out.seamless_fraction >= out.direct.seamless_fraction - 1e-9,
             "gradual seamless {} vs direct {}",
             out.seamless_fraction,
             out.direct.seamless_fraction
         );
-        assert!(out.seamless_fraction > 0.5, "most handovers should be seamless");
+        assert!(
+            out.seamless_fraction > 0.5,
+            "most handovers should be seamless"
+        );
     }
 
     #[test]
     fn final_configuration_is_c_after() {
         let (ev, before) = fixture();
         let after = after_config(&ev, &before);
-        let out = plan_gradual(&ev, &before, &after, &[SectorId(1)], &GradualParams::default());
+        let out = plan_gradual(
+            &ev,
+            &before,
+            &after,
+            &[SectorId(1)],
+            &GradualParams::default(),
+        );
         // Replay the schedule and confirm we land exactly on C_after.
         let mut state = ev.initial_state(&before);
         for step in &out.steps {
@@ -426,6 +457,12 @@ mod tests {
     fn rejects_after_config_with_targets_on_air() {
         let (ev, before) = fixture();
         let after = before.clone(); // targets still on-air: invalid
-        plan_gradual(&ev, &before, &after, &[SectorId(1)], &GradualParams::default());
+        plan_gradual(
+            &ev,
+            &before,
+            &after,
+            &[SectorId(1)],
+            &GradualParams::default(),
+        );
     }
 }

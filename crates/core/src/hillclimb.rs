@@ -69,8 +69,8 @@ pub fn hill_climb(
             }
             let mut candidates: Vec<ConfigChange> =
                 vec![ConfigChange::PowerDelta(s, Db(params.step_db))];
-            let floor = ev.network().sector(s).nominal_power.0
-                - params.power_floor_below_nominal_db;
+            let floor =
+                ev.network().sector(s).nominal_power.0 - params.power_floor_below_nominal_db;
             if sc.power.0 - params.step_db >= floor {
                 candidates.push(ConfigChange::PowerDelta(s, Db(-params.step_db)));
             }
@@ -131,7 +131,10 @@ mod tests {
                 },
             )
         };
-        let network = Arc::new(Network::new(vec![mk(0, -1_000.0, 90.0), mk(1, 1_000.0, 270.0)]));
+        let network = Arc::new(Network::new(vec![
+            mk(0, -1_000.0, 90.0),
+            mk(1, 1_000.0, 270.0),
+        ]));
         let store = Arc::new(PathLossStore::build(
             spec,
             network.sites(),
@@ -195,8 +198,9 @@ mod tests {
                 ..HillClimbParams::default()
             },
         );
-        assert!(moves
-            .iter()
-            .all(|m| matches!(m, ConfigChange::PowerDelta(_, _) | ConfigChange::SetPower(_, _))));
+        assert!(moves.iter().all(|m| matches!(
+            m,
+            ConfigChange::PowerDelta(_, _) | ConfigChange::SetPower(_, _)
+        )));
     }
 }

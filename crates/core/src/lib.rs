@@ -25,30 +25,31 @@
 //!   Table 2 and Figure 13, including the recovery-ratio metric
 //!   (Formula 7).
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod divergence;
 pub mod experiment;
-pub mod playbook;
 pub mod gradual;
 pub mod hillclimb;
+pub mod playbook;
 pub mod strategy;
 pub mod tuning;
 
-pub use experiment::{
-    neighbor_set, prepare_scenario, prepare_scenario_for_targets, run_naive_recovery,
-    run_recovery, run_recovery_with, ExperimentConfig, PreparedScenario, RecoveryOutcome,
-    UtilityReadings,
-};
-pub use playbook::{OutagePlaybook, PlaybookEntry};
 pub use divergence::{model_divergence, DivergenceOutcome};
+pub use experiment::{
+    neighbor_set, prepare_scenario, prepare_scenario_for_targets, run_naive_recovery, run_recovery,
+    run_recovery_with, ExperimentConfig, PreparedScenario, RecoveryOutcome, UtilityReadings,
+};
 pub use gradual::{plan_gradual, DirectOutcome, GradualOutcome, GradualParams, GradualStep};
 pub use hillclimb::{hill_climb, HillClimbParams};
+pub use playbook::{OutagePlaybook, PlaybookEntry};
 pub use strategy::{
     hybrid_model_feedback, reactive_feedback, strategy_traces, FeedbackMode, FeedbackOutcome,
     StrategyKind, TraceSet,
 };
 pub use tuning::{
-    joint_search, naive_search, power_search, tilt_search, SearchOutcome, SearchParams,
-    TuningKind,
+    joint_search, naive_search, power_search, tilt_search, SearchOutcome, SearchParams, TuningKind,
 };
 
 /// Single-import surface.

@@ -96,8 +96,7 @@ mod tests {
         // Precompute for the scenario-(a) target, then compare with an
         // on-demand run.
         let target = magus_net::upgrade_targets(&market, UpgradeScenario::SingleCentralSector)[0];
-        let playbook =
-            OutagePlaybook::precompute(&sm, &market, &[target], TuningKind::Power, &cfg);
+        let playbook = OutagePlaybook::precompute(&sm, &market, &[target], TuningKind::Power, &cfg);
         assert_eq!(playbook.len(), 1);
         let entry = playbook.lookup(target).expect("entry present");
         let on_demand = crate::experiment::run_recovery_with(
@@ -133,8 +132,7 @@ mod tests {
             .nearest_base_station(magus_geo::PointM::new(0.0, 0.0))
             .expect("base stations exist");
         let sectors = bs.sectors.clone();
-        let playbook =
-            OutagePlaybook::precompute(&sm, &market, &sectors, TuningKind::Power, &cfg);
+        let playbook = OutagePlaybook::precompute(&sm, &market, &sectors, TuningKind::Power, &cfg);
         assert_eq!(playbook.len(), sectors.len());
         for s in sectors {
             let e = playbook.lookup(s).expect("entry");

@@ -208,7 +208,13 @@ pub fn strategy_traces(
     let f_upgrade = fb_state.utility(params.utility);
     let f_after = ev.initial_state(after).utility(params.utility);
 
-    let fb = reactive_feedback(ev, &mut fb_state, neighbors, params, FeedbackMode::Idealized);
+    let fb = reactive_feedback(
+        ev,
+        &mut fb_state,
+        neighbors,
+        params,
+        FeedbackMode::Idealized,
+    );
     let horizon = (fb.trace.len() + 2).max(8);
 
     let pad = |mut v: Vec<f64>, n: usize| {
@@ -224,7 +230,10 @@ pub fn strategy_traces(
             StrategyKind::ReactiveModel,
             pad(vec![f_upgrade, f_after], horizon),
         ),
-        (StrategyKind::ReactiveFeedback, pad(fb.trace.clone(), horizon)),
+        (
+            StrategyKind::ReactiveFeedback,
+            pad(fb.trace.clone(), horizon),
+        ),
         (StrategyKind::NoTuning, pad(vec![f_upgrade], horizon)),
     ];
     TraceSet {
@@ -291,7 +300,11 @@ mod tests {
             UeLayer::constant(spec, 1.0),
         );
         let serving = probe.serving_map(&probe.initial_state(&nominal));
-        let totals: Vec<f64> = network.sectors().iter().map(|s| s.nominal_ue_count).collect();
+        let totals: Vec<f64> = network
+            .sectors()
+            .iter()
+            .map(|s| s.nominal_ue_count)
+            .collect();
         let ue = UeLayer::uniform_per_sector(spec, &serving, &totals);
         (
             Evaluator::new(store, network, RateMapper::new(Bandwidth::Mhz10), noise, ue),

@@ -18,9 +18,9 @@
 //!   neighbor until utility worsens, then the second, and so on — no
 //!   affected-grid gating, no global argmax.
 
+use magus_geo::Db;
 use magus_model::{Evaluator, ModelState, UtilityKind};
 use magus_net::{ConfigChange, SectorId};
-use magus_geo::Db;
 use serde::{Deserialize, Serialize};
 
 /// Which tuning family to run (Table 1's three rows).
@@ -106,7 +106,7 @@ pub fn order_by_proximity(
             .map(|&t| net.sector(t).site.position.distance(p))
             .fold(f64::INFINITY, f64::min)
     };
-    out.sort_by(|&a, &b| dist(a).partial_cmp(&dist(b)).expect("finite distances"));
+    out.sort_by(|&a, &b| dist(a).total_cmp(&dist(b)));
     out
 }
 
@@ -154,7 +154,7 @@ pub fn power_search(
                 if !window.contains(c) {
                     return false;
                 }
-                ev.hypothetical_rmax(state, gi as usize, b.0, t) > state.rmax_bps(gi as usize)
+                ev.hypothetical_rmax(state, gi as usize, b.0, Db(t)) > state.rmax_bps(gi as usize)
             });
             if improves {
                 beta.push(b);
@@ -365,7 +365,11 @@ mod tests {
         );
         let nominal = Configuration::nominal(&network);
         let serving = probe.serving_map(&probe.initial_state(&nominal));
-        let totals: Vec<f64> = network.sectors().iter().map(|s| s.nominal_ue_count).collect();
+        let totals: Vec<f64> = network
+            .sectors()
+            .iter()
+            .map(|s| s.nominal_ue_count)
+            .collect();
         let ue = UeLayer::uniform_per_sector(spec, &serving, &totals);
         (
             Evaluator::new(store, network, RateMapper::new(Bandwidth::Mhz10), noise, ue),
@@ -478,7 +482,14 @@ mod tests {
         let tilt = tilt_search(&ev, &mut s_tilt, &[SectorId(1)], &neighbors, &params);
 
         let (reference, mut s_joint) = take_down(&ev, &config);
-        let joint = joint_search(&ev, &mut s_joint, &reference, &[SectorId(1)], &neighbors, &params);
+        let joint = joint_search(
+            &ev,
+            &mut s_joint,
+            &reference,
+            &[SectorId(1)],
+            &neighbors,
+            &params,
+        );
 
         assert!(joint.utility >= tilt.utility - 1e-9);
         // Joint is not guaranteed ≥ power in every topology, but must at
@@ -516,8 +527,20 @@ mod tests {
         let f_upgrade = state.utility(UtilityKind::Performance);
         for out in [
             power_search(&ev, &mut state, &reference, &[], &SearchParams::default()),
-            tilt_search(&ev, &mut state, &[SectorId(1)], &[], &SearchParams::default()),
-            naive_search(&ev, &mut state, &[SectorId(1)], &[], &SearchParams::default()),
+            tilt_search(
+                &ev,
+                &mut state,
+                &[SectorId(1)],
+                &[],
+                &SearchParams::default(),
+            ),
+            naive_search(
+                &ev,
+                &mut state,
+                &[SectorId(1)],
+                &[],
+                &SearchParams::default(),
+            ),
         ] {
             assert!(out.steps.is_empty());
             assert_eq!(out.utility, f_upgrade);
@@ -532,7 +555,13 @@ mod tests {
             max_changes: 0,
             ..SearchParams::default()
         };
-        let out = power_search(&ev, &mut state, &reference, &[SectorId(0), SectorId(2)], &params);
+        let out = power_search(
+            &ev,
+            &mut state,
+            &reference,
+            &[SectorId(0), SectorId(2)],
+            &params,
+        );
         assert!(out.steps.is_empty());
     }
 
@@ -561,7 +590,13 @@ mod tests {
             ..SearchParams::default()
         };
         let before = state.utility(UtilityKind::Coverage);
-        let out = power_search(&ev, &mut state, &reference, &[SectorId(0), SectorId(2)], &params);
+        let out = power_search(
+            &ev,
+            &mut state,
+            &reference,
+            &[SectorId(0), SectorId(2)],
+            &params,
+        );
         assert!(out.utility >= before - 1e-9);
     }
 

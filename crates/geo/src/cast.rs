@@ -1,0 +1,83 @@
+//! Checked numeric narrowing for grid math.
+//!
+//! The audit's `cast-audit` pass forbids bare `as usize` / `as u32` /
+//! `as i32` on computed expressions in the numeric crates: a silent
+//! wrap there turns into a bogus grid index or a corrupted path-loss
+//! offset far from the cause. These helpers centralize the narrowing
+//! with the range stated, checked in debug builds, and clamped (never
+//! wrapped) in release builds.
+
+/// Widens a `u32` grid quantity to an index. Lossless on every target
+/// this workspace supports (`usize` ≥ 32 bits).
+#[inline]
+pub fn idx(v: u32) -> usize {
+    v as usize
+}
+
+/// Narrows a non-negative float (cell counts, rounded offsets) to
+/// `u32`, flooring. Debug builds assert the value is finite and within
+/// range; release builds clamp instead of wrapping.
+#[inline]
+pub fn floor_u32(v: f64) -> u32 {
+    debug_assert!(v.is_finite(), "floor_u32 on non-finite {v}");
+    debug_assert!(
+        (-0.5..=u32::MAX as f64).contains(&v),
+        "floor_u32 out of range: {v}"
+    );
+    v.max(0.0).min(u32::MAX as f64) as u32
+}
+
+/// Narrows a rounded float to `u32` (e.g. TBS interpolation results).
+/// Same checking policy as [`floor_u32`].
+#[inline]
+pub fn round_u32(v: f64) -> u32 {
+    floor_u32(v.round())
+}
+
+/// Narrows an `i64` already clamped into `[0, u32::MAX]` by the caller
+/// (window clamping arithmetic). Debug-asserted, saturating in release.
+#[inline]
+pub fn narrow_i64_u32(v: i64) -> u32 {
+    debug_assert!(
+        (0..=u32::MAX as i64).contains(&v),
+        "narrow_i64_u32 out of range: {v}"
+    );
+    v.clamp(0, u32::MAX as i64) as u32
+}
+
+/// Narrows a length/count `usize` to `u32` (sector counts, header
+/// sizes). Debug-asserted, saturating in release.
+#[inline]
+pub fn len_u32(v: usize) -> u32 {
+    debug_assert!(u32::try_from(v).is_ok(), "len_u32 out of range: {v}");
+    u32::try_from(v).unwrap_or(u32::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_range_values_roundtrip() {
+        assert_eq!(idx(7), 7usize);
+        assert_eq!(floor_u32(3.9), 3);
+        assert_eq!(floor_u32(0.0), 0);
+        assert_eq!(round_u32(3.5), 4);
+        assert_eq!(narrow_i64_u32(42), 42);
+        assert_eq!(len_u32(9), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "floor_u32")]
+    #[cfg(debug_assertions)]
+    fn nan_is_caught_in_debug() {
+        floor_u32(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    #[cfg(debug_assertions)]
+    fn negative_i64_is_caught_in_debug() {
+        narrow_i64_u32(-1);
+    }
+}

@@ -66,7 +66,7 @@ impl GridSpec {
 
     /// A spec centered on `center` spanning `span_m` meters on each side.
     pub fn centered(center: PointM, cell_size: f64, span_m: f64) -> GridSpec {
-        let cells = (span_m / cell_size).round().max(1.0) as u32;
+        let cells = crate::cast::round_u32((span_m / cell_size).max(1.0));
         let half = cells as f64 * cell_size / 2.0;
         GridSpec::new(
             PointM::new(center.x - half, center.y - half),
@@ -100,7 +100,10 @@ impl GridSpec {
     #[inline]
     pub fn coord_of_index(&self, i: usize) -> GridCoord {
         debug_assert!(i < self.len());
-        GridCoord::new((i % self.width as usize) as u32, (i / self.width as usize) as u32)
+        GridCoord::new(
+            crate::cast::len_u32(i % crate::cast::idx(self.width)),
+            crate::cast::len_u32(i / crate::cast::idx(self.width)),
+        )
     }
 
     /// Geographic center of cell `c`.
@@ -137,18 +140,36 @@ impl GridSpec {
     /// restrict work to a sector's path-loss footprint.
     pub fn window_around(&self, center: PointM, span_m: f64) -> GridWindow {
         let half = span_m / 2.0;
-        let lo_x = ((center.x - half - self.origin.x) / self.cell_size).floor().max(0.0) as u32;
-        let lo_y = ((center.y - half - self.origin.y) / self.cell_size).floor().max(0.0) as u32;
-        let hi_x = (((center.x + half - self.origin.x) / self.cell_size).ceil() as i64)
-            .clamp(0, self.width as i64) as u32;
-        let hi_y = (((center.y + half - self.origin.y) / self.cell_size).ceil() as i64)
-            .clamp(0, self.height as i64) as u32;
+        let lo_x = crate::cast::floor_u32(
+            ((center.x - half - self.origin.x) / self.cell_size)
+                .floor()
+                .max(0.0),
+        );
+        let lo_y = crate::cast::floor_u32(
+            ((center.y - half - self.origin.y) / self.cell_size)
+                .floor()
+                .max(0.0),
+        );
+        let hi_x = crate::cast::narrow_i64_u32(
+            (((center.x + half - self.origin.x) / self.cell_size).ceil() as i64)
+                .clamp(0, self.width as i64),
+        );
+        let hi_y = crate::cast::narrow_i64_u32(
+            (((center.y + half - self.origin.y) / self.cell_size).ceil() as i64)
+                .clamp(0, self.height as i64),
+        );
         GridWindow {
             x0: lo_x.min(hi_x),
             y0: lo_y.min(hi_y),
             x1: hi_x,
             y1: hi_y,
         }
+    }
+
+    /// Whether `w` lies fully within this raster's bounds — the
+    /// grid-side invariant every per-sector window must satisfy.
+    pub fn contains_window(&self, w: GridWindow) -> bool {
+        w.x0 <= w.x1 && w.y0 <= w.y1 && w.x1 <= self.width && w.y1 <= self.height
     }
 
     /// Window covering the full raster.
@@ -179,7 +200,8 @@ impl GridWindow {
     /// Number of cells in the window.
     #[inline]
     pub fn len(&self) -> usize {
-        (self.x1.saturating_sub(self.x0) as usize) * (self.y1.saturating_sub(self.y0) as usize)
+        crate::cast::idx(self.x1.saturating_sub(self.x0))
+            * crate::cast::idx(self.y1.saturating_sub(self.y0))
     }
 
     /// `true` if the window covers no cells.
@@ -380,11 +402,34 @@ mod tests {
 
     #[test]
     fn window_intersection() {
-        let a = GridWindow { x0: 0, y0: 0, x1: 5, y1: 5 };
-        let b = GridWindow { x0: 3, y0: 4, x1: 9, y1: 9 };
+        let a = GridWindow {
+            x0: 0,
+            y0: 0,
+            x1: 5,
+            y1: 5,
+        };
+        let b = GridWindow {
+            x0: 3,
+            y0: 4,
+            x1: 9,
+            y1: 9,
+        };
         let i = a.intersect(&b);
-        assert_eq!(i, GridWindow { x0: 3, y0: 4, x1: 5, y1: 5 });
-        let disjoint = GridWindow { x0: 6, y0: 6, x1: 7, y1: 7 };
+        assert_eq!(
+            i,
+            GridWindow {
+                x0: 3,
+                y0: 4,
+                x1: 5,
+                y1: 5
+            }
+        );
+        let disjoint = GridWindow {
+            x0: 6,
+            y0: 6,
+            x1: 7,
+            y1: 7,
+        };
         assert!(a.intersect(&disjoint).is_empty());
     }
 

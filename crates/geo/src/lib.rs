@@ -20,6 +20,10 @@
 //! Everything here is deterministic, `no_std`-friendly in spirit (we use
 //! `std` for convenience), and free of I/O.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cast;
 pub mod geometry;
 pub mod grid;
 pub mod units;

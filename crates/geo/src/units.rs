@@ -76,6 +76,13 @@ impl Db {
         Db(self.0.abs())
     }
 
+    /// Total ordering over the underlying dB value (IEEE 754
+    /// `totalOrder`), for sort/min/max without a panic on NaN.
+    #[inline]
+    pub fn total_cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+
     /// `true` if the value is finite (not ±∞ or NaN).
     #[inline]
     pub fn is_finite(self) -> bool {
@@ -91,6 +98,13 @@ impl Dbm {
     #[inline]
     pub fn to_milliwatt(self) -> MilliWatt {
         MilliWatt(10f64.powf(self.0 / 10.0))
+    }
+
+    /// Total ordering over the underlying dB value (IEEE 754
+    /// `totalOrder`), for sort/min/max without a panic on NaN.
+    #[inline]
+    pub fn total_cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
     }
 
     /// `true` if the value is finite (not ±∞ or NaN).

@@ -23,8 +23,8 @@ pub struct Mcs(pub u8);
 /// Spectral efficiencies of CQI 1..=15 from TS 36.213 Table 7.2.3-1
 /// (bits/s/Hz).
 pub const CQI_EFFICIENCY: [f64; 15] = [
-    0.1523, 0.2344, 0.3770, 0.6016, 0.8770, 1.1758, 1.4766, 1.9141, 2.4063, 2.7305, 3.3223,
-    3.9023, 4.5234, 5.1152, 5.5547,
+    0.1523, 0.2344, 0.3770, 0.6016, 0.8770, 1.1758, 1.4766, 1.9141, 2.4063, 2.7305, 3.3223, 3.9023,
+    4.5234, 5.1152, 5.5547,
 ];
 
 /// Highest MCS usable at each CQI 1..=15 (conservative downlink mapping;
@@ -63,7 +63,7 @@ pub fn cqi_from_sinr(sinr_linear: f64) -> Cqi {
 pub fn mcs_from_cqi(cqi: Cqi) -> Option<Mcs> {
     match cqi.0 {
         0 => None,
-        c @ 1..=15 => Some(Mcs(CQI_TO_MCS[(c - 1) as usize])),
+        c @ 1..=15 => Some(Mcs(CQI_TO_MCS[usize::from(c - 1)])),
         _ => Some(Mcs(CQI_TO_MCS[14])), // clamp malformed CQI to the top
     }
 }

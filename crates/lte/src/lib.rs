@@ -20,6 +20,8 @@
 //!   channel bandwidth, including the out-of-service threshold
 //!   [`SINR_MIN_DB`] below which the paper sets `r_max(g) = 0`.
 
+#![forbid(unsafe_code)]
+
 pub mod cqi;
 pub mod rate;
 pub mod tbs;

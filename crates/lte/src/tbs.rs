@@ -63,10 +63,10 @@ pub const TBS_TABLE: [[u32; 6]; 27] = [
 /// Returns `None` for reserved MCS indices (29–31).
 pub fn itbs_from_mcs(mcs: Mcs) -> Option<TbsIndex> {
     let i = match mcs.0 {
-        m @ 0..=9 => m,             // QPSK
-        m @ 10..=16 => m - 1,       // 16QAM
-        m @ 17..=28 => m - 2,       // 64QAM
-        _ => return None,           // reserved
+        m @ 0..=9 => m,       // QPSK
+        m @ 10..=16 => m - 1, // 16QAM
+        m @ 17..=28 => m - 2, // 64QAM
+        _ => return None,     // reserved
     };
     Some(TbsIndex(i))
 }
@@ -82,17 +82,19 @@ pub fn transport_block_bits(itbs: TbsIndex, n_prb: u32) -> u32 {
         return 0;
     }
     let row = &TBS_TABLE[itbs.0 as usize];
-    let n = n_prb.min(*TBS_PRB_COLUMNS.last().unwrap());
+    let n = n_prb.min(TBS_PRB_COLUMNS[TBS_PRB_COLUMNS.len() - 1]);
     // Below the first column: scale proportionally from the 6-PRB entry.
     if n <= TBS_PRB_COLUMNS[0] {
-        return ((row[0] as f64) * n as f64 / TBS_PRB_COLUMNS[0] as f64).round() as u32;
+        return magus_geo::cast::round_u32((row[0] as f64) * n as f64 / TBS_PRB_COLUMNS[0] as f64);
     }
     // Find the bracketing columns.
     for w in 0..TBS_PRB_COLUMNS.len() - 1 {
         let (c0, c1) = (TBS_PRB_COLUMNS[w], TBS_PRB_COLUMNS[w + 1]);
         if n <= c1 {
             let t = (n - c0) as f64 / (c1 - c0) as f64;
-            return (row[w] as f64 + (row[w + 1] as f64 - row[w] as f64) * t).round() as u32;
+            return magus_geo::cast::round_u32(
+                row[w] as f64 + (row[w + 1] as f64 - row[w] as f64) * t,
+            );
         }
     }
     row[TBS_PRB_COLUMNS.len() - 1]

@@ -1,8 +1,8 @@
 //! Property-based tests of the LTE link-adaptation chain.
 
 use magus_lte::{
-    cqi_from_sinr, itbs_from_mcs, mcs_from_cqi, transport_block_bits, Bandwidth, Mcs,
-    RateMapper, TbsIndex, MAX_ITBS,
+    cqi_from_sinr, itbs_from_mcs, mcs_from_cqi, transport_block_bits, Bandwidth, Mcs, RateMapper,
+    TbsIndex, MAX_ITBS,
 };
 use proptest::prelude::*;
 

@@ -3,7 +3,7 @@
 //! queries.
 
 use crate::state::{ModelState, Undo, NO_SECTOR};
-use magus_geo::{Dbm, GridWindow};
+use magus_geo::{Db, Dbm, GridWindow};
 use magus_lte::RateMapper;
 use magus_net::{ConfigChange, Configuration, Network, SectorId, UeLayer};
 use magus_propagation::{PathLossMatrix, PathLossStore};
@@ -48,9 +48,10 @@ impl Evaluator {
             store.spec(),
             "UE layer raster must match the analysis raster"
         );
+        crate::invariant::debug_validate_store(&store);
         let spec = *store.spec();
         let mut covering: Vec<Vec<u32>> = vec![Vec::new(); spec.len()];
-        for s in 0..store.num_sectors() as u32 {
+        for s in 0..magus_geo::cast::len_u32(store.num_sectors()) {
             for c in store.window(s).coords() {
                 covering[spec.index(c)].push(s);
             }
@@ -212,6 +213,11 @@ impl Evaluator {
     /// Applies a configuration change incrementally and returns an exact
     /// [`Undo`] record.
     pub fn apply(&self, state: &mut ModelState, change: ConfigChange) -> Undo {
+        crate::invariant::debug_validate_state(
+            state,
+            self.store.spec().len(),
+            self.network.num_sectors(),
+        );
         let mut undo = Undo {
             config: state.config.clone(),
             cells: Vec::new(),
@@ -339,19 +345,13 @@ impl Evaluator {
     /// `delta_db` (clamped to hardware limits) — the candidate test of
     /// Algorithm 1, line 4. Exact: re-derives the best server under the
     /// hypothesis, without touching the state.
-    pub fn hypothetical_rmax(
-        &self,
-        state: &ModelState,
-        i: usize,
-        s: u32,
-        delta_db: f64,
-    ) -> f64 {
+    pub fn hypothetical_rmax(&self, state: &ModelState, i: usize, s: u32, delta_db: Db) -> f64 {
         let sc = state.config.sector(SectorId(s));
         if !sc.on_air {
             return state.rmax[i] as f64;
         }
         let hw = self.network.sector(SectorId(s));
-        let new_power = (sc.power.0 + delta_db).clamp(hw.min_power.0, hw.max_power.0);
+        let new_power = (sc.power.0 + delta_db.0).clamp(hw.min_power.0, hw.max_power.0);
         if new_power == sc.power.0 {
             return state.rmax[i] as f64;
         }
@@ -397,7 +397,8 @@ impl Evaluator {
         }
         let signal = dbm_to_mw(best_rp);
         let interference = (total - signal).max(0.0);
-        self.rate.max_rate_bps(signal / (self.noise_mw + interference))
+        self.rate
+            .max_rate_bps(signal / (self.noise_mw + interference))
     }
 
     /// Uplink SINR (linear) of a UE in grid `i` toward its serving
@@ -410,7 +411,7 @@ impl Evaluator {
     /// on-air sector, located at that sector's worst-coupled served grid
     /// toward the victim — a conservative single-interferer bound. Noise
     /// uses the same bandwidth as the downlink mapper.
-    pub fn uplink_sinr(&self, state: &ModelState, i: usize, ue_tx_dbm: f64) -> f64 {
+    pub fn uplink_sinr(&self, state: &ModelState, i: usize, ue_tx_dbm: Dbm) -> f64 {
         let Some(serving) = state.serving(i) else {
             return 0.0;
         };
@@ -418,7 +419,7 @@ impl Evaluator {
         let mat = self.store.matrix(serving, sc.tilt);
         let c = self.store.spec().coord_of_index(i);
         let Some(l) = mat.get(c) else { return 0.0 };
-        let signal = dbm_to_mw(ue_tx_dbm + l.0);
+        let signal = dbm_to_mw(ue_tx_dbm.0 + l.0);
         // Interference: for each other sector audible at the serving
         // site's cell, one UE transmitting at full power from the
         // strongest-coupled grid *it serves* inside the serving sector's
@@ -441,7 +442,7 @@ impl Evaluator {
             // *in* grid i would be).
             let om = self.store.matrix(o, oc.tilt);
             if let Some(ol) = om.get(c) {
-                interference += dbm_to_mw(ue_tx_dbm + ol.0.min(l.0));
+                interference += dbm_to_mw(ue_tx_dbm.0 + ol.0.min(l.0));
             }
         }
         signal / (self.noise_mw + interference)
@@ -449,8 +450,9 @@ impl Evaluator {
 
     /// Uplink maximum rate at grid `i` in bits/s (same TBS chain as the
     /// downlink; single UE on the band).
-    pub fn uplink_rmax_bps(&self, state: &ModelState, i: usize, ue_tx_dbm: f64) -> f64 {
-        self.rate.max_rate_bps(self.uplink_sinr(state, i, ue_tx_dbm))
+    pub fn uplink_rmax_bps(&self, state: &ModelState, i: usize, ue_tx_dbm: Dbm) -> f64 {
+        self.rate
+            .max_rate_bps(self.uplink_sinr(state, i, ue_tx_dbm))
     }
 
     /// The serving map (serving sector per grid) of a state — the input
@@ -488,12 +490,10 @@ mod tests {
     use super::*;
     use crate::utility::UtilityKind;
     use magus_geo::units::thermal_noise;
-    use magus_geo::{Bearing, Db, GridSpec, PointM};
+    use magus_geo::{Bearing, Db, Dbm, GridSpec, PointM};
     use magus_lte::Bandwidth;
     use magus_net::{BsId, Sector, SectorId};
-    use magus_propagation::{
-        AntennaParams, PropagationModel, SectorSite, SpmParams, TiltSettings,
-    };
+    use magus_propagation::{AntennaParams, PropagationModel, SectorSite, SpmParams, TiltSettings};
     use magus_terrain::Terrain;
 
     /// Two opposing sectors, 3 km apart, on a flat 6 km raster.
@@ -581,7 +581,11 @@ mod tests {
             ev.apply(&mut st, ch);
             let fresh = ev.initial_state(st.config());
             for i in 0..st.num_grids() {
-                assert_eq!(st.serving(i), fresh.serving(i), "serving mismatch at {i} after {ch:?}");
+                assert_eq!(
+                    st.serving(i),
+                    fresh.serving(i),
+                    "serving mismatch at {i} after {ch:?}"
+                );
                 assert!(
                     (st.rmax_bps(i) - fresh.rmax_bps(i)).abs() < 1.0,
                     "rmax mismatch at {i} after {ch:?}"
@@ -621,8 +625,11 @@ mod tests {
         let (ev, config) = fixture();
         let mut st = ev.initial_state(&config);
         let before = st.utility(UtilityKind::Performance);
-        let probed =
-            ev.probe_utility(&mut st, ConfigChange::PowerDelta(SectorId(0), Db(3.0)), UtilityKind::Performance);
+        let probed = ev.probe_utility(
+            &mut st,
+            ConfigChange::PowerDelta(SectorId(0), Db(3.0)),
+            UtilityKind::Performance,
+        );
         assert!((st.utility(UtilityKind::Performance) - before).abs() < 1e-12);
         assert_ne!(probed, before);
     }
@@ -635,7 +642,7 @@ mod tests {
         ev.apply(&mut st, ConfigChange::SetOnAir(SectorId(1), false));
         let spec = *ev.store().spec();
         let i = spec.index(spec.coord_of_point(PointM::new(2_600.0, 0.0)).unwrap());
-        let hypo = ev.hypothetical_rmax(&st, i, 0, 3.0);
+        let hypo = ev.hypothetical_rmax(&st, i, 0, Db(3.0));
         let undo = ev.apply(&mut st, ConfigChange::PowerDelta(SectorId(0), Db(3.0)));
         let real = st.rmax_bps(i);
         ev.undo(&mut st, undo);
@@ -667,11 +674,11 @@ mod tests {
                 served += 1;
                 // 23 dBm UE vs 43 dBm sector: uplink never out-covers
                 // downlink under a reciprocal channel.
-                if ev.uplink_rmax_bps(&st, i, 23.0) > 0.0 {
+                if ev.uplink_rmax_bps(&st, i, Dbm(23.0)) > 0.0 {
                     uplink_served += 1;
                 }
             } else {
-                assert_eq!(ev.uplink_rmax_bps(&st, i, 23.0), 0.0);
+                assert_eq!(ev.uplink_rmax_bps(&st, i, Dbm(23.0)), 0.0);
             }
         }
         assert!(uplink_served > 0, "some grids must have uplink service");
@@ -684,7 +691,7 @@ mod tests {
         let st = ev.initial_state(&config);
         let spec = *ev.store().spec();
         let i = spec.index(spec.coord_of_point(PointM::new(400.0, 0.0)).unwrap());
-        assert!(ev.uplink_sinr(&st, i, 23.0) >= ev.uplink_sinr(&st, i, 10.0));
+        assert!(ev.uplink_sinr(&st, i, Dbm(23.0)) >= ev.uplink_sinr(&st, i, Dbm(10.0)));
     }
 
     #[test]

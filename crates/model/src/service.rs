@@ -27,7 +27,11 @@ impl ServiceMap {
         for i in 0..n {
             serving.push(state.serving(i));
             let s = ev.sinr_linear(state, i);
-            sinr_db.push(if s > 0.0 { 10.0 * s.log10() } else { f64::NEG_INFINITY });
+            sinr_db.push(if s > 0.0 {
+                10.0 * s.log10()
+            } else {
+                f64::NEG_INFINITY
+            });
             rmax_bps.push(state.rmax_bps(i));
             rate_bps.push(state.rate_bps(i));
         }

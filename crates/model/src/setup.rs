@@ -79,15 +79,10 @@ pub fn standard_setup_with(
         .map(|s| s.nominal_ue_count)
         .collect();
     let ue = match ue_model {
-        UeModel::UniformPerSector => {
-            UeLayer::uniform_per_sector(*store.spec(), &serving, &totals)
+        UeModel::UniformPerSector => UeLayer::uniform_per_sector(*store.spec(), &serving, &totals),
+        UeModel::ClutterWeighted => {
+            UeLayer::clutter_weighted(*store.spec(), &serving, &totals, market.terrain())
         }
-        UeModel::ClutterWeighted => UeLayer::clutter_weighted(
-            *store.spec(),
-            &serving,
-            &totals,
-            market.terrain(),
-        ),
     };
     let evaluator = Evaluator::new(store, network, rate, noise, ue);
     StandardModel { evaluator, nominal }
@@ -156,8 +151,7 @@ mod tests {
     fn clutter_weighted_setup_conserves_and_differs() {
         let market = magus_net::Market::generate(MarketParams::tiny(AreaType::Suburban, 21));
         let uniform = standard_setup(&market, Bandwidth::Mhz10);
-        let weighted =
-            standard_setup_with(&market, Bandwidth::Mhz10, UeModel::ClutterWeighted);
+        let weighted = standard_setup_with(&market, Bandwidth::Mhz10, UeModel::ClutterWeighted);
         // Same total subscriber mass...
         let (tu, tw) = (
             uniform.evaluator.ue_layer().total(),

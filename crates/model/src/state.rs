@@ -121,8 +121,7 @@ impl ModelState {
         match kind {
             UtilityKind::Performance => self.utility(UtilityKind::Performance),
             UtilityKind::Coverage => {
-                self.utility(UtilityKind::Coverage)
-                    + 1e-6 * self.utility(UtilityKind::Performance)
+                self.utility(UtilityKind::Coverage) + 1e-6 * self.utility(UtilityKind::Performance)
             }
         }
     }

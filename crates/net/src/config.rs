@@ -163,7 +163,11 @@ impl Configuration {
     /// (sector-by-sector; both configurations must cover the same
     /// network).
     pub fn diff(&self, other: &Configuration) -> Vec<ConfigChange> {
-        assert_eq!(self.len(), other.len(), "configurations cover different networks");
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "configurations cover different networks"
+        );
         let mut out = Vec::new();
         for (i, (a, b)) in self.sectors.iter().zip(other.sectors.iter()).enumerate() {
             let id = SectorId(i as u32);
@@ -260,7 +264,10 @@ mod tests {
         let net = toy_network(2);
         let a = Configuration::nominal(&net);
         let b = a.with(&net, ConfigChange::SetTilt(SectorId(0), 2));
-        assert_eq!(a.sector(SectorId(0)).tilt, magus_propagation::NOMINAL_TILT_INDEX);
+        assert_eq!(
+            a.sector(SectorId(0)).tilt,
+            magus_propagation::NOMINAL_TILT_INDEX
+        );
         assert_eq!(b.sector(SectorId(0)).tilt, 2);
     }
 

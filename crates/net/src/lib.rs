@@ -17,6 +17,8 @@
 //!   single central sector, whole central base station, four corner
 //!   sectors.
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod markets;
 pub mod network;

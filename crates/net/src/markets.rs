@@ -21,7 +21,7 @@
 
 use crate::network::Network;
 use crate::sector::{BsId, Sector, SectorId};
-use magus_geo::{Bearing, Dbm, GridSpec, GridWindow, PointM};
+use magus_geo::{Bearing, Db, Dbm, GridSpec, GridWindow, PointM};
 use magus_propagation::{
     AntennaParams, PathLossStore, PropagationModel, SectorSite, SpmParams, TiltSettings,
 };
@@ -168,11 +168,8 @@ impl Market {
             &params.clutter,
         ));
         let network = lay_out_network(&params);
-        let model = PropagationModel::new(
-            Arc::clone(&terrain),
-            params.spm,
-            params.seed ^ 0x5107_AD10,
-        );
+        let model =
+            PropagationModel::new(Arc::clone(&terrain), params.spm, params.seed ^ 0x5107_AD10);
         let store = Arc::new(PathLossStore::build(
             spec,
             network.sites(),
@@ -257,7 +254,7 @@ impl Market {
     /// count (Figure 8 commentary). Use a *negative* margin to require
     /// the signal to clear the noise floor (stricter, closer to what
     /// materially interferes with SINR).
-    pub fn interfering_sector_count(&self, noise_floor: Dbm, margin_db: f64) -> usize {
+    pub fn interfering_sector_count(&self, noise_floor: Dbm, margin_db: Db) -> usize {
         let half = self.params.tuning_span_m / 2.0;
         self.network
             .sectors()
@@ -271,7 +268,7 @@ impl Market {
                 let d = dx.hypot(dy).max(self.params.spm.min_distance_m);
                 let best_rp = s.max_power.0 + s.site.antenna.boresight_gain_dbi
                     - self.params.spm.distance_loss_db(d);
-                best_rp >= noise_floor.0 - margin_db
+                best_rp >= noise_floor.0 - margin_db.0
             })
             .count()
     }
@@ -315,8 +312,7 @@ fn lay_out_network(params: &MarketParams) -> Network {
                 };
                 let mut sector = Sector::macro_defaults(id, BsId(bs), site);
                 // Mild operational diversity in load.
-                sector.nominal_ue_count =
-                    params.ue_per_sector * rng.random_range(0.7..1.3);
+                sector.nominal_ue_count = params.ue_per_sector * rng.random_range(0.7..1.3);
                 sectors.push(sector);
             }
             bs += 1;
@@ -353,9 +349,9 @@ mod tests {
     fn interferer_counts_increase_with_density() {
         let noise = thermal_noise(9e6, Db(7.0));
         let r = Market::generate(MarketParams::tiny(AreaType::Rural, 5))
-            .interfering_sector_count(noise, 6.0);
+            .interfering_sector_count(noise, Db(6.0));
         let u = Market::generate(MarketParams::tiny(AreaType::Urban, 5))
-            .interfering_sector_count(noise, 6.0);
+            .interfering_sector_count(noise, Db(6.0));
         assert!(r < u, "rural {r} vs urban {u}");
     }
 

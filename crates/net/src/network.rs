@@ -77,12 +77,7 @@ impl Network {
     pub fn nearest_base_station(&self, p: PointM) -> Option<&BaseStation> {
         self.base_stations
             .iter()
-            .min_by(|a, b| {
-                a.position
-                    .distance(p)
-                    .partial_cmp(&b.position.distance(p))
-                    .expect("distances are finite")
-            })
+            .min_by(|a, b| a.position.distance(p).total_cmp(&b.position.distance(p)))
     }
 
     /// The sector whose mast is nearest to `p` (ties broken by id).
@@ -93,20 +88,14 @@ impl Network {
                 a.site
                     .position
                     .distance(p)
-                    .partial_cmp(&b.site.position.distance(p))
-                    .expect("distances are finite")
+                    .total_cmp(&b.site.position.distance(p))
             })
             .map(|s| s.id)
     }
 
     /// Sector ids whose masts lie within `radius_m` of `p`, excluding any
     /// in `exclude` — the neighbor set **B** fed to Algorithm 1.
-    pub fn sectors_within(
-        &self,
-        p: PointM,
-        radius_m: f64,
-        exclude: &[SectorId],
-    ) -> Vec<SectorId> {
+    pub fn sectors_within(&self, p: PointM, radius_m: f64, exclude: &[SectorId]) -> Vec<SectorId> {
         self.sectors
             .iter()
             .filter(|s| !exclude.contains(&s.id) && s.site.position.distance(p) <= radius_m)
@@ -166,7 +155,10 @@ mod tests {
             n.nearest_base_station(PointM::new(2000.0, 0.0)).unwrap().id,
             BsId(1)
         );
-        assert_eq!(n.nearest_sector(PointM::new(100.0, 50.0)), Some(SectorId(0)));
+        assert_eq!(
+            n.nearest_sector(PointM::new(100.0, 50.0)),
+            Some(SectorId(0))
+        );
     }
 
     #[test]

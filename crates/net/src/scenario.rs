@@ -97,7 +97,10 @@ mod tests {
         let t = upgrade_targets(&m, UpgradeScenario::SingleCentralSector);
         assert_eq!(t.len(), 1);
         // It must belong to the base station nearest the center.
-        let bs = m.network().nearest_base_station(PointM::new(0.0, 0.0)).unwrap();
+        let bs = m
+            .network()
+            .nearest_base_station(PointM::new(0.0, 0.0))
+            .unwrap();
         assert!(bs.sectors.contains(&t[0]));
     }
 

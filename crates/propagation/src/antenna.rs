@@ -82,9 +82,9 @@ impl Default for AntennaParams {
 
 impl AntennaParams {
     /// An idealized omnidirectional antenna (testbed-style small cell).
-    pub fn omni(gain_dbi: f64) -> AntennaParams {
+    pub fn omni(gain_dbi: Db) -> AntennaParams {
         AntennaParams {
-            boresight_gain_dbi: gain_dbi,
+            boresight_gain_dbi: gain_dbi.0,
             horiz_beamwidth_deg: 360.0,
             vert_beamwidth_deg: 90.0,
             max_attenuation_db: 0.0,
@@ -182,7 +182,7 @@ mod tests {
 
     #[test]
     fn omni_is_direction_independent_horizontally() {
-        let a = AntennaParams::omni(2.0);
+        let a = AntennaParams::omni(Db(2.0));
         for phi in [-170.0, -35.0, 0.0, 90.0, 179.0] {
             assert_eq!(a.gain_db(phi, 0.0, 0.0), Db(2.0));
         }

@@ -129,6 +129,9 @@ mod tests {
 
     #[test]
     fn empty_profile_is_lossless() {
-        assert_eq!(profile_diffraction_loss_db(30.0, 1.5, &[], 1000.0, 0.143), 0.0);
+        assert_eq!(
+            profile_diffraction_loss_db(30.0, 1.5, &[], 1000.0, 0.143),
+            0.0
+        );
     }
 }

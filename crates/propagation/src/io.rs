@@ -69,7 +69,7 @@ struct Header {
 
 /// Encodes a store into a `MAGUSPL1` blob.
 pub fn encode_store(store: &PathLossStore) -> Bytes {
-    let n = store.num_sectors() as u32;
+    let n = magus_geo::cast::len_u32(store.num_sectors());
     let header = Header {
         spec: *store.spec(),
         sites: (0..n).map(|s| *store.site(s)).collect(),
@@ -78,13 +78,10 @@ pub fn encode_store(store: &PathLossStore) -> Bytes {
     };
     let header_json = serde_json::to_vec(&header).expect("header serializes");
     let mut buf = BytesMut::with_capacity(
-        16 + header_json.len()
-            + (0..n)
-                .map(|s| store.window(s).len() * 8)
-                .sum::<usize>(),
+        16 + header_json.len() + (0..n).map(|s| store.window(s).len() * 8).sum::<usize>(),
     );
     buf.put_slice(MAGIC);
-    buf.put_u32_le(header_json.len() as u32);
+    buf.put_u32_le(magus_geo::cast::len_u32(header_json.len()));
     buf.put_slice(&header_json);
     for s in 0..n {
         let (base, theta) = store.base_arrays(s);
@@ -109,7 +106,7 @@ pub fn decode_store(blob: &[u8]) -> Result<PathLossStore, DecodeError> {
     if &magic != MAGIC {
         return Err(DecodeError::BadMagic);
     }
-    let hdr_len = buf.get_u32_le() as usize;
+    let hdr_len = magus_geo::cast::idx(buf.get_u32_le());
     if buf.remaining() < hdr_len {
         return Err(DecodeError::Truncated);
     }
@@ -121,8 +118,17 @@ pub fn decode_store(blob: &[u8]) -> Result<PathLossStore, DecodeError> {
     }
     let mut bases = Vec::with_capacity(header.sites.len());
     for w in &header.windows {
+        // The header is untrusted: a window must fit the declared raster
+        // (downstream code indexes the analysis grid through it), and its
+        // byte count must not overflow before the length check.
+        if !header.spec.contains_window(*w) {
+            return Err(DecodeError::Inconsistent("window outside raster"));
+        }
         let cells = w.len();
-        if buf.remaining() < cells * 8 {
+        let byte_len = cells
+            .checked_mul(8)
+            .ok_or(DecodeError::Inconsistent("window size overflows"))?;
+        if buf.remaining() < byte_len {
             return Err(DecodeError::Truncated);
         }
         let mut base = Vec::with_capacity(cells);
@@ -214,6 +220,65 @@ mod tests {
         assert!(matches!(
             decode_store(&blob),
             Err(DecodeError::BadHeader(_)) | Err(DecodeError::BadMagic)
+        ));
+    }
+
+    /// Builds a blob from a hand-crafted header and raw raster bytes,
+    /// bypassing `encode_store`'s invariants — the corrupt-input path.
+    fn forged_blob(header: &Header, body: &[u8]) -> Vec<u8> {
+        let json = serde_json::to_vec(header).expect("header serializes");
+        let mut blob = Vec::new();
+        blob.extend_from_slice(MAGIC);
+        blob.extend_from_slice(&(json.len() as u32).to_le_bytes());
+        blob.extend_from_slice(&json);
+        blob.extend_from_slice(body);
+        blob
+    }
+
+    fn small_header(window: GridWindow) -> Header {
+        Header {
+            spec: GridSpec::new(PointM::new(0.0, 0.0), 100.0, 16, 16),
+            sites: vec![SectorSite {
+                position: PointM::new(800.0, 800.0),
+                height_m: 30.0,
+                azimuth: Bearing::new(0.0),
+                antenna: AntennaParams::default(),
+            }],
+            tilts: TiltSettings::default(),
+            windows: vec![window],
+        }
+    }
+
+    #[test]
+    fn oversized_window_rejected_not_panicking() {
+        // A hostile header declaring a near-usize::MAX-cell window made
+        // `cells * 8` overflow and the decoder panic (debug) or read past
+        // the buffer (release) instead of returning an error.
+        let huge = GridWindow {
+            x0: 0,
+            y0: 0,
+            x1: u32::MAX,
+            y1: u32::MAX,
+        };
+        let blob = forged_blob(&small_header(huge), &[]);
+        assert!(decode_store(&blob).is_err());
+    }
+
+    #[test]
+    fn window_outside_raster_rejected() {
+        // In-bounds byte count but a window past the 16×16 raster: accepted
+        // by the decoder, it would index out of bounds downstream.
+        let stray = GridWindow {
+            x0: 10,
+            y0: 10,
+            x1: 20,
+            y1: 20,
+        };
+        let body = vec![0u8; 10 * 10 * 8];
+        let blob = forged_blob(&small_header(stray), &body);
+        assert!(matches!(
+            decode_store(&blob),
+            Err(DecodeError::Inconsistent(_))
         ));
     }
 

@@ -25,14 +25,16 @@
 //! value is a pure function of `(seed, geography, sector, tilt, cell)` —
 //! re-querying never re-rolls the environment.
 
+#![forbid(unsafe_code)]
+
 pub mod antenna;
-pub mod io;
 pub mod diffraction;
+pub mod io;
 pub mod spm;
 pub mod store;
 
 pub use antenna::{AntennaParams, SectorSite, TiltSettings, NOMINAL_TILT_INDEX, NUM_TILT_SETTINGS};
 pub use diffraction::knife_edge_loss_db;
-pub use spm::{PropagationModel, SpmParams};
 pub use io::{decode_store, encode_store, DecodeError};
-pub use store::{PathLossMatrix, PathLossStore};
+pub use spm::{PropagationModel, SpmParams};
+pub use store::{InvariantViolation, PathLossMatrix, PathLossStore};

@@ -200,7 +200,10 @@ impl PropagationModel {
     /// toward `target` for downtilt `downtilt_deg`. Positive dB values
     /// increase received power.
     pub fn tilt_gain_db(&self, site: &SectorSite, target: PointM, downtilt_deg: f64) -> Db {
-        let dist = site.position.distance(target).max(self.params.min_distance_m);
+        let dist = site
+            .position
+            .distance(target)
+            .max(self.params.min_distance_m);
         let tx_abs = self.terrain.elevation_at(site.position) + site.height_m;
         let rx_abs = self.terrain.elevation_at(target) + self.params.rx_height_m;
         // Angle below the horizon toward the target (positive = down).

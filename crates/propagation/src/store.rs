@@ -27,8 +27,67 @@
 use crate::antenna::{SectorSite, TiltSettings, NUM_TILT_SETTINGS};
 use crate::spm::PropagationModel;
 use magus_geo::{Db, GridCoord, GridSpec, GridWindow};
+use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+/// A violated [`PathLossMatrix`] invariant, found by
+/// [`PathLossMatrix::validate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InvariantViolation {
+    /// The window's bounds are inverted (`x1 < x0` or `y1 < y0`).
+    WindowInverted {
+        /// Window bounds as stored.
+        x0: u32,
+        /// Window bounds as stored.
+        x1: u32,
+        /// Window bounds as stored.
+        y0: u32,
+        /// Window bounds as stored.
+        y1: u32,
+    },
+    /// The cached row width disagrees with the window.
+    WidthMismatch {
+        /// Cached width.
+        width: u32,
+        /// `x1 - x0` per the window.
+        window_width: u32,
+    },
+    /// The value vector is not rows × cols of the window.
+    ShapeMismatch {
+        /// Actual value count.
+        values: usize,
+        /// `window.len()`.
+        expected: usize,
+    },
+    /// A reading is NaN or infinite.
+    NonFiniteValue {
+        /// Row-major index of the first bad reading.
+        index: usize,
+        /// The bad reading.
+        value: f32,
+    },
+}
+
+impl std::fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            InvariantViolation::WindowInverted { x0, x1, y0, y1 } => {
+                write!(f, "inverted window [{x0}, {x1}) x [{y0}, {y1})")
+            }
+            InvariantViolation::WidthMismatch {
+                width,
+                window_width,
+            } => write!(f, "width {width} != window width {window_width}"),
+            InvariantViolation::ShapeMismatch { values, expected } => {
+                write!(f, "{values} values for a {expected}-cell window")
+            }
+            InvariantViolation::NonFiniteValue { index, value } => {
+                write!(f, "non-finite path loss {value} at index {index}")
+            }
+        }
+    }
+}
 
 /// A per-sector path-loss raster over a window of the analysis grid.
 ///
@@ -58,6 +117,50 @@ impl PathLossMatrix {
         self.window
     }
 
+    /// Checks the matrix invariants: value count matches the window's
+    /// rows × cols, the cached width matches the window, and every
+    /// reading is finite (a NaN path loss silently poisons every SINR
+    /// sum it touches). Returns the first violation found.
+    pub fn validate(&self) -> Result<(), InvariantViolation> {
+        if self.window.x1 < self.window.x0 || self.window.y1 < self.window.y0 {
+            return Err(InvariantViolation::WindowInverted {
+                x0: self.window.x0,
+                x1: self.window.x1,
+                y0: self.window.y0,
+                y1: self.window.y1,
+            });
+        }
+        if self.width != self.window.x1 - self.window.x0 {
+            return Err(InvariantViolation::WidthMismatch {
+                width: self.width,
+                window_width: self.window.x1 - self.window.x0,
+            });
+        }
+        if self.values.len() != self.window.len() {
+            return Err(InvariantViolation::ShapeMismatch {
+                values: self.values.len(),
+                expected: self.window.len(),
+            });
+        }
+        if let Some(pos) = self.values.iter().position(|v| !v.is_finite()) {
+            return Err(InvariantViolation::NonFiniteValue {
+                index: pos,
+                value: self.values[pos],
+            });
+        }
+        Ok(())
+    }
+
+    /// Debug-build invariant gate: free in release, fatal in test/dev
+    /// builds. Wired into the store's assembly path and the evaluator.
+    #[inline]
+    pub fn debug_validate(&self) {
+        #[cfg(debug_assertions)]
+        if let Err(v) = self.validate() {
+            unreachable!("path-loss matrix invariant violated: {v}");
+        }
+    }
+
     /// Path loss at an analysis-grid coordinate, or `None` outside the
     /// window.
     #[inline]
@@ -65,8 +168,8 @@ impl PathLossMatrix {
         if !self.window.contains(c) {
             return None;
         }
-        let i =
-            (c.y - self.window.y0) as usize * self.width as usize + (c.x - self.window.x0) as usize;
+        let i = magus_geo::cast::idx(c.y - self.window.y0) * magus_geo::cast::idx(self.width)
+            + magus_geo::cast::idx(c.x - self.window.x0);
         Some(Db(self.values[i] as f64))
     }
 
@@ -177,16 +280,12 @@ impl PathLossStore {
     /// (assembled on first use, cached thereafter).
     pub fn matrix(&self, id: u32, tilt: u8) -> Arc<PathLossMatrix> {
         assert!(tilt < NUM_TILT_SETTINGS, "tilt index {tilt} out of range");
-        if let Some(m) = self.cache.lock().unwrap().get(&(id, tilt)) {
+        if let Some(m) = self.cache.lock().get(&(id, tilt)) {
             return Arc::clone(m);
         }
         let built = Arc::new(self.assemble(id, tilt));
-        self.cache
-            .lock()
-            .unwrap()
-            .entry((id, tilt))
-            .or_insert(built)
-            .clone()
+        built.debug_validate();
+        self.cache.lock().entry((id, tilt)).or_insert(built).clone()
     }
 
     fn assemble(&self, id: u32, tilt: u8) -> PathLossMatrix {
@@ -245,7 +344,7 @@ impl PathLossStore {
 
     /// Number of matrices currently cached (for tests / metrics).
     pub fn cached_matrices(&self) -> usize {
-        self.cache.lock().unwrap().len()
+        self.cache.lock().len()
     }
 
     /// The paper's global tilt-delta approximation: the dB change a tilt
@@ -254,16 +353,12 @@ impl PathLossStore {
     /// One delta curve serves all sectors (paper §5, "Antenna Tilt
     /// Tuning").
     pub fn approx_tilt_delta_db(&self, dist_m: f64, from: u8, to: u8) -> Db {
-        let avg_h = self.sites.iter().map(|s| s.height_m).sum::<f64>()
-            / self.sites.len().max(1) as f64;
+        let avg_h =
+            self.sites.iter().map(|s| s.height_m).sum::<f64>() / self.sites.len().max(1) as f64;
         let rx_h = 1.5;
         let theta = ((avg_h - rx_h) / dist_m.max(1.0)).atan().to_degrees();
         // A representative macro antenna (first site's, or default).
-        let ant = self
-            .sites
-            .first()
-            .map(|s| s.antenna)
-            .unwrap_or_default();
+        let ant = self.sites.first().map(|s| s.antenna).unwrap_or_default();
         let g_from = ant.gain_db(0.0, theta, self.tilts.downtilt_deg(from));
         let g_to = ant.gain_db(0.0, theta, self.tilts.downtilt_deg(to));
         g_to - g_from
@@ -280,11 +375,7 @@ mod tests {
 
     fn store() -> PathLossStore {
         let spec = GridSpec::new(PointM::new(-5_000.0, -5_000.0), 100.0, 100, 100);
-        let model = PropagationModel::new(
-            Arc::new(Terrain::flat(spec)),
-            SpmParams::smooth(),
-            3,
-        );
+        let model = PropagationModel::new(Arc::new(Terrain::flat(spec)), SpmParams::smooth(), 3);
         let sites = vec![
             SectorSite {
                 position: PointM::new(0.0, 0.0),

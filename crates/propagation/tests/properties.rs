@@ -2,8 +2,8 @@
 
 use magus_geo::{Bearing, GridSpec, PointM};
 use magus_propagation::{
-    AntennaParams, PathLossStore, PropagationModel, SectorSite, SpmParams, TiltSettings,
-    NUM_TILT_SETTINGS,
+    AntennaParams, InvariantViolation, PathLossMatrix, PathLossStore, PropagationModel, SectorSite,
+    SpmParams, TiltSettings, NUM_TILT_SETTINGS,
 };
 use magus_terrain::Terrain;
 use proptest::prelude::*;
@@ -79,5 +79,47 @@ proptest! {
         let s = site(0.0);
         let p = PointM::new(x, y);
         prop_assert_eq!(model.base_loss_db(&s, 2, p), blended.base_loss_db(&s, 2, p));
+    }
+
+    /// Injecting a NaN or infinity anywhere into an otherwise valid
+    /// matrix trips [`PathLossMatrix::validate`] at exactly that index,
+    /// and `debug_validate` turns it into a panic in debug builds.
+    #[test]
+    fn validate_catches_injected_non_finite(
+        tilt in 0u8..NUM_TILT_SETTINGS,
+        slot in 0usize..10_000,
+        bad in prop_oneof![Just(f32::NAN), Just(f32::INFINITY), Just(f32::NEG_INFINITY)],
+    ) {
+        let spec = GridSpec::centered(PointM::new(0.0, 0.0), 400.0, 6_000.0);
+        let model = PropagationModel::new(Arc::new(Terrain::flat(spec)), SpmParams::smooth(), 9);
+        let store = PathLossStore::build(spec, vec![site(90.0)], &model, TiltSettings::default(), 5_000.0);
+        let clean = store.matrix(0, tilt);
+        prop_assert!(clean.validate().is_ok(), "store must hand out valid matrices");
+
+        let mut values = clean.values().to_vec();
+        let idx = slot % values.len();
+        values[idx] = bad;
+        let poisoned = PathLossMatrix::new(clean.window(), values);
+        // NaN payloads defeat a plain equality check, so match the shape.
+        prop_assert!(matches!(
+            poisoned.validate(),
+            Err(InvariantViolation::NonFiniteValue { index, value })
+                if index == idx && value.to_bits() == bad.to_bits()
+        ), "validate() = {:?}", poisoned.validate());
+        if cfg!(debug_assertions) {
+            let caught = std::panic::catch_unwind(|| poisoned.debug_validate());
+            prop_assert!(caught.is_err(), "debug_validate must panic on a poisoned matrix");
+        }
+    }
+
+    /// Every out-of-range tilt index is rejected by the store before it
+    /// can silently alias a valid configuration.
+    #[test]
+    fn out_of_range_tilt_is_rejected(extra in 0u8..(u8::MAX - NUM_TILT_SETTINGS)) {
+        let spec = GridSpec::centered(PointM::new(0.0, 0.0), 400.0, 6_000.0);
+        let model = PropagationModel::new(Arc::new(Terrain::flat(spec)), SpmParams::smooth(), 9);
+        let store = PathLossStore::build(spec, vec![site(0.0)], &model, TiltSettings::default(), 5_000.0);
+        let caught = std::panic::catch_unwind(|| store.matrix(0, NUM_TILT_SETTINGS + extra));
+        prop_assert!(caught.is_err(), "tilt {} must be rejected", NUM_TILT_SETTINGS + extra);
     }
 }

@@ -97,10 +97,9 @@ impl ElevationMap {
     /// Elevation at a geographic point, clamped to the raster edge.
     pub fn sample(&self, p: PointM) -> f64 {
         let spec = self.map.spec();
-        let fx = ((p.x - spec.origin.x) / spec.cell_size - 0.5)
-            .clamp(0.0, (spec.width - 1) as f64);
-        let fy = ((p.y - spec.origin.y) / spec.cell_size - 0.5)
-            .clamp(0.0, (spec.height - 1) as f64);
+        let fx = ((p.x - spec.origin.x) / spec.cell_size - 0.5).clamp(0.0, (spec.width - 1) as f64);
+        let fy =
+            ((p.y - spec.origin.y) / spec.cell_size - 0.5).clamp(0.0, (spec.height - 1) as f64);
         let x0 = fx.floor() as u32;
         let y0 = fy.floor() as u32;
         let x1 = (x0 + 1).min(spec.width - 1);
@@ -232,7 +231,11 @@ mod tests {
     #[test]
     fn sample_matches_cell_centers() {
         let e = ElevationMap::generate(spec(), 4, &TerrainParams::default());
-        for c in [GridCoord::new(0, 0), GridCoord::new(50, 7), GridCoord::new(99, 99)] {
+        for c in [
+            GridCoord::new(0, 0),
+            GridCoord::new(50, 7),
+            GridCoord::new(99, 99),
+        ] {
             let p = spec().center_of(c);
             let direct = *e.raster().get(c);
             assert!((e.sample(p) - direct).abs() < 1e-9);

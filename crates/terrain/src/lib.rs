@@ -18,6 +18,8 @@
 //!
 //! Everything is generated from an explicit seed; there is no global RNG.
 
+#![forbid(unsafe_code)]
+
 pub mod clutter;
 pub mod elevation;
 pub mod noise;
@@ -117,7 +119,10 @@ mod tests {
                 a.elevation_at(p) != b.elevation_at(p)
             })
             .count();
-        assert!(differing > spec().len() / 2, "only {differing} cells differ");
+        assert!(
+            differing > spec().len() / 2,
+            "only {differing} cells differ"
+        );
     }
 
     #[test]

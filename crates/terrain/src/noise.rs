@@ -78,7 +78,12 @@ pub fn value_noise(seed: u64, x: f64, y: f64, base_freq: f64, octaves: u32) -> f
     let mut freq = base_freq;
     let mut norm = 0.0;
     for o in 0..octaves {
-        total += amp * value_noise_octave(seed.wrapping_add(o as u64 * 0x1234_5678_9ABC), x * freq, y * freq);
+        total += amp
+            * value_noise_octave(
+                seed.wrapping_add(o as u64 * 0x1234_5678_9ABC),
+                x * freq,
+                y * freq,
+            );
         norm += amp;
         amp *= 0.5;
         freq *= 2.0;

@@ -32,16 +32,18 @@ mod tests {
     use magus_geo::GridSpec;
 
     fn flat(height: f64) -> ElevationMap {
-        ElevationMap::flat(
-            GridSpec::new(PointM::new(0.0, 0.0), 100.0, 50, 50),
-            height,
-        )
+        ElevationMap::flat(GridSpec::new(PointM::new(0.0, 0.0), 100.0, 50, 50), height)
     }
 
     #[test]
     fn flat_profile_is_constant() {
         let e = flat(37.0);
-        let prof = sample_profile(&e, PointM::new(100.0, 100.0), PointM::new(4000.0, 3000.0), 10);
+        let prof = sample_profile(
+            &e,
+            PointM::new(100.0, 100.0),
+            PointM::new(4000.0, 3000.0),
+            10,
+        );
         assert_eq!(prof.len(), 10);
         assert!(prof.iter().all(|&h| (h - 37.0).abs() < 1e-9));
     }

@@ -27,6 +27,8 @@
 //! Everything is deterministic given the layout (no RNG in the hot path;
 //! multipath texture is hash-based).
 
+#![forbid(unsafe_code)]
+
 pub mod event;
 pub mod radio;
 pub mod scenario;
@@ -35,7 +37,7 @@ pub mod sim;
 pub use event::{EventQueue, SimTime};
 pub use radio::{AttenuationLevel, RadioEnvironment, UE_NOISE_FIGURE_DB};
 pub use scenario::{
-    figure2_timeline, optimize_attenuations, scenario1, scenario2, steady_state_utility,
-    Scenario, TimelineKind, TimelinePoint,
+    figure2_timeline, optimize_attenuations, scenario1, scenario2, steady_state_utility, Scenario,
+    TimelineKind, TimelinePoint,
 };
 pub use sim::{EnodebId, HandoverStats, Mobility, Scheduler, Sim, SimConfig, SimReport, UeId};

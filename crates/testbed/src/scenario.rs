@@ -92,8 +92,7 @@ pub fn steady_state_utility(
                 .filter(|&e| on_air[e])
                 .max_by(|&a, &b| {
                     env.rx_power(a, u, atten[a])
-                        .partial_cmp(&env.rx_power(b, u, atten[b]))
-                        .expect("finite powers")
+                        .total_cmp(&env.rx_power(b, u, atten[b]))
                 })
         })
         .collect();
@@ -168,8 +167,11 @@ pub enum TimelineKind {
 
 impl TimelineKind {
     /// All three, in the paper's legend order.
-    pub const ALL: [TimelineKind; 3] =
-        [TimelineKind::Proactive, TimelineKind::Reactive, TimelineKind::NoTuning];
+    pub const ALL: [TimelineKind; 3] = [
+        TimelineKind::Proactive,
+        TimelineKind::Reactive,
+        TimelineKind::NoTuning,
+    ];
 }
 
 impl std::fmt::Display for TimelineKind {
@@ -240,7 +242,11 @@ pub fn figure2_timeline(
                     let (mut cur, target) = (before_atten[e], after_atten[e]);
                     let mut t = upgrade_at;
                     while cur != target {
-                        cur = if target < cur { cur.stronger() } else { cur.weaker() };
+                        cur = if target < cur {
+                            cur.stronger()
+                        } else {
+                            cur.weaker()
+                        };
                         t = t.after_millis(cfg.measurement_period_ms);
                         timeline.push((t, ChangeOp::SetAttenuation(EnodebId(e), cur)));
                     }
@@ -249,13 +255,8 @@ pub fn figure2_timeline(
             TimelineKind::NoTuning => {}
         }
         timeline.sort_by_key(|(t, _)| *t);
-        let report = Sim::new(
-            scenario.env.clone(),
-            before_atten.clone(),
-            *cfg,
-            timeline,
-        )
-        .run(duration);
+        let report =
+            Sim::new(scenario.env.clone(), before_atten.clone(), *cfg, timeline).run(duration);
         out.push(TimelinePoint {
             kind,
             windows: report.windows,

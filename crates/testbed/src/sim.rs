@@ -169,10 +169,18 @@ enum MmeJob {
 enum Event {
     MacQuantum,
     Measure,
-    RlfExpired { ue: usize },
+    RlfExpired {
+        ue: usize,
+    },
     MmeDone,
-    HandoverFinish { ue: usize, target: usize, seamless: bool },
-    Apply { index: usize },
+    HandoverFinish {
+        ue: usize,
+        target: usize,
+        seamless: bool,
+    },
+    Apply {
+        index: usize,
+    },
     WindowClose,
 }
 
@@ -300,8 +308,7 @@ impl Sim {
             .max_by(|&a, &b| {
                 self.env
                     .rx_power(a, u, self.atten[a])
-                    .partial_cmp(&self.env.rx_power(b, u, self.atten[b]))
-                    .expect("finite powers")
+                    .total_cmp(&self.env.rx_power(b, u, self.atten[b]))
             })
     }
 
@@ -406,13 +413,11 @@ impl Sim {
                             }
                             let mut best: Option<(usize, f64, f64)> = None;
                             for u in 0..self.env.num_ues() {
-                                if self.ue_state[u] != UeState::Connected
-                                    || self.ue_serving[u] != e
+                                if self.ue_state[u] != UeState::Connected || self.ue_serving[u] != e
                                 {
                                     continue;
                                 }
-                                let fade =
-                                    self.env.fast_fading_db(e, u, slot, fading_sigma_db);
+                                let fade = self.env.fast_fading_db(e, u, slot, fading_sigma_db);
                                 let inst = self
                                     .rate
                                     .max_rate_bps(self.sinr(u, e) * 10f64.powf(fade / 10.0));
@@ -424,18 +429,20 @@ impl Sim {
                             // EWMA update for every attached UE; only the
                             // winner receives bits this slot.
                             for u in 0..self.env.num_ues() {
-                                if self.ue_state[u] != UeState::Connected
-                                    || self.ue_serving[u] != e
+                                if self.ue_state[u] != UeState::Connected || self.ue_serving[u] != e
                                 {
                                     continue;
                                 }
-                                let served = best.map_or(0.0, |(w, _, inst)| {
-                                    if w == u {
-                                        inst
-                                    } else {
-                                        0.0
-                                    }
-                                });
+                                let served = best.map_or(
+                                    0.0,
+                                    |(w, _, inst)| {
+                                        if w == u {
+                                            inst
+                                        } else {
+                                            0.0
+                                        }
+                                    },
+                                );
                                 self.delivered_bits[u] += served * dt;
                                 self.window_bits[u] += served * dt;
                                 self.ewma_thpt[u] =
@@ -459,7 +466,9 @@ impl Sim {
                     if !self.on_air[serving] {
                         continue; // MacQuantum handles RLF
                     }
-                    let Some(best) = self.best_cell(u) else { continue };
+                    let Some(best) = self.best_cell(u) else {
+                        continue;
+                    };
                     if best == serving {
                         continue;
                     }
@@ -468,9 +477,15 @@ impl Sim {
                     if gain > self.cfg.a3_hysteresis_db {
                         self.ue_state[u] = UeState::HandingOver { target: best };
                         if self.cfg.x2_available {
-                            self.enqueue_mme(MmeJob::PathSwitch { ue: u, target: best });
+                            self.enqueue_mme(MmeJob::PathSwitch {
+                                ue: u,
+                                target: best,
+                            });
                         } else {
-                            self.enqueue_mme(MmeJob::S1Relay { ue: u, target: best });
+                            self.enqueue_mme(MmeJob::S1Relay {
+                                ue: u,
+                                target: best,
+                            });
                         }
                         triggered += 1;
                     }
@@ -546,7 +561,11 @@ impl Sim {
                     );
                 }
             }
-            Event::HandoverFinish { ue, target, seamless } => {
+            Event::HandoverFinish {
+                ue,
+                target,
+                seamless,
+            } => {
                 self.ue_serving[ue] = target;
                 self.ue_state[ue] = UeState::Connected;
                 if seamless {
@@ -564,16 +583,8 @@ impl Sim {
             }
             Event::WindowClose => {
                 let dt = self.cfg.window_ms as f64 / 1_000.0;
-                let rates: Vec<f64> = self
-                    .window_bits
-                    .iter()
-                    .map(|&b| b / dt / 1e6)
-                    .collect();
-                let utility = rates
-                    .iter()
-                    .filter(|&&r| r > 0.0)
-                    .map(|&r| r.log10())
-                    .sum();
+                let rates: Vec<f64> = self.window_bits.iter().map(|&b| b / dt / 1e6).collect();
+                let utility = rates.iter().filter(|&&r| r > 0.0).map(|&r| r.log10()).sum();
                 self.windows.push(WindowSample {
                     t_secs: now.as_secs_f64(),
                     utility,
@@ -587,7 +598,15 @@ impl Sim {
     }
 
     /// Deterministic waypoint for (ue, seq) inside the mobility box.
-    fn waypoint_for(&self, u: usize, seq: u64, min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> magus_geo::PointM {
+    fn waypoint_for(
+        &self,
+        u: usize,
+        seq: u64,
+        min_x: f64,
+        min_y: f64,
+        max_x: f64,
+        max_y: f64,
+    ) -> magus_geo::PointM {
         let mut z = (u as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15) ^ seq.rotate_left(17);
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
         z ^= z >> 27;
@@ -679,8 +698,8 @@ mod tests {
 
     #[test]
     fn outage_without_tuning_degrades_utility() {
-        let baseline = Sim::new(env2(), quiet(), SimConfig::default(), vec![])
-            .run(SimTime::from_secs(4));
+        let baseline =
+            Sim::new(env2(), quiet(), SimConfig::default(), vec![]).run(SimTime::from_secs(4));
         let outage_timeline = vec![(
             SimTime::from_secs(1),
             ChangeOp::SetOnAir(EnodebId(1), false),
@@ -699,9 +718,12 @@ mod tests {
 
     #[test]
     fn rlf_ues_eventually_reconnect() {
-        let timeline = vec![(SimTime::from_secs(1), ChangeOp::SetOnAir(EnodebId(1), false))];
-        let report = Sim::new(env2(), quiet(), SimConfig::default(), timeline)
-            .run(SimTime::from_secs(4));
+        let timeline = vec![(
+            SimTime::from_secs(1),
+            ChangeOp::SetOnAir(EnodebId(1), false),
+        )];
+        let report =
+            Sim::new(env2(), quiet(), SimConfig::default(), timeline).run(SimTime::from_secs(4));
         // After re-attach, the last window should show data for all UEs
         // (eNodeB 0 covers the floor once it's the only cell).
         let last = report.windows.last().expect("windows recorded");
@@ -722,8 +744,8 @@ mod tests {
                 ChangeOp::SetAttenuation(EnodebId(1), AttenuationLevel(30)),
             ),
         ];
-        let report = Sim::new(env2(), quiet(), SimConfig::default(), timeline)
-            .run(SimTime::from_secs(4));
+        let report =
+            Sim::new(env2(), quiet(), SimConfig::default(), timeline).run(SimTime::from_secs(4));
         assert!(
             report.handovers.seamless >= 1,
             "expected seamless handovers, got {:?}",
@@ -734,8 +756,8 @@ mod tests {
 
     #[test]
     fn windows_cover_the_run() {
-        let report = Sim::new(env2(), quiet(), SimConfig::default(), vec![])
-            .run(SimTime::from_secs(2));
+        let report =
+            Sim::new(env2(), quiet(), SimConfig::default(), vec![]).run(SimTime::from_secs(2));
         // 2 s / 500 ms = 4 windows.
         assert_eq!(report.windows.len(), 4);
         assert!(report.windows[0].t_secs < report.windows[3].t_secs);
@@ -762,8 +784,7 @@ mod tests {
             fading_sigma_db: 4.0,
         };
         let pf = Sim::new(env2(), quiet(), cfg, vec![]).run(SimTime::from_secs(5));
-        let eq = Sim::new(env2(), quiet(), SimConfig::default(), vec![])
-            .run(SimTime::from_secs(5));
+        let eq = Sim::new(env2(), quiet(), SimConfig::default(), vec![]).run(SimTime::from_secs(5));
         assert!(pf.mean_rates_mbps.iter().all(|&r| r > 0.0), "{pf:?}");
         let sum = |r: &SimReport| r.mean_rates_mbps.iter().sum::<f64>();
         assert!(
@@ -844,9 +865,12 @@ mod tests {
 
     #[test]
     fn mme_utilization_is_accounted() {
-        let timeline = vec![(SimTime::from_secs(1), ChangeOp::SetOnAir(EnodebId(1), false))];
-        let report = Sim::new(env2(), quiet(), SimConfig::default(), timeline)
-            .run(SimTime::from_secs(4));
+        let timeline = vec![(
+            SimTime::from_secs(1),
+            ChangeOp::SetOnAir(EnodebId(1), false),
+        )];
+        let report =
+            Sim::new(env2(), quiet(), SimConfig::default(), timeline).run(SimTime::from_secs(4));
         assert_eq!(
             report.handovers.mme_busy_ms,
             report.handovers.mme_jobs as u64 * SimConfig::default().mme_service_time_ms
@@ -865,9 +889,12 @@ mod tests {
             many_ues,
             5,
         );
-        let timeline = vec![(SimTime::from_secs(1), ChangeOp::SetOnAir(EnodebId(1), false))];
-        let report = Sim::new(env, quiet(), SimConfig::default(), timeline)
-            .run(SimTime::from_secs(4));
+        let timeline = vec![(
+            SimTime::from_secs(1),
+            ChangeOp::SetOnAir(EnodebId(1), false),
+        )];
+        let report =
+            Sim::new(env, quiet(), SimConfig::default(), timeline).run(SimTime::from_secs(4));
         assert!(
             report.handovers.max_mme_queue >= 6,
             "synchronized storm should pile up at the MME: {:?}",

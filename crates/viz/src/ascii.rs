@@ -106,13 +106,16 @@ mod tests {
 
     #[test]
     fn non_finite_cells_are_blank() {
-        let map = GridMap::from_fn(spec(3, 1), |c| {
-            if c.x == 1 {
-                f64::NEG_INFINITY
-            } else {
-                1.0
-            }
-        });
+        let map = GridMap::from_fn(
+            spec(3, 1),
+            |c| {
+                if c.x == 1 {
+                    f64::NEG_INFINITY
+                } else {
+                    1.0
+                }
+            },
+        );
         let art = ascii_heatmap(&map, 3);
         assert_eq!(art.lines().next().unwrap().as_bytes()[1], b' ');
     }

@@ -10,6 +10,8 @@
 //!   rasters: path-loss maps (Fig. 3/7), serving-sector coverage maps
 //!   with out-of-service cells in black (Fig. 4/8/10).
 
+#![forbid(unsafe_code)]
+
 pub mod ascii;
 pub mod image;
 

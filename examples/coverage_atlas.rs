@@ -30,7 +30,10 @@ fn main() {
         sinrs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         let q = |p: f64| sinrs[((sinrs.len() - 1) as f64 * p) as usize];
 
-        println!("\n=== {area} — {} sectors ===", market.network().num_sectors());
+        println!(
+            "\n=== {area} — {} sectors ===",
+            market.network().num_sectors()
+        );
         println!(
             "coverage {:.0}%   SINR quartiles {:.1} / {:.1} / {:.1} dB",
             map.coverage_fraction() * 100.0,

@@ -37,7 +37,11 @@ fn main() {
     );
     let nominal = Configuration::nominal(&network);
     let serving = probe.serving_map(&probe.initial_state(&nominal));
-    let totals: Vec<f64> = network.sectors().iter().map(|s| s.nominal_ue_count).collect();
+    let totals: Vec<f64> = network
+        .sectors()
+        .iter()
+        .map(|s| s.nominal_ue_count)
+        .collect();
     let base_layer = UeLayer::uniform_per_sector(spec, &serving, &totals);
 
     // The stadium: 25× density within 600 m of a point near the center.

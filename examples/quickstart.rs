@@ -37,8 +37,14 @@ fn main() {
     println!("target sector(s): {:?}", outcome.targets);
     println!("neighbors tuned:  {} candidates", outcome.neighbors.len());
     println!("f(C_before)  = {:>10.1}", outcome.before.performance);
-    println!("f(C_upgrade) = {:>10.1}   (no mitigation)", outcome.upgrade.performance);
-    println!("f(C_after)   = {:>10.1}   (Magus)", outcome.after.performance);
+    println!(
+        "f(C_upgrade) = {:>10.1}   (no mitigation)",
+        outcome.upgrade.performance
+    );
+    println!(
+        "f(C_after)   = {:>10.1}   (Magus)",
+        outcome.after.performance
+    );
     println!(
         "recovery ratio (paper Formula 7): {:.1}%",
         outcome.recovery(UtilityKind::Performance) * 100.0

@@ -25,7 +25,10 @@ fn busy_floor() -> RadioEnvironment {
     // A dozen UEs, most of them camped on the middle cell.
     let mut ues = vec![PointM::new(4.0, 3.0), PointM::new(52.0, -2.0)];
     for i in 0..10 {
-        ues.push(PointM::new(17.0 + (i % 5) as f64 * 3.4, -4.0 + (i / 5) as f64 * 8.0));
+        ues.push(PointM::new(
+            17.0 + (i % 5) as f64 * 3.4,
+            -4.0 + (i / 5) as f64 * 8.0,
+        ));
     }
     RadioEnvironment::new(enodebs, ues, 0xBEEF)
 }
@@ -48,7 +51,10 @@ fn main() {
 
     let (before, f_before) = optimize_attenuations(&env, &all_on, &cfg);
     let (after, f_after) = optimize_attenuations(&env, &without, &cfg);
-    println!("== busy floor: 3 eNodeBs, {} UEs, middle cell upgraded ==", env.num_ues());
+    println!(
+        "== busy floor: 3 eNodeBs, {} UEs, middle cell upgraded ==",
+        env.num_ues()
+    );
     println!(
         "C_before L = {:?} (f = {f_before:.2});  C_after L = {:?} (f = {f_after:.2})\n",
         before.iter().map(|l| l.0).collect::<Vec<_>>(),
@@ -65,8 +71,8 @@ fn main() {
             ));
         }
     }
-    let hard = Sim::new(env.clone(), before.clone(), cfg, hard_timeline)
-        .run(SimTime::from_secs(10));
+    let hard =
+        Sim::new(env.clone(), before.clone(), cfg, hard_timeline).run(SimTime::from_secs(10));
 
     // Run B: gradual, the Magus way — ramp the target down while ramping
     // the helping neighbors up *in lockstep* (so UEs always have somewhere
@@ -100,12 +106,14 @@ fn main() {
     for e in 0..n {
         if e != target.0 && after[e] > levels[e] {
             // Power reductions wait for the cutover.
-            gradual_timeline.push((SimTime::from_secs(3), ChangeOp::SetAttenuation(EnodebId(e), after[e])));
+            gradual_timeline.push((
+                SimTime::from_secs(3),
+                ChangeOp::SetAttenuation(EnodebId(e), after[e]),
+            ));
         }
     }
     gradual_timeline.sort_by_key(|(at, _)| *at);
-    let gradual = Sim::new(env.clone(), before, cfg, gradual_timeline)
-        .run(SimTime::from_secs(10));
+    let gradual = Sim::new(env.clone(), before, cfg, gradual_timeline).run(SimTime::from_secs(10));
 
     summarize("hard cutover", &hard);
     summarize("gradual", &gradual);

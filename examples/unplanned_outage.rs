@@ -10,12 +10,10 @@
 //! shot (no model latency), then lets a short feedback polish run — the
 //! hybrid `1 + k` strategy of the paper's §2.
 
-use magus::core::{
-    hybrid_model_feedback, ExperimentConfig, OutagePlaybook, TuningKind,
-};
+use magus::core::{hybrid_model_feedback, ExperimentConfig, OutagePlaybook, TuningKind};
+use magus::geo::PointM;
 use magus::model::{standard_setup, UtilityKind};
 use magus::net::{AreaType, Market, MarketParams};
-use magus::geo::PointM;
 
 fn main() {
     let market = Market::generate(MarketParams::tiny(AreaType::Suburban, 55));
@@ -52,12 +50,8 @@ fn main() {
     );
 
     // Optional feedback polish from the stored configuration (k ≪ K).
-    let polish = hybrid_model_feedback(
-        &model.evaluator,
-        &o.config_after,
-        &o.neighbors,
-        &cfg.search,
-    );
+    let polish =
+        hybrid_model_feedback(&model.evaluator, &o.config_after, &o.neighbors, &cfg.search);
     println!(
         "  feedback polish: k = {} extra steps, {:+.2} additional utility",
         polish.steps,

@@ -15,9 +15,7 @@
 //!    and never unleashing a synchronized-handover storm.
 //! 3. Print the exact change list a NOC could push, step by step.
 
-use magus::core::{
-    plan_gradual, run_recovery_with, ExperimentConfig, GradualParams, TuningKind,
-};
+use magus::core::{plan_gradual, run_recovery_with, ExperimentConfig, GradualParams, TuningKind};
 use magus::model::{standard_setup, UtilityKind};
 use magus::net::{AreaType, Market, MarketParams, UpgradeScenario};
 
@@ -34,7 +32,10 @@ fn main() {
         TuningKind::Joint,
         &ExperimentConfig::default(),
     );
-    println!("== planned upgrade: base station hosting sectors {:?} ==", outcome.targets);
+    println!(
+        "== planned upgrade: base station hosting sectors {:?} ==",
+        outcome.targets
+    );
     println!(
         "predicted impact without mitigation: utility {:.1} -> {:.1}",
         outcome.before.performance, outcome.upgrade.performance
@@ -52,7 +53,10 @@ fn main() {
         &GradualParams::default(),
     );
 
-    println!("== migration schedule (floor: f(C_after) = {:.1}) ==", plan.f_after);
+    println!(
+        "== migration schedule (floor: f(C_after) = {:.1}) ==",
+        plan.f_after
+    );
     for (k, step) in plan.steps.iter().enumerate() {
         println!(
             "step {k}: utility {:.1}, {:.0} UEs handed over ({:.0} seamless)",

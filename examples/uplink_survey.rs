@@ -10,6 +10,7 @@
 //! uplink first.
 
 use magus::core::ExperimentConfig;
+use magus::geo::Dbm;
 use magus::model::{standard_setup, UtilityKind};
 use magus::net::{AreaType, ConfigChange, Market, MarketParams, UpgradeScenario};
 
@@ -24,7 +25,7 @@ fn survey(label: &str, ev: &magus::model::Evaluator, st: &magus::model::ModelSta
     let mut ul_sum = 0.0;
     for i in 0..n {
         let dl = st.rmax_bps(i);
-        let ul = ev.uplink_rmax_bps(st, i, UE_TX_DBM);
+        let ul = ev.uplink_rmax_bps(st, i, Dbm(UE_TX_DBM));
         if dl > 0.0 {
             dl_served += 1;
             dl_sum += dl;
@@ -50,7 +51,10 @@ fn main() {
     let cfg = ExperimentConfig::default();
 
     let mut state = model.nominal_state();
-    println!("suburban market, {} sectors\n", market.network().num_sectors());
+    println!(
+        "suburban market, {} sectors\n",
+        market.network().num_sectors()
+    );
     survey("nominal", ev, &state);
 
     // Take the central station down and survey again.

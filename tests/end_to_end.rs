@@ -1,9 +1,7 @@
 //! End-to-end pipeline tests across crates: determinism, hardware-limit
 //! compliance, and schedule replay.
 
-use magus::core::{
-    plan_gradual, run_recovery_with, ExperimentConfig, GradualParams, TuningKind,
-};
+use magus::core::{plan_gradual, run_recovery_with, ExperimentConfig, GradualParams, TuningKind};
 use magus::model::{standard_setup, UtilityKind};
 use magus::net::{AreaType, ConfigChange, Market, MarketParams, UpgradeScenario};
 use magus::propagation::NUM_TILT_SETTINGS;

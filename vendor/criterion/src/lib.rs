@@ -1,0 +1,131 @@
+//! Offline stand-in for `criterion`: runs each registered benchmark a
+//! fixed number of iterations and reports mean wall-clock time per
+//! iteration. No warm-up modeling, outlier analysis, or HTML reports —
+//! enough to keep `cargo bench` meaningful for relative comparisons.
+
+use std::time::Instant;
+
+/// Drives closures under measurement.
+pub struct Bencher {
+    iters: u64,
+    /// (total nanoseconds, iterations) recorded by the last `iter` call.
+    last: Option<(u128, u64)>,
+}
+
+impl Bencher {
+    /// Times `f` over a fixed iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One untimed call to move lazy initialization out of the timing.
+        std::hint::black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.last = Some((start.elapsed().as_nanos(), self.iters));
+    }
+}
+
+/// The benchmark registry/driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 60 }
+    }
+}
+
+fn report(name: &str, last: Option<(u128, u64)>) {
+    match last {
+        Some((nanos, iters)) if iters > 0 => {
+            let per = nanos as f64 / iters as f64;
+            let (value, unit) = if per >= 1e9 {
+                (per / 1e9, "s")
+            } else if per >= 1e6 {
+                (per / 1e6, "ms")
+            } else if per >= 1e3 {
+                (per / 1e3, "µs")
+            } else {
+                (per, "ns")
+            };
+            println!("{name:<50} {value:>10.3} {unit}/iter ({iters} iters)");
+        }
+        _ => println!("{name:<50} (no measurement)"),
+    }
+}
+
+impl Criterion {
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            iters: self.sample_size as u64,
+            last: None,
+        };
+        f(&mut b);
+        report(name, b.last);
+        self
+    }
+
+    /// Opens a named group sharing this driver's settings.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A group of related benchmarks with its own sample size.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the iteration count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let iters = self.sample_size.unwrap_or(self.parent.sample_size) as u64;
+        let mut b = Bencher { iters, last: None };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, name), b.last);
+        self
+    }
+
+    /// Ends the group (report flushing is immediate; kept for API shape).
+    pub fn finish(&mut self) {}
+}
+
+/// Prevents the optimizer from discarding a value (compat re-export).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

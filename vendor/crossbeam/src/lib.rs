@@ -1,0 +1,140 @@
+//! Offline stand-in for `crossbeam`: scoped threads over
+//! `std::thread::scope` and a clonable multi-consumer unbounded channel
+//! over `std::sync::mpsc` — the two pieces the bench harness uses for
+//! its parallel market map.
+
+use std::any::Any;
+use std::sync::{mpsc, Arc, Mutex};
+
+/// Multi-producer multi-consumer channels.
+pub mod channel {
+    use super::*;
+
+    /// Sending half; clonable.
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            Sender(self.0.clone())
+        }
+    }
+
+    /// Receiving half; clonable (receivers share one queue — each
+    /// message is delivered to exactly one receiver).
+    pub struct Receiver<T>(Arc<Mutex<mpsc::Receiver<T>>>);
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Receiver<T> {
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty
+    /// and all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl<T> Sender<T> {
+        /// Enqueues a message.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks for the next message; errors once the channel is
+        /// drained and every sender has been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let guard = self
+                .0
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            guard.recv().map_err(|_| RecvError)
+        }
+
+        /// Non-blocking receive attempt.
+        pub fn try_recv(&self) -> Result<T, RecvError> {
+            let guard = self
+                .0
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            guard.try_recv().map_err(|_| RecvError)
+        }
+    }
+
+    /// Creates an unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(Arc::new(Mutex::new(rx))))
+    }
+}
+
+/// A scope handle for spawning borrowing threads; mirrors
+/// `crossbeam::thread::Scope` closely enough for `|_|` closures.
+pub struct Scope<'scope, 'env: 'scope>(&'scope std::thread::Scope<'scope, 'env>);
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a thread that may borrow from the enclosing scope. The
+    /// closure receives the scope handle again (crossbeam's signature),
+    /// allowing nested spawns.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.0;
+        inner.spawn(move || f(&Scope(inner)))
+    }
+}
+
+/// Runs `f` with a scope in which borrowing threads can be spawned;
+/// returns once every spawned thread has finished.
+///
+/// Unlike real crossbeam, a panicking child propagates the panic out of
+/// `scope` (std semantics) instead of surfacing it in the `Err` arm, so
+/// the error arm here is vestigial — callers' `.expect(...)` still works.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope(s))))
+}
+
+/// `crossbeam::thread` module alias, matching the real crate layout.
+pub mod thread {
+    pub use crate::{scope, Scope};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_workers_drain_shared_queue() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        for i in 0..100 {
+            tx.send(i).expect("open");
+        }
+        drop(tx);
+        let total = std::sync::Mutex::new(0u32);
+        scope(|s| {
+            for _ in 0..4 {
+                let rx = rx.clone();
+                let total = &total;
+                s.spawn(move |_| {
+                    while let Ok(v) = rx.recv() {
+                        *total.lock().expect("sane") += v;
+                    }
+                });
+            }
+        })
+        .expect("no panics");
+        assert_eq!(*total.lock().expect("sane"), (0..100).sum());
+    }
+}

@@ -1,0 +1,156 @@
+//! Offline stand-in for `rand` 0.9.
+//!
+//! Implements the trait surface this workspace uses — [`RngCore`],
+//! [`Rng::random_range`]/[`Rng::random`], and [`SeedableRng`] (including
+//! the SplitMix64-based `seed_from_u64` seed expansion, so ChaCha
+//! streams stay deterministic per seed) — with the rand 0.9 method
+//! names. Distribution machinery, `thread_rng`, and OS entropy are
+//! deliberately absent: every RNG in this repo is explicitly seeded.
+
+use std::ops::{Range, RangeInclusive};
+
+/// The core RNG interface: a source of uniform random words.
+pub trait RngCore {
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+/// A uniform f64 in `[0, 1)` built from the top 53 bits of a word.
+#[inline]
+fn unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types that can be sampled uniformly from a range by an RNG.
+pub trait SampleRange<T> {
+    /// Draws one value. Panics on an empty range.
+    fn sample(self, rng: &mut (impl RngCore + ?Sized)) -> T;
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample(self, rng: &mut (impl RngCore + ?Sized)) -> f64 {
+        assert!(self.start < self.end, "empty f64 sample range");
+        self.start + unit_f64(rng.next_u64()) * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample(self, rng: &mut (impl RngCore + ?Sized)) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty f64 sample range");
+        lo + unit_f64(rng.next_u64()) * (hi - lo)
+    }
+}
+
+macro_rules! sample_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut (impl RngCore + ?Sized)) -> $t {
+                assert!(self.start < self.end, "empty integer sample range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = (rng.next_u64() as u128) % span;
+                (self.start as i128 + draw as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut (impl RngCore + ?Sized)) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty integer sample range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let draw = (rng.next_u64() as u128) % span;
+                (lo as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+sample_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Convenience sampling methods, auto-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform draw from `range`.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// A uniform draw over a type's full natural domain
+    /// (`f64`/`f32` in `[0, 1)`, `bool` fair coin, integers full width).
+    fn random<T: Random>(&mut self) -> T {
+        T::random(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Full-domain uniform sampling, used by [`Rng::random`].
+pub trait Random {
+    /// Draws one value.
+    fn random(rng: &mut (impl RngCore + ?Sized)) -> Self;
+}
+
+impl Random for f64 {
+    fn random(rng: &mut (impl RngCore + ?Sized)) -> f64 {
+        unit_f64(rng.next_u64())
+    }
+}
+impl Random for bool {
+    fn random(rng: &mut (impl RngCore + ?Sized)) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+impl Random for u64 {
+    fn random(rng: &mut (impl RngCore + ?Sized)) -> u64 {
+        rng.next_u64()
+    }
+}
+impl Random for u32 {
+    fn random(rng: &mut (impl RngCore + ?Sized)) -> u32 {
+        rng.next_u32()
+    }
+}
+
+/// RNGs constructible from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// The seed type (a byte array).
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Builds the RNG from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed via SplitMix64 (the same
+    /// construction real rand uses, so streams are stable per seed).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Commonly used items, mirroring `rand::prelude`.
+pub mod prelude {
+    pub use crate::{Rng, RngCore, SeedableRng};
+}

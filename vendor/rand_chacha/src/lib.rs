@@ -1,0 +1,148 @@
+//! Offline stand-in for `rand_chacha`: genuine ChaCha block functions
+//! (8, 12, and 20 double-round variants) behind the rand-stub traits.
+//! Output streams are deterministic per seed, which is the property the
+//! workspace actually relies on (market/terrain generation and the
+//! testbed are all explicitly seeded); they are not bit-compatible with
+//! the real `rand_chacha` streams.
+
+use rand::{RngCore, SeedableRng};
+
+/// One ChaCha quarter round.
+#[inline]
+fn quarter(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// The ChaCha block function with `rounds` total rounds (8/12/20).
+fn chacha_block(key: &[u32; 8], counter: u64, rounds: u32) -> [u32; 16] {
+    let mut state = [
+        0x6170_7865,
+        0x3320_646e,
+        0x7962_2d32,
+        0x6b20_6574,
+        key[0],
+        key[1],
+        key[2],
+        key[3],
+        key[4],
+        key[5],
+        key[6],
+        key[7],
+        counter as u32,
+        (counter >> 32) as u32,
+        0,
+        0,
+    ];
+    let initial = state;
+    for _ in 0..rounds / 2 {
+        quarter(&mut state, 0, 4, 8, 12);
+        quarter(&mut state, 1, 5, 9, 13);
+        quarter(&mut state, 2, 6, 10, 14);
+        quarter(&mut state, 3, 7, 11, 15);
+        quarter(&mut state, 0, 5, 10, 15);
+        quarter(&mut state, 1, 6, 11, 12);
+        quarter(&mut state, 2, 7, 8, 13);
+        quarter(&mut state, 3, 4, 9, 14);
+    }
+    for (s, i) in state.iter_mut().zip(initial) {
+        *s = s.wrapping_add(i);
+    }
+    state
+}
+
+macro_rules! chacha_rng {
+    ($name:ident, $rounds:expr, $doc:expr) => {
+        #[doc = $doc]
+        #[derive(Debug, Clone)]
+        pub struct $name {
+            key: [u32; 8],
+            counter: u64,
+            block: [u32; 16],
+            index: usize,
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: [u8; 32]) -> $name {
+                let mut key = [0u32; 8];
+                for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+                    *k = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+                }
+                $name {
+                    key,
+                    counter: 0,
+                    block: [0; 16],
+                    index: 16, // forces a refill on first use
+                }
+            }
+        }
+
+        impl RngCore for $name {
+            fn next_u32(&mut self) -> u32 {
+                if self.index >= 16 {
+                    self.block = chacha_block(&self.key, self.counter, $rounds);
+                    self.counter = self.counter.wrapping_add(1);
+                    self.index = 0;
+                }
+                let word = self.block[self.index];
+                self.index += 1;
+                word
+            }
+
+            fn next_u64(&mut self) -> u64 {
+                let lo = self.next_u32() as u64;
+                let hi = self.next_u32() as u64;
+                lo | (hi << 32)
+            }
+        }
+    };
+}
+
+chacha_rng!(
+    ChaCha8Rng,
+    8,
+    "ChaCha with 8 rounds (fast, statistically strong)."
+);
+chacha_rng!(ChaCha12Rng, 12, "ChaCha with 12 rounds.");
+chacha_rng!(
+    ChaCha20Rng,
+    20,
+    "ChaCha with 20 rounds (the IETF cipher core)."
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..32).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_are_in_bounds() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: f64 = rng.random_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&v));
+            let i: u32 = rng.random_range(5..10);
+            assert!((5..10).contains(&i));
+        }
+    }
+}

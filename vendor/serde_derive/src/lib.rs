@@ -1,0 +1,422 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! shapes this workspace uses: plain structs (named, tuple, unit) and
+//! enums (unit, tuple, struct variants), with at most simple `<T>` type
+//! parameters and **no** `#[serde(...)]` attributes. Parsing is done
+//! directly over `proc_macro::TokenStream` (no `syn`/`quote` — the build
+//! sandbox has no network), and code is generated as source text.
+//!
+//! The generated impls target the Value-based traits of the sibling
+//! `serde` stub: `serialize_value(&self) -> Value` and
+//! `deserialize_value(&Value) -> Result<Self, DeError>`, using serde's
+//! external enum tagging (`"Variant"` / `{"Variant": ...}`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    /// Bare type-parameter names (e.g. `["T"]` for `GridMap<T>`).
+    generics: Vec<String>,
+    kind: Kind,
+}
+
+#[derive(Debug)]
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: VFields,
+}
+
+#[derive(Debug)]
+enum VFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derives the Value-based `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives the Value-based `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---- parsing ---------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut toks = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut toks);
+    let keyword = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    let generics = parse_generics(&mut toks);
+    match keyword.as_str() {
+        "struct" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Input {
+                name,
+                generics,
+                kind: Kind::NamedStruct(parse_named_fields(g.stream())),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Input {
+                name,
+                generics,
+                kind: Kind::TupleStruct(count_tuple_fields(g.stream())),
+            },
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Input {
+                name,
+                generics,
+                kind: Kind::UnitStruct,
+            },
+            other => panic!("unsupported struct body: {other:?}"),
+        },
+        "enum" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Input {
+                name,
+                generics,
+                kind: Kind::Enum(parse_variants(g.stream())),
+            },
+            other => panic!("expected enum body, found {other:?}"),
+        },
+        other => panic!("cannot derive for `{other}`"),
+    }
+}
+
+fn skip_attrs_and_vis(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                toks.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `<T, U>` after the type name; only bare type parameters are
+/// supported (no bounds, lifetimes, or const generics — the workspace
+/// doesn't derive on such types).
+fn parse_generics(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> Vec<String> {
+    match toks.peek() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => return Vec::new(),
+    }
+    toks.next();
+    let mut params = Vec::new();
+    let mut depth = 1usize;
+    while depth > 0 {
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+            Some(TokenTree::Ident(i)) if depth == 1 => params.push(i.to_string()),
+            Some(_) => {}
+            None => panic!("unterminated generics"),
+        }
+    }
+    params
+}
+
+/// Splits a token stream at top-level commas. Groups are atomic token
+/// trees; only `<`/`>` nesting needs explicit tracking.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle = 0usize;
+    for t in stream {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' && angle > 0 => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                out.push(std::mem::take(&mut cur));
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(t);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .into_iter()
+        .filter(|seg| !seg.is_empty())
+        .map(|seg| {
+            let mut it = seg.into_iter().peekable();
+            skip_attrs_and_vis(&mut it);
+            match it.next() {
+                Some(TokenTree::Ident(i)) => i.to_string(),
+                other => panic!("expected field name, found {other:?}"),
+            }
+        })
+        .collect()
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level(stream)
+        .into_iter()
+        .filter(|seg| !seg.is_empty())
+        .count()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level(stream)
+        .into_iter()
+        .filter(|seg| !seg.is_empty())
+        .map(|seg| {
+            let mut it = seg.into_iter().peekable();
+            skip_attrs_and_vis(&mut it);
+            let name = match it.next() {
+                Some(TokenTree::Ident(i)) => i.to_string(),
+                other => panic!("expected variant name, found {other:?}"),
+            };
+            let fields = match it.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VFields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VFields::Named(parse_named_fields(g.stream()))
+                }
+                // `= discriminant` or end of variant: unit either way.
+                _ => VFields::Unit,
+            };
+            Variant { name, fields }
+        })
+        .collect()
+}
+
+// ---- code generation -------------------------------------------------
+
+fn impl_header(input: &Input, trait_name: &str) -> String {
+    if input.generics.is_empty() {
+        format!("impl ::serde::{trait_name} for {}", input.name)
+    } else {
+        let bounded: Vec<String> = input
+            .generics
+            .iter()
+            .map(|g| format!("{g}: ::serde::{trait_name}"))
+            .collect();
+        let bare = input.generics.join(", ");
+        format!(
+            "impl<{}> ::serde::{trait_name} for {}<{bare}>",
+            bounded.join(", "),
+            input.name
+        )
+    }
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) => {
+            let mut s = String::from("let mut m = ::serde::Map::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "m.insert(\"{f}\", ::serde::Serialize::serialize_value(&self.{f}));\n"
+                ));
+            }
+            s.push_str("::serde::Value::Object(m)");
+            s
+        }
+        Kind::TupleStruct(1) => "::serde::Serialize::serialize_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let name = &input.name;
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    VFields::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::String(\"{vname}\".to_string()),\n"
+                    )),
+                    VFields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::serialize_value(f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => {{\n\
+                             let mut m = ::serde::Map::new();\n\
+                             m.insert(\"{vname}\", {inner});\n\
+                             ::serde::Value::Object(m)\n}}\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    VFields::Named(fields) => {
+                        let mut inner = String::from("let mut fm = ::serde::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "fm.insert(\"{f}\", ::serde::Serialize::serialize_value({f}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => {{\n\
+                             {inner}\
+                             let mut m = ::serde::Map::new();\n\
+                             m.insert(\"{vname}\", ::serde::Value::Object(fm));\n\
+                             ::serde::Value::Object(m)\n}}\n",
+                            fields.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "{} {{\nfn serialize_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}",
+        impl_header(input, "Serialize")
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) => {
+            let mut s = format!(
+                "let m = v.as_object().ok_or_else(|| ::serde::DeError::expected(\"object\", v.kind()))?;\n\
+                 Ok({name} {{\n"
+            );
+            for f in fields {
+                s.push_str(&format!(
+                    "{f}: ::serde::Deserialize::deserialize_value(\
+                     m.get(\"{f}\").ok_or_else(|| ::serde::DeError::missing_field(\"{f}\"))?)?,\n"
+                ));
+            }
+            s.push_str("})");
+            s
+        }
+        Kind::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::deserialize_value(v)?))")
+        }
+        Kind::TupleStruct(n) => {
+            let mut s = format!(
+                "let a = v.as_array().ok_or_else(|| ::serde::DeError::expected(\"array\", v.kind()))?;\n\
+                 if a.len() != {n} {{\n\
+                 return Err(::serde::DeError::custom(format!(\"expected {n} elements, got {{}}\", a.len())));\n\
+                 }}\nOk({name}(\n"
+            );
+            for i in 0..*n {
+                s.push_str(&format!(
+                    "::serde::Deserialize::deserialize_value(&a[{i}])?,\n"
+                ));
+            }
+            s.push_str("))");
+            s
+        }
+        Kind::UnitStruct => format!("let _ = v; Ok({name})"),
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    VFields::Unit => unit_arms.push_str(&format!(
+                        "\"{vname}\" => Ok({name}::{vname}),\n"
+                    )),
+                    VFields::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vname}\" => Ok({name}::{vname}(::serde::Deserialize::deserialize_value(inner)?)),\n"
+                    )),
+                    VFields::Tuple(n) => {
+                        let mut arm = format!(
+                            "\"{vname}\" => {{\n\
+                             let a = inner.as_array().ok_or_else(|| ::serde::DeError::expected(\"array\", inner.kind()))?;\n\
+                             if a.len() != {n} {{\n\
+                             return Err(::serde::DeError::custom(\"wrong tuple arity\"));\n\
+                             }}\nOk({name}::{vname}(\n"
+                        );
+                        for i in 0..*n {
+                            arm.push_str(&format!(
+                                "::serde::Deserialize::deserialize_value(&a[{i}])?,\n"
+                            ));
+                        }
+                        arm.push_str("))\n}\n");
+                        data_arms.push_str(&arm);
+                    }
+                    VFields::Named(fields) => {
+                        let mut arm = format!(
+                            "\"{vname}\" => {{\n\
+                             let fm = inner.as_object().ok_or_else(|| ::serde::DeError::expected(\"object\", inner.kind()))?;\n\
+                             Ok({name}::{vname} {{\n"
+                        );
+                        for f in fields {
+                            arm.push_str(&format!(
+                                "{f}: ::serde::Deserialize::deserialize_value(\
+                                 fm.get(\"{f}\").ok_or_else(|| ::serde::DeError::missing_field(\"{f}\"))?)?,\n"
+                            ));
+                        }
+                        arm.push_str("})\n}\n");
+                        data_arms.push_str(&arm);
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                 ::serde::Value::String(s) => match s.as_str() {{\n\
+                 {unit_arms}\
+                 other => Err(::serde::DeError::custom(format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                 }},\n\
+                 ::serde::Value::Object(m) if m.len() == 1 => {{\n\
+                 let (tag, inner) = m.iter().next().expect(\"len checked\");\n\
+                 match tag.as_str() {{\n\
+                 {data_arms}\
+                 other => Err(::serde::DeError::custom(format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 other => Err(::serde::DeError::expected(\"enum representation\", other.kind())),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "{} {{\nfn deserialize_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}",
+        impl_header(input, "Deserialize")
+    )
+}
