@@ -32,4 +32,9 @@ if r["unused_allow_rules"]:
         print(f"    {rule}")
 EOF
 
+echo "==> obs overhead gate"
+# Fixed tiny scenario, ObsLevel::Off vs Full interleaved; fails (exit 1)
+# past 10% wall-clock overhead (MAGUS_OBS_OVERHEAD_MAX_PCT to override).
+cargo run -q --release -p magus-bench --bin obs_overhead
+
 echo "CI: all stages green"

@@ -1,7 +1,7 @@
 //! Static-analysis gate for the Magus workspace.
 //!
 //! `cargo run -p magus-audit -- check` walks every `crates/*/src/**.rs`
-//! with a comment/string-aware line scanner and enforces four passes:
+//! with a comment/string-aware line scanner and enforces five passes:
 //!
 //! * **unit-safety** — public `fn` signatures in library crates must not
 //!   take bare `f64` parameters whose names claim a radio unit
@@ -18,6 +18,11 @@
 //!   `[workspace.lints]`, every member must inherit it with
 //!   `lints.workspace = true`, and every crate root must carry
 //!   `#![forbid(unsafe_code)]`.
+//! * **no-bare-print** — no `println!`/`eprintln!` (or `print!`/
+//!   `eprint!`) in non-test library code outside `main.rs` and
+//!   `src/bin/`; library code reports through `magus-obs` or hands
+//!   text back to the binary layer. The CLI command surface and the
+//!   bench harness's progress logging are allowlisted with reasons.
 //!
 //! Findings are suppressed only through the explicit allowlist file
 //! (`audit.allowlist` at the audited root) where every rule carries a
@@ -146,6 +151,7 @@ pub fn run_audit(root: &Path, allow: &Allowlist) -> Result<AuditReport, AuditErr
     findings.extend(passes::panic_freedom(&sources));
     findings.extend(passes::cast_audit(&sources));
     findings.extend(passes::lint_gate(root)?);
+    findings.extend(passes::no_bare_print(&sources));
     Ok(report::build_report(root, findings, allow))
 }
 

@@ -1,4 +1,4 @@
-//! The four audit passes.
+//! The audit passes.
 
 use crate::report::Finding;
 use crate::scan::SourceFile;
@@ -13,6 +13,8 @@ pub const PASS_PANIC_FREEDOM: &str = "panic-freedom";
 pub const PASS_CAST_AUDIT: &str = "cast-audit";
 /// See [`PASS_UNIT_SAFETY`].
 pub const PASS_LINT_GATE: &str = "lint-gate";
+/// See [`PASS_UNIT_SAFETY`].
+pub const PASS_NO_BARE_PRINT: &str = "no-bare-print";
 
 fn finding(pass: &str, file: &SourceFile, line_no: usize, message: String) -> Finding {
     Finding {
@@ -308,6 +310,58 @@ pub fn cast_audit(sources: &[SourceFile]) -> Vec<Finding> {
     out
 }
 
+// -------------------------------------------------------------- no-bare-print
+
+/// Macros that write straight to stdout/stderr.
+const PRINT_TOKENS: &[&str] = &["println!(", "eprintln!(", "print!(", "eprint!("];
+
+/// Flags direct stdout/stderr printing in non-test library code.
+/// `main.rs` crate roots and `src/bin/` binaries are exempt: their
+/// printed text is the program's interface. Everything else reports
+/// through `magus-obs` (counters, trace events) or returns data for the
+/// binary layer to render; the few legitimate library-side print sites
+/// are allowlisted with a reason.
+pub fn no_bare_print(sources: &[SourceFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for file in sources {
+        if file.rel.ends_with("/main.rs") || file.rel.contains("/src/bin/") {
+            continue;
+        }
+        for (no, line) in file.lines.iter().enumerate() {
+            if line.in_test {
+                continue;
+            }
+            for tok in PRINT_TOKENS {
+                let mut search = 0;
+                while let Some(pos) = line.code[search..].find(tok) {
+                    let abs = search + pos;
+                    search = abs + tok.len();
+                    // Token boundary: `eprintln!(` embeds `println!(`,
+                    // and `eprint!(` embeds `print!(` — only the
+                    // longest match at each site may report.
+                    if line.code[..abs]
+                        .chars()
+                        .next_back()
+                        .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
+                    {
+                        continue;
+                    }
+                    out.push(finding(
+                        PASS_NO_BARE_PRINT,
+                        file,
+                        no,
+                        format!(
+                            "`{tok}…)` in non-main library code; emit a magus-obs \
+                             metric/trace event or return the text to the binary layer"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
 // ------------------------------------------------------------------ lint-gate
 
 /// Verifies the workspace lint plumbing: `[workspace.lints]` at the
@@ -480,5 +534,41 @@ mod tests {
     fn cast_audit_limited_to_numeric_crates() {
         let f = file("viz", "fn f(a: f64) { let x = (a * 2.0) as usize; }\n");
         assert!(cast_audit(&[f]).is_empty());
+    }
+
+    #[test]
+    fn no_bare_print_flags_library_prints_once_each() {
+        let f = file(
+            "model",
+            "pub fn f(x: u8) {\n    println!(\"{x}\");\n    eprintln!(\"{x}\");\n}\n",
+        );
+        let found = no_bare_print(&[f]);
+        // `eprintln!(` must not double-report via its embedded `println!(`.
+        assert_eq!(found.len(), 2, "{found:?}");
+        assert_eq!(found[0].line, 2);
+        assert_eq!(found[1].line, 3);
+    }
+
+    #[test]
+    fn no_bare_print_skips_tests_comments_and_binaries() {
+        let lib = file(
+            "model",
+            "pub fn f() {}\n// println!(\"in prose\") is fine\n#[cfg(test)]\nmod t {\n    fn g() { println!(\"dbg\"); }\n}\n",
+        );
+        assert!(no_bare_print(&[lib]).is_empty());
+        let main = SourceFile::scan(
+            PathBuf::from("main.rs"),
+            "crates/cli/src/main.rs".to_string(),
+            "cli".to_string(),
+            "fn main() { println!(\"out\"); }\n",
+        );
+        assert!(no_bare_print(&[main]).is_empty());
+        let bin = SourceFile::scan(
+            PathBuf::from("t1.rs"),
+            "crates/bench/src/bin/t1.rs".to_string(),
+            "bench".to_string(),
+            "fn main() { println!(\"out\"); }\n",
+        );
+        assert!(no_bare_print(&[bin]).is_empty());
     }
 }

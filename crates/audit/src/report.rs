@@ -153,7 +153,9 @@ impl AuditReport {
 
 /// Splits raw findings into suppressed/unsuppressed and tallies passes.
 pub fn build_report(root: &Path, all: Vec<Finding>, allow: &Allowlist) -> AuditReport {
-    use crate::passes::{PASS_CAST_AUDIT, PASS_LINT_GATE, PASS_PANIC_FREEDOM, PASS_UNIT_SAFETY};
+    use crate::passes::{
+        PASS_CAST_AUDIT, PASS_LINT_GATE, PASS_NO_BARE_PRINT, PASS_PANIC_FREEDOM, PASS_UNIT_SAFETY,
+    };
     let mut findings = Vec::new();
     let mut suppressed = Vec::new();
     for f in all {
@@ -170,6 +172,7 @@ pub fn build_report(root: &Path, all: Vec<Finding>, allow: &Allowlist) -> AuditR
         PASS_PANIC_FREEDOM,
         PASS_CAST_AUDIT,
         PASS_LINT_GATE,
+        PASS_NO_BARE_PRINT,
     ]
     .iter()
     .map(|&pass| PassStats {

@@ -24,8 +24,9 @@ fn bad_fixture_yields_exact_finding_counts() {
     assert_eq!(count(&report, "panic-freedom"), (3, 0), "{report:#?}");
     assert_eq!(count(&report, "cast-audit"), (2, 0), "{report:#?}");
     assert_eq!(count(&report, "lint-gate"), (5, 0), "{report:#?}");
+    assert_eq!(count(&report, "no-bare-print"), (2, 0), "{report:#?}");
     assert!(!report.ok());
-    assert_eq!(report.findings.len(), 13);
+    assert_eq!(report.findings.len(), 15);
 }
 
 #[test]
@@ -48,12 +49,18 @@ fn fixture_findings_point_at_the_right_lines() {
     // The two computed narrowings.
     assert_eq!(at("cast-audit", 30), 1);
     assert_eq!(at("cast-audit", 31), 1);
-    // Nothing from the cfg(test) module (lines 36+) or from the
-    // panic-exempt cli crate's code.
+    // The two library print sites, one finding each (the embedded
+    // `println!(` inside `eprintln!(` must not double-report).
+    assert_eq!(at("no-bare-print", 38), 1);
+    assert_eq!(at("no-bare-print", 39), 1);
+    // Nothing from the cfg(test) module (lines 42+), from the
+    // panic-exempt cli crate's code, or from the cli `main.rs` prints
+    // (crate roots are exempt from no-bare-print).
     assert!(report.findings.iter().all(|f| {
-        !(f.file.ends_with("geo/src/lib.rs") && f.line >= 36)
+        !(f.file.ends_with("geo/src/lib.rs") && f.line >= 42)
             && !(f.pass == "panic-freedom" && f.file.contains("cli"))
             && !(f.pass == "cast-audit" && f.file.contains("cli"))
+            && !(f.pass == "no-bare-print" && f.file.contains("cli"))
     }));
 }
 
@@ -97,7 +104,7 @@ fn binary_exits_nonzero_on_fixture_and_writes_json() {
     assert_eq!(status.status.code(), Some(1), "{status:?}");
     let text = std::fs::read_to_string(&json).expect("report written");
     assert!(text.contains("\"ok\": false"));
-    assert!(text.contains("\"unsuppressed_total\": 13"));
+    assert!(text.contains("\"unsuppressed_total\": 15"));
 }
 
 #[test]

@@ -33,6 +33,12 @@ pub fn narrow(a: f64, b: f64, i: u16) -> usize {
     x as usize + y as usize + ok
 }
 
+/// no-bare-print: library code writing straight to stdout/stderr.
+pub fn noisy(x: u32) {
+    println!("x = {x}");
+    eprintln!("x = {x}");
+}
+
 #[cfg(test)]
 mod tests {
     #[test]

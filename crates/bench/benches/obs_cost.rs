@@ -1,0 +1,45 @@
+//! Criterion benches of the magus-obs primitives: the per-event cost a
+//! counter or histogram adds to an instrumented hot path, at each
+//! observability level. The disabled-level numbers are the price every
+//! un-instrumented run pays (one relaxed atomic load per macro site).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_obs(c: &mut Criterion) {
+    magus_obs::set_level(magus_obs::ObsLevel::Off);
+    c.bench_function("obs/counter_inc_off", |b| {
+        b.iter(|| magus_obs::counter_inc!("bench.counter.off"))
+    });
+    c.bench_function("obs/histogram_observe_off", |b| {
+        b.iter(|| magus_obs::observe!("bench.histo.off", black_box(1234u64)))
+    });
+
+    magus_obs::set_level(magus_obs::ObsLevel::Counters);
+    c.bench_function("obs/counter_inc_counters", |b| {
+        b.iter(|| magus_obs::counter_inc!("bench.counter.on"))
+    });
+
+    magus_obs::set_level(magus_obs::ObsLevel::Full);
+    c.bench_function("obs/counter_inc_full", |b| {
+        b.iter(|| magus_obs::counter_inc!("bench.counter.full"))
+    });
+    c.bench_function("obs/histogram_observe_full", |b| {
+        b.iter(|| magus_obs::observe!("bench.histo.full", black_box(1234u64)))
+    });
+    c.bench_function("obs/timed_full", |b| {
+        b.iter(|| magus_obs::timed!("bench.timed.full", black_box(2u64) + 2))
+    });
+    c.bench_function("obs/span_full", |b| {
+        b.iter(|| {
+            let _g = magus_obs::span_enter("bench_span");
+            black_box(1u64)
+        })
+    });
+
+    magus_obs::set_level(magus_obs::ObsLevel::Off);
+    magus_obs::registry().reset();
+}
+
+criterion_group!(benches, bench_obs);
+criterion_main!(benches);

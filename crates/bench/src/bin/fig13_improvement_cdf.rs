@@ -6,7 +6,9 @@
 //! [27] scenarios (81%) … never below 0.9 … maximum 3.87 … overall 21%
 //! better".
 
-use magus_bench::{cdf, map_markets_parallel, mean, write_artifact, Scale};
+use magus_bench::{
+    cdf, emit_expectation, init_obs_from_env, map_markets_parallel, mean, write_artifact, Scale,
+};
 use magus_core::{prepare_scenario, ExperimentConfig, TuningKind};
 use magus_model::UtilityKind;
 use magus_net::UpgradeScenario;
@@ -23,6 +25,7 @@ struct Sample {
 }
 
 fn main() {
+    init_obs_from_env();
     let scale = Scale::from_env();
     let cfg = ExperimentConfig::default();
     let per_market = map_markets_parallel(scale, |area, seed, market, model| {
@@ -87,5 +90,25 @@ fn main() {
         finite.iter().cloned().fold(f64::INFINITY, f64::min),
     );
     println!("Paper: ≥1 for 81% of scenarios, mean 1.21, max 3.87, min ≥ 0.9.");
+    let frac_ge_1 = at_least_one as f64 / finite.len().max(1) as f64;
+    emit_expectation(
+        "fig13_improvement_cdf",
+        "fraction with ratio >= 1",
+        0.81,
+        frac_ge_1,
+    );
+    emit_expectation(
+        "fig13_improvement_cdf",
+        "mean improvement ratio",
+        1.21,
+        mean(&finite),
+    );
+    emit_expectation(
+        "fig13_improvement_cdf",
+        "max improvement ratio",
+        3.87,
+        finite.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+    );
     write_artifact("fig13_improvement_cdf", &samples);
+    let _ = magus_obs::flush_trace();
 }

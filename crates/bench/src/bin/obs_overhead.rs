@@ -1,0 +1,79 @@
+//! Observability overhead smoke gate.
+//!
+//! Runs the same fixed small mitigation workload with `ObsLevel::Off`
+//! and `ObsLevel::Full` in interleaved repetitions and compares the
+//! minimum wall-clock of each level (minimum, not mean: the minimum is
+//! the least-noise estimate on a shared machine). The gate fails — exit
+//! code 1, consumed by ci.sh — when full-level instrumentation costs
+//! more than the allowed overhead (default 10%, override with
+//! `MAGUS_OBS_OVERHEAD_MAX_PCT`). Repetitions default to 3 per level
+//! (`MAGUS_OBS_OVERHEAD_REPS`).
+
+use magus_bench::build_market;
+use magus_bench::Scale;
+use magus_core::{prepare_scenario, ExperimentConfig, TuningKind};
+use magus_net::{AreaType, UpgradeScenario};
+use std::hint::black_box;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+fn env_or(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() -> ExitCode {
+    let max_overhead = env_or("MAGUS_OBS_OVERHEAD_MAX_PCT", 10.0);
+    let reps = env_or("MAGUS_OBS_OVERHEAD_REPS", 3.0).max(1.0) as usize;
+
+    // Fixed scenario regardless of MAGUS_SCALE: the gate must measure
+    // the same work every CI run.
+    let market = build_market(AreaType::Suburban, 1, Scale::Tiny);
+    let model = magus_model::standard_setup(&market, magus_lte::Bandwidth::Mhz10);
+    let cfg = ExperimentConfig::default();
+    let workload = || {
+        let prepared =
+            prepare_scenario(&model, &market, UpgradeScenario::SingleCentralSector, &cfg);
+        black_box(prepared.run(&model, TuningKind::Joint, &cfg));
+    };
+
+    // Warm both paths (page cache, path-loss assembly, registry setup).
+    magus_obs::set_level(magus_obs::ObsLevel::Full);
+    workload();
+    magus_obs::set_level(magus_obs::ObsLevel::Off);
+    workload();
+
+    let mut best_off = Duration::MAX;
+    let mut best_full = Duration::MAX;
+    for rep in 0..reps {
+        for (level, best) in [
+            (magus_obs::ObsLevel::Off, &mut best_off),
+            (magus_obs::ObsLevel::Full, &mut best_full),
+        ] {
+            magus_obs::set_level(level);
+            let t0 = Instant::now();
+            workload();
+            let dt = t0.elapsed();
+            *best = (*best).min(dt);
+            eprintln!("[rep {rep}] {level}: {:.1} ms", dt.as_secs_f64() * 1e3);
+        }
+    }
+    magus_obs::set_level(magus_obs::ObsLevel::Off);
+
+    let off_ms = best_off.as_secs_f64() * 1e3;
+    let full_ms = best_full.as_secs_f64() * 1e3;
+    let overhead_pct = (full_ms - off_ms) / off_ms * 100.0;
+    println!(
+        "obs overhead gate: off {off_ms:.1} ms, full {full_ms:.1} ms, \
+         overhead {overhead_pct:+.1}% (limit {max_overhead:.0}%)"
+    );
+    if overhead_pct > max_overhead {
+        println!("obs overhead gate: FAIL");
+        ExitCode::FAILURE
+    } else {
+        println!("obs overhead gate: PASS");
+        ExitCode::SUCCESS
+    }
+}

@@ -18,7 +18,9 @@
 //! This binary also prints the scenario target sectors — the content of
 //! the paper's Figure 9.
 
-use magus_bench::{map_markets_parallel, mean, write_artifact, Scale};
+use magus_bench::{
+    emit_expectation, init_obs_from_env, map_markets_parallel, mean, write_artifact, Scale,
+};
 use magus_core::{prepare_scenario, ExperimentConfig, TuningKind};
 use magus_model::UtilityKind;
 use magus_net::{AreaType, UpgradeScenario};
@@ -34,7 +36,17 @@ struct Cell {
     mean_recovery: f64,
 }
 
+/// Paper Table 1 reference values (%), row-major in the loop order
+/// below: tuning {power, tilt, joint} × area {rural, suburban, urban}
+/// × scenario {(a), (b), (c)}.
+const PAPER_TABLE1_PCT: [[f64; 9]; 3] = [
+    [18.3, 17.5, 11.0, 56.5, 32.2, 24.5, 17.1, 22.7, 14.1],
+    [8.4, 23.0, 9.3, 37.7, 27.9, 22.8, 8.8, 29.7, 3.8],
+    [37.0, 28.9, 17.0, 76.4, 37.4, 38.8, 20.1, 32.0, 19.2],
+];
+
 fn main() {
+    init_obs_from_env();
     let scale = Scale::from_env();
     let cfg = ExperimentConfig::default();
     // (area, scenario, tuning) -> recovery samples over seeds.
@@ -86,10 +98,10 @@ fn main() {
         "urban(c)"
     );
     let mut artifact = Vec::new();
-    for tuning in TuningKind::ALL {
+    for (ti, tuning) in TuningKind::ALL.into_iter().enumerate() {
         let mut row = format!("{:<8}", tuning.to_string());
-        for area in AreaType::ALL {
-            for scenario in UpgradeScenario::ALL {
+        for (ai, area) in AreaType::ALL.into_iter().enumerate() {
+            for (si, scenario) in UpgradeScenario::ALL.into_iter().enumerate() {
                 let key = (
                     area.to_string(),
                     scenario.label().to_string(),
@@ -98,6 +110,12 @@ fn main() {
                 let samples = cells.get(&key).cloned().unwrap_or_default();
                 let m = mean(&samples);
                 row.push_str(&format!(" {:>13.1}%", m * 100.0));
+                emit_expectation(
+                    "table1_recovery",
+                    &format!("{area}({}) {tuning} recovery", scenario.label()),
+                    PAPER_TABLE1_PCT[ti][ai * 3 + si] / 100.0,
+                    m,
+                );
                 artifact.push(Cell {
                     area: key.0,
                     scenario: key.1,
@@ -114,4 +132,5 @@ fn main() {
          joint should improve on power in most columns."
     );
     write_artifact("table1_recovery", &artifact);
+    let _ = magus_obs::flush_trace();
 }

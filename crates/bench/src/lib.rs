@@ -91,6 +91,40 @@ pub fn write_artifact<T: Serialize>(name: &str, value: &T) {
     eprintln!("[artifact] {}", path.display());
 }
 
+/// Wires the observability layer from the environment: `MAGUS_OBS`
+/// picks the level (`off|counters|full`); `MAGUS_TRACE_OUT` streams
+/// JSONL trace records to the given path and implies the full level
+/// unless `MAGUS_OBS` overrides it. The table/figure binaries call this
+/// first so a run can be re-examined record by record.
+pub fn init_obs_from_env() {
+    let trace = std::env::var_os("MAGUS_TRACE_OUT");
+    match std::env::var("MAGUS_OBS").ok().map(|s| s.parse()) {
+        Some(Ok(level)) => magus_obs::set_level(level),
+        Some(Err(_)) => eprintln!("[obs] MAGUS_OBS not off|counters|full; leaving level as-is"),
+        None if trace.is_some() => magus_obs::set_level(magus_obs::ObsLevel::Full),
+        None => {}
+    }
+    if let Some(path) = trace {
+        if let Err(e) = magus_obs::set_trace_path(std::path::Path::new(&path)) {
+            eprintln!("[obs] cannot open MAGUS_TRACE_OUT: {e}");
+        }
+    }
+}
+
+/// Emits a `paper.expectation` trace record comparing a value the paper
+/// reports with the value this run produced. The record is the triage
+/// trail for shape-test drift: no tolerance is hidden here, the reader
+/// sees both numbers.
+pub fn emit_expectation(experiment: &str, metric: &str, expected: f64, actual: f64) {
+    magus_obs::trace_event!("paper.expectation",
+        "experiment" => experiment,
+        "metric" => metric,
+        "expected" => expected,
+        "actual" => actual,
+        "abs_delta" => (actual - expected).abs(),
+    );
+}
+
 /// Mean of a slice (0 for empty).
 pub fn mean(xs: &[f64]) -> f64 {
     if xs.is_empty() {

@@ -23,8 +23,13 @@ impl Args {
             let Some(key) = arg.strip_prefix("--") else {
                 return Err(format!("unexpected positional argument `{arg}`"));
             };
-            // A flag is a `--key` followed by another `--…` or nothing.
-            let next_is_value = argv.get(i + 1).map_or(false, |n| !n.starts_with("--"));
+            // A flag is a `--key` followed by another option or nothing.
+            // A leading `-` normally marks the next token as an option,
+            // but negative numbers (`--delta -3`) are values, so a token
+            // that parses as a number is always treated as a value.
+            let next_is_value = argv
+                .get(i + 1)
+                .map_or(false, |n| !n.starts_with('-') || n.parse::<f64>().is_ok());
             if next_is_value {
                 values.insert(key.to_string(), argv[i + 1].clone());
                 i += 2;
@@ -111,6 +116,41 @@ impl Args {
     pub fn input(&self) -> Option<&str> {
         self.get("in")
     }
+
+    /// `true` if `--metrics` was given (print the registry table).
+    pub fn metrics(&self) -> bool {
+        self.flags.iter().any(|f| f == "metrics")
+    }
+
+    /// `--metrics-out`, if given (write the registry as JSON).
+    pub fn metrics_out(&self) -> Option<&str> {
+        self.get("metrics-out")
+    }
+
+    /// `--trace-out`, if given (stream JSONL trace records).
+    pub fn trace_out(&self) -> Option<&str> {
+        self.get("trace-out")
+    }
+
+    /// `--obs`, the explicit observability level, if given.
+    pub fn obs_level(&self) -> Result<Option<magus_obs::ObsLevel>, String> {
+        match self.get("obs") {
+            None => Ok(None),
+            Some(s) => s
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("invalid --obs `{s}` (off|counters|full)")),
+        }
+    }
+
+    /// Errors if `key` was given as a bare `--key` with no value —
+    /// otherwise a typo'd `--metrics-out` would silently write nothing.
+    pub fn require_value(&self, key: &str) -> Result<(), String> {
+        if self.flags.iter().any(|f| f == key) && !self.values.contains_key(key) {
+            return Err(format!("--{key} requires a value"));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -159,5 +199,50 @@ mod tests {
     fn positional_rejected() {
         let argv = vec!["bogus".to_string()];
         assert!(Args::parse(&argv).is_err());
+    }
+
+    #[test]
+    fn negative_numbers_are_values_not_flags() {
+        let a = parse(&["--delta", "-3", "--json"]);
+        assert_eq!(a.values.get("delta").map(String::as_str), Some("-3"));
+        assert!(a.json());
+        let b = parse(&["--offset", "-2.5e3", "--seed", "4"]);
+        assert_eq!(b.values.get("offset").map(String::as_str), Some("-2.5e3"));
+        assert_eq!(b.seed().unwrap(), 4);
+    }
+
+    #[test]
+    fn dashed_words_are_still_flags() {
+        // `--json` after `--metrics` must not be swallowed as a value.
+        let a = parse(&["--metrics", "--json"]);
+        assert!(a.metrics());
+        assert!(a.json());
+        assert!(a.values.is_empty());
+    }
+
+    #[test]
+    fn obs_accessors() {
+        let a = parse(&[
+            "--metrics-out",
+            "m.json",
+            "--trace-out",
+            "t.jsonl",
+            "--obs",
+            "full",
+        ]);
+        assert_eq!(a.metrics_out(), Some("m.json"));
+        assert_eq!(a.trace_out(), Some("t.jsonl"));
+        assert_eq!(a.obs_level().unwrap(), Some(magus_obs::ObsLevel::Full));
+        assert!(parse(&["--obs", "loud"]).obs_level().is_err());
+    }
+
+    #[test]
+    fn value_keys_reject_bare_flag_form() {
+        let a = parse(&["--metrics-out", "--json"]);
+        assert_eq!(a.metrics_out(), None);
+        assert!(a.require_value("metrics-out").is_err());
+        assert!(a.require_value("trace-out").is_ok());
+        let b = parse(&["--trace-out", "t.jsonl"]);
+        assert!(b.require_value("trace-out").is_ok());
     }
 }

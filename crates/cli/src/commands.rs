@@ -231,7 +231,7 @@ pub fn playbook(args: &Args) -> Result<(), String> {
             println!(
                 "  sector {:>4}: recovery {:>5.1}%, {} changes staged",
                 r["sector"],
-                r["recovery_ratio"].as_f64().unwrap_or(0.0) * 100.0,
+                r["recovery_ratio"].as_number().map_or(0.0, |n| n.as_f64()) * 100.0,
                 r["changes"]
             );
         }

@@ -44,6 +44,13 @@ OPTIONS (all commands):
     --size <tiny|eval|full>          Market scale            [default: tiny]
     --json                           JSON output on stdout
 
+OBSERVABILITY (all commands):
+    --metrics                        Print the metric registry after the command
+    --metrics-out <path>             Write the metric registry as JSON
+    --trace-out <path>               Stream JSONL search/sim trace records
+    --obs <off|counters|full>        Observability level [default: off, or full
+                                     when any of the flags above is given]
+
 COMMAND OPTIONS:
     mitigate/gradual:
         --scenario <a|b|c>           Upgrade scenario        [default: a]
@@ -75,6 +82,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Err(e) = init_obs(&args) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
     let result = match command.as_str() {
         "market" => commands::market(&args),
         "evaluate" => commands::evaluate(&args),
@@ -86,6 +97,7 @@ fn main() -> ExitCode {
         "inspect-db" => commands::inspect_db(&args),
         other => Err(format!("unknown command `{other}`")),
     };
+    let result = result.and_then(|()| finish_obs(&args));
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -93,4 +105,46 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Applies the observability flags before the command runs: an explicit
+/// `--obs` wins; otherwise requesting any metrics/trace output implies
+/// the full level (collecting nothing while writing a report would be
+/// surprising).
+fn init_obs(args: &Args) -> Result<(), String> {
+    for key in ["metrics-out", "trace-out", "obs"] {
+        args.require_value(key)?;
+    }
+    let level = match args.obs_level()? {
+        Some(l) => l,
+        None => {
+            if args.metrics() || args.metrics_out().is_some() || args.trace_out().is_some() {
+                magus_obs::ObsLevel::Full
+            } else {
+                magus_obs::ObsLevel::Off
+            }
+        }
+    };
+    magus_obs::set_level(level);
+    if let Some(path) = args.trace_out() {
+        magus_obs::set_trace_path(std::path::Path::new(path))
+            .map_err(|e| format!("cannot open --trace-out `{path}`: {e}"))?;
+    }
+    Ok(())
+}
+
+/// Emits the requested metric/trace outputs after the command succeeds.
+fn finish_obs(args: &Args) -> Result<(), String> {
+    let registry = magus_obs::registry();
+    if args.metrics() {
+        print!("{}", registry.render_table());
+    }
+    if let Some(path) = args.metrics_out() {
+        std::fs::write(path, registry.to_json())
+            .map_err(|e| format!("cannot write --metrics-out `{path}`: {e}"))?;
+    }
+    if args.trace_out().is_some() {
+        magus_obs::flush_trace().map_err(|e| format!("cannot flush --trace-out stream: {e}"))?;
+    }
+    Ok(())
 }

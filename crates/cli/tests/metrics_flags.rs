@@ -1,0 +1,125 @@
+//! End-to-end check of the observability flags: `magus mitigate` with
+//! `--metrics-out`/`--trace-out` must produce a JSON registry dump with
+//! the advertised counters/histograms and a well-formed JSONL trace
+//! with one record per hill-climb iteration.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn out_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    std::fs::create_dir_all(&dir).expect("create tmpdir");
+    dir
+}
+
+#[test]
+fn mitigate_emits_metrics_and_trace() {
+    let metrics = out_dir().join("metrics_flags_m.json");
+    let trace = out_dir().join("metrics_flags_t.jsonl");
+    let output = Command::new(env!("CARGO_BIN_EXE_magus"))
+        .args([
+            "mitigate",
+            "--size",
+            "tiny",
+            "--seed",
+            "1",
+            "--json",
+            "--metrics-out",
+            metrics.to_str().expect("utf8 path"),
+            "--trace-out",
+            trace.to_str().expect("utf8 path"),
+        ])
+        .output()
+        .expect("run magus mitigate");
+    assert!(
+        output.status.success(),
+        "mitigate failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    // Registry dump: valid JSON with the headline instrumentation.
+    let dump = std::fs::read_to_string(&metrics).expect("read metrics dump");
+    let v: serde_json::Value = serde_json::from_str(&dump).expect("metrics dump parses");
+    let counters = v["counters"].as_object().expect("counters object");
+    for name in [
+        "pathloss.cache.hit",
+        "pathloss.cache.miss",
+        "evaluator.probe",
+        "hillclimb.iters",
+    ] {
+        let n = counters
+            .get(name)
+            .and_then(|c| c.as_number())
+            .and_then(|n| n.as_u64())
+            .unwrap_or_else(|| panic!("counter `{name}` missing from dump"));
+        assert!(n > 0, "counter `{name}` never incremented");
+    }
+    let histograms = v["histograms"].as_object().expect("histograms object");
+    let probe_ns = histograms
+        .get("evaluator.probe_ns")
+        .expect("evaluator.probe_ns histogram missing");
+    let probe_count = probe_ns["count"]
+        .as_number()
+        .and_then(|n| n.as_u64())
+        .expect("histogram count");
+    assert!(probe_count > 0, "probe histogram recorded nothing");
+
+    // Trace: every line parses; hill-climb iteration records are dense
+    // (iters 0..n with the advertised fields).
+    let body = std::fs::read_to_string(&trace).expect("read trace");
+    let mut hc_iters = Vec::new();
+    for (i, line) in body.lines().enumerate() {
+        let rec: serde_json::Value = serde_json::from_str(line)
+            .unwrap_or_else(|e| panic!("trace line {i} is not JSON ({e}): {line}"));
+        assert!(rec["kind"].as_str().is_some(), "line {i} lacks kind");
+        if rec["kind"].as_str() == Some("hillclimb.iter") {
+            for field in [
+                "iter",
+                "candidate",
+                "probes",
+                "objective",
+                "delta",
+                "accepted",
+            ] {
+                assert!(
+                    !matches!(rec[field], serde_json::Value::Null),
+                    "hillclimb.iter line {i} lacks `{field}`"
+                );
+            }
+            hc_iters.push(
+                rec["iter"]
+                    .as_number()
+                    .and_then(|n| n.as_u64())
+                    .expect("iter number"),
+            );
+        }
+    }
+    assert!(!hc_iters.is_empty(), "no hillclimb.iter records in trace");
+    let expect: Vec<u64> = (0..hc_iters.len() as u64).collect();
+    assert_eq!(hc_iters, expect, "hill-climb iterations not dense from 0");
+
+    let iters_counter = counters
+        .get("hillclimb.iters")
+        .and_then(|c| c.as_number())
+        .and_then(|n| n.as_u64())
+        .expect("hillclimb.iters");
+    assert_eq!(
+        iters_counter,
+        hc_iters.len() as u64,
+        "one trace record per hill-climb iteration"
+    );
+}
+
+#[test]
+fn obs_off_emits_nothing_extra() {
+    let output = Command::new(env!("CARGO_BIN_EXE_magus"))
+        .args(["evaluate", "--size", "tiny", "--json", "--obs", "off"])
+        .output()
+        .expect("run magus evaluate");
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        !stdout.contains("counters:"),
+        "no metrics table without --metrics"
+    );
+}

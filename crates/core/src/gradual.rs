@@ -152,6 +152,7 @@ pub fn plan_gradual(
             "C_after must have target {t:?} off-air"
         );
     }
+    let _span = magus_obs::span_enter("plan_gradual");
     let mut state = ev.initial_state(before);
     let f_before = state.utility(params.utility);
     let f_after = ev.initial_state(after).utility(params.utility);
@@ -241,6 +242,17 @@ pub fn plan_gradual(
         let (handovers, seamless) =
             handovers_between(ev, &serving_prev, &serving_now, state.config());
         serving_prev = serving_now;
+        magus_obs::counter_inc!("gradual.steps");
+        magus_obs::counter_add!("gradual.compensations", compensations as u64);
+        magus_obs::trace_event!("gradual.step",
+            "step" => steps.len(),
+            "changes" => changes.len(),
+            "compensations" => compensations,
+            "utility" => state.utility(params.utility),
+            "handovers" => handovers,
+            "seamless" => seamless,
+            "final" => false,
+        );
         steps.push(GradualStep {
             changes,
             utility: state.utility(params.utility),
@@ -261,6 +273,16 @@ pub fn plan_gradual(
     final_changes.extend(jump);
     let serving_now = ev.serving_map(&state);
     let (handovers, seamless) = handovers_between(ev, &serving_prev, &serving_now, after);
+    magus_obs::counter_inc!("gradual.steps");
+    magus_obs::trace_event!("gradual.step",
+        "step" => steps.len(),
+        "changes" => final_changes.len(),
+        "compensations" => 0u64,
+        "utility" => state.utility(params.utility),
+        "handovers" => handovers,
+        "seamless" => seamless,
+        "final" => true,
+    );
     steps.push(GradualStep {
         changes: final_changes,
         utility: state.utility(params.utility),

@@ -58,10 +58,13 @@ pub fn hill_climb(
     sectors: &[SectorId],
     params: &HillClimbParams,
 ) -> Vec<ConfigChange> {
+    let _span = magus_obs::span_enter("hill_climb");
     let mut applied = Vec::new();
+    let mut iter = 0u64;
     while applied.len() < params.max_moves {
         let current = state.objective(params.utility);
         let mut best: Option<(ConfigChange, f64)> = None;
+        let mut probes = 0u64;
         for &s in sectors {
             let sc = state.config().sector(s);
             if !sc.on_air {
@@ -87,15 +90,31 @@ pub fn hill_climb(
                     continue;
                 }
                 let u = ev.probe_objective(state, ch, params.utility);
+                probes += 1;
                 if u > current + params.epsilon && best.map_or(true, |(_, bu)| u > bu) {
                     best = Some((ch, u));
                 }
             }
         }
+        magus_obs::counter_inc!("hillclimb.iters");
+        magus_obs::counter_add!("hillclimb.probes", probes);
+        // One trace record per iteration: the chosen candidate (or the
+        // rejected last round), how many probes it took, and the
+        // objective movement.
+        magus_obs::trace_event!("hillclimb.iter",
+            "iter" => iter,
+            "candidate" => best.map_or_else(String::new, |(ch, _)| format!("{ch:?}")),
+            "probes" => probes,
+            "objective" => current,
+            "delta" => best.map_or(0.0, |(_, u)| u - current),
+            "accepted" => best.is_some(),
+        );
+        iter += 1;
         match best {
             Some((ch, _)) => {
                 ev.apply(state, ch);
                 applied.push(ch);
+                magus_obs::counter_inc!("hillclimb.moves");
             }
             None => break,
         }

@@ -124,6 +124,7 @@ pub fn power_search(
     neighbors: &[SectorId],
     params: &SearchParams,
 ) -> SearchOutcome {
+    let _span = magus_obs::span_enter("power_search");
     let mut steps = Vec::new();
     let mut probes = 0usize;
     // Initial affected set G: every grid whose rate degraded.
@@ -196,9 +197,18 @@ pub fn power_search(
             .copied()
             .filter(|&gi| state.rate_bps(gi as usize) < reference.rate_bps(gi as usize) - 1e-9)
             .collect();
+        magus_obs::counter_inc!("search.steps");
+        magus_obs::trace_event!("search.step",
+            "algo" => "power",
+            "step" => steps.len() - 1,
+            "change" => format!("{change:?}"),
+            "utility" => u_best,
+            "degraded_left" => g.len(),
+        );
         t = params.step_db;
     }
 
+    magus_obs::counter_add!("search.probes", probes as u64);
     SearchOutcome {
         steps,
         utility: state.utility(params.utility),
@@ -215,6 +225,7 @@ pub fn tilt_search(
     neighbors: &[SectorId],
     params: &SearchParams,
 ) -> SearchOutcome {
+    let _span = magus_obs::span_enter("tilt_search");
     let ordered = order_by_proximity(ev, neighbors, targets);
     let mut steps = Vec::new();
     let mut probes = 0usize;
@@ -234,6 +245,13 @@ pub fn tilt_search(
             if u > current + params.epsilon {
                 ev.apply(state, change);
                 steps.push(change);
+                magus_obs::counter_inc!("search.steps");
+                magus_obs::trace_event!("search.step",
+                    "algo" => "tilt",
+                    "step" => steps.len() - 1,
+                    "change" => format!("{change:?}"),
+                    "utility" => u,
+                );
                 if steps.len() >= params.max_changes {
                     break;
                 }
@@ -242,6 +260,7 @@ pub fn tilt_search(
             }
         }
     }
+    magus_obs::counter_add!("search.probes", probes as u64);
     SearchOutcome {
         steps,
         utility: state.utility(params.utility),
@@ -278,6 +297,7 @@ pub fn naive_search(
     neighbors: &[SectorId],
     params: &SearchParams,
 ) -> SearchOutcome {
+    let _span = magus_obs::span_enter("naive_search");
     let ordered = order_by_proximity(ev, neighbors, targets);
     let mut steps = Vec::new();
     let mut probes = 0usize;
@@ -296,6 +316,7 @@ pub fn naive_search(
             if u > current + params.epsilon {
                 ev.apply(state, change);
                 steps.push(change);
+                magus_obs::counter_inc!("search.steps");
                 if steps.len() >= params.max_changes {
                     break;
                 }
@@ -304,6 +325,7 @@ pub fn naive_search(
             }
         }
     }
+    magus_obs::counter_add!("search.probes", probes as u64);
     SearchOutcome {
         steps,
         utility: state.utility(params.utility),

@@ -95,6 +95,14 @@ impl Evaluator {
     /// Builds the full evaluation state for a configuration from scratch
     /// (the expensive path — use [`Evaluator::apply`] for updates).
     pub fn initial_state(&self, config: &Configuration) -> ModelState {
+        magus_obs::counter_inc!("evaluator.initial_state");
+        magus_obs::timed!(
+            "evaluator.initial_state_ns",
+            self.initial_state_impl(config)
+        )
+    }
+
+    fn initial_state_impl(&self, config: &Configuration) -> ModelState {
         assert_eq!(config.len(), self.network.num_sectors());
         let n_grids = self.store.spec().len();
         let n_sectors = self.network.num_sectors();
@@ -213,6 +221,11 @@ impl Evaluator {
     /// Applies a configuration change incrementally and returns an exact
     /// [`Undo`] record.
     pub fn apply(&self, state: &mut ModelState, change: ConfigChange) -> Undo {
+        magus_obs::counter_inc!("evaluator.apply");
+        magus_obs::timed!("evaluator.apply_ns", self.apply_impl(state, change))
+    }
+
+    fn apply_impl(&self, state: &mut ModelState, change: ConfigChange) -> Undo {
         crate::invariant::debug_validate_state(
             state,
             self.store.spec().len(),
@@ -244,6 +257,7 @@ impl Evaluator {
             return undo; // off-air sector reconfigured: no radio effect
         }
         self.sweep(state, &mut undo, s, old, new);
+        magus_obs::counter_add!("evaluator.sweep_cells", undo.cells.len() as u64);
         undo
     }
 
@@ -301,16 +315,19 @@ impl Evaluator {
 
     /// Rolls back the most recent change exactly.
     pub fn undo(&self, state: &mut ModelState, undo: Undo) {
-        state.config = undo.config;
-        for (i, total, best_idx, best_rp, rmax) in undo.cells.into_iter().rev() {
-            let i = i as usize;
-            state.total_mw[i] = total;
-            state.best_idx[i] = best_idx;
-            state.best_rp[i] = best_rp;
-            state.rmax[i] = rmax;
-        }
-        state.n_s = undo.n_s;
-        state.a_s = undo.a_s;
+        magus_obs::counter_inc!("evaluator.undo");
+        magus_obs::timed!("evaluator.undo_ns", {
+            state.config = undo.config;
+            for (i, total, best_idx, best_rp, rmax) in undo.cells.into_iter().rev() {
+                let i = i as usize;
+                state.total_mw[i] = total;
+                state.best_idx[i] = best_idx;
+                state.best_rp[i] = best_rp;
+                state.rmax[i] = rmax;
+            }
+            state.n_s = undo.n_s;
+            state.a_s = undo.a_s;
+        })
     }
 
     /// Probes a change: applies it, reads the utility, rolls back.
@@ -320,10 +337,13 @@ impl Evaluator {
         change: ConfigChange,
         kind: crate::utility::UtilityKind,
     ) -> f64 {
-        let undo = self.apply(state, change);
-        let u = state.utility(kind);
-        self.undo(state, undo);
-        u
+        magus_obs::counter_inc!("evaluator.probe");
+        magus_obs::timed!("evaluator.probe_ns", {
+            let undo = self.apply(state, change);
+            let u = state.utility(kind);
+            self.undo(state, undo);
+            u
+        })
     }
 
     /// Probes a change against the *search objective* (see
@@ -335,10 +355,13 @@ impl Evaluator {
         change: ConfigChange,
         kind: crate::utility::UtilityKind,
     ) -> f64 {
-        let undo = self.apply(state, change);
-        let u = state.objective(kind);
-        self.undo(state, undo);
-        u
+        magus_obs::counter_inc!("evaluator.probe");
+        magus_obs::timed!("evaluator.probe_ns", {
+            let undo = self.apply(state, change);
+            let u = state.objective(kind);
+            self.undo(state, undo);
+            u
+        })
     }
 
     /// Hypothetical `r_max` at grid `i` if sector `s`'s power changed by

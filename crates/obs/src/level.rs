@@ -1,0 +1,81 @@
+//! Runtime observability level: a single global `AtomicU8` consulted by
+//! every macro before doing any work.
+
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// How much the process records. Ordered: each level includes the ones
+/// below it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum ObsLevel {
+    /// Record nothing. Macro cost: one relaxed atomic load.
+    Off = 0,
+    /// Counters, gauges, and value histograms.
+    Counters = 1,
+    /// Everything: counters plus span/latency timing (`Instant` reads).
+    Full = 2,
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(ObsLevel::Off as u8);
+
+/// Sets the process-wide observability level.
+pub fn set_level(level: ObsLevel) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Returns the current observability level.
+pub fn level() -> ObsLevel {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => ObsLevel::Off,
+        1 => ObsLevel::Counters,
+        _ => ObsLevel::Full,
+    }
+}
+
+/// True when counters/gauges/histograms should record.
+#[inline]
+pub fn counters_enabled() -> bool {
+    LEVEL.load(Ordering::Relaxed) >= ObsLevel::Counters as u8
+}
+
+/// True when span timing should record.
+#[inline]
+pub fn full_enabled() -> bool {
+    LEVEL.load(Ordering::Relaxed) >= ObsLevel::Full as u8
+}
+
+/// Error from parsing an [`ObsLevel`] name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLevelError(pub String);
+
+impl std::fmt::Display for ParseLevelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown obs level {:?} (off|counters|full)", self.0)
+    }
+}
+
+impl std::error::Error for ParseLevelError {}
+
+impl FromStr for ObsLevel {
+    type Err = ParseLevelError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "off" | "none" | "0" => Ok(ObsLevel::Off),
+            "counters" | "1" => Ok(ObsLevel::Counters),
+            "full" | "all" | "2" => Ok(ObsLevel::Full),
+            other => Err(ParseLevelError(other.to_string())),
+        }
+    }
+}
+
+impl std::fmt::Display for ObsLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ObsLevel::Off => "off",
+            ObsLevel::Counters => "counters",
+            ObsLevel::Full => "full",
+        })
+    }
+}

@@ -1,0 +1,79 @@
+//! `magus-obs`: workspace-wide observability.
+//!
+//! Magus is a search system: the interesting questions — how many probes a
+//! hill-climb spends, where assembly time goes in the path-loss store, how
+//! deep the MME queue gets during a migration wave — are all questions
+//! about counters, timings, and per-iteration traces. This crate is the
+//! substrate the rest of the workspace reports into.
+//!
+//! Three layers, cheapest first:
+//!
+//! 1. **Metrics registry** ([`registry`]): named [`Counter`]s, [`Gauge`]s,
+//!    and log-bucketed [`Histogram`]s on plain atomics. Hot paths use the
+//!    [`counter_inc!`]/[`counter_add!`]/[`observe!`]/[`gauge_set!`] macros,
+//!    which cache the `Arc` handle in a per-call-site `OnceLock` so the
+//!    steady-state cost is one relaxed atomic load (the [`ObsLevel`]
+//!    check) plus one atomic add.
+//! 2. **Spans** ([`span!`], [`timed!`], [`elapsed!`]): lightweight block
+//!    timing. `span!` additionally maintains a thread-local phase stack so
+//!    nested spans record under a hierarchical path
+//!    (`span.mitigate/power_search`), attributing time to the phase that
+//!    spent it.
+//! 3. **Trace sink** ([`trace_event!`]): structured JSONL event stream —
+//!    one record per hill-climb iteration, gradual-migration step, or sim
+//!    window — written to the path given via `--trace-out`.
+//!
+//! Everything is gated on a runtime [`ObsLevel`]: `Off` (default) makes
+//! every macro a single relaxed load + untaken branch; `Counters` enables
+//! the registry (counters, gauges, value histograms); `Full` adds span
+//! timing and trace emission. Trace records additionally require a sink
+//! (a writer installed via [`set_trace_path`]/[`set_trace_writer`]).
+//! Building this crate with the `disabled` cargo feature compiles the
+//! macro layer away entirely.
+//!
+//! The crate is std-only (plus the vendored `parking_lot`), emits its own
+//! JSON, and never prints: rendering helpers return `String`s for the
+//! caller (CLI, bench harness) to surface.
+
+#![forbid(unsafe_code)]
+
+mod level;
+mod macros;
+mod metrics;
+mod span;
+mod trace;
+
+pub use level::{counters_enabled, full_enabled, level, set_level, ObsLevel, ParseLevelError};
+pub use metrics::{
+    json_escape, Counter, CounterSnapshot, Gauge, GaugeSnapshot, Histogram, HistogramSnapshot,
+    Registry, Snapshot,
+};
+pub use span::{span_enter, SpanGuard};
+pub use trace::{
+    clear_trace, emit, flush_trace, set_trace_path, set_trace_writer, trace_enabled, Event,
+    FieldValue,
+};
+
+/// The process-wide metrics registry.
+pub fn registry() -> &'static Registry {
+    metrics::global()
+}
+
+/// Implementation detail of the macro layer; not a public API.
+#[doc(hidden)]
+pub mod __private {
+    pub use std::sync::{Arc, OnceLock};
+}
+
+/// Serializes tests that touch process-global state (level, trace sink,
+/// global registry) so parallel test threads don't race each other.
+#[cfg(test)]
+pub(crate) mod testutil {
+    use parking_lot::Mutex;
+    use std::sync::OnceLock;
+
+    pub fn global_guard() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(())).lock()
+    }
+}

@@ -1,0 +1,315 @@
+//! The macro layer: what instrumented crates actually call.
+//!
+//! Every macro checks the runtime [`crate::ObsLevel`] (one relaxed atomic
+//! load) before doing anything, and caches its metric handle in a
+//! per-call-site `OnceLock<Arc<_>>` so the registry lock is only taken
+//! once per call site per process. Building `magus-obs` with the
+//! `disabled` cargo feature swaps in the no-op definitions at the bottom
+//! of this file: bodies still run, metric arguments are not evaluated.
+
+/// Adds 1 to the named counter (at `ObsLevel::Counters` and above).
+#[cfg(not(feature = "disabled"))]
+#[macro_export]
+macro_rules! counter_inc {
+    ($name:literal) => {
+        $crate::counter_add!($name, 1u64)
+    };
+}
+
+/// Adds `n` to the named counter (at `ObsLevel::Counters` and above).
+#[cfg(not(feature = "disabled"))]
+#[macro_export]
+macro_rules! counter_add {
+    ($name:literal, $n:expr) => {
+        if $crate::counters_enabled() {
+            static __OBS_HANDLE: $crate::__private::OnceLock<
+                $crate::__private::Arc<$crate::Counter>,
+            > = $crate::__private::OnceLock::new();
+            __OBS_HANDLE
+                .get_or_init(|| $crate::registry().counter($name))
+                .add($n);
+        }
+    };
+}
+
+/// Sets the named gauge (at `ObsLevel::Counters` and above).
+#[cfg(not(feature = "disabled"))]
+#[macro_export]
+macro_rules! gauge_set {
+    ($name:literal, $v:expr) => {
+        if $crate::counters_enabled() {
+            static __OBS_HANDLE: $crate::__private::OnceLock<
+                $crate::__private::Arc<$crate::Gauge>,
+            > = $crate::__private::OnceLock::new();
+            __OBS_HANDLE
+                .get_or_init(|| $crate::registry().gauge($name))
+                .set($v);
+        }
+    };
+}
+
+/// Raises the named gauge to `v` if larger — a high-watermark
+/// (at `ObsLevel::Counters` and above).
+#[cfg(not(feature = "disabled"))]
+#[macro_export]
+macro_rules! gauge_max {
+    ($name:literal, $v:expr) => {
+        if $crate::counters_enabled() {
+            static __OBS_HANDLE: $crate::__private::OnceLock<
+                $crate::__private::Arc<$crate::Gauge>,
+            > = $crate::__private::OnceLock::new();
+            __OBS_HANDLE
+                .get_or_init(|| $crate::registry().gauge($name))
+                .set_max($v);
+        }
+    };
+}
+
+/// Records a `u64` sample into the named histogram (at
+/// `ObsLevel::Counters` and above).
+#[cfg(not(feature = "disabled"))]
+#[macro_export]
+macro_rules! observe {
+    ($name:literal, $v:expr) => {
+        if $crate::counters_enabled() {
+            static __OBS_HANDLE: $crate::__private::OnceLock<
+                $crate::__private::Arc<$crate::Histogram>,
+            > = $crate::__private::OnceLock::new();
+            __OBS_HANDLE
+                .get_or_init(|| $crate::registry().histogram($name))
+                .observe($v);
+        }
+    };
+}
+
+/// Times the block and returns its value. At `ObsLevel::Full` the
+/// elapsed nanoseconds are recorded into the named histogram; below that
+/// the block runs untimed.
+#[cfg(not(feature = "disabled"))]
+#[macro_export]
+macro_rules! timed {
+    ($name:literal, $body:expr) => {
+        if $crate::full_enabled() {
+            let __obs_start = ::std::time::Instant::now();
+            let __obs_result = $body;
+            let __obs_ns = u64::try_from(__obs_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            {
+                static __OBS_HANDLE: $crate::__private::OnceLock<
+                    $crate::__private::Arc<$crate::Histogram>,
+                > = $crate::__private::OnceLock::new();
+                __OBS_HANDLE
+                    .get_or_init(|| $crate::registry().histogram($name))
+                    .observe(__obs_ns);
+            }
+            __obs_result
+        } else {
+            $body
+        }
+    };
+}
+
+/// Runs the block inside a named span (see [`crate::span_enter`]) and
+/// returns its value. At `ObsLevel::Full`, elapsed time is recorded under
+/// the hierarchical phase path; below that the block just runs.
+#[cfg(not(feature = "disabled"))]
+#[macro_export]
+macro_rules! span {
+    ($name:literal, $body:expr) => {{
+        let __obs_guard = $crate::span_enter($name);
+        let __obs_result = $body;
+        ::std::mem::drop(__obs_guard);
+        __obs_result
+    }};
+}
+
+/// Measures the block unconditionally, evaluating to
+/// `(std::time::Duration, value)`. Not level-gated: use it where the
+/// caller consumes the duration itself (progress logs, benches).
+#[macro_export]
+macro_rules! elapsed {
+    ($body:expr) => {{
+        let __obs_start = ::std::time::Instant::now();
+        let __obs_result = $body;
+        (__obs_start.elapsed(), __obs_result)
+    }};
+}
+
+/// Emits a structured JSONL trace record if a trace sink is installed
+/// and the level is [`ObsLevel::Full`](crate::ObsLevel) — an explicit
+/// `--obs off|counters` wins over an installed sink. Field values are
+/// only evaluated when tracing is on.
+///
+/// ```ignore
+/// magus_obs::trace_event!("hillclimb.iter",
+///     "iter" => i, "delta" => d, "accepted" => true);
+/// ```
+#[cfg(not(feature = "disabled"))]
+#[macro_export]
+macro_rules! trace_event {
+    ($kind:literal $(, $key:literal => $value:expr)* $(,)?) => {
+        if $crate::full_enabled() && $crate::trace_enabled() {
+            $crate::emit($crate::Event::new($kind)$(.with($key, $value))*);
+        }
+    };
+}
+
+// ---------------------------------------------------------------------
+// `disabled` feature: compile the layer away. Blocks still run so code
+// keeps its semantics; metric names and values are never evaluated.
+// ---------------------------------------------------------------------
+
+#[cfg(feature = "disabled")]
+#[macro_export]
+macro_rules! counter_inc {
+    ($name:literal) => {};
+}
+
+#[cfg(feature = "disabled")]
+#[macro_export]
+macro_rules! counter_add {
+    ($name:literal, $n:expr) => {};
+}
+
+#[cfg(feature = "disabled")]
+#[macro_export]
+macro_rules! gauge_set {
+    ($name:literal, $v:expr) => {};
+}
+
+#[cfg(feature = "disabled")]
+#[macro_export]
+macro_rules! gauge_max {
+    ($name:literal, $v:expr) => {};
+}
+
+#[cfg(feature = "disabled")]
+#[macro_export]
+macro_rules! observe {
+    ($name:literal, $v:expr) => {};
+}
+
+#[cfg(feature = "disabled")]
+#[macro_export]
+macro_rules! timed {
+    ($name:literal, $body:expr) => {
+        $body
+    };
+}
+
+#[cfg(feature = "disabled")]
+#[macro_export]
+macro_rules! span {
+    ($name:literal, $body:expr) => {
+        $body
+    };
+}
+
+#[cfg(feature = "disabled")]
+#[macro_export]
+macro_rules! trace_event {
+    ($kind:literal $(, $key:literal => $value:expr)* $(,)?) => {};
+}
+
+#[cfg(all(test, not(feature = "disabled")))]
+mod tests {
+    use crate::{set_level, ObsLevel};
+
+    #[test]
+    fn macros_record_only_when_enabled() {
+        let _g = crate::testutil::global_guard();
+        set_level(ObsLevel::Off);
+        counter_inc!("macrotest.off");
+        observe!("macrotest.off_hist", 5u64);
+        set_level(ObsLevel::Counters);
+        counter_inc!("macrotest.on");
+        counter_add!("macrotest.on", 2u64);
+        gauge_set!("macrotest.gauge", 4i64);
+        gauge_max!("macrotest.gauge", 9i64);
+        observe!("macrotest.hist", 1000u64);
+        set_level(ObsLevel::Off);
+
+        let r = crate::registry();
+        assert_eq!(r.counter("macrotest.off").get(), 0);
+        assert_eq!(r.histogram("macrotest.off_hist").count(), 0);
+        assert_eq!(r.counter("macrotest.on").get(), 3);
+        assert_eq!(r.gauge("macrotest.gauge").get(), 9);
+        assert_eq!(r.histogram("macrotest.hist").count(), 1);
+    }
+
+    #[test]
+    fn timed_and_span_return_block_value() {
+        let _g = crate::testutil::global_guard();
+        set_level(ObsLevel::Full);
+        let a = timed!("macrotest.timed_ns", 2 + 2);
+        let b = span!("macrotest_span", "ok");
+        let (dt, c) = elapsed!(1 + 1);
+        set_level(ObsLevel::Off);
+        assert_eq!((a, b, c), (4, "ok", 2));
+        assert!(dt.as_nanos() < u128::from(u64::MAX));
+        assert_eq!(crate::registry().histogram("macrotest.timed_ns").count(), 1);
+        assert_eq!(
+            crate::registry()
+                .histogram("span.macrotest_span_ns")
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn timed_still_runs_body_when_off() {
+        let _g = crate::testutil::global_guard();
+        set_level(ObsLevel::Off);
+        let ran = timed!("macrotest.never", true);
+        assert!(ran);
+        assert_eq!(crate::registry().histogram("macrotest.never").count(), 0);
+    }
+
+    #[test]
+    fn trace_event_requires_full_level() {
+        use std::io::Write;
+        use std::sync::Arc;
+
+        #[derive(Clone, Default)]
+        struct Capture(Arc<parking_lot::Mutex<Vec<u8>>>);
+        impl Write for Capture {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let _g = crate::testutil::global_guard();
+        let cap = Capture::default();
+        crate::set_trace_writer(Box::new(cap.clone()));
+        for level in [ObsLevel::Off, ObsLevel::Counters] {
+            set_level(level);
+            trace_event!("macrotest.leak", "level" => 0u64);
+        }
+        set_level(ObsLevel::Full);
+        trace_event!("macrotest.kept", "level" => 2u64);
+        set_level(ObsLevel::Off);
+        crate::clear_trace();
+
+        let text = String::from_utf8_lossy(&cap.0.lock()).into_owned();
+        assert!(
+            !text.contains("macrotest.leak"),
+            "trace emitted below Full: {text}"
+        );
+        assert!(text.contains("macrotest.kept"), "no trace at Full: {text}");
+    }
+
+    #[test]
+    fn trace_event_skips_field_eval_when_disabled() {
+        let _g = crate::testutil::global_guard();
+        crate::clear_trace();
+        let mut evaluated = false;
+        trace_event!("macrotest.kind", "x" => {
+            evaluated = true;
+            1u64
+        });
+        assert!(!evaluated, "field evaluated with no sink installed");
+    }
+}

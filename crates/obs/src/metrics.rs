@@ -1,0 +1,602 @@
+//! Named metrics on plain atomics, collected in a global registry.
+//!
+//! Metric handles are `Arc`s handed out by the registry; hot paths cache
+//! them in per-call-site `OnceLock`s (see the macro layer) so recording
+//! is lock-free. The registry itself is only locked on first registration
+//! and on snapshot/dump.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::Mutex;
+
+const RELAXED: Ordering = Ordering::Relaxed;
+
+/// Monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` (saturating; a counter that hit `u64::MAX` stays there).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        let prev = self.0.fetch_add(n, RELAXED);
+        if prev.checked_add(n).is_none() {
+            self.0.store(u64::MAX, RELAXED);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(RELAXED)
+    }
+
+    /// Zeroes the counter.
+    pub fn reset(&self) {
+        self.0.store(0, RELAXED);
+    }
+}
+
+/// Last-write-wins signed value, with a `set_max` helper for watermarks.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, RELAXED);
+    }
+
+    /// Adds a (possibly negative) delta.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, RELAXED);
+    }
+
+    /// Raises the gauge to `v` if `v` is larger (high-watermark use).
+    #[inline]
+    pub fn set_max(&self, v: i64) {
+        self.0.fetch_max(v, RELAXED);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(RELAXED)
+    }
+
+    /// Zeroes the gauge.
+    pub fn reset(&self) {
+        self.0.store(0, RELAXED);
+    }
+}
+
+/// Number of power-of-two buckets: bucket `i` (for `i > 0`) counts values
+/// `v` with `2^(i-1) <= v < 2^i`; bucket 0 counts zeros. 65 buckets cover
+/// the full `u64` range, so nanosecond latencies and probe counts share
+/// one shape.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Log2-bucketed histogram of `u64` samples (latencies in ns, sizes,
+/// counts). Fixed buckets mean recording is two atomic adds and two
+/// atomic min/max — no allocation, no lock.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        HISTOGRAM_BUCKETS - 1 - v.leading_zeros() as usize
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        self.count.fetch_add(1, RELAXED);
+        self.sum.fetch_add(v, RELAXED);
+        self.min.fetch_min(v, RELAXED);
+        self.max.fetch_max(v, RELAXED);
+        self.buckets[bucket_index(v)].fetch_add(1, RELAXED);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(RELAXED)
+    }
+
+    /// Point-in-time copy of the histogram state.
+    pub fn snapshot(&self, name: &str) -> HistogramSnapshot {
+        let count = self.count.load(RELAXED);
+        HistogramSnapshot {
+            name: name.to_string(),
+            count,
+            sum: self.sum.load(RELAXED),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(RELAXED)
+            },
+            max: self.max.load(RELAXED),
+            buckets: self.buckets.iter().map(|b| b.load(RELAXED)).collect(),
+        }
+    }
+
+    /// Zeroes every cell.
+    pub fn reset(&self) {
+        self.count.store(0, RELAXED);
+        self.sum.store(0, RELAXED);
+        self.min.store(u64::MAX, RELAXED);
+        self.max.store(0, RELAXED);
+        for b in &self.buckets {
+            b.store(0, RELAXED);
+        }
+    }
+}
+
+/// Copy of a counter for reporting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    pub name: String,
+    pub value: u64,
+}
+
+/// Copy of a gauge for reporting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GaugeSnapshot {
+    pub name: String,
+    pub value: i64,
+}
+
+/// Copy of a histogram for reporting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub name: String,
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    /// One entry per power-of-two bucket; `buckets[i]` counts samples in
+    /// `[2^(i-1), 2^i)` (bucket 0 counts zeros).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`) from the bucket boundaries:
+    /// returns the inclusive upper bound of the bucket holding the q-th
+    /// sample, clamped to the observed max. Bucket resolution means the
+    /// answer is within 2x of the true quantile.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(c);
+            if seen >= rank {
+                let upper = if i == 0 {
+                    0
+                } else if i >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << i) - 1
+                };
+                return upper.min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// Point-in-time copy of the whole registry.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    pub counters: Vec<CounterSnapshot>,
+    pub gauges: Vec<GaugeSnapshot>,
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+/// Thread-safe directory of named metrics. Names are free-form but the
+/// workspace convention is dotted lowercase paths
+/// (`pathloss.cache.hit`, `evaluator.probe_ns`).
+#[derive(Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// Creates an empty registry (tests; production code uses
+    /// [`crate::registry`]).
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Returns the counter registered under `name`, creating it on first
+    /// use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock();
+        match map.get(name) {
+            Some(c) => Arc::clone(c),
+            None => {
+                let c = Arc::new(Counter::default());
+                map.insert(name.to_string(), Arc::clone(&c));
+                c
+            }
+        }
+    }
+
+    /// Returns the gauge registered under `name`, creating it on first
+    /// use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock();
+        match map.get(name) {
+            Some(g) => Arc::clone(g),
+            None => {
+                let g = Arc::new(Gauge::default());
+                map.insert(name.to_string(), Arc::clone(&g));
+                g
+            }
+        }
+    }
+
+    /// Returns the histogram registered under `name`, creating it on
+    /// first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock();
+        match map.get(name) {
+            Some(h) => Arc::clone(h),
+            None => {
+                let h = Arc::new(Histogram::default());
+                map.insert(name.to_string(), Arc::clone(&h));
+                h
+            }
+        }
+    }
+
+    /// Copies every metric out for reporting. Metrics keep updating while
+    /// the snapshot is taken; each value is individually consistent.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters
+                .lock()
+                .iter()
+                .map(|(n, c)| CounterSnapshot {
+                    name: n.clone(),
+                    value: c.get(),
+                })
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .iter()
+                .map(|(n, g)| GaugeSnapshot {
+                    name: n.clone(),
+                    value: g.get(),
+                })
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .iter()
+                .map(|(n, h)| h.snapshot(n))
+                .collect(),
+        }
+    }
+
+    /// Zeroes every registered metric without forgetting registrations
+    /// (cached `Arc` handles in call sites stay valid).
+    pub fn reset(&self) {
+        for c in self.counters.lock().values() {
+            c.reset();
+        }
+        for g in self.gauges.lock().values() {
+            g.reset();
+        }
+        for h in self.histograms.lock().values() {
+            h.reset();
+        }
+    }
+
+    /// Serializes the registry as a JSON object:
+    /// `{"counters":{..},"gauges":{..},"histograms":{name:{count,sum,min,
+    /// max,mean,p50,p95,buckets:[[bucket_upper,count],..]}}}`. Bucket
+    /// entries with zero count are omitted.
+    pub fn to_json(&self) -> String {
+        let snap = self.snapshot();
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n  \"counters\": {");
+        for (i, c) in snap.counters.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            let _ = write!(out, "{sep}    {}: {}", json_escape(&c.name), c.value);
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (i, g) in snap.gauges.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            let _ = write!(out, "{sep}    {}: {}", json_escape(&g.name), g.value);
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (i, h) in snap.histograms.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            let _ = write!(
+                out,
+                "{sep}    {}: {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+                 \"mean\": {:.3}, \"p50\": {}, \"p95\": {}, \"buckets\": [",
+                json_escape(&h.name),
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                h.mean(),
+                h.quantile(0.50),
+                h.quantile(0.95),
+            );
+            let mut first = true;
+            for (b, &n) in h.buckets.iter().enumerate() {
+                if n == 0 {
+                    continue;
+                }
+                if !first {
+                    out.push_str(", ");
+                }
+                first = false;
+                let upper = if b == 0 {
+                    0
+                } else if b >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << b) - 1
+                };
+                let _ = write!(out, "[{upper}, {n}]");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+
+    /// Renders a fixed-width human summary table (the `--metrics` view).
+    pub fn render_table(&self) -> String {
+        let snap = self.snapshot();
+        let mut out = String::new();
+        if snap.counters.is_empty() && snap.gauges.is_empty() && snap.histograms.is_empty() {
+            out.push_str("(no metrics recorded)\n");
+            return out;
+        }
+        let width = snap
+            .counters
+            .iter()
+            .map(|c| c.name.len())
+            .chain(snap.gauges.iter().map(|g| g.name.len()))
+            .chain(snap.histograms.iter().map(|h| h.name.len()))
+            .max()
+            .unwrap_or(0)
+            .max(6);
+        if !snap.counters.is_empty() {
+            let _ = writeln!(out, "counters:");
+            for c in &snap.counters {
+                let _ = writeln!(out, "  {:<width$}  {:>12}", c.name, c.value);
+            }
+        }
+        if !snap.gauges.is_empty() {
+            let _ = writeln!(out, "gauges:");
+            for g in &snap.gauges {
+                let _ = writeln!(out, "  {:<width$}  {:>12}", g.name, g.value);
+            }
+        }
+        if !snap.histograms.is_empty() {
+            let _ = writeln!(
+                out,
+                "histograms: {:<w$}  {:>10} {:>12} {:>12} {:>12}",
+                "",
+                "count",
+                "mean",
+                "p95",
+                "max",
+                w = width.saturating_sub(10)
+            );
+            for h in &snap.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {:<width$}  {:>10} {:>12.1} {:>12} {:>12}",
+                    h.name,
+                    h.count,
+                    h.mean(),
+                    h.quantile(0.95),
+                    h.max
+                );
+            }
+        }
+        out
+    }
+}
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+pub(crate) fn global() -> &'static Registry {
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Escapes `s` as a JSON string literal, including the surrounding
+/// quotes.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let r = Registry::new();
+        let c = r.counter("x.count");
+        c.inc();
+        c.add(4);
+        assert_eq!(r.counter("x.count").get(), 5);
+        let g = r.gauge("x.depth");
+        g.set(7);
+        g.set_max(3);
+        assert_eq!(g.get(), 7);
+        g.set_max(11);
+        assert_eq!(g.get(), 11);
+        g.add(-1);
+        assert_eq!(r.gauge("x.depth").get(), 10);
+    }
+
+    #[test]
+    fn counter_saturates_instead_of_wrapping() {
+        let c = Counter::default();
+        c.add(u64::MAX - 1);
+        c.add(10);
+        assert_eq!(c.get(), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+
+        let h = Histogram::default();
+        for v in [0, 1, 2, 3, 900, 1000] {
+            h.observe(v);
+        }
+        let s = h.snapshot("t");
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 1906);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 1000);
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[1], 1);
+        assert_eq!(s.buckets[2], 2);
+        assert_eq!(s.buckets[10], 2); // 512..1023
+        assert!((s.mean() - 1906.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_is_bucket_upper_bound() {
+        let h = Histogram::default();
+        for _ in 0..99 {
+            h.observe(10); // bucket [8,16)
+        }
+        h.observe(100_000);
+        let s = h.snapshot("t");
+        assert_eq!(s.quantile(0.5), 15);
+        assert_eq!(s.quantile(1.0), 100_000);
+        assert_eq!(s.quantile(0.0), 15); // rank clamps to the 1st sample
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_sane() {
+        let s = Histogram::default().snapshot("t");
+        assert_eq!((s.count, s.sum, s.min, s.max), (0, 0, 0, 0));
+        assert_eq!(s.quantile(0.99), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn json_dump_parses_and_contains_metrics() {
+        let r = Registry::new();
+        r.counter("a.hit").add(3);
+        r.gauge("a.depth").set(-2);
+        r.histogram("a.lat_ns").observe(1500);
+        let json = r.to_json();
+        let v: serde_json::Value = match serde_json::from_str(&json) {
+            Ok(v) => v,
+            Err(e) => panic!("registry dump is not valid JSON: {e}\n{json}"),
+        };
+        let txt = v.to_string();
+        assert!(txt.contains("a.hit"), "{txt}");
+        assert!(txt.contains("a.depth"), "{txt}");
+        assert!(txt.contains("a.lat_ns"), "{txt}");
+    }
+
+    #[test]
+    fn reset_keeps_handles_live() {
+        let r = Registry::new();
+        let c = r.counter("z");
+        c.add(9);
+        r.reset();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        assert_eq!(r.counter("z").get(), 1);
+    }
+
+    #[test]
+    fn render_table_lists_each_kind() {
+        let r = Registry::new();
+        r.counter("c.one").inc();
+        r.gauge("g.two").set(2);
+        r.histogram("h.three").observe(3);
+        let t = r.render_table();
+        assert!(t.contains("c.one"), "{t}");
+        assert!(t.contains("g.two"), "{t}");
+        assert!(t.contains("h.three"), "{t}");
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_escape("\u{1}"), "\"\\u0001\"");
+    }
+}

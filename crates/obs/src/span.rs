@@ -1,0 +1,106 @@
+//! Span timing with hierarchical phase attribution.
+//!
+//! Each thread keeps a stack of active phase names. Entering a span
+//! pushes its name; on drop the elapsed time is recorded into a histogram
+//! named after the full path (`span.mitigate/hill_climb_ns`), so nested
+//! timings attribute to the phase that spent them rather than blurring
+//! into one bucket. Spans only do work at [`ObsLevel::Full`]
+//! (one `Instant` read each side plus a thread-local push/pop).
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+use crate::level::full_enabled;
+
+#[allow(unused_imports)] // doc link
+use crate::level::ObsLevel;
+
+thread_local! {
+    static PHASE_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard returned by [`span_enter`]; records on drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    start: Option<Instant>,
+}
+
+/// Enters the named span if spans are enabled; otherwise returns an inert
+/// guard. Use the [`crate::span!`] macro rather than calling this
+/// directly.
+pub fn span_enter(name: &'static str) -> SpanGuard {
+    if !full_enabled() {
+        return SpanGuard { start: None };
+    }
+    PHASE_STACK.with(|s| s.borrow_mut().push(name));
+    SpanGuard {
+        start: Some(Instant::now()),
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else {
+            return;
+        };
+        let elapsed_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let path = PHASE_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            let path = stack.join("/");
+            stack.pop();
+            path
+        });
+        if path.is_empty() {
+            // The level was raised mid-span; nothing was pushed, so there
+            // is nothing meaningful to attribute.
+            return;
+        }
+        crate::registry()
+            .histogram(&format!("span.{path}_ns"))
+            .observe(elapsed_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::level::{set_level, ObsLevel};
+
+    #[test]
+    fn nested_spans_record_hierarchical_paths() {
+        let _g = crate::testutil::global_guard();
+        set_level(ObsLevel::Full);
+        {
+            let _outer = span_enter("outer_test_span");
+            let _inner = span_enter("inner_test_span");
+        }
+        set_level(ObsLevel::Off);
+        let snap = crate::registry().snapshot();
+        let names: Vec<&str> = snap.histograms.iter().map(|h| h.name.as_str()).collect();
+        assert!(
+            names.contains(&"span.outer_test_span_ns"),
+            "outer span missing: {names:?}"
+        );
+        assert!(
+            names.contains(&"span.outer_test_span/inner_test_span_ns"),
+            "inner span path missing: {names:?}"
+        );
+    }
+
+    #[test]
+    fn spans_are_inert_when_not_full() {
+        let _g = crate::testutil::global_guard();
+        set_level(ObsLevel::Counters);
+        let g = span_enter("never_recorded_span");
+        drop(g);
+        set_level(ObsLevel::Off);
+        let snap = crate::registry().snapshot();
+        assert!(
+            !snap
+                .histograms
+                .iter()
+                .any(|h| h.name.contains("never_recorded_span")),
+            "span recorded below Full level"
+        );
+    }
+}

@@ -1,0 +1,267 @@
+//! Structured JSONL event sink.
+//!
+//! One [`Event`] is one line of JSON: `{"seq":N,"kind":"...",...fields}`.
+//! The sink is a process-global buffered writer installed from the CLI's
+//! `--trace-out` flag (or any `Write + Send` in tests). Emission is
+//! gated on a single `AtomicBool`, so an uninstalled sink costs one
+//! relaxed load per `trace_event!` call site. Records carry a global
+//! sequence number instead of a wall-clock timestamp: traces stay
+//! byte-for-byte deterministic for a given seed, which is what the
+//! repo's reproducibility story needs.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+use parking_lot::Mutex;
+
+use crate::metrics::json_escape;
+
+static TRACE_ON: AtomicBool = AtomicBool::new(false);
+static SEQ: AtomicU64 = AtomicU64::new(0);
+
+type Sink = Mutex<Option<Box<dyn Write + Send>>>;
+
+fn sink() -> &'static Sink {
+    static SINK: OnceLock<Sink> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(None))
+}
+
+/// True when a trace sink is installed; check before building an
+/// [`Event`] (the [`crate::trace_event!`] macro does this for you).
+#[inline]
+pub fn trace_enabled() -> bool {
+    TRACE_ON.load(Ordering::Relaxed)
+}
+
+/// Routes trace events to `path` (truncating), buffered.
+pub fn set_trace_path(path: &Path) -> io::Result<()> {
+    let file = File::create(path)?;
+    set_trace_writer(Box::new(BufWriter::new(file)));
+    Ok(())
+}
+
+/// Routes trace events to an arbitrary writer (tests, in-memory capture).
+pub fn set_trace_writer(w: Box<dyn Write + Send>) {
+    *sink().lock() = Some(w);
+    TRACE_ON.store(true, Ordering::Relaxed);
+}
+
+/// Flushes the sink, propagating any I/O error.
+pub fn flush_trace() -> io::Result<()> {
+    if let Some(w) = sink().lock().as_mut() {
+        w.flush()?;
+    }
+    Ok(())
+}
+
+/// Flushes and removes the sink; subsequent events are dropped cheaply.
+pub fn clear_trace() {
+    TRACE_ON.store(false, Ordering::Relaxed);
+    let mut guard = sink().lock();
+    if let Some(w) = guard.as_mut() {
+        let _ = w.flush();
+    }
+    *guard = None;
+}
+
+/// A single typed field value in a trace record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Bool(bool),
+    Str(String),
+}
+
+impl FieldValue {
+    fn write_json(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        match self {
+            FieldValue::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            FieldValue::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            FieldValue::F64(v) if v.is_finite() => {
+                let _ = write!(out, "{v}");
+            }
+            // JSON has no NaN/Inf literal; stringify so the record stays
+            // parseable instead of corrupting the whole line.
+            FieldValue::F64(v) => {
+                let _ = write!(out, "\"{v}\"");
+            }
+            FieldValue::Bool(v) => {
+                let _ = write!(out, "{v}");
+            }
+            FieldValue::Str(s) => out.push_str(&json_escape(s)),
+        }
+    }
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(v.into())
+    }
+}
+impl From<u8> for FieldValue {
+    fn from(v: u8) -> Self {
+        FieldValue::U64(v.into())
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+impl From<i32> for FieldValue {
+    fn from(v: i32) -> Self {
+        FieldValue::I64(v.into())
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// A structured trace record under construction. Build with
+/// [`Event::new`] + [`Event::with`], emit via [`emit`] (or the
+/// [`crate::trace_event!`] macro, which also handles the enabled check).
+#[derive(Debug, Clone)]
+pub struct Event {
+    kind: &'static str,
+    fields: Vec<(&'static str, FieldValue)>,
+}
+
+impl Event {
+    /// Starts a record of the given kind (`"hillclimb.iter"`,
+    /// `"sim.window"`, ...).
+    pub fn new(kind: &'static str) -> Event {
+        Event {
+            kind,
+            fields: Vec::with_capacity(8),
+        }
+    }
+
+    /// Appends a field. Later duplicates of a key win in most JSON
+    /// parsers, but don't rely on that — use distinct keys.
+    pub fn with(mut self, key: &'static str, value: impl Into<FieldValue>) -> Event {
+        self.fields.push((key, value.into()));
+        self
+    }
+
+    fn to_jsonl(&self, seq: u64) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(96);
+        let _ = write!(
+            out,
+            "{{\"seq\": {seq}, \"kind\": {}",
+            json_escape(self.kind)
+        );
+        for (k, v) in &self.fields {
+            let _ = write!(out, ", {}: ", json_escape(k));
+            v.write_json(&mut out);
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Writes the event to the sink as one JSONL line. No-op (after one
+/// atomic load) when no sink is installed.
+pub fn emit(event: Event) {
+    if !trace_enabled() {
+        return;
+    }
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    let line = event.to_jsonl(seq);
+    if let Some(w) = sink().lock().as_mut() {
+        let _ = w.write_all(line.as_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// In-memory sink for asserting on emitted lines.
+    #[derive(Clone, Default)]
+    struct Capture(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for Capture {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn events_serialize_as_parseable_jsonl() {
+        let _g = crate::testutil::global_guard();
+        let cap = Capture::default();
+        set_trace_writer(Box::new(cap.clone()));
+        emit(
+            Event::new("test.kind")
+                .with("iter", 3u64)
+                .with("delta", -0.25)
+                .with("accepted", true)
+                .with("label", "tilt \"A\"")
+                .with("nan", f64::NAN),
+        );
+        clear_trace();
+        let bytes = cap.0.lock().clone();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().filter(|l| l.contains("test.kind")).collect();
+        assert_eq!(lines.len(), 1, "{text}");
+        let v: serde_json::Value = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(v["kind"].as_str(), Some("test.kind"));
+        assert_eq!(v["iter"].as_number().and_then(|n| n.as_u64()), Some(3));
+        assert!(matches!(v["accepted"], serde_json::Value::Bool(true)));
+        assert_eq!(v["label"].as_str(), Some("tilt \"A\""));
+        assert_eq!(v["nan"].as_str(), Some("NaN"));
+        let delta = v["delta"].as_number().map(|n| n.as_f64()).unwrap();
+        assert!((delta + 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn emit_without_sink_is_noop() {
+        let _g = crate::testutil::global_guard();
+        clear_trace();
+        assert!(!trace_enabled());
+        emit(Event::new("dropped"));
+    }
+}

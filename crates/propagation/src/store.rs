@@ -29,6 +29,7 @@ use crate::spm::PropagationModel;
 use magus_geo::{Db, GridCoord, GridSpec, GridWindow};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A violated [`PathLossMatrix`] invariant, found by
@@ -196,6 +197,33 @@ struct SectorBase {
     theta_deg: Vec<f32>,
 }
 
+/// Point-in-time copy of a store's cache counters (see
+/// [`PathLossStore::cache_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that found no cached matrix.
+    pub misses: u64,
+    /// Matrices assembled — one per miss (two racing threads missing on
+    /// the same key each assemble; one result is discarded).
+    pub assembles: u64,
+    /// Matrices dropped by [`PathLossStore::clear_cache`].
+    pub evictions: u64,
+}
+
+/// Cache counters owned by one store instance. The same events also feed
+/// the global `magus-obs` registry (`pathloss.cache.*`); these per-store
+/// atomics exist so tests and callers can assert on *this* store without
+/// seeing traffic from other stores in the process.
+#[derive(Debug, Default)]
+struct StoreCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    assembles: AtomicU64,
+    evictions: AtomicU64,
+}
+
 /// Per-sector, per-tilt path-loss matrices over an analysis raster.
 pub struct PathLossStore {
     spec: GridSpec,
@@ -203,6 +231,7 @@ pub struct PathLossStore {
     tilts: TiltSettings,
     bases: Vec<SectorBase>,
     cache: Mutex<HashMap<(u32, u8), Arc<PathLossMatrix>>>,
+    counters: StoreCounters,
 }
 
 impl PathLossStore {
@@ -248,6 +277,7 @@ impl PathLossStore {
             tilts,
             bases,
             cache: Mutex::new(HashMap::new()),
+            counters: StoreCounters::default(),
         }
     }
 
@@ -281,11 +311,45 @@ impl PathLossStore {
     pub fn matrix(&self, id: u32, tilt: u8) -> Arc<PathLossMatrix> {
         assert!(tilt < NUM_TILT_SETTINGS, "tilt index {tilt} out of range");
         if let Some(m) = self.cache.lock().get(&(id, tilt)) {
+            self.counters.hits.fetch_add(1, Ordering::Relaxed);
+            magus_obs::counter_inc!("pathloss.cache.hit");
             return Arc::clone(m);
         }
-        let built = Arc::new(self.assemble(id, tilt));
+        self.counters.misses.fetch_add(1, Ordering::Relaxed);
+        magus_obs::counter_inc!("pathloss.cache.miss");
+        let built = magus_obs::timed!("pathloss.assemble_ns", Arc::new(self.assemble(id, tilt)));
+        self.counters.assembles.fetch_add(1, Ordering::Relaxed);
+        magus_obs::counter_inc!("pathloss.cache.assemble");
         built.debug_validate();
-        self.cache.lock().entry((id, tilt)).or_insert(built).clone()
+        let mut cache = self.cache.lock();
+        let arc = cache.entry((id, tilt)).or_insert(built).clone();
+        magus_obs::gauge_max!("pathloss.cache.size_max", cache.len() as i64);
+        arc
+    }
+
+    /// Drops every cached per-tilt matrix (base arrays are kept; the next
+    /// lookup re-assembles). Lets long-lived processes bound memory
+    /// between markets, and exercises the eviction counters.
+    pub fn clear_cache(&self) {
+        let mut cache = self.cache.lock();
+        let dropped = cache.len() as u64;
+        cache.clear();
+        self.counters
+            .evictions
+            .fetch_add(dropped, Ordering::Relaxed);
+        magus_obs::counter_add!("pathloss.cache.evict", dropped);
+    }
+
+    /// Snapshot of this store's cache counters. Per-instance (unlike the
+    /// process-wide `pathloss.cache.*` registry metrics), so assertions
+    /// stay deterministic under parallel tests.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.counters.hits.load(Ordering::Relaxed),
+            misses: self.counters.misses.load(Ordering::Relaxed),
+            assembles: self.counters.assembles.load(Ordering::Relaxed),
+            evictions: self.counters.evictions.load(Ordering::Relaxed),
+        }
     }
 
     fn assemble(&self, id: u32, tilt: u8) -> PathLossMatrix {
@@ -331,6 +395,7 @@ impl PathLossStore {
             tilts,
             bases,
             cache: Mutex::new(HashMap::new()),
+            counters: StoreCounters::default(),
         }
     }
 
@@ -477,5 +542,56 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn invalid_tilt_panics() {
         store().matrix(0, NUM_TILT_SETTINGS);
+    }
+
+    #[test]
+    fn repeated_lookups_hit_cache_and_miss_count_stays_flat() {
+        let s = store();
+        assert_eq!(s.cache_stats(), CacheStats::default());
+        let _ = s.matrix(0, NOMINAL_TILT_INDEX);
+        let after_first = s.cache_stats();
+        assert_eq!(after_first.misses, 1);
+        assert_eq!(after_first.assembles, 1);
+        assert_eq!(after_first.hits, 0);
+        for _ in 0..10 {
+            let _ = s.matrix(0, NOMINAL_TILT_INDEX);
+        }
+        let after_repeat = s.cache_stats();
+        assert_eq!(after_repeat.misses, 1, "repeat lookups must not miss");
+        assert_eq!(after_repeat.assembles, 1, "matrix must not be rebuilt");
+        assert_eq!(after_repeat.hits, 10);
+    }
+
+    #[test]
+    fn distinct_tilts_each_assemble_once() {
+        let s = store();
+        let _ = s.matrix(0, 0);
+        let _ = s.matrix(0, 1);
+        let _ = s.matrix(1, 0);
+        let _ = s.matrix(0, 1); // hit
+        let stats = s.cache_stats();
+        assert_eq!(stats.misses, 3);
+        assert_eq!(stats.assembles, 3);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(s.cached_matrices(), 3);
+    }
+
+    #[test]
+    fn clear_cache_evicts_and_next_lookup_reassembles() {
+        let s = store();
+        let _ = s.matrix(0, NOMINAL_TILT_INDEX);
+        let _ = s.matrix(1, NOMINAL_TILT_INDEX);
+        s.clear_cache();
+        let stats = s.cache_stats();
+        assert_eq!(stats.evictions, 2);
+        assert_eq!(s.cached_matrices(), 0);
+        let _ = s.matrix(0, NOMINAL_TILT_INDEX);
+        let stats = s.cache_stats();
+        assert_eq!(stats.misses, 3, "post-eviction lookup must re-miss");
+        assert_eq!(stats.assembles, 3, "post-eviction lookup must re-assemble");
+        // Clearing an empty cache evicts nothing.
+        s.clear_cache();
+        let _ = s.matrix(0, NOMINAL_TILT_INDEX);
+        assert_eq!(s.cache_stats().evictions, 3);
     }
 }

@@ -253,6 +253,8 @@ pub struct Sim {
     windows: Vec<WindowSample>,
     stats: HandoverStats,
     end: SimTime,
+    /// Events dispatched so far (event-loop throughput accounting).
+    events_dispatched: u64,
 }
 
 impl Sim {
@@ -294,6 +296,7 @@ impl Sim {
             windows: Vec::new(),
             stats: HandoverStats::default(),
             end: SimTime::ZERO,
+            events_dispatched: 0,
         };
         for u in 0..n_u {
             sim.ue_serving[u] = sim.best_cell(u).unwrap_or(0);
@@ -335,6 +338,7 @@ impl Sim {
     fn enqueue_mme(&mut self, job: MmeJob) {
         self.mme_queue.push_back(job);
         self.stats.max_mme_queue = self.stats.max_mme_queue.max(self.mme_queue.len());
+        magus_obs::gauge_max!("sim.mme_queue_max", self.mme_queue.len() as i64);
         if !self.mme_busy {
             self.mme_busy = true;
             let at = self.queue.now().after_millis(self.cfg.mme_service_time_ms);
@@ -344,6 +348,7 @@ impl Sim {
 
     /// Runs the simulation for `duration` and reports.
     pub fn run(mut self, duration: SimTime) -> SimReport {
+        let _span = magus_obs::span_enter("sim.run");
         self.end = duration;
         // The MAC credits each quantum's interval [t, t+dt) at its start,
         // so the first quantum fires at t = 0 and none fires at t ≥ end;
@@ -371,6 +376,8 @@ impl Sim {
     }
 
     fn dispatch(&mut self, now: SimTime, ev: Event) {
+        self.events_dispatched += 1;
+        magus_obs::counter_inc!("sim.events");
         match ev {
             Event::MacQuantum => {
                 if now >= self.end {
@@ -570,8 +577,10 @@ impl Sim {
                 self.ue_state[ue] = UeState::Connected;
                 if seamless {
                     self.stats.seamless += 1;
+                    magus_obs::counter_inc!("sim.handover.seamless");
                 } else {
                     self.stats.hard += 1;
+                    magus_obs::counter_inc!("sim.handover.hard");
                 }
             }
             Event::Apply { index } => {
@@ -585,6 +594,14 @@ impl Sim {
                 let dt = self.cfg.window_ms as f64 / 1_000.0;
                 let rates: Vec<f64> = self.window_bits.iter().map(|&b| b / dt / 1e6).collect();
                 let utility = rates.iter().filter(|&&r| r > 0.0).map(|&r| r.log10()).sum();
+                magus_obs::trace_event!("sim.window",
+                    "t_secs" => now.as_secs_f64(),
+                    "utility" => utility,
+                    "events" => self.events_dispatched,
+                    "mme_queue" => self.mme_queue.len(),
+                    "seamless" => self.stats.seamless,
+                    "hard" => self.stats.hard,
+                );
                 self.windows.push(WindowSample {
                     t_secs: now.as_secs_f64(),
                     utility,
