@@ -10,8 +10,13 @@ cargo fmt --all -- --check
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> cargo test -q"
-cargo test -q
+echo "==> cargo test -q (MAGUS_THREADS=1)"
+MAGUS_THREADS=1 cargo test -q
+
+echo "==> cargo test -q (MAGUS_THREADS=4)"
+# Same suite, parallel exec layer engaged: by the determinism contract
+# (DESIGN.md §"Parallel execution") results must not change.
+MAGUS_THREADS=4 cargo test -q
 
 echo "==> magus-audit check"
 REPORT=target/audit-report.json
@@ -36,5 +41,11 @@ echo "==> obs overhead gate"
 # Fixed tiny scenario, ObsLevel::Off vs Full interleaved; fails (exit 1)
 # past 10% wall-clock overhead (MAGUS_OBS_OVERHEAD_MAX_PCT to override).
 cargo run -q --release -p magus-bench --bin obs_overhead
+
+echo "==> parallel speedup gate"
+# Store rebuild + prewarm at 1 thread vs N, with a bit-level determinism
+# check; on >= 4-core runners the N-thread run must be >= 1.8x faster
+# (MAGUS_SPEEDUP_MIN to override), self-skips on smaller machines.
+MAGUS_SCALE=tiny cargo run -q --release -p magus-bench --bin parallel_speedup
 
 echo "CI: all stages green"

@@ -1,0 +1,111 @@
+//! **Parallel speedup smoke benchmark** — the CI gate for the exec
+//! layer (`ci.sh` stage "speedup").
+//!
+//! Measures one representative parallel workload — rebuilding a
+//! market's path-loss store (base-matrix fan-out) and prewarming every
+//! (sector, tilt) matrix — once at 1 thread and once at N threads, and
+//! reports the wall-clock ratio. Along the way it asserts the exec
+//! determinism contract: both runs must produce bit-identical matrices.
+//!
+//! Gate: when the runner has ≥ 4 cores (and N ≥ 4), the N-thread run
+//! must be at least `MAGUS_SPEEDUP_MIN`× (default 1.8×) faster than the
+//! 1-thread run, else the process exits non-zero. On smaller runners
+//! the measurement still prints and the gate self-skips — a 1-core
+//! container can't fail a parallelism gate it can't exercise.
+
+use magus_bench::{build_market, init_obs_from_env, write_artifact, Scale};
+use magus_net::AreaType;
+use magus_propagation::NUM_TILT_SETTINGS;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct Report {
+    cores: usize,
+    threads: usize,
+    serial_s: f64,
+    parallel_s: f64,
+    speedup: f64,
+    gate_min: f64,
+    gate_enforced: bool,
+}
+
+/// Rebuilds the market's store (deterministic `w = 0` blend reproduces
+/// the original field) and prewarms every matrix; returns a bit-level
+/// checksum over all of them so runs can be compared exactly.
+fn workload(market: &magus_net::Market) -> u64 {
+    let store = market.store_with_shadowing_blend(0, 0.0);
+    let keys: Vec<(u32, u8)> = (0..market.network().num_sectors() as u32)
+        .flat_map(|id| (0..NUM_TILT_SETTINGS).map(move |t| (id, t)))
+        .collect();
+    store.prewarm(&keys);
+    let mut sum = 0u64;
+    for &(id, tilt) in &keys {
+        for v in store.matrix(id, tilt).values() {
+            sum = sum
+                .wrapping_mul(0x100_0000_01b3)
+                .wrapping_add(u64::from(v.to_bits()));
+        }
+    }
+    sum
+}
+
+fn main() {
+    init_obs_from_env();
+    let scale = Scale::from_env();
+    let market = build_market(AreaType::Suburban, 1, scale);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let threads = magus_exec::threads().max(2);
+
+    magus_exec::set_threads(1);
+    let t0 = Instant::now();
+    let serial_sum = workload(&market);
+    let serial_s = t0.elapsed().as_secs_f64();
+
+    magus_exec::set_threads(threads);
+    let t1 = Instant::now();
+    let parallel_sum = workload(&market);
+    let parallel_s = t1.elapsed().as_secs_f64();
+    magus_exec::clear_threads_override();
+
+    assert!(
+        serial_sum == parallel_sum,
+        "determinism violated: 1-thread and {threads}-thread builds differ"
+    );
+
+    let speedup = serial_s / parallel_s.max(1e-9);
+    let gate_min: f64 = std::env::var("MAGUS_SPEEDUP_MIN")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(1.8);
+    let gate_enforced = cores >= 4 && threads >= 4 && gate_min > 0.0;
+    println!(
+        "parallel_speedup: cores {cores}, threads {threads}, serial {serial_s:.3}s, \
+         parallel {parallel_s:.3}s, speedup {speedup:.2}x (gate {}{gate_min:.2}x)",
+        if gate_enforced {
+            ">= "
+        } else {
+            "skipped, min "
+        },
+    );
+    write_artifact(
+        "parallel_speedup",
+        &Report {
+            cores,
+            threads,
+            serial_s,
+            parallel_s,
+            speedup,
+            gate_min,
+            gate_enforced,
+        },
+    );
+    let _ = magus_obs::flush_trace();
+    if gate_enforced && speedup < gate_min {
+        eprintln!(
+            "parallel_speedup: FAIL — {speedup:.2}x < required {gate_min:.2}x on a \
+             {cores}-core runner"
+        );
+        std::process::exit(1);
+    }
+}

@@ -42,22 +42,32 @@ fn main() {
         "{:<22} {:>18} {:>18}",
         "optimize \\ measure", "u_performance", "u_coverage"
     );
+    // The two optimization rows are independent experiments; fan them
+    // out over the exec pool (each row's search is deterministic, so the
+    // table is identical at any thread count).
+    let row_results =
+        magus_exec::map_indexed(UtilityKind::ALL.len(), magus_exec::threads(), |ki| {
+            let kind = UtilityKind::ALL[ki];
+            // The planner baseline C_before is shared across rows (the
+            // carrier plans once); only the mitigation search's
+            // objective varies.
+            let mut cfg = ExperimentConfig::default();
+            cfg.search.utility = kind;
+            let out = run_recovery_with(
+                &model,
+                &market,
+                UpgradeScenario::SingleCentralSector,
+                TuningKind::Joint,
+                &cfg,
+            );
+            (
+                out.recovery(UtilityKind::Performance),
+                out.recovery(UtilityKind::Coverage),
+            )
+        });
     let mut rows = Vec::new();
     for (ki, kind) in UtilityKind::ALL.into_iter().enumerate() {
-        // The planner baseline C_before is shared across rows (the
-        // carrier plans once); only the mitigation search's objective
-        // varies.
-        let mut cfg = ExperimentConfig::default();
-        cfg.search.utility = kind;
-        let out = run_recovery_with(
-            &model,
-            &market,
-            UpgradeScenario::SingleCentralSector,
-            TuningKind::Joint,
-            &cfg,
-        );
-        let rp = out.recovery(UtilityKind::Performance);
-        let rc = out.recovery(UtilityKind::Coverage);
+        let (rp, rc) = row_results[ki];
         println!("{:<22} {:>18} {:>18}", kind.to_string(), pct(rp), pct(rc));
         emit_expectation(
             "table2_utilities",

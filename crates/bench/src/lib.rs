@@ -204,54 +204,27 @@ pub fn for_each_market(
 }
 
 /// Parallel variant of [`for_each_market`]: builds the 9 (area, seed)
-/// markets on worker threads (one market each, fed from a crossbeam
-/// channel) and maps each through `f`. Results come back in the same
-/// deterministic (area, seed) order as the sequential version — only the
-/// wall-clock differs. The simulation itself is single-threaded per
-/// market; parallelism is across markets, which is where Table 1's
-/// wall-clock goes.
+/// markets on [`magus_exec::map_indexed`] workers (thread count from
+/// [`magus_exec::threads`], i.e. `--threads` / `MAGUS_THREADS`) and maps
+/// each through `f`. Results come back in the same deterministic
+/// (area, seed) order as the sequential version — only the wall-clock
+/// differs. The simulation itself is single-threaded per market;
+/// parallelism is across markets, which is where Table 1's wall-clock
+/// goes.
 pub fn map_markets_parallel<T: Send>(
     scale: Scale,
     f: impl Fn(AreaType, u64, &Market, &magus_model::StandardModel) -> T + Sync,
 ) -> Vec<(AreaType, u64, T)> {
-    let jobs: Vec<(usize, AreaType, u64)> = AreaType::ALL
+    let jobs: Vec<(AreaType, u64)> = AreaType::ALL
         .iter()
         .flat_map(|&a| AREA_SEEDS.iter().map(move |&s| (a, s)))
-        .enumerate()
-        .map(|(i, (a, s))| (i, a, s))
         .collect();
-    let n_jobs = jobs.len();
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(n_jobs);
-    let (tx, rx) = crossbeam::channel::unbounded::<(usize, AreaType, u64)>();
-    for j in jobs {
-        tx.send(j).expect("queue open");
-    }
-    drop(tx);
-    let mut slots: Vec<Option<(AreaType, u64, T)>> = (0..n_jobs).map(|_| None).collect();
-    let slots_mutex = std::sync::Mutex::new(&mut slots);
-    crossbeam::scope(|scope| {
-        for _ in 0..workers {
-            let rx = rx.clone();
-            let f = &f;
-            let slots_mutex = &slots_mutex;
-            scope.spawn(move |_| {
-                while let Ok((i, area, seed)) = rx.recv() {
-                    let market = build_market(area, seed, scale);
-                    let model = magus_model::standard_setup(&market, magus_lte::Bandwidth::Mhz10);
-                    let out = f(area, seed, &market, &model);
-                    slots_mutex.lock().expect("slots lock")[i] = Some((area, seed, out));
-                }
-            });
-        }
+    magus_exec::map_indexed(jobs.len(), magus_exec::threads(), |i| {
+        let (area, seed) = jobs[i];
+        let market = build_market(area, seed, scale);
+        let model = magus_model::standard_setup(&market, magus_lte::Bandwidth::Mhz10);
+        (area, seed, f(area, seed, &market, &model))
     })
-    .expect("worker panicked");
-    slots
-        .into_iter()
-        .map(|s| s.expect("every job completed"))
-        .collect()
 }
 
 #[cfg(test)]

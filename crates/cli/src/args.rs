@@ -107,6 +107,19 @@ impl Args {
         }
     }
 
+    /// `--threads`, if given: worker count for parallel sections. By
+    /// the exec determinism contract this only changes wall-clock,
+    /// never output.
+    pub fn threads(&self) -> Result<Option<usize>, String> {
+        match self.get("threads") {
+            None => Ok(None),
+            Some(s) => match s.parse::<usize>() {
+                Ok(n) if n >= 1 => Ok(Some(n)),
+                _ => Err(format!("invalid --threads `{s}` (positive integer)")),
+            },
+        }
+    }
+
     /// `--out`, with a command-specific default.
     pub fn out(&self, default: &str) -> String {
         self.get("out").unwrap_or(default).to_string()
@@ -218,6 +231,14 @@ mod tests {
         assert!(a.metrics());
         assert!(a.json());
         assert!(a.values.is_empty());
+    }
+
+    #[test]
+    fn threads_accessor() {
+        assert_eq!(parse(&[]).threads().unwrap(), None);
+        assert_eq!(parse(&["--threads", "4"]).threads().unwrap(), Some(4));
+        assert!(parse(&["--threads", "0"]).threads().is_err());
+        assert!(parse(&["--threads", "many"]).threads().is_err());
     }
 
     #[test]

@@ -43,6 +43,10 @@ OPTIONS (all commands):
     --seed <u64>                     Market seed             [default: 1]
     --size <tiny|eval|full>          Market scale            [default: tiny]
     --json                           JSON output on stdout
+    --threads <N>                    Worker threads for parallel sections
+                                     [default: MAGUS_THREADS env, else all cores]
+                                     Results are identical at any thread count;
+                                     only wall-clock changes.
 
 OBSERVABILITY (all commands):
     --metrics                        Print the metric registry after the command
@@ -86,6 +90,14 @@ fn main() -> ExitCode {
         eprintln!("error: {e}");
         return ExitCode::FAILURE;
     }
+    match args.threads() {
+        Ok(Some(n)) => magus_exec::set_threads(n),
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     let result = match command.as_str() {
         "market" => commands::market(&args),
         "evaluate" => commands::evaluate(&args),
@@ -112,7 +124,7 @@ fn main() -> ExitCode {
 /// the full level (collecting nothing while writing a report would be
 /// surprising).
 fn init_obs(args: &Args) -> Result<(), String> {
-    for key in ["metrics-out", "trace-out", "obs"] {
+    for key in ["metrics-out", "trace-out", "obs", "threads"] {
         args.require_value(key)?;
     }
     let level = match args.obs_level()? {

@@ -1,0 +1,90 @@
+//! End-to-end check of the `--threads` flag and the exec determinism
+//! contract: `magus mitigate --json` must produce **byte-identical**
+//! stdout at every thread count — the flag may only change wall-clock.
+//! Also covers `MAGUS_THREADS` (the env-var spelling of the same knob)
+//! and rejection of invalid values.
+
+use std::process::Command;
+
+fn mitigate_json(threads: Option<&str>, env_threads: Option<&str>) -> Vec<u8> {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_magus"));
+    cmd.args([
+        "mitigate",
+        "--size",
+        "tiny",
+        "--seed",
+        "1",
+        "--scenario",
+        "a",
+        "--tuning",
+        "joint",
+        "--json",
+    ]);
+    if let Some(n) = threads {
+        cmd.args(["--threads", n]);
+    }
+    match env_threads {
+        Some(n) => cmd.env("MAGUS_THREADS", n),
+        None => cmd.env_remove("MAGUS_THREADS"),
+    };
+    let output = cmd.output().expect("run magus mitigate");
+    assert!(
+        output.status.success(),
+        "mitigate (threads {threads:?}, env {env_threads:?}) failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    output.stdout
+}
+
+#[test]
+fn mitigate_json_is_byte_identical_across_thread_counts() {
+    let baseline = mitigate_json(Some("1"), None);
+    // Sanity: the baseline is well-formed JSON, not an empty run.
+    let v: serde_json::Value =
+        serde_json::from_slice(&baseline).expect("mitigate --json output parses");
+    assert!(v.as_object().is_some(), "expected a JSON object on stdout");
+    for n in ["2", "3", "8"] {
+        let out = mitigate_json(Some(n), None);
+        assert!(
+            out == baseline,
+            "--threads {n} output diverged from --threads 1 ({} vs {} bytes)",
+            out.len(),
+            baseline.len()
+        );
+    }
+}
+
+#[test]
+fn magus_threads_env_matches_flag() {
+    let by_flag = mitigate_json(Some("4"), None);
+    let by_env = mitigate_json(None, Some("4"));
+    assert!(
+        by_env == by_flag,
+        "MAGUS_THREADS=4 diverged from --threads 4"
+    );
+    // An explicit flag must win over the environment.
+    let flag_wins = mitigate_json(Some("1"), Some("7"));
+    assert!(
+        flag_wins == by_flag,
+        "--threads 1 under MAGUS_THREADS=7 diverged"
+    );
+}
+
+#[test]
+fn invalid_threads_values_are_rejected() {
+    for bad in ["0", "many", ""] {
+        let output = Command::new(env!("CARGO_BIN_EXE_magus"))
+            .args(["mitigate", "--size", "tiny", "--threads", bad])
+            .output()
+            .expect("run magus mitigate");
+        assert!(
+            !output.status.success(),
+            "--threads {bad:?} unexpectedly accepted"
+        );
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert!(
+            stderr.contains("threads"),
+            "error message should mention --threads, got: {stderr}"
+        );
+    }
+}

@@ -49,53 +49,212 @@ impl Default for HillClimbParams {
     }
 }
 
+/// The fixed-order candidate list for one iteration: for each on-air
+/// sector (in `sectors` order) power +step, power −step (if the floor
+/// allows), tilt −1, tilt +1 (if enabled), filtered to moves that would
+/// actually change the configuration.
+///
+/// Both the serial and the parallel paths enumerate candidates through
+/// this one function, so candidate *indices* — which the deterministic
+/// reduction ties on — mean the same thing at every thread count.
+fn candidate_moves(
+    ev: &Evaluator,
+    state: &ModelState,
+    sectors: &[SectorId],
+    params: &HillClimbParams,
+) -> Vec<ConfigChange> {
+    let mut out = Vec::new();
+    for &s in sectors {
+        let sc = state.config().sector(s);
+        if !sc.on_air {
+            continue;
+        }
+        let mut candidates: Vec<ConfigChange> =
+            vec![ConfigChange::PowerDelta(s, Db(params.step_db))];
+        let floor = ev.network().sector(s).nominal_power.0 - params.power_floor_below_nominal_db;
+        if sc.power.0 - params.step_db >= floor {
+            candidates.push(ConfigChange::PowerDelta(s, Db(-params.step_db)));
+        }
+        if params.tune_tilt {
+            if sc.tilt > 0 {
+                candidates.push(ConfigChange::SetTilt(s, sc.tilt - 1));
+            }
+            if sc.tilt + 1 < magus_propagation::NUM_TILT_SETTINGS {
+                candidates.push(ConfigChange::SetTilt(s, sc.tilt + 1));
+            }
+        }
+        out.extend(
+            candidates
+                .into_iter()
+                .filter(|&ch| state.config().would_change(ev.network(), ch)),
+        );
+    }
+    out
+}
+
+/// The order-fixed selection: drop scores at or below the acceptance
+/// threshold, then take the maximum with ties broken by the lowest
+/// candidate index (identical to the historical serial strictly-greater
+/// scan, but insensitive to the order scores arrive in).
+fn select_best(
+    scores: impl IntoIterator<Item = (usize, f64)>,
+    current: f64,
+    epsilon: f64,
+) -> Option<(usize, f64)> {
+    magus_exec::argmax_det(scores.into_iter().filter(|&(_, u)| u > current + epsilon))
+}
+
+/// A command to a probe worker holding a private [`ModelState`] replica.
+#[derive(Clone)]
+enum ProbeCmd {
+    /// Probe each `(candidate index, move)` against the replica.
+    Probe(Vec<(usize, ConfigChange)>),
+    /// An accepted move: replay it so the replica stays in lock-step.
+    Apply(ConfigChange),
+}
+
 /// Greedily applies the best single move (power ±step, optionally tilt
 /// ±1) over `sectors` until no move improves the utility. Returns the
 /// applied moves in order.
+///
+/// Candidate probes fan out over [`magus_exec::threads`] workers; by the
+/// determinism contract (see DESIGN.md §"Parallel execution") the result
+/// is bit-identical at every thread count.
 pub fn hill_climb(
     ev: &Evaluator,
     state: &mut ModelState,
     sectors: &[SectorId],
     params: &HillClimbParams,
 ) -> Vec<ConfigChange> {
+    hill_climb_with_threads(ev, state, sectors, params, magus_exec::threads())
+}
+
+/// [`hill_climb`] with an explicit worker count.
+///
+/// With `threads` ≤ 1 probes run inline on the caller's state; otherwise
+/// each worker keeps a private clone of `state`, probes its share of
+/// each iteration's candidates (probe = apply + undo restores the
+/// replica exactly), and replays every accepted move. Because replicas
+/// are bitwise copies and probes are index-tagged and reduced with
+/// [`magus_exec::argmax_det`], the trajectory — every accepted move, in
+/// order, and the final state — is identical for every `threads` value.
+pub fn hill_climb_with_threads(
+    ev: &Evaluator,
+    state: &mut ModelState,
+    sectors: &[SectorId],
+    params: &HillClimbParams,
+    threads: usize,
+) -> Vec<ConfigChange> {
     let _span = magus_obs::span_enter("hill_climb");
+    if threads <= 1 {
+        return climb(
+            ev,
+            state,
+            sectors,
+            params,
+            |st, cands| {
+                cands
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &ch)| (i, ev.probe_objective(st, ch, params.utility)))
+                    .collect()
+            },
+            |_ch| {},
+        );
+    }
+
+    // Per-worker replicas of the starting state, handed to workers by id.
+    let replicas: Vec<parking_lot::Mutex<Option<ModelState>>> = (0..threads)
+        .map(|_| parking_lot::Mutex::new(Some(state.clone())))
+        .collect();
+    let utility = params.utility;
+    magus_exec::team::with_team(
+        threads,
+        |port: magus_exec::team::WorkerPort<ProbeCmd, Vec<(usize, f64)>>| {
+            let Some(mut replica) = replicas[port.id()].lock().take() else {
+                return;
+            };
+            while let Some(cmd) = port.next() {
+                match cmd {
+                    ProbeCmd::Probe(batch) => {
+                        let scores = batch
+                            .into_iter()
+                            .map(|(i, ch)| (i, ev.probe_objective(&mut replica, ch, utility)))
+                            .collect();
+                        if !port.send(scores) {
+                            break;
+                        }
+                    }
+                    ProbeCmd::Apply(ch) => {
+                        let _undo = ev.apply(&mut replica, ch);
+                    }
+                }
+            }
+        },
+        |team| {
+            climb(
+                ev,
+                state,
+                sectors,
+                params,
+                |_st, cands| {
+                    // Strided partition: worker w probes candidates w,
+                    // w + threads, …; any partition reduces identically.
+                    let mut sent = 0usize;
+                    for w in 0..team.workers() {
+                        let batch: Vec<(usize, ConfigChange)> = cands
+                            .iter()
+                            .enumerate()
+                            .skip(w)
+                            .step_by(team.workers())
+                            .map(|(i, &ch)| (i, ch))
+                            .collect();
+                        if !batch.is_empty() && team.send(w, ProbeCmd::Probe(batch)) {
+                            sent += 1;
+                        }
+                    }
+                    let mut scores: Vec<(usize, f64)> = team
+                        .collect(sent)
+                        .into_iter()
+                        .flat_map(|(_, v)| v)
+                        .collect();
+                    scores.sort_unstable_by_key(|&(i, _)| i);
+                    scores
+                },
+                |ch| {
+                    // Keep every replica in lock-step with the driver.
+                    team.broadcast(ProbeCmd::Apply(ch));
+                },
+            )
+        },
+    )
+}
+
+/// The shared climb loop: `score` evaluates one iteration's candidates
+/// (serially or through a team) and returns `(candidate index,
+/// objective)` pairs; everything else — candidate enumeration, the
+/// order-fixed reduction, acceptance, tracing — is common to both paths.
+fn climb<S, A>(
+    ev: &Evaluator,
+    state: &mut ModelState,
+    sectors: &[SectorId],
+    params: &HillClimbParams,
+    mut score: S,
+    mut on_accept: A,
+) -> Vec<ConfigChange>
+where
+    S: FnMut(&mut ModelState, &[ConfigChange]) -> Vec<(usize, f64)>,
+    A: FnMut(ConfigChange),
+{
     let mut applied = Vec::new();
     let mut iter = 0u64;
     while applied.len() < params.max_moves {
         let current = state.objective(params.utility);
-        let mut best: Option<(ConfigChange, f64)> = None;
-        let mut probes = 0u64;
-        for &s in sectors {
-            let sc = state.config().sector(s);
-            if !sc.on_air {
-                continue;
-            }
-            let mut candidates: Vec<ConfigChange> =
-                vec![ConfigChange::PowerDelta(s, Db(params.step_db))];
-            let floor =
-                ev.network().sector(s).nominal_power.0 - params.power_floor_below_nominal_db;
-            if sc.power.0 - params.step_db >= floor {
-                candidates.push(ConfigChange::PowerDelta(s, Db(-params.step_db)));
-            }
-            if params.tune_tilt {
-                if sc.tilt > 0 {
-                    candidates.push(ConfigChange::SetTilt(s, sc.tilt - 1));
-                }
-                if sc.tilt + 1 < magus_propagation::NUM_TILT_SETTINGS {
-                    candidates.push(ConfigChange::SetTilt(s, sc.tilt + 1));
-                }
-            }
-            for ch in candidates {
-                if !state.config().would_change(ev.network(), ch) {
-                    continue;
-                }
-                let u = ev.probe_objective(state, ch, params.utility);
-                probes += 1;
-                if u > current + params.epsilon && best.map_or(true, |(_, bu)| u > bu) {
-                    best = Some((ch, u));
-                }
-            }
-        }
+        let cands = candidate_moves(ev, state, sectors, params);
+        let scores = score(state, &cands);
+        let probes = scores.len() as u64;
+        let best = select_best(scores, current, params.epsilon)
+            .and_then(|(i, u)| cands.get(i).map(|&ch| (ch, u)));
         magus_obs::counter_inc!("hillclimb.iters");
         magus_obs::counter_add!("hillclimb.probes", probes);
         // One trace record per iteration: the chosen candidate (or the
@@ -113,6 +272,7 @@ pub fn hill_climb(
         match best {
             Some((ch, _)) => {
                 ev.apply(state, ch);
+                on_accept(ch);
                 applied.push(ch);
                 magus_obs::counter_inc!("hillclimb.moves");
             }
@@ -201,6 +361,36 @@ mod tests {
                     assert!(probed <= u + 1e-9, "{ch:?} still improves");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn trajectory_is_thread_count_invariant() {
+        let (ev, config) = fixture();
+        let params = HillClimbParams::default();
+        let mut baseline = ev.initial_state(&config);
+        let serial_moves =
+            hill_climb_with_threads(&ev, &mut baseline, &[SectorId(0), SectorId(1)], &params, 1);
+        let serial_u = baseline.utility(params.utility);
+        for threads in [2, 3, 8] {
+            let mut state = ev.initial_state(&config);
+            let moves = hill_climb_with_threads(
+                &ev,
+                &mut state,
+                &[SectorId(0), SectorId(1)],
+                &params,
+                threads,
+            );
+            assert_eq!(
+                moves, serial_moves,
+                "trajectory diverged at {threads} threads"
+            );
+            assert_eq!(state.config(), baseline.config());
+            assert_eq!(
+                state.utility(params.utility).to_bits(),
+                serial_u.to_bits(),
+                "utility not bit-identical at {threads} threads"
+            );
         }
     }
 

@@ -42,7 +42,7 @@ pub use experiment::{
     run_recovery_with, ExperimentConfig, PreparedScenario, RecoveryOutcome, UtilityReadings,
 };
 pub use gradual::{plan_gradual, DirectOutcome, GradualOutcome, GradualParams, GradualStep};
-pub use hillclimb::{hill_climb, HillClimbParams};
+pub use hillclimb::{hill_climb, hill_climb_with_threads, HillClimbParams};
 pub use playbook::{OutagePlaybook, PlaybookEntry};
 pub use strategy::{
     hybrid_model_feedback, reactive_feedback, strategy_traces, FeedbackMode, FeedbackOutcome,

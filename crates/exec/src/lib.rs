@@ -1,0 +1,159 @@
+//! `magus-exec`: the workspace's deterministic parallel-execution layer.
+//!
+//! Magus's proactive search probes hundreds of candidate settings per
+//! sector (paper §5); the probe/undo structure of the evaluator makes
+//! each candidate independent, which is exactly the shape a work pool
+//! wants. This crate is the one place threads are spawned:
+//!
+//! * [`map_indexed`] — a deterministic parallel map: `n` indexed tasks
+//!   fan out over scoped workers pulling from a shared queue, and the
+//!   results come back **in index order** no matter which worker ran
+//!   what. Used by the path-loss store's base-matrix build, cache
+//!   prewarming, and the bench harness's per-market fan-out.
+//! * [`team`] — round-synchronized worker teams with per-worker state
+//!   and explicit command/result channels. Used by the hill-climber,
+//!   where every worker keeps a private `ModelState` replica in
+//!   lock-step with the driver.
+//! * [`argmax_det`] — the order-fixed reduction: maximum by
+//!   [`f64::total_cmp`], ties broken by the lowest index. Any partition
+//!   of the same scored candidates reduces to the same winner, which is
+//!   what makes search trajectories thread-count-invariant.
+//!
+//! **Thread-count resolution** ([`threads`]): an explicit
+//! [`set_threads`] override (the CLI's `--threads`) wins; otherwise the
+//! `MAGUS_THREADS` environment variable; otherwise
+//! [`std::thread::available_parallelism`]. The resolved count only ever
+//! changes wall-clock, never results — that contract is enforced by the
+//! thread-count-invariance suites in `tests/model_properties.rs` and
+//! `crates/cli/tests/threads_flag.rs`.
+//!
+//! **Instrumentation** (through `magus-obs`): `pool.tasks` (tasks
+//! executed), `pool.queue_depth` (remaining tasks, gauge),
+//! `pool.worker_busy_ns` (per-worker busy time per [`map_indexed`]
+//! call), `pool.teams` / `pool.team_rounds` for the team layer.
+//!
+//! The crate is std-only (scoped threads) plus the vendored `crossbeam`
+//! channels, panic-free by design (every channel failure degrades to
+//! "stop working", never to an unwrap), and spawns nothing at all when
+//! the resolved thread count is 1 — the serial path is the parallel
+//! path with the fan-out inlined, not a separate code path.
+
+#![forbid(unsafe_code)]
+
+mod pool;
+pub mod team;
+
+pub use pool::map_indexed;
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide thread-count override; 0 means "not set".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the resolved thread count for the whole process (the CLI's
+/// `--threads N`). Values are floored at 1.
+pub fn set_threads(n: usize) {
+    THREAD_OVERRIDE.store(n.max(1), Ordering::Relaxed);
+}
+
+/// Clears a [`set_threads`] override, returning resolution to
+/// `MAGUS_THREADS` / available parallelism (used by tests).
+pub fn clear_threads_override() {
+    THREAD_OVERRIDE.store(0, Ordering::Relaxed);
+}
+
+/// The worker count parallel sections use: the [`set_threads`] override
+/// if present, else `MAGUS_THREADS` (when it parses to ≥ 1), else
+/// [`std::thread::available_parallelism`] (1 when unknown).
+///
+/// By the determinism contract, this value never affects results —
+/// callers may read it at any time without synchronizing.
+pub fn threads() -> usize {
+    let o = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if o > 0 {
+        return o;
+    }
+    if let Ok(s) = std::env::var("MAGUS_THREADS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// The order-fixed reduction: the pair with the maximum value by
+/// [`f64::total_cmp`], ties broken by the **lowest** index.
+///
+/// Equivalent to scanning candidates in index order and keeping a
+/// strictly-greater running best — but insensitive to the iteration
+/// order, so results collected from racing workers reduce identically
+/// to a serial scan. `total_cmp` is total (positive NaN sorts above
+/// +inf), so the reduction never stalls on NaN; callers that must not
+/// select NaN (the hill-climber) filter it out beforehand with their
+/// improvement threshold.
+pub fn argmax_det(pairs: impl IntoIterator<Item = (usize, f64)>) -> Option<(usize, f64)> {
+    pairs.into_iter().fold(None, |best, (i, v)| match best {
+        None => Some((i, v)),
+        Some((bi, bv)) => match v.total_cmp(&bv) {
+            std::cmp::Ordering::Greater => Some((i, v)),
+            std::cmp::Ordering::Equal if i < bi => Some((i, v)),
+            _ => Some((bi, bv)),
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes tests that touch the process-wide override.
+    fn guard() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn override_wins_and_clears() {
+        let _g = guard();
+        set_threads(3);
+        assert_eq!(threads(), 3);
+        set_threads(0); // floored at 1
+        assert_eq!(threads(), 1);
+        clear_threads_override();
+        assert!(threads() >= 1);
+    }
+
+    #[test]
+    fn argmax_is_order_independent() {
+        let fwd = argmax_det([(0, 1.0), (1, 3.0), (2, 3.0), (3, 2.0)]);
+        let rev = argmax_det([(3, 2.0), (2, 3.0), (1, 3.0), (0, 1.0)]);
+        assert_eq!(fwd, Some((1, 3.0)));
+        assert_eq!(rev, Some((1, 3.0)));
+    }
+
+    #[test]
+    fn argmax_matches_serial_strictly_greater_scan() {
+        let vals = [2.0, 7.0, 7.0, -1.0, 7.0, 3.0];
+        let mut serial: Option<(usize, f64)> = None;
+        for (i, &v) in vals.iter().enumerate() {
+            if serial.map_or(true, |(_, bv)| v > bv) {
+                serial = Some((i, v));
+            }
+        }
+        assert_eq!(argmax_det(vals.into_iter().enumerate()), serial);
+    }
+
+    #[test]
+    fn argmax_handles_empty_and_nan() {
+        assert_eq!(argmax_det(std::iter::empty()), None);
+        // total_cmp is total: positive NaN sorts above every real, and
+        // the outcome is the same from either direction.
+        let a = argmax_det([(0, f64::NAN), (1, 0.0)]);
+        let b = argmax_det([(1, 0.0), (0, f64::NAN)]);
+        assert!(matches!(a, Some((0, v)) if v.is_nan()));
+        assert!(matches!(b, Some((0, v)) if v.is_nan()));
+    }
+}

@@ -1,0 +1,219 @@
+//! Round-synchronized worker teams with per-worker state.
+//!
+//! A [`map_indexed`](crate::map_indexed) task is stateless; the
+//! hill-climber needs more: each worker holds a private replica of the
+//! search state, probes candidate batches against it, and replays every
+//! accepted move so the replica stays in lock-step with the driver.
+//! [`with_team`] provides exactly that shape: one command channel per
+//! worker (so the driver can address or broadcast), one shared result
+//! channel back, scoped threads underneath.
+//!
+//! Determinism contract: the driver decides *what* to evaluate and how
+//! to reduce; workers only compute. As long as worker computations are
+//! deterministic per command and the reduction is order-fixed (see
+//! [`argmax_det`](crate::argmax_det)), the team's results are identical
+//! at any worker count — including 1.
+
+use crossbeam::channel;
+use std::time::Instant;
+
+/// A worker's endpoints: commands in, `(worker id, result)` out.
+pub struct WorkerPort<Cmd, Out> {
+    id: usize,
+    rx: channel::Receiver<Cmd>,
+    tx: channel::Sender<(usize, Out)>,
+}
+
+impl<Cmd, Out> WorkerPort<Cmd, Out> {
+    /// This worker's index within the team.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Blocks for the next command; `None` once the driver is done
+    /// (its [`Team`] dropped, closing the command channel).
+    pub fn next(&self) -> Option<Cmd> {
+        self.rx.recv().ok()
+    }
+
+    /// Sends a result to the driver; `false` if the driver is gone
+    /// (the worker should wind down).
+    pub fn send(&self, out: Out) -> bool {
+        self.tx.send((self.id, out)).is_ok()
+    }
+}
+
+/// The driver's handle to a running team.
+pub struct Team<Cmd, Out> {
+    txs: Vec<channel::Sender<Cmd>>,
+    rx: channel::Receiver<(usize, Out)>,
+}
+
+impl<Cmd, Out> Team<Cmd, Out> {
+    /// Number of workers in the team.
+    pub fn workers(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// Sends a command to one worker; `false` if it already exited.
+    pub fn send(&self, worker: usize, cmd: Cmd) -> bool {
+        self.txs
+            .get(worker)
+            .map_or(false, |tx| tx.send(cmd).is_ok())
+    }
+
+    /// Sends a copy of `cmd` to every worker; returns how many accepted.
+    pub fn broadcast(&self, cmd: Cmd) -> usize
+    where
+        Cmd: Clone,
+    {
+        self.txs
+            .iter()
+            .filter(|tx| tx.send(cmd.clone()).is_ok())
+            .count()
+    }
+
+    /// Blocks for the next `(worker id, result)`; `None` if every
+    /// worker has exited.
+    pub fn recv(&self) -> Option<(usize, Out)> {
+        self.rx.recv().ok()
+    }
+
+    /// Receives exactly `n` results (or fewer if workers die), in
+    /// arrival order. Callers reduce with an order-fixed reduction.
+    pub fn collect(&self, n: usize) -> Vec<(usize, Out)> {
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            match self.recv() {
+                Some(r) => out.push(r),
+                None => break,
+            }
+        }
+        out
+    }
+}
+
+/// Spawns `workers` scoped threads each running `worker(port)`, then
+/// runs `driver(team)` on the calling thread and returns its result.
+///
+/// Dropping the [`Team`] (which `driver` consumes) closes every command
+/// channel; workers observe `None` from [`WorkerPort::next`], return,
+/// and the scope joins them before `with_team` returns. A panicking
+/// worker propagates the panic out of the scope (std semantics).
+pub fn with_team<Cmd, Out, R, W, D>(workers: usize, worker: W, driver: D) -> R
+where
+    Cmd: Send,
+    Out: Send,
+    W: Fn(WorkerPort<Cmd, Out>) + Sync,
+    D: FnOnce(Team<Cmd, Out>) -> R,
+{
+    let workers = workers.max(1);
+    magus_obs::counter_inc!("pool.teams");
+    let (out_tx, out_rx) = channel::unbounded::<(usize, Out)>();
+    let mut txs = Vec::with_capacity(workers);
+    let mut ports = Vec::with_capacity(workers);
+    for id in 0..workers {
+        let (tx, rx) = channel::unbounded::<Cmd>();
+        txs.push(tx);
+        ports.push(WorkerPort {
+            id,
+            rx,
+            tx: out_tx.clone(),
+        });
+    }
+    drop(out_tx);
+    std::thread::scope(|s| {
+        for port in ports {
+            let worker = &worker;
+            s.spawn(move || {
+                let started = Instant::now();
+                worker(port);
+                magus_obs::observe!(
+                    "pool.worker_lifetime_ns",
+                    u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+                );
+            });
+        }
+        driver(Team { txs, rx: out_rx })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Workers double numbers; the driver runs two synchronized rounds.
+    #[test]
+    fn rounds_synchronize_and_results_tag_workers() {
+        let out = with_team(
+            3,
+            |port: WorkerPort<u64, u64>| {
+                while let Some(v) = port.next() {
+                    if !port.send(v * 2) {
+                        break;
+                    }
+                }
+            },
+            |team| {
+                let mut totals = Vec::new();
+                for round in 0..2u64 {
+                    for w in 0..team.workers() {
+                        assert!(team.send(w, round * 10 + w as u64));
+                    }
+                    let mut results = team.collect(team.workers());
+                    results.sort_unstable();
+                    totals.push(results);
+                }
+                totals
+            },
+        );
+        assert_eq!(out[0], vec![(0, 0), (1, 2), (2, 4)]);
+        assert_eq!(out[1], vec![(0, 20), (1, 22), (2, 24)]);
+    }
+
+    /// Per-worker state survives across rounds (the hill-climb shape).
+    #[test]
+    fn workers_keep_state_between_commands() {
+        #[derive(Clone)]
+        enum Cmd {
+            Add(u64),
+            Report,
+        }
+        let sums = with_team(
+            2,
+            |port: WorkerPort<Cmd, u64>| {
+                let mut acc = 0u64;
+                while let Some(cmd) = port.next() {
+                    match cmd {
+                        Cmd::Add(v) => acc += v,
+                        Cmd::Report => {
+                            if !port.send(acc) {
+                                break;
+                            }
+                        }
+                    }
+                }
+            },
+            |team| {
+                assert_eq!(team.broadcast(Cmd::Add(5)), 2);
+                assert_eq!(team.broadcast(Cmd::Add(7)), 2);
+                assert_eq!(team.broadcast(Cmd::Report), 2);
+                let mut r = team.collect(2);
+                r.sort_unstable();
+                r
+            },
+        );
+        assert_eq!(sums, vec![(0, 12), (1, 12)]);
+    }
+
+    /// Dropping the team ends the workers; with_team returns cleanly.
+    #[test]
+    fn team_drop_terminates_workers() {
+        let r = with_team(
+            4,
+            |port: WorkerPort<(), ()>| while port.next().is_some() {},
+            |_team| 42,
+        );
+        assert_eq!(r, 42);
+    }
+}

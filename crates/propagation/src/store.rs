@@ -205,8 +205,9 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that found no cached matrix.
     pub misses: u64,
-    /// Matrices assembled — one per miss (two racing threads missing on
-    /// the same key each assemble; one result is discarded).
+    /// Matrices assembled — exactly one per miss: assembly happens under
+    /// the key's shard lock, so racing threads missing on the same key
+    /// block and then hit instead of assembling twice.
     pub assembles: u64,
     /// Matrices dropped by [`PathLossStore::clear_cache`].
     pub evictions: u64,
@@ -224,14 +225,45 @@ struct StoreCounters {
     evictions: AtomicU64,
 }
 
+/// Number of independent cache shards. Workers probing different
+/// sectors land on different locks with high probability; 16 shards
+/// keep the per-shard collision rate low for any realistic worker
+/// count while costing 16 small `HashMap`s of memory.
+const CACHE_SHARDS: usize = 16;
+
 /// Per-sector, per-tilt path-loss matrices over an analysis raster.
+///
+/// The per-tilt matrix cache is **sharded**: `(sector, tilt)` keys map
+/// onto [`CACHE_SHARDS`] independent mutex-protected maps, so parallel
+/// evaluators (the hill-climb worker team, concurrent markets) don't
+/// serialize on a single lock. A miss assembles *under its shard lock*,
+/// which guarantees every matrix is assembled at most once per eviction
+/// cycle — concurrent requests for the same key block briefly and then
+/// hit; requests for other keys in other shards proceed unimpeded.
 pub struct PathLossStore {
     spec: GridSpec,
     sites: Vec<SectorSite>,
     tilts: TiltSettings,
     bases: Vec<SectorBase>,
-    cache: Mutex<HashMap<(u32, u8), Arc<PathLossMatrix>>>,
+    shards: Vec<Mutex<HashMap<(u32, u8), Arc<PathLossMatrix>>>>,
+    /// Total cached matrices across shards (kept outside the shard
+    /// locks so the size gauge never takes more than one lock).
+    cached: std::sync::atomic::AtomicUsize,
     counters: StoreCounters,
+}
+
+/// The shard a `(sector, tilt)` key lives in: a fixed function of the
+/// key, so the same key always takes the same lock.
+#[inline]
+fn shard_index(id: u32, tilt: u8) -> usize {
+    (magus_geo::cast::idx(id) * NUM_TILT_SETTINGS as usize + tilt as usize) % CACHE_SHARDS
+}
+
+/// A fresh set of empty cache shards.
+fn empty_shards() -> Vec<Mutex<HashMap<(u32, u8), Arc<PathLossMatrix>>>> {
+    (0..CACHE_SHARDS)
+        .map(|_| Mutex::new(HashMap::new()))
+        .collect()
 }
 
 impl PathLossStore {
@@ -242,6 +274,11 @@ impl PathLossStore {
     /// The paper's footprints are 60 km; for macro parameters anything
     /// beyond ~15 km is > 35 dB below the noise floor, so smaller
     /// footprints change nothing but memory.
+    ///
+    /// Base matrices are independent per sector, so they are computed
+    /// in parallel across [`magus_exec::threads`] workers; the result
+    /// vector is index-ordered and each sector's values are identical
+    /// to a serial build (per-sector math touches no shared state).
     pub fn build(
         spec: GridSpec,
         sites: Vec<SectorSite>,
@@ -249,10 +286,10 @@ impl PathLossStore {
         tilts: TiltSettings,
         footprint_span_m: f64,
     ) -> PathLossStore {
-        let bases = sites
-            .iter()
-            .enumerate()
-            .map(|(id, site)| {
+        let bases = magus_obs::timed!(
+            "pathloss.build_bases_ns",
+            magus_exec::map_indexed(sites.len(), magus_exec::threads(), |id| {
+                let site = &sites[id];
                 let window = spec.window_around(site.position, footprint_span_m);
                 let mut base = Vec::with_capacity(window.len());
                 let mut theta = Vec::with_capacity(window.len());
@@ -270,13 +307,14 @@ impl PathLossStore {
                     theta_deg: theta,
                 }
             })
-            .collect();
+        );
         PathLossStore {
             spec,
             sites,
             tilts,
             bases,
-            cache: Mutex::new(HashMap::new()),
+            shards: empty_shards(),
+            cached: std::sync::atomic::AtomicUsize::new(0),
             counters: StoreCounters::default(),
         }
     }
@@ -308,9 +346,15 @@ impl PathLossStore {
 
     /// The path-loss matrix of sector `id` at tilt index `tilt`
     /// (assembled on first use, cached thereafter).
+    ///
+    /// A miss assembles while holding the key's shard lock: concurrent
+    /// lookups of the *same* key block until the matrix exists (then
+    /// hit), so every matrix is assembled at most once per eviction
+    /// cycle. Lookups of keys in other shards are unaffected.
     pub fn matrix(&self, id: u32, tilt: u8) -> Arc<PathLossMatrix> {
         assert!(tilt < NUM_TILT_SETTINGS, "tilt index {tilt} out of range");
-        if let Some(m) = self.cache.lock().get(&(id, tilt)) {
+        let mut shard = self.shards[shard_index(id, tilt)].lock();
+        if let Some(m) = shard.get(&(id, tilt)) {
             self.counters.hits.fetch_add(1, Ordering::Relaxed);
             magus_obs::counter_inc!("pathloss.cache.hit");
             return Arc::clone(m);
@@ -321,23 +365,40 @@ impl PathLossStore {
         self.counters.assembles.fetch_add(1, Ordering::Relaxed);
         magus_obs::counter_inc!("pathloss.cache.assemble");
         built.debug_validate();
-        let mut cache = self.cache.lock();
-        let arc = cache.entry((id, tilt)).or_insert(built).clone();
-        magus_obs::gauge_max!("pathloss.cache.size_max", cache.len() as i64);
-        arc
+        shard.insert((id, tilt), Arc::clone(&built));
+        let total = self.cached.fetch_add(1, Ordering::Relaxed) + 1;
+        magus_obs::gauge_max!(
+            "pathloss.cache.size_max",
+            i64::try_from(total).unwrap_or(i64::MAX)
+        );
+        built
+    }
+
+    /// Assembles the given `(sector, tilt)` matrices in parallel across
+    /// [`magus_exec::threads`] workers, warming the cache so later
+    /// lookups hit. Idempotent: already-cached keys just count a hit.
+    pub fn prewarm(&self, keys: &[(u32, u8)]) {
+        magus_exec::map_indexed(keys.len(), magus_exec::threads(), |i| {
+            let (id, tilt) = keys[i];
+            let _ = self.matrix(id, tilt);
+        });
     }
 
     /// Drops every cached per-tilt matrix (base arrays are kept; the next
     /// lookup re-assembles). Lets long-lived processes bound memory
     /// between markets, and exercises the eviction counters.
     pub fn clear_cache(&self) {
-        let mut cache = self.cache.lock();
-        let dropped = cache.len() as u64;
-        cache.clear();
+        let mut dropped = 0usize;
+        for shard in &self.shards {
+            let mut map = shard.lock();
+            dropped += map.len();
+            map.clear();
+        }
+        self.cached.fetch_sub(dropped, Ordering::Relaxed);
         self.counters
             .evictions
-            .fetch_add(dropped, Ordering::Relaxed);
-        magus_obs::counter_add!("pathloss.cache.evict", dropped);
+            .fetch_add(dropped as u64, Ordering::Relaxed);
+        magus_obs::counter_add!("pathloss.cache.evict", dropped as u64);
     }
 
     /// Snapshot of this store's cache counters. Per-instance (unlike the
@@ -394,7 +455,8 @@ impl PathLossStore {
             sites,
             tilts,
             bases,
-            cache: Mutex::new(HashMap::new()),
+            shards: empty_shards(),
+            cached: std::sync::atomic::AtomicUsize::new(0),
             counters: StoreCounters::default(),
         }
     }
@@ -409,7 +471,7 @@ impl PathLossStore {
 
     /// Number of matrices currently cached (for tests / metrics).
     pub fn cached_matrices(&self) -> usize {
-        self.cache.lock().len()
+        self.cached.load(Ordering::Relaxed)
     }
 
     /// The paper's global tilt-delta approximation: the dB change a tilt

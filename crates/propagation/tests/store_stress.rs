@@ -1,0 +1,147 @@
+//! Concurrency stress test for the sharded [`PathLossStore`] cache.
+//!
+//! N threads hammer an overlapping set of (sector, tilt) keys while the
+//! store cold-starts, and the per-store counters must prove the
+//! at-most-once assembly contract: a matrix is assembled exactly once
+//! per miss, and there is exactly one miss per distinct key per
+//! eviction cycle, no matter how the requests race. The values handed
+//! out concurrently must also be the very same matrices a
+//! single-threaded reader sees.
+
+use magus_propagation::{
+    AntennaParams, PathLossStore, PropagationModel, SectorSite, SpmParams, TiltSettings,
+    NUM_TILT_SETTINGS,
+};
+
+use magus_geo::{Bearing, GridSpec, PointM};
+use magus_terrain::Terrain;
+use std::sync::Arc;
+
+const N_SECTORS: u32 = 3;
+
+fn build_store() -> PathLossStore {
+    let spec = GridSpec::new(PointM::new(-4_000.0, -4_000.0), 200.0, 40, 40);
+    let model = PropagationModel::new(Arc::new(Terrain::flat(spec)), SpmParams::smooth(), 11);
+    let sites = (0..N_SECTORS)
+        .map(|i| SectorSite {
+            position: PointM::new(f64::from(i) * 1_500.0 - 1_500.0, 0.0),
+            height_m: 30.0,
+            azimuth: Bearing::new(f64::from(i) * 120.0),
+            antenna: AntennaParams::default(),
+        })
+        .collect();
+    PathLossStore::build(spec, sites, &model, TiltSettings::default(), 6_000.0)
+}
+
+/// Every (sector, tilt) key of the fixture.
+fn all_keys() -> Vec<(u32, u8)> {
+    (0..N_SECTORS)
+        .flat_map(|id| (0..NUM_TILT_SETTINGS).map(move |t| (id, t)))
+        .collect()
+}
+
+#[test]
+fn overlapping_readers_assemble_each_matrix_at_most_once() {
+    let store = build_store();
+    let keys = all_keys();
+    let threads = 8;
+    let rounds = 20;
+
+    // Single-threaded reference readings, from a separate identical
+    // store (same deterministic build inputs).
+    let reference = build_store();
+    let expected: Vec<Vec<f32>> = keys
+        .iter()
+        .map(|&(id, t)| reference.matrix(id, t).values().to_vec())
+        .collect();
+
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let store = &store;
+            let keys = &keys;
+            let expected = &expected;
+            s.spawn(move || {
+                for r in 0..rounds {
+                    // Each thread walks the full key set from a
+                    // different offset, so every key is contested.
+                    for i in 0..keys.len() {
+                        let k = (i + t * 3 + r) % keys.len();
+                        let (id, tilt) = keys[k];
+                        let m = store.matrix(id, tilt);
+                        assert_eq!(
+                            m.values(),
+                            &expected[k][..],
+                            "concurrent reading diverged from single-threaded at {id}/{tilt}"
+                        );
+                    }
+                }
+            });
+        }
+    });
+
+    let stats = store.cache_stats();
+    let distinct = keys.len() as u64;
+    let total = (threads * rounds * keys.len()) as u64;
+    // At-most-once assembly per eviction cycle: exactly one miss (and
+    // one assemble) per distinct key, everything else a hit.
+    assert_eq!(
+        stats.misses, distinct,
+        "more than one miss per key: {stats:?}"
+    );
+    assert_eq!(
+        stats.assembles, stats.misses,
+        "assembled without a miss: {stats:?}"
+    );
+    assert_eq!(stats.hits, total - distinct);
+    assert_eq!(stats.evictions, 0);
+    assert_eq!(store.cached_matrices(), keys.len());
+}
+
+#[test]
+fn eviction_cycle_resets_the_at_most_once_window() {
+    let store = build_store();
+    let keys = all_keys();
+    for &(id, t) in &keys {
+        let _ = store.matrix(id, t);
+    }
+    store.clear_cache();
+    assert_eq!(store.cached_matrices(), 0);
+
+    // Second cycle, again under contention.
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let store = &store;
+            let keys = &keys;
+            s.spawn(move || {
+                for &(id, t) in keys {
+                    let _ = store.matrix(id, t);
+                }
+            });
+        }
+    });
+    let stats = store.cache_stats();
+    let distinct = keys.len() as u64;
+    assert_eq!(stats.evictions, distinct);
+    // One miss per key per cycle — two cycles, two misses per key.
+    assert_eq!(stats.misses, 2 * distinct);
+    assert_eq!(stats.assembles, stats.misses);
+    assert_eq!(store.cached_matrices(), keys.len());
+}
+
+#[test]
+fn concurrent_prewarm_is_idempotent_and_complete() {
+    let store = build_store();
+    let keys = all_keys();
+    // Two racing prewarms over overlapping halves plus the full set.
+    std::thread::scope(|s| {
+        let store = &store;
+        let keys = &keys;
+        s.spawn(move || store.prewarm(&keys[..keys.len() / 2 + 2]));
+        s.spawn(move || store.prewarm(&keys[keys.len() / 2 - 2..]));
+        s.spawn(move || store.prewarm(keys));
+    });
+    let stats = store.cache_stats();
+    assert_eq!(store.cached_matrices(), keys.len());
+    assert_eq!(stats.misses, keys.len() as u64);
+    assert_eq!(stats.assembles, stats.misses);
+}

@@ -8,14 +8,16 @@
 //! ```
 //!
 //! See the individual crates for subsystem documentation:
-//! [`magus_core`] (search & mitigation), [`magus_model`] (coverage /
-//! capacity analysis), [`magus_net`] (topology & scenarios),
+//! [`magus_core`] (search & mitigation), [`magus_exec`] (deterministic
+//! parallel execution), [`magus_model`] (coverage / capacity analysis),
+//! [`magus_net`] (topology & scenarios),
 //! [`magus_propagation`] (path loss), [`magus_lte`] (link adaptation),
 //! [`magus_terrain`] (synthetic geography), [`magus_testbed`] (the §3
 //! LTE testbed simulator), [`magus_viz`] (map rendering), and
 //! [`magus_geo`] (grids & units).
 
 pub use magus_core as core;
+pub use magus_exec as exec;
 pub use magus_geo as geo;
 pub use magus_lte as lte;
 pub use magus_model as model;

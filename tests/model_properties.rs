@@ -3,6 +3,7 @@
 //! the state from scratch, under arbitrary change sequences — and undo
 //! rolls back perfectly.
 
+use magus::core::{hill_climb_with_threads, HillClimbParams};
 use magus::geo::units::thermal_noise;
 use magus::geo::{Bearing, Db, GridSpec, PointM};
 use magus::lte::{Bandwidth, RateMapper};
@@ -144,6 +145,41 @@ proptest! {
         prop_assert!(st.utility(UtilityKind::Coverage) <= before_cov + 1e-9);
         // Performance can only drop too: fewer servers, shared load.
         prop_assert!(st.utility(UtilityKind::Performance) <= before_perf + 1e-6);
+    }
+
+    /// The parallel hill-climber is thread-count invariant: for any
+    /// search knobs, running with 1, 2, or 8 workers produces the same
+    /// accepted-move trajectory, the same final configuration, and a
+    /// bit-identical utility (the exec determinism contract, DESIGN.md
+    /// §"Parallel execution").
+    #[test]
+    fn hill_climb_is_thread_count_invariant(
+        step_db in prop_oneof![Just(0.5f64), Just(1.0), Just(2.0)],
+        tune_tilt in any::<bool>(),
+        kind in prop_oneof![Just(UtilityKind::Performance), Just(UtilityKind::Coverage)],
+    ) {
+        let (ev, config) = fixture();
+        let params = HillClimbParams {
+            utility: kind,
+            step_db,
+            tune_tilt,
+            max_moves: 40,
+            ..HillClimbParams::default()
+        };
+        let sectors: Vec<SectorId> = (0..N_SECTORS).map(SectorId).collect();
+        let mut baseline = ev.initial_state(&config);
+        let serial_moves = hill_climb_with_threads(&ev, &mut baseline, &sectors, &params, 1);
+        let serial_bits = baseline.utility(kind).to_bits();
+        for threads in [2usize, 8] {
+            let mut st = ev.initial_state(&config);
+            let moves = hill_climb_with_threads(&ev, &mut st, &sectors, &params, threads);
+            prop_assert_eq!(&moves, &serial_moves,
+                "trajectory diverged at {} threads", threads);
+            prop_assert_eq!(st.config(), baseline.config(),
+                "final configuration diverged at {} threads", threads);
+            prop_assert_eq!(st.utility(kind).to_bits(), serial_bits,
+                "utility not bit-identical at {} threads", threads);
+        }
     }
 
     /// UE layers conserve sector totals for any serving assignment.

@@ -1,0 +1,96 @@
+//! RFC 8439 known-answer tests for the vendored ChaCha20 core.
+//!
+//! The workspace vendors `rand_chacha` as an offline stand-in, and the
+//! seed-3 `paper_shapes` triage (PR 3, see EXPERIMENTS.md) left open
+//! whether its keystream is actually ChaCha20 or merely "deterministic
+//! something". These vectors settle it.
+//!
+//! Mapping onto RFC 8439: the RFC's block state is
+//! `[constants; key; 32-bit counter; 96-bit nonce]`, while the vendored
+//! generator (matching the real `rand_chacha` layout) runs
+//! `[constants; key; 64-bit counter; 64-bit stream id = 0]`. With a
+//! zero nonce and block counters below 2³², the two layouts are
+//! word-for-word identical — so every Appendix A.1 vector with a zero
+//! nonce applies directly to `ChaCha20Rng::from_seed` keystreams:
+//! block counter *n* is simply the *n*-th 64-byte block the RNG emits.
+
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha20Rng;
+
+/// Decodes a whitespace-separated hex string ("76 b8 e0 …").
+fn hex(s: &str) -> Vec<u8> {
+    s.split_whitespace()
+        .map(|b| u8::from_str_radix(b, 16).expect("hex byte"))
+        .collect()
+}
+
+/// The first `blocks` 64-byte keystream blocks of a zero-nonce ChaCha20
+/// stream, as the RNG emits them (u32 words, little-endian bytes — the
+/// RFC's serialization).
+fn keystream(seed: [u8; 32], blocks: usize) -> Vec<u8> {
+    let mut rng = ChaCha20Rng::from_seed(seed);
+    (0..blocks * 16)
+        .flat_map(|_| rng.next_u32().to_le_bytes())
+        .collect()
+}
+
+/// RFC 8439 Appendix A.1, Test Vector #1: zero key, block counter 0.
+#[test]
+fn rfc8439_a1_tv1_zero_key_block0() {
+    let expected = hex("76 b8 e0 ad a0 f1 3d 90 40 5d 6a e5 53 86 bd 28
+         bd d2 19 b8 a0 8d ed 1a a8 36 ef cc 8b 77 0d c7
+         da 41 59 7c 51 57 48 8d 77 24 e0 3f b8 d8 4a 37
+         6a 43 b8 f4 15 18 a1 1c c3 87 b6 69 b2 ee 65 86");
+    assert_eq!(keystream([0; 32], 1), expected);
+}
+
+/// RFC 8439 Appendix A.1, Test Vector #2: zero key, block counter 1 —
+/// i.e. the *second* block the RNG emits.
+#[test]
+fn rfc8439_a1_tv2_zero_key_block1() {
+    let expected = hex("9f 07 e7 be 55 51 38 7a 98 ba 97 7c 73 2d 08 0d
+         cb 0f 29 a0 48 e3 65 69 12 c6 53 3e 32 ee 7a ed
+         29 b7 21 76 9c e6 4e 43 d5 71 33 b0 74 d8 39 d5
+         31 ed 1f 28 51 0a fb 45 ac e1 0a 1f 4b 79 4d 6f");
+    assert_eq!(keystream([0; 32], 2)[64..], expected[..]);
+}
+
+/// RFC 8439 Appendix A.1, Test Vector #3: key = 00…01 (last byte 1),
+/// block counter 1.
+#[test]
+fn rfc8439_a1_tv3_one_bit_key_block1() {
+    let mut seed = [0u8; 32];
+    seed[31] = 1;
+    let expected = hex("3a eb 52 24 ec f8 49 92 9b 9d 82 8d b1 ce d4 dd
+         83 20 25 e8 01 8b 81 60 b8 22 84 f3 c9 49 aa 5a
+         8e ca 00 bb b4 a7 3b da d1 92 b5 c4 2f 73 f2 fd
+         4e 27 36 44 c8 b3 61 25 a6 4a dd eb 00 6c 13 a0");
+    assert_eq!(keystream(seed, 2)[64..], expected[..]);
+}
+
+/// RFC 8439 Appendix A.1, Test Vector #4: key byte 1 = 0xff, block
+/// counter 2.
+#[test]
+fn rfc8439_a1_tv4_ff_key_block2() {
+    let mut seed = [0u8; 32];
+    seed[1] = 0xff;
+    let expected = hex("72 d5 4d fb f1 2e c4 4b 36 26 92 df 94 13 7f 32
+         8f ea 8d a7 39 90 26 5e c1 bb be a1 ae 9a f0 ca
+         13 b2 5a a2 6c b4 a6 48 cb 9b 9d 1b e6 5b 2c 09
+         24 a6 6c 54 d5 45 ec 1b 73 74 f4 87 2e 99 f0 96");
+    assert_eq!(keystream(seed, 3)[128..], expected[..]);
+}
+
+/// `next_u64` must be two consecutive keystream words, low word first
+/// (the real `rand_chacha` convention) — guards the word-assembly path
+/// the simulation actually consumes.
+#[test]
+fn next_u64_is_low_then_high_word() {
+    let mut words = ChaCha20Rng::from_seed([0; 32]);
+    let mut wide = ChaCha20Rng::from_seed([0; 32]);
+    for _ in 0..32 {
+        let lo = words.next_u32() as u64;
+        let hi = words.next_u32() as u64;
+        assert_eq!(wide.next_u64(), lo | (hi << 32));
+    }
+}

@@ -2,8 +2,18 @@
 //! (8, 12, and 20 double-round variants) behind the rand-stub traits.
 //! Output streams are deterministic per seed, which is the property the
 //! workspace actually relies on (market/terrain generation and the
-//! testbed are all explicitly seeded); they are not bit-compatible with
-//! the real `rand_chacha` streams.
+//! testbed are all explicitly seeded).
+//!
+//! The 20-round keystream is RFC 8439-conformant and therefore
+//! **bit-compatible** with upstream `rand_chacha` word streams for the
+//! default stream id 0: the state layout below (64-bit counter in words
+//! 12–13, zero stream id in 14–15) coincides with the RFC's
+//! 32-bit-counter + 96-bit-nonce layout whenever the nonce is zero and
+//! the counter stays under 2³². `tests/rng_kat.rs` (workspace root)
+//! pins this against the RFC 8439 Appendix A.1 zero-nonce vectors; the
+//! SplitMix64 `seed_from_u64` expansion in the vendored `rand` matches
+//! `rand_core`'s documented default, so u64-seeded streams match
+//! upstream too.
 
 use rand::{RngCore, SeedableRng};
 
