@@ -1,29 +1,62 @@
 #!/usr/bin/env bash
-# Local CI gate: formatting, release build, tests, and the static audit.
-# Run from the repo root. Fails fast on the first broken stage.
+# Local CI gate: formatting, release build, tests, the static audit, and
+# the runtime robustness gates. Run from the repo root. Fails fast on the
+# first broken stage and prints a per-stage wall-clock summary at the end.
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "==> cargo fmt --check"
+STAGE_NAMES=()
+STAGE_SECS=()
+CURRENT_STAGE=""
+STAGE_START=0
+
+stage() {
+    stage_end
+    CURRENT_STAGE="$1"
+    STAGE_START=$SECONDS
+    echo "==> $1"
+}
+
+stage_end() {
+    if [[ -n "$CURRENT_STAGE" ]]; then
+        STAGE_NAMES+=("$CURRENT_STAGE")
+        STAGE_SECS+=($((SECONDS - STAGE_START)))
+        CURRENT_STAGE=""
+    fi
+}
+
+summary() {
+    stage_end
+    echo "-- stage timing --"
+    for i in "${!STAGE_NAMES[@]}"; do
+        printf '  %-32s %4ss\n' "${STAGE_NAMES[$i]}" "${STAGE_SECS[$i]}"
+    done
+}
+trap summary EXIT
+
+stage "cargo fmt --check"
 cargo fmt --all -- --check
 
-echo "==> cargo build --release"
+stage "cargo build --release"
 cargo build --release
 
-echo "==> cargo test -q (MAGUS_THREADS=1)"
+stage "cargo test (MAGUS_THREADS=1)"
 MAGUS_THREADS=1 cargo test -q
 
-echo "==> cargo test -q (MAGUS_THREADS=4)"
+stage "cargo test (MAGUS_THREADS=4)"
 # Same suite, parallel exec layer engaged: by the determinism contract
 # (DESIGN.md §"Parallel execution") results must not change.
 MAGUS_THREADS=4 cargo test -q
 
-echo "==> magus-audit check"
+stage "magus-audit check"
 REPORT=target/audit-report.json
 cargo run -q --release -p magus-audit -- check --json "$REPORT"
 
 # Surface the machine-readable summary the audit binary just wrote.
-python3 - "$REPORT" <<'EOF'
+# python3 is a convenience, not a gate dependency: the audit above
+# already failed the build on findings.
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$REPORT" <<'EOF'
 import json, sys
 r = json.load(open(sys.argv[1]))
 print(f"audit: ok={r['ok']} "
@@ -36,16 +69,39 @@ if r["unused_allow_rules"]:
     for rule in r["unused_allow_rules"]:
         print(f"    {rule}")
 EOF
+else
+    echo "audit: summary skipped (python3 not installed); report at $REPORT"
+fi
 
-echo "==> obs overhead gate"
+stage "obs overhead gate"
 # Fixed tiny scenario, ObsLevel::Off vs Full interleaved; fails (exit 1)
 # past 10% wall-clock overhead (MAGUS_OBS_OVERHEAD_MAX_PCT to override).
 cargo run -q --release -p magus-bench --bin obs_overhead
 
-echo "==> parallel speedup gate"
+stage "parallel speedup gate"
 # Store rebuild + prewarm at 1 thread vs N, with a bit-level determinism
 # check; on >= 4-core runners the N-thread run must be >= 1.8x faster
 # (MAGUS_SPEEDUP_MIN to override), self-skips on smaller machines.
 MAGUS_SCALE=tiny cargo run -q --release -p magus-bench --bin parallel_speedup
+
+stage "chaos matrix gate"
+# Fault rates x scenarios through the migration executor and the testbed
+# sim: no panics, invariants hold after every recovery, zero-rate plans
+# byte-identical to the no-fault baseline (see crates/bench chaos_matrix).
+MAGUS_SCALE=tiny cargo run -q --release -p magus-bench --bin chaos_matrix
+
+stage "CLI zero-rate fault identity"
+# End-to-end flavor of the same contract: `mitigate --json` under a
+# rate=0 fault plan must be byte-identical to the fault-free run, at 1
+# and 4 worker threads.
+MAGUS_CLI=target/release/magus
+"$MAGUS_CLI" mitigate --json --seed 2 --threads 1 2>/dev/null > target/mitigate-base.json
+for t in 1 4; do
+    "$MAGUS_CLI" mitigate --json --seed 2 --threads "$t" --faults "seed=9,rate=0" \
+        2>/dev/null > "target/mitigate-zero-$t.json"
+    cmp target/mitigate-base.json "target/mitigate-zero-$t.json" || {
+        echo "CLI zero-rate fault run diverged at $t threads"; exit 1; }
+done
+echo "mitigate --json byte-identical under rate=0 plan at 1 and 4 threads"
 
 echo "CI: all stages green"

@@ -1,0 +1,40 @@
+// Fixture fault-injection layer. Deliberately unsound recovery code —
+// the integration test pins the exact finding set for this snippet.
+
+/// unit-safety: degraded-read fallback taking a bare-f64 dB loss.
+pub fn degraded_read(path_loss_db: f64, stale: bool) -> f64 {
+    if stale {
+        path_loss_db + 3.0
+    } else {
+        path_loss_db
+    }
+}
+
+/// panic-freedom: a retry loop that panics instead of recovering.
+pub fn retry<T>(mut attempts: u32, mut op: impl FnMut() -> Option<T>) -> T {
+    loop {
+        if let Some(v) = op() {
+            return v;
+        }
+        attempts = attempts.checked_sub(1).unwrap();
+        if attempts == 0 {
+            panic!("retries exhausted");
+        }
+    }
+}
+
+/// panic-freedom + no-bare-print: a rollback that expects its
+/// checkpoint and logs straight to stderr.
+pub fn rollback(checkpoint: Option<u64>) -> u64 {
+    let c = checkpoint.expect("checkpoint saved");
+    eprintln!("rolled back to {c}");
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_panic() {
+        assert_eq!(super::rollback(Some(3)), 3);
+    }
+}

@@ -1,0 +1,277 @@
+//! **Chaos-matrix robustness gate** — the CI gate for the fault layer
+//! (`ci.sh` stage "chaos").
+//!
+//! Sweeps fault rates × upgrade scenarios through the gradual-migration
+//! executor and the testbed simulator, asserting the three contracts of
+//! the fault layer:
+//!
+//! 1. **No panics** — every chaos cell runs under `catch_unwind`; any
+//!    panic anywhere in the recovery machinery fails the gate.
+//! 2. **Invariants hold after every recovery** — the executor re-proves
+//!    model-state soundness after each retried/rolled-back step and the
+//!    gate requires zero recorded violations; every run must still reach
+//!    `C_after`, and every simulated UE must end the run with data
+//!    flowing (no stranded UEs after abandoned signaling).
+//! 3. **Zero-rate plans are inert** — a `rate=0` plan must produce a
+//!    migration report byte-identical to the no-plan baseline, at 1 and
+//!    4 worker threads (the exec determinism contract extended to the
+//!    fault layer).
+
+use magus_bench::{build_market, init_obs_from_env, write_artifact, Scale};
+use magus_core::{
+    execute_gradual, plan_gradual, prepare_scenario, with_fault_plan, ExperimentConfig,
+    GradualParams, MigrateParams, MigrationReport, TuningKind,
+};
+use magus_fault::{FaultPlan, FaultRates};
+use magus_lte::Bandwidth;
+use magus_model::{standard_setup, StandardModel};
+use magus_net::{AreaType, Market, UpgradeScenario};
+use magus_testbed::{AttenuationLevel, EnodebId, RadioEnvironment, Sim, SimConfig, SimTime};
+use serde::Serialize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+const RATES: [f64; 3] = [0.05, 0.2, 0.5];
+const SEEDS: [u64; 2] = [1, 2];
+
+#[derive(Serialize)]
+struct Cell {
+    stage: &'static str,
+    scenario: String,
+    rate: f64,
+    seed: u64,
+    injected: u64,
+    retried: u64,
+    rolled_back: u64,
+    degraded_reads: u64,
+    completed: bool,
+}
+
+#[derive(Serialize)]
+struct Report {
+    cells: Vec<Cell>,
+    failures: Vec<String>,
+}
+
+fn run_schedule(
+    model: &StandardModel,
+    sched: &ScenarioSchedule,
+    params: &MigrateParams,
+) -> MigrationReport {
+    execute_gradual(
+        &model.evaluator,
+        &sched.before,
+        &sched.after,
+        &sched.plan,
+        params,
+    )
+}
+
+struct ScenarioSchedule {
+    label: String,
+    before: magus_net::Configuration,
+    after: magus_net::Configuration,
+    plan: magus_core::GradualOutcome,
+}
+
+fn prepare(model: &StandardModel, market: &Market, scenario: UpgradeScenario) -> ScenarioSchedule {
+    let cfg = ExperimentConfig::default();
+    let prepared = prepare_scenario(model, market, scenario, &cfg);
+    let out = prepared.run(model, TuningKind::Joint, &cfg);
+    let plan = plan_gradual(
+        &model.evaluator,
+        &out.config_before,
+        &out.config_after,
+        &out.targets,
+        &GradualParams::default(),
+    );
+    ScenarioSchedule {
+        label: scenario.label().to_string(),
+        before: out.config_before,
+        after: out.config_after,
+        plan,
+    }
+}
+
+/// Small 2-eNodeB indoor layout with a retune + off-air churn timeline:
+/// exercises seamless handovers, RLF re-attaches, and every MME job
+/// kind under event drops.
+fn chaos_sim(rate: f64, seed: u64) -> Option<magus_testbed::SimReport> {
+    let env = RadioEnvironment::new(
+        vec![
+            magus_geo::PointM::new(0.0, 0.0),
+            magus_geo::PointM::new(40.0, 0.0),
+        ],
+        vec![
+            magus_geo::PointM::new(5.0, 2.0),
+            magus_geo::PointM::new(33.0, 1.0),
+            magus_geo::PointM::new(44.0, -2.0),
+        ],
+        11,
+    );
+    use magus_testbed::sim::ChangeOp;
+    let timeline = vec![
+        (
+            SimTime::from_secs(1),
+            ChangeOp::SetAttenuation(EnodebId(0), AttenuationLevel(1)),
+        ),
+        (
+            SimTime::from_secs(1),
+            ChangeOp::SetAttenuation(EnodebId(1), AttenuationLevel(30)),
+        ),
+        (
+            SimTime::from_secs(2),
+            ChangeOp::SetOnAir(EnodebId(1), false),
+        ),
+    ];
+    let quiet = vec![AttenuationLevel(10), AttenuationLevel(10)];
+    let plan = Arc::new(
+        FaultPlan::new(
+            seed,
+            FaultRates {
+                sim: rate,
+                ..FaultRates::ZERO
+            },
+        )
+        .with_permanent(0.15),
+    );
+    catch_unwind(AssertUnwindSafe(|| {
+        with_fault_plan(plan, || {
+            Sim::new(env, quiet, SimConfig::default(), timeline).run(SimTime::from_secs(6))
+        })
+    }))
+    .ok()
+}
+
+fn main() {
+    init_obs_from_env();
+    let scale = Scale::from_env();
+    let market = build_market(AreaType::Suburban, 1, scale);
+    let model = standard_setup(&market, Bandwidth::Mhz10);
+    let params = MigrateParams::default();
+    let mut cells = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+
+    for scenario in [
+        UpgradeScenario::SingleCentralSector,
+        UpgradeScenario::CentralBaseStation,
+        UpgradeScenario::FourCorners,
+    ] {
+        let sched = prepare(&model, &market, scenario);
+        eprintln!(
+            "chaos_matrix: scenario {} ({} steps)…",
+            sched.label,
+            sched.plan.steps.len()
+        );
+
+        // Contract 3: zero-rate byte-identity to the no-plan baseline,
+        // at 1 and 4 worker threads.
+        let baseline =
+            serde_json::to_vec(&run_schedule(&model, &sched, &params)).unwrap_or_default();
+        for threads in [1usize, 4] {
+            magus_exec::set_threads(threads);
+            let report = with_fault_plan(Arc::new(FaultPlan::zero(9)), || {
+                run_schedule(&model, &sched, &params)
+            });
+            if serde_json::to_vec(&report).unwrap_or_default() != baseline {
+                failures.push(format!(
+                    "{}: zero-rate plan diverged from baseline at {threads} threads",
+                    sched.label
+                ));
+            }
+        }
+        magus_exec::clear_threads_override();
+
+        // Contracts 1–2: the fault sweep.
+        for rate in RATES {
+            for seed in SEEDS {
+                let plan =
+                    Arc::new(FaultPlan::new(seed, FaultRates::uniform(rate)).with_permanent(0.15));
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    with_fault_plan(plan.clone(), || run_schedule(&model, &sched, &params))
+                }));
+                let Ok(report) = outcome else {
+                    failures.push(format!(
+                        "{} rate {rate} seed {seed}: PANIC in executor",
+                        sched.label
+                    ));
+                    continue;
+                };
+                for v in &report.invariant_violations {
+                    failures.push(format!(
+                        "{} rate {rate} seed {seed}: invariant violated: {v}",
+                        sched.label
+                    ));
+                }
+                if !report.completed {
+                    failures.push(format!(
+                        "{} rate {rate} seed {seed}: migration did not reach C_after",
+                        sched.label
+                    ));
+                }
+                let fr = plan.report();
+                cells.push(Cell {
+                    stage: "migrate",
+                    scenario: sched.label.clone(),
+                    rate,
+                    seed,
+                    injected: fr.injected_total,
+                    retried: fr.retried,
+                    rolled_back: fr.rolled_back,
+                    degraded_reads: fr.degraded_reads,
+                    completed: report.completed,
+                });
+            }
+        }
+    }
+
+    // Testbed-simulator leg: event drops must never strand a UE.
+    for rate in RATES {
+        for seed in SEEDS {
+            match chaos_sim(rate, seed) {
+                None => failures.push(format!("sim rate {rate} seed {seed}: PANIC in testbed")),
+                Some(report) => {
+                    let stranded = report
+                        .windows
+                        .last()
+                        .map_or(true, |w| w.rates_mbps.iter().any(|&r| r <= 0.0));
+                    if stranded {
+                        failures.push(format!(
+                            "sim rate {rate} seed {seed}: UE stranded after drops: {:?}",
+                            report.handovers
+                        ));
+                    }
+                    cells.push(Cell {
+                        stage: "sim",
+                        scenario: "testbed-churn".to_string(),
+                        rate,
+                        seed,
+                        injected: (report.handovers.dropped_reports
+                            + report.handovers.dropped_signaling)
+                            as u64,
+                        retried: report.handovers.dropped_signaling as u64,
+                        rolled_back: report.handovers.abandoned_jobs as u64,
+                        degraded_reads: 0,
+                        completed: !stranded,
+                    });
+                }
+            }
+        }
+    }
+
+    let ok = failures.is_empty();
+    println!(
+        "chaos_matrix: {} cells, {} failures — {}",
+        cells.len(),
+        failures.len(),
+        if ok { "PASS" } else { "FAIL" }
+    );
+    for f in &failures {
+        eprintln!("chaos_matrix: FAIL — {f}");
+    }
+    write_artifact("chaos_matrix", &Report { cells, failures });
+    let _ = magus_obs::flush_trace();
+    if !ok {
+        std::process::exit(1);
+    }
+}

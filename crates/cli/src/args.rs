@@ -156,6 +156,24 @@ impl Args {
         }
     }
 
+    /// `--faults`, if given: a fault-injection plan, either a bare seed
+    /// (`--faults 42`, default rates) or a spec string
+    /// (`--faults "seed=42,rate=0.05,transient=2"`).
+    pub fn faults(&self) -> Result<Option<magus_fault::FaultPlan>, String> {
+        match self.get("faults") {
+            None => Ok(None),
+            Some(s) => magus_fault::FaultPlan::parse(s)
+                .map(Some)
+                .map_err(|e| format!("invalid --faults `{s}`: {e}")),
+        }
+    }
+
+    /// `true` if `--fault-report` was given (print injection/recovery
+    /// counters after the command).
+    pub fn fault_report(&self) -> bool {
+        self.flags.iter().any(|f| f == "fault-report")
+    }
+
     /// Errors if `key` was given as a bare `--key` with no value —
     /// otherwise a typo'd `--metrics-out` would silently write nothing.
     pub fn require_value(&self, key: &str) -> Result<(), String> {
@@ -255,6 +273,18 @@ mod tests {
         assert_eq!(a.trace_out(), Some("t.jsonl"));
         assert_eq!(a.obs_level().unwrap(), Some(magus_obs::ObsLevel::Full));
         assert!(parse(&["--obs", "loud"]).obs_level().is_err());
+    }
+
+    #[test]
+    fn faults_accessor() {
+        assert!(parse(&[]).faults().unwrap().is_none());
+        let a = parse(&["--faults", "42"]);
+        assert_eq!(a.faults().unwrap().unwrap().seed(), 42);
+        let b = parse(&["--faults", "seed=3,rate=0.2,transient=1"]);
+        assert_eq!(b.faults().unwrap().unwrap().seed(), 3);
+        assert!(parse(&["--faults", "rate=2.0"]).faults().is_err());
+        assert!(!parse(&[]).fault_report());
+        assert!(parse(&["--fault-report"]).fault_report());
     }
 
     #[test]

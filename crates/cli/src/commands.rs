@@ -1,7 +1,10 @@
 //! The CLI commands, each a thin orchestration over the library API.
 
 use crate::args::Args;
-use magus_core::{plan_gradual, prepare_scenario, ExperimentConfig, GradualParams, OutagePlaybook};
+use magus_core::{
+    execute_gradual, plan_gradual, prepare_scenario, ExperimentConfig, GradualParams,
+    MigrateParams, OutagePlaybook,
+};
 use magus_geo::{Db, PointM};
 use magus_lte::Bandwidth;
 use magus_model::{standard_setup, ServiceMap, StandardModel, UtilityKind};
@@ -169,10 +172,36 @@ pub fn gradual(args: &Args) -> Result<(), String> {
         &out.targets,
         &GradualParams::default(),
     );
+    // Rehearse the schedule through the fault-aware executor: under an
+    // installed `--faults` plan this exercises retry/rollback recovery;
+    // without one it is a clean deterministic replay.
+    let rehearsal = execute_gradual(
+        &model.evaluator,
+        &out.config_before,
+        &out.config_after,
+        &plan,
+        &MigrateParams {
+            utility: cfg.search.utility,
+            ..MigrateParams::default()
+        },
+    );
     if args.json() {
         println!(
             "{}",
-            serde_json::to_string_pretty(&plan).expect("serialize plan")
+            serde_json::to_string_pretty(&json!({
+                "plan": plan,
+                "rehearsal": {
+                    "completed": rehearsal.completed,
+                    "steps": rehearsal.steps.len(),
+                    "retries": rehearsal.steps.iter().map(|s| s.retries).sum::<u32>(),
+                    "stragglers": rehearsal.steps.iter().map(|s| s.stragglers).sum::<u32>(),
+                    "rolled_back_steps": rehearsal.rolled_back_steps,
+                    "sim_time_ms": rehearsal.sim_time_ms,
+                    "degraded": rehearsal.degraded,
+                    "invariant_violations": rehearsal.invariant_violations,
+                },
+            }))
+            .expect("serialize plan")
         );
         return Ok(());
     }
@@ -197,6 +226,29 @@ pub fn gradual(args: &Args) -> Result<(), String> {
         plan.simultaneous_reduction_factor(),
         plan.seamless_fraction * 100.0
     );
+    let retries: u32 = rehearsal.steps.iter().map(|s| s.retries).sum();
+    let stragglers: u32 = rehearsal.steps.iter().map(|s| s.stragglers).sum();
+    println!(
+        "rehearsal: {} ({} steps, {} retries, {} stragglers, {} rollbacks, {} ms sim time{})",
+        if rehearsal.completed {
+            "reached C_after"
+        } else {
+            "INCOMPLETE"
+        },
+        rehearsal.steps.len(),
+        retries,
+        stragglers,
+        rehearsal.rolled_back_steps,
+        rehearsal.sim_time_ms,
+        if rehearsal.degraded {
+            ", degraded reads"
+        } else {
+            ""
+        }
+    );
+    for v in &rehearsal.invariant_violations {
+        println!("  invariant violation: {v}");
+    }
     Ok(())
 }
 

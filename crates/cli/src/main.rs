@@ -55,6 +55,16 @@ OBSERVABILITY (all commands):
     --obs <off|counters|full>        Observability level [default: off, or full
                                      when any of the flags above is given]
 
+FAULT INJECTION (all commands):
+    --faults <seed|spec>             Install a deterministic fault plan: a bare
+                                     seed (`--faults 42`) uses default rates; a
+                                     spec tunes them, e.g.
+                                     `seed=42,rate=0.05,store=0.2,transient=2,
+                                     permanent=0.1,retries=4`. `rate=0` injects
+                                     nothing and is byte-identical to no plan.
+    --fault-report                   Print injection/recovery counters (JSON,
+                                     stderr) after the command
+
 COMMAND OPTIONS:
     mitigate/gradual:
         --scenario <a|b|c>           Upgrade scenario        [default: a]
@@ -98,6 +108,16 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    // The guard keeps the plan installed for the whole command and
+    // uninstalls it on every exit path.
+    let fault_plan = match args.faults() {
+        Ok(p) => p.map(std::sync::Arc::new),
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let _fault_guard = fault_plan.clone().map(magus_fault::PlanGuard::install);
     let result = match command.as_str() {
         "market" => commands::market(&args),
         "evaluate" => commands::evaluate(&args),
@@ -110,6 +130,15 @@ fn main() -> ExitCode {
         other => Err(format!("unknown command `{other}`")),
     };
     let result = result.and_then(|()| finish_obs(&args));
+    if args.fault_report() {
+        match fault_plan {
+            Some(plan) => match serde_json::to_string_pretty(&plan.report()) {
+                Ok(json) => eprintln!("{json}"),
+                Err(e) => eprintln!("error: cannot serialize fault report: {e}"),
+            },
+            None => eprintln!("fault report: no --faults plan installed"),
+        }
+    }
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

@@ -32,6 +32,7 @@ pub mod divergence;
 pub mod experiment;
 pub mod gradual;
 pub mod hillclimb;
+pub mod migrate;
 pub mod playbook;
 pub mod strategy;
 pub mod tuning;
@@ -43,6 +44,10 @@ pub use experiment::{
 };
 pub use gradual::{plan_gradual, DirectOutcome, GradualOutcome, GradualParams, GradualStep};
 pub use hillclimb::{hill_climb, hill_climb_with_threads, HillClimbParams};
+pub use migrate::{
+    execute_gradual, execute_gradual_from, rehearse_entry, with_fault_plan, ExecOutcome,
+    MigrateParams, MigrationCheckpoint, MigrationReport, StepReport,
+};
 pub use playbook::{OutagePlaybook, PlaybookEntry};
 pub use strategy::{
     hybrid_model_feedback, reactive_feedback, strategy_traces, FeedbackMode, FeedbackOutcome,

@@ -1,0 +1,470 @@
+//! The migration executor: carrying out a gradual schedule against an
+//! unreliable network.
+//!
+//! [`crate::gradual::plan_gradual`] produces the *intent* — an ordered
+//! list of [`GradualStep`]s. This module executes that intent under the
+//! process-global [`magus_fault`] plan, where tuning changes can fail to
+//! apply (`ApplyStep`), apply but lose their ack (`Straggler`), and the
+//! model evaluations backing every verification can hit degraded store
+//! reads. The recovery contract:
+//!
+//! * **Bounded retry with sim-time backoff.** Each change gets up to the
+//!   plan's retry budget; between attempts the executor advances its
+//!   *simulated* clock by [`magus_fault::backoff_ms`] (exponential). No
+//!   wall-clock is spent, so fault runs are as fast — and as
+//!   deterministic — as clean ones.
+//! * **Diff-based verification.** `PowerDelta` is not idempotent, so a
+//!   failed ack is never answered by blind re-application. The executor
+//!   tracks the expected configuration and compares the live one against
+//!   it: a straggler (change applied, ack lost) verifies clean and is
+//!   counted, not re-applied.
+//! * **Rollback to the last invariant-safe configuration.** When a
+//!   change fails past the retry budget, the whole step is rolled back
+//!   to the configuration the step started from — which held the
+//!   gradual invariant (`utility ≥ f(C_after)`) — and the run moves on.
+//!   After the schedule, a *reconciliation* pass applies
+//!   `config.diff(C_after)` (absolute, idempotent changes) so rolled-
+//!   back steps still converge to `C_after` whenever the faults allow.
+//! * **Invariants re-proved after every recovery.** Each step ends with
+//!   a from-scratch model build whose structural invariants are checked
+//!   with [`magus_model::invariant::validate_state`] in *every* build
+//!   (not just debug); violations are recorded in the report, and the
+//!   chaos-matrix gate asserts there are none.
+//! * **Checkpoint/resume determinism.** Because fault decisions are
+//!   pure in `(step, change, attempt)` and every step's evaluation
+//!   starts from a from-scratch build of its starting configuration, a
+//!   run checkpointed at any step boundary and resumed replays to a
+//!   bit-identical [`MigrationReport`].
+
+use crate::gradual::GradualOutcome;
+use magus_fault::FaultPoint;
+use magus_model::{Evaluator, UtilityKind};
+use magus_net::{ConfigChange, Configuration};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Knobs of the migration executor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MigrateParams {
+    /// Utility whose floor (`f(C_after)`) the schedule protects; used
+    /// for the per-step utility bookkeeping in the report.
+    pub utility: UtilityKind,
+    /// Base of the exponential sim-time retry backoff, milliseconds.
+    pub base_backoff_ms: u64,
+    /// Sim-time cost of cleanly applying one step, milliseconds.
+    pub step_interval_ms: u64,
+}
+
+impl Default for MigrateParams {
+    fn default() -> Self {
+        MigrateParams {
+            utility: UtilityKind::Performance,
+            base_backoff_ms: 50,
+            step_interval_ms: 1_000,
+        }
+    }
+}
+
+/// What happened while executing one schedule step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StepReport {
+    /// Step index in the schedule (the reconciliation pass, if any,
+    /// reports as index `schedule.len()`).
+    pub step: usize,
+    /// Apply attempts across the step's changes (1 per clean apply).
+    pub attempts: u32,
+    /// Retries after injected apply failures.
+    pub retries: u32,
+    /// Stragglers detected by diff verification (applied, ack lost).
+    pub stragglers: u32,
+    /// `true` when the step failed past the retry budget and was rolled
+    /// back to its starting configuration.
+    pub rolled_back: bool,
+    /// Simulated clock after the step, milliseconds.
+    pub sim_time_ms: u64,
+    /// Utility of the configuration left behind by the step.
+    pub utility: f64,
+    /// Whether the step's evaluation used any stale (last-known-good)
+    /// path-loss matrix.
+    pub degraded: bool,
+}
+
+/// The executor's full account of one migration run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MigrationReport {
+    /// Per-step accounts, in execution order.
+    pub steps: Vec<StepReport>,
+    /// Steps rolled back (subset of `steps`).
+    pub rolled_back_steps: usize,
+    /// `true` when the final configuration is exactly `C_after`.
+    pub completed: bool,
+    /// Simulated end-to-end duration, milliseconds.
+    pub sim_time_ms: u64,
+    /// Whether any step's evaluation was degraded.
+    pub degraded: bool,
+    /// Structural invariant violations found after recoveries (the
+    /// chaos gate asserts this stays empty).
+    pub invariant_violations: Vec<String>,
+    /// The configuration the run ended on.
+    pub final_config: Configuration,
+}
+
+/// A resumable snapshot of migration progress, taken at a step
+/// boundary. Serializable so a crashed run can persist it and a new
+/// process can replay the remainder bit-identically.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MigrationCheckpoint {
+    /// Index of the next schedule step to execute.
+    pub next_step: usize,
+    /// Simulated clock at the checkpoint, milliseconds.
+    pub sim_time_ms: u64,
+    /// Reports of the steps completed so far.
+    pub steps: Vec<StepReport>,
+    /// Rolled-back count so far.
+    pub rolled_back_steps: usize,
+    /// The configuration in effect at the checkpoint.
+    pub config: Configuration,
+}
+
+/// Either a finished run or a checkpoint taken at `stop_after` steps.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecOutcome {
+    /// The run executed the whole schedule (plus reconciliation).
+    Complete(MigrationReport),
+    /// The run stopped at a step boundary; resume with
+    /// [`execute_gradual_from`].
+    Checkpoint(MigrationCheckpoint),
+}
+
+/// Executes `schedule` from `before` toward `after` under the active
+/// fault plan. See the module docs for the recovery contract.
+pub fn execute_gradual(
+    ev: &Evaluator,
+    before: &Configuration,
+    after: &Configuration,
+    schedule: &GradualOutcome,
+    params: &MigrateParams,
+) -> MigrationReport {
+    let mut checkpoint: Option<MigrationCheckpoint> = None;
+    loop {
+        match execute_gradual_from(ev, before, after, schedule, params, checkpoint.take(), None) {
+            ExecOutcome::Complete(report) => return report,
+            // Unreachable with `stop_after: None`, but resuming is the
+            // correct (and panic-free) answer if it ever happens.
+            ExecOutcome::Checkpoint(c) => checkpoint = Some(c),
+        }
+    }
+}
+
+/// [`execute_gradual`] with explicit resume and crash points: starts
+/// from `resume` (or from `before` when `None`) and, when `stop_after`
+/// is set, returns a [`MigrationCheckpoint`] once that many *additional*
+/// steps have executed — simulating a crash at a step boundary.
+pub fn execute_gradual_from(
+    ev: &Evaluator,
+    before: &Configuration,
+    after: &Configuration,
+    schedule: &GradualOutcome,
+    params: &MigrateParams,
+    resume: Option<MigrationCheckpoint>,
+    stop_after: Option<usize>,
+) -> ExecOutcome {
+    let _span = magus_obs::span_enter("execute_gradual");
+    let plan = magus_fault::active_plan();
+    let retry_limit = plan.as_ref().map_or(0, |p| p.retry_limit());
+
+    let (start_step, mut sim_time_ms, mut steps, mut rolled_back_steps, mut config) = match resume {
+        Some(c) => (
+            c.next_step,
+            c.sim_time_ms,
+            c.steps,
+            c.rolled_back_steps,
+            c.config,
+        ),
+        None => (0, 0, Vec::new(), 0, before.clone()),
+    };
+    let mut invariant_violations: Vec<String> = Vec::new();
+    let mut executed_now = 0usize;
+
+    // Schedule steps, then up to RECONCILE_ROUNDS reconciliation passes
+    // (index >= len), each re-targeting C_after in case a step rolled
+    // back. Every round re-issues the remaining diff as *new* commands —
+    // fresh fault-site keys — so a permanently lost command delays, but
+    // cannot wedge, the migration; only a change unlucky in every round
+    // leaves the run incomplete.
+    const RECONCILE_ROUNDS: usize = 8;
+    let total_stages = schedule.steps.len() + RECONCILE_ROUNDS;
+    for stage in start_step..total_stages {
+        if stop_after == Some(executed_now) {
+            return ExecOutcome::Checkpoint(MigrationCheckpoint {
+                next_step: stage,
+                sim_time_ms,
+                steps,
+                rolled_back_steps,
+                config,
+            });
+        }
+        let changes: Vec<ConfigChange> = if stage < schedule.steps.len() {
+            schedule.steps[stage].changes.clone()
+        } else {
+            config.diff(after)
+        };
+        if stage >= schedule.steps.len() && changes.is_empty() {
+            break; // nothing left to reconcile
+        }
+
+        let step_start = config.clone();
+        let mut attempts = 0u32;
+        let mut retries = 0u32;
+        let mut stragglers = 0u32;
+        let mut rolled_back = false;
+
+        'changes: for (ci, &change) in changes.iter().enumerate() {
+            let key = magus_fault::site_key(stage as u64, ci as u64, 0);
+            let expected = config.with(ev.network(), change);
+            let mut attempt = 0u32;
+            loop {
+                attempts += 1;
+                // Straggler: the change reaches the eNodeB (takes
+                // effect) but the ack is lost. ApplyStep: the change is
+                // dropped outright. Both surface to the executor as a
+                // failed apply.
+                let (applied, acked) = match &plan {
+                    Some(p) if p.injects(FaultPoint::Straggler, key, attempt) => (true, false),
+                    Some(p) if p.injects(FaultPoint::ApplyStep, key, attempt) => (false, false),
+                    _ => (true, true),
+                };
+                if applied {
+                    config = expected.clone();
+                }
+                if acked {
+                    break;
+                }
+                // Verification instead of blind re-apply: if the live
+                // configuration already matches the expectation, the
+                // "failure" was a lost ack.
+                if config.diff(&expected).is_empty() {
+                    stragglers += 1;
+                    magus_obs::counter_inc!("migrate.stragglers");
+                    break;
+                }
+                if attempt >= retry_limit {
+                    rolled_back = true;
+                    rolled_back_steps += 1;
+                    if let Some(p) = &plan {
+                        p.note_rollback();
+                    }
+                    magus_obs::trace_event!("migrate.rollback",
+                        "step" => stage,
+                        "change" => ci,
+                    );
+                    if stage >= schedule.steps.len() {
+                        // Reconciliation: the round's changes are
+                        // independent absolute re-issues, so keep the
+                        // ones that landed and defer only this change to
+                        // the next round (a fresh command, fresh fault
+                        // key) instead of discarding the round.
+                        continue 'changes;
+                    }
+                    // Scheduled step: mid-step configurations may sit
+                    // below the utility floor, so roll the whole step
+                    // back to its invariant-safe starting configuration.
+                    config = step_start.clone();
+                    break 'changes;
+                }
+                sim_time_ms += magus_fault::backoff_ms(params.base_backoff_ms, attempt);
+                if let Some(p) = &plan {
+                    p.note_retry();
+                }
+                retries += 1;
+                attempt += 1;
+            }
+        }
+        sim_time_ms += params.step_interval_ms;
+
+        // Re-prove the surviving configuration: from-scratch build (so
+        // resume is bit-identical) plus runtime invariant validation
+        // after any recovery action.
+        let state = ev.initial_state(&config);
+        if retries > 0 || stragglers > 0 || rolled_back {
+            if let Err(v) = magus_model::invariant::validate_state(
+                &state,
+                ev.store().spec().len(),
+                ev.network().num_sectors(),
+            ) {
+                invariant_violations.push(format!("step {stage}: {v}"));
+            }
+        }
+        steps.push(StepReport {
+            step: stage,
+            attempts,
+            retries,
+            stragglers,
+            rolled_back,
+            sim_time_ms,
+            utility: state.utility(params.utility),
+            degraded: state.is_degraded(),
+        });
+        executed_now += 1;
+    }
+
+    let completed = config.diff(after).is_empty();
+    let degraded = steps.iter().any(|s| s.degraded);
+    magus_obs::counter_add!("migrate.rolled_back_steps", rolled_back_steps as u64);
+    ExecOutcome::Complete(MigrationReport {
+        steps,
+        rolled_back_steps,
+        completed,
+        sim_time_ms,
+        degraded,
+        invariant_violations,
+        final_config: config,
+    })
+}
+
+/// Rehearses a precomputed playbook mitigation under the active fault
+/// plan: plans the gradual migration for `entry`'s outage and executes
+/// it with the executor, returning the full report. This is the NOC's
+/// "will this playbook entry actually deploy?" drill.
+pub fn rehearse_entry(
+    ev: &Evaluator,
+    entry: &crate::playbook::PlaybookEntry,
+    gradual: &crate::gradual::GradualParams,
+    params: &MigrateParams,
+) -> MigrationReport {
+    let schedule = crate::gradual::plan_gradual(
+        ev,
+        &entry.outcome.config_before,
+        &entry.outcome.config_after,
+        &entry.outcome.targets,
+        gradual,
+    );
+    execute_gradual(
+        ev,
+        &entry.outcome.config_before,
+        &entry.outcome.config_after,
+        &schedule,
+        params,
+    )
+}
+
+/// Convenience for tests and the chaos harness: runs `f` with `plan`
+/// installed globally, restoring the previous plan afterwards. The
+/// caller is responsible for serializing concurrent *tests* (see
+/// [`magus_fault::test_guard`]); production callers install one plan at
+/// process start.
+pub fn with_fault_plan<T>(plan: Arc<magus_fault::FaultPlan>, f: impl FnOnce() -> T) -> T {
+    let _guard = magus_fault::PlanGuard::install(plan);
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradual::{plan_gradual, GradualParams};
+    use crate::tuning::{power_search, SearchParams};
+    use magus_fault::FaultPlan;
+    use magus_geo::units::thermal_noise;
+    use magus_geo::{Bearing, GridSpec, PointM};
+    use magus_lte::{Bandwidth, RateMapper};
+    use magus_net::{BsId, Network, Sector, SectorId, UeLayer};
+    use magus_propagation::{
+        AntennaParams, PathLossStore, PropagationModel, SectorSite, SpmParams, TiltSettings,
+    };
+    use magus_terrain::Terrain;
+    use std::sync::Arc;
+
+    fn fixture() -> (Evaluator, Configuration) {
+        let spec = GridSpec::centered(PointM::new(0.0, 0.0), 150.0, 9_000.0);
+        let model = PropagationModel::new(Arc::new(Terrain::flat(spec)), SpmParams::smooth(), 1);
+        let mk = |id: u32, x: f64, az: f64| {
+            let mut s = Sector::macro_defaults(
+                SectorId(id),
+                BsId(id),
+                SectorSite {
+                    position: PointM::new(x, 0.0),
+                    height_m: 30.0,
+                    azimuth: Bearing::new(az),
+                    antenna: AntennaParams::default(),
+                },
+            );
+            s.nominal_ue_count = 100.0;
+            s
+        };
+        let network = Arc::new(Network::new(vec![
+            mk(0, -2_500.0, 90.0),
+            mk(1, 0.0, 0.0),
+            mk(2, 2_500.0, 270.0),
+        ]));
+        let store = Arc::new(PathLossStore::build(
+            spec,
+            network.sites(),
+            &model,
+            TiltSettings::default(),
+            14_000.0,
+        ));
+        let noise = thermal_noise(Bandwidth::Mhz10.hz(), magus_geo::Db(7.0));
+        let nominal = Configuration::nominal(&network);
+        let ue = UeLayer::constant(spec, 1.0);
+        (
+            Evaluator::new(store, network, RateMapper::new(Bandwidth::Mhz10), noise, ue),
+            nominal,
+        )
+    }
+
+    fn plan_fixture() -> (Evaluator, Configuration, Configuration, GradualOutcome) {
+        let (ev, before) = fixture();
+        let reference = ev.initial_state(&before);
+        let mut state = ev.initial_state(&before);
+        ev.apply(
+            &mut state,
+            magus_net::ConfigChange::SetOnAir(SectorId(1), false),
+        );
+        power_search(
+            &ev,
+            &mut state,
+            &reference,
+            &[SectorId(0), SectorId(2)],
+            &SearchParams::default(),
+        );
+        let after = state.config().clone();
+        let schedule = plan_gradual(
+            &ev,
+            &before,
+            &after,
+            &[SectorId(1)],
+            &GradualParams::default(),
+        );
+        (ev, before, after, schedule)
+    }
+
+    #[test]
+    fn clean_run_reaches_c_after() {
+        let _lock = magus_fault::test_guard();
+        magus_fault::set_plan(None);
+        let (ev, before, after, schedule) = plan_fixture();
+        let report = execute_gradual(&ev, &before, &after, &schedule, &MigrateParams::default());
+        assert!(report.completed);
+        assert_eq!(report.final_config, after);
+        assert_eq!(report.rolled_back_steps, 0);
+        assert!(report.invariant_violations.is_empty());
+        assert!(!report.degraded);
+        assert_eq!(report.steps.len(), schedule.steps.len());
+        assert!(report.steps.iter().all(|s| s.retries == 0));
+    }
+
+    #[test]
+    fn zero_rate_plan_matches_no_plan_byte_identically() {
+        let _lock = magus_fault::test_guard();
+        magus_fault::set_plan(None);
+        let (ev, before, after, schedule) = plan_fixture();
+        let params = MigrateParams::default();
+        let baseline = execute_gradual(&ev, &before, &after, &schedule, &params);
+        let faulted = with_fault_plan(Arc::new(FaultPlan::zero(123)), || {
+            execute_gradual(&ev, &before, &after, &schedule, &params)
+        });
+        let a = serde_json::to_vec(&baseline).expect("serialize");
+        let b = serde_json::to_vec(&faulted).expect("serialize");
+        assert_eq!(a, b, "zero-rate plan must not perturb the run");
+    }
+}

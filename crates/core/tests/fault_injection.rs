@@ -1,0 +1,295 @@
+//! Fault-injection behavior of the gradual executor: retry recovery,
+//! straggler detection, rollback + reconciliation, checkpoint/resume
+//! replay, thread-count invariance, and degraded store reads.
+//!
+//! These tests install non-zero-rate fault plans, and the plan is
+//! process-global (worker threads of a parallel search must see it).
+//! They live in their own integration-test binary — not in the library
+//! test module — so a plan installed here can never leak into the
+//! unguarded tuning/search tests that run concurrently in the library
+//! binary. Within this binary, [`magus_fault::test_guard`] serializes
+//! the tests against each other.
+
+use magus_core::{
+    execute_gradual, execute_gradual_from, plan_gradual, power_search, with_fault_plan,
+    ExecOutcome, GradualOutcome, GradualParams, MigrateParams, MigrationCheckpoint, SearchParams,
+};
+use magus_fault::{FaultPlan, FaultRates};
+use magus_geo::units::thermal_noise;
+use magus_geo::{Bearing, GridSpec, PointM};
+use magus_lte::{Bandwidth, RateMapper};
+use magus_model::Evaluator;
+use magus_net::{BsId, Configuration, Network, Sector, SectorId, UeLayer};
+use magus_propagation::{
+    AntennaParams, PathLossStore, PropagationModel, SectorSite, SpmParams, TiltSettings,
+};
+use magus_terrain::Terrain;
+use std::sync::Arc;
+
+fn fixture() -> (Evaluator, Configuration) {
+    let spec = GridSpec::centered(PointM::new(0.0, 0.0), 150.0, 9_000.0);
+    let model = PropagationModel::new(Arc::new(Terrain::flat(spec)), SpmParams::smooth(), 1);
+    let mk = |id: u32, x: f64, az: f64| {
+        let mut s = Sector::macro_defaults(
+            SectorId(id),
+            BsId(id),
+            SectorSite {
+                position: PointM::new(x, 0.0),
+                height_m: 30.0,
+                azimuth: Bearing::new(az),
+                antenna: AntennaParams::default(),
+            },
+        );
+        s.nominal_ue_count = 100.0;
+        s
+    };
+    let network = Arc::new(Network::new(vec![
+        mk(0, -2_500.0, 90.0),
+        mk(1, 0.0, 0.0),
+        mk(2, 2_500.0, 270.0),
+    ]));
+    let store = Arc::new(PathLossStore::build(
+        spec,
+        network.sites(),
+        &model,
+        TiltSettings::default(),
+        14_000.0,
+    ));
+    let noise = thermal_noise(Bandwidth::Mhz10.hz(), magus_geo::Db(7.0));
+    let nominal = Configuration::nominal(&network);
+    let ue = UeLayer::constant(spec, 1.0);
+    (
+        Evaluator::new(store, network, RateMapper::new(Bandwidth::Mhz10), noise, ue),
+        nominal,
+    )
+}
+
+fn plan_fixture() -> (Evaluator, Configuration, Configuration, GradualOutcome) {
+    let (ev, before) = fixture();
+    let reference = ev.initial_state(&before);
+    let mut state = ev.initial_state(&before);
+    ev.apply(
+        &mut state,
+        magus_net::ConfigChange::SetOnAir(SectorId(1), false),
+    );
+    power_search(
+        &ev,
+        &mut state,
+        &reference,
+        &[SectorId(0), SectorId(2)],
+        &SearchParams::default(),
+    );
+    let after = state.config().clone();
+    let schedule = plan_gradual(
+        &ev,
+        &before,
+        &after,
+        &[SectorId(1)],
+        &GradualParams::default(),
+    );
+    (ev, before, after, schedule)
+}
+
+#[test]
+fn transient_faults_recover_via_retry() {
+    let _lock = magus_fault::test_guard();
+    let (ev, before, after, schedule) = plan_fixture();
+    let plan = Arc::new(
+        FaultPlan::new(
+            5,
+            FaultRates {
+                apply: 0.4,
+                ..FaultRates::ZERO
+            },
+        )
+        .with_permanent(0.0)
+        .with_transient(2),
+    );
+    let report = with_fault_plan(Arc::clone(&plan), || {
+        execute_gradual(&ev, &before, &after, &schedule, &MigrateParams::default())
+    });
+    assert!(
+        report.completed,
+        "transient-only faults must not block completion"
+    );
+    assert_eq!(report.final_config, after);
+    assert_eq!(report.rolled_back_steps, 0);
+    assert!(report.invariant_violations.is_empty());
+    let total_retries: u32 = report.steps.iter().map(|s| s.retries).sum();
+    assert!(total_retries > 0, "rate 0.4 must inject something");
+    assert_eq!(plan.report().retried, u64::from(total_retries));
+}
+
+#[test]
+fn straggler_is_detected_not_reapplied() {
+    let _lock = magus_fault::test_guard();
+    let (ev, before, after, schedule) = plan_fixture();
+    let plan = Arc::new(
+        FaultPlan::new(
+            5,
+            FaultRates {
+                straggler: 0.6,
+                ..FaultRates::ZERO
+            },
+        )
+        .with_permanent(1.0),
+    );
+    let report = with_fault_plan(plan, || {
+        execute_gradual(&ev, &before, &after, &schedule, &MigrateParams::default())
+    });
+    // Stragglers apply the change; verification must accept it and
+    // the run must still land exactly on C_after (no double
+    // PowerDelta application).
+    assert!(report.completed);
+    assert_eq!(report.final_config, after);
+    let stragglers: u32 = report.steps.iter().map(|s| s.stragglers).sum();
+    assert!(stragglers > 0, "rate 0.6 must inject stragglers");
+    assert_eq!(report.rolled_back_steps, 0);
+}
+
+#[test]
+fn permanent_apply_faults_roll_back_and_reconcile() {
+    let _lock = magus_fault::test_guard();
+    let (ev, before, after, schedule) = plan_fixture();
+    let plan = Arc::new(
+        FaultPlan::new(
+            9,
+            FaultRates {
+                apply: 0.5,
+                ..FaultRates::ZERO
+            },
+        )
+        .with_permanent(1.0),
+    );
+    let report = with_fault_plan(Arc::clone(&plan), || {
+        execute_gradual(&ev, &before, &after, &schedule, &MigrateParams::default())
+    });
+    assert!(
+        report.rolled_back_steps > 0,
+        "permanent faults at 0.5 must sink a step"
+    );
+    assert_eq!(plan.report().rolled_back, report.rolled_back_steps as u64);
+    assert!(report.invariant_violations.is_empty());
+    // Rolled-back steps leave the previous (floor-holding) config in
+    // place: utility never collapses to non-finite garbage.
+    for s in &report.steps {
+        assert!(s.utility.is_finite());
+    }
+}
+
+#[test]
+fn checkpoint_resume_is_bit_identical() {
+    let _lock = magus_fault::test_guard();
+    let (ev, before, after, schedule) = plan_fixture();
+    let plan = Arc::new(FaultPlan::new(
+        7,
+        FaultRates {
+            apply: 0.3,
+            straggler: 0.2,
+            store: 0.1,
+            sim: 0.0,
+        },
+    ));
+    let params = MigrateParams::default();
+    let full = with_fault_plan(Arc::clone(&plan), || {
+        execute_gradual(&ev, &before, &after, &schedule, &params)
+    });
+    // Crash after every possible number of steps and resume.
+    for crash_at in 0..=schedule.steps.len() {
+        let resumed = with_fault_plan(Arc::clone(&plan), || {
+            match execute_gradual_from(
+                &ev,
+                &before,
+                &after,
+                &schedule,
+                &params,
+                None,
+                Some(crash_at),
+            ) {
+                ExecOutcome::Checkpoint(c) => {
+                    // Round-trip the checkpoint through JSON, as a
+                    // crashed process would.
+                    let bytes = serde_json::to_vec(&c).expect("serialize checkpoint");
+                    let c: MigrationCheckpoint =
+                        serde_json::from_slice(&bytes).expect("deserialize checkpoint");
+                    match execute_gradual_from(
+                        &ev,
+                        &before,
+                        &after,
+                        &schedule,
+                        &params,
+                        Some(c),
+                        None,
+                    ) {
+                        ExecOutcome::Complete(r) => r,
+                        ExecOutcome::Checkpoint(_) => unreachable!("no stop_after"),
+                    }
+                }
+                ExecOutcome::Complete(r) => r,
+            }
+        });
+        assert_eq!(
+            serde_json::to_vec(&full).expect("serialize"),
+            serde_json::to_vec(&resumed).expect("serialize"),
+            "crash at {crash_at} must replay bit-identically"
+        );
+    }
+}
+
+#[test]
+fn retry_schedule_is_thread_count_invariant() {
+    let _lock = magus_fault::test_guard();
+    let (ev, before, after, schedule) = plan_fixture();
+    let plan = Arc::new(FaultPlan::new(
+        21,
+        FaultRates {
+            apply: 0.3,
+            straggler: 0.2,
+            store: 0.1,
+            sim: 0.0,
+        },
+    ));
+    let params = MigrateParams::default();
+    let mut reports = Vec::new();
+    for threads in [1usize, 2, 8] {
+        magus_exec::set_threads(threads);
+        let r = with_fault_plan(Arc::clone(&plan), || {
+            execute_gradual(&ev, &before, &after, &schedule, &params)
+        });
+        reports.push(serde_json::to_vec(&r).expect("serialize"));
+    }
+    magus_exec::clear_threads_override();
+    assert_eq!(reports[0], reports[1], "1 vs 2 workers diverged");
+    assert_eq!(reports[0], reports[2], "1 vs 8 workers diverged");
+}
+
+#[test]
+fn degraded_store_reads_flag_report_but_stay_finite() {
+    let _lock = magus_fault::test_guard();
+    let (ev, before, after, schedule) = plan_fixture();
+    let plan = Arc::new(
+        FaultPlan::new(
+            3,
+            FaultRates {
+                store: 0.95,
+                ..FaultRates::ZERO
+            },
+        )
+        .with_permanent(1.0),
+    );
+    let report = with_fault_plan(Arc::clone(&plan), || {
+        execute_gradual(&ev, &before, &after, &schedule, &MigrateParams::default())
+    });
+    assert!(
+        plan.report().degraded_reads > 0,
+        "rate 0.95 must degrade some read"
+    );
+    assert!(report.degraded, "degraded reads must surface in the report");
+    for s in &report.steps {
+        assert!(
+            s.utility.is_finite(),
+            "degraded evaluation must stay finite"
+        );
+    }
+    assert!(report.invariant_violations.is_empty());
+}

@@ -1,0 +1,739 @@
+//! `magus-fault`: deterministic, seed-driven fault injection.
+//!
+//! Magus exists because upgrades go wrong (paper §5: synchronized config
+//! pushes cause outages), yet most of the pipeline is written against the
+//! happy path. This crate makes failure a first-class, *reproducible*
+//! input: a [`FaultPlan`] decides — as a pure function of
+//! `(seed, fault point, site key, attempt)` — whether a given operation
+//! fails. Because the decision consults no shared mutable state, the same
+//! plan produces the same failures at any `MAGUS_THREADS` setting,
+//! preserving the DESIGN.md determinism contract ("thread count changes
+//! wall-clock, never results").
+//!
+//! Fault points ([`FaultPoint`]):
+//!
+//! * `ApplyStep` — a tuning change in a gradual-migration step fails to
+//!   apply at the eNodeB (the change is *not* in effect).
+//! * `Straggler` — the change applies but the ack is lost, so the
+//!   executor sees a failure for a change that *is* in effect (partial /
+//!   straggler sector application). Re-applying blindly would be wrong
+//!   for non-idempotent edits (`PowerDelta`); executors must verify via
+//!   config diff.
+//! * `StoreRead` — a path-loss matrix read returns corrupt/missing data;
+//!   the evaluator falls back to the last-known-good matrix and flags
+//!   the resulting state as degraded.
+//! * `SimEventDrop` — the testbed sim drops an eNodeB measurement report
+//!   or an MME job completion.
+//!
+//! Injected faults are **transient** (clear after
+//! [`FaultPlan::transient`] failed attempts) or **permanent** (a
+//! seed-derived [`FaultPlan::permanent`] fraction never clears; recovery
+//! must roll back instead of retrying forever). Retry pacing uses
+//! sim-time exponential backoff ([`backoff_ms`]) — never wall-clock
+//! sleeps, so fault runs stay deterministic and fast.
+//!
+//! A process-global active plan ([`set_plan`] / [`active_plan`] /
+//! [`injects`]) lets deep call sites (the store, the sim) consult the
+//! plan without threading it through every signature; the fast path when
+//! no plan is installed is a single relaxed atomic load. Every injection
+//! increments both plan-local stats (surfaced via [`FaultPlan::report`]
+//! for `--fault-report`) and the `magus-obs` counters `fault.injected`,
+//! `fault.retried`, `fault.rolled_back`, `fault.degraded_reads`.
+
+#![forbid(unsafe_code)]
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+/// Where in the pipeline a fault can be injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultPoint {
+    /// Tuning-step change fails to apply (change not in effect).
+    ApplyStep,
+    /// Change applies but the ack is lost (change *is* in effect).
+    Straggler,
+    /// Path-loss store read returns corrupt/missing data.
+    StoreRead,
+    /// Testbed sim drops an eNodeB/MME event.
+    SimEventDrop,
+}
+
+impl FaultPoint {
+    /// Every fault point, in stats/report order.
+    pub const ALL: [FaultPoint; 4] = [
+        FaultPoint::ApplyStep,
+        FaultPoint::Straggler,
+        FaultPoint::StoreRead,
+        FaultPoint::SimEventDrop,
+    ];
+
+    /// Stable name used in specs, reports, and trace records.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultPoint::ApplyStep => "apply",
+            FaultPoint::Straggler => "straggler",
+            FaultPoint::StoreRead => "store",
+            FaultPoint::SimEventDrop => "sim",
+        }
+    }
+
+    /// Domain-separation salt: distinct fault points must draw
+    /// independent decision streams from the same seed.
+    fn salt(self) -> u64 {
+        match self {
+            FaultPoint::ApplyStep => 0x6170_706c_795f_7074,
+            FaultPoint::Straggler => 0x7374_7261_675f_7074,
+            FaultPoint::StoreRead => 0x7374_6f72_655f_7074,
+            FaultPoint::SimEventDrop => 0x7369_6d65_765f_7074,
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            FaultPoint::ApplyStep => 0,
+            FaultPoint::Straggler => 1,
+            FaultPoint::StoreRead => 2,
+            FaultPoint::SimEventDrop => 3,
+        }
+    }
+}
+
+/// Per-point injection probabilities, each in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultRates {
+    /// `ApplyStep` rate.
+    pub apply: f64,
+    /// `Straggler` rate.
+    pub straggler: f64,
+    /// `StoreRead` rate.
+    pub store: f64,
+    /// `SimEventDrop` rate.
+    pub sim: f64,
+}
+
+impl FaultRates {
+    /// All four rates zero — installing this plan must not change any
+    /// observable output (the chaos-matrix byte-identity gate).
+    pub const ZERO: FaultRates = FaultRates {
+        apply: 0.0,
+        straggler: 0.0,
+        store: 0.0,
+        sim: 0.0,
+    };
+
+    /// The same rate at every point.
+    pub fn uniform(rate: f64) -> FaultRates {
+        FaultRates {
+            apply: rate,
+            straggler: rate,
+            store: rate,
+            sim: rate,
+        }
+    }
+
+    fn get(&self, point: FaultPoint) -> f64 {
+        match point {
+            FaultPoint::ApplyStep => self.apply,
+            FaultPoint::Straggler => self.straggler,
+            FaultPoint::StoreRead => self.store,
+            FaultPoint::SimEventDrop => self.sim,
+        }
+    }
+}
+
+/// Default injection rate for a bare-seed spec (`--faults 42`).
+pub const DEFAULT_RATE: f64 = 0.05;
+/// Default failed attempts before a transient fault clears.
+pub const DEFAULT_TRANSIENT: u32 = 2;
+/// Default fraction of injected faults that never clear.
+pub const DEFAULT_PERMANENT: f64 = 0.1;
+/// Default retry budget recovery loops should spend before giving up
+/// (rolling back / declaring the operation failed).
+pub const DEFAULT_RETRY_LIMIT: u32 = 4;
+
+/// A deterministic fault schedule plus injection statistics.
+///
+/// Decisions are pure functions of the plan parameters and the caller's
+/// `(point, key, attempt)`, so a plan can be consulted concurrently from
+/// any number of worker threads without changing outcomes. The stats
+/// block is shared mutable, but only accumulates totals whose final
+/// values are thread-count-invariant (the *set* of decisions is fixed).
+#[derive(Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    rates: FaultRates,
+    transient: u32,
+    permanent: f64,
+    retry_limit: u32,
+    stats: FaultStats,
+}
+
+#[derive(Debug, Default)]
+struct FaultStats {
+    injected: [AtomicU64; 4],
+    retried: AtomicU64,
+    rolled_back: AtomicU64,
+    degraded_reads: AtomicU64,
+}
+
+/// Snapshot of a plan's parameters and injection totals, serialized for
+/// `--fault-report` and the chaos-matrix artifact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultReport {
+    /// Plan seed.
+    pub seed: u64,
+    /// Per-point injection rates.
+    pub rates: FaultRates,
+    /// Failed attempts before a transient fault clears.
+    pub transient: u32,
+    /// Fraction of injected faults that never clear.
+    pub permanent: f64,
+    /// Retry budget recovery loops use.
+    pub retry_limit: u32,
+    /// Injected failure events per point, keyed by [`FaultPoint::name`].
+    pub injected: Vec<(String, u64)>,
+    /// Total injected failure events.
+    pub injected_total: u64,
+    /// Retries recovery loops performed.
+    pub retried: u64,
+    /// Migration rounds rolled back.
+    pub rolled_back: u64,
+    /// Store reads served from the last-known-good fallback.
+    pub degraded_reads: u64,
+}
+
+/// A malformed `--faults` spec (offending fragment, explanation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpecError {
+    /// The spec fragment that failed to parse.
+    pub fragment: String,
+    /// What was wrong with it.
+    pub reason: String,
+}
+
+impl std::fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad fault spec `{}`: {}", self.fragment, self.reason)
+    }
+}
+
+impl std::error::Error for FaultSpecError {}
+
+fn spec_err(fragment: &str, reason: impl Into<String>) -> FaultSpecError {
+    FaultSpecError {
+        fragment: fragment.to_string(),
+        reason: reason.into(),
+    }
+}
+
+impl FaultPlan {
+    /// Moderate default chaos from a bare seed: every point at
+    /// [`DEFAULT_RATE`], [`DEFAULT_TRANSIENT`] transient failures,
+    /// [`DEFAULT_PERMANENT`] permanent fraction.
+    pub fn from_seed(seed: u64) -> FaultPlan {
+        FaultPlan::new(seed, FaultRates::uniform(DEFAULT_RATE))
+    }
+
+    /// A plan with explicit rates and default recovery parameters.
+    pub fn new(seed: u64, rates: FaultRates) -> FaultPlan {
+        FaultPlan {
+            seed,
+            rates,
+            transient: DEFAULT_TRANSIENT,
+            permanent: DEFAULT_PERMANENT,
+            retry_limit: DEFAULT_RETRY_LIMIT,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// The zero-rate plan: installed but injecting nothing. Runs under
+    /// this plan must be byte-identical to runs with no plan at all.
+    pub fn zero(seed: u64) -> FaultPlan {
+        FaultPlan::new(seed, FaultRates::ZERO)
+    }
+
+    /// Parses a `--faults` spec.
+    ///
+    /// Grammar: either a bare integer (`"42"` → [`FaultPlan::from_seed`])
+    /// or comma-separated `key=value` pairs:
+    ///
+    /// * `seed=<u64>` — decision seed (default 0)
+    /// * `rate=<0..1>` — sets all four point rates at once
+    /// * `apply=` / `straggler=` / `store=` / `sim=<0..1>` — per point
+    /// * `transient=<u32>` — failed attempts before a transient clears
+    /// * `permanent=<0..1>` — fraction of faults that never clear
+    /// * `retries=<u32>` — retry budget for recovery loops
+    ///
+    /// Later keys override earlier ones, so
+    /// `"seed=7,rate=0.2,sim=0"` means "20% everywhere except the sim".
+    pub fn parse(spec: &str) -> Result<FaultPlan, FaultSpecError> {
+        let trimmed = spec.trim();
+        if trimmed.is_empty() {
+            return Err(spec_err(spec, "empty spec"));
+        }
+        if let Ok(seed) = trimmed.parse::<u64>() {
+            return Ok(FaultPlan::from_seed(seed));
+        }
+        let mut plan = FaultPlan::new(0, FaultRates::ZERO);
+        for pair in trimmed.split(',') {
+            let pair = pair.trim();
+            let (key, value) = pair
+                .split_once('=')
+                .ok_or_else(|| spec_err(pair, "expected key=value"))?;
+            let unit = |v: &str| -> Result<f64, FaultSpecError> {
+                let x: f64 = v.parse().map_err(|_| spec_err(pair, "expected a number"))?;
+                if !(0.0..=1.0).contains(&x) {
+                    return Err(spec_err(pair, "expected a value in [0, 1]"));
+                }
+                Ok(x)
+            };
+            match key.trim() {
+                "seed" => {
+                    plan.seed = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| spec_err(pair, "expected an unsigned integer"))?;
+                }
+                "rate" => plan.rates = FaultRates::uniform(unit(value.trim())?),
+                "apply" => plan.rates.apply = unit(value.trim())?,
+                "straggler" => plan.rates.straggler = unit(value.trim())?,
+                "store" => plan.rates.store = unit(value.trim())?,
+                "sim" => plan.rates.sim = unit(value.trim())?,
+                "transient" => {
+                    plan.transient = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| spec_err(pair, "expected an unsigned integer"))?;
+                }
+                "permanent" => plan.permanent = unit(value.trim())?,
+                "retries" => {
+                    plan.retry_limit = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| spec_err(pair, "expected an unsigned integer"))?;
+                }
+                other => return Err(spec_err(other, "unknown key")),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Builder: failed attempts before a transient fault clears.
+    pub fn with_transient(mut self, transient: u32) -> FaultPlan {
+        self.transient = transient;
+        self
+    }
+
+    /// Builder: fraction of injected faults that never clear.
+    /// Values are clamped to `[0, 1]`.
+    pub fn with_permanent(mut self, permanent: f64) -> FaultPlan {
+        self.permanent = permanent.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Builder: retry budget for recovery loops.
+    pub fn with_retry_limit(mut self, retries: u32) -> FaultPlan {
+        self.retry_limit = retries;
+        self
+    }
+
+    /// Plan seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Per-point injection rates.
+    pub fn rates(&self) -> FaultRates {
+        self.rates
+    }
+
+    /// Failed attempts before a transient fault clears.
+    pub fn transient(&self) -> u32 {
+        self.transient
+    }
+
+    /// Fraction of injected faults that never clear.
+    pub fn permanent(&self) -> f64 {
+        self.permanent
+    }
+
+    /// Retry budget recovery loops should spend before giving up.
+    pub fn retry_limit(&self) -> u32 {
+        self.retry_limit
+    }
+
+    /// `true` when every rate is zero (the plan can inject nothing).
+    pub fn is_zero(&self) -> bool {
+        self.rates == FaultRates::ZERO
+    }
+
+    /// Whether the operation identified by `(point, key)` fails on its
+    /// `attempt`-th try (0-based). Pure in everything but stats: the
+    /// decision consults no shared mutable state, so it is identical at
+    /// any thread count and on replay after checkpoint/resume.
+    ///
+    /// `key` must identify the *operation*, not the call site: derive it
+    /// from stable domain identifiers (step index, sector id, UE id,
+    /// round) via [`site_key`], and keep `attempt` caller-local so a
+    /// retry re-asks about the same operation with the next index.
+    pub fn injects(&self, point: FaultPoint, key: u64, attempt: u32) -> bool {
+        let rate = self.rates.get(point);
+        if rate <= 0.0 {
+            return false;
+        }
+        let selected = unit_from(mix3(self.seed, point.salt(), key)) < rate;
+        if !selected {
+            return false;
+        }
+        let fate = unit_from(mix3(self.seed ^ PERMANENT_SALT, point.salt(), key));
+        let fails = if fate < self.permanent {
+            true // permanent: every attempt fails
+        } else {
+            attempt < self.transient
+        };
+        if fails {
+            self.stats.injected[point.index()].fetch_add(1, Ordering::Relaxed);
+            magus_obs::counter_inc!("fault.injected");
+        }
+        fails
+    }
+
+    /// Whether `(point, key)` is selected for *permanent* failure —
+    /// i.e. retrying can never succeed. Recovery loops may consult this
+    /// only through exhaustion of [`FaultPlan::retry_limit`]; it exists
+    /// for tests and report tooling.
+    pub fn is_permanent(&self, point: FaultPoint, key: u64) -> bool {
+        let rate = self.rates.get(point);
+        rate > 0.0
+            && unit_from(mix3(self.seed, point.salt(), key)) < rate
+            && unit_from(mix3(self.seed ^ PERMANENT_SALT, point.salt(), key)) < self.permanent
+    }
+
+    /// Records one retry (recovery loop bookkeeping).
+    pub fn note_retry(&self) {
+        self.stats.retried.fetch_add(1, Ordering::Relaxed);
+        magus_obs::counter_inc!("fault.retried");
+    }
+
+    /// Records one migration-round rollback.
+    pub fn note_rollback(&self) {
+        self.stats.rolled_back.fetch_add(1, Ordering::Relaxed);
+        magus_obs::counter_inc!("fault.rolled_back");
+    }
+
+    /// Records one degraded (last-known-good fallback) store read.
+    pub fn note_degraded_read(&self) {
+        self.stats.degraded_reads.fetch_add(1, Ordering::Relaxed);
+        magus_obs::counter_inc!("fault.degraded_reads");
+    }
+
+    /// Snapshot of parameters and totals for `--fault-report`.
+    pub fn report(&self) -> FaultReport {
+        let injected: Vec<(String, u64)> = FaultPoint::ALL
+            .iter()
+            .map(|p| {
+                (
+                    p.name().to_string(),
+                    self.stats.injected[p.index()].load(Ordering::Relaxed),
+                )
+            })
+            .collect();
+        FaultReport {
+            seed: self.seed,
+            rates: self.rates,
+            transient: self.transient,
+            permanent: self.permanent,
+            retry_limit: self.retry_limit,
+            injected_total: injected.iter().map(|(_, n)| n).sum(),
+            injected,
+            retried: self.stats.retried.load(Ordering::Relaxed),
+            rolled_back: self.stats.rolled_back.load(Ordering::Relaxed),
+            degraded_reads: self.stats.degraded_reads.load(Ordering::Relaxed),
+        }
+    }
+}
+
+const PERMANENT_SALT: u64 = 0x7065_726d_5f73_616c;
+
+/// SplitMix64 finalizer — the avalanche function behind every decision.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn mix3(a: u64, b: u64, c: u64) -> u64 {
+    mix(mix(mix(a).wrapping_add(b)).wrapping_add(c))
+}
+
+/// Folds the upper 53 bits into a uniform `[0, 1)` value.
+fn unit_from(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Derives a stable operation key from up to three domain identifiers
+/// (step index, sector id, attempt round, UE id, …). Order matters.
+pub fn site_key(a: u64, b: u64, c: u64) -> u64 {
+    mix3(a, b, c)
+}
+
+/// Sim-time exponential backoff: `base_ms << attempt`, saturating, so
+/// retry pacing is a pure function of the attempt index (no wall-clock
+/// sleeps — deterministic and instant under simulation).
+pub fn backoff_ms(base_ms: u64, attempt: u32) -> u64 {
+    base_ms.saturating_mul(1u64.checked_shl(attempt).unwrap_or(u64::MAX))
+}
+
+// ---------------------------------------------------------------------
+// Process-global active plan.
+
+static PLAN_ACTIVE: AtomicBool = AtomicBool::new(false);
+
+fn plan_slot() -> &'static Mutex<Option<Arc<FaultPlan>>> {
+    static SLOT: OnceLock<Mutex<Option<Arc<FaultPlan>>>> = OnceLock::new();
+    SLOT.get_or_init(|| Mutex::new(None))
+}
+
+/// Installs (or clears, with `None`) the process-global fault plan.
+/// Returns the previously installed plan.
+pub fn set_plan(plan: Option<Arc<FaultPlan>>) -> Option<Arc<FaultPlan>> {
+    let mut slot = plan_slot().lock().unwrap_or_else(PoisonError::into_inner);
+    PLAN_ACTIVE.store(plan.is_some(), Ordering::Release);
+    std::mem::replace(&mut slot, plan)
+}
+
+/// The currently installed plan, if any. The no-plan fast path is a
+/// single relaxed atomic load.
+pub fn active_plan() -> Option<Arc<FaultPlan>> {
+    if !PLAN_ACTIVE.load(Ordering::Relaxed) {
+        return None;
+    }
+    plan_slot()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clone()
+}
+
+/// Consults the global plan: does `(point, key)` fail on `attempt`?
+/// `false` when no plan is installed.
+pub fn injects(point: FaultPoint, key: u64, attempt: u32) -> bool {
+    match active_plan() {
+        Some(plan) => plan.injects(point, key, attempt),
+        None => false,
+    }
+}
+
+/// RAII installation of a plan: restores the previous plan on drop.
+/// Tests that install plans must also serialize on a shared lock (the
+/// plan is process-global); see [`test_guard`].
+pub struct PlanGuard {
+    previous: Option<Arc<FaultPlan>>,
+}
+
+impl PlanGuard {
+    /// Installs `plan` globally until the guard drops.
+    pub fn install(plan: Arc<FaultPlan>) -> PlanGuard {
+        PlanGuard {
+            previous: set_plan(Some(plan)),
+        }
+    }
+}
+
+impl Drop for PlanGuard {
+    fn drop(&mut self) {
+        set_plan(self.previous.take());
+    }
+}
+
+/// Serializes tests (across crates) that install global plans.
+pub fn test_guard() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_seed_parses_to_default_chaos() {
+        let plan = FaultPlan::parse("42").unwrap();
+        assert_eq!(plan.seed(), 42);
+        assert_eq!(plan.rates(), FaultRates::uniform(DEFAULT_RATE));
+        assert_eq!(plan.transient(), DEFAULT_TRANSIENT);
+        assert_eq!(plan.permanent(), DEFAULT_PERMANENT);
+    }
+
+    #[test]
+    fn kv_spec_parses_and_overrides_in_order() {
+        let plan =
+            FaultPlan::parse("seed=7,rate=0.2,sim=0,transient=3,permanent=0.5,retries=9").unwrap();
+        assert_eq!(plan.seed(), 7);
+        assert_eq!(plan.rates().apply, 0.2);
+        assert_eq!(plan.rates().straggler, 0.2);
+        assert_eq!(plan.rates().store, 0.2);
+        assert_eq!(plan.rates().sim, 0.0);
+        assert_eq!(plan.transient(), 3);
+        assert_eq!(plan.permanent(), 0.5);
+        assert_eq!(plan.retry_limit(), 9);
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        assert!(FaultPlan::parse("").is_err());
+        assert!(FaultPlan::parse("rate=1.5").is_err());
+        assert!(FaultPlan::parse("rate=-0.1").is_err());
+        assert!(FaultPlan::parse("bogus=1").is_err());
+        assert!(FaultPlan::parse("seed").is_err());
+        assert!(FaultPlan::parse("seed=abc").is_err());
+    }
+
+    #[test]
+    fn decisions_are_pure_and_seed_dependent() {
+        let a = FaultPlan::new(1, FaultRates::uniform(0.5));
+        let b = FaultPlan::new(1, FaultRates::uniform(0.5));
+        let c = FaultPlan::new(2, FaultRates::uniform(0.5));
+        let mut diverged = false;
+        for key in 0..256u64 {
+            assert_eq!(
+                a.injects(FaultPoint::ApplyStep, key, 0),
+                b.injects(FaultPoint::ApplyStep, key, 0),
+                "same seed must agree at key {key}"
+            );
+            if a.injects(FaultPoint::ApplyStep, key, 0) != c.injects(FaultPoint::ApplyStep, key, 0)
+            {
+                diverged = true;
+            }
+        }
+        assert!(diverged, "different seeds should differ somewhere");
+    }
+
+    #[test]
+    fn fault_points_draw_independent_streams() {
+        let plan = FaultPlan::new(3, FaultRates::uniform(0.5));
+        let mut diverged = false;
+        for key in 0..256u64 {
+            if plan.injects(FaultPoint::ApplyStep, key, 0)
+                != plan.injects(FaultPoint::StoreRead, key, 0)
+            {
+                diverged = true;
+            }
+        }
+        assert!(diverged, "points must not share a decision stream");
+    }
+
+    #[test]
+    fn transient_faults_clear_after_transient_attempts() {
+        let plan = FaultPlan::new(11, FaultRates::uniform(0.9)).with_permanent(0.0);
+        let mut saw_fault = false;
+        for key in 0..64u64 {
+            if plan.injects(FaultPoint::ApplyStep, key, 0) {
+                saw_fault = true;
+                assert!(plan.injects(FaultPoint::ApplyStep, key, 1));
+                assert!(!plan.injects(FaultPoint::ApplyStep, key, 2));
+                assert!(!plan.injects(FaultPoint::ApplyStep, key, 3));
+            }
+        }
+        assert!(saw_fault, "rate 0.9 over 64 keys must select something");
+    }
+
+    #[test]
+    fn permanent_faults_never_clear() {
+        let plan = FaultPlan::new(11, FaultRates::uniform(0.9)).with_permanent(1.0);
+        let mut saw_fault = false;
+        for key in 0..64u64 {
+            if plan.injects(FaultPoint::ApplyStep, key, 0) {
+                saw_fault = true;
+                assert!(plan.is_permanent(FaultPoint::ApplyStep, key));
+                assert!(plan.injects(FaultPoint::ApplyStep, key, 100));
+            }
+        }
+        assert!(saw_fault);
+    }
+
+    #[test]
+    fn empirical_rate_tracks_requested_rate() {
+        let plan = FaultPlan::new(5, FaultRates::uniform(0.25));
+        let n = 10_000u64;
+        let hits = (0..n)
+            .filter(|&k| plan.injects(FaultPoint::StoreRead, k, 0))
+            .count() as f64;
+        let rate = hits / n as f64;
+        assert!(
+            (rate - 0.25).abs() < 0.02,
+            "empirical rate {rate} far from 0.25"
+        );
+    }
+
+    #[test]
+    fn zero_plan_injects_nothing() {
+        let plan = FaultPlan::zero(99);
+        assert!(plan.is_zero());
+        for key in 0..128u64 {
+            for point in FaultPoint::ALL {
+                assert!(!plan.injects(point, key, 0));
+            }
+        }
+        assert_eq!(plan.report().injected_total, 0);
+    }
+
+    #[test]
+    fn backoff_doubles_and_saturates() {
+        assert_eq!(backoff_ms(50, 0), 50);
+        assert_eq!(backoff_ms(50, 1), 100);
+        assert_eq!(backoff_ms(50, 4), 800);
+        assert_eq!(backoff_ms(50, 200), u64::MAX);
+        assert_eq!(backoff_ms(0, 3), 0);
+    }
+
+    #[test]
+    fn report_counts_injections() {
+        let plan = FaultPlan::new(13, FaultRates::uniform(0.5));
+        let mut expect = 0u64;
+        for key in 0..128u64 {
+            if plan.injects(FaultPoint::Straggler, key, 0) {
+                expect += 1;
+            }
+        }
+        // The counting pass above already recorded `expect` injections.
+        let report = plan.report();
+        assert_eq!(report.injected_total, expect);
+        assert_eq!(
+            report.injected.iter().find(|(n, _)| n == "straggler"),
+            Some(&("straggler".to_string(), expect))
+        );
+        plan.note_retry();
+        plan.note_rollback();
+        plan.note_degraded_read();
+        let report = plan.report();
+        assert_eq!(report.retried, 1);
+        assert_eq!(report.rolled_back, 1);
+        assert_eq!(report.degraded_reads, 1);
+    }
+
+    #[test]
+    fn global_plan_install_and_restore() {
+        let _lock = test_guard();
+        assert!(active_plan().is_none() || set_plan(None).is_some());
+        {
+            let _guard = PlanGuard::install(Arc::new(FaultPlan::new(1, FaultRates::uniform(1.0))));
+            assert!(active_plan().is_some());
+            assert!(injects(FaultPoint::ApplyStep, 0, 0));
+        }
+        assert!(active_plan().is_none());
+        assert!(!injects(FaultPoint::ApplyStep, 0, 0));
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let plan = FaultPlan::parse("seed=4,rate=0.3").unwrap();
+        let report = plan.report();
+        let json = serde_json::to_string(&report).unwrap();
+        let back: FaultReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+}

@@ -92,6 +92,22 @@ impl Evaluator {
         self.ue.at_index(i)
     }
 
+    /// Fault-aware matrix read for the *state-mutating* paths
+    /// (`initial_state`, `apply`, `rescan_cell`): consults the global
+    /// fault plan and, on an unrecoverable read, serves the sector's
+    /// nominal-tilt last-known-good matrix while raising the state's
+    /// degraded flag. Read-only queries (`hypothetical_rmax`,
+    /// `uplink_sinr`) keep using the direct path — they derive no
+    /// persistent state, so a degraded answer there has nothing to flag.
+    fn matrix_for(&self, state: &mut ModelState, s: u32, tilt: u8) -> Arc<PathLossMatrix> {
+        let nominal = self.network.sector(SectorId(s)).nominal_tilt;
+        let read = self.store.matrix_faulted(s, tilt, nominal);
+        if read.stale {
+            state.degraded = true;
+        }
+        read.matrix
+    }
+
     /// Builds the full evaluation state for a configuration from scratch
     /// (the expensive path — use [`Evaluator::apply`] for updates).
     pub fn initial_state(&self, config: &Configuration) -> ModelState {
@@ -114,6 +130,7 @@ impl Evaluator {
             rmax: vec![0.0; n_grids],
             n_s: vec![0.0; n_sectors],
             a_s: vec![0.0; n_sectors],
+            degraded: false,
         };
         let spec = *self.store.spec();
         for s in 0..n_sectors as u32 {
@@ -121,7 +138,7 @@ impl Evaluator {
             if !sc.on_air {
                 continue;
             }
-            let mat = self.store.matrix(s, sc.tilt);
+            let mat = self.matrix_for(&mut state, s, sc.tilt);
             let window = mat.window();
             for (k, c) in window.coords().enumerate() {
                 let i = spec.index(c);
@@ -204,7 +221,7 @@ impl Evaluator {
             if !sc.on_air {
                 continue;
             }
-            let mat = self.store.matrix(s, sc.tilt);
+            let mat = self.matrix_for(state, s, sc.tilt);
             let c = self.store.spec().coord_of_index(i);
             if let Some(l) = mat.get(c) {
                 let rp = (sc.power.0 + l.0) as f32;
@@ -236,6 +253,7 @@ impl Evaluator {
             cells: Vec::new(),
             n_s: state.n_s.clone(),
             a_s: state.a_s.clone(),
+            degraded: state.degraded,
         };
         let id = change.sector();
         let before = state.config.sector(id);
@@ -249,10 +267,10 @@ impl Evaluator {
         // Old and new radio contributions of the changed sector.
         let old = before
             .on_air
-            .then(|| (before.power, self.store.matrix(s, before.tilt)));
+            .then(|| (before.power, self.matrix_for(state, s, before.tilt)));
         let new = after
             .on_air
-            .then(|| (after.power, self.store.matrix(s, after.tilt)));
+            .then(|| (after.power, self.matrix_for(state, s, after.tilt)));
         if old.is_none() && new.is_none() {
             return undo; // off-air sector reconfigured: no radio effect
         }
@@ -327,6 +345,7 @@ impl Evaluator {
             }
             state.n_s = undo.n_s;
             state.a_s = undo.a_s;
+            state.degraded = undo.degraded;
         })
     }
 

@@ -40,6 +40,44 @@ pub fn debug_validate_tilt(tilt: u8) {
     );
 }
 
+/// Runtime (release-mode) state validation, for recovery machinery:
+/// after a fault is retried or rolled back, the migration executor must
+/// *prove* the surviving state is structurally sound before trusting it
+/// — in every build, not just debug ones. Checks the same properties as
+/// [`debug_validate_state`] plus finiteness of every per-grid rate
+/// aggregate, and reports the first violation instead of panicking.
+pub fn validate_state(state: &ModelState, n_grids: usize, n_sectors: usize) -> Result<(), String> {
+    if state.num_grids() != n_grids {
+        return Err(format!(
+            "state covers {} grids, expected {n_grids}",
+            state.num_grids()
+        ));
+    }
+    if state.n_s.len() != n_sectors || state.a_s.len() != n_sectors {
+        return Err(format!(
+            "sector aggregates drifted: {} / {} vs {n_sectors}",
+            state.n_s.len(),
+            state.a_s.len()
+        ));
+    }
+    if let Some(s) = state.n_s.iter().position(|v| !v.is_finite()) {
+        return Err(format!("non-finite load N_s at sector {s}"));
+    }
+    if let Some(s) = state.a_s.iter().position(|v| !v.is_finite()) {
+        return Err(format!("non-finite aggregate A_s at sector {s}"));
+    }
+    if let Some(s) = state.n_s.iter().position(|&v| v < 0.0) {
+        return Err(format!("negative load N_s at sector {s}"));
+    }
+    for i in 0..n_grids {
+        let r = state.rmax_bps(i);
+        if !r.is_finite() || r < 0.0 {
+            return Err(format!("bad r_max {r} at grid {i}"));
+        }
+    }
+    Ok(())
+}
+
 /// Validates a model state's shape against the grid/sector counts it
 /// claims to describe, and that aggregate fields are finite.
 pub fn debug_validate_state(state: &ModelState, n_grids: usize, n_sectors: usize) {

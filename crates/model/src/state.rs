@@ -30,6 +30,13 @@ pub struct ModelState {
     /// Per sector: `A_s = Σ UE(g)·log10(r_max(g))` over served,
     /// in-service grids.
     pub(crate) a_s: Vec<f64>,
+    /// `true` once any field was derived from a last-known-good
+    /// path-loss matrix (a store read failed past its retry budget and
+    /// the evaluator fell back; see
+    /// [`magus_propagation::PathLossStore::matrix_faulted`]). Degraded
+    /// states are still finite and usable — the flag marks reduced
+    /// fidelity, not corruption.
+    pub(crate) degraded: bool,
 }
 
 /// Exact rollback data for one applied change.
@@ -41,12 +48,22 @@ pub struct Undo {
     pub(crate) cells: Vec<(u32, f64, i32, f32, f32)>,
     pub(crate) n_s: Vec<f64>,
     pub(crate) a_s: Vec<f64>,
+    /// Staleness flag before the change, restored on undo so probe
+    /// apply/undo pairs leave the flag exactly as they found it.
+    pub(crate) degraded: bool,
 }
 
 impl ModelState {
     /// The configuration this state evaluates.
     pub fn config(&self) -> &Configuration {
         &self.config
+    }
+
+    /// Whether any field was derived from a last-known-good (stale)
+    /// path-loss matrix after a failed store read.
+    #[inline]
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
     }
 
     /// Serving sector of grid `i` (raster linear index).

@@ -37,4 +37,4 @@ pub use antenna::{AntennaParams, SectorSite, TiltSettings, NOMINAL_TILT_INDEX, N
 pub use diffraction::knife_edge_loss_db;
 pub use io::{decode_store, encode_store, DecodeError};
 pub use spm::{PropagationModel, SpmParams};
-pub use store::{CacheStats, InvariantViolation, PathLossMatrix, PathLossStore};
+pub use store::{CacheStats, InvariantViolation, MatrixRead, PathLossMatrix, PathLossStore};

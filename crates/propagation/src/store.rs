@@ -188,6 +188,17 @@ impl PathLossMatrix {
     }
 }
 
+/// Result of a fault-aware matrix read ([`PathLossStore::matrix_faulted`]).
+#[derive(Debug, Clone)]
+pub struct MatrixRead {
+    /// The matrix served — the requested one, or the last-known-good
+    /// fallback when `stale`.
+    pub matrix: Arc<PathLossMatrix>,
+    /// `true` when the requested read failed past the retry budget and
+    /// the nominal-tilt last-known-good matrix was substituted.
+    pub stale: bool,
+}
+
 /// Tilt-independent per-sector data.
 struct SectorBase {
     window: GridWindow,
@@ -410,6 +421,50 @@ impl PathLossStore {
             misses: self.counters.misses.load(Ordering::Relaxed),
             assembles: self.counters.assembles.load(Ordering::Relaxed),
             evictions: self.counters.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Fault-aware variant of [`PathLossStore::matrix`]: consults the
+    /// process-global [`magus_fault`] plan at the `StoreRead` point and
+    /// models a corrupt/missing matrix read.
+    ///
+    /// Recovery: the read is retried up to the plan's retry budget
+    /// (counted as `fault.retried`; backoff is sim-time, so no wall
+    /// clock is spent). If every attempt fails — a permanent fault, or
+    /// a transient one outliving the budget — the store degrades to the
+    /// **last-known-good** matrix: the sector's nominal-tilt matrix,
+    /// assembled directly past the fault layer. That stands in for the
+    /// copy retained from the previous planning cycle (every sector ran
+    /// at nominal tilt before the upgrade began) and keeps the fallback
+    /// deterministic — no racy "latest value" state. The result is
+    /// flagged [`MatrixRead::stale`] so evaluators can mark derived
+    /// model state as degraded.
+    ///
+    /// With no plan installed (or a zero-rate plan) this is exactly
+    /// [`PathLossStore::matrix`] plus one relaxed atomic load.
+    pub fn matrix_faulted(&self, id: u32, tilt: u8, nominal_tilt: u8) -> MatrixRead {
+        if let Some(plan) = magus_fault::active_plan() {
+            let key = magus_fault::site_key(u64::from(id), u64::from(tilt), 0);
+            let mut attempt = 0u32;
+            while plan.injects(magus_fault::FaultPoint::StoreRead, key, attempt) {
+                if attempt >= plan.retry_limit() {
+                    plan.note_degraded_read();
+                    magus_obs::trace_event!("fault.store_degraded",
+                        "sector" => id,
+                        "tilt" => tilt,
+                    );
+                    return MatrixRead {
+                        matrix: self.matrix(id, nominal_tilt),
+                        stale: true,
+                    };
+                }
+                plan.note_retry();
+                attempt += 1;
+            }
+        }
+        MatrixRead {
+            matrix: self.matrix(id, tilt),
+            stale: false,
         }
     }
 
@@ -636,6 +691,67 @@ mod tests {
         assert_eq!(stats.assembles, 3);
         assert_eq!(stats.hits, 1);
         assert_eq!(s.cached_matrices(), 3);
+    }
+
+    #[test]
+    fn faulted_read_degrades_to_nominal_and_flags_stale() {
+        use magus_fault::{FaultPlan, FaultRates, PlanGuard};
+        let _lock = magus_fault::test_guard();
+        let s = store();
+
+        // No plan: pass-through, never stale.
+        let clean = s.matrix_faulted(0, 0, NOMINAL_TILT_INDEX);
+        assert!(!clean.stale);
+        assert!(Arc::ptr_eq(&clean.matrix, &s.matrix(0, 0)));
+
+        // Permanent store faults at rate 1: every read degrades to the
+        // nominal-tilt last-known-good matrix and is flagged stale.
+        let plan = std::sync::Arc::new(
+            FaultPlan::new(
+                7,
+                FaultRates {
+                    store: 1.0,
+                    ..FaultRates::ZERO
+                },
+            )
+            .with_permanent(1.0),
+        );
+        let _guard = PlanGuard::install(Arc::clone(&plan));
+        let read = s.matrix_faulted(0, 0, NOMINAL_TILT_INDEX);
+        assert!(read.stale);
+        assert!(Arc::ptr_eq(&read.matrix, &s.matrix(0, NOMINAL_TILT_INDEX)));
+        let report = plan.report();
+        assert_eq!(report.degraded_reads, 1);
+        assert_eq!(report.retried, u64::from(plan.retry_limit()));
+
+        // Zero-rate plan: behaves exactly like no plan.
+        drop(_guard);
+        let _guard = PlanGuard::install(std::sync::Arc::new(FaultPlan::zero(7)));
+        let read = s.matrix_faulted(0, 0, NOMINAL_TILT_INDEX);
+        assert!(!read.stale);
+    }
+
+    #[test]
+    fn transient_store_fault_recovers_within_budget() {
+        use magus_fault::{FaultPlan, FaultRates, PlanGuard};
+        let _lock = magus_fault::test_guard();
+        let s = store();
+        let plan = std::sync::Arc::new(
+            FaultPlan::new(
+                7,
+                FaultRates {
+                    store: 1.0,
+                    ..FaultRates::ZERO
+                },
+            )
+            .with_permanent(0.0)
+            .with_transient(2),
+        );
+        let _guard = PlanGuard::install(Arc::clone(&plan));
+        let read = s.matrix_faulted(0, 0, NOMINAL_TILT_INDEX);
+        assert!(!read.stale, "transient fault must clear within the budget");
+        assert_eq!(plan.report().retried, 2);
+        assert_eq!(plan.report().degraded_reads, 0);
     }
 
     #[test]

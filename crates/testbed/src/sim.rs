@@ -165,6 +165,16 @@ enum MmeJob {
     Attach { ue: usize, target: usize },
 }
 
+/// An MME job plus the bookkeeping the fault layer needs: a stable
+/// sequence number (the fault key — re-enqueues keep it, so retries of
+/// one lost message hash as one fault site) and the delivery attempt.
+#[derive(Debug, Clone, Copy)]
+struct QueuedJob {
+    job: MmeJob,
+    seq: u64,
+    attempt: u32,
+}
+
 #[derive(Debug, Clone, Copy)]
 enum Event {
     MacQuantum,
@@ -199,6 +209,14 @@ pub struct HandoverStats {
     pub mme_jobs: usize,
     /// Total MME busy time, ms (utilization = busy / run length).
     pub mme_busy_ms: u64,
+    /// Measurement reports lost to injected faults (the UE simply
+    /// re-measures next period — deferred, not dropped handovers).
+    pub dropped_reports: usize,
+    /// MME signaling messages lost to injected faults and re-enqueued.
+    pub dropped_signaling: usize,
+    /// Signaling procedures abandoned after the retry budget: handovers
+    /// reverted to the serving cell, attaches returned to RLF detection.
+    pub abandoned_jobs: usize,
 }
 
 /// A (time, utility, per-UE Mbps) sample of one trace window.
@@ -240,8 +258,12 @@ pub struct Sim {
     ue_serving: Vec<usize>,
     ue_state: Vec<UeState>,
 
-    mme_queue: VecDeque<MmeJob>,
+    mme_queue: VecDeque<QueuedJob>,
     mme_busy: bool,
+    /// Next MME job sequence number (fault-injection key material).
+    mme_seq: u64,
+    /// Measurement rounds elapsed (fault-injection key material).
+    measure_round: u64,
 
     delivered_bits: Vec<f64>,
     /// EWMA throughput per UE (bits/s) for the PF metric.
@@ -288,6 +310,8 @@ impl Sim {
             ue_state: vec![UeState::Connected; n_u],
             mme_queue: VecDeque::new(),
             mme_busy: false,
+            mme_seq: 0,
+            measure_round: 0,
             delivered_bits: vec![0.0; n_u],
             ewma_thpt: vec![1.0; n_u],
             waypoints: vec![magus_geo::PointM::new(0.0, 0.0); n_u],
@@ -336,7 +360,17 @@ impl Sim {
     }
 
     fn enqueue_mme(&mut self, job: MmeJob) {
-        self.mme_queue.push_back(job);
+        let seq = self.mme_seq;
+        self.mme_seq += 1;
+        self.requeue_mme(QueuedJob {
+            job,
+            seq,
+            attempt: 0,
+        });
+    }
+
+    fn requeue_mme(&mut self, queued: QueuedJob) {
+        self.mme_queue.push_back(queued);
         self.stats.max_mme_queue = self.stats.max_mme_queue.max(self.mme_queue.len());
         magus_obs::gauge_max!("sim.mme_queue_max", self.mme_queue.len() as i64);
         if !self.mme_busy {
@@ -344,6 +378,59 @@ impl Sim {
             let at = self.queue.now().after_millis(self.cfg.mme_service_time_ms);
             self.queue.schedule(at, Event::MmeDone);
         }
+    }
+
+    /// Fault hook for MME signaling: decides whether `queued`'s outbound
+    /// message is lost this service slot, and if so either re-enqueues
+    /// the job (bounded retry) or abandons the procedure, leaving the UE
+    /// in a state the ordinary machinery recovers from. Returns true
+    /// when the job must not take effect.
+    fn mme_job_dropped(&mut self, now: SimTime, queued: QueuedJob) -> bool {
+        let Some(plan) = magus_fault::active_plan() else {
+            return false;
+        };
+        let key = magus_fault::site_key(queued.seq, 0, 2);
+        if !plan.injects(magus_fault::FaultPoint::SimEventDrop, key, queued.attempt) {
+            return false;
+        }
+        self.stats.dropped_signaling += 1;
+        magus_obs::counter_inc!("sim.fault.signaling_dropped");
+        if queued.attempt < plan.retry_limit() {
+            plan.note_retry();
+            self.requeue_mme(QueuedJob {
+                attempt: queued.attempt + 1,
+                ..queued
+            });
+            return true;
+        }
+        // Retry budget exhausted: abandon the procedure.
+        self.stats.abandoned_jobs += 1;
+        plan.note_rollback();
+        magus_obs::trace_event!("sim.fault.job_abandoned",
+            "seq" => queued.seq,
+            "attempt" => queued.attempt,
+        );
+        match queued.job {
+            MmeJob::PathSwitch { ue, .. } | MmeJob::S1Relay { ue, .. } => {
+                // Handover abandoned: the UE stays on its serving cell.
+                // If that cell has since gone off-air, the next MAC
+                // quantum's RLF scan picks the UE up.
+                if matches!(self.ue_state[ue], UeState::HandingOver { .. }) {
+                    self.ue_state[ue] = UeState::Connected;
+                }
+            }
+            MmeJob::Attach { ue, .. } => {
+                // Attach abandoned: back to RLF detection, whose expiry
+                // enqueues a fresh attach (a new fault site, so a
+                // permanent fault on this job cannot wedge the UE).
+                self.ue_state[ue] = UeState::RadioLinkFailure;
+                self.queue.schedule(
+                    now.after_millis(self.cfg.rlf_detection_ms),
+                    Event::RlfExpired { ue },
+                );
+            }
+        }
+        true
     }
 
     /// Runs the simulation for `duration` and reports.
@@ -464,6 +551,8 @@ impl Sim {
                 );
             }
             Event::Measure => {
+                self.measure_round += 1;
+                let round = self.measure_round;
                 let mut triggered = 0usize;
                 for u in 0..self.env.num_ues() {
                     if self.ue_state[u] != UeState::Connected {
@@ -482,6 +571,20 @@ impl Sim {
                     let gain = self.env.rx_power(best, u, self.atten[best]).0
                         - self.env.rx_power(serving, u, self.atten[serving]).0;
                     if gain > self.cfg.a3_hysteresis_db {
+                        // A lost measurement report needs no recovery
+                        // machinery: the UE measures again next period,
+                        // so the handover is deferred, never dropped.
+                        // Keyed per (ue, round) — each report is its own
+                        // fault site.
+                        if magus_fault::injects(
+                            magus_fault::FaultPoint::SimEventDrop,
+                            magus_fault::site_key(u as u64, round, 1),
+                            0,
+                        ) {
+                            self.stats.dropped_reports += 1;
+                            magus_obs::counter_inc!("sim.fault.report_dropped");
+                            continue;
+                        }
                         self.ue_state[u] = UeState::HandingOver { target: best };
                         if self.cfg.x2_available {
                             self.enqueue_mme(MmeJob::PathSwitch {
@@ -522,41 +625,45 @@ impl Sim {
                 }
             }
             Event::MmeDone => {
-                let job = self.mme_queue.pop_front().expect("MME busy with no job");
+                let queued = self.mme_queue.pop_front().expect("MME busy with no job");
                 self.stats.mme_jobs += 1;
                 self.stats.mme_busy_ms += self.cfg.mme_service_time_ms;
-                match job {
-                    MmeJob::S1Relay { ue, target } => {
-                        // The relay leg done; the path switch (second S1
-                        // message) now queues like any other job.
-                        self.mme_queue.push_back(MmeJob::PathSwitch { ue, target });
-                        self.stats.max_mme_queue =
-                            self.stats.max_mme_queue.max(self.mme_queue.len());
-                    }
-                    MmeJob::PathSwitch { ue, target } => {
-                        let interruption = if self.cfg.x2_available {
-                            self.cfg.seamless_interruption_ms
-                        } else {
-                            self.cfg.seamless_interruption_ms + self.cfg.s1_extra_interruption_ms
-                        };
-                        self.queue.schedule(
-                            now.after_millis(interruption),
-                            Event::HandoverFinish {
-                                ue,
-                                target,
-                                seamless: true,
-                            },
-                        );
-                    }
-                    MmeJob::Attach { ue, target } => {
-                        self.queue.schedule(
-                            now.after_millis(self.cfg.reattach_time_ms),
-                            Event::HandoverFinish {
-                                ue,
-                                target,
-                                seamless: false,
-                            },
-                        );
+                if self.mme_job_dropped(now, queued) {
+                    // Outbound message lost; the MME still spent its
+                    // service time. Fall through to schedule the next job.
+                } else {
+                    match queued.job {
+                        MmeJob::S1Relay { ue, target } => {
+                            // The relay leg done; the path switch (second
+                            // S1 message) now queues like any other job.
+                            self.enqueue_mme(MmeJob::PathSwitch { ue, target });
+                        }
+                        MmeJob::PathSwitch { ue, target } => {
+                            let interruption = if self.cfg.x2_available {
+                                self.cfg.seamless_interruption_ms
+                            } else {
+                                self.cfg.seamless_interruption_ms
+                                    + self.cfg.s1_extra_interruption_ms
+                            };
+                            self.queue.schedule(
+                                now.after_millis(interruption),
+                                Event::HandoverFinish {
+                                    ue,
+                                    target,
+                                    seamless: true,
+                                },
+                            );
+                        }
+                        MmeJob::Attach { ue, target } => {
+                            self.queue.schedule(
+                                now.after_millis(self.cfg.reattach_time_ms),
+                                Event::HandoverFinish {
+                                    ue,
+                                    target,
+                                    seamless: false,
+                                },
+                            );
+                        }
                     }
                 }
                 if self.mme_queue.is_empty() {

@@ -1,0 +1,107 @@
+//! Event-drop fault injection in the testbed simulator. These tests
+//! install non-zero-rate fault plans; the plan is process-global, so
+//! they run in their own integration-test binary where no unguarded
+//! `Sim` tests share the process. [`magus_fault::test_guard`]
+//! serializes them against each other within this binary.
+
+use magus_fault::{FaultPlan, FaultRates, PlanGuard};
+use magus_geo::PointM;
+use magus_testbed::sim::ChangeOp;
+use magus_testbed::{AttenuationLevel, EnodebId, RadioEnvironment, Sim, SimConfig, SimTime};
+
+fn env2() -> RadioEnvironment {
+    RadioEnvironment::new(
+        vec![PointM::new(0.0, 0.0), PointM::new(40.0, 0.0)],
+        vec![
+            PointM::new(5.0, 2.0),
+            PointM::new(33.0, 1.0),
+            PointM::new(44.0, -2.0),
+        ],
+        11,
+    )
+}
+
+fn quiet() -> Vec<AttenuationLevel> {
+    vec![AttenuationLevel(10), AttenuationLevel(10)]
+}
+
+/// Timeline that drives both seamless handovers (power retune) and
+/// hard re-attaches (cell off-air) — exercises every MME job kind.
+fn churn_timeline() -> Vec<(SimTime, ChangeOp)> {
+    vec![
+        (
+            SimTime::from_secs(1),
+            ChangeOp::SetAttenuation(EnodebId(0), AttenuationLevel(1)),
+        ),
+        (
+            SimTime::from_secs(1),
+            ChangeOp::SetAttenuation(EnodebId(1), AttenuationLevel(30)),
+        ),
+        (
+            SimTime::from_secs(2),
+            ChangeOp::SetOnAir(EnodebId(1), false),
+        ),
+    ]
+}
+
+#[test]
+fn event_drops_defer_but_never_strand_ues() {
+    let _serial = magus_fault::test_guard();
+    let plan = FaultPlan::new(
+        9,
+        FaultRates {
+            sim: 0.5,
+            ..FaultRates::ZERO
+        },
+    )
+    .with_permanent(0.2);
+    let _guard = PlanGuard::install(std::sync::Arc::new(plan));
+    let report = Sim::new(env2(), quiet(), SimConfig::default(), churn_timeline())
+        .run(SimTime::from_secs(6));
+    let dropped = report.handovers.dropped_reports + report.handovers.dropped_signaling;
+    assert!(
+        dropped > 0,
+        "rate 0.5 must drop something: {:?}",
+        report.handovers
+    );
+    // Recovery contract: every UE ends the run attached with data
+    // flowing, despite lost reports and abandoned procedures.
+    let last = report.windows.last().expect("windows recorded");
+    assert!(
+        last.rates_mbps.iter().all(|&r| r > 0.0),
+        "a UE was stranded: {last:?} ({:?})",
+        report.handovers
+    );
+}
+
+#[test]
+fn zero_rate_plan_is_identical_to_no_plan() {
+    let _serial = magus_fault::test_guard();
+    let baseline = Sim::new(env2(), quiet(), SimConfig::default(), churn_timeline())
+        .run(SimTime::from_secs(4));
+    let _guard = PlanGuard::install(std::sync::Arc::new(FaultPlan::zero(7)));
+    let faultless = Sim::new(env2(), quiet(), SimConfig::default(), churn_timeline())
+        .run(SimTime::from_secs(4));
+    assert_eq!(baseline.mean_rates_mbps, faultless.mean_rates_mbps);
+    assert_eq!(baseline.handovers, faultless.handovers);
+}
+
+#[test]
+fn dropped_signaling_is_deterministic() {
+    let _serial = magus_fault::test_guard();
+    let run = || {
+        let plan = FaultPlan::new(
+            21,
+            FaultRates {
+                sim: 0.4,
+                ..FaultRates::ZERO
+            },
+        );
+        let _guard = PlanGuard::install(std::sync::Arc::new(plan));
+        Sim::new(env2(), quiet(), SimConfig::default(), churn_timeline()).run(SimTime::from_secs(5))
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.handovers, b.handovers);
+    assert_eq!(a.mean_rates_mbps, b.mean_rates_mbps);
+}

@@ -1,0 +1,84 @@
+//! Recalibration probe: prints the exact measured values behind the
+//! three statistical `tests/paper_shapes.rs` assertions, per seed, so
+//! thresholds can be recalibrated against the synthetic-market
+//! generator instead of guessed (see EXPERIMENTS.md triage).
+
+use magus::core::{run_naive_recovery, run_recovery_with, ExperimentConfig, TuningKind};
+use magus::model::{standard_setup, StandardModel, UtilityKind};
+use magus::net::{AreaType, Market, MarketParams, UpgradeScenario};
+
+fn setup(area: AreaType, seed: u64) -> (Market, StandardModel) {
+    let market = Market::generate(MarketParams::tiny(area, seed));
+    let model = standard_setup(&market, magus::lte::Bandwidth::Mhz10);
+    (market, model)
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+fn main() {
+    let cfg = ExperimentConfig::default();
+
+    // Test 1: suburban_power_recovery_dominates_rural
+    for area in [AreaType::Rural, AreaType::Suburban] {
+        let mut rs = Vec::new();
+        for seed in [1u64, 2, 3] {
+            let (market, model) = setup(area, seed);
+            let r = run_recovery_with(
+                &model,
+                &market,
+                UpgradeScenario::SingleCentralSector,
+                TuningKind::Power,
+                &cfg,
+            )
+            .recovery(UtilityKind::Performance);
+            println!("[t1] {area} seed {seed}: power recovery {r:.4}");
+            rs.push(r);
+        }
+        println!("[t1] {area} mean: {:.4}", mean(&rs));
+    }
+
+    // Test 2: utility_flexibility_has_table2_shape
+    let (market, model) = setup(AreaType::Suburban, 1);
+    for kind in UtilityKind::ALL {
+        let mut c = ExperimentConfig::default();
+        c.search.utility = kind;
+        let out = run_recovery_with(
+            &model,
+            &market,
+            UpgradeScenario::SingleCentralSector,
+            TuningKind::Joint,
+            &c,
+        );
+        println!(
+            "[t2] optimize {kind:?}: perf {:.4} cov {:.4}",
+            out.recovery(UtilityKind::Performance),
+            out.recovery(UtilityKind::Coverage)
+        );
+    }
+
+    // Test 3: magus_vs_naive_has_figure13_shape
+    let mut magus_all = Vec::new();
+    let mut naive_all = Vec::new();
+    for seed in [1u64, 2, 3] {
+        let (market, model) = setup(AreaType::Suburban, seed);
+        for scenario in UpgradeScenario::ALL {
+            let m = run_recovery_with(&model, &market, scenario, TuningKind::Power, &cfg)
+                .recovery(UtilityKind::Performance);
+            let n = run_naive_recovery(&model, &market, scenario, &cfg)
+                .recovery(UtilityKind::Performance);
+            println!(
+                "[t3] seed {seed} {scenario}: magus {m:.4} naive {n:.4} ratio {:.4}",
+                if n.abs() > 1e-12 { m / n } else { f64::NAN }
+            );
+            magus_all.push(m);
+            naive_all.push(n);
+        }
+    }
+    println!(
+        "[t3] magus mean {:.4} naive mean {:.4}",
+        mean(&magus_all),
+        mean(&naive_all)
+    );
+}

@@ -18,6 +18,7 @@
 
 pub use magus_core as core;
 pub use magus_exec as exec;
+pub use magus_fault as fault;
 pub use magus_geo as geo;
 pub use magus_lte as lte;
 pub use magus_model as model;

@@ -1,0 +1,150 @@
+//! Property-based contract of degraded store reads: under an arbitrary
+//! transient path-loss read fault plan, evaluation is *flagged but
+//! finite* — the nominal-tilt fallback keeps every per-grid rate and
+//! sector aggregate structurally sound (`validate_state` passes), the
+//! state carries `is_degraded()` whenever a fallback actually fired,
+//! and a zero-rate plan leaves results byte-identical to no plan.
+//!
+//! This file is its own test binary on purpose: the fault plan is
+//! process-global (parallel search workers must see it), so these tests
+//! must not share a process with unguarded tests.
+
+use magus::fault::{FaultPlan, FaultRates};
+use magus::geo::units::thermal_noise;
+use magus::geo::{Bearing, Db, GridSpec, PointM};
+use magus::lte::{Bandwidth, RateMapper};
+use magus::model::invariant::validate_state;
+use magus::model::{Evaluator, UtilityKind};
+use magus::net::{BsId, ConfigChange, Configuration, Network, Sector, SectorId, UeLayer};
+use magus::propagation::{
+    AntennaParams, PathLossStore, PropagationModel, SectorSite, SpmParams, TiltSettings,
+    NUM_TILT_SETTINGS,
+};
+use magus::terrain::Terrain;
+use proptest::prelude::*;
+use std::sync::{Arc, OnceLock};
+
+const N_SECTORS: u32 = 3;
+
+fn fixture() -> &'static (Evaluator, Configuration) {
+    static FIXTURE: OnceLock<(Evaluator, Configuration)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let spec = GridSpec::centered(PointM::new(0.0, 0.0), 300.0, 7_500.0);
+        let model = PropagationModel::new(Arc::new(Terrain::flat(spec)), SpmParams::smooth(), 3);
+        let mk = |id: u32, x: f64, y: f64, az: f64| {
+            let mut s = Sector::macro_defaults(
+                SectorId(id),
+                BsId(id),
+                SectorSite {
+                    position: PointM::new(x, y),
+                    height_m: 30.0,
+                    azimuth: Bearing::new(az),
+                    antenna: AntennaParams::default(),
+                },
+            );
+            s.nominal_ue_count = 80.0;
+            s
+        };
+        let network = Arc::new(Network::new(vec![
+            mk(0, -2_000.0, 0.0, 90.0),
+            mk(1, 2_000.0, 0.0, 270.0),
+            mk(2, 0.0, 2_000.0, 180.0),
+        ]));
+        let store = Arc::new(PathLossStore::build(
+            spec,
+            network.sites(),
+            &model,
+            TiltSettings::default(),
+            10_000.0,
+        ));
+        let noise = thermal_noise(Bandwidth::Mhz10.hz(), Db(7.0));
+        let ue = UeLayer::constant(spec, 1.0);
+        let nominal = Configuration::nominal(&network);
+        (
+            Evaluator::new(store, network, RateMapper::new(Bandwidth::Mhz10), noise, ue),
+            nominal,
+        )
+    })
+}
+
+fn change_strategy() -> impl Strategy<Value = ConfigChange> {
+    let sector = 0..N_SECTORS;
+    prop_oneof![
+        (sector.clone(), -6.0..6.0f64)
+            .prop_map(|(s, d)| ConfigChange::PowerDelta(SectorId(s), Db(d))),
+        (sector.clone(), 0..NUM_TILT_SETTINGS)
+            .prop_map(|(s, t)| ConfigChange::SetTilt(SectorId(s), t)),
+        (sector, any::<bool>()).prop_map(|(s, v)| ConfigChange::SetOnAir(SectorId(s), v)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Under any store-read fault rate and seed, building a state and
+    /// applying an arbitrary change sequence yields a state that is
+    /// structurally valid with every rate finite, and the degraded flag
+    /// reflects whether any fallback read actually happened.
+    #[test]
+    fn degraded_reads_are_flagged_but_finite(
+        seed in 0u64..1_000,
+        rate in 0.02f64..=1.0,
+        changes in prop::collection::vec(change_strategy(), 1..6),
+    ) {
+        let _serial = magus::fault::test_guard();
+        let (ev, config) = fixture();
+        let plan = Arc::new(
+            FaultPlan::new(seed, FaultRates { store: rate, ..FaultRates::ZERO })
+                .with_permanent(1.0),
+        );
+        let _guard = magus::fault::PlanGuard::install(Arc::clone(&plan));
+        let mut st = ev.initial_state(config);
+        for ch in changes {
+            ev.apply(&mut st, ch);
+        }
+        let n_sectors = ev.network().sectors().len();
+        prop_assert!(
+            validate_state(&st, st.num_grids(), n_sectors).is_ok(),
+            "degraded state failed validation: {:?}",
+            validate_state(&st, st.num_grids(), n_sectors)
+        );
+        for k in UtilityKind::ALL {
+            prop_assert!(st.utility(k).is_finite(), "non-finite {k:?} utility");
+        }
+        prop_assert_eq!(
+            st.is_degraded(),
+            plan.report().degraded_reads > 0,
+            "degraded flag must track fallback reads (count {})",
+            plan.report().degraded_reads
+        );
+    }
+
+    /// A zero-rate plan is inert: byte-identical evaluation, no flag.
+    #[test]
+    fn zero_rate_plan_is_inert(
+        seed in 0u64..1_000,
+        changes in prop::collection::vec(change_strategy(), 1..6),
+    ) {
+        let _serial = magus::fault::test_guard();
+        let (ev, config) = fixture();
+        let mut baseline = ev.initial_state(config);
+        for ch in changes.clone() {
+            ev.apply(&mut baseline, ch);
+        }
+        let plan = Arc::new(FaultPlan::zero(seed));
+        let _guard = magus::fault::PlanGuard::install(Arc::clone(&plan));
+        let mut st = ev.initial_state(config);
+        for ch in changes {
+            ev.apply(&mut st, ch);
+        }
+        prop_assert!(!st.is_degraded());
+        prop_assert_eq!(plan.report().injected_total, 0);
+        for i in 0..st.num_grids() {
+            prop_assert_eq!(st.rmax_bps(i).to_bits(), baseline.rmax_bps(i).to_bits(),
+                "rmax diverged at grid {}", i);
+        }
+        for k in UtilityKind::ALL {
+            prop_assert_eq!(st.utility(k).to_bits(), baseline.utility(k).to_bits());
+        }
+    }
+}
