@@ -84,6 +84,16 @@ stage "parallel speedup gate"
 # (MAGUS_SPEEDUP_MIN to override), self-skips on smaller machines.
 MAGUS_SCALE=tiny cargo run -q --release -p magus-bench --bin parallel_speedup
 
+stage "probe bench gate"
+# Probe-loop (apply -> read -> undo) throughput at 1/4/8 threads with
+# bit-exact restoration and cross-thread identity asserts baked in;
+# compares CPU-normalized single-thread probes/s against the committed
+# BENCH_probe.json baseline and fails past a 10% regression
+# (MAGUS_PROBE_REGRESSION_MAX_PCT to override). The regression compare
+# self-skips on < 4-core runners; the smoke run always executes.
+MAGUS_SCALE=tiny MAGUS_PROBE_TARGET_S=0.5 \
+    cargo run -q --release -p magus-bench --bin probe_bench
+
 stage "chaos matrix gate"
 # Fault rates x scenarios through the migration executor and the testbed
 # sim: no panics, invariants hold after every recovery, zero-rate plans

@@ -1,0 +1,304 @@
+//! **Probe-throughput benchmark and regression gate** — the perf
+//! trajectory for the search hot path (`ci.sh` stage "probe bench").
+//!
+//! `hill_climb` (paper Algorithm 1) spends its life in the probe cycle:
+//! apply a candidate change, read the objective, undo. Probes/sec is
+//! therefore the number that bounds how large a market the planner can
+//! polish, so this binary measures it — on the bundled suburban
+//! scenario, with the hill-climber's own candidate mix (power ±step,
+//! tilt ±1 over every on-air sector) — at 1, 4, and 8 worker threads,
+//! and writes the trajectory to `target/magus-results/probe_bench.json`.
+//!
+//! **Determinism.** Probes at every thread count must produce
+//! bit-identical scores to the 1-thread run, and every worker replica
+//! must come back with its state fingerprint untouched (probe = exact
+//! apply/undo). Both are asserted, every run.
+//!
+//! **Gate.** The repo root commits a baseline `BENCH_probe.json`.
+//! Because absolute probes/sec varies with the host, both the baseline
+//! and the current run also measure a fixed pure-CPU calibration loop
+//! (splitmix64 mixing, `calib_mops`) and the gate compares the
+//! *normalized* single-thread throughput `probes_per_sec / calib_mops`.
+//! A drop of more than `MAGUS_PROBE_REGRESSION_MAX_PCT` (default 10%)
+//! against the committed baseline fails the run. Like
+//! `parallel_speedup`, the gate self-skips on runners with < 4 cores
+//! (the measurement still prints and the artifact is still written);
+//! it also skips when the baseline is missing or was recorded at a
+//! different `MAGUS_SCALE`.
+//!
+//! Re-baselining: `MAGUS_PROBE_WRITE_BASELINE=1` rewrites the repo-root
+//! `BENCH_probe.json` from the current run.
+
+use magus_bench::{build_market, init_obs_from_env, write_artifact, Scale};
+use magus_geo::Db;
+use magus_model::{Evaluator, ModelState, UtilityKind};
+use magus_net::{AreaType, ConfigChange, SectorId};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Thread counts the trajectory records.
+const THREAD_COUNTS: [usize; 3] = [1, 4, 8];
+
+#[derive(Serialize, Deserialize, Clone, Copy)]
+struct ThreadPoint {
+    threads: usize,
+    probes_per_sec: f64,
+    wall_s: f64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct Report {
+    scale: String,
+    cores: usize,
+    sectors: usize,
+    grids: usize,
+    candidates: usize,
+    rounds: usize,
+    calib_mops: f64,
+    threads: Vec<ThreadPoint>,
+    /// Single-thread probes/sec divided by `calib_mops` — the
+    /// machine-speed-normalized figure the regression gate compares.
+    normalized_1t: f64,
+    gate_enforced: bool,
+    max_regression_pct: f64,
+}
+
+/// The hill-climber's candidate mix over every on-air sector: power
+/// ±1 dB (floor permitting) and tilt ±1, filtered to moves that would
+/// change the configuration — the same shape `candidate_moves` feeds
+/// the real search.
+fn candidates(ev: &Evaluator, state: &ModelState) -> Vec<ConfigChange> {
+    let mut out = Vec::new();
+    for s in 0..state.num_sectors() as u32 {
+        let id = SectorId(s);
+        let sc = state.config().sector(id);
+        if !sc.on_air {
+            continue;
+        }
+        let mut c = vec![
+            ConfigChange::PowerDelta(id, Db(1.0)),
+            ConfigChange::PowerDelta(id, Db(-1.0)),
+        ];
+        if sc.tilt > 0 {
+            c.push(ConfigChange::SetTilt(id, sc.tilt - 1));
+        }
+        if sc.tilt + 1 < magus_propagation::NUM_TILT_SETTINGS {
+            c.push(ConfigChange::SetTilt(id, sc.tilt + 1));
+        }
+        out.extend(
+            c.into_iter()
+                .filter(|&ch| state.config().would_change(ev.network(), ch)),
+        );
+    }
+    out
+}
+
+/// Probes every candidate `rounds` times across `threads` worker
+/// replicas (candidate list strided per worker, hill-climb style).
+/// Returns the wall-clock, the index-ordered scores of the last round,
+/// and each replica's final state fingerprint.
+fn run_probes(
+    ev: &Evaluator,
+    state: &ModelState,
+    cands: &[ConfigChange],
+    rounds: usize,
+    threads: usize,
+) -> (f64, Vec<(usize, f64)>, Vec<u64>) {
+    let t0 = Instant::now();
+    let per_worker: Vec<(Vec<(usize, f64)>, u64)> =
+        magus_exec::map_indexed(threads, threads, |w| {
+            let mut replica = state.clone();
+            let mut scores = Vec::new();
+            for _ in 0..rounds {
+                scores.clear();
+                for (i, &ch) in cands.iter().enumerate().skip(w).step_by(threads) {
+                    scores.push((
+                        i,
+                        ev.probe_objective(&mut replica, ch, UtilityKind::Performance),
+                    ));
+                }
+            }
+            (scores, replica.bit_fingerprint())
+        });
+    let wall = t0.elapsed().as_secs_f64();
+    let mut scores: Vec<(usize, f64)> = per_worker
+        .iter()
+        .flat_map(|(s, _)| s.iter().copied())
+        .collect();
+    scores.sort_unstable_by_key(|&(i, _)| i);
+    let prints = per_worker.into_iter().map(|(_, f)| f).collect();
+    (wall, scores, prints)
+}
+
+/// Fixed pure-CPU calibration: splitmix64 mixing, reported in
+/// million-ops/sec. Normalizes probes/sec across host speeds so the
+/// committed baseline gates on machines other than the one that wrote
+/// it.
+fn calibrate() -> f64 {
+    const OPS: u64 = 20_000_000;
+    let t0 = Instant::now();
+    let mut x = 0x9e37_79b9_7f4a_7c15u64;
+    for _ in 0..OPS {
+        x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^= z ^ (z >> 31);
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    assert_ne!(x, 0, "calibration loop optimized away");
+    OPS as f64 / secs / 1e6
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    init_obs_from_env();
+    let scale = Scale::from_env();
+    let scale_name = match scale {
+        Scale::Tiny => "tiny",
+        Scale::Eval => "eval",
+        Scale::Full => "full",
+    };
+    let market = build_market(AreaType::Suburban, 1, scale);
+    let model = magus_model::standard_setup(&market, magus_lte::Bandwidth::Mhz10);
+    let ev = &model.evaluator;
+    let state = ev.initial_state(&model.nominal);
+    let cands = candidates(ev, &state);
+    assert!(!cands.is_empty(), "no probe candidates in scenario");
+
+    // Prewarm the path-loss cache the way a search would: one pass over
+    // the candidates so assembly cost never lands inside a timed run.
+    {
+        let mut warm = state.clone();
+        for &ch in &cands {
+            let _ = ev.probe_objective(&mut warm, ch, UtilityKind::Performance);
+        }
+        assert_eq!(
+            warm.bit_fingerprint(),
+            state.bit_fingerprint(),
+            "probe warm-up mutated the state"
+        );
+    }
+
+    // Pick a round count targeting ~1s of single-thread probing.
+    let t0 = Instant::now();
+    let (_, reference, _) = run_probes(ev, &state, &cands, 1, 1);
+    let round_s = t0.elapsed().as_secs_f64();
+    let target_s = env_f64("MAGUS_PROBE_TARGET_S", 1.0);
+    let rounds = ((target_s / round_s.max(1e-6)).ceil() as usize).clamp(1, 10_000);
+
+    let calib_mops = calibrate();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut points = Vec::new();
+    for &threads in &THREAD_COUNTS {
+        let (wall, scores, prints) = run_probes(ev, &state, &cands, rounds, threads);
+        // Determinism contract: same scores as the 1-worker reference,
+        // bit for bit, and every replica restored exactly.
+        assert_eq!(
+            scores.len(),
+            reference.len(),
+            "probe count diverged at {threads} threads"
+        );
+        for (&(i, s), &(ri, rs)) in scores.iter().zip(reference.iter()) {
+            assert_eq!(i, ri, "candidate order diverged at {threads} threads");
+            assert_eq!(
+                s.to_bits(),
+                rs.to_bits(),
+                "score for candidate {i} not bit-identical at {threads} threads"
+            );
+        }
+        let expect = state.bit_fingerprint();
+        assert!(
+            prints.iter().all(|&f| f == expect),
+            "a worker replica came back mutated at {threads} threads"
+        );
+        let probes = (rounds * cands.len()) as f64;
+        let pps = probes / wall.max(1e-9);
+        println!(
+            "probe_bench: {threads} thread(s): {pps:>12.0} probes/s ({probes:.0} probes, {wall:.3}s)"
+        );
+        points.push(ThreadPoint {
+            threads,
+            probes_per_sec: pps,
+            wall_s: wall,
+        });
+    }
+
+    let normalized_1t = points[0].probes_per_sec / calib_mops;
+    let max_regression_pct = env_f64("MAGUS_PROBE_REGRESSION_MAX_PCT", 10.0);
+    let gate_possible = cores >= 4 && max_regression_pct > 0.0;
+    let report = Report {
+        scale: scale_name.to_string(),
+        cores,
+        sectors: market.network().num_sectors(),
+        grids: market.spec().len(),
+        candidates: cands.len(),
+        rounds,
+        calib_mops,
+        threads: points,
+        normalized_1t,
+        gate_enforced: gate_possible,
+        max_regression_pct,
+    };
+    println!(
+        "probe_bench: calib {calib_mops:.0} Mops/s, normalized 1t {normalized_1t:.1} probes/Mop"
+    );
+    write_artifact("probe_bench", &report);
+    if std::env::var_os("MAGUS_PROBE_WRITE_BASELINE").is_some() {
+        let json = serde_json::to_string_pretty(&report).expect("serialize baseline");
+        std::fs::write("BENCH_probe.json", json).expect("write BENCH_probe.json");
+        eprintln!("[artifact] BENCH_probe.json (baseline rewritten)");
+    }
+    let _ = magus_obs::flush_trace();
+
+    // Regression gate against the committed baseline.
+    let baseline = match std::fs::read_to_string("BENCH_probe.json") {
+        Ok(text) => match serde_json::from_str::<Report>(&text) {
+            Ok(b) => Some(b),
+            Err(e) => {
+                eprintln!("probe_bench: BENCH_probe.json unreadable ({e}); gate skipped");
+                None
+            }
+        },
+        Err(_) => {
+            eprintln!("probe_bench: no committed BENCH_probe.json; gate skipped");
+            None
+        }
+    };
+    let Some(baseline) = baseline else { return };
+    if !gate_possible {
+        println!(
+            "probe_bench: gate skipped ({cores} cores < 4 or gate disabled); \
+             baseline normalized {:.1}",
+            baseline.normalized_1t
+        );
+        return;
+    }
+    if baseline.scale != scale_name {
+        println!(
+            "probe_bench: gate skipped (baseline scale `{}` != run scale `{scale_name}`)",
+            baseline.scale
+        );
+        return;
+    }
+    let floor = baseline.normalized_1t * (1.0 - max_regression_pct / 100.0);
+    println!(
+        "probe_bench: gate — normalized {normalized_1t:.1} vs baseline {:.1} \
+         (floor {floor:.1}, max regression {max_regression_pct:.0}%)",
+        baseline.normalized_1t
+    );
+    if normalized_1t < floor {
+        eprintln!(
+            "probe_bench: FAIL — normalized single-thread throughput {normalized_1t:.1} \
+             regressed more than {max_regression_pct:.0}% below the committed baseline {:.1}",
+            baseline.normalized_1t
+        );
+        std::process::exit(1);
+    }
+}

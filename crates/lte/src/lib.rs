@@ -27,5 +27,5 @@ pub mod rate;
 pub mod tbs;
 
 pub use cqi::{cqi_from_sinr, mcs_from_cqi, spectral_efficiency, Cqi, Mcs};
-pub use rate::{Bandwidth, RateMapper, SINR_MIN_DB};
+pub use rate::{Bandwidth, RateMapper, RateTable, SINR_MIN_DB};
 pub use tbs::{itbs_from_mcs, transport_block_bits, TbsIndex, MAX_ITBS};

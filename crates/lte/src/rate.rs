@@ -123,6 +123,101 @@ impl RateMapper {
     pub fn max_rate_bps_db(self, sinr_db: f64) -> f64 {
         self.max_rate_bps(10f64.powf(sinr_db / 10.0))
     }
+
+    /// Precomputes the transcendental-free lookup form of this mapper.
+    pub fn table(self) -> RateTable {
+        RateTable::new(self)
+    }
+}
+
+/// Precomputed lookup form of [`RateMapper::max_rate_bps`].
+///
+/// The mapper's hot path spends its time in `log2` (CQI selection) and
+/// the TBS chain; both are step functions of SINR, so the whole mapping
+/// collapses to 15 linear-SINR thresholds and 15 rates. The thresholds
+/// are found by bisecting [`cqi_from_sinr`] over the f64 bit lattice,
+/// so table lookups return *bit-identical* rates to the closed-form
+/// chain for every input — this is asserted by tests, and is what lets
+/// the evaluator swap the table in without perturbing optimization
+/// trajectories.
+///
+/// Kept separate from [`RateMapper`] (which stays a small serde-stable
+/// value type); build one per evaluator with [`RateMapper::table`].
+#[derive(Debug, Clone)]
+pub struct RateTable {
+    sinr_min_linear: f64,
+    /// `thresholds[i]` = smallest linear SINR mapping to CQI `i + 1`.
+    thresholds: [f64; 15],
+    /// `rates[i]` = bits/s delivered at CQI `i + 1`.
+    rates: [f64; 15],
+}
+
+impl RateTable {
+    /// Builds the lookup table for a mapper.
+    pub fn new(mapper: RateMapper) -> RateTable {
+        let mut thresholds = [0.0f64; 15];
+        let mut rates = [0.0f64; 15];
+        for (i, t) in thresholds.iter_mut().enumerate() {
+            *t = cqi_crossover((i + 1) as u8);
+        }
+        for (i, r) in rates.iter_mut().enumerate() {
+            let Some(mcs) = mcs_from_cqi(crate::cqi::Cqi((i + 1) as u8)) else {
+                continue;
+            };
+            let Some(itbs) = itbs_from_mcs(mcs) else {
+                continue;
+            };
+            *r = transport_block_bits(itbs, mapper.bandwidth.n_prb()) as f64 * 1000.0;
+        }
+        RateTable {
+            sinr_min_linear: mapper.sinr_min_linear,
+            thresholds,
+            rates,
+        }
+    }
+
+    /// Maximum sustainable rate in bits/s for a linear SINR; bit-equal
+    /// to [`RateMapper::max_rate_bps`] on the mapper this table was
+    /// built from.
+    #[inline]
+    pub fn max_rate_bps(&self, sinr_linear: f64) -> f64 {
+        if !sinr_linear.is_finite() || sinr_linear < self.sinr_min_linear {
+            return 0.0;
+        }
+        let mut cqi = 0usize;
+        while cqi < 15 && sinr_linear >= self.thresholds[cqi] {
+            cqi += 1;
+        }
+        if cqi == 0 {
+            return 0.0;
+        }
+        self.rates[cqi - 1]
+    }
+
+    /// Every rate this table can emit, ascending by CQI (may contain
+    /// duplicates where adjacent CQIs share a TBS). `max_rate_bps`
+    /// returns only these values or 0.0 — callers can precompute
+    /// per-rate derived quantities (e.g. `log10`) against this set.
+    pub fn rate_levels(&self) -> &[f64; 15] {
+        &self.rates
+    }
+}
+
+/// Smallest linear SINR whose CQI is at least `k`, found by bisecting
+/// the (monotone) [`cqi_from_sinr`] over the positive-f64 bit lattice.
+fn cqi_crossover(k: u8) -> f64 {
+    let mut lo = 0u64; // 0.0 → CQI 0
+    let mut hi = 1e12f64.to_bits(); // far above the CQI-15 crossover
+    debug_assert!(cqi_from_sinr(1e12).0 >= k);
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if cqi_from_sinr(f64::from_bits(mid)).0 >= k {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    f64::from_bits(hi)
 }
 
 #[cfg(test)]
@@ -179,6 +274,49 @@ mod tests {
         let m = RateMapper::new(Bandwidth::Mhz10);
         assert_eq!(m.max_rate_bps(f64::NAN), 0.0);
         assert_eq!(m.max_rate_bps(f64::INFINITY), 0.0);
+    }
+
+    #[test]
+    fn table_is_bit_identical_to_mapper() {
+        for mapper in [
+            RateMapper::new(Bandwidth::Mhz10),
+            RateMapper::new(Bandwidth::Mhz20),
+            RateMapper::with_sinr_min(Bandwidth::Mhz5, 5.0),
+        ] {
+            let table = mapper.table();
+            // Dense sweep across the whole operating range, plus the
+            // exact crossover bits and their neighbours.
+            for centi_db in -2000..=4000 {
+                let sinr = 10f64.powf(centi_db as f64 / 1000.0);
+                assert_eq!(
+                    table.max_rate_bps(sinr).to_bits(),
+                    mapper.max_rate_bps(sinr).to_bits(),
+                    "diverged at linear SINR {sinr}"
+                );
+            }
+            for &t in &table.thresholds {
+                for bits in [t.to_bits() - 1, t.to_bits(), t.to_bits() + 1] {
+                    let sinr = f64::from_bits(bits);
+                    assert_eq!(
+                        table.max_rate_bps(sinr).to_bits(),
+                        mapper.max_rate_bps(sinr).to_bits(),
+                        "diverged at crossover neighbour {sinr}"
+                    );
+                }
+            }
+            assert_eq!(table.max_rate_bps(f64::NAN), 0.0);
+            assert_eq!(table.max_rate_bps(f64::INFINITY), 0.0);
+        }
+    }
+
+    #[test]
+    fn rate_levels_cover_all_outputs() {
+        let table = RateMapper::new(Bandwidth::Mhz10).table();
+        let levels = table.rate_levels();
+        for centi_db in -2000..=4000 {
+            let r = table.max_rate_bps(10f64.powf(centi_db as f64 / 1000.0));
+            assert!(r == 0.0 || levels.contains(&r));
+        }
     }
 
     #[test]

@@ -2,11 +2,12 @@
 //! configuration changes, exact undo, and hypothetical single-grid
 //! queries.
 
-use crate::state::{ModelState, Undo, NO_SECTOR};
+use crate::state::{ModelState, Undo, UndoCell, NO_SECTOR, UNKNOWN_SECTOR};
 use magus_geo::{Db, Dbm, GridWindow};
-use magus_lte::RateMapper;
+use magus_lte::{RateMapper, RateTable};
 use magus_net::{ConfigChange, Configuration, Network, SectorId, UeLayer};
 use magus_propagation::{PathLossMatrix, PathLossStore};
+use std::cell::RefCell;
 use std::sync::Arc;
 
 #[inline]
@@ -14,11 +15,60 @@ fn dbm_to_mw(dbm: f64) -> f64 {
     10f64.powf(dbm / 10.0)
 }
 
+/// Per-thread scratch for [`Evaluator::sweep`]'s structure-of-arrays
+/// phases: the changed sector's per-cell received power before/after
+/// the change (flat `f64` slices the fill loops can vectorize), their
+/// linear-mW conversions for the cells that changed, the
+/// `(window k, grid i)` pairs of those cells, and an epoch-stamped
+/// touched-sector mark so each sector's aggregates are recorded in the
+/// undo log exactly once per sweep.
+#[derive(Default)]
+struct SweepScratch {
+    rp_old: Vec<f64>,
+    rp_new: Vec<f64>,
+    mw_old: Vec<f64>,
+    mw_new: Vec<f64>,
+    changed: Vec<(u32, u32)>,
+    touched_epoch: Vec<u32>,
+    epoch: u32,
+}
+
+thread_local! {
+    static SWEEP_SCRATCH: RefCell<SweepScratch> = RefCell::default();
+    /// Reusable rollback record for the probe fast path: a probe
+    /// refills this buffer in place instead of allocating an [`Undo`].
+    static PROBE_UNDO: RefCell<Undo> = RefCell::default();
+}
+
+/// Records sector `b`'s aggregates in the undo log the first time the
+/// sweep touches them (epoch-stamp dedup, no per-sweep clearing).
+#[inline]
+fn note_sector(touched: &mut [u32], epoch: u32, undo: &mut Undo, n_s: &[f64], a_s: &[f64], b: i32) {
+    if b < 0 {
+        return;
+    }
+    let b = b as usize;
+    if touched[b] != epoch {
+        touched[b] = epoch;
+        undo.sectors.push((b as u32, n_s[b], a_s[b]));
+    }
+}
+
 /// The analysis model: immutable inputs plus the evaluation engine.
 pub struct Evaluator {
     store: Arc<PathLossStore>,
     network: Arc<Network>,
     rate: RateMapper,
+    /// Precomputed lookup form of `rate` — bit-identical results with no
+    /// per-call `log2` (see [`RateTable`]); the per-cell hot paths use
+    /// this, `rate` stays the serde-stable public face.
+    rate_table: RateTable,
+    /// `(f32 bits of a rate level, log10 of that level)` sorted by key:
+    /// `r_max` only ever takes the finite set of TBS-chain rates, so the
+    /// aggregate updates can look `log10(r_max)` up instead of computing
+    /// it. Values are produced by the same `(rate as f32 as f64).log10()`
+    /// the direct computation would run — lookups are bit-identical.
+    log10_rate: Vec<(u32, f64)>,
     noise_mw: f64,
     ue: UeLayer,
     /// Per grid: ids of sectors whose footprint covers it.
@@ -56,13 +106,41 @@ impl Evaluator {
                 covering[spec.index(c)].push(s);
             }
         }
+        let rate_table = rate.table();
+        let mut log10_rate: Vec<(u32, f64)> = rate_table
+            .rate_levels()
+            .iter()
+            .filter(|&&r| r > 0.0)
+            .map(|&r| {
+                let r32 = r as f32;
+                (r32.to_bits(), (r32 as f64).log10())
+            })
+            .collect();
+        log10_rate.sort_unstable_by_key(|&(b, _)| b);
+        log10_rate.dedup_by_key(|&mut (b, _)| b);
         Evaluator {
             store,
             network,
             rate,
+            rate_table,
+            log10_rate,
             noise_mw: noise.to_milliwatt().0,
             ue,
             covering,
+        }
+    }
+
+    /// `log10(r_max)` via the precomputed per-rate-level table; falls
+    /// back to computing it for a value outside the known level set
+    /// (unreachable from states this evaluator built).
+    #[inline]
+    fn log10_rmax(&self, rmax: f32) -> f64 {
+        match self
+            .log10_rate
+            .binary_search_by_key(&rmax.to_bits(), |&(b, _)| b)
+        {
+            Ok(j) => self.log10_rate[j].1,
+            Err(_) => (rmax as f64).log10(),
         }
     }
 
@@ -127,6 +205,8 @@ impl Evaluator {
             total_mw: vec![0.0; n_grids],
             best_idx: vec![NO_SECTOR; n_grids],
             best_rp: vec![f32::NEG_INFINITY; n_grids],
+            best2_idx: vec![NO_SECTOR; n_grids],
+            best2_rp: vec![f32::NEG_INFINITY; n_grids],
             rmax: vec![0.0; n_grids],
             n_s: vec![0.0; n_sectors],
             a_s: vec![0.0; n_sectors],
@@ -140,13 +220,26 @@ impl Evaluator {
             }
             let mat = self.matrix_for(&mut state, s, sc.tilt);
             let window = mat.window();
+            // Received mW as `10^(P/10) · 10^(L/10)` — one conversion per
+            // sector, a multiply per cell. The sweep uses the identical
+            // product form, so incremental totals match rebuilds.
+            let scale = dbm_to_mw(sc.power.0);
+            let mwv = mat.values_mw();
+            let values = mat.values();
             for (k, c) in window.coords().enumerate() {
                 let i = spec.index(c);
-                let rp = sc.power.0 + mat.values()[k] as f64;
-                state.total_mw[i] += dbm_to_mw(rp);
-                if rp as f32 > state.best_rp[i] {
-                    state.best_rp[i] = rp as f32;
+                state.total_mw[i] += scale * mwv[k];
+                // Exact online top-2: sectors arrive in ascending id, so
+                // strict `>` keeps the lowest index in both slots on ties.
+                let rp32 = (sc.power.0 + values[k] as f64) as f32;
+                if rp32 > state.best_rp[i] {
+                    state.best2_rp[i] = state.best_rp[i];
+                    state.best2_idx[i] = state.best_idx[i];
+                    state.best_rp[i] = rp32;
                     state.best_idx[i] = s as i32;
+                } else if rp32 > state.best2_rp[i] {
+                    state.best2_rp[i] = rp32;
+                    state.best2_idx[i] = s as i32;
                 }
             }
         }
@@ -164,7 +257,7 @@ impl Evaluator {
         if state.best_idx[i] == NO_SECTOR {
             return 0.0;
         }
-        self.rate.max_rate_bps(self.cell_sinr(state, i))
+        self.rate_table.max_rate_bps(self.cell_sinr(state, i))
     }
 
     /// Linear SINR at grid `i` (Formula 2).
@@ -194,7 +287,7 @@ impl Evaluator {
             return;
         }
         state.n_s[b as usize] -= ue;
-        state.a_s[b as usize] -= ue * (state.rmax[i] as f64).log10();
+        state.a_s[b as usize] -= ue * self.log10_rmax(state.rmax[i]);
     }
 
     #[inline]
@@ -208,59 +301,137 @@ impl Evaluator {
             return;
         }
         state.n_s[b as usize] += ue;
-        state.a_s[b as usize] += ue * (state.rmax[i] as f64).log10();
+        state.a_s[b as usize] += ue * self.log10_rmax(state.rmax[i]);
     }
 
-    /// Re-derives the best server of grid `i` by scanning its covering
-    /// sectors (used when the previous best weakened).
+    /// Re-derives the top-2 servers of grid `i` by scanning its covering
+    /// sectors — the expensive fallback for when the incremental hints
+    /// ran out. Covering ids ascend, so strict `>` keeps the lowest
+    /// index in both slots on ties (the historical tie-break).
     fn rescan_cell(&self, state: &mut ModelState, i: usize) {
         let mut best = NO_SECTOR;
         let mut best_rp = f32::NEG_INFINITY;
+        let mut best2 = NO_SECTOR;
+        let mut best2_rp = f32::NEG_INFINITY;
+        let c = self.store.spec().coord_of_index(i);
         for &s in &self.covering[i] {
             let sc = state.config.sector(SectorId(s));
             if !sc.on_air {
                 continue;
             }
             let mat = self.matrix_for(state, s, sc.tilt);
-            let c = self.store.spec().coord_of_index(i);
             if let Some(l) = mat.get(c) {
                 let rp = (sc.power.0 + l.0) as f32;
                 if rp > best_rp {
+                    best2_rp = best_rp;
+                    best2 = best;
                     best_rp = rp;
                     best = s as i32;
+                } else if rp > best2_rp {
+                    best2_rp = rp;
+                    best2 = s as i32;
                 }
             }
         }
         state.best_idx[i] = best;
         state.best_rp[i] = best_rp;
+        state.best2_idx[i] = best2;
+        state.best2_rp[i] = best2_rp;
+    }
+
+    /// Re-derives only the *second-best* server of grid `i`, leaving the
+    /// (already exact) best slot untouched. Used by the post-commit
+    /// repair pass: the sweep marks seconds it cannot maintain cheaply
+    /// as [`UNKNOWN_SECTOR`], and committed applies repair them here so
+    /// subsequent probes never need a full rescan. The best slot must
+    /// not be rewritten from a scan: on exact received-power ties the
+    /// incremental sweep keeps the incumbent server while a scan picks
+    /// the lowest index, and flipping the serving sector would move UE
+    /// load between sectors — an observable change.
+    fn rescan_second(&self, state: &mut ModelState, i: usize) {
+        let bi = state.best_idx[i];
+        if bi == NO_SECTOR {
+            state.best2_idx[i] = NO_SECTOR;
+            state.best2_rp[i] = f32::NEG_INFINITY;
+            return;
+        }
+        let mut best2 = NO_SECTOR;
+        let mut best2_rp = f32::NEG_INFINITY;
+        let c = self.store.spec().coord_of_index(i);
+        for &s in &self.covering[i] {
+            if s as i32 == bi {
+                continue;
+            }
+            let sc = state.config.sector(SectorId(s));
+            if !sc.on_air {
+                continue;
+            }
+            let mat = self.matrix_for(state, s, sc.tilt);
+            if let Some(l) = mat.get(c) {
+                let rp = (sc.power.0 + l.0) as f32;
+                if rp > best2_rp {
+                    best2_rp = rp;
+                    best2 = s as i32;
+                }
+            }
+        }
+        state.best2_idx[i] = best2;
+        state.best2_rp[i] = best2_rp;
+    }
+
+    /// Repairs every [`UNKNOWN_SECTOR`] second-best hint a sweep left on
+    /// the cells in `undo`. Runs on the *committed* apply path only: a
+    /// commit happens once per accepted move while probes happen once
+    /// per candidate, so paying the covering scans here keeps the probe
+    /// loop scan-free (outside a probe, no cell's second is ever
+    /// unknown).
+    fn repair_second(&self, state: &mut ModelState, undo: &Undo) {
+        let mut repaired = 0u64;
+        for cell in &undo.cells {
+            let i = cell.i as usize;
+            if state.best2_idx[i] == UNKNOWN_SECTOR {
+                self.rescan_second(state, i);
+                repaired += 1;
+            }
+        }
+        magus_obs::counter_add!("evaluator.repair_second_cells", repaired);
     }
 
     /// Applies a configuration change incrementally and returns an exact
     /// [`Undo`] record.
+    ///
+    /// The committed path also repairs any second-best hints the sweep
+    /// invalidated (see [`Evaluator::repair_second`]); the probe fast
+    /// path skips the repair because its undo restores the hints anyway.
     pub fn apply(&self, state: &mut ModelState, change: ConfigChange) -> Undo {
         magus_obs::counter_inc!("evaluator.apply");
-        magus_obs::timed!("evaluator.apply_ns", self.apply_impl(state, change))
+        magus_obs::timed!("evaluator.apply_ns", {
+            let mut undo = Undo::default();
+            self.apply_into(state, change, &mut undo);
+            self.repair_second(state, &undo);
+            undo
+        })
     }
 
-    fn apply_impl(&self, state: &mut ModelState, change: ConfigChange) -> Undo {
+    /// Applies a change, refilling `undo` in place (cleared first).
+    /// Leaves any sweep-invalidated second-best hints as
+    /// [`UNKNOWN_SECTOR`] — callers that keep the state must follow up
+    /// with [`Evaluator::repair_second`].
+    fn apply_into(&self, state: &mut ModelState, change: ConfigChange, undo: &mut Undo) {
         crate::invariant::debug_validate_state(
             state,
             self.store.spec().len(),
             self.network.num_sectors(),
         );
-        let mut undo = Undo {
-            config: state.config.clone(),
-            cells: Vec::new(),
-            n_s: state.n_s.clone(),
-            a_s: state.a_s.clone(),
-            degraded: state.degraded,
-        };
+        undo.clear();
+        undo.degraded = state.degraded;
         let id = change.sector();
         let before = state.config.sector(id);
+        undo.sector = Some((id, before));
         state.config.apply(&self.network, change);
         let after = state.config.sector(id);
         if before == after {
-            return undo; // fully absorbed (e.g. clamped power delta)
+            return; // fully absorbed (e.g. clamped power delta)
         }
 
         let s = id.0;
@@ -272,15 +443,21 @@ impl Evaluator {
             .on_air
             .then(|| (after.power, self.matrix_for(state, s, after.tilt)));
         if old.is_none() && new.is_none() {
-            return undo; // off-air sector reconfigured: no radio effect
+            return; // off-air sector reconfigured: no radio effect
         }
-        self.sweep(state, &mut undo, s, old, new);
+        self.sweep(state, undo, s, old, new);
         magus_obs::counter_add!("evaluator.sweep_cells", undo.cells.len() as u64);
-        undo
     }
 
     /// Sweeps the changed sector's footprint, updating every derived
-    /// field.
+    /// field. Runs in structure-of-arrays phases over the per-thread
+    /// scratch: (1) fill flat before/after received-power slices from
+    /// the path-loss matrices; (2) find the cells that changed and
+    /// snapshot their undo records (bookkeeping only); (3) convert the
+    /// changed cells' dBm values to linear mW; (4) the per-cell
+    /// arithmetic, in the same ascending order as the historical single
+    /// loop — float accumulation order into `n_s`/`a_s` is part of the
+    /// bit-determinism contract.
     fn sweep(
         &self,
         state: &mut ModelState,
@@ -291,65 +468,314 @@ impl Evaluator {
     ) {
         let spec = *self.store.spec();
         let window: GridWindow = self.store.window(s);
-        for (k, c) in window.coords().enumerate() {
-            let i = spec.index(c);
-            let old_rp = old.as_ref().map(|(p, m)| p.0 + m.values()[k] as f64);
-            let new_rp = new.as_ref().map(|(p, m)| p.0 + m.values()[k] as f64);
-            if old_rp == new_rp {
-                continue;
+        let n = window.len();
+        SWEEP_SCRATCH.with(|scratch| {
+            let scratch = &mut *scratch.borrow_mut();
+
+            // Epoch bookkeeping for once-per-sector aggregate records.
+            let n_sectors = state.n_s.len();
+            if scratch.touched_epoch.len() < n_sectors {
+                scratch.touched_epoch.resize(n_sectors, 0);
             }
-            undo.cells.push((
-                i as u32,
-                state.total_mw[i],
-                state.best_idx[i],
-                state.best_rp[i],
-                state.rmax[i],
-            ));
-            self.sub_aggregates(state, i);
+            scratch.epoch = scratch.epoch.wrapping_add(1);
+            if scratch.epoch == 0 {
+                scratch.touched_epoch.iter_mut().for_each(|e| *e = 0);
+                scratch.epoch = 1;
+            }
 
-            let mw_old = old_rp.map_or(0.0, dbm_to_mw);
-            let mw_new = new_rp.map_or(0.0, dbm_to_mw);
-            state.total_mw[i] = (state.total_mw[i] - mw_old + mw_new).max(0.0);
-
-            if state.best_idx[i] == s as i32 {
-                match new_rp {
-                    Some(rp) if rp as f32 >= state.best_rp[i] => {
-                        // Grew while serving: stays best.
-                        state.best_rp[i] = rp as f32;
+            // Phase 1 (SoA fill): the changed sector's received power per
+            // window cell, before and after — plain `power + loss` adds
+            // over the matrices' flat value slices.
+            let fill = |dst: &mut Vec<f64>, src: Option<&(Dbm, Arc<PathLossMatrix>)>| -> bool {
+                dst.clear();
+                match src {
+                    Some((p, m)) => {
+                        let p = p.0;
+                        let values = m.values();
+                        debug_assert_eq!(values.len(), n, "matrix/window shape drifted");
+                        dst.extend(values.iter().map(|&l| p + l as f64));
+                        true
                     }
-                    _ => self.rescan_cell(state, i),
+                    None => false,
                 }
-            } else if let Some(rp) = new_rp {
-                if rp as f32 > state.best_rp[i] || state.best_idx[i] == NO_SECTOR {
-                    state.best_idx[i] = s as i32;
-                    state.best_rp[i] = rp as f32;
+            };
+            let has_old = fill(&mut scratch.rp_old, old.as_ref());
+            let has_new = fill(&mut scratch.rp_new, new.as_ref());
+
+            // Phase 2 (bookkeeping): collect the cells whose contribution
+            // changed and snapshot their undo records. When the sector
+            // appears or disappears every window cell changes; otherwise
+            // exactly the cells whose before/after powers differ (same
+            // `f64` comparison the historical per-cell loop used).
+            scratch.changed.clear();
+            let width = spec.width as usize;
+            let wcols = magus_geo::cast::idx(window.x1 - window.x0);
+            let both = has_old && has_new;
+            let mut k = 0usize;
+            for y in window.y0..window.y1 {
+                let base = y as usize * width + window.x0 as usize;
+                for col in 0..wcols {
+                    if !both || scratch.rp_old[k] != scratch.rp_new[k] {
+                        let i = base + col;
+                        scratch.changed.push((k as u32, i as u32));
+                        undo.cells.push(UndoCell {
+                            i: i as u32,
+                            total_mw: state.total_mw[i],
+                            best_idx: state.best_idx[i],
+                            best_rp: state.best_rp[i],
+                            best2_idx: state.best2_idx[i],
+                            best2_rp: state.best2_rp[i],
+                            rmax: state.rmax[i],
+                        });
+                    }
+                    k += 1;
                 }
             }
 
-            state.rmax[i] = self.cell_rmax(state, i) as f32;
-            self.add_aggregates(state, i);
+            let SweepScratch {
+                rp_old: _,
+                rp_new,
+                mw_old,
+                mw_new,
+                changed,
+                touched_epoch,
+                epoch,
+            } = scratch;
+            let epoch = *epoch;
+
+            // Phase 3 (SoA convert): linear-mW contributions of the
+            // changed cells as `10^(P/10) · 10^(L/10)` gather-multiplies
+            // over the matrices' cached mW images — one dBm→mW
+            // transcendental per sweep side, not per cell. Same product
+            // form as `initial_state`, so totals match rebuilds.
+            mw_old.clear();
+            mw_new.clear();
+            if let Some((p, m)) = old.as_ref() {
+                let scale = dbm_to_mw(p.0);
+                let mwv = m.values_mw();
+                mw_old.extend(changed.iter().map(|&(k, _)| scale * mwv[k as usize]));
+            }
+            if let Some((p, m)) = new.as_ref() {
+                let scale = dbm_to_mw(p.0);
+                let mwv = m.values_mw();
+                mw_new.extend(changed.iter().map(|&(k, _)| scale * mwv[k as usize]));
+            }
+
+            // Phase 4: per-cell updates, ascending grid order.
+            let si = s as i32;
+            for (idx, &(k, i)) in changed.iter().enumerate() {
+                let (k, i) = (k as usize, i as usize);
+                note_sector(
+                    touched_epoch,
+                    epoch,
+                    undo,
+                    &state.n_s,
+                    &state.a_s,
+                    state.best_idx[i],
+                );
+                self.sub_aggregates(state, i);
+
+                let sub = if has_old { mw_old[idx] } else { 0.0 };
+                let add = if has_new { mw_new[idx] } else { 0.0 };
+                state.total_mw[i] = (state.total_mw[i] - sub + add).max(0.0);
+
+                if state.best_idx[i] == si {
+                    self.update_serving(state, i, si, has_new.then(|| rp_new[k] as f32));
+                } else if has_new {
+                    self.update_other(state, i, si, rp_new[k] as f32);
+                } else if state.best2_idx[i] == si {
+                    // The sector vanished while tracked as the second:
+                    // some third sector is the new runner-up.
+                    state.best2_idx[i] = UNKNOWN_SECTOR;
+                    state.best2_rp[i] = f32::NEG_INFINITY;
+                }
+
+                state.rmax[i] = self.cell_rmax(state, i) as f32;
+                note_sector(
+                    touched_epoch,
+                    epoch,
+                    undo,
+                    &state.n_s,
+                    &state.a_s,
+                    state.best_idx[i],
+                );
+                self.add_aggregates(state, i);
+            }
+        });
+    }
+
+    /// Top-2 update for a cell whose *serving* sector changed to `nr32`
+    /// dBm (`None` when it went off-air). Preserves the historical
+    /// semantics exactly: the serving sector keeps the cell on `>=` (the
+    /// old grew-while-serving test), and when it weakens below the
+    /// runner-up the promotion reproduces what a full covering rescan
+    /// would have picked — including the lowest-index-wins tie-break.
+    #[inline]
+    fn update_serving(&self, state: &mut ModelState, i: usize, si: i32, nr32: Option<f32>) {
+        if let Some(nr) = nr32 {
+            if nr >= state.best_rp[i] {
+                // Grew while serving: stays best, runner-up untouched.
+                state.best_rp[i] = nr;
+                return;
+            }
+        }
+        // The serving sector weakened or vanished.
+        let b2 = state.best2_idx[i];
+        if b2 == UNKNOWN_SECTOR {
+            // No usable hint (only reachable if a caller skipped the
+            // post-commit repair): fall back to the full rescan.
+            self.rescan_cell(state, i);
+        } else if b2 == NO_SECTOR {
+            // No other sector is audible here.
+            match nr32 {
+                Some(nr) => state.best_rp[i] = nr, // sole server: stays best
+                None => {
+                    state.best_idx[i] = NO_SECTOR;
+                    state.best_rp[i] = f32::NEG_INFINITY;
+                }
+            }
+        } else {
+            let b2rp = state.best2_rp[i];
+            match nr32 {
+                Some(nr) if nr > b2rp => {
+                    // Weakened but still ahead of the runner-up.
+                    state.best_rp[i] = nr;
+                }
+                Some(nr) if nr == b2rp && si < b2 => {
+                    // Tie: a rescan keeps the lowest index — still `si`
+                    // (the runner-up is the lowest index among its
+                    // equals, so no third sector can be lower). The
+                    // runner-up slot can no longer name a unique second.
+                    state.best_rp[i] = nr;
+                    state.best2_idx[i] = UNKNOWN_SECTOR;
+                    state.best2_rp[i] = f32::NEG_INFINITY;
+                }
+                _ => {
+                    // The runner-up takes over; the new second is some
+                    // unscanned third sector.
+                    state.best_idx[i] = b2;
+                    state.best_rp[i] = b2rp;
+                    state.best2_idx[i] = UNKNOWN_SECTOR;
+                    state.best2_rp[i] = f32::NEG_INFINITY;
+                }
+            }
+        }
+    }
+
+    /// Top-2 update for a cell where the changed sector `si` is *not*
+    /// serving and now contributes `nr` dBm. Matches the historical
+    /// strict-`>` takeover (ties keep the incumbent best), and keeps the
+    /// second slot exact wherever the answer is derivable without a
+    /// scan.
+    #[inline]
+    fn update_other(&self, state: &mut ModelState, i: usize, si: i32, nr: f32) {
+        let bi = state.best_idx[i];
+        if nr > state.best_rp[i] || bi == NO_SECTOR {
+            // `si` takes over as best; the demoted best becomes the
+            // runner-up.
+            let b2 = state.best2_idx[i];
+            let brp = state.best_rp[i];
+            if bi == NO_SECTOR {
+                state.best2_idx[i] = NO_SECTOR;
+                state.best2_rp[i] = f32::NEG_INFINITY;
+            } else if b2 == UNKNOWN_SECTOR || (b2 == si && state.best2_rp[i] == brp) {
+                // Unknown stays unknown; and if `si` itself was the
+                // tracked second *tied* with the old best, a third
+                // sector could tie them too — the new second can't be
+                // derived locally.
+                state.best2_idx[i] = UNKNOWN_SECTOR;
+                state.best2_rp[i] = f32::NEG_INFINITY;
+            } else if b2 != si && b2 >= 0 && state.best2_rp[i] == brp && b2 < bi {
+                // The tracked second ties the demoted best at a lower
+                // index: it stays the exact second.
+            } else {
+                state.best2_idx[i] = bi;
+                state.best2_rp[i] = brp;
+            }
+            state.best_idx[i] = si;
+            state.best_rp[i] = nr;
+        } else {
+            // Does not displace the best; may displace or become the
+            // second.
+            let b2 = state.best2_idx[i];
+            if b2 == si {
+                if nr >= state.best2_rp[i] {
+                    // Grew while second (still not past the best): the
+                    // second stays exact.
+                    state.best2_rp[i] = nr;
+                } else {
+                    // Weakened while second: a third may now lead.
+                    state.best2_idx[i] = UNKNOWN_SECTOR;
+                    state.best2_rp[i] = f32::NEG_INFINITY;
+                }
+            } else if b2 == NO_SECTOR {
+                // `si` is now the only other audible server.
+                state.best2_idx[i] = si;
+                state.best2_rp[i] = nr;
+            } else if b2 != UNKNOWN_SECTOR {
+                let b2rp = state.best2_rp[i];
+                if nr > b2rp || (nr == b2rp && si < b2) {
+                    state.best2_idx[i] = si;
+                    state.best2_rp[i] = nr;
+                }
+            }
+            // An unknown second stays unknown: `si`'s new value alone
+            // can't prove it outranks every unscanned third sector.
         }
     }
 
     /// Rolls back the most recent change exactly.
     pub fn undo(&self, state: &mut ModelState, undo: Undo) {
         magus_obs::counter_inc!("evaluator.undo");
-        magus_obs::timed!("evaluator.undo_ns", {
-            state.config = undo.config;
-            for (i, total, best_idx, best_rp, rmax) in undo.cells.into_iter().rev() {
-                let i = i as usize;
-                state.total_mw[i] = total;
-                state.best_idx[i] = best_idx;
-                state.best_rp[i] = best_rp;
-                state.rmax[i] = rmax;
-            }
-            state.n_s = undo.n_s;
-            state.a_s = undo.a_s;
-            state.degraded = undo.degraded;
+        magus_obs::timed!("evaluator.undo_ns", self.undo_in_place(state, &undo))
+    }
+
+    /// Borrowed rollback: restores the state from `undo` without
+    /// consuming the record (the probe fast path reuses it).
+    fn undo_in_place(&self, state: &mut ModelState, undo: &Undo) {
+        if let Some((id, before)) = undo.sector {
+            state.config.restore_sector(id, before);
+        }
+        for cell in undo.cells.iter().rev() {
+            let i = cell.i as usize;
+            state.total_mw[i] = cell.total_mw;
+            state.best_idx[i] = cell.best_idx;
+            state.best_rp[i] = cell.best_rp;
+            state.best2_idx[i] = cell.best2_idx;
+            state.best2_rp[i] = cell.best2_rp;
+            state.rmax[i] = cell.rmax;
+        }
+        for &(s, n, a) in &undo.sectors {
+            state.n_s[s as usize] = n;
+            state.a_s[s as usize] = a;
+        }
+        state.degraded = undo.degraded;
+    }
+
+    /// The probe cycle (apply → read → roll back) over the per-thread
+    /// reusable undo buffer: no allocation, no second-best repair (the
+    /// rollback restores the hints), no nested apply/undo spans.
+    fn probe_with(
+        &self,
+        state: &mut ModelState,
+        change: ConfigChange,
+        read: impl FnOnce(&ModelState) -> f64,
+    ) -> f64 {
+        PROBE_UNDO.with(|slot| {
+            let mut undo = slot.take();
+            self.apply_into(state, change, &mut undo);
+            let value = read(state);
+            self.undo_in_place(state, &undo);
+            slot.replace(undo);
+            value
         })
     }
 
     /// Probes a change: applies it, reads the utility, rolls back.
+    ///
+    /// `evaluator.probe_ns` measures the whole cycle; the fast path
+    /// calls no public apply/undo, so `evaluator.apply_ns`/`undo_ns`
+    /// no longer nest inside it (they count committed work only).
     pub fn probe_utility(
         &self,
         state: &mut ModelState,
@@ -357,12 +783,10 @@ impl Evaluator {
         kind: crate::utility::UtilityKind,
     ) -> f64 {
         magus_obs::counter_inc!("evaluator.probe");
-        magus_obs::timed!("evaluator.probe_ns", {
-            let undo = self.apply(state, change);
-            let u = state.utility(kind);
-            self.undo(state, undo);
-            u
-        })
+        magus_obs::timed!(
+            "evaluator.probe_ns",
+            self.probe_with(state, change, |st| st.utility(kind))
+        )
     }
 
     /// Probes a change against the *search objective* (see
@@ -375,18 +799,26 @@ impl Evaluator {
         kind: crate::utility::UtilityKind,
     ) -> f64 {
         magus_obs::counter_inc!("evaluator.probe");
-        magus_obs::timed!("evaluator.probe_ns", {
-            let undo = self.apply(state, change);
-            let u = state.objective(kind);
-            self.undo(state, undo);
-            u
-        })
+        magus_obs::timed!(
+            "evaluator.probe_ns",
+            self.probe_with(state, change, |st| st.objective(kind))
+        )
     }
 
     /// Hypothetical `r_max` at grid `i` if sector `s`'s power changed by
     /// `delta_db` (clamped to hardware limits) — the candidate test of
-    /// Algorithm 1, line 4. Exact: re-derives the best server under the
-    /// hypothesis, without touching the state.
+    /// Algorithm 1, line 4, without touching the state.
+    ///
+    /// *Exact*: this replays the sweep's own arithmetic for the one cell
+    /// — the same product-form mW contributions, the same stored-`f32`
+    /// best-server comparisons (including the `>=` serving-grew rule,
+    /// strict-`>` takeover, and the runner-up promotion with its
+    /// lowest-index tie-break), and the same rate table — so on a
+    /// repaired (post-commit) state the result is bit-identical to what
+    /// [`Evaluator::apply`] followed by [`ModelState::rmax_bps`] would
+    /// report, as the property tests assert. The only divergence is the
+    /// store path: hypotheticals read the direct (un-faulted) matrix,
+    /// since they derive no persistent state to flag as degraded.
     pub fn hypothetical_rmax(&self, state: &ModelState, i: usize, s: u32, delta_db: Db) -> f64 {
         let sc = state.config.sector(SectorId(s));
         if !sc.on_air {
@@ -402,45 +834,82 @@ impl Evaluator {
         let Some(l) = mat.get(c) else {
             return state.rmax[i] as f64; // outside s's footprint: no effect
         };
-        let rp_old = sc.power.0 + l.0;
-        let rp_new = new_power + l.0;
-        let total = (state.total_mw[i] - dbm_to_mw(rp_old) + dbm_to_mw(rp_new)).max(0.0);
-        // Best server under the hypothesis.
-        let (best_idx, best_rp) = if state.best_idx[i] == s as i32 {
-            if rp_new >= state.best_rp[i] as f64 {
-                (s as i32, rp_new)
+        let Some(mw_gain) = mat.get_mw(c) else {
+            return state.rmax[i] as f64; // unreachable: same window as `get`
+        };
+        let total = (state.total_mw[i] - dbm_to_mw(sc.power.0) * mw_gain
+            + dbm_to_mw(new_power) * mw_gain)
+            .max(0.0);
+        let si = s as i32;
+        let nr = (new_power + l.0) as f32;
+        // Best server under the hypothesis, replaying the sweep's rules.
+        let bi = state.best_idx[i];
+        let (best_idx, best_rp) = if bi == si {
+            if nr >= state.best_rp[i] {
+                (si, nr) // grew while serving
             } else {
-                // The serving sector weakened: scan.
-                let mut b = NO_SECTOR;
-                let mut brp = f64::NEG_INFINITY;
-                for &o in &self.covering[i] {
-                    let oc = state.config.sector(SectorId(o));
-                    if !oc.on_air {
-                        continue;
-                    }
-                    let om = self.store.matrix(o, oc.tilt);
-                    if let Some(ol) = om.get(c) {
-                        let rp = if o == s { rp_new } else { oc.power.0 + ol.0 };
-                        if rp > brp {
-                            brp = rp;
-                            b = o as i32;
+                match state.best2_idx[i] {
+                    NO_SECTOR => (si, nr), // sole server: stays best
+                    UNKNOWN_SECTOR => self.scan_best_hypothetical(state, i, s, nr),
+                    b2 => {
+                        let b2rp = state.best2_rp[i];
+                        if nr > b2rp || (nr == b2rp && si < b2) {
+                            (si, nr)
+                        } else {
+                            (b2, b2rp) // the runner-up takes over
                         }
                     }
                 }
-                (b, brp)
             }
-        } else if rp_new > state.best_rp[i] as f64 {
-            (s as i32, rp_new)
+        } else if nr > state.best_rp[i] || bi == NO_SECTOR {
+            (si, nr)
         } else {
-            (state.best_idx[i], state.best_rp[i] as f64)
+            (bi, state.best_rp[i])
         };
         if best_idx == NO_SECTOR {
             return 0.0;
         }
-        let signal = dbm_to_mw(best_rp);
+        let signal = dbm_to_mw(best_rp as f64);
         let interference = (total - signal).max(0.0);
-        self.rate
+        self.rate_table
             .max_rate_bps(signal / (self.noise_mw + interference))
+    }
+
+    /// Defensive fallback for [`Evaluator::hypothetical_rmax`] when the
+    /// runner-up hint is [`UNKNOWN_SECTOR`] (only possible mid-probe,
+    /// before the post-commit repair): scan the covering sectors in the
+    /// stored-`f32` domain with sector `s` overridden to `rp_s`,
+    /// matching [`Evaluator::rescan_cell`]'s comparisons and tie-break.
+    #[cold]
+    fn scan_best_hypothetical(
+        &self,
+        state: &ModelState,
+        i: usize,
+        s: u32,
+        rp_s: f32,
+    ) -> (i32, f32) {
+        let c = self.store.spec().coord_of_index(i);
+        let mut b = NO_SECTOR;
+        let mut brp = f32::NEG_INFINITY;
+        for &o in &self.covering[i] {
+            let oc = state.config.sector(SectorId(o));
+            if !oc.on_air {
+                continue;
+            }
+            let om = self.store.matrix(o, oc.tilt);
+            if let Some(ol) = om.get(c) {
+                let rp = if o == s {
+                    rp_s
+                } else {
+                    (oc.power.0 + ol.0) as f32
+                };
+                if rp > brp {
+                    brp = rp;
+                    b = o as i32;
+                }
+            }
+        }
+        (b, brp)
     }
 
     /// Uplink SINR (linear) of a UE in grid `i` toward its serving
@@ -495,6 +964,92 @@ impl Evaluator {
     pub fn uplink_rmax_bps(&self, state: &ModelState, i: usize, ue_tx_dbm: Dbm) -> f64 {
         self.rate
             .max_rate_bps(self.uplink_sinr(state, i, ue_tx_dbm))
+    }
+
+    /// Exhaustively recomputes every grid's top-2 servers and checks the
+    /// state's incremental tracking against them — the test/diagnostic
+    /// oracle for the `best2` machinery, O(grids × sectors).
+    ///
+    /// `best` must hold the maximum received power bit-for-bit, achieved
+    /// by the claimed sector (the *index* may legitimately differ from a
+    /// fresh scan on exact ties: the sweep keeps the incumbent). A
+    /// `best2` entry must be the exact runner-up — outside a probe's
+    /// apply/undo window the committed-apply repair pass guarantees no
+    /// cell is left [`UNKNOWN_SECTOR`], so an unknown here is an error.
+    pub fn verify_top2(&self, state: &ModelState) -> Result<(), String> {
+        let spec = *self.store.spec();
+        for i in 0..state.num_grids() {
+            let c = spec.coord_of_index(i);
+            // Exact recompute: received power (f32, the stored
+            // representation) of every on-air covering sector.
+            let mut rps: Vec<(u32, f32)> = Vec::new();
+            for &o in &self.covering[i] {
+                let oc = state.config.sector(SectorId(o));
+                if !oc.on_air {
+                    continue;
+                }
+                if let Some(l) = self.store.matrix(o, oc.tilt).get(c) {
+                    rps.push((o, (oc.power.0 + l.0) as f32));
+                }
+            }
+            let bi = state.best_idx[i];
+            let b2 = state.best2_idx[i];
+            if rps.is_empty() {
+                if bi != NO_SECTOR || b2 != NO_SECTOR {
+                    return Err(format!("grid {i}: no audible sector but best {bi}/{b2}"));
+                }
+                continue;
+            }
+            let max_rp = rps
+                .iter()
+                .map(|&(_, rp)| rp)
+                .fold(f32::NEG_INFINITY, f32::max);
+            if bi < 0 {
+                return Err(format!("grid {i}: audible sectors but best {bi}"));
+            }
+            let claimed = rps.iter().find(|&&(o, _)| o as u32 == bi as u32);
+            match claimed {
+                Some(&(_, rp)) if rp.to_bits() == state.best_rp[i].to_bits() && rp == max_rp => {}
+                _ => {
+                    return Err(format!(
+                        "grid {i}: best ({bi}, {}) is not the max {max_rp}",
+                        state.best_rp[i]
+                    ));
+                }
+            }
+            // Exact runner-up among the *other* sectors.
+            let second = rps.iter().filter(|&&(o, _)| o as i32 != bi).fold(
+                None::<(u32, f32)>,
+                |acc, &(o, rp)| match acc {
+                    Some((_, arp)) if rp <= arp => acc,
+                    _ => Some((o, rp)),
+                },
+            );
+            match (second, b2) {
+                (None, NO_SECTOR) => {}
+                (None, got) => return Err(format!("grid {i}: no runner-up but best2 {got}")),
+                (Some(_), NO_SECTOR) => {
+                    return Err(format!(
+                        "grid {i}: best2 claims none but a runner-up exists"
+                    ));
+                }
+                (Some(_), UNKNOWN_SECTOR) => {
+                    return Err(format!("grid {i}: best2 left unknown outside a probe"));
+                }
+                (Some((_, srp)), got) => {
+                    let grp = state.best2_rp[i];
+                    let achieved = rps
+                        .iter()
+                        .any(|&(o, rp)| o as i32 == got && rp.to_bits() == grp.to_bits());
+                    if grp.to_bits() != srp.to_bits() || !achieved || got == bi {
+                        return Err(format!(
+                            "grid {i}: best2 ({got}, {grp}) vs exact runner-up {srp}"
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     /// The serving map (serving sector per grid) of a state — the input
@@ -655,11 +1210,32 @@ mod tests {
         for i in 0..st.num_grids() {
             assert_eq!(st.best_idx[i], reference.best_idx[i]);
             assert_eq!(st.best_rp[i], reference.best_rp[i]);
+            assert_eq!(st.best2_idx[i], reference.best2_idx[i]);
+            assert_eq!(st.best2_rp[i], reference.best2_rp[i]);
             assert_eq!(st.rmax[i], reference.rmax[i]);
             assert_eq!(st.total_mw[i], reference.total_mw[i]);
         }
         assert_eq!(st.n_s, reference.n_s);
         assert_eq!(st.a_s, reference.a_s);
+        assert_eq!(st.bit_fingerprint(), reference.bit_fingerprint());
+    }
+
+    #[test]
+    fn top2_exact_after_committed_applies() {
+        let (ev, config) = fixture();
+        let mut st = ev.initial_state(&config);
+        ev.verify_top2(&st).expect("initial top-2");
+        for ch in [
+            ConfigChange::PowerDelta(SectorId(0), Db(-6.0)),
+            ConfigChange::SetTilt(SectorId(1), 3),
+            ConfigChange::SetOnAir(SectorId(0), false),
+            ConfigChange::SetOnAir(SectorId(0), true),
+            ConfigChange::PowerDelta(SectorId(1), Db(4.0)),
+        ] {
+            ev.apply(&mut st, ch);
+            ev.verify_top2(&st)
+                .unwrap_or_else(|e| panic!("after {ch:?}: {e}"));
+        }
     }
 
     #[test]

@@ -8,8 +8,51 @@
 //! right where the bad value enters the model instead of three crates
 //! downstream.
 
-use crate::state::ModelState;
+use crate::state::{ModelState, NO_SECTOR, UNKNOWN_SECTOR};
 use magus_propagation::{PathLossStore, NUM_TILT_SETTINGS};
+
+/// Structural soundness of the per-grid top-2 server tracking: array
+/// shapes, sentinel ranges, no self-duplication, and the runner-up
+/// never outranking the best. (Semantic exactness — "is this really
+/// the second-strongest sector" — is the job of
+/// [`crate::Evaluator::verify_top2`], which needs store access.)
+fn top2_structure(state: &ModelState, n_grids: usize, n_sectors: usize) -> Result<(), String> {
+    if state.best_idx.len() != n_grids
+        || state.best_rp.len() != n_grids
+        || state.best2_idx.len() != n_grids
+        || state.best2_rp.len() != n_grids
+        || state.rmax.len() != n_grids
+    {
+        return Err("per-grid array shapes drifted".to_string());
+    }
+    for i in 0..n_grids {
+        let b = state.best_idx[i];
+        let b2 = state.best2_idx[i];
+        if b != NO_SECTOR && (b < 0 || b as usize >= n_sectors) {
+            return Err(format!("grid {i}: best index {b} out of range"));
+        }
+        if b == NO_SECTOR && b2 != NO_SECTOR {
+            return Err(format!("grid {i}: no best but second {b2}"));
+        }
+        if b2 >= 0 {
+            if b2 as usize >= n_sectors {
+                return Err(format!("grid {i}: second index {b2} out of range"));
+            }
+            if b2 == b {
+                return Err(format!("grid {i}: second duplicates best {b}"));
+            }
+            if state.best2_rp[i] > state.best_rp[i] {
+                return Err(format!(
+                    "grid {i}: second rp {} above best rp {}",
+                    state.best2_rp[i], state.best_rp[i]
+                ));
+            }
+        } else if b2 != NO_SECTOR && b2 != UNKNOWN_SECTOR {
+            return Err(format!("grid {i}: second index {b2} is no sentinel"));
+        }
+    }
+    Ok(())
+}
 
 /// Validates a path-loss store against its own raster: every sector
 /// window within grid bounds, and every already-cached matrix
@@ -69,6 +112,7 @@ pub fn validate_state(state: &ModelState, n_grids: usize, n_sectors: usize) -> R
     if let Some(s) = state.n_s.iter().position(|&v| v < 0.0) {
         return Err(format!("negative load N_s at sector {s}"));
     }
+    top2_structure(state, n_grids, n_sectors)?;
     for i in 0..n_grids {
         let r = state.rmax_bps(i);
         if !r.is_finite() || r < 0.0 {
@@ -92,5 +136,9 @@ pub fn debug_validate_state(state: &ModelState, n_grids: usize, n_sectors: usize
         state.n_s.iter().all(|v| v.is_finite()),
         "non-finite sector load in state"
     );
+    #[cfg(debug_assertions)]
+    if let Err(e) = top2_structure(state, n_grids, n_sectors) {
+        panic!("top-2 tracking structurally unsound: {e}");
+    }
     let _ = (state, n_grids, n_sectors);
 }

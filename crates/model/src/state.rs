@@ -1,10 +1,18 @@
 //! Mutable evaluation state and exact undo records.
 
 use crate::utility::UtilityKind;
-use magus_net::Configuration;
+use magus_net::{Configuration, SectorConfig, SectorId};
 
 /// Sentinel for "no serving sector".
 pub(crate) const NO_SECTOR: i32 = -1;
+
+/// Sentinel for a *second-best* entry the incremental sweep could not
+/// maintain cheaply (e.g. the runner-up was just promoted to best, so
+/// the new runner-up is some unscanned third sector). An unknown entry
+/// is a stale hint, never an answer: any path that needs the second
+/// server must fall back to a full covering-sector rescan. `best_idx`
+/// never holds this value — the best server is always exact.
+pub(crate) const UNKNOWN_SECTOR: i32 = -2;
 
 /// The incremental evaluation state of one configuration.
 ///
@@ -21,6 +29,12 @@ pub struct ModelState {
     pub(crate) best_idx: Vec<i32>,
     /// Per grid: serving sector's received power, dBm.
     pub(crate) best_rp: Vec<f32>,
+    /// Per grid: second-best server id, [`NO_SECTOR`] when no other
+    /// sector is audible, or [`UNKNOWN_SECTOR`] when the hint is stale.
+    pub(crate) best2_idx: Vec<i32>,
+    /// Per grid: second-best server's received power, dBm
+    /// (`NEG_INFINITY` when `best2_idx` holds a sentinel).
+    pub(crate) best2_rp: Vec<f32>,
     /// Per grid: cached maximum rate `r_max(g)` in bits/s (0 = out of
     /// service).
     pub(crate) rmax: Vec<f32>,
@@ -40,17 +54,54 @@ pub struct ModelState {
 }
 
 /// Exact rollback data for one applied change.
-#[derive(Debug)]
+///
+/// Sparse: a change touches one sector and the grids in its footprint
+/// window, so the record holds the changed sector's prior config, a
+/// snapshot per touched grid, and the prior aggregate entries of the
+/// sectors the sweep actually adjusted — not a clone of the full
+/// configuration and per-sector vectors. `Default` yields an empty
+/// record; the probe fast path keeps one per thread and refills it in
+/// place, so a probe cycle allocates nothing in steady state.
+#[derive(Debug, Default)]
 pub struct Undo {
-    pub(crate) config: Configuration,
-    /// `(grid index, total_mw, best_idx, best_rp, rmax)` before the
-    /// change, for every touched grid.
-    pub(crate) cells: Vec<(u32, f64, i32, f32, f32)>,
-    pub(crate) n_s: Vec<f64>,
-    pub(crate) a_s: Vec<f64>,
+    /// Changed sector and its configuration before the change (`None`
+    /// only in an empty/cleared record).
+    pub(crate) sector: Option<(SectorId, SectorConfig)>,
+    /// Per touched grid: every per-grid field before the change.
+    pub(crate) cells: Vec<UndoCell>,
+    /// `(sector, N_s, A_s)` before the change, one entry per sector
+    /// whose aggregates the sweep touched.
+    pub(crate) sectors: Vec<(u32, f64, f64)>,
     /// Staleness flag before the change, restored on undo so probe
     /// apply/undo pairs leave the flag exactly as they found it.
     pub(crate) degraded: bool,
+}
+
+/// One grid's pre-change snapshot inside an [`Undo`] record.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct UndoCell {
+    pub(crate) i: u32,
+    pub(crate) total_mw: f64,
+    pub(crate) best_idx: i32,
+    pub(crate) best_rp: f32,
+    pub(crate) best2_idx: i32,
+    pub(crate) best2_rp: f32,
+    pub(crate) rmax: f32,
+}
+
+impl Undo {
+    /// Empties the record for reuse, keeping the buffers' capacity.
+    pub(crate) fn clear(&mut self) {
+        self.sector = None;
+        self.cells.clear();
+        self.sectors.clear();
+        self.degraded = false;
+    }
+
+    /// Number of grid cells this record touches.
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
 }
 
 impl ModelState {
@@ -146,6 +197,49 @@ impl ModelState {
     /// Number of grids in the raster.
     pub fn num_grids(&self) -> usize {
         self.total_mw.len()
+    }
+
+    /// FNV-style fingerprint over every field of the state at bit
+    /// resolution (configuration, per-grid accumulators, per-sector
+    /// aggregates, degraded flag). Two states with equal fingerprints
+    /// are — for all practical purposes — bitwise identical; the probe
+    /// bench and the bitwise property tests use this to prove that
+    /// probe/undo cycles restore the state exactly.
+    pub fn bit_fingerprint(&self) -> u64 {
+        const PRIME: u64 = 0x100_0000_01b3;
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut mix = |v: u64| h = (h ^ v).wrapping_mul(PRIME);
+        for sc in self.config.sectors() {
+            mix(sc.power.0.to_bits());
+            mix(u64::from(sc.tilt));
+            mix(u64::from(sc.on_air));
+        }
+        for &v in &self.total_mw {
+            mix(v.to_bits());
+        }
+        for &v in &self.best_idx {
+            mix(v as u64);
+        }
+        for &v in &self.best_rp {
+            mix(u64::from(v.to_bits()));
+        }
+        for &v in &self.best2_idx {
+            mix(v as u64);
+        }
+        for &v in &self.best2_rp {
+            mix(u64::from(v.to_bits()));
+        }
+        for &v in &self.rmax {
+            mix(u64::from(v.to_bits()));
+        }
+        for &v in &self.n_s {
+            mix(v.to_bits());
+        }
+        for &v in &self.a_s {
+            mix(v.to_bits());
+        }
+        mix(u64::from(self.degraded));
+        h
     }
 
     /// Number of sectors tracked.

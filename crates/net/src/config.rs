@@ -133,6 +133,16 @@ impl Configuration {
         }
     }
 
+    /// Restores one sector's configuration verbatim — the rollback path
+    /// of the evaluator's sparse undo records. Unlike
+    /// [`Configuration::apply`] there is no clamping or validation: the
+    /// value was captured from this same configuration before the
+    /// change, so writing it back is exact by construction.
+    #[inline]
+    pub fn restore_sector(&mut self, id: SectorId, sc: SectorConfig) {
+        self.sectors[id.idx()] = sc;
+    }
+
     /// Functional form of [`Configuration::apply`] — the paper's
     /// `C ⊕ change`.
     pub fn with(&self, network: &Network, change: ConfigChange) -> Configuration {

@@ -100,6 +100,12 @@ pub struct PathLossMatrix {
     window: GridWindow,
     width: u32,
     values: Vec<f32>,
+    /// Lazily-built linear-milliwatt image of `values` (`10^(L/10)` per
+    /// cell): a sector's received power in mW at cell `k` is
+    /// `10^(P/10) · mw[k]`, so evaluation sweeps convert dBm→mW once
+    /// per sweep instead of once per cell. Computed on first use and
+    /// shared by every reader of this matrix.
+    mw: std::sync::OnceLock<Vec<f64>>,
 }
 
 impl PathLossMatrix {
@@ -110,6 +116,7 @@ impl PathLossMatrix {
             window,
             width: window.x1 - window.x0,
             values,
+            mw: std::sync::OnceLock::new(),
         }
     }
 
@@ -177,6 +184,35 @@ impl PathLossMatrix {
     /// Raw row-major values within the window.
     pub fn values(&self) -> &[f32] {
         &self.values
+    }
+
+    /// Row-major linear-mW path gains within the window: `mw[k] =
+    /// 10^(values[k]/10)`. Built lazily on first call (one `powf` per
+    /// cell, once per matrix lifetime) and cached, so hot evaluation
+    /// sweeps get received mW as `10^(P/10) · mw[k]` — one transcendental
+    /// per sweep instead of per cell.
+    pub fn values_mw(&self) -> &[f64] {
+        self.mw.get_or_init(|| {
+            self.values
+                .iter()
+                .map(|&l| 10f64.powf(l as f64 / 10.0))
+                .collect()
+        })
+    }
+
+    /// Linear-mW path gain at an analysis-grid coordinate, or `None`
+    /// outside the window — the mW-domain sibling of
+    /// [`PathLossMatrix::get`], returning the exact cached value the
+    /// sweep multiplies with, so point queries (hypotheticals) can
+    /// reproduce sweep arithmetic bit-for-bit.
+    #[inline]
+    pub fn get_mw(&self, c: GridCoord) -> Option<f64> {
+        if !self.window.contains(c) {
+            return None;
+        }
+        let i = magus_geo::cast::idx(c.y - self.window.y0) * magus_geo::cast::idx(self.width)
+            + magus_geo::cast::idx(c.x - self.window.x0);
+        Some(self.values_mw()[i])
     }
 
     /// Iterates `(coord, loss)` over the window.

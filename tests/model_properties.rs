@@ -58,12 +58,19 @@ fn fixture() -> (Evaluator, Configuration) {
     )
 }
 
-/// An arbitrary configuration change over the fixture's sectors.
+/// An arbitrary configuration change over the fixture's sectors. Power
+/// deltas deliberately range far past the hardware limits so clamped
+/// (partially- and fully-absorbed) changes are exercised alongside
+/// ordinary ones, and absolute set-points cross both limits too.
 fn change_strategy() -> impl Strategy<Value = ConfigChange> {
     let sector = 0..N_SECTORS;
     prop_oneof![
         (sector.clone(), -6.0..6.0f64)
             .prop_map(|(s, d)| ConfigChange::PowerDelta(SectorId(s), Db(d))),
+        (sector.clone(), -25.0..25.0f64)
+            .prop_map(|(s, d)| ConfigChange::PowerDelta(SectorId(s), Db(d))),
+        (sector.clone(), 20.0..50.0f64)
+            .prop_map(|(s, p)| ConfigChange::SetPower(SectorId(s), magus::geo::Dbm(p))),
         (sector.clone(), 0..NUM_TILT_SETTINGS)
             .prop_map(|(s, t)| ConfigChange::SetTilt(SectorId(s), t)),
         (sector.clone(), any::<bool>()).prop_map(|(s, v)| ConfigChange::SetOnAir(SectorId(s), v)),
@@ -114,19 +121,85 @@ proptest! {
         for k in UtilityKind::ALL {
             prop_assert_eq!(st.utility(k), reference.utility(k));
         }
+        // Bitwise: every field (including the top-2 hints, sector
+        // aggregates, and the degraded flag) restored exactly.
+        prop_assert_eq!(st.bit_fingerprint(), reference.bit_fingerprint());
     }
 
-    /// Probing any change never mutates observable state.
+    /// Probing any change — including clamped power deltas and on-air
+    /// toggles — never mutates observable state, at bit resolution:
+    /// the state's full-field fingerprint survives the probe cycle.
     #[test]
-    fn probe_is_pure(ch in change_strategy()) {
+    fn probe_is_pure(
+        warmup in prop::collection::vec(change_strategy(), 0..4),
+        ch in change_strategy(),
+    ) {
         let (ev, config) = fixture();
         let mut st = ev.initial_state(&config);
+        for w in warmup {
+            ev.apply(&mut st, w); // random committed starting point
+        }
         let u_before = st.utility(UtilityKind::Performance);
+        let fp_before = st.bit_fingerprint();
         let serving_before: Vec<_> = (0..st.num_grids()).map(|i| st.serving(i)).collect();
         let _ = ev.probe_utility(&mut st, ch, UtilityKind::Performance);
         prop_assert_eq!(st.utility(UtilityKind::Performance), u_before);
         let serving_after: Vec<_> = (0..st.num_grids()).map(|i| st.serving(i)).collect();
         prop_assert_eq!(serving_before, serving_after);
+        prop_assert_eq!(st.bit_fingerprint(), fp_before, "probe left bit-level residue");
+    }
+
+    /// After any committed change sequence every grid's top-2 server
+    /// tracking is exact: the best slot holds the true maximum received
+    /// power and the second slot the true runner-up, with no stale
+    /// unknowns left behind (the post-commit repair contract).
+    #[test]
+    fn top2_tracking_is_exact(changes in prop::collection::vec(change_strategy(), 1..8)) {
+        let (ev, config) = fixture();
+        let mut st = ev.initial_state(&config);
+        if let Err(e) = ev.verify_top2(&st) {
+            prop_assert!(false, "initial state: {}", e);
+        }
+        for ch in changes {
+            ev.apply(&mut st, ch);
+            if let Err(e) = ev.verify_top2(&st) {
+                prop_assert!(false, "after {:?}: {}", ch, e);
+            }
+        }
+    }
+
+    /// `hypothetical_rmax` agrees with a real apply → read → undo cycle
+    /// — *bit-identically*, since it replays the sweep's arithmetic —
+    /// for every grid, from any committed state; and the probe cycle it
+    /// is compared against leaves no bit-level residue.
+    #[test]
+    fn hypothetical_rmax_matches_apply(
+        warmup in prop::collection::vec(change_strategy(), 0..5),
+        s in 0..N_SECTORS,
+        delta in prop_oneof![-25.0..25.0f64, -3.0..3.0f64],
+    ) {
+        let (ev, config) = fixture();
+        let mut st = ev.initial_state(&config);
+        for w in warmup {
+            ev.apply(&mut st, w);
+        }
+        let fp_before = st.bit_fingerprint();
+        let hypo: Vec<f64> = (0..st.num_grids())
+            .map(|i| ev.hypothetical_rmax(&st, i, s, Db(delta)))
+            .collect();
+        let undo = ev.apply(&mut st, ConfigChange::PowerDelta(SectorId(s), Db(delta)));
+        for (i, &h) in hypo.iter().enumerate() {
+            // The state stores r_max as f32; the hypothetical query
+            // reports the unrounded rate (every TBS-chain rate is
+            // f32-exact, so the rounding is lossless either way).
+            prop_assert_eq!(
+                (h as f32).to_bits(),
+                (st.rmax_bps(i) as f32).to_bits(),
+                "hypothetical diverged from applied r_max at grid {}", i
+            );
+        }
+        ev.undo(&mut st, undo);
+        prop_assert_eq!(st.bit_fingerprint(), fp_before);
     }
 
     /// Taking any subset of sectors off-air can only lower both
