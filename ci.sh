@@ -49,8 +49,22 @@ stage "cargo test (MAGUS_THREADS=4)"
 MAGUS_THREADS=4 cargo test -q
 
 stage "magus-audit check"
+# The audit is a pre-commit-speed gate: ten passes over the whole
+# workspace must finish inside a wall-clock budget or the gate itself
+# has regressed (MAGUS_AUDIT_BUDGET_S to override). The binary is
+# invoked directly so cargo overhead stays out of the measurement.
 REPORT=target/audit-report.json
-cargo run -q --release -p magus-audit -- check --json "$REPORT"
+AUDIT_BUDGET_S=${MAGUS_AUDIT_BUDGET_S:-10}
+# The root build stage only covers the root package's dependency
+# graph, so build the auditor explicitly — outside the timed window.
+cargo build -q --release -p magus-audit
+AUDIT_START=$SECONDS
+target/release/magus-audit check --json "$REPORT"
+AUDIT_SECS=$((SECONDS - AUDIT_START))
+if (( AUDIT_SECS > AUDIT_BUDGET_S )); then
+    echo "magus-audit took ${AUDIT_SECS}s, over the ${AUDIT_BUDGET_S}s budget"
+    exit 1
+fi
 
 # Surface the machine-readable summary the audit binary just wrote.
 # python3 is a convenience, not a gate dependency: the audit above

@@ -1,0 +1,156 @@
+//! Self-serve pass documentation for `magus-audit check --explain`.
+//!
+//! Builders adding code on top of the deterministic core (ROADMAP
+//! items 2–4) hit these passes first; the explanations state each
+//! pass's rule, why it exists, and the allowlist syntax so a
+//! justified suppression is written instead of a blind one.
+
+use crate::passes::ALL_PASSES;
+
+/// Returns the explanation text for `pass`, or `None` if unknown.
+/// `"all"` returns every pass's text.
+pub fn explain(pass: &str) -> Option<String> {
+    if pass == "all" {
+        let mut s = String::new();
+        for (i, p) in ALL_PASSES.iter().enumerate() {
+            if i > 0 {
+                s.push('\n');
+            }
+            s.push_str(&explain_one(p)?);
+        }
+        return Some(s);
+    }
+    explain_one(pass)
+}
+
+fn explain_one(pass: &str) -> Option<String> {
+    let (rule, rationale, allow) = match pass {
+        "unit-safety" => (
+            "Public library fns must not take bare `f64` parameters whose \
+             names claim a radio unit (*_db, *_dbm, *_mw, power, loss, gain, \
+             tilt_deg, dist*).",
+            "A bare f64 lets dB and mW (log and linear) mix silently; the \
+             magus_geo::units newtypes (Db, Dbm, MilliWatt) make the unit \
+             part of the type.",
+            "unit-safety | <file suffix> | <param text> | <why no newtype applies yet>",
+        ),
+        "panic-freedom" => (
+            "No `.unwrap()` / `.expect(` / `panic!(` in non-test library \
+             code. `#[cfg(test)]`, `#[test]`, and `#[cfg(debug_assertions)]` \
+             code is exempt, as are the bench/cli/audit binaries.",
+            "Library code returns Results; a panic in the planner or \
+             evaluator aborts a whole migration run. Debug-only invariant \
+             traps are fine — release builds use the Result-returning \
+             validators.",
+            "panic-freedom | <file suffix> | <snippet text> | <why the value provably exists>",
+        ),
+        "cast-audit" => (
+            "In the numeric crates (geo, propagation, model, lte), computed \
+             expressions must not be narrowed with bare `as usize/u32/i32`; \
+             use the checked helpers in magus_geo::cast. Casts visibly \
+             range-guarded by `.clamp(…)`/`.min(…)` are exempt.",
+            "A silent wrap corrupts grid indices or path-loss math without \
+             an error; the checked helpers debug_assert the range and clamp.",
+            "cast-audit | <file suffix> | <snippet text> | <why the range is externally guaranteed>",
+        ),
+        "lint-gate" => (
+            "The workspace root declares [workspace.lints], every member \
+             inherits it (lints.workspace = true), and every crate root \
+             carries #![forbid(unsafe_code)].",
+            "One crate opting out of the lint wall silently weakens the \
+             whole workspace's unsafe/unwrap policy.",
+            "lint-gate | <manifest or crate-root path> | * | <why the crate is exempt>",
+        ),
+        "no-bare-print" => (
+            "No println!/eprintln!/print!/eprint! in non-test library code \
+             outside main.rs and src/bin/.",
+            "Library prints interleave nondeterministically with real \
+             output and bypass magus-obs; binaries own the terminal.",
+            "no-bare-print | <file suffix> | <snippet or *> | <why the print is the interface>",
+        ),
+        "nondet-iter" => (
+            "No HashMap/HashSet (or RandomState/DefaultHasher) in the \
+             deterministic crates (core, exec, fault, lte, model, \
+             propagation, testbed) or the byte-identity-gated cli; use \
+             BTreeMap/BTreeSet or sorted iteration.",
+            "Hash iteration order is seed-dependent per process. One \
+             iterated HashMap in a result path breaks the bit-identity \
+             contract (thread-count invariance, zero-rate fault identity, \
+             checkpoint resume) that chaos_matrix and the CLI cmp gate \
+             enforce dynamically.",
+            "nondet-iter | <file suffix> | <snippet text> | <order-insensitivity argument: keyed access only, aggregates only, …>",
+        ),
+        "wall-clock" => (
+            "No Instant::now() or SystemTime in the deterministic crates; \
+             timing for reports lives in obs/bench/CLI code, simulation \
+             time is explicit ticks.",
+            "Wall-clock values differ per run; one flowing into a result, \
+             a retry budget, or an ordering decision silently breaks \
+             replayability.",
+            "wall-clock | <file suffix> | <snippet text> | <proof the reading only feeds obs metrics>",
+        ),
+        "float-order" => (
+            "No `.partial_cmp(` call sites in the deterministic crates or \
+             bench (use f64::total_cmp for sort/max keys), and no unordered \
+             `.sum(`/`.fold(` inside magus-exec parallel entry points \
+             (map_indexed, with_team, map_markets_parallel) — use an \
+             index-ordered reduction or argmax_det.",
+            "partial_cmp returns None on NaN (panicking unwraps, unstable \
+             orders); float addition is non-associative, so accumulation \
+             order across workers must be fixed to keep results \
+             bit-identical at any thread count. `fn partial_cmp` \
+             *definitions* that delegate to cmp are fine and not flagged.",
+            "float-order | <file suffix> | <snippet text> | <why the order is provably fixed>",
+        ),
+        "lock-discipline" => (
+            "At most one lexical `.lock(` acquisition per fn body in the \
+             deterministic crates, and no calls of a closure-typed \
+             parameter after a `.lock(` in the same body.",
+            "The path-loss store's sharded cache is deadlock-free only if \
+             multi-shard holds take shards in ascending shard_index order, \
+             which one fn body cannot prove lexically; and a guard held \
+             across user code invites re-entrancy deadlocks and \
+             lock-order inversion. Both rules are deliberate \
+             over-approximations — the allowlist carries the ordering/\
+             no-guard-held argument, and the nightly `cargo miri test` CI \
+             job is the dynamic complement.",
+            "lock-discipline | <file suffix> | <snippet text> | <ordering or guard-dropped argument>",
+        ),
+        "env-nondet" => (
+            "No std::env reads, thread::current, available_parallelism, or \
+             process::id in the deterministic crates.",
+            "Environment, thread identity, and machine shape vary per run \
+             and per host; results must not. Config enters at the CLI \
+             boundary as explicit values; thread count may only size \
+             order-fixed work splitting (argued in the allowlist).",
+            "env-nondet | <file suffix> | <snippet text> | <proof the value cannot affect results>",
+        ),
+        _ => return None,
+    };
+    Some(format!(
+        "pass: {pass}\n  rule: {rule}\n  rationale: {rationale}\n  allowlist: {allow}\n"
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_pass_has_an_explanation() {
+        for pass in ALL_PASSES {
+            let text = explain(pass).unwrap_or_else(|| panic!("{pass} unexplained"));
+            assert!(text.contains(pass));
+            assert!(text.contains("allowlist:"));
+        }
+    }
+
+    #[test]
+    fn all_concatenates_and_unknown_is_none() {
+        let all = explain("all").expect("all");
+        for pass in ALL_PASSES {
+            assert!(all.contains(&format!("pass: {pass}")));
+        }
+        assert!(explain("no-such-pass").is_none());
+    }
+}

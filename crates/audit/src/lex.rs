@@ -1,0 +1,432 @@
+//! Token-level lexing of Rust source.
+//!
+//! [`lex`] turns source text into a flat token stream with 1-based
+//! line/column positions. Comments (line, doc, nested block) are
+//! dropped entirely, and string/char literal *contents* are dropped
+//! from the token text, so a pass that searches for identifiers can
+//! never match prose or literal data — the false-positive class the
+//! old line scanner had to blank around. The output feeds the
+//! token-tree layer in [`crate::tree`], which adds delimiter matching
+//! and item context (`#[cfg(test)]`, fn boundaries, …).
+//!
+//! This is a lexer, not a parser: it is exact about literal and
+//! comment boundaries (raw strings with arbitrary hash counts, byte
+//! strings, char-vs-lifetime, nested block comments, numeric literals
+//! vs `..` ranges) and deliberately knows nothing about grammar.
+
+/// Kind of one lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword. Raw identifiers keep their `r#` prefix
+    /// in the text so `r#fn` never matches the `fn` keyword.
+    Ident,
+    /// A lifetime or loop label; text includes the quote (`'a`).
+    Lifetime,
+    /// A literal. String/char literals keep only their delimiters
+    /// (`""`, `''`, `r""`, `b""`, `b''`); numeric literals keep their
+    /// full text.
+    Literal,
+    /// A single punctuation character (delimiters included).
+    Punct,
+}
+
+/// One token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// Token text (see [`TokKind`] for literal conventions).
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in chars) of the token's first character.
+    /// Passes use adjacency (`col` arithmetic) to tell `->` from a
+    /// stray `>`, so columns must be exact.
+    pub col: u32,
+}
+
+/// Whether `c` can start an identifier.
+pub fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+/// Whether `c` can continue an identifier.
+pub fn is_ident_char(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+    out: Vec<Tok>,
+}
+
+impl Lexer {
+    fn peek(&self, k: usize) -> Option<char> {
+        self.chars.get(self.i + k).copied()
+    }
+
+    fn bump(&mut self) {
+        if let Some(&c) = self.chars.get(self.i) {
+            self.i += 1;
+            if c == '\n' {
+                self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
+            }
+        }
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32, col: u32) {
+        self.out.push(Tok {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+
+    /// If position `at` (relative to `self.i`) starts a raw-string
+    /// opener (`"` possibly preceded by hashes), returns the hash
+    /// count. `None` means raw identifier or not a raw string.
+    fn raw_str_hashes(&self, at: usize) -> Option<u32> {
+        let mut k = at;
+        let mut hashes = 0u32;
+        while self.peek(k) == Some('#') {
+            hashes += 1;
+            k += 1;
+        }
+        (self.peek(k) == Some('"')).then_some(hashes)
+    }
+
+    /// Consumes `// …` to end of line (newline left for whitespace).
+    fn line_comment(&mut self) {
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            self.bump();
+        }
+    }
+
+    /// Consumes a (possibly nested) `/* … */` block comment.
+    fn block_comment(&mut self) {
+        self.bump_n(2);
+        let mut depth = 1u32;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('*'), Some('/')) => {
+                    self.bump_n(2);
+                    depth -= 1;
+                }
+                (Some('/'), Some('*')) => {
+                    self.bump_n(2);
+                    depth += 1;
+                }
+                (Some(_), _) => self.bump(),
+                (None, _) => break,
+            }
+        }
+    }
+
+    /// Consumes a `"…"` string body starting at the opening quote.
+    fn string(&mut self, line: u32, col: u32, text: &str) {
+        self.bump(); // opening quote
+        while let Some(c) = self.peek(0) {
+            match c {
+                '\\' => self.bump_n(2),
+                '"' => {
+                    self.bump();
+                    break;
+                }
+                _ => self.bump(),
+            }
+        }
+        self.push(TokKind::Literal, text.to_string(), line, col);
+    }
+
+    /// Consumes `r"…"` / `r#"…"#` starting at the `r` (or at the first
+    /// `#`/`"` when called for `br` strings with the `b` consumed).
+    fn raw_string(&mut self, hashes: u32, line: u32, col: u32, text: &str) {
+        self.bump(); // `r`
+        self.bump_n(hashes as usize + 1); // hashes + opening quote
+        while let Some(c) = self.peek(0) {
+            if c == '"' && (1..=hashes as usize).all(|k| self.peek(k) == Some('#')) {
+                self.bump_n(1 + hashes as usize);
+                break;
+            }
+            self.bump();
+        }
+        self.push(TokKind::Literal, text.to_string(), line, col);
+    }
+
+    /// Consumes a char literal starting at the opening quote.
+    fn char_literal(&mut self, line: u32, col: u32, text: &str) {
+        self.bump(); // opening quote
+        if self.peek(0) == Some('\\') {
+            // Escape: `\n`, `\'`, `\u{7fff}` — skip the backslash and
+            // the escaped char, then scan (bounded) to the close.
+            self.bump_n(2);
+            let mut guard = 0;
+            while self.peek(0).is_some_and(|c| c != '\'') && guard < 12 {
+                self.bump();
+                guard += 1;
+            }
+            self.bump(); // closing quote
+        } else {
+            self.bump_n(2); // the char and the closing quote
+        }
+        self.push(TokKind::Literal, text.to_string(), line, col);
+    }
+
+    /// Consumes an identifier (or keyword) starting at `prefix`.
+    fn ident(&mut self, prefix: String, line: u32, col: u32) {
+        let mut text = prefix;
+        while let Some(c) = self.peek(0) {
+            if !is_ident_char(c) {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokKind::Ident, text, line, col);
+    }
+
+    /// Consumes a numeric literal starting at a digit. `1..2` stays a
+    /// number and two dots; `1.5e-3`, `0x1F`, `2.5_f64` are single
+    /// tokens.
+    fn number(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        let mut seen_dot = false;
+        while let Some(c) = self.peek(0) {
+            let prev = text.chars().next_back();
+            let is_hex = text.starts_with("0x") || text.starts_with("0X");
+            if c.is_ascii_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else if c == '.' && !seen_dot && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                seen_dot = true;
+                text.push(c);
+                self.bump();
+            } else if (c == '+' || c == '-') && !is_hex && matches!(prev, Some('e') | Some('E')) {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Literal, text, line, col);
+    }
+}
+
+/// Lexes `text` into tokens. Never fails: malformed input degrades to
+/// punct tokens rather than aborting the audit.
+pub fn lex(text: &str) -> Vec<Tok> {
+    let mut lx = Lexer {
+        chars: text.chars().collect(),
+        i: 0,
+        line: 1,
+        col: 1,
+        out: Vec::new(),
+    };
+    while let Some(c) = lx.peek(0) {
+        let (line, col) = (lx.line, lx.col);
+        match c {
+            c if c.is_whitespace() => lx.bump(),
+            '/' if lx.peek(1) == Some('/') => lx.line_comment(),
+            '/' if lx.peek(1) == Some('*') => lx.block_comment(),
+            '"' => lx.string(line, col, "\"\""),
+            'r' if lx.raw_str_hashes(1).is_some() => {
+                let hashes = lx.raw_str_hashes(1).unwrap_or(0);
+                lx.raw_string(hashes, line, col, "r\"\"");
+            }
+            'r' if lx.peek(1) == Some('#') && lx.peek(2).is_some_and(is_ident_start) => {
+                lx.bump_n(2);
+                lx.ident("r#".to_string(), line, col);
+            }
+            'b' if lx.peek(1) == Some('"') => {
+                lx.bump();
+                lx.string(line, col, "b\"\"");
+            }
+            'b' if lx.peek(1) == Some('\'') => {
+                lx.bump();
+                lx.char_literal(line, col, "b''");
+            }
+            'b' if lx.peek(1) == Some('r') && lx.raw_str_hashes(2).is_some() => {
+                let hashes = lx.raw_str_hashes(2).unwrap_or(0);
+                lx.bump();
+                lx.raw_string(hashes, line, col, "b\"\"");
+            }
+            '\'' => {
+                // Char literal vs lifetime: escapes (`'\n'`) and
+                // quote-at-distance-2 (`'x'`) are literals; an
+                // ident-start char with no closing quote is a lifetime.
+                if lx.peek(1) == Some('\\') {
+                    lx.char_literal(line, col, "''");
+                } else if lx.peek(2) == Some('\'') && lx.peek(1) != Some('\'') {
+                    lx.char_literal(line, col, "''");
+                } else if lx.peek(1).is_some_and(is_ident_start) {
+                    lx.bump();
+                    let mut text = String::from("'");
+                    while let Some(c) = lx.peek(0) {
+                        if !is_ident_char(c) {
+                            break;
+                        }
+                        text.push(c);
+                        lx.bump();
+                    }
+                    lx.push(TokKind::Lifetime, text, line, col);
+                } else {
+                    lx.bump();
+                    lx.push(TokKind::Punct, "'".to_string(), line, col);
+                }
+            }
+            c if is_ident_start(c) => {
+                lx.ident(String::new(), line, col);
+            }
+            c if c.is_ascii_digit() => lx.number(line, col),
+            c => {
+                lx.bump();
+                lx.push(TokKind::Punct, c.to_string(), line, col);
+            }
+        }
+    }
+    lx.out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).into_iter().map(|t| t.text).collect()
+    }
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_hide_their_contents() {
+        let src = r####"let s = r##"has .unwrap() and "quotes" inside"##; x.unwrap();"####;
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "s", "x", "unwrap"]);
+        let toks = lex(src);
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Literal && t.text == "r\"\""));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a"]);
+        assert_eq!(
+            toks.iter().filter(|t| t.text == "''").count(),
+            1,
+            "{toks:?}"
+        );
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        for src in ["let c = '\\n';", "let c = '\\'';", "let c = '\\u{7fff}';"] {
+            let toks = lex(src);
+            assert!(
+                toks.iter()
+                    .any(|t| t.kind == TokKind::Literal && t.text == "''"),
+                "{src}: {toks:?}"
+            );
+            assert_eq!(*toks.last().map(|t| &t.text).expect("tokens"), ";");
+        }
+    }
+
+    #[test]
+    fn doc_comments_containing_code_are_dropped() {
+        let src = "/// let y = x.unwrap();\n//! panic!(\"no\");\n/** .expect(0) */\nfn ok() {}";
+        assert_eq!(idents(src), vec!["fn", "ok"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ let x = 1;";
+        assert_eq!(idents(src), vec!["let", "x"]);
+    }
+
+    #[test]
+    fn numbers_vs_ranges() {
+        assert_eq!(texts("0..10"), vec!["0", ".", ".", "10"]);
+        assert_eq!(texts("1.5e-3"), vec!["1.5e-3"]);
+        assert_eq!(texts("0x1F_u32"), vec!["0x1F_u32"]);
+        assert_eq!(texts("2.5_f64"), vec!["2.5_f64"]);
+        // Hex digits must not eat a real minus: `0x1E-3` is a subtraction.
+        assert_eq!(texts("0x1E-3"), vec!["0x1E", "-", "3"]);
+        // Tuple field access keeps the dot as punct.
+        assert_eq!(texts("x.0"), vec!["x", ".", "0"]);
+    }
+
+    #[test]
+    fn raw_identifiers_do_not_match_keywords() {
+        let toks = lex("let r#fn = 1; fn g() {}");
+        let ids: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(ids, vec!["let", "r#fn", "fn", "g"]);
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let src = "let a = b\"panic!(\"; let b = b'x'; let c = br#\".unwrap()\"#;";
+        let ids = idents(src);
+        assert!(!ids.contains(&"panic".to_string()), "{ids:?}");
+        assert!(!ids.contains(&"unwrap".to_string()), "{ids:?}");
+    }
+
+    #[test]
+    fn lines_and_columns_are_exact() {
+        let toks = lex("ab\n  -> x");
+        let arrow_minus = toks.iter().find(|t| t.text == "-").expect("minus");
+        let arrow_gt = toks.iter().find(|t| t.text == ">").expect("gt");
+        assert_eq!((arrow_minus.line, arrow_minus.col), (2, 3));
+        assert_eq!((arrow_gt.line, arrow_gt.col), (2, 4));
+        let x = toks.iter().find(|t| t.text == "x").expect("x");
+        assert_eq!((x.line, x.col), (2, 6));
+    }
+
+    #[test]
+    fn strings_with_escapes_terminate_correctly() {
+        let src = r#"let s = "a\"b.unwrap()\\"; t.expect(1);"#;
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "s", "t", "expect"]);
+    }
+
+    #[test]
+    fn shift_right_is_two_puncts() {
+        // `Vec<Vec<u8>>` must lex `>>` as two `>` so the tree layer
+        // can close nested generics without special cases.
+        assert_eq!(
+            texts("Vec<Vec<u8>>"),
+            vec!["Vec", "<", "Vec", "<", "u8", ">", ">"]
+        );
+    }
+}

@@ -1,33 +1,57 @@
 //! Static-analysis gate for the Magus workspace.
 //!
-//! `cargo run -p magus-audit -- check` walks every `crates/*/src/**.rs`
-//! with a comment/string-aware line scanner and enforces five passes:
+//! `cargo run -p magus-audit -- check` parses every
+//! `crates/*/src/**.rs` with a std-only token-tree engine
+//! ([`lex`] + [`tree`]: raw-string/char/comment-correct lexing,
+//! balanced-delimiter matching, `#[cfg(test)]`/`#[test]`/
+//! `#[cfg(debug_assertions)]`/`use` context, fn-boundary detection)
+//! and enforces ten passes.
+//!
+//! Code-hygiene passes:
 //!
 //! * **unit-safety** — public `fn` signatures in library crates must not
 //!   take bare `f64` parameters whose names claim a radio unit
 //!   (`*_db`, `*_dbm`, `power`, `loss`, `gain`, `tilt_deg`, `dist*`);
 //!   the `magus_geo::units` newtypes exist for exactly that.
 //! * **panic-freedom** — no `.unwrap()` / `.expect(` / `panic!(` in
-//!   non-test library code (`#[cfg(test)]` modules and the `bench`,
-//!   `cli`, and `audit` binaries are exempt).
+//!   non-test, non-debug-only library code (the `bench`, `cli`, and
+//!   `audit` binaries are exempt).
 //! * **cast-audit** — narrowing `as usize` / `as u32` / `as i32` casts
-//!   on *computed* expressions (preceding token ends in `)` or `]`) in
-//!   the numeric crates (`geo`, `propagation`, `model`, `lte`) must go
-//!   through the checked helpers in `magus_geo::cast`.
+//!   on *computed* expressions in the numeric crates (`geo`,
+//!   `propagation`, `model`, `lte`) must go through the checked
+//!   helpers in `magus_geo::cast` (visible `.clamp(…)`/`.min(…)`
+//!   guards are recognized).
 //! * **lint-gate** — the workspace root must declare
 //!   `[workspace.lints]`, every member must inherit it with
 //!   `lints.workspace = true`, and every crate root must carry
 //!   `#![forbid(unsafe_code)]`.
 //! * **no-bare-print** — no `println!`/`eprintln!` (or `print!`/
 //!   `eprint!`) in non-test library code outside `main.rs` and
-//!   `src/bin/`; library code reports through `magus-obs` or hands
-//!   text back to the binary layer. The CLI command surface and the
-//!   bench harness's progress logging are allowlisted with reasons.
+//!   `src/bin/`.
+//!
+//! Determinism & concurrency passes — the static half of the
+//! reproduction contract (bit-identical results at any thread count,
+//! under zero-rate fault plans, and across checkpoint resume; the
+//! chaos_matrix and CLI byte-identity gates are the dynamic half):
+//!
+//! * **nondet-iter** — no `HashMap`/`HashSet` in deterministic crates
+//!   unless provably order-insensitive (allowlisted with the argument).
+//! * **wall-clock** — no `Instant::now()`/`SystemTime` outside
+//!   obs/bench/CLI timing code.
+//! * **float-order** — no `.partial_cmp(` call sites (use
+//!   `total_cmp`), no unordered float `.sum(`/`.fold(` inside
+//!   `magus-exec` parallel entry points.
+//! * **lock-discipline** — no multi-lock fn bodies without an argued
+//!   shard ordering, no user-closure calls after a lock acquisition.
+//! * **env-nondet** — no `std::env`/thread-identity/machine-shape
+//!   reads in deterministic computation.
 //!
 //! Findings are suppressed only through the explicit allowlist file
 //! (`audit.allowlist` at the audited root) where every rule carries a
 //! human reason string. The run emits a machine-readable JSON report
 //! and exits non-zero when any finding is left unsuppressed.
+//! `check --explain <pass>` prints each pass's rule, rationale, and
+//! allowlist syntax.
 //!
 //! The crate is deliberately std-only so the gate keeps working while
 //! the rest of the workspace is mid-refactor.
@@ -35,15 +59,18 @@
 #![forbid(unsafe_code)]
 
 pub mod allow;
+pub mod explain;
+pub mod lex;
 pub mod passes;
 pub mod report;
 pub mod scan;
+pub mod tree;
 
 use std::path::{Path, PathBuf};
 
 pub use allow::Allowlist;
 pub use report::{AuditReport, Finding, PassStats};
-pub use scan::SourceFile;
+pub use tree::SourceFile;
 
 /// Everything that can go wrong while auditing (I/O, bad allowlist).
 #[derive(Debug)]
@@ -77,6 +104,49 @@ pub const CAST_AUDIT_CRATES: &[&str] = &["geo", "propagation", "model", "lte"];
 
 /// Binary-only crates: `unit-safety` skips them (no public library API).
 pub const BINARY_CRATES: &[&str] = &["cli", "audit"];
+
+/// Crates whose results must be bit-identical across thread counts,
+/// fault plans, and checkpoint resume. The `wall-clock`,
+/// `lock-discipline`, and `env-nondet` passes audit exactly these;
+/// `obs`/`bench`/`cli`/`net`/`geo` sit at the boundary (timing,
+/// harnesses, I/O) and are exempt.
+pub const WALL_CLOCK_CRATES: &[&str] = &[
+    "core",
+    "exec",
+    "fault",
+    "lte",
+    "model",
+    "propagation",
+    "testbed",
+];
+
+/// `nondet-iter` additionally audits `cli`: its stdout is
+/// byte-identity gated in ci.sh, so hash-ordered iteration there
+/// breaks the gate just as surely.
+pub const NONDET_ITER_CRATES: &[&str] = &[
+    "cli",
+    "core",
+    "exec",
+    "fault",
+    "lte",
+    "model",
+    "propagation",
+    "testbed",
+];
+
+/// `float-order` additionally audits `bench`: its artifact JSON feeds
+/// the perf gates and paper-shape comparisons, so float sort/reduce
+/// order matters there too.
+pub const FLOAT_ORDER_CRATES: &[&str] = &[
+    "bench",
+    "core",
+    "exec",
+    "fault",
+    "lte",
+    "model",
+    "propagation",
+    "testbed",
+];
 
 /// Recursively collects `.rs` files under `dir`, sorted for stable output.
 fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), AuditError> {
@@ -128,7 +198,7 @@ pub fn load_workspace_sources(root: &Path) -> Result<Vec<SourceFile>, AuditError
             let text =
                 std::fs::read_to_string(&path).map_err(|e| AuditError::Io(path.clone(), e))?;
             let rel = relative_display(root, &path);
-            sources.push(SourceFile::scan(path, rel, crate_name.clone(), &text));
+            sources.push(SourceFile::parse(path, rel, crate_name.clone(), &text));
         }
     }
     Ok(sources)
@@ -152,6 +222,11 @@ pub fn run_audit(root: &Path, allow: &Allowlist) -> Result<AuditReport, AuditErr
     findings.extend(passes::cast_audit(&sources));
     findings.extend(passes::lint_gate(root)?);
     findings.extend(passes::no_bare_print(&sources));
+    findings.extend(passes::nondet_iter(&sources));
+    findings.extend(passes::wall_clock(&sources));
+    findings.extend(passes::float_order(&sources));
+    findings.extend(passes::lock_discipline(&sources));
+    findings.extend(passes::env_nondet(&sources));
     Ok(report::build_report(root, findings, allow))
 }
 

@@ -2,10 +2,13 @@
 //!
 //! ```text
 //! magus-audit check [--root DIR] [--allowlist FILE] [--json FILE]
+//! magus-audit check --explain <pass|all>
 //! ```
 //!
-//! Exits 0 when every finding is fixed or allowlisted, 1 when findings
-//! remain, 2 on usage or I/O errors.
+//! `--explain` prints the named pass's rule, rationale, and allowlist
+//! syntax and exits without auditing. Otherwise exits 0 when every
+//! finding is fixed or allowlisted, 1 when findings remain, 2 on
+//! usage or I/O errors.
 
 #![forbid(unsafe_code)]
 
@@ -17,10 +20,11 @@ struct Options {
     root: PathBuf,
     allowlist: Option<PathBuf>,
     json: Option<PathBuf>,
+    explain: Option<String>,
 }
 
 fn usage() -> &'static str {
-    "usage: magus-audit check [--root DIR] [--allowlist FILE] [--json FILE]"
+    "usage: magus-audit check [--root DIR] [--allowlist FILE] [--json FILE] [--explain PASS|all]"
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -34,6 +38,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         root: PathBuf::from("."),
         allowlist: None,
         json: None,
+        explain: None,
     };
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -45,6 +50,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--root" => opts.root = PathBuf::from(value("--root")?),
             "--allowlist" => opts.allowlist = Some(PathBuf::from(value("--allowlist")?)),
             "--json" => opts.json = Some(PathBuf::from(value("--json")?)),
+            "--explain" => opts.explain = Some(value("--explain")?),
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
     }
@@ -81,6 +87,21 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if let Some(pass) = &opts.explain {
+        return match magus_audit::explain::explain(pass) {
+            Some(text) => {
+                print!("{text}");
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!(
+                    "magus-audit: unknown pass `{pass}`; known passes: {} (or `all`)",
+                    magus_audit::passes::ALL_PASSES.join(", ")
+                );
+                ExitCode::from(2)
+            }
+        };
+    }
     match run(&opts) {
         Ok(true) => ExitCode::SUCCESS,
         Ok(false) => ExitCode::from(1),

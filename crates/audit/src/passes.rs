@@ -1,8 +1,25 @@
-//! The audit passes.
+//! The audit passes, all built on the token-tree engine in
+//! [`crate::tree`] (except `lint-gate`, which reads manifests).
+//!
+//! Legacy code-hygiene passes: `unit-safety`, `panic-freedom`,
+//! `cast-audit`, `no-bare-print`, `lint-gate`.
+//!
+//! Determinism & concurrency passes (the static half of the
+//! reproduction contract — bit-identical results at any thread count,
+//! under zero-rate fault plans, and across checkpoint resume):
+//! `nondet-iter`, `wall-clock`, `float-order`, `lock-discipline`,
+//! `env-nondet`. Run `magus-audit check --explain <pass>` for each
+//! pass's rule, rationale, and allowlist syntax.
 
 use crate::report::Finding;
-use crate::scan::SourceFile;
-use crate::{AuditError, BINARY_CRATES, CAST_AUDIT_CRATES, PANIC_EXEMPT_CRATES};
+use crate::tree::{
+    after_dot, call_follows, is_ident, is_path2, param_name, param_segments, Delim, Shape,
+    SourceFile, NO_MATE,
+};
+use crate::{
+    AuditError, BINARY_CRATES, CAST_AUDIT_CRATES, FLOAT_ORDER_CRATES, NONDET_ITER_CRATES,
+    PANIC_EXEMPT_CRATES, WALL_CLOCK_CRATES,
+};
 use std::path::Path;
 
 /// Pass identifiers, as they appear in reports and the allowlist.
@@ -15,13 +32,37 @@ pub const PASS_CAST_AUDIT: &str = "cast-audit";
 pub const PASS_LINT_GATE: &str = "lint-gate";
 /// See [`PASS_UNIT_SAFETY`].
 pub const PASS_NO_BARE_PRINT: &str = "no-bare-print";
+/// See [`PASS_UNIT_SAFETY`].
+pub const PASS_NONDET_ITER: &str = "nondet-iter";
+/// See [`PASS_UNIT_SAFETY`].
+pub const PASS_WALL_CLOCK: &str = "wall-clock";
+/// See [`PASS_UNIT_SAFETY`].
+pub const PASS_FLOAT_ORDER: &str = "float-order";
+/// See [`PASS_UNIT_SAFETY`].
+pub const PASS_LOCK_DISCIPLINE: &str = "lock-discipline";
+/// See [`PASS_UNIT_SAFETY`].
+pub const PASS_ENV_NONDET: &str = "env-nondet";
 
-fn finding(pass: &str, file: &SourceFile, line_no: usize, message: String) -> Finding {
+/// Canonical pass order for reports.
+pub const ALL_PASSES: &[&str] = &[
+    PASS_UNIT_SAFETY,
+    PASS_PANIC_FREEDOM,
+    PASS_CAST_AUDIT,
+    PASS_LINT_GATE,
+    PASS_NO_BARE_PRINT,
+    PASS_NONDET_ITER,
+    PASS_WALL_CLOCK,
+    PASS_FLOAT_ORDER,
+    PASS_LOCK_DISCIPLINE,
+    PASS_ENV_NONDET,
+];
+
+fn finding(pass: &str, file: &SourceFile, line: u32, message: String) -> Finding {
     Finding {
         pass: pass.to_string(),
         file: file.rel.clone(),
-        line: line_no + 1,
-        snippet: file.lines[line_no].raw.trim().to_string(),
+        line: line as usize,
+        snippet: file.snippet(line),
         message,
     }
 }
@@ -50,210 +91,74 @@ fn unit_suspicious(name: &str) -> Option<&'static str> {
 }
 
 /// Flags public `fn` parameters typed as bare `f64` whose names match
-/// the unit patterns above. Signature text may span multiple lines.
+/// the unit patterns above. Findings anchor at the parameter's own
+/// line, so multi-line signatures report precisely.
 pub fn unit_safety(sources: &[SourceFile]) -> Vec<Finding> {
     let mut out = Vec::new();
     for file in sources {
         if BINARY_CRATES.contains(&file.crate_name.as_str()) {
             continue;
         }
-        let mut i = 0;
-        while i < file.lines.len() {
-            let line = &file.lines[i];
-            if line.in_test || !is_pub_fn_line(&line.code) {
-                i += 1;
+        for f in &file.fns {
+            if !f.is_pub || f.in_test {
                 continue;
             }
-            let (sig, consumed) = collect_signature(file, i);
-            for (pname, ptype) in split_params(&sig) {
-                if ptype == "f64" {
-                    if let Some(suggest) = unit_suspicious(&pname) {
-                        out.push(finding(
-                            PASS_UNIT_SAFETY,
-                            file,
-                            i,
-                            format!(
-                                "public fn takes bare `f64` parameter `{pname}`; \
-                                 use {suggest} from magus_geo::units"
-                            ),
-                        ));
-                    }
-                }
-            }
-            i += consumed.max(1);
-        }
-    }
-    out
-}
-
-/// Whether a sanitized line opens a `pub … fn` item.
-fn is_pub_fn_line(code: &str) -> bool {
-    let t = code.trim_start();
-    if !t.starts_with("pub ") && !t.starts_with("pub(") {
-        return false;
-    }
-    // `pub fn`, `pub(crate) fn`, `pub const fn`, `pub unsafe fn`, …
-    match t.find("fn ") {
-        Some(pos) => t[..pos]
-            .split_whitespace()
-            .all(|w| w.starts_with("pub") || matches!(w, "const" | "unsafe" | "extern" | "async")),
-        None => false,
-    }
-}
-
-/// Joins lines from `start` until the parameter list's parentheses
-/// balance. Returns the text between the outermost parens and the line
-/// count consumed.
-fn collect_signature(file: &SourceFile, start: usize) -> (String, usize) {
-    let mut buf = String::new();
-    let mut consumed = 0;
-    for line in file.lines.iter().skip(start).take(24) {
-        buf.push_str(&line.code);
-        buf.push(' ');
-        consumed += 1;
-        if paren_balanced(&buf) {
-            break;
-        }
-    }
-    let open = match buf.find('(') {
-        Some(p) => p,
-        None => return (String::new(), consumed),
-    };
-    let mut depth = 0i32;
-    for (off, ch) in buf[open..].char_indices() {
-        match ch {
-            '(' => depth += 1,
-            ')' => {
-                depth -= 1;
-                if depth == 0 {
-                    return (buf[open + 1..open + off].to_string(), consumed);
-                }
-            }
-            _ => {}
-        }
-    }
-    (String::new(), consumed)
-}
-
-/// Whether the text after the first `(` has balanced parentheses.
-fn paren_balanced(buf: &str) -> bool {
-    let Some(open) = buf.find('(') else {
-        return false;
-    };
-    let mut depth = 0i32;
-    for ch in buf[open..].chars() {
-        match ch {
-            '(' => depth += 1,
-            ')' => depth -= 1,
-            _ => {}
-        }
-    }
-    depth == 0
-}
-
-/// Splits a parameter list at top-level commas into `(name, type)`
-/// pairs, skipping `self` receivers and patterns without a simple name.
-fn split_params(sig: &str) -> Vec<(String, String)> {
-    let mut out = Vec::new();
-    for part in split_top_level(sig) {
-        let part = part.trim();
-        let Some(colon) = find_top_level_colon(part) else {
-            continue; // `self`, `&mut self`, …
-        };
-        let name = part[..colon]
-            .trim()
-            .trim_start_matches("mut ")
-            .trim()
-            .to_string();
-        let ty = part[colon + 1..].trim().to_string();
-        if name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') && !name.is_empty() {
-            out.push((name, ty));
-        }
-    }
-    out
-}
-
-/// Splits on commas not nested in `<>`, `()`, or `[]`.
-fn split_top_level(s: &str) -> Vec<String> {
-    let mut out = Vec::new();
-    let mut depth = 0i32;
-    let mut cur = String::new();
-    for ch in s.chars() {
-        match ch {
-            '<' | '(' | '[' => {
-                depth += 1;
-                cur.push(ch);
-            }
-            '>' | ')' | ']' => {
-                depth -= 1;
-                cur.push(ch);
-            }
-            ',' if depth == 0 => {
-                out.push(std::mem::take(&mut cur));
-            }
-            _ => cur.push(ch),
-        }
-    }
-    if !cur.trim().is_empty() {
-        out.push(cur);
-    }
-    out
-}
-
-/// First `:` at angle/paren depth 0 (skips `::` paths inside types).
-fn find_top_level_colon(s: &str) -> Option<usize> {
-    let bytes = s.as_bytes();
-    let mut depth = 0i32;
-    let mut i = 0;
-    while i < bytes.len() {
-        match bytes[i] {
-            b'<' | b'(' | b'[' => depth += 1,
-            b'>' | b')' | b']' => depth -= 1,
-            b':' if depth == 0 => {
-                if bytes.get(i + 1) == Some(&b':') {
-                    i += 2;
+            for (s, e) in param_segments(&file.toks, f.params.0 + 1, f.params.1) {
+                let Some((pname, ty_start)) = param_name(&file.toks, s, e) else {
+                    continue;
+                };
+                let ty = &file.toks[ty_start..e];
+                if ty.len() != 1 || ty[0].shape != Shape::Ident || ty[0].text != "f64" {
                     continue;
                 }
-                return Some(i);
+                if let Some(suggest) = unit_suspicious(&pname) {
+                    out.push(finding(
+                        PASS_UNIT_SAFETY,
+                        file,
+                        file.toks[s].line,
+                        format!(
+                            "public fn takes bare `f64` parameter `{pname}`; \
+                             use {suggest} from magus_geo::units"
+                        ),
+                    ));
+                }
             }
-            _ => {}
         }
-        i += 1;
     }
-    None
+    out
 }
 
 // -------------------------------------------------------------- panic-freedom
 
-/// Tokens the panic-freedom pass hunts for in non-test library code.
-const PANIC_TOKENS: &[&str] = &[".unwrap()", ".expect(", "panic!("];
-
-/// Flags `.unwrap()` / `.expect(` / `panic!(` outside test modules in
-/// library crates. `debug_assert!`/`assert!` are deliberately allowed:
-/// stated invariants are the point, silent `unwrap` panics are not.
+/// Flags `.unwrap()` / `.expect(` / `panic!(` outside test and
+/// `#[cfg(debug_assertions)]` code in library crates.
+/// `debug_assert!`/`assert!` are deliberately allowed: stated
+/// invariants are the point, silent `unwrap` panics are not.
 pub fn panic_freedom(sources: &[SourceFile]) -> Vec<Finding> {
     let mut out = Vec::new();
     for file in sources {
         if PANIC_EXEMPT_CRATES.contains(&file.crate_name.as_str()) {
             continue;
         }
-        for (no, line) in file.lines.iter().enumerate() {
-            if line.in_test {
+        for (i, t) in file.toks.iter().enumerate() {
+            if t.in_test || t.debug_only || t.shape != Shape::Ident {
                 continue;
             }
-            for tok in PANIC_TOKENS {
-                if line.code.contains(tok) {
-                    out.push(finding(
-                        PASS_PANIC_FREEDOM,
-                        file,
-                        no,
-                        format!(
-                            "`{tok}` in non-test library code; return a Result, \
-                             use a total operation, or allowlist with a reason"
-                        ),
-                    ));
-                }
-            }
+            let display = match t.text.as_str() {
+                "unwrap" if after_dot(&file.toks, i) && call_follows(&file.toks, i) => ".unwrap()",
+                "expect" if after_dot(&file.toks, i) && call_follows(&file.toks, i) => ".expect(",
+                "panic" if file.toks.get(i + 1).is_some_and(|n| n.text == "!") => "panic!(",
+                _ => continue,
+            };
+            out.push(finding(
+                PASS_PANIC_FREEDOM,
+                file,
+                t.line,
+                format!(
+                    "`{display}` in non-test library code; return a Result, \
+                     use a total operation, or allowlist with a reason"
+                ),
+            ));
         }
     }
     out
@@ -265,46 +170,60 @@ pub fn panic_freedom(sources: &[SourceFile]) -> Vec<Finding> {
 const NARROW_TARGETS: &[&str] = &["usize", "u32", "i32"];
 
 /// Flags `…) as usize` / `…] as u32` style casts — a computed value
-/// narrowed without a range check — in the numeric crates.
+/// narrowed without a range check — in the numeric crates. A cast
+/// whose input is visibly range-guarded (`….clamp(…) as u32`,
+/// `….min(…) as u32`) is exempt: that is exactly what the checked
+/// helpers in `magus_geo::cast` do.
 pub fn cast_audit(sources: &[SourceFile]) -> Vec<Finding> {
     let mut out = Vec::new();
     for file in sources {
         if !CAST_AUDIT_CRATES.contains(&file.crate_name.as_str()) {
             continue;
         }
-        for (no, line) in file.lines.iter().enumerate() {
-            if line.in_test {
+        for (i, t) in file.toks.iter().enumerate() {
+            if t.in_test || t.shape != Shape::Ident || t.text != "as" {
                 continue;
             }
-            for target in NARROW_TARGETS {
-                let needle = format!(" as {target}");
-                let mut search = 0;
-                while let Some(pos) = line.code[search..].find(&needle) {
-                    let abs = search + pos;
-                    let end = abs + needle.len();
-                    search = end;
-                    // Must be a whole-token match (`as usize` not `as usized`).
-                    if line.code[end..]
-                        .chars()
-                        .next()
-                        .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
-                    {
-                        continue;
-                    }
-                    let before = line.code[..abs].trim_end();
-                    if before.ends_with(')') || before.ends_with(']') {
-                        out.push(finding(
-                            PASS_CAST_AUDIT,
-                            file,
-                            no,
-                            format!(
-                                "computed expression narrowed with `as {target}`; \
-                                 use a checked helper from magus_geo::cast"
-                            ),
-                        ));
-                    }
+            let Some(target) = file
+                .toks
+                .get(i + 1)
+                .filter(|n| n.shape == Shape::Ident && NARROW_TARGETS.contains(&n.text.as_str()))
+            else {
+                continue;
+            };
+            if i == 0 {
+                continue;
+            }
+            let prev = &file.toks[i - 1];
+            let computed = matches!(
+                prev.shape,
+                Shape::Close(Delim::Paren) | Shape::Close(Delim::Bracket)
+            );
+            if !computed {
+                continue;
+            }
+            if prev.shape == Shape::Close(Delim::Paren) && prev.mate != NO_MATE {
+                let open = prev.mate;
+                let guarded = open >= 2
+                    && after_dot(&file.toks, open - 1)
+                    && is_ident(&file.toks, open - 1, "clamp")
+                    || open >= 2
+                        && after_dot(&file.toks, open - 1)
+                        && is_ident(&file.toks, open - 1, "min");
+                if guarded {
+                    continue;
                 }
             }
+            out.push(finding(
+                PASS_CAST_AUDIT,
+                file,
+                t.line,
+                format!(
+                    "computed expression narrowed with `as {}`; \
+                     use a checked helper from magus_geo::cast",
+                    target.text
+                ),
+            ));
         }
     }
     out
@@ -313,7 +232,7 @@ pub fn cast_audit(sources: &[SourceFile]) -> Vec<Finding> {
 // -------------------------------------------------------------- no-bare-print
 
 /// Macros that write straight to stdout/stderr.
-const PRINT_TOKENS: &[&str] = &["println!(", "eprintln!(", "print!(", "eprint!("];
+const PRINT_MACROS: &[&str] = &["println", "eprintln", "print", "eprint"];
 
 /// Flags direct stdout/stderr printing in non-test library code.
 /// `main.rs` crate roots and `src/bin/` binaries are exempt: their
@@ -327,35 +246,321 @@ pub fn no_bare_print(sources: &[SourceFile]) -> Vec<Finding> {
         if file.rel.ends_with("/main.rs") || file.rel.contains("/src/bin/") {
             continue;
         }
-        for (no, line) in file.lines.iter().enumerate() {
-            if line.in_test {
+        for (i, t) in file.toks.iter().enumerate() {
+            if t.in_test || t.shape != Shape::Ident || !PRINT_MACROS.contains(&t.text.as_str()) {
                 continue;
             }
-            for tok in PRINT_TOKENS {
-                let mut search = 0;
-                while let Some(pos) = line.code[search..].find(tok) {
-                    let abs = search + pos;
-                    search = abs + tok.len();
-                    // Token boundary: `eprintln!(` embeds `println!(`,
-                    // and `eprint!(` embeds `print!(` — only the
-                    // longest match at each site may report.
-                    if line.code[..abs]
-                        .chars()
-                        .next_back()
-                        .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
+            if !file.toks.get(i + 1).is_some_and(|n| n.text == "!") {
+                continue;
+            }
+            out.push(finding(
+                PASS_NO_BARE_PRINT,
+                file,
+                t.line,
+                format!(
+                    "`{}!(…)` in non-main library code; emit a magus-obs \
+                     metric/trace event or return the text to the binary layer",
+                    t.text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------- nondet-iter
+
+/// Hash-ordered std types whose iteration order is seed-dependent.
+const NONDET_TYPES: &[&str] = &["HashMap", "HashSet", "RandomState", "DefaultHasher"];
+
+/// Flags `HashMap`/`HashSet` (and hasher) mentions in deterministic
+/// crates: hash iteration order varies per process, so any iteration,
+/// `Debug` dump, or serialization of one breaks bit-identity. Uses
+/// that are provably order-insensitive (keyed get/insert only, with
+/// aggregate reads) are allowlisted with a written argument.
+pub fn nondet_iter(sources: &[SourceFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for file in sources {
+        if !NONDET_ITER_CRATES.contains(&file.crate_name.as_str()) {
+            continue;
+        }
+        for t in &file.toks {
+            if t.in_test || t.in_use || t.shape != Shape::Ident {
+                continue;
+            }
+            if !NONDET_TYPES.contains(&t.text.as_str()) {
+                continue;
+            }
+            out.push(finding(
+                PASS_NONDET_ITER,
+                file,
+                t.line,
+                format!(
+                    "`{}` in a deterministic crate: iteration order is \
+                     hash-seed dependent; use BTreeMap/BTreeSet or sorted \
+                     iteration, or allowlist with an order-insensitivity \
+                     argument",
+                    t.text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+// ----------------------------------------------------------------- wall-clock
+
+/// Flags `Instant::now()` and any `SystemTime` use in deterministic
+/// crates: wall-clock values must never reach deterministic
+/// computation. Timing for reports lives in `obs`/`bench`/the CLI;
+/// sim time is explicit (`SimTime` ticks).
+pub fn wall_clock(sources: &[SourceFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for file in sources {
+        if !WALL_CLOCK_CRATES.contains(&file.crate_name.as_str()) {
+            continue;
+        }
+        for (i, t) in file.toks.iter().enumerate() {
+            if t.in_test || t.in_use {
+                continue;
+            }
+            if is_path2(&file.toks, i, "Instant", "now") {
+                out.push(finding(
+                    PASS_WALL_CLOCK,
+                    file,
+                    t.line,
+                    "`Instant::now()` in a deterministic crate; wall-clock \
+                     readings belong in obs/bench/CLI timing code, sim time \
+                     is explicit ticks"
+                        .to_string(),
+                ));
+            } else if t.shape == Shape::Ident && t.text == "SystemTime" {
+                out.push(finding(
+                    PASS_WALL_CLOCK,
+                    file,
+                    t.line,
+                    "`SystemTime` in a deterministic crate; wall-clock \
+                     readings belong in obs/bench/CLI timing code"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------- float-order
+
+/// Parallel fan-out entry points from `magus-exec`: closures passed to
+/// these run concurrently, so float reductions inside their argument
+/// lists must be index-ordered.
+const PARALLEL_ENTRIES: &[&str] = &["map_indexed", "with_team", "map_markets_parallel"];
+
+/// Flags (a) `.partial_cmp(` call sites — NaN-propagating comparisons
+/// used as sort/max keys must be `total_cmp` — and (b) unordered
+/// `.sum(` / `.fold(` reductions lexically inside the argument list of
+/// a `magus-exec` parallel entry point, where accumulation order is
+/// not fixed; use `argmax_det` or an index-ordered reduction. `fn
+/// partial_cmp` *definitions* (the canonical `Some(self.cmp(other))`
+/// delegation) are not call sites and are not flagged.
+pub fn float_order(sources: &[SourceFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for file in sources {
+        if !FLOAT_ORDER_CRATES.contains(&file.crate_name.as_str()) {
+            continue;
+        }
+        // Per-group flag: are we inside a parallel entry's call args?
+        let mut stack: Vec<bool> = Vec::new();
+        for (i, t) in file.toks.iter().enumerate() {
+            match t.shape {
+                Shape::Open(_) => {
+                    let callee_parallel = i > 0
+                        && file.toks[i - 1].shape == Shape::Ident
+                        && PARALLEL_ENTRIES.contains(&file.toks[i - 1].text.as_str());
+                    let inherited = stack.last().copied().unwrap_or(false);
+                    stack.push(inherited || callee_parallel);
+                }
+                Shape::Close(_) => {
+                    stack.pop();
+                }
+                Shape::Ident if !t.in_test => {
+                    if t.text == "partial_cmp"
+                        && after_dot(&file.toks, i)
+                        && call_follows(&file.toks, i)
                     {
-                        continue;
+                        out.push(finding(
+                            PASS_FLOAT_ORDER,
+                            file,
+                            t.line,
+                            "`.partial_cmp(` call site; for float sort/max keys \
+                             use `total_cmp` (deterministic total order, no \
+                             NaN unwrap)"
+                                .to_string(),
+                        ));
+                    } else if (t.text == "sum" || t.text == "fold")
+                        && after_dot(&file.toks, i)
+                        && call_follows(&file.toks, i)
+                        && stack.last().copied().unwrap_or(false)
+                    {
+                        out.push(finding(
+                            PASS_FLOAT_ORDER,
+                            file,
+                            t.line,
+                            format!(
+                                "`.{}(` inside a magus-exec parallel context; \
+                                 float accumulation order must be fixed — use \
+                                 an index-ordered reduction or `argmax_det`",
+                                t.text
+                            ),
+                        ));
                     }
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+// ------------------------------------------------------------ lock-discipline
+
+/// Flags (a) a second `.lock(` acquisition inside one fn body — the
+/// store's sharded cache requires multi-shard holds to take shards in
+/// ascending `shard_index` order, which a single lexical body cannot
+/// prove, so it must be argued in the allowlist — and (b) calls of a
+/// closure-typed parameter after a `.lock(` in the same body: a guard
+/// held across user code invites lock-order inversion and re-entrancy
+/// deadlocks. Both rules are lexical over-approximations by design;
+/// the allowlist is the escape hatch and `cargo miri test` (nightly
+/// CI) is the dynamic complement.
+pub fn lock_discipline(sources: &[SourceFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for file in sources {
+        if !WALL_CLOCK_CRATES.contains(&file.crate_name.as_str()) {
+            continue;
+        }
+        for f in &file.fns {
+            if f.in_test {
+                continue;
+            }
+            let Some((b0, b1)) = f.body else {
+                continue;
+            };
+            let mut lock_sites: Vec<usize> = Vec::new();
+            for i in b0 + 1..b1 {
+                let t = &file.toks[i];
+                if t.shape == Shape::Ident
+                    && t.text == "lock"
+                    && after_dot(&file.toks, i)
+                    && call_follows(&file.toks, i)
+                {
+                    lock_sites.push(i);
+                }
+            }
+            for &i in lock_sites.iter().skip(1) {
+                out.push(finding(
+                    PASS_LOCK_DISCIPLINE,
+                    file,
+                    file.toks[i].line,
+                    format!(
+                        "fn `{}` acquires more than one lock; multi-shard \
+                         holds must take shards in ascending shard_index \
+                         order — restructure, or allowlist with the ordering \
+                         argument",
+                        f.name
+                    ),
+                ));
+            }
+            if lock_sites.is_empty() || f.closure_params.is_empty() {
+                continue;
+            }
+            let first_lock = lock_sites[0];
+            for i in first_lock + 1..b1 {
+                let t = &file.toks[i];
+                if t.shape == Shape::Ident
+                    && f.closure_params.iter().any(|p| *p == t.text)
+                    && call_follows(&file.toks, i)
+                    && !after_dot(&file.toks, i)
+                {
                     out.push(finding(
-                        PASS_NO_BARE_PRINT,
+                        PASS_LOCK_DISCIPLINE,
                         file,
-                        no,
+                        t.line,
                         format!(
-                            "`{tok}…)` in non-main library code; emit a magus-obs \
-                             metric/trace event or return the text to the binary layer"
+                            "fn `{}` calls user closure `{}` after acquiring \
+                             a lock in the same body; drop the guard before \
+                             calling into user code, or allowlist with a \
+                             no-guard-held argument",
+                            f.name, t.text
                         ),
                     ));
                 }
+            }
+        }
+    }
+    out
+}
+
+// ----------------------------------------------------------------- env-nondet
+
+/// `std::env` readers whose values depend on the process environment.
+const ENV_READERS: &[&str] = &["var", "var_os", "vars", "vars_os", "args", "args_os"];
+
+/// Flags process-environment and thread-identity reads in
+/// deterministic crates: `std::env::*`, `thread::current`,
+/// `available_parallelism`, `process::id`. Values like these flowing
+/// into deterministic computation make results depend on the machine,
+/// the environment, or scheduling. Config belongs at the CLI boundary;
+/// thread *count* may shape work splitting only where the
+/// merge is order-fixed (argued in the allowlist).
+pub fn env_nondet(sources: &[SourceFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for file in sources {
+        if !WALL_CLOCK_CRATES.contains(&file.crate_name.as_str()) {
+            continue;
+        }
+        for (i, t) in file.toks.iter().enumerate() {
+            if t.in_test || t.in_use {
+                continue;
+            }
+            let msg = if is_ident(&file.toks, i, "env")
+                && file.toks.get(i + 1).is_some_and(|x| x.text == ":")
+                && file.toks.get(i + 2).is_some_and(|x| x.text == ":")
+                && file
+                    .toks
+                    .get(i + 3)
+                    .is_some_and(|x| ENV_READERS.contains(&x.text.as_str()))
+            {
+                Some(format!(
+                    "`env::{}` in a deterministic crate; environment reads \
+                     belong at the CLI boundary, passed down as explicit \
+                     config",
+                    file.toks[i + 3].text
+                ))
+            } else if is_path2(&file.toks, i, "thread", "current") {
+                Some(
+                    "`thread::current()` in a deterministic crate; thread \
+                     identity must not influence results"
+                        .to_string(),
+                )
+            } else if t.shape == Shape::Ident && t.text == "available_parallelism" {
+                Some(
+                    "`available_parallelism()` in a deterministic crate; \
+                     machine shape must not influence results (thread count \
+                     may only size order-fixed work splitting)"
+                        .to_string(),
+                )
+            } else if is_path2(&file.toks, i, "process", "id") {
+                Some(
+                    "`process::id()` in a deterministic crate; process \
+                     identity must not influence results"
+                        .to_string(),
+                )
+            } else {
+                None
+            };
+            if let Some(message) = msg {
+                out.push(finding(PASS_ENV_NONDET, file, t.line, message));
             }
         }
     }
@@ -465,7 +670,7 @@ mod tests {
     use std::path::PathBuf;
 
     fn file(crate_name: &str, src: &str) -> SourceFile {
-        SourceFile::scan(
+        SourceFile::parse(
             PathBuf::from("mem.rs"),
             format!("crates/{crate_name}/src/mem.rs"),
             crate_name.to_string(),
@@ -485,7 +690,7 @@ mod tests {
     }
 
     #[test]
-    fn unit_safety_handles_multiline_signatures() {
+    fn unit_safety_anchors_multiline_signatures_at_the_param() {
         let f = file(
             "geo",
             "pub fn blend(\n    a: f64,\n    path_loss_db: f64,\n) -> f64 {\n    a\n}\n",
@@ -493,6 +698,8 @@ mod tests {
         let found = unit_safety(&[f]);
         assert_eq!(found.len(), 1, "{found:?}");
         assert!(found[0].message.contains("path_loss_db"));
+        assert_eq!(found[0].line, 3);
+        assert_eq!(found[0].snippet, "path_loss_db: f64,");
     }
 
     #[test]
@@ -518,6 +725,26 @@ mod tests {
     }
 
     #[test]
+    fn panic_freedom_exempts_debug_assertions_blocks() {
+        let f = file(
+            "model",
+            "fn check(ok: bool) {\n    #[cfg(debug_assertions)]\n    if !ok {\n        panic!(\"invariant\");\n    }\n}\nfn bad() { panic!(\"always\"); }\n",
+        );
+        let found = panic_freedom(&[f]);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].line, 7);
+    }
+
+    #[test]
+    fn panic_freedom_ignores_literals_and_raw_strings() {
+        let f = file(
+            "geo",
+            "pub fn f() -> &'static str {\n    r#\"call .unwrap() and panic!(\"#\n}\n",
+        );
+        assert!(panic_freedom(&[f]).is_empty());
+    }
+
+    #[test]
     fn cast_audit_flags_computed_narrowing_only() {
         let f = file(
             "propagation",
@@ -528,6 +755,17 @@ mod tests {
         // `i as usize` is a plain widening rebind; `v[0] as usize`
         // follows `]` and is flagged too.
         assert_eq!(found.len(), 3, "{found:?}");
+    }
+
+    #[test]
+    fn cast_audit_exempts_clamp_guarded_narrowing() {
+        let f = file(
+            "geo",
+            "fn f(v: f64, w: i64) {\n    let a = v.max(0.0).min(u32::MAX as f64) as u32;\n    let b = w.clamp(0, u32::MAX as i64) as u32;\n    let c = (v * 2.0) as u32;\n}\n",
+        );
+        let found = cast_audit(&[f]);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].line, 4);
     }
 
     #[test]
@@ -543,7 +781,6 @@ mod tests {
             "pub fn f(x: u8) {\n    println!(\"{x}\");\n    eprintln!(\"{x}\");\n}\n",
         );
         let found = no_bare_print(&[f]);
-        // `eprintln!(` must not double-report via its embedded `println!(`.
         assert_eq!(found.len(), 2, "{found:?}");
         assert_eq!(found[0].line, 2);
         assert_eq!(found[1].line, 3);
@@ -556,19 +793,119 @@ mod tests {
             "pub fn f() {}\n// println!(\"in prose\") is fine\n#[cfg(test)]\nmod t {\n    fn g() { println!(\"dbg\"); }\n}\n",
         );
         assert!(no_bare_print(&[lib]).is_empty());
-        let main = SourceFile::scan(
+        let main = SourceFile::parse(
             PathBuf::from("main.rs"),
             "crates/cli/src/main.rs".to_string(),
             "cli".to_string(),
             "fn main() { println!(\"out\"); }\n",
         );
         assert!(no_bare_print(&[main]).is_empty());
-        let bin = SourceFile::scan(
+        let bin = SourceFile::parse(
             PathBuf::from("t1.rs"),
             "crates/bench/src/bin/t1.rs".to_string(),
             "bench".to_string(),
             "fn main() { println!(\"out\"); }\n",
         );
         assert!(no_bare_print(&[bin]).is_empty());
+    }
+
+    #[test]
+    fn nondet_iter_flags_hash_types_outside_tests_and_uses() {
+        let f = file(
+            "core",
+            "use std::collections::HashMap;\npub struct P { m: HashMap<u32, u8> }\nimpl P {\n    pub fn new() -> P { P { m: HashMap::new() } }\n}\n#[cfg(test)]\nmod t {\n    fn g() { let s = std::collections::HashSet::<u8>::new(); let _ = s; }\n}\n",
+        );
+        let found = nondet_iter(&[f]);
+        // The `use` and the test-module HashSet are exempt; the field
+        // type and the constructor are findings.
+        assert_eq!(found.len(), 2, "{found:?}");
+        assert_eq!(found[0].line, 2);
+        assert_eq!(found[1].line, 4);
+    }
+
+    #[test]
+    fn nondet_iter_limited_to_deterministic_crates() {
+        let f = file("obs", "pub struct R { m: HashMap<u32, u8> }\n");
+        assert!(nondet_iter(&[f]).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_flags_instant_now_and_system_time() {
+        let f = file(
+            "exec",
+            "use std::time::Instant;\nfn f() {\n    let t0 = Instant::now();\n    let epoch = std::time::SystemTime::UNIX_EPOCH;\n    let _ = (t0, epoch);\n}\n#[cfg(test)]\nmod t {\n    fn g() { let _ = std::time::Instant::now(); }\n}\n",
+        );
+        let found = wall_clock(&[f]);
+        assert_eq!(found.len(), 2, "{found:?}");
+        assert_eq!(found[0].line, 3);
+        assert_eq!(found[1].line, 4);
+    }
+
+    #[test]
+    fn float_order_flags_partial_cmp_calls_not_definitions() {
+        let f = file(
+            "testbed",
+            "impl PartialOrd for E {\n    fn partial_cmp(&self, other: &E) -> Option<Ordering> {\n        Some(self.cmp(other))\n    }\n}\nfn sortit(v: &mut Vec<f64>) {\n    v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}\n",
+        );
+        let found = float_order(&[f]);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].line, 7);
+    }
+
+    #[test]
+    fn float_order_flags_unordered_reductions_in_parallel_contexts() {
+        let f = file(
+            "exec",
+            "fn par(xs: &[f64]) -> f64 {\n    let v = map_indexed(xs, |_, x| x.sum());\n    let serial: f64 = xs.iter().sum();\n    serial + v[0]\n}\n",
+        );
+        let found = float_order(&[f]);
+        // `.sum()` inside the map_indexed argument list is flagged; the
+        // serial `.sum()` outside any parallel entry is not.
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].line, 2);
+    }
+
+    #[test]
+    fn lock_discipline_flags_second_lock_and_closure_after_lock() {
+        let f = file(
+            "propagation",
+            "fn two_locks(a: &M, b: &M) {\n    let g1 = a.lock();\n    let g2 = b.lock();\n    drop((g1, g2));\n}\nfn with_cb(m: &M, cb: impl Fn(u8)) {\n    let g = m.lock();\n    cb(*g);\n}\nfn fine(m: &M) -> u8 {\n    *m.lock()\n}\n",
+        );
+        let found = lock_discipline(&[f]);
+        assert_eq!(found.len(), 2, "{found:?}");
+        assert_eq!(found[0].line, 3);
+        assert!(found[0].message.contains("two_locks"));
+        assert_eq!(found[1].line, 8);
+        assert!(found[1].message.contains("with_cb"));
+    }
+
+    #[test]
+    fn lock_discipline_ignores_closure_calls_without_locks() {
+        let f = file(
+            "exec",
+            "fn apply(cb: impl Fn(u8) -> u8, x: u8) -> u8 { cb(x) }\n",
+        );
+        assert!(lock_discipline(&[f]).is_empty());
+    }
+
+    #[test]
+    fn env_nondet_flags_env_thread_and_parallelism_reads() {
+        let f = file(
+            "exec",
+            "fn f() -> usize {\n    let v = std::env::var(\"MAGUS_THREADS\");\n    let t = std::thread::current();\n    let n = std::thread::available_parallelism();\n    let p = std::process::id();\n    let _ = (v, t, p);\n    n.map(|x| x.get()).unwrap_or(1)\n}\n",
+        );
+        let found = env_nondet(&[f]);
+        assert_eq!(found.len(), 4, "{found:?}");
+    }
+
+    #[test]
+    fn env_nondet_skips_tests_and_other_crates() {
+        let test_only = file(
+            "exec",
+            "#[cfg(test)]\nmod t {\n    fn g() { let _ = std::env::var(\"X\"); }\n}\n",
+        );
+        assert!(env_nondet(&[test_only]).is_empty());
+        let cli = file("cli", "fn f() { let _ = std::env::var(\"X\"); }\n");
+        assert!(env_nondet(&[cli]).is_empty());
     }
 }

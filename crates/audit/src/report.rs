@@ -8,7 +8,8 @@ use std::path::Path;
 /// One audit finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
-    /// Pass id (`unit-safety`, `panic-freedom`, `cast-audit`, `lint-gate`).
+    /// Pass id (`unit-safety`, `nondet-iter`, … — see
+    /// [`crate::passes::ALL_PASSES`]).
     pub pass: String,
     /// Path relative to the audited root, forward slashes.
     pub file: String,
@@ -131,7 +132,7 @@ impl AuditReport {
         for p in &self.passes {
             let _ = writeln!(
                 s,
-                "pass {:<14} {:>3} finding(s), {:>3} allowlisted",
+                "pass {:<15} {:>3} finding(s), {:>3} allowlisted",
                 p.pass, p.unsuppressed, p.suppressed
             );
         }
@@ -153,9 +154,6 @@ impl AuditReport {
 
 /// Splits raw findings into suppressed/unsuppressed and tallies passes.
 pub fn build_report(root: &Path, all: Vec<Finding>, allow: &Allowlist) -> AuditReport {
-    use crate::passes::{
-        PASS_CAST_AUDIT, PASS_LINT_GATE, PASS_NO_BARE_PRINT, PASS_PANIC_FREEDOM, PASS_UNIT_SAFETY,
-    };
     let mut findings = Vec::new();
     let mut suppressed = Vec::new();
     for f in all {
@@ -167,20 +165,14 @@ pub fn build_report(root: &Path, all: Vec<Finding>, allow: &Allowlist) -> AuditR
             None => findings.push(f),
         }
     }
-    let passes = [
-        PASS_UNIT_SAFETY,
-        PASS_PANIC_FREEDOM,
-        PASS_CAST_AUDIT,
-        PASS_LINT_GATE,
-        PASS_NO_BARE_PRINT,
-    ]
-    .iter()
-    .map(|&pass| PassStats {
-        pass: pass.to_string(),
-        unsuppressed: findings.iter().filter(|f| f.pass == pass).count(),
-        suppressed: suppressed.iter().filter(|s| s.finding.pass == pass).count(),
-    })
-    .collect();
+    let passes = crate::passes::ALL_PASSES
+        .iter()
+        .map(|&pass| PassStats {
+            pass: pass.to_string(),
+            unsuppressed: findings.iter().filter(|f| f.pass == pass).count(),
+            suppressed: suppressed.iter().filter(|s| s.finding.pass == pass).count(),
+        })
+        .collect();
     let unused_allow_rules = allow
         .unused()
         .iter()

@@ -1,35 +1,10 @@
-//! Comment/string-aware source scanning.
+//! Comment/string-aware text sanitizing.
 //!
-//! The auditor is a *line/token* scanner, not a Rust parser: it blanks
-//! comment bodies and string/char literal contents (preserving the
-//! delimiters) so token searches cannot match prose, and it tracks brace
-//! depth to know which lines live inside a `#[cfg(test)]` module.
-
-use std::path::PathBuf;
-
-/// One scanned line of source.
-#[derive(Debug, Clone)]
-pub struct LineInfo {
-    /// The original text (used for snippets and allowlist matching).
-    pub raw: String,
-    /// The text with comments removed and literal contents blanked.
-    pub code: String,
-    /// Whether the line is inside a `#[cfg(test)]` module body.
-    pub in_test: bool,
-}
-
-/// A scanned source file.
-#[derive(Debug, Clone)]
-pub struct SourceFile {
-    /// Absolute path on disk.
-    pub path: PathBuf,
-    /// Path relative to the audited root, forward slashes.
-    pub rel: String,
-    /// The `crates/<name>` directory the file belongs to.
-    pub crate_name: String,
-    /// Scanned lines, in order.
-    pub lines: Vec<LineInfo>,
-}
+//! The token-tree engine in [`crate::lex`]/[`crate::tree`] replaced
+//! the old line scanner for every source-code pass; what remains here
+//! is [`sanitize`], which the `lint-gate` pass uses to search crate
+//! roots for `#![forbid(unsafe_code)]` without matching prose in
+//! comments or string literals.
 
 /// Lexer state carried across lines.
 enum Mode {
@@ -37,55 +12,6 @@ enum Mode {
     Block { depth: u32 },
     Str,
     RawStr { hashes: u32 },
-}
-
-impl SourceFile {
-    /// Scans `text` into sanitized lines with test-module flags.
-    pub fn scan(path: PathBuf, rel: String, crate_name: String, text: &str) -> SourceFile {
-        let sanitized = sanitize(text);
-        let mut lines = Vec::new();
-        // Brace-depth bookkeeping for `#[cfg(test)]` blocks. `pending`
-        // is set when the attribute is seen; the next `{` opens the
-        // test block and records its depth.
-        let mut depth: i64 = 0;
-        let mut pending_test = false;
-        let mut test_depth: Option<i64> = None;
-        for (raw, code) in text.lines().zip(sanitized.lines()) {
-            let started_in_test = test_depth.is_some();
-            if code.contains("#[cfg(test)]") {
-                pending_test = true;
-            }
-            for ch in code.chars() {
-                match ch {
-                    '{' => {
-                        depth += 1;
-                        if pending_test && test_depth.is_none() {
-                            test_depth = Some(depth);
-                            pending_test = false;
-                        }
-                    }
-                    '}' => {
-                        if test_depth == Some(depth) {
-                            test_depth = None;
-                        }
-                        depth -= 1;
-                    }
-                    _ => {}
-                }
-            }
-            lines.push(LineInfo {
-                raw: raw.to_string(),
-                code: code.to_string(),
-                in_test: started_in_test || test_depth.is_some(),
-            });
-        }
-        SourceFile {
-            path,
-            rel,
-            crate_name,
-            lines,
-        }
-    }
 }
 
 /// Returns `text` with comment bodies removed and string/char literal
@@ -266,14 +192,6 @@ mod tests {
         let out = sanitize(src);
         assert!(!out.contains("expect"));
         assert!(out.contains("let t = 3;"));
-    }
-
-    #[test]
-    fn cfg_test_module_lines_are_flagged() {
-        let src = "pub fn a() { b.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\npub fn c() {}\n";
-        let f = SourceFile::scan(PathBuf::from("x.rs"), "x.rs".into(), "geo".into(), src);
-        let flags: Vec<bool> = f.lines.iter().map(|l| l.in_test).collect();
-        assert_eq!(flags, vec![false, false, true, true, true, false]);
     }
 
     #[test]

@@ -1,0 +1,770 @@
+//! Balanced token trees and source context on top of [`crate::lex`].
+//!
+//! Three layers, all std-only:
+//!
+//! 1. **Delimiter matching** — `()`/`[]`/`{}` are paired into groups
+//!    (proc-macro style: `<`/`>` stay plain puncts, so `>>` closing
+//!    nested generics needs no disambiguation).
+//! 2. **Context flags** — every token knows whether it lives inside
+//!    `#[cfg(test)]`/`#[test]` code, `#[cfg(debug_assertions)]` code,
+//!    or a `use …;` item. Attributes scope to the next brace group or
+//!    `;` at the same nesting level, which handles modules, fns, and
+//!    statement-level attributes alike. `cfg(not(test))` and
+//!    `cfg_attr` deliberately do *not* mark.
+//! 3. **Fn boundaries** — [`FnInfo`] records each `fn`'s name,
+//!    visibility, parameter and body token ranges, and which
+//!    parameters are closures (`impl Fn*`, `dyn Fn*`, or generics
+//!    bound by `Fn*` in the generic list or a `where` clause) — the
+//!    raw material for the lock-discipline and unit-safety passes.
+
+use crate::lex::{lex, TokKind};
+use std::path::PathBuf;
+
+/// Delimiter kinds that form token-tree groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delim {
+    /// `(` / `)`
+    Paren,
+    /// `[` / `]`
+    Bracket,
+    /// `{` / `}`
+    Brace,
+}
+
+/// Shape of a context token: lexical kind plus delimiter role.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shape {
+    /// Identifier or keyword.
+    Ident,
+    /// Lifetime / loop label.
+    Lifetime,
+    /// Literal (see [`crate::lex::TokKind::Literal`] conventions).
+    Literal,
+    /// Non-delimiter punctuation.
+    Punct,
+    /// Opening delimiter.
+    Open(Delim),
+    /// Closing delimiter.
+    Close(Delim),
+}
+
+/// Sentinel for "no matching delimiter" (unbalanced source).
+pub const NO_MATE: usize = usize::MAX;
+
+/// One token with tree and context information attached.
+#[derive(Debug, Clone)]
+pub struct CtxTok {
+    /// Lexical/structural shape.
+    pub shape: Shape,
+    /// Token text (idents/puncts verbatim; literal conventions as in
+    /// [`crate::lex`]).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+    /// Index of the matching delimiter token ([`NO_MATE`] otherwise).
+    pub mate: usize,
+    /// Inside `#[cfg(test)]` / `#[test]`-marked code.
+    pub in_test: bool,
+    /// Inside `#[cfg(debug_assertions)]`-marked code.
+    pub debug_only: bool,
+    /// Inside a `use …;` item (import syntax, not code).
+    pub in_use: bool,
+}
+
+/// Context inherited while walking a token range.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct Flags {
+    test: bool,
+    debug: bool,
+    in_use: bool,
+}
+
+impl Flags {
+    fn or(self, other: Flags) -> Flags {
+        Flags {
+            test: self.test || other.test,
+            debug: self.debug || other.debug,
+            in_use: self.in_use || other.in_use,
+        }
+    }
+}
+
+/// Lexes `text` and builds the matched, context-flagged token stream.
+pub fn build(text: &str) -> Vec<CtxTok> {
+    let mut toks: Vec<CtxTok> = lex(text)
+        .into_iter()
+        .map(|t| {
+            let shape = match (t.kind, t.text.as_str()) {
+                (TokKind::Punct, "(") => Shape::Open(Delim::Paren),
+                (TokKind::Punct, ")") => Shape::Close(Delim::Paren),
+                (TokKind::Punct, "[") => Shape::Open(Delim::Bracket),
+                (TokKind::Punct, "]") => Shape::Close(Delim::Bracket),
+                (TokKind::Punct, "{") => Shape::Open(Delim::Brace),
+                (TokKind::Punct, "}") => Shape::Close(Delim::Brace),
+                (TokKind::Punct, _) => Shape::Punct,
+                (TokKind::Ident, _) => Shape::Ident,
+                (TokKind::Lifetime, _) => Shape::Lifetime,
+                (TokKind::Literal, _) => Shape::Literal,
+            };
+            CtxTok {
+                shape,
+                text: t.text,
+                line: t.line,
+                col: t.col,
+                mate: NO_MATE,
+                in_test: false,
+                debug_only: false,
+                in_use: false,
+            }
+        })
+        .collect();
+
+    let mut stack: Vec<usize> = Vec::new();
+    for i in 0..toks.len() {
+        match toks[i].shape {
+            Shape::Open(_) => stack.push(i),
+            Shape::Close(_) => {
+                if let Some(j) = stack.pop() {
+                    toks[i].mate = j;
+                    toks[j].mate = i;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let len = toks.len();
+    mark(&mut toks, 0, len, Flags::default());
+    toks
+}
+
+/// Applies `flags` to token `i` (flags only accumulate, never clear).
+fn apply(toks: &mut [CtxTok], i: usize, flags: Flags) {
+    toks[i].in_test |= flags.test;
+    toks[i].debug_only |= flags.debug;
+    toks[i].in_use |= flags.in_use;
+}
+
+/// Walks `[start, end)` at one nesting level, propagating inherited
+/// context, interpreting attributes, and recursing into groups.
+fn mark(toks: &mut Vec<CtxTok>, start: usize, end: usize, mut ctx: Flags) {
+    // Flags from outer attributes (`#[cfg(test)]`) waiting for the item
+    // they decorate; consumed by the item's brace group or its `;`.
+    let mut pending = Flags::default();
+    let mut i = start;
+    while i < end {
+        let eff = ctx.or(pending);
+        apply(toks, i, eff);
+        match toks[i].shape {
+            Shape::Punct if toks[i].text == "#" => {
+                let inner = toks.get(i + 1).is_some_and(|t| t.text == "!");
+                let open = if inner { i + 2 } else { i + 1 };
+                let is_attr = open < end
+                    && matches!(toks[open].shape, Shape::Open(Delim::Bracket))
+                    && toks[open].mate != NO_MATE
+                    && toks[open].mate < end;
+                if is_attr {
+                    let close = toks[open].mate;
+                    let marks = attr_flags(toks, open + 1, close);
+                    for k in i..=close {
+                        apply(toks, k, eff);
+                    }
+                    if inner {
+                        // `#![cfg(test)]` scopes to the whole enclosing
+                        // range, not the next item.
+                        ctx = ctx.or(marks);
+                    } else {
+                        pending = pending.or(marks);
+                    }
+                    i = close + 1;
+                } else {
+                    i += 1;
+                }
+            }
+            Shape::Ident if toks[i].text == "use" && !eff.in_use => {
+                pending.in_use = true;
+                i += 1;
+            }
+            Shape::Open(d) => {
+                let close = toks[i].mate;
+                if close == NO_MATE || close >= end {
+                    // Unbalanced source: degrade to a linear walk.
+                    i += 1;
+                    continue;
+                }
+                apply(toks, close, eff);
+                mark(toks, i + 1, close, eff);
+                if d == Delim::Brace {
+                    // The brace group is the attributed item's body:
+                    // `#[cfg(test)] mod t { … }` ends the attr's scope.
+                    pending.test = false;
+                    pending.debug = false;
+                }
+                i = close + 1;
+            }
+            Shape::Punct if toks[i].text == ";" => {
+                // `;` terminates the attributed item / `use` item.
+                pending = Flags::default();
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+/// Interprets an attribute body (`cfg(test)`, `test`, `tokio::test`,
+/// `cfg(debug_assertions)`, …) into context flags.
+fn attr_flags(toks: &[CtxTok], start: usize, end: usize) -> Flags {
+    // Leading path: idents joined by `::`.
+    let mut segs: Vec<&str> = Vec::new();
+    let mut i = start;
+    while i < end && toks[i].shape == Shape::Ident {
+        segs.push(toks[i].text.as_str());
+        if i + 2 < end && toks[i + 1].text == ":" && toks[i + 2].text == ":" {
+            i += 3;
+        } else {
+            i += 1;
+            break;
+        }
+    }
+    let mut out = Flags::default();
+    match segs.last().copied() {
+        // `#[test]`, `#[tokio::test]`, … — a test fn.
+        Some("test") => out.test = true,
+        Some("cfg") if segs.len() == 1 => {
+            // `#[cfg(…)]`: scan the predicate. `not(…)` anywhere makes
+            // the conservative call: the code is NOT known test/debug
+            // only (`cfg(not(test))` is production code).
+            let mut has_test = false;
+            let mut has_debug = false;
+            let mut has_not = false;
+            for t in &toks[i..end] {
+                if t.shape == Shape::Ident {
+                    match t.text.as_str() {
+                        "test" => has_test = true,
+                        "debug_assertions" => has_debug = true,
+                        "not" => has_not = true,
+                        _ => {}
+                    }
+                }
+            }
+            if !has_not {
+                out.test = has_test;
+                out.debug = has_debug;
+            }
+        }
+        // `cfg_attr(test, …)` gates an *attribute*, not the code.
+        _ => {}
+    }
+    out
+}
+
+/// One `fn` item's boundaries and parameter facts.
+#[derive(Debug, Clone)]
+pub struct FnInfo {
+    /// The fn's name.
+    pub name: String,
+    /// Declared `pub` (any visibility qualifier).
+    pub is_pub: bool,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token indices of the parameter list's `(` and `)`.
+    pub params: (usize, usize),
+    /// Token indices of the body's `{` and `}` (`None` for trait
+    /// method declarations).
+    pub body: Option<(usize, usize)>,
+    /// Names of parameters whose type is a closure (`impl Fn*`,
+    /// `dyn Fn*`, or a generic bound by `Fn*`).
+    pub closure_params: Vec<String>,
+    /// The `fn` keyword's test flag.
+    pub in_test: bool,
+    /// The `fn` keyword's debug-only flag.
+    pub debug_only: bool,
+}
+
+/// Finds every `fn` item in the token stream.
+pub fn functions(toks: &[CtxTok]) -> Vec<FnInfo> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].shape == Shape::Ident && toks[i].text == "fn" && !toks[i].in_use {
+            if let Some(info) = parse_fn(toks, i) {
+                out.push(info);
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Names bound by `Fn`/`FnMut`/`FnOnce` in a bounds region (a generic
+/// list or `where` clause): linear scan for `Name :` then any `Fn*`
+/// ident before the next `Name :`.
+fn fn_bound_names(toks: &[CtxTok], start: usize, end: usize, out: &mut Vec<String>) {
+    let mut current: Option<&str> = None;
+    let mut k = start;
+    while k < end {
+        if toks[k].shape == Shape::Ident {
+            let is_bound_name = k + 1 < end
+                && toks[k + 1].text == ":"
+                && toks.get(k + 2).map(|t| t.text.as_str()) != Some(":");
+            if is_bound_name {
+                current = Some(toks[k].text.as_str());
+                k += 2;
+                continue;
+            }
+            if matches!(toks[k].text.as_str(), "Fn" | "FnMut" | "FnOnce") {
+                if let Some(name) = current {
+                    if !out.iter().any(|n| n == name) {
+                        out.push(name.to_string());
+                    }
+                }
+            }
+        }
+        k += 1;
+    }
+}
+
+/// Skips a generic parameter list starting at `<`; returns the index
+/// just past the matching `>`. Tolerates `->` arrows inside `Fn(…) ->
+/// T` bounds (adjacent `-` `>` puncts do not close the list).
+fn skip_generics(toks: &[CtxTok], at: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut k = at;
+    while k < toks.len() && k - at < 1024 {
+        match toks[k].shape {
+            Shape::Punct if toks[k].text == "<" => {
+                depth += 1;
+                k += 1;
+            }
+            Shape::Punct if toks[k].text == ">" => {
+                let arrow = k > 0
+                    && toks[k - 1].text == "-"
+                    && toks[k - 1].line == toks[k].line
+                    && toks[k - 1].col + 1 == toks[k].col;
+                if !arrow {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(k + 1);
+                    }
+                }
+                k += 1;
+            }
+            Shape::Open(_) => {
+                let close = toks[k].mate;
+                if close == NO_MATE {
+                    return None;
+                }
+                k = close + 1;
+            }
+            _ => k += 1,
+        }
+    }
+    None
+}
+
+/// Parses the `fn` item starting at token `at` (the `fn` keyword).
+fn parse_fn(toks: &[CtxTok], at: usize) -> Option<FnInfo> {
+    let name_tok = toks.get(at + 1)?;
+    if name_tok.shape != Shape::Ident {
+        return None; // `fn(usize) -> T` fn-pointer type, not an item
+    }
+    let name = name_tok.text.clone();
+    let mut fn_bounds: Vec<String> = Vec::new();
+    let mut j = at + 2;
+    if toks.get(j).is_some_and(|t| t.text == "<") {
+        let after = skip_generics(toks, j)?;
+        fn_bound_names(toks, j + 1, after - 1, &mut fn_bounds);
+        j = after;
+    }
+    let open = j;
+    if !matches!(
+        toks.get(open).map(|t| t.shape),
+        Some(Shape::Open(Delim::Paren))
+    ) {
+        return None;
+    }
+    let close = toks[open].mate;
+    if close == NO_MATE {
+        return None;
+    }
+
+    // Return type / where clause region, up to the body or `;`.
+    let mut body = None;
+    let mut k = close + 1;
+    let mut where_start = None;
+    while k < toks.len() && k - close < 1024 {
+        match toks[k].shape {
+            Shape::Open(Delim::Brace) => {
+                if toks[k].mate != NO_MATE {
+                    body = Some((k, toks[k].mate));
+                }
+                break;
+            }
+            Shape::Punct if toks[k].text == ";" => break,
+            Shape::Open(_) => {
+                let m = toks[k].mate;
+                if m == NO_MATE {
+                    break;
+                }
+                k = m + 1;
+            }
+            Shape::Ident if toks[k].text == "where" => {
+                where_start = Some(k + 1);
+                k += 1;
+            }
+            _ => k += 1,
+        }
+    }
+    if let Some(ws) = where_start {
+        fn_bound_names(toks, ws, k.min(toks.len()), &mut fn_bounds);
+    }
+
+    let closure_params = closure_param_names(toks, open + 1, close, &fn_bounds);
+
+    // Visibility: walk back over qualifiers (`pub(crate) const unsafe
+    // extern "C" fn`).
+    let mut is_pub = false;
+    let mut b = at;
+    while b > 0 {
+        b -= 1;
+        match toks[b].shape {
+            Shape::Ident if toks[b].text == "pub" => {
+                is_pub = true;
+                break;
+            }
+            Shape::Ident
+                if matches!(
+                    toks[b].text.as_str(),
+                    "const" | "unsafe" | "async" | "extern"
+                ) => {}
+            Shape::Literal => {} // extern "C" ABI string
+            Shape::Close(Delim::Paren) if toks[b].mate != NO_MATE => {
+                b = toks[b].mate; // pub(crate) — jump to its `(`
+            }
+            _ => break,
+        }
+    }
+
+    Some(FnInfo {
+        name,
+        is_pub,
+        line: toks[at].line,
+        params: (open, close),
+        body,
+        closure_params,
+        in_test: toks[at].in_test,
+        debug_only: toks[at].debug_only,
+    })
+}
+
+/// Parameter names in `(start, end)` whose declared type is a closure.
+fn closure_param_names(
+    toks: &[CtxTok],
+    start: usize,
+    end: usize,
+    fn_bounds: &[String],
+) -> Vec<String> {
+    let mut out = Vec::new();
+    for (seg_start, seg_end) in param_segments(toks, start, end) {
+        let Some((name, ty_start)) = param_name(toks, seg_start, seg_end) else {
+            continue;
+        };
+        let ty = &toks[ty_start..seg_end];
+        let direct = ty.iter().any(|t| {
+            t.shape == Shape::Ident && matches!(t.text.as_str(), "Fn" | "FnMut" | "FnOnce")
+        });
+        let via_generic = ty.len() == 1
+            && ty[0].shape == Shape::Ident
+            && fn_bounds.iter().any(|b| *b == ty[0].text);
+        if direct || via_generic {
+            out.push(name);
+        }
+    }
+    out
+}
+
+/// Splits a parameter list into per-parameter token ranges at
+/// top-level commas (angle-bracket depth aware, group-skipping).
+pub(crate) fn param_segments(toks: &[CtxTok], start: usize, end: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut angle = 0i32;
+    let mut seg = start;
+    let mut k = start;
+    while k < end {
+        match toks[k].shape {
+            Shape::Open(_) => {
+                let m = toks[k].mate;
+                if m == NO_MATE || m >= end {
+                    break;
+                }
+                k = m + 1;
+            }
+            Shape::Punct if toks[k].text == "<" => {
+                angle += 1;
+                k += 1;
+            }
+            Shape::Punct if toks[k].text == ">" => {
+                let arrow = k > 0
+                    && toks[k - 1].text == "-"
+                    && toks[k - 1].line == toks[k].line
+                    && toks[k - 1].col + 1 == toks[k].col;
+                if !arrow {
+                    angle -= 1;
+                }
+                k += 1;
+            }
+            Shape::Punct if toks[k].text == "," && angle == 0 => {
+                if k > seg {
+                    out.push((seg, k));
+                }
+                seg = k + 1;
+                k += 1;
+            }
+            _ => k += 1,
+        }
+    }
+    if end > seg {
+        out.push((seg, end));
+    }
+    out
+}
+
+/// `name` and type-start index for a simple `[mut] name: Type`
+/// parameter; `None` for receivers and destructuring patterns.
+pub(crate) fn param_name(toks: &[CtxTok], start: usize, end: usize) -> Option<(String, usize)> {
+    let mut k = start;
+    if toks.get(k).is_some_and(|t| t.text == "mut") {
+        k += 1;
+    }
+    let name_tok = toks.get(k)?;
+    if name_tok.shape != Shape::Ident || k >= end {
+        return None;
+    }
+    let colon = toks.get(k + 1)?;
+    if colon.text != ":" || toks.get(k + 2).is_some_and(|t| t.text == ":") {
+        return None;
+    }
+    Some((name_tok.text.clone(), k + 2))
+}
+
+/// A parsed source file: raw lines for snippets plus the token stream
+/// and fn table every pass works from.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Absolute path on disk.
+    pub path: PathBuf,
+    /// Path relative to the audited root, forward slashes.
+    pub rel: String,
+    /// The `crates/<name>` directory the file belongs to.
+    pub crate_name: String,
+    /// Original source lines (for snippets and allowlist needles).
+    pub raw_lines: Vec<String>,
+    /// Matched, context-flagged tokens.
+    pub toks: Vec<CtxTok>,
+    /// Every `fn` item found.
+    pub fns: Vec<FnInfo>,
+}
+
+impl SourceFile {
+    /// Lexes and analyzes `text`.
+    pub fn parse(path: PathBuf, rel: String, crate_name: String, text: &str) -> SourceFile {
+        let toks = build(text);
+        let fns = functions(&toks);
+        SourceFile {
+            path,
+            rel,
+            crate_name,
+            raw_lines: text.lines().map(str::to_string).collect(),
+            toks,
+            fns,
+        }
+    }
+
+    /// The trimmed raw source line (1-based), for finding snippets.
+    pub fn snippet(&self, line: u32) -> String {
+        self.raw_lines
+            .get(line as usize - 1)
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default()
+    }
+}
+
+/// Whether token `i` is an identifier with text `t`.
+pub fn is_ident(toks: &[CtxTok], i: usize, t: &str) -> bool {
+    toks.get(i)
+        .is_some_and(|x| x.shape == Shape::Ident && x.text == t)
+}
+
+/// Whether tokens at `i` spell the path segment pair `a::b`.
+pub fn is_path2(toks: &[CtxTok], i: usize, a: &str, b: &str) -> bool {
+    is_ident(toks, i, a)
+        && toks.get(i + 1).is_some_and(|t| t.text == ":")
+        && toks.get(i + 2).is_some_and(|t| t.text == ":")
+        && is_ident(toks, i + 3, b)
+}
+
+/// Whether the token before `i` is a `.` (method-call receiver).
+pub fn after_dot(toks: &[CtxTok], i: usize) -> bool {
+    i > 0 && toks[i - 1].shape == Shape::Punct && toks[i - 1].text == "."
+}
+
+/// Whether the token after `i` opens a parenthesized group (a call).
+pub fn call_follows(toks: &[CtxTok], i: usize) -> bool {
+    matches!(
+        toks.get(i + 1).map(|t| t.shape),
+        Some(Shape::Open(Delim::Paren))
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> SourceFile {
+        SourceFile::parse(PathBuf::from("mem.rs"), "mem.rs".into(), "geo".into(), src)
+    }
+
+    #[test]
+    fn delimiters_match_through_nested_generics() {
+        let toks = build("fn f(v: Vec<Vec<u8>>) -> Option<Box<[u8; 4]>> { g(v[0]) }");
+        for t in &toks {
+            if matches!(t.shape, Shape::Open(_) | Shape::Close(_)) {
+                assert_ne!(t.mate, NO_MATE, "{t:?}");
+            }
+        }
+        let open = toks
+            .iter()
+            .position(|t| t.shape == Shape::Open(Delim::Brace))
+            .expect("body");
+        assert_eq!(toks[toks[open].mate].mate, open);
+    }
+
+    #[test]
+    fn cfg_test_module_marks_contents() {
+        let f =
+            parse("pub fn a() { b(); }\n#[cfg(test)]\nmod t {\n    fn x() { y(); }\n}\nfn c() {}");
+        let y = f.toks.iter().find(|t| t.text == "y").expect("y");
+        assert!(y.in_test);
+        let b = f.toks.iter().find(|t| t.text == "b").expect("b");
+        assert!(!b.in_test);
+        let c = f.toks.iter().find(|t| t.text == "c").expect("c");
+        assert!(!c.in_test);
+    }
+
+    #[test]
+    fn test_attribute_marks_one_fn_only() {
+        let f = parse(
+            "#[test]\nfn t() { a(); }\nfn u() { b(); }\n#[tokio::test]\nasync fn v() { c(); }",
+        );
+        let flag = |name: &str| f.toks.iter().find(|t| t.text == name).map(|t| t.in_test);
+        assert_eq!(flag("a"), Some(true));
+        assert_eq!(flag("b"), Some(false));
+        assert_eq!(flag("c"), Some(true));
+    }
+
+    #[test]
+    fn cfg_not_test_and_cfg_attr_do_not_mark() {
+        let f = parse(
+            "#[cfg(not(test))]\nfn p() { q(); }\n#[cfg_attr(test, allow(dead_code))]\nfn r() { s(); }",
+        );
+        for name in ["q", "s"] {
+            let t = f.toks.iter().find(|t| t.text == name).expect(name);
+            assert!(!t.in_test, "{name}");
+        }
+    }
+
+    #[test]
+    fn statement_level_debug_attr_marks_its_block() {
+        let f = parse(
+            "fn f() {\n    a();\n    #[cfg(debug_assertions)]\n    if bad() {\n        panic!(\"x\");\n    }\n    b();\n}",
+        );
+        let panic_tok = f.toks.iter().find(|t| t.text == "panic").expect("panic");
+        assert!(panic_tok.debug_only);
+        for name in ["a", "b"] {
+            let t = f.toks.iter().find(|t| t.text == name).expect(name);
+            assert!(!t.debug_only, "{name}");
+        }
+    }
+
+    #[test]
+    fn use_items_are_flagged() {
+        let f =
+            parse("use std::collections::{HashMap, HashSet};\nfn f() { let m = HashMap::new(); }");
+        let uses: Vec<bool> = f
+            .toks
+            .iter()
+            .filter(|t| t.text == "HashMap")
+            .map(|t| t.in_use)
+            .collect();
+        assert_eq!(uses, vec![true, false]);
+    }
+
+    #[test]
+    fn fn_info_finds_name_visibility_and_body() {
+        let f = parse("pub(crate) const fn area(w: f64, h: f64) -> f64 { w * h }\nfn helper();");
+        assert_eq!(f.fns.len(), 2);
+        assert_eq!(f.fns[0].name, "area");
+        assert!(f.fns[0].is_pub);
+        assert!(f.fns[0].body.is_some());
+        assert_eq!(f.fns[1].name, "helper");
+        assert!(!f.fns[1].is_pub);
+        assert!(f.fns[1].body.is_none());
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let f = parse("fn takes(cb: fn(usize) -> u8) -> u8 { cb(1) }");
+        assert_eq!(f.fns.len(), 1);
+        assert_eq!(f.fns[0].name, "takes");
+    }
+
+    #[test]
+    fn closure_params_from_impl_dyn_and_bounds() {
+        let f = parse(
+            "fn a(f: impl Fn(usize) -> u8, n: usize) {}\n\
+             fn b<F: FnMut(u8)>(cb: F, x: u8) {}\n\
+             fn c<G>(g: G, y: u8) where G: FnOnce() -> u8 {}\n\
+             fn d(h: Box<dyn Fn() -> u8>) {}\n\
+             fn e(v: Vec<u8>) {}",
+        );
+        let by_name = |n: &str| {
+            f.fns
+                .iter()
+                .find(|i| i.name == n)
+                .map(|i| i.closure_params.clone())
+                .expect(n)
+        };
+        assert_eq!(by_name("a"), vec!["f"]);
+        assert_eq!(by_name("b"), vec!["cb"]);
+        assert_eq!(by_name("c"), vec!["g"]);
+        assert_eq!(by_name("d"), vec!["h"]);
+        assert!(by_name("e").is_empty());
+    }
+
+    #[test]
+    fn generics_with_fn_bounds_and_arrows_parse() {
+        let f =
+            parse("pub fn m<T, F: Fn(usize) -> Vec<T>>(make: F, n: usize) -> Vec<T> { make(n) }");
+        assert_eq!(f.fns.len(), 1);
+        assert_eq!(f.fns[0].name, "m");
+        assert!(f.fns[0].is_pub);
+        assert_eq!(f.fns[0].closure_params, vec!["make"]);
+    }
+
+    #[test]
+    fn inner_cfg_test_marks_whole_file_region() {
+        let f = parse("#![cfg(test)]\nfn t() { a(); }");
+        let a = f.toks.iter().find(|t| t.text == "a").expect("a");
+        assert!(a.in_test);
+    }
+
+    #[test]
+    fn doc_comments_with_code_produce_no_tokens() {
+        let f = parse("/// ```\n/// let m = HashMap::new();\n/// ```\npub fn documented() {}");
+        assert!(!f.toks.iter().any(|t| t.text == "HashMap"));
+        assert_eq!(f.fns[0].name, "documented");
+    }
+}

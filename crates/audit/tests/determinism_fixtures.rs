@@ -1,0 +1,124 @@
+//! The five determinism passes against the det-bad/det-good fixture
+//! workspaces: exact counts and lines on det-bad, a clean bill on
+//! det-good, and allowlist suppression with an argued reason.
+
+use magus_audit::{run_audit, Allowlist};
+use std::path::{Path, PathBuf};
+
+fn root(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn count(report: &magus_audit::AuditReport, pass: &str) -> (usize, usize) {
+    let p = report
+        .passes
+        .iter()
+        .find(|p| p.pass == pass)
+        .unwrap_or_else(|| panic!("pass {pass} missing from report"));
+    (p.unsuppressed, p.suppressed)
+}
+
+#[test]
+fn det_bad_yields_exact_counts() {
+    let report = run_audit(&root("det-bad"), &Allowlist::empty()).expect("audit runs");
+    assert_eq!(count(&report, "nondet-iter"), (3, 0), "{report:#?}");
+    assert_eq!(count(&report, "wall-clock"), (2, 0), "{report:#?}");
+    assert_eq!(count(&report, "float-order"), (2, 0), "{report:#?}");
+    assert_eq!(count(&report, "lock-discipline"), (2, 0), "{report:#?}");
+    assert_eq!(count(&report, "env-nondet"), (4, 0), "{report:#?}");
+    // det-bad is determinism-bad only: the hygiene passes stay silent.
+    for pass in [
+        "unit-safety",
+        "panic-freedom",
+        "cast-audit",
+        "lint-gate",
+        "no-bare-print",
+    ] {
+        assert_eq!(count(&report, pass), (0, 0), "{pass}: {report:#?}");
+    }
+    assert_eq!(report.findings.len(), 13);
+    assert!(!report.ok());
+}
+
+#[test]
+fn det_bad_findings_point_at_the_right_lines() {
+    let report = run_audit(&root("det-bad"), &Allowlist::empty()).expect("audit runs");
+    let lines = |pass: &str| -> Vec<usize> {
+        report
+            .findings
+            .iter()
+            .filter(|f| f.pass == pass)
+            .map(|f| f.line)
+            .collect()
+    };
+    // HashMap field, HashMap::new constructor, DefaultHasher.
+    assert_eq!(lines("nondet-iter"), vec![11, 17, 23]);
+    // Instant::now, then SystemTime.
+    assert_eq!(lines("wall-clock"), vec![30, 31]);
+    // The partial_cmp sort key, then the .sum() inside map_indexed.
+    assert_eq!(lines("float-order"), vec![40, 42]);
+    // The second shard lock in `drain`, the cb(*g) call in `visit`.
+    assert_eq!(lines("lock-discipline"), vec![50, 57]);
+    // env::var, thread::current, available_parallelism, process::id.
+    assert_eq!(lines("env-nondet"), vec![62, 63, 64, 65]);
+    let msg = |pass: &str, line: usize| {
+        report
+            .findings
+            .iter()
+            .find(|f| f.pass == pass && f.line == line)
+            .unwrap_or_else(|| panic!("no {pass} finding at {line}"))
+            .message
+            .clone()
+    };
+    assert!(msg("nondet-iter", 11).contains("BTreeMap"));
+    assert!(msg("float-order", 42).contains("parallel context"));
+    assert!(msg("lock-discipline", 50).contains("drain"));
+    assert!(msg("lock-discipline", 57).contains("visit"));
+    assert!(msg("env-nondet", 64).contains("available_parallelism"));
+}
+
+#[test]
+fn det_good_is_clean() {
+    let report = run_audit(&root("det-good"), &Allowlist::empty()).expect("audit runs");
+    assert!(report.ok(), "{report:#?}");
+    assert!(report.findings.is_empty());
+    assert!(report.suppressed.is_empty());
+    assert!(report.unused_allow_rules.is_empty());
+}
+
+#[test]
+fn determinism_findings_are_allowlistable_with_an_argument() {
+    let allow = Allowlist::parse(
+        "nondet-iter | exec/src/lib.rs | HashMap | fixture: keyed access only, never iterated\n\
+         env-nondet | exec/src/lib.rs | * | fixture: thread-count contract, results invariant\n",
+    )
+    .expect("allowlist parses");
+    let report = run_audit(&root("det-bad"), &allow).expect("audit runs");
+    // The HashMap needle covers the field and the constructor but not
+    // the DefaultHasher; the wildcard covers all four env reads.
+    assert_eq!(count(&report, "nondet-iter"), (1, 2), "{report:#?}");
+    assert_eq!(count(&report, "env-nondet"), (0, 4), "{report:#?}");
+    assert!(report.unused_allow_rules.is_empty(), "{report:#?}");
+    assert!(!report.ok(), "wall-clock/float-order/lock findings remain");
+    assert!(report
+        .suppressed
+        .iter()
+        .any(|s| s.reason.contains("thread-count contract")));
+}
+
+#[test]
+fn binary_exits_zero_on_det_good() {
+    let json = std::env::temp_dir().join("magus-audit-det-good.json");
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_magus-audit"))
+        .args(["check", "--root"])
+        .arg(root("det-good"))
+        .arg("--json")
+        .arg(&json)
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let text = std::fs::read_to_string(&json).expect("report written");
+    assert!(text.contains("\"ok\": true"));
+}

@@ -1,0 +1,35 @@
+// Fixture: patterns the old line scanner either flagged falsely
+// (each needed an allowlist entry) or missed entirely. The token
+// engine produces exactly ONE finding in this file: the multi-line
+// computed cast at the bottom.
+
+/// Doc-comment examples are prose to the auditor:
+///
+/// ```ignore
+/// value.unwrap(); // not a finding
+/// ```
+pub fn raw_mentions() -> &'static str {
+    r##"call .unwrap() or .expect("x") or panic!("boom")"##
+}
+
+/// Debug-only invariant traps are exempt without an allowlist entry.
+pub fn checked_invariant(ok: bool) {
+    #[cfg(debug_assertions)]
+    if !ok {
+        panic!("structurally unsound");
+    }
+}
+
+/// Visibly range-guarded narrowings are the checked-helper pattern.
+pub fn guarded(v: f64, w: i64) -> (u32, u32) {
+    let a = v.max(0.0).min(u32::MAX as f64) as u32;
+    let b = w.clamp(0, 4096) as u32;
+    (a, b)
+}
+
+/// The old scanner matched `) as usize` line-locally; a cast split
+/// across lines slipped through. The token engine pairs delimiters.
+pub fn spread(a: f64, b: f64) -> usize {
+    (a * 64.0
+        + b) as usize
+}

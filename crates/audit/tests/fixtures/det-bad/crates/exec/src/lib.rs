@@ -1,0 +1,79 @@
+//! det-bad fixture crate: every determinism pass fires here with the
+//! exact counts pinned by `tests/determinism_fixtures.rs`; the legacy
+//! hygiene passes all stay at zero.
+
+#![forbid(unsafe_code)]
+
+use std::collections::HashMap;
+
+/// nondet-iter: a hash-ordered field type.
+pub struct Cache {
+    map: HashMap<u64, f64>,
+}
+
+impl Cache {
+    /// nondet-iter: the constructor mention.
+    pub fn new() -> Cache {
+        Cache { map: HashMap::new() }
+    }
+}
+
+/// nondet-iter: an explicitly seeded-per-process hasher.
+pub fn digest(x: u64) -> u64 {
+    let h = std::collections::hash_map::DefaultHasher::new();
+    let _ = h;
+    x
+}
+
+/// wall-clock: both forbidden time sources.
+pub fn stamp() -> u64 {
+    let t0 = std::time::Instant::now();
+    let epoch = std::time::SystemTime::now();
+    let _ = epoch;
+    t0.elapsed().as_millis() as u64
+}
+
+/// float-order: a NaN-tolerant sort key (unstable order) and an
+/// unordered reduction inside a parallel entry's argument list.
+pub fn spread_stats(xs: &[f64]) -> Vec<f64> {
+    let mut s = xs.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    map_indexed(xs, |_, c: &[f64]| {
+        let t: f64 = c.iter().sum();
+        t
+    })
+}
+
+/// lock-discipline: a second shard lock with no ordering argument.
+pub fn drain(a: &Shard, b: &Shard) -> f64 {
+    let ga = a.inner.lock();
+    let gb = b.inner.lock();
+    *ga + *gb
+}
+
+/// lock-discipline: a guard held across a call into user code.
+pub fn visit(m: &Shard, cb: impl Fn(f64)) {
+    let g = m.inner.lock();
+    cb(*g);
+}
+
+/// env-nondet: all four forbidden read families.
+pub fn pool_size() -> usize {
+    let raw = std::env::var("DET_BAD_THREADS");
+    let tid = std::thread::current();
+    let n = std::thread::available_parallelism();
+    let pid = std::process::id();
+    let _ = (raw, tid, pid);
+    n.map(std::num::NonZeroUsize::get).unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_context_is_exempt_from_every_determinism_pass() {
+        let m = std::collections::HashMap::<u32, u32>::new();
+        let t = std::time::Instant::now();
+        let v = std::env::var("X");
+        let _ = (m, t, v);
+    }
+}

@@ -1,0 +1,62 @@
+//! det-good fixture crate: the same shapes as det-bad written to the
+//! determinism contract — the audit must report zero findings.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+
+/// Ordered map: iteration order is the key order, always.
+pub struct Cache {
+    map: BTreeMap<u64, f64>,
+}
+
+impl Cache {
+    /// Deterministic constructor.
+    pub fn new() -> Cache {
+        Cache { map: BTreeMap::new() }
+    }
+}
+
+/// Simulation time is explicit ticks, not the wall clock.
+pub fn stamp(now_ticks: u64) -> u64 {
+    now_ticks + 1
+}
+
+/// Total order for float sort keys; a serial reduction outside any
+/// parallel entry point is order-fixed by the iterator itself.
+pub fn spread_stats(xs: &[f64]) -> f64 {
+    let mut s = xs.to_vec();
+    s.sort_by(|a, b| a.total_cmp(b));
+    let serial: f64 = s.iter().sum();
+    serial
+}
+
+/// One shard, one guard.
+pub struct Shard {
+    inner: Mutex<f64>,
+}
+
+/// A single acquisition per body is within the discipline.
+pub fn read(m: &Shard) -> f64 {
+    *m.inner.lock()
+}
+
+/// Calls into user code with no lock acquired in this body.
+pub fn visit(m: &Shard, cb: impl Fn(f64)) {
+    cb(read(m));
+}
+
+/// Thread count arrives as explicit config from the CLI boundary.
+pub fn pool_size(threads: Option<usize>) -> usize {
+    threads.unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_context_may_use_hash_types_and_the_clock() {
+        let m = std::collections::HashMap::<u32, u32>::new();
+        let t = std::time::Instant::now();
+        let _ = (m, t);
+    }
+}

@@ -56,7 +56,7 @@ fn main() {
                 errors.push((true_delta - approx).abs());
             }
         }
-        errors.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        errors.sort_by(|a, b| a.total_cmp(b));
         let mean = errors.iter().sum::<f64>() / errors.len().max(1) as f64;
         let p95 = errors[(errors.len() as f64 * 0.95) as usize - 1];
         let max = *errors.last().unwrap_or(&0.0);

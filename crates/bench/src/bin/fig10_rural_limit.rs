@@ -55,8 +55,7 @@ fn main() {
             a.site
                 .position
                 .distance(tpos)
-                .partial_cmp(&b.site.position.distance(tpos))
-                .expect("finite")
+                .total_cmp(&b.site.position.distance(tpos))
         })
         .expect("neighbors exist")
         .id;

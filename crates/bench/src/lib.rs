@@ -137,7 +137,7 @@ pub fn mean(xs: &[f64]) -> f64 {
 /// Empirical CDF points `(value, fraction ≤ value)` of a sample.
 pub fn cdf(xs: &[f64]) -> Vec<(f64, f64)> {
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let n = sorted.len() as f64;
     sorted
         .into_iter()

@@ -3,11 +3,11 @@
 use magus_core::TuningKind;
 use magus_model::UtilityKind;
 use magus_net::{AreaType, UpgradeScenario};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Parsed command-line options with typed accessors and defaults.
 pub struct Args {
-    values: HashMap<String, String>,
+    values: BTreeMap<String, String>,
     flags: Vec<String>,
 }
 
@@ -15,7 +15,7 @@ impl Args {
     /// Parses `--key value` pairs and bare `--flag`s. Unknown keys are
     /// accepted here and validated by the typed accessors.
     pub fn parse(argv: &[String]) -> Result<Args, String> {
-        let mut values = HashMap::new();
+        let mut values = BTreeMap::new();
         let mut flags = Vec::new();
         let mut i = 0;
         while i < argv.len() {

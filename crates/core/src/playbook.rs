@@ -15,7 +15,7 @@ use crate::experiment::{prepare_scenario_for_targets, ExperimentConfig, Recovery
 use crate::tuning::TuningKind;
 use magus_model::StandardModel;
 use magus_net::{Configuration, SectorId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One precomputed mitigation.
 #[derive(Debug, Clone)]
@@ -35,7 +35,7 @@ impl PlaybookEntry {
 /// Precomputed mitigations for single-sector outages.
 #[derive(Default)]
 pub struct OutagePlaybook {
-    entries: HashMap<SectorId, PlaybookEntry>,
+    entries: BTreeMap<SectorId, PlaybookEntry>,
 }
 
 impl OutagePlaybook {
@@ -52,7 +52,7 @@ impl OutagePlaybook {
         tuning: TuningKind,
         cfg: &ExperimentConfig,
     ) -> OutagePlaybook {
-        let mut entries = HashMap::new();
+        let mut entries = BTreeMap::new();
         for &s in sectors {
             let prepared = prepare_scenario_for_targets(sm, market, vec![s], cfg);
             let outcome = prepared.run(sm, tuning, cfg);
