@@ -117,15 +117,36 @@ MAGUS_SCALE=tiny cargo run -q --release -p magus-bench --bin chaos_matrix
 stage "CLI zero-rate fault identity"
 # End-to-end flavor of the same contract: `mitigate --json` under a
 # rate=0 fault plan must be byte-identical to the fault-free run, at 1
-# and 4 worker threads.
+# and 4 worker threads. Every run streams the flight recorder; on a
+# cmp failure `magus trace diff` names the first divergent record and
+# the traces are copied into target/magus-results/ for artifact upload.
 MAGUS_CLI=target/release/magus
-"$MAGUS_CLI" mitigate --json --seed 2 --threads 1 2>/dev/null > target/mitigate-base.json
+mkdir -p target/magus-results
+"$MAGUS_CLI" mitigate --json --seed 2 --threads 1 \
+    --trace-out target/mitigate-base.trace.jsonl \
+    2>/dev/null > target/mitigate-base.json
 for t in 1 4; do
     "$MAGUS_CLI" mitigate --json --seed 2 --threads "$t" --faults "seed=9,rate=0" \
+        --trace-out "target/mitigate-zero-$t.trace.jsonl" \
         2>/dev/null > "target/mitigate-zero-$t.json"
     cmp target/mitigate-base.json "target/mitigate-zero-$t.json" || {
-        echo "CLI zero-rate fault run diverged at $t threads"; exit 1; }
+        echo "CLI zero-rate fault run diverged at $t threads"
+        "$MAGUS_CLI" trace diff target/mitigate-base.trace.jsonl \
+            "target/mitigate-zero-$t.trace.jsonl" || true
+        cp target/mitigate-base.trace.jsonl "target/mitigate-zero-$t.trace.jsonl" \
+            target/magus-results/
+        exit 1; }
 done
+# The traces themselves are part of the contract: schema-valid, and the
+# zero-rate 1-thread and 4-thread streams must be byte-identical too
+# (timings never enter the trace, so thread count must not show).
+"$MAGUS_CLI" trace check target/mitigate-base.trace.jsonl \
+    target/mitigate-zero-1.trace.jsonl target/mitigate-zero-4.trace.jsonl
+"$MAGUS_CLI" trace diff target/mitigate-zero-1.trace.jsonl \
+    target/mitigate-zero-4.trace.jsonl || {
+        echo "zero-rate traces diverged between 1 and 4 threads"
+        cp target/mitigate-zero-?.trace.jsonl target/magus-results/
+        exit 1; }
 echo "mitigate --json byte-identical under rate=0 plan at 1 and 4 threads"
 
 echo "CI: all stages green"

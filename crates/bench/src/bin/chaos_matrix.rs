@@ -16,8 +16,14 @@
 //!    migration report byte-identical to the no-plan baseline, at 1 and
 //!    4 worker threads (the exec determinism contract extended to the
 //!    fault layer).
+//!
+//! Each identity run streams the flight recorder to
+//! `target/magus-results/chaos-trace-*.jsonl`; on a byte mismatch the
+//! gate runs the `magus trace diff` engine over the two traces and
+//! prints the first divergent record, and the trace files are kept for
+//! the CI artifact upload (deleted when the scenario passes).
 
-use magus_bench::{build_market, init_obs_from_env, write_artifact, Scale};
+use magus_bench::{build_market, init_obs_from_env, results_dir, write_artifact, Scale};
 use magus_core::{
     execute_gradual, plan_gradual, prepare_scenario, with_fault_plan, ExperimentConfig,
     GradualParams, MigrateParams, MigrationReport, TuningKind,
@@ -51,6 +57,44 @@ struct Cell {
 struct Report {
     cells: Vec<Cell>,
     failures: Vec<String>,
+}
+
+/// Runs `f` with the flight recorder streaming to `path` at
+/// `ObsLevel::Full`, then detaches the sink and restores the previous
+/// level — each identity run gets a complete, self-contained trace.
+fn run_traced<T>(path: &std::path::Path, f: impl FnOnce() -> T) -> T {
+    let prev = magus_obs::level();
+    magus_obs::set_level(magus_obs::ObsLevel::Full);
+    if let Err(e) = magus_obs::set_trace_path(path) {
+        eprintln!("chaos_matrix: cannot open trace {}: {e}", path.display());
+    }
+    let out = f();
+    magus_obs::clear_trace();
+    magus_obs::set_level(prev);
+    out
+}
+
+/// First-divergence diagnosis for a failed identity check: reads both
+/// traces and prints where they first disagree (the same engine behind
+/// `magus trace diff`).
+fn explain_divergence(left: &std::path::Path, right: &std::path::Path) {
+    use magus_obs::trace::read::{diff_traces, read_trace};
+    match (read_trace(left), read_trace(right)) {
+        (Ok(a), Ok(b)) => match diff_traces(&a, &b) {
+            Some(d) => eprintln!("chaos_matrix: {d}"),
+            None => eprintln!(
+                "chaos_matrix: traces are identical — the divergence is in \
+                 untraced report state"
+            ),
+        },
+        (a, b) => {
+            for (path, r) in [(left, a.err()), (right, b.err())] {
+                if let Some(e) = r {
+                    eprintln!("chaos_matrix: cannot read {}: {e}", path.display());
+                }
+            }
+        }
+    }
 }
 
 fn run_schedule(
@@ -165,22 +209,48 @@ fn main() {
         );
 
         // Contract 3: zero-rate byte-identity to the no-plan baseline,
-        // at 1 and 4 worker threads.
-        let baseline =
-            serde_json::to_vec(&run_schedule(&model, &sched, &params)).unwrap_or_default();
+        // at 1 and 4 worker threads. Every run is traced so a failure
+        // comes with its first divergent record, not just a bit.
+        let slug: String = sched
+            .label
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+            .collect();
+        let base_trace = results_dir().join(format!("chaos-trace-{slug}-base.jsonl"));
+        let baseline_report = run_traced(&base_trace, || run_schedule(&model, &sched, &params));
+        let baseline = serde_json::to_vec(&baseline_report).unwrap_or_default();
+        let mut scenario_traces = vec![base_trace.clone()];
+        let mut scenario_diverged = false;
         for threads in [1usize, 4] {
             magus_exec::set_threads(threads);
-            let report = with_fault_plan(Arc::new(FaultPlan::zero(9)), || {
-                run_schedule(&model, &sched, &params)
+            let zero_trace =
+                results_dir().join(format!("chaos-trace-{slug}-zero-{threads}t.jsonl"));
+            let report = run_traced(&zero_trace, || {
+                with_fault_plan(Arc::new(FaultPlan::zero(9)), || {
+                    run_schedule(&model, &sched, &params)
+                })
             });
+            scenario_traces.push(zero_trace.clone());
             if serde_json::to_vec(&report).unwrap_or_default() != baseline {
+                scenario_diverged = true;
                 failures.push(format!(
                     "{}: zero-rate plan diverged from baseline at {threads} threads",
                     sched.label
                 ));
+                explain_divergence(&base_trace, &zero_trace);
             }
         }
         magus_exec::clear_threads_override();
+        if scenario_diverged {
+            eprintln!(
+                "chaos_matrix: divergent traces kept under {}",
+                results_dir().display()
+            );
+        } else {
+            for t in &scenario_traces {
+                let _ = std::fs::remove_file(t);
+            }
+        }
 
         // Contracts 1–2: the fault sweep.
         for rate in RATES {

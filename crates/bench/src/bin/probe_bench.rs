@@ -33,20 +33,43 @@ use magus_bench::{build_market, init_obs_from_env, write_artifact, Scale};
 use magus_geo::Db;
 use magus_model::{Evaluator, ModelState, UtilityKind};
 use magus_net::{AreaType, ConfigChange, SectorId};
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
+use serde_json::Value;
 use std::time::Instant;
 
 /// Thread counts the trajectory records.
 const THREAD_COUNTS: [usize; 3] = [1, 4, 8];
 
-#[derive(Serialize, Deserialize, Clone, Copy)]
+#[derive(Serialize, Clone, Copy)]
 struct ThreadPoint {
     threads: usize,
     probes_per_sec: f64,
     wall_s: f64,
 }
 
-#[derive(Serialize, Deserialize)]
+/// Where the probe cycle spends its time, from the evaluator's sampled
+/// `evaluator.probe_{apply,read,undo}_ns` histograms: when the gate
+/// fails, these shares name the phase that regressed instead of leaving
+/// a bare throughput number.
+#[derive(Serialize, Clone, Copy)]
+struct PhaseShares {
+    apply_pct: f64,
+    read_pct: f64,
+    undo_pct: f64,
+    /// Sampled probes behind the shares (1-in-64 sampling).
+    samples: u64,
+}
+
+impl PhaseShares {
+    fn render(&self) -> String {
+        format!(
+            "apply {:.1}% / read {:.1}% / undo {:.1}% ({} samples)",
+            self.apply_pct, self.read_pct, self.undo_pct, self.samples
+        )
+    }
+}
+
+#[derive(Serialize)]
 struct Report {
     scale: String,
     cores: usize,
@@ -61,6 +84,51 @@ struct Report {
     normalized_1t: f64,
     gate_enforced: bool,
     max_regression_pct: f64,
+    /// `None` when the sampled histograms came back empty (sampling
+    /// period longer than the run).
+    phases: Option<PhaseShares>,
+}
+
+/// The fields of a committed `BENCH_probe.json` the gate actually
+/// compares, extracted field-by-field so baselines written before a
+/// `Report` field was added keep gating (the vendored deserializer
+/// rejects any missing struct field).
+struct Baseline {
+    scale: String,
+    normalized_1t: f64,
+    phases: Option<PhaseShares>,
+}
+
+fn parse_baseline(text: &str) -> Result<Baseline, String> {
+    let v: Value = serde_json::parse_value(text).map_err(|e| e.to_string())?;
+    let obj = v.as_object().ok_or("baseline is not a JSON object")?;
+    let scale = obj
+        .get("scale")
+        .and_then(Value::as_str)
+        .ok_or("missing `scale`")?
+        .to_string();
+    let normalized_1t = obj
+        .get("normalized_1t")
+        .and_then(Value::as_number)
+        .ok_or("missing `normalized_1t`")?
+        .as_f64();
+    let phases = obj.get("phases").and_then(Value::as_object).and_then(|p| {
+        let pct = |k: &str| p.get(k).and_then(Value::as_number).map(|n| n.as_f64());
+        Some(PhaseShares {
+            apply_pct: pct("apply_pct")?,
+            read_pct: pct("read_pct")?,
+            undo_pct: pct("undo_pct")?,
+            samples: p
+                .get("samples")
+                .and_then(Value::as_number)
+                .and_then(|n| n.as_u64())?,
+        })
+    });
+    Ok(Baseline {
+        scale,
+        normalized_1t,
+        phases,
+    })
 }
 
 /// The hill-climber's candidate mix over every on-air sector: power
@@ -150,6 +218,89 @@ fn calibrate() -> f64 {
     OPS as f64 / secs / 1e6
 }
 
+/// Runs a single-threaded probe pass at `ObsLevel::Full` so the
+/// evaluator's 1-in-64 sampled phase timing fills the
+/// `evaluator.probe_{apply,read,undo}_ns` histograms, then reduces them
+/// to percentage shares. Runs outside the timed trajectory (sampling
+/// is cheap, but the gate compares untimed-to-untimed); restores the
+/// previous obs level and clears the registry behind itself.
+fn measure_phases(
+    ev: &Evaluator,
+    state: &ModelState,
+    cands: &[ConfigChange],
+) -> Option<PhaseShares> {
+    let prev = magus_obs::level();
+    magus_obs::set_level(magus_obs::ObsLevel::Full);
+    let registry = magus_obs::registry();
+    registry.reset();
+    // Enough probes for ~200 sampled phase timings at 1-in-64 sampling.
+    let probes_wanted: usize = 200 * 64;
+    let rounds = probes_wanted.div_ceil(cands.len()).max(1);
+    let mut replica = state.clone();
+    for _ in 0..rounds {
+        for &ch in cands {
+            let _ = ev.probe_objective(&mut replica, ch, UtilityKind::Performance);
+        }
+    }
+    let snap = |name: &str| registry.histogram(name).snapshot(name);
+    let apply = snap("evaluator.probe_apply_ns");
+    let read = snap("evaluator.probe_read_ns");
+    let undo = snap("evaluator.probe_undo_ns");
+    registry.reset();
+    magus_obs::set_level(prev);
+    let total = (apply.sum + read.sum + undo.sum) as f64;
+    if total <= 0.0 {
+        return None;
+    }
+    Some(PhaseShares {
+        apply_pct: apply.sum as f64 / total * 100.0,
+        read_pct: read.sum as f64 / total * 100.0,
+        undo_pct: undo.sum as f64 / total * 100.0,
+        samples: apply.count.min(read.count).min(undo.count),
+    })
+}
+
+/// Names the phase whose share grew the most against the baseline (or
+/// the dominant phase when the baseline predates phase attribution) —
+/// the first place to look when the gate fails.
+fn suspect_phase(current: &PhaseShares, baseline: Option<&PhaseShares>) -> String {
+    let cur = [
+        ("apply", current.apply_pct),
+        ("read", current.read_pct),
+        ("undo", current.undo_pct),
+    ];
+    match baseline {
+        Some(b) => {
+            let base = [b.apply_pct, b.read_pct, b.undo_pct];
+            let (name, delta) = cur
+                .iter()
+                .zip(base.iter())
+                .map(|(&(n, c), &bp)| (n, c - bp))
+                .fold(("apply", f64::NEG_INFINITY), |acc, x| {
+                    if x.1 > acc.1 {
+                        x
+                    } else {
+                        acc
+                    }
+                });
+            format!("{name} phase share grew most vs baseline ({delta:+.1} points)")
+        }
+        None => {
+            let (name, pct) = cur
+                .iter()
+                .copied()
+                .fold(("apply", f64::NEG_INFINITY), |acc, x| {
+                    if x.1 > acc.1 {
+                        x
+                    } else {
+                        acc
+                    }
+                });
+            format!("{name} phase dominates the cycle ({pct:.1}%; baseline has no phase data)")
+        }
+    }
+}
+
 fn env_f64(name: &str, default: f64) -> f64 {
     std::env::var(name)
         .ok()
@@ -233,6 +384,7 @@ fn main() {
     let normalized_1t = points[0].probes_per_sec / calib_mops;
     let max_regression_pct = env_f64("MAGUS_PROBE_REGRESSION_MAX_PCT", 10.0);
     let gate_possible = cores >= 4 && max_regression_pct > 0.0;
+    let phases = measure_phases(ev, &state, &cands);
     let report = Report {
         scale: scale_name.to_string(),
         cores,
@@ -245,10 +397,15 @@ fn main() {
         normalized_1t,
         gate_enforced: gate_possible,
         max_regression_pct,
+        phases,
     };
     println!(
         "probe_bench: calib {calib_mops:.0} Mops/s, normalized 1t {normalized_1t:.1} probes/Mop"
     );
+    match &report.phases {
+        Some(p) => println!("probe_bench: phase attribution — {}", p.render()),
+        None => println!("probe_bench: phase attribution — no samples (run too short)"),
+    }
     write_artifact("probe_bench", &report);
     if std::env::var_os("MAGUS_PROBE_WRITE_BASELINE").is_some() {
         let json = serde_json::to_string_pretty(&report).expect("serialize baseline");
@@ -259,7 +416,7 @@ fn main() {
 
     // Regression gate against the committed baseline.
     let baseline = match std::fs::read_to_string("BENCH_probe.json") {
-        Ok(text) => match serde_json::from_str::<Report>(&text) {
+        Ok(text) => match parse_baseline(&text) {
             Ok(b) => Some(b),
             Err(e) => {
                 eprintln!("probe_bench: BENCH_probe.json unreadable ({e}); gate skipped");
@@ -299,6 +456,13 @@ fn main() {
              regressed more than {max_regression_pct:.0}% below the committed baseline {:.1}",
             baseline.normalized_1t
         );
+        if let Some(p) = &report.phases {
+            eprintln!(
+                "probe_bench: phase attribution — {}; {}",
+                p.render(),
+                suspect_phase(p, baseline.phases.as_ref())
+            );
+        }
         std::process::exit(1);
     }
 }

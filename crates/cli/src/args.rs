@@ -9,19 +9,37 @@ use std::collections::BTreeMap;
 pub struct Args {
     values: BTreeMap<String, String>,
     flags: Vec<String>,
+    positionals: Vec<String>,
 }
 
 impl Args {
     /// Parses `--key value` pairs and bare `--flag`s. Unknown keys are
-    /// accepted here and validated by the typed accessors.
+    /// accepted here and validated by the typed accessors. Positional
+    /// arguments are rejected — the original commands take none, and a
+    /// stray word is almost always a typo'd flag.
     pub fn parse(argv: &[String]) -> Result<Args, String> {
+        let args = Args::parse_with_positionals(argv);
+        if let Some(arg) = args.positionals.first() {
+            return Err(format!("unexpected positional argument `{arg}`"));
+        }
+        Ok(args)
+    }
+
+    /// Like [`Args::parse`] but collects positional arguments (tokens
+    /// without a `--` prefix that aren't consumed as a key's value)
+    /// instead of rejecting them — for subcommands that take file
+    /// operands, like `magus trace diff a.jsonl b.jsonl`.
+    pub fn parse_with_positionals(argv: &[String]) -> Args {
         let mut values = BTreeMap::new();
         let mut flags = Vec::new();
+        let mut positionals = Vec::new();
         let mut i = 0;
         while i < argv.len() {
             let arg = &argv[i];
             let Some(key) = arg.strip_prefix("--") else {
-                return Err(format!("unexpected positional argument `{arg}`"));
+                positionals.push(arg.clone());
+                i += 1;
+                continue;
             };
             // A flag is a `--key` followed by another option or nothing.
             // A leading `-` normally marks the next token as an option,
@@ -38,12 +56,33 @@ impl Args {
                 i += 1;
             }
         }
-        Ok(Args { values, flags })
+        Args {
+            values,
+            flags,
+            positionals,
+        }
+    }
+
+    /// The collected positional arguments, in order.
+    pub fn positionals(&self) -> &[String] {
+        &self.positionals
     }
 
     /// `true` if `--json` was given.
     pub fn json(&self) -> bool {
         self.flags.iter().any(|f| f == "json")
+    }
+
+    /// `true` if the bare flag `--<name>` was given (generic accessor
+    /// for subcommand-specific flags).
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// The raw value of `--<key> value`, if given (generic accessor for
+    /// subcommand-specific options).
+    pub fn value(&self, key: &str) -> Option<&str> {
+        self.get(key)
     }
 
     fn get(&self, key: &str) -> Option<&str> {
@@ -230,6 +269,26 @@ mod tests {
     fn positional_rejected() {
         let argv = vec!["bogus".to_string()];
         assert!(Args::parse(&argv).is_err());
+    }
+
+    #[test]
+    fn positionals_collected_when_asked() {
+        let argv: Vec<String> = ["diff", "a.jsonl", "b.jsonl", "--json"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let a = Args::parse_with_positionals(&argv);
+        assert_eq!(a.positionals(), ["diff", "a.jsonl", "b.jsonl"]);
+        assert!(a.json());
+        // `--key value` pairs still bind before positional collection.
+        let argv: Vec<String> = ["check", "--obs", "full", "t.jsonl"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let b = Args::parse_with_positionals(&argv);
+        assert_eq!(b.positionals(), ["check", "t.jsonl"]);
+        assert_eq!(b.value("obs"), Some("full"));
+        assert!(!b.flag("obs"));
     }
 
     #[test]

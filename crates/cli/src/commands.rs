@@ -347,6 +347,154 @@ pub fn inspect_db(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `magus trace` — analysis over flight-recorder output: `check`
+/// (schema/seq validation), `diff` (first-divergence finder), `stats`
+/// (record counts for traces; phase attribution + quantiles for
+/// `--metrics-out` snapshots). Runs entirely on files; no market is
+/// built and no obs/fault state is touched.
+pub fn trace(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse_with_positionals(argv);
+    let mut operands: Vec<String> = args.positionals().to_vec();
+    if operands.is_empty() {
+        return Err("usage: magus trace <check|diff|stats> <file>...".to_string());
+    }
+    let sub = operands.remove(0);
+    // `--folded run.json` binds the file as the flag's value (the
+    // parser can't know `folded` takes none); recover it as an operand.
+    let folded_only = args.flag("folded") || args.value("folded").is_some();
+    if let Some(v) = args.value("folded") {
+        operands.push(v.to_string());
+    }
+    match sub.as_str() {
+        "check" => trace_check(&operands),
+        "diff" => trace_diff(&operands),
+        "stats" => trace_stats(&operands, folded_only),
+        other => Err(format!(
+            "unknown trace subcommand `{other}` (check|diff|stats)"
+        )),
+    }
+}
+
+/// `magus trace check`: every file must parse (dense seqs enforced by
+/// the reader) and satisfy the v1 schema. Exit 1 if any file fails.
+fn trace_check(files: &[String]) -> Result<(), String> {
+    if files.is_empty() {
+        return Err("usage: magus trace check <trace.jsonl>...".to_string());
+    }
+    let mut bad = 0usize;
+    for path in files {
+        match magus_obs::trace::read::read_trace(std::path::Path::new(path)) {
+            Err(e) => {
+                println!("{path}: INVALID — {e}");
+                bad += 1;
+            }
+            Ok(t) => {
+                let problems = magus_obs::trace::read::check_trace(&t);
+                if problems.is_empty() {
+                    let schema = t.schema.map_or("(none)".to_string(), |v| v.to_string());
+                    println!("{path}: OK — schema {schema}, {} records", t.records.len());
+                } else {
+                    for p in &problems {
+                        println!("{path}: {p}");
+                    }
+                    bad += 1;
+                }
+            }
+        }
+    }
+    if bad > 0 {
+        Err(format!(
+            "{bad} of {} trace file(s) failed validation",
+            files.len()
+        ))
+    } else {
+        Ok(())
+    }
+}
+
+/// `magus trace diff`: prints the first record where two traces
+/// disagree (seq, field, both values) and exits 1; exit 0 means the
+/// traces are record-for-record identical.
+fn trace_diff(files: &[String]) -> Result<(), String> {
+    if files.len() != 2 {
+        return Err("usage: magus trace diff <a.jsonl> <b.jsonl>".to_string());
+    }
+    let (a, b) = (&files[0], &files[1]);
+    let ta = magus_obs::trace::read::read_trace(std::path::Path::new(a))
+        .map_err(|e| format!("{a}: {e}"))?;
+    let tb = magus_obs::trace::read::read_trace(std::path::Path::new(b))
+        .map_err(|e| format!("{b}: {e}"))?;
+    match magus_obs::trace::read::diff_traces(&ta, &tb) {
+        None => {
+            println!(
+                "no divergence: {} records identical ({a} vs {b})",
+                ta.records.len()
+            );
+            Ok(())
+        }
+        Some(d) => {
+            println!("{a} vs {b}:");
+            println!("{d}");
+            Err(format!("traces diverge at seq {}", d.seq))
+        }
+    }
+}
+
+/// `magus trace stats`: for `.jsonl` traces, per-kind record counts;
+/// for `--metrics-out` JSON snapshots, folded flamegraph span
+/// attribution plus a p50/p95/p99 table recomputed through the same
+/// quantile code the registry dump used.
+fn trace_stats(files: &[String], folded_only: bool) -> Result<(), String> {
+    if files.is_empty() {
+        return Err("usage: magus trace stats <trace.jsonl|metrics.json>...".to_string());
+    }
+    for path in files {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+        if text.trim_start().starts_with("{\"seq\"") {
+            // A JSONL trace stream.
+            let trace =
+                magus_obs::trace::read::parse_trace(&text).map_err(|e| format!("{path}: {e}"))?;
+            if folded_only {
+                continue; // traces carry no span timings (by design)
+            }
+            println!("{path}: {} records", trace.records.len());
+            for (kind, count) in trace.kind_counts() {
+                println!("  {kind:<28} {count:>10}");
+            }
+        } else {
+            // A `--metrics-out` registry snapshot.
+            let snap = magus_obs::trace::read::parse_metrics_snapshot(&text)
+                .map_err(|e| format!("{path}: {e}"))?;
+            let folded = magus_obs::trace::read::folded_spans(&snap.histograms);
+            if folded_only {
+                print!("{folded}");
+                continue;
+            }
+            println!("{path}: phase attribution (folded; ns totals):");
+            for line in folded.lines() {
+                println!("  {line}");
+            }
+            println!(
+                "  {:<34} {:>10} {:>10} {:>10} {:>10} {:>12}",
+                "histogram", "count", "p50", "p95", "p99", "max"
+            );
+            for h in &snap.histograms {
+                println!(
+                    "  {:<34} {:>10} {:>10} {:>10} {:>10} {:>12}",
+                    h.name,
+                    h.count,
+                    h.quantile(0.50),
+                    h.quantile(0.95),
+                    h.quantile(0.99),
+                    h.max
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
 /// `magus render`
 pub fn render(args: &Args) -> Result<(), String> {
     let (_market, model) = build(args)?;

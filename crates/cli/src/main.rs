@@ -37,6 +37,7 @@ COMMANDS:
     render      Write the coverage map as a PPM image
     export-db   Write the market's path-loss database (MAGUSPL1 blob)
     inspect-db  Summarize a previously exported path-loss database
+    trace       Analyze flight-recorder output (see TRACE ANALYSIS)
 
 OPTIONS (all commands):
     --area <rural|suburban|urban>    Market density regime   [default: suburban]
@@ -65,6 +66,22 @@ FAULT INJECTION (all commands):
     --fault-report                   Print injection/recovery counters (JSON,
                                      stderr) after the command
 
+TRACE ANALYSIS:
+    trace check <trace.jsonl>...     Validate traces: schema header, dense
+                                     seq numbers, required fields per record
+                                     kind. Exit 1 on any problem.
+    trace diff <a.jsonl> <b.jsonl>   First-divergence finder: prints the first
+                                     record where two runs disagree (seq,
+                                     field, both values). Exit 1 when the
+                                     traces diverge — the diagnostic behind
+                                     every byte-identity gate.
+    trace stats <file>...            Per-kind record counts for .jsonl traces;
+                                     phase-time attribution (folded
+                                     flamegraph lines + p50/p95/p99) for
+                                     --metrics-out JSON snapshots.
+        --folded                     Print only the folded flamegraph lines
+                                     (pipe into flamegraph tooling).
+
 COMMAND OPTIONS:
     mitigate/gradual:
         --scenario <a|b|c>           Upgrade scenario        [default: a]
@@ -80,6 +97,9 @@ COMMAND OPTIONS:
 EXAMPLES:
     magus mitigate --area suburban --seed 3 --scenario b --tuning joint
     magus gradual --area urban --scenario a --json
+    magus mitigate --seed 3 --trace-out run.jsonl --metrics-out run-metrics.json
+    magus trace diff run-a.jsonl run-b.jsonl
+    magus trace stats run-metrics.json --folded
 ";
 
 fn main() -> ExitCode {
@@ -89,6 +109,18 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     let command = argv[0].clone();
+    // `trace` takes positional file operands and touches no market or
+    // fault state, so it dispatches before the strict no-positionals
+    // parse and the obs/fault setup below.
+    if command == "trace" {
+        return match commands::trace(&argv[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let args = match Args::parse(&argv[1..]) {
         Ok(a) => a,
         Err(e) => {
@@ -129,7 +161,15 @@ fn main() -> ExitCode {
         "inspect-db" => commands::inspect_db(&args),
         other => Err(format!("unknown command `{other}`")),
     };
-    let result = result.and_then(|()| finish_obs(&args));
+    // finish_obs runs on *every* exit path: a truncated trace on the
+    // failing run is exactly when the trace matters most, so the sink
+    // is flushed (and metrics written) even when the command errored.
+    // The command's own error wins over a secondary obs-flush error.
+    let obs_result = finish_obs(&args);
+    let result = match (result, obs_result) {
+        (Err(e), _) => Err(e),
+        (Ok(()), obs) => obs,
+    };
     if args.fault_report() {
         match fault_plan {
             Some(plan) => match serde_json::to_string_pretty(&plan.report()) {
@@ -174,7 +214,8 @@ fn init_obs(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// Emits the requested metric/trace outputs after the command succeeds.
+/// Emits the requested metric/trace outputs after the command ran —
+/// on success *and* failure (failed runs are the ones worth tracing).
 fn finish_obs(args: &Args) -> Result<(), String> {
     let registry = magus_obs::registry();
     if args.metrics() {

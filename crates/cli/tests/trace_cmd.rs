@@ -1,0 +1,209 @@
+//! End-to-end tests for the `magus trace` subcommand family: the
+//! first-divergence finder on real runs (same-seed runs must diff
+//! clean across thread counts, different-seed runs must name the exact
+//! first divergent record), schema validation, phase-attribution
+//! stats, and the flush-on-error contract (a failing command still
+//! leaves a `trace check`-clean file behind).
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn out_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    std::fs::create_dir_all(&dir).expect("create tmpdir");
+    dir
+}
+
+fn magus(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_magus"))
+        .args(args)
+        .output()
+        .expect("run magus")
+}
+
+/// `mitigate --trace-out <path>`, returning the trace path.
+fn traced_mitigate(name: &str, seed: &str, threads: &str) -> PathBuf {
+    let path = out_dir().join(name);
+    let out = magus(&[
+        "mitigate",
+        "--size",
+        "tiny",
+        "--json",
+        "--seed",
+        seed,
+        "--threads",
+        threads,
+        "--trace-out",
+        path.to_str().expect("utf8 path"),
+    ]);
+    assert!(
+        out.status.success(),
+        "mitigate failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    path
+}
+
+#[test]
+fn same_seed_runs_diff_clean_across_thread_counts() {
+    let a = traced_mitigate("same_1t.jsonl", "2", "1");
+    let b = traced_mitigate("same_4t.jsonl", "2", "4");
+    let out = magus(&[
+        "trace",
+        "diff",
+        a.to_str().expect("utf8"),
+        b.to_str().expect("utf8"),
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "same-seed traces diverged:\n{stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        stdout.contains("no divergence"),
+        "expected a no-divergence report, got: {stdout}"
+    );
+}
+
+#[test]
+fn different_seed_runs_report_first_divergent_record() {
+    let a = traced_mitigate("seed2.jsonl", "2", "1");
+    let b = traced_mitigate("seed3.jsonl", "3", "1");
+    let out = magus(&[
+        "trace",
+        "diff",
+        a.to_str().expect("utf8"),
+        b.to_str().expect("utf8"),
+    ]);
+    assert!(
+        !out.status.success(),
+        "different-seed traces unexpectedly identical"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The report must name the seq, the field, and both values.
+    assert!(
+        stdout.contains("first divergence at seq"),
+        "missing seq in: {stdout}"
+    );
+    assert!(stdout.contains("left:"), "missing left value in: {stdout}");
+    assert!(
+        stdout.contains("right:"),
+        "missing right value in: {stdout}"
+    );
+    assert!(
+        stdout.contains("field `"),
+        "missing field name in: {stdout}"
+    );
+}
+
+#[test]
+fn trace_check_validates_real_runs_and_rejects_seq_gaps() {
+    let a = traced_mitigate("check_ok.jsonl", "2", "1");
+    let ok = magus(&["trace", "check", a.to_str().expect("utf8")]);
+    assert!(
+        ok.status.success(),
+        "trace check failed on a real run: {}",
+        String::from_utf8_lossy(&ok.stderr)
+    );
+    assert!(String::from_utf8_lossy(&ok.stdout).contains("OK — schema 1"));
+
+    // Drop a middle line: the dense-seq contract must catch it.
+    let text = std::fs::read_to_string(&a).expect("read trace");
+    let gapped: Vec<&str> = text
+        .lines()
+        .enumerate()
+        .filter(|(i, _)| *i != 2)
+        .map(|(_, l)| l)
+        .collect();
+    let bad = out_dir().join("check_gap.jsonl");
+    std::fs::write(&bad, gapped.join("\n") + "\n").expect("write gapped trace");
+    let fail = magus(&["trace", "check", bad.to_str().expect("utf8")]);
+    assert!(!fail.status.success(), "seq gap not rejected");
+    let stderr = String::from_utf8_lossy(&fail.stderr);
+    let stdout = String::from_utf8_lossy(&fail.stdout);
+    assert!(
+        stdout.contains("seq gap") || stderr.contains("seq gap"),
+        "gap not named: stdout={stdout} stderr={stderr}"
+    );
+}
+
+#[test]
+fn failing_command_still_flushes_a_check_clean_trace() {
+    let path = out_dir().join("failing_cmd.jsonl");
+    let out = magus(&[
+        "render",
+        "--size",
+        "tiny",
+        "--seed",
+        "1",
+        "--out",
+        "/nonexistent-dir/never/x.ppm",
+        "--trace-out",
+        path.to_str().expect("utf8"),
+    ]);
+    assert!(!out.status.success(), "render into missing dir succeeded?");
+    // The failed run's trace is flushed and complete: header present,
+    // seq dense, every record schema-valid.
+    let check = magus(&["trace", "check", path.to_str().expect("utf8")]);
+    assert!(
+        check.status.success(),
+        "trace from failing command not check-clean: {}{}",
+        String::from_utf8_lossy(&check.stdout),
+        String::from_utf8_lossy(&check.stderr)
+    );
+}
+
+#[test]
+fn stats_reports_kind_counts_and_folded_phase_attribution() {
+    let trace = out_dir().join("stats_t.jsonl");
+    let metrics = out_dir().join("stats_m.json");
+    let out = magus(&[
+        "mitigate",
+        "--size",
+        "tiny",
+        "--json",
+        "--seed",
+        "2",
+        "--trace-out",
+        trace.to_str().expect("utf8"),
+        "--metrics-out",
+        metrics.to_str().expect("utf8"),
+    ]);
+    assert!(out.status.success());
+
+    let stats = magus(&["trace", "stats", trace.to_str().expect("utf8")]);
+    assert!(stats.status.success());
+    let stdout = String::from_utf8_lossy(&stats.stdout);
+    assert!(
+        stdout.contains("hillclimb.iter"),
+        "kind counts missing: {stdout}"
+    );
+
+    // Metrics snapshot: quantile table plus folded flamegraph lines in
+    // `stack;frames count` form, consumable by standard tooling.
+    let stats = magus(&["trace", "stats", metrics.to_str().expect("utf8")]);
+    assert!(stats.status.success());
+    let stdout = String::from_utf8_lossy(&stats.stdout);
+    assert!(stdout.contains("p50"), "quantile table missing: {stdout}");
+    assert!(stdout.contains("p99"), "p99 missing: {stdout}");
+    assert!(
+        stdout.contains("magus;"),
+        "folded span lines missing: {stdout}"
+    );
+
+    let folded = magus(&[
+        "trace",
+        "stats",
+        metrics.to_str().expect("utf8"),
+        "--folded",
+    ]);
+    assert!(folded.status.success());
+    let stdout = String::from_utf8_lossy(&folded.stdout);
+    for line in stdout.lines() {
+        let (stack, count) = line.rsplit_once(' ').expect("`stack count` shape");
+        assert!(stack.starts_with("magus;"), "bad stack root: {line}");
+        assert!(count.parse::<u64>().is_ok(), "bad sample count: {line}");
+    }
+    assert!(!stdout.is_empty(), "no folded output");
+}

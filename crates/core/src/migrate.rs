@@ -77,6 +77,10 @@ pub struct StepReport {
     pub retries: u32,
     /// Stragglers detected by diff verification (applied, ack lost).
     pub stragglers: u32,
+    /// Changes deferred to a later reconciliation round after their
+    /// retry budget ran out (reconciliation stages only; scheduled
+    /// steps roll back instead).
+    pub deferred: u32,
     /// `true` when the step failed past the retry budget and was rolled
     /// back to its starting configuration.
     pub rolled_back: bool,
@@ -217,7 +221,11 @@ pub fn execute_gradual_from(
         let mut attempts = 0u32;
         let mut retries = 0u32;
         let mut stragglers = 0u32;
+        let mut deferred = 0u32;
         let mut rolled_back = false;
+        if stage >= schedule.steps.len() {
+            magus_obs::counter_inc!("migrate.reconcile_rounds");
+        }
 
         'changes: for (ci, &change) in changes.iter().enumerate() {
             let key = magus_fault::site_key(stage as u64, ci as u64, 0);
@@ -264,6 +272,8 @@ pub fn execute_gradual_from(
                         // ones that landed and defer only this change to
                         // the next round (a fresh command, fresh fault
                         // key) instead of discarding the round.
+                        deferred += 1;
+                        magus_obs::counter_inc!("migrate.deferred_changes");
                         continue 'changes;
                     }
                     // Scheduled step: mid-step configurations may sit
@@ -295,15 +305,30 @@ pub fn execute_gradual_from(
                 invariant_violations.push(format!("step {stage}: {v}"));
             }
         }
+        let utility = state.utility(params.utility);
+        let step_degraded = state.is_degraded();
+        magus_obs::counter_add!("migrate.retries", retries as u64);
+        magus_obs::trace_event!("migrate.step",
+            "step" => stage,
+            "attempts" => attempts,
+            "retries" => retries,
+            "stragglers" => stragglers,
+            "deferred" => deferred,
+            "rolled_back" => rolled_back,
+            "utility" => utility,
+            "degraded" => step_degraded,
+            "sim_time_ms" => sim_time_ms,
+        );
         steps.push(StepReport {
             step: stage,
             attempts,
             retries,
             stragglers,
+            deferred,
             rolled_back,
             sim_time_ms,
-            utility: state.utility(params.utility),
-            degraded: state.is_degraded(),
+            utility,
+            degraded: step_degraded,
         });
         executed_now += 1;
     }

@@ -293,3 +293,78 @@ fn degraded_store_reads_flag_report_but_stay_finite() {
     }
     assert!(report.invariant_violations.is_empty());
 }
+
+/// Every executed step must leave a `migrate.step` flight-recorder
+/// record whose recovery counters match the step report — the trace is
+/// the diagnosable form of the same data `magus trace` consumes.
+#[test]
+fn migrate_steps_are_traced_with_recovery_counters() {
+    use magus_obs::trace::read::{check_trace, parse_trace};
+
+    let _lock = magus_fault::test_guard();
+    let (ev, before, after, schedule) = plan_fixture();
+
+    #[derive(Clone, Default)]
+    struct Buf(Arc<std::sync::Mutex<Vec<u8>>>);
+    impl std::io::Write for Buf {
+        fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(b);
+            Ok(b.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+    let buf = Buf::default();
+    magus_obs::set_level(magus_obs::ObsLevel::Full);
+    magus_obs::set_trace_writer(Box::new(buf.clone()));
+    let plan = Arc::new(
+        FaultPlan::new(
+            5,
+            FaultRates {
+                apply: 0.4,
+                ..FaultRates::ZERO
+            },
+        )
+        .with_permanent(0.0)
+        .with_transient(2),
+    );
+    let report = with_fault_plan(plan, || {
+        execute_gradual(&ev, &before, &after, &schedule, &MigrateParams::default())
+    });
+    magus_obs::clear_trace();
+    magus_obs::set_level(magus_obs::ObsLevel::Off);
+
+    let text = String::from_utf8(buf.0.lock().unwrap().clone()).expect("utf8 trace");
+    let trace = parse_trace(&text).expect("captured trace parses");
+    assert_eq!(check_trace(&trace), Vec::<String>::new());
+    let steps: Vec<_> = trace
+        .records
+        .iter()
+        .filter(|r| r.kind == "migrate.step")
+        .collect();
+    assert_eq!(
+        steps.len(),
+        report.steps.len(),
+        "one migrate.step record per executed step"
+    );
+    for (rec, s) in steps.iter().zip(report.steps.iter()) {
+        for (field, want) in [
+            ("step", s.step.to_string()),
+            ("attempts", s.attempts.to_string()),
+            ("retries", s.retries.to_string()),
+            ("stragglers", s.stragglers.to_string()),
+            ("deferred", s.deferred.to_string()),
+            ("rolled_back", s.rolled_back.to_string()),
+        ] {
+            assert_eq!(
+                rec.field(field).map(ToString::to_string),
+                Some(want),
+                "step {}: trace field `{field}` disagrees with the report",
+                s.step
+            );
+        }
+    }
+    let total_retries: u32 = report.steps.iter().map(|s| s.retries).sum();
+    assert!(total_retries > 0, "rate 0.4 must exercise the retry path");
+}

@@ -17,8 +17,11 @@ use std::time::Instant;
 /// propagates out of the enclosing scope (std scoped-thread semantics).
 ///
 /// Instrumented via `magus-obs`: `pool.tasks` counts executed tasks,
-/// `pool.queue_depth` tracks the remaining-task gauge, and
-/// `pool.worker_busy_ns` records each worker's busy time for the call.
+/// `pool.queue_depth` tracks the remaining-task gauge,
+/// `pool.worker_busy_ns` records each worker's busy time for the call,
+/// and `pool.worker_tasks` records each worker's share of the queue —
+/// a skewed histogram there means the dynamic balancing is fighting
+/// uneven task costs.
 pub fn map_indexed<T, F>(n: usize, workers: usize, f: F) -> Vec<T>
 where
     T: Send,
@@ -48,6 +51,7 @@ where
             let f = &f;
             s.spawn(move || {
                 let started = Instant::now();
+                let mut executed = 0u64;
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
@@ -58,11 +62,13 @@ where
                         i64::try_from(n.saturating_sub(i + 1)).unwrap_or(i64::MAX)
                     );
                     let out = f(i);
+                    executed += 1;
                     magus_obs::counter_inc!("pool.tasks");
                     if tx.send((i, out)).is_err() {
                         break; // driver gone: stop quietly
                     }
                 }
+                magus_obs::observe!("pool.worker_tasks", executed);
                 magus_obs::observe!(
                     "pool.worker_busy_ns",
                     u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX)

@@ -33,13 +33,21 @@ impl<Cmd, Out> WorkerPort<Cmd, Out> {
     /// Blocks for the next command; `None` once the driver is done
     /// (its [`Team`] dropped, closing the command channel).
     pub fn next(&self) -> Option<Cmd> {
-        self.rx.recv().ok()
+        let cmd = self.rx.recv().ok();
+        if cmd.is_some() {
+            magus_obs::counter_inc!("pool.team_commands");
+        }
+        cmd
     }
 
     /// Sends a result to the driver; `false` if the driver is gone
     /// (the worker should wind down).
     pub fn send(&self, out: Out) -> bool {
-        self.tx.send((self.id, out)).is_ok()
+        let ok = self.tx.send((self.id, out)).is_ok();
+        if ok {
+            magus_obs::counter_inc!("pool.team_results");
+        }
+        ok
     }
 }
 
@@ -109,6 +117,10 @@ where
 {
     let workers = workers.max(1);
     magus_obs::counter_inc!("pool.teams");
+    magus_obs::gauge_max!(
+        "pool.team_workers",
+        i64::try_from(workers).unwrap_or(i64::MAX)
+    );
     let (out_tx, out_rx) = channel::unbounded::<(usize, Out)>();
     let mut txs = Vec::with_capacity(workers);
     let mut ports = Vec::with_capacity(workers);

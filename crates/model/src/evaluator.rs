@@ -7,7 +7,7 @@ use magus_geo::{Db, Dbm, GridWindow};
 use magus_lte::{RateMapper, RateTable};
 use magus_net::{ConfigChange, Configuration, Network, SectorId, UeLayer};
 use magus_propagation::{PathLossMatrix, PathLossStore};
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::sync::Arc;
 
 #[inline]
@@ -38,7 +38,15 @@ thread_local! {
     /// Reusable rollback record for the probe fast path: a probe
     /// refills this buffer in place instead of allocating an [`Undo`].
     static PROBE_UNDO: RefCell<Undo> = RefCell::default();
+    /// Probe counter for the sampled per-phase timing: every
+    /// [`PROBE_SAMPLE_PERIOD`]-th probe on each thread also records its
+    /// apply/read/undo split, so phase attribution costs ~1/64th of the
+    /// full-instrumentation overhead on the hot path.
+    static PROBE_SAMPLE_TICK: Cell<u64> = const { Cell::new(0) };
 }
+
+/// One in this many probes records per-phase (apply/read/undo) timing.
+const PROBE_SAMPLE_PERIOD: u64 = 64;
 
 /// Records sector `b`'s aggregates in the undo log the first time the
 /// sweep touches them (epoch-stamp dedup, no per-sweep clearing).
@@ -190,10 +198,19 @@ impl Evaluator {
     /// (the expensive path — use [`Evaluator::apply`] for updates).
     pub fn initial_state(&self, config: &Configuration) -> ModelState {
         magus_obs::counter_inc!("evaluator.initial_state");
-        magus_obs::timed!(
+        let state = magus_obs::timed!(
             "evaluator.initial_state_ns",
             self.initial_state_impl(config)
-        )
+        );
+        // Workers operate on clones of an already-built state, so this
+        // record only ever comes from the driver thread and the trace
+        // stream stays byte-identical at any thread count.
+        magus_obs::trace_event!("evaluator.build",
+            "sectors" => self.network.num_sectors(),
+            "grids" => self.store.spec().len(),
+            "degraded" => state.degraded,
+        );
+        state
     }
 
     fn initial_state_impl(&self, config: &Configuration) -> ModelState {
@@ -755,17 +772,41 @@ impl Evaluator {
     /// The probe cycle (apply → read → roll back) over the per-thread
     /// reusable undo buffer: no allocation, no second-best repair (the
     /// rollback restores the hints), no nested apply/undo spans.
+    ///
+    /// At `ObsLevel::Full`, one probe in [`PROBE_SAMPLE_PERIOD`] per
+    /// thread records its apply/read/undo split into
+    /// `evaluator.probe_{apply,read,undo}_ns` — enough samples for
+    /// `magus trace stats` phase attribution without three extra clock
+    /// reads on every probe.
     fn probe_with(
         &self,
         state: &mut ModelState,
         change: ConfigChange,
         read: impl FnOnce(&ModelState) -> f64,
     ) -> f64 {
+        let sampled = magus_obs::full_enabled()
+            && PROBE_SAMPLE_TICK.with(|t| {
+                let n = t.get();
+                t.set(n.wrapping_add(1));
+                n % PROBE_SAMPLE_PERIOD == 0
+            });
         PROBE_UNDO.with(|slot| {
             let mut undo = slot.take();
-            self.apply_into(state, change, &mut undo);
-            let value = read(state);
-            self.undo_in_place(state, &undo);
+            let value = if sampled {
+                magus_obs::counter_inc!("evaluator.probe_sampled");
+                magus_obs::timed!(
+                    "evaluator.probe_apply_ns",
+                    self.apply_into(state, change, &mut undo)
+                );
+                let value = magus_obs::timed!("evaluator.probe_read_ns", read(state));
+                magus_obs::timed!("evaluator.probe_undo_ns", self.undo_in_place(state, &undo));
+                value
+            } else {
+                self.apply_into(state, change, &mut undo);
+                let value = read(state);
+                self.undo_in_place(state, &undo);
+                value
+            };
             slot.replace(undo);
             value
         })

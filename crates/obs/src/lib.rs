@@ -21,7 +21,10 @@
 //!    spent it.
 //! 3. **Trace sink** ([`trace_event!`]): structured JSONL event stream —
 //!    one record per hill-climb iteration, gradual-migration step, or sim
-//!    window — written to the path given via `--trace-out`.
+//!    window — written to the path given via `--trace-out`. The read
+//!    side lives in [`trace::read`]: a schema-checked parser, a
+//!    first-divergence differ, and metrics-snapshot aggregation — the
+//!    engine behind the `magus trace check|diff|stats` subcommands.
 //!
 //! Everything is gated on a runtime [`ObsLevel`]: `Off` (default) makes
 //! every macro a single relaxed load + untaken branch; `Counters` enables
@@ -41,7 +44,7 @@ mod level;
 mod macros;
 mod metrics;
 mod span;
-mod trace;
+pub mod trace;
 
 pub use level::{counters_enabled, full_enabled, level, set_level, ObsLevel, ParseLevelError};
 pub use metrics::{
@@ -51,7 +54,7 @@ pub use metrics::{
 pub use span::{span_enter, SpanGuard};
 pub use trace::{
     clear_trace, emit, flush_trace, set_trace_path, set_trace_writer, trace_enabled, Event,
-    FieldValue,
+    FieldValue, TRACE_SCHEMA_VERSION,
 };
 
 /// The process-wide metrics registry.

@@ -340,8 +340,11 @@ impl Registry {
 
     /// Serializes the registry as a JSON object:
     /// `{"counters":{..},"gauges":{..},"histograms":{name:{count,sum,min,
-    /// max,mean,p50,p95,buckets:[[bucket_upper,count],..]}}}`. Bucket
-    /// entries with zero count are omitted.
+    /// max,mean,p50,p95,p99,buckets:[[bucket_upper,count],..]}}}`. Bucket
+    /// entries with zero count are omitted; the full histogram shape is
+    /// still recoverable (see `trace::read::parse_metrics_snapshot`),
+    /// and the quantiles are [`HistogramSnapshot::quantile`] at dump
+    /// time, so reader-side recomputation agrees exactly.
     pub fn to_json(&self) -> String {
         let snap = self.snapshot();
         let mut out = String::with_capacity(1024);
@@ -361,7 +364,7 @@ impl Registry {
             let _ = write!(
                 out,
                 "{sep}    {}: {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
-                 \"mean\": {:.3}, \"p50\": {}, \"p95\": {}, \"buckets\": [",
+                 \"mean\": {:.3}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"buckets\": [",
                 json_escape(&h.name),
                 h.count,
                 h.sum,
@@ -370,6 +373,7 @@ impl Registry {
                 h.mean(),
                 h.quantile(0.50),
                 h.quantile(0.95),
+                h.quantile(0.99),
             );
             let mut first = true;
             for (b, &n) in h.buckets.iter().enumerate() {
@@ -544,6 +548,38 @@ mod tests {
         assert_eq!(s.quantile(0.5), 15);
         assert_eq!(s.quantile(1.0), 100_000);
         assert_eq!(s.quantile(0.0), 15); // rank clamps to the 1st sample
+    }
+
+    /// Pins p50/p95/p99 on a known distribution, both from
+    /// [`HistogramSnapshot::quantile`] and as exported in the JSON
+    /// snapshot: 89 samples at 10 (bucket upper 15), 9 at 1000 (bucket
+    /// upper 1023), 2 at 100000 — so p50 (rank 50) lands in the first
+    /// bucket, p95 (rank 95) in the second, and p99 (rank 99) in the
+    /// last, clamped to the observed max.
+    #[test]
+    fn json_snapshot_pins_p50_p95_p99() {
+        let r = Registry::new();
+        let h = r.histogram("q.pinned_ns");
+        for _ in 0..89 {
+            h.observe(10);
+        }
+        for _ in 0..9 {
+            h.observe(1000);
+        }
+        h.observe(100_000);
+        h.observe(100_000);
+        let s = h.snapshot("q.pinned_ns");
+        assert_eq!(
+            (s.quantile(0.50), s.quantile(0.95), s.quantile(0.99)),
+            (15, 1023, 100_000)
+        );
+        let json = r.to_json();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let hv = &v["histograms"]["q.pinned_ns"];
+        let q = |key: &str| hv[key].as_number().and_then(|n| n.as_u64());
+        assert_eq!(q("p50"), Some(15), "{json}");
+        assert_eq!(q("p95"), Some(1023), "{json}");
+        assert_eq!(q("p99"), Some(100_000), "{json}");
     }
 
     #[test]

@@ -8,6 +8,12 @@
 //! sequence number instead of a wall-clock timestamp: traces stay
 //! byte-for-byte deterministic for a given seed, which is what the
 //! repo's reproducibility story needs.
+//!
+//! Every stream starts with a `trace.meta` header record carrying
+//! [`TRACE_SCHEMA_VERSION`]; sequence numbers restart at 0 per stream
+//! and are assigned under the sink lock, so a well-formed file is
+//! always densely numbered `0, 1, 2, …` — the contract the reader in
+//! [`read`] validates and the `magus trace` subcommands build on.
 
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
@@ -18,6 +24,13 @@ use std::sync::OnceLock;
 use parking_lot::Mutex;
 
 use crate::metrics::json_escape;
+
+pub mod read;
+
+/// Version of the on-disk trace schema; bumped when a record's meaning
+/// changes incompatibly (see DESIGN.md "Trace schema"). Written into
+/// the `trace.meta` header of every stream.
+pub const TRACE_SCHEMA_VERSION: u32 = 1;
 
 static TRACE_ON: AtomicBool = AtomicBool::new(false);
 static SEQ: AtomicU64 = AtomicU64::new(0);
@@ -44,8 +57,18 @@ pub fn set_trace_path(path: &Path) -> io::Result<()> {
 }
 
 /// Routes trace events to an arbitrary writer (tests, in-memory capture).
+///
+/// Starts a fresh stream: the sequence counter restarts at 0 and a
+/// `trace.meta` header record with the current [`TRACE_SCHEMA_VERSION`]
+/// is written first, so every stream is self-describing and densely
+/// seq-numbered from 0.
 pub fn set_trace_writer(w: Box<dyn Write + Send>) {
-    *sink().lock() = Some(w);
+    let mut guard = sink().lock();
+    let mut w = w;
+    let header = Event::new("trace.meta").with("schema", TRACE_SCHEMA_VERSION);
+    let _ = w.write_all(header.to_jsonl(0).as_bytes());
+    SEQ.store(1, Ordering::Relaxed);
+    *guard = Some(w);
     TRACE_ON.store(true, Ordering::Relaxed);
 }
 
@@ -199,13 +222,19 @@ impl Event {
 
 /// Writes the event to the sink as one JSONL line. No-op (after one
 /// atomic load) when no sink is installed.
+///
+/// The sequence number is assigned *under the sink lock*: concurrent
+/// emitters can't interleave seq assignment and the write, so the
+/// on-disk stream is always densely numbered in file order (the
+/// reader's seq-gap check depends on this).
 pub fn emit(event: Event) {
     if !trace_enabled() {
         return;
     }
-    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
-    let line = event.to_jsonl(seq);
-    if let Some(w) = sink().lock().as_mut() {
+    let mut guard = sink().lock();
+    if let Some(w) = guard.as_mut() {
+        let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+        let line = event.to_jsonl(seq);
         let _ = w.write_all(line.as_bytes());
     }
 }
@@ -263,5 +292,50 @@ mod tests {
         clear_trace();
         assert!(!trace_enabled());
         emit(Event::new("dropped"));
+    }
+
+    #[test]
+    fn stream_starts_with_meta_header_and_dense_seq() {
+        let _g = crate::testutil::global_guard();
+        let cap = Capture::default();
+        set_trace_writer(Box::new(cap.clone()));
+        emit(Event::new("a.one").with("x", 1u64));
+        emit(Event::new("a.two").with("x", 2u64));
+        clear_trace();
+        let text = String::from_utf8(cap.0.lock().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "{text}");
+        let head: serde_json::Value = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(head["kind"].as_str(), Some("trace.meta"));
+        assert_eq!(
+            head["schema"].as_number().and_then(|n| n.as_u64()),
+            Some(u64::from(TRACE_SCHEMA_VERSION))
+        );
+        for (i, line) in lines.iter().enumerate() {
+            let v: serde_json::Value = serde_json::from_str(line).unwrap();
+            assert_eq!(
+                v["seq"].as_number().and_then(|n| n.as_u64()),
+                Some(i as u64),
+                "{line}"
+            );
+        }
+    }
+
+    #[test]
+    fn reinstalling_the_writer_restarts_the_sequence() {
+        let _g = crate::testutil::global_guard();
+        let first = Capture::default();
+        set_trace_writer(Box::new(first.clone()));
+        emit(Event::new("a.one"));
+        clear_trace();
+        let second = Capture::default();
+        set_trace_writer(Box::new(second.clone()));
+        emit(Event::new("b.one"));
+        clear_trace();
+        let text = String::from_utf8(second.0.lock().clone()).unwrap();
+        let last = text.lines().last().unwrap();
+        let v: serde_json::Value = serde_json::from_str(last).unwrap();
+        assert_eq!(v["seq"].as_number().and_then(|n| n.as_u64()), Some(1));
+        assert_eq!(v["kind"].as_str(), Some("b.one"));
     }
 }

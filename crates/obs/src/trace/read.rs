@@ -1,0 +1,661 @@
+//! The read side of the flight recorder: parse, validate, diff, and
+//! aggregate JSONL trace streams (and `--metrics-out` snapshots).
+//!
+//! The writer half of this module's contract lives in
+//! [`super`](crate::trace): records are one JSON object per line,
+//! densely seq-numbered from 0, headed by a `trace.meta` record with
+//! [`TRACE_SCHEMA_VERSION`](super::TRACE_SCHEMA_VERSION). The reader
+//! enforces exactly that — a malformed line or a seq gap is an error —
+//! while staying forward-compatible by design: unknown record kinds and
+//! unknown fields pass through untouched, so adding instrumentation
+//! never breaks old tooling.
+//!
+//! Three consumers, all behind `magus trace`:
+//!
+//! * **`check`** ([`check_trace`]): schema validation for CI artifacts —
+//!   header present, every known-kind record carries its required
+//!   fields.
+//! * **`diff`** ([`diff_traces`]): first-divergence finder. When a
+//!   byte-identity gate fails, "bytes differ" becomes "seq 412,
+//!   `hillclimb.iter` field `objective`: 1.31 vs 1.29".
+//! * **`stats`** ([`Trace::kind_counts`], [`parse_metrics_snapshot`],
+//!   [`folded_spans`]): per-kind record counts from the trace plus
+//!   phase-time attribution and quantiles from the span histograms of a
+//!   metrics snapshot. Quantiles are recomputed through the *same*
+//!   [`HistogramSnapshot::quantile`] the registry dump uses, so the
+//!   numbers match by construction.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+use serde_json::Value;
+
+use super::TRACE_SCHEMA_VERSION;
+use crate::metrics::{HistogramSnapshot, HISTOGRAM_BUCKETS};
+
+/// A problem found while reading a trace or metrics file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceError {
+    /// 1-based line the problem was found on; 0 when it concerns the
+    /// file as a whole.
+    pub line: usize,
+    pub msg: String,
+}
+
+impl TraceError {
+    fn at(line: usize, msg: impl Into<String>) -> TraceError {
+        TraceError {
+            line,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            f.write_str(&self.msg)
+        } else {
+            write!(f, "line {}: {}", self.line, self.msg)
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// One parsed trace record (any kind, known or not).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    pub seq: u64,
+    pub kind: String,
+    /// Every field except `seq`/`kind`, in file order.
+    pub fields: Vec<(String, Value)>,
+    /// The raw line (no trailing newline), for diagnostics.
+    pub raw: String,
+}
+
+impl TraceRecord {
+    /// Looks a field up by name.
+    pub fn field(&self, name: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+}
+
+/// A fully parsed trace stream.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Trace {
+    /// Schema version from the `trace.meta` header; `None` when the
+    /// stream has no header (pre-v1 or truncated at the front —
+    /// [`check_trace`] flags it).
+    pub schema: Option<u32>,
+    /// Data records in file order, the header excluded.
+    pub records: Vec<TraceRecord>,
+}
+
+impl Trace {
+    /// Record count per kind, sorted by kind name.
+    pub fn kind_counts(&self) -> BTreeMap<String, u64> {
+        let mut counts = BTreeMap::new();
+        for rec in &self.records {
+            *counts.entry(rec.kind.clone()).or_insert(0u64) += 1;
+        }
+        counts
+    }
+}
+
+/// Reads and validates a JSONL trace file. See [`parse_trace`].
+pub fn read_trace(path: &Path) -> Result<Trace, TraceError> {
+    let text = fs::read_to_string(path)
+        .map_err(|e| TraceError::at(0, format!("cannot read `{}`: {e}", path.display())))?;
+    parse_trace(&text)
+}
+
+/// Parses a JSONL trace stream, enforcing the writer contract: every
+/// non-empty line is a JSON object with integer `seq` and string
+/// `kind`, and seq numbers are dense from 0 (a gap or duplicate means
+/// the stream lost records — hard error, the trace can't be trusted).
+/// A leading `trace.meta` record is consumed into [`Trace::schema`];
+/// schema versions newer than this reader understands are rejected.
+/// Unknown kinds and fields are preserved as-is.
+pub fn parse_trace(text: &str) -> Result<Trace, TraceError> {
+    let mut trace = Trace::default();
+    let mut expected_seq = 0u64;
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value: Value = serde_json::from_str(line)
+            .map_err(|e| TraceError::at(lineno, format!("invalid JSON: {e}")))?;
+        let Some(obj) = value.as_object() else {
+            return Err(TraceError::at(lineno, "record is not a JSON object"));
+        };
+        let Some(seq) = obj
+            .get("seq")
+            .and_then(|v| v.as_number())
+            .and_then(|n| n.as_u64())
+        else {
+            return Err(TraceError::at(lineno, "missing or non-integer `seq`"));
+        };
+        let Some(kind) = obj.get("kind").and_then(|v| v.as_str()) else {
+            return Err(TraceError::at(lineno, "missing or non-string `kind`"));
+        };
+        if seq != expected_seq {
+            return Err(TraceError::at(
+                lineno,
+                format!("seq gap: expected {expected_seq}, got {seq} (kind `{kind}`)"),
+            ));
+        }
+        expected_seq += 1;
+        if seq == 0 && kind == "trace.meta" {
+            let Some(schema) = obj
+                .get("schema")
+                .and_then(|v| v.as_number())
+                .and_then(|n| n.as_u64())
+            else {
+                return Err(TraceError::at(lineno, "trace.meta has no integer `schema`"));
+            };
+            if schema > u64::from(TRACE_SCHEMA_VERSION) {
+                return Err(TraceError::at(
+                    lineno,
+                    format!(
+                        "trace schema {schema} is newer than this reader \
+                         (supports up to {TRACE_SCHEMA_VERSION})"
+                    ),
+                ));
+            }
+            trace.schema = u32::try_from(schema).ok();
+            continue;
+        }
+        let fields = obj
+            .iter()
+            .filter(|(k, _)| k.as_str() != "seq" && k.as_str() != "kind")
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        trace.records.push(TraceRecord {
+            seq,
+            kind: kind.to_string(),
+            fields,
+            raw: line.to_string(),
+        });
+    }
+    Ok(trace)
+}
+
+/// Required fields per known record kind (schema v1). The list is a
+/// *floor*, not a ceiling: extra fields and unknown kinds are always
+/// fine (that's the compatibility rule — additions don't break
+/// readers); a known kind missing one of its required fields is a
+/// schema violation [`check_trace`] reports.
+pub const KNOWN_KINDS: &[(&str, &[&str])] = &[
+    (
+        "hillclimb.iter",
+        &[
+            "iter",
+            "candidate",
+            "probes",
+            "objective",
+            "delta",
+            "accepted",
+        ],
+    ),
+    ("search.step", &["algo", "step", "change", "utility"]),
+    (
+        "gradual.step",
+        &[
+            "step",
+            "changes",
+            "compensations",
+            "utility",
+            "handovers",
+            "seamless",
+            "final",
+        ],
+    ),
+    (
+        "migrate.step",
+        &[
+            "step",
+            "attempts",
+            "retries",
+            "stragglers",
+            "deferred",
+            "rolled_back",
+            "utility",
+            "degraded",
+            "sim_time_ms",
+        ],
+    ),
+    ("migrate.rollback", &["step", "change"]),
+    ("evaluator.build", &["sectors", "grids", "degraded"]),
+    (
+        "sim.window",
+        &[
+            "t_secs",
+            "utility",
+            "events",
+            "mme_queue",
+            "seamless",
+            "hard",
+        ],
+    ),
+    ("sim.fault.job_abandoned", &["job_seq", "attempt"]),
+    ("fault.store_degraded", &["sector", "tilt"]),
+    (
+        "paper.expectation",
+        &["experiment", "metric", "expected", "actual", "abs_delta"],
+    ),
+];
+
+/// Validates a parsed trace against the v1 schema: header present,
+/// every known-kind record carries its required fields. Returns the
+/// problems found (empty = clean). Seq density was already enforced by
+/// [`parse_trace`].
+pub fn check_trace(trace: &Trace) -> Vec<String> {
+    let mut problems = Vec::new();
+    if trace.schema.is_none() {
+        problems.push(
+            "no trace.meta header (stream predates schema v1 or lost its first line)".to_string(),
+        );
+    }
+    for rec in &trace.records {
+        if let Some((_, required)) = KNOWN_KINDS.iter().find(|(k, _)| *k == rec.kind) {
+            for field in *required {
+                if rec.field(field).is_none() {
+                    problems.push(format!(
+                        "seq {}: `{}` record missing required field `{field}`",
+                        rec.seq, rec.kind
+                    ));
+                }
+            }
+        }
+    }
+    problems
+}
+
+/// The first place two traces disagree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Divergence {
+    /// Sequence number of the first divergent record.
+    pub seq: u64,
+    /// Field the records first disagree on; `None` when the records
+    /// differ structurally (kind mismatch, one trace ended).
+    pub field: Option<String>,
+    /// Rendered value (or whole record) on each side.
+    pub left: String,
+    pub right: String,
+    /// One-line description of what diverged.
+    pub what: String,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "first divergence at seq {}: {}", self.seq, self.what)?;
+        writeln!(f, "  left:  {}", self.left)?;
+        write!(f, "  right: {}", self.right)
+    }
+}
+
+/// Finds the first record where two traces disagree: first by schema
+/// version, then record-by-record (kind, then field-by-field in the
+/// left record's order, then fields only the right record has), then by
+/// length when one trace is a strict prefix of the other. `None` means
+/// the traces are semantically identical.
+pub fn diff_traces(a: &Trace, b: &Trace) -> Option<Divergence> {
+    if a.schema != b.schema {
+        return Some(Divergence {
+            seq: 0,
+            field: Some("schema".to_string()),
+            left: render_schema(a.schema),
+            right: render_schema(b.schema),
+            what: "trace.meta schema versions differ".to_string(),
+        });
+    }
+    for (ra, rb) in a.records.iter().zip(&b.records) {
+        if ra.kind != rb.kind {
+            return Some(Divergence {
+                seq: ra.seq,
+                field: None,
+                left: ra.raw.clone(),
+                right: rb.raw.clone(),
+                what: format!("record kind differs: `{}` vs `{}`", ra.kind, rb.kind),
+            });
+        }
+        for (k, va) in &ra.fields {
+            match rb.field(k) {
+                None => {
+                    return Some(Divergence {
+                        seq: ra.seq,
+                        field: Some(k.clone()),
+                        left: va.to_string(),
+                        right: "(absent)".to_string(),
+                        what: format!("`{}` record field `{k}` only in left trace", ra.kind),
+                    });
+                }
+                Some(vb) if vb != va => {
+                    return Some(Divergence {
+                        seq: ra.seq,
+                        field: Some(k.clone()),
+                        left: va.to_string(),
+                        right: vb.to_string(),
+                        what: format!("`{}` record field `{k}` differs", ra.kind),
+                    });
+                }
+                Some(_) => {}
+            }
+        }
+        for (k, vb) in &rb.fields {
+            if ra.field(k).is_none() {
+                return Some(Divergence {
+                    seq: ra.seq,
+                    field: Some(k.clone()),
+                    left: "(absent)".to_string(),
+                    right: vb.to_string(),
+                    what: format!("`{}` record field `{k}` only in right trace", ra.kind),
+                });
+            }
+        }
+    }
+    let (na, nb) = (a.records.len(), b.records.len());
+    if na < nb {
+        let r = &b.records[na];
+        return Some(Divergence {
+            seq: r.seq,
+            field: None,
+            left: "(end of trace)".to_string(),
+            right: r.raw.clone(),
+            what: format!(
+                "left trace ends after {na} records; right continues with `{}`",
+                r.kind
+            ),
+        });
+    }
+    if na > nb {
+        let r = &a.records[nb];
+        return Some(Divergence {
+            seq: r.seq,
+            field: None,
+            left: r.raw.clone(),
+            right: "(end of trace)".to_string(),
+            what: format!(
+                "right trace ends after {nb} records; left continues with `{}`",
+                r.kind
+            ),
+        });
+    }
+    None
+}
+
+fn render_schema(v: Option<u32>) -> String {
+    match v {
+        Some(v) => format!("schema {v}"),
+        None => "(no trace.meta header)".to_string(),
+    }
+}
+
+/// Counters and histograms parsed back out of a `--metrics-out` JSON
+/// snapshot (the format [`crate::Registry::to_json`] writes).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    pub counters: Vec<(String, u64)>,
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Looks a histogram up by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+}
+
+/// Parses a `--metrics-out` snapshot, rebuilding each histogram's full
+/// bucket array from its sparse `[[bucket_upper, count], …]` pairs so
+/// [`HistogramSnapshot::quantile`] — the same code the registry dump
+/// ran — can be re-asked for any quantile.
+pub fn parse_metrics_snapshot(text: &str) -> Result<MetricsSnapshot, TraceError> {
+    let value: Value = serde_json::from_str(text)
+        .map_err(|e| TraceError::at(0, format!("invalid metrics JSON: {e}")))?;
+    let Some(obj) = value.as_object() else {
+        return Err(TraceError::at(0, "metrics snapshot is not a JSON object"));
+    };
+    let mut snap = MetricsSnapshot::default();
+    if let Some(counters) = obj.get("counters").and_then(|v| v.as_object()) {
+        for (name, v) in counters.iter() {
+            let Some(n) = v.as_number().and_then(|n| n.as_u64()) else {
+                return Err(TraceError::at(0, format!("counter `{name}` is not a u64")));
+            };
+            snap.counters.push((name.clone(), n));
+        }
+    }
+    if let Some(hists) = obj.get("histograms").and_then(|v| v.as_object()) {
+        for (name, v) in hists.iter() {
+            snap.histograms.push(parse_histogram(name, v)?);
+        }
+    }
+    Ok(snap)
+}
+
+fn parse_histogram(name: &str, v: &Value) -> Result<HistogramSnapshot, TraceError> {
+    let Some(obj) = v.as_object() else {
+        return Err(TraceError::at(
+            0,
+            format!("histogram `{name}` is not an object"),
+        ));
+    };
+    let field = |key: &str| {
+        obj.get(key)
+            .and_then(|v| v.as_number())
+            .and_then(|n| n.as_u64())
+            .ok_or_else(|| TraceError::at(0, format!("histogram `{name}`: missing u64 `{key}`")))
+    };
+    let mut buckets = vec![0u64; HISTOGRAM_BUCKETS];
+    if let Some(pairs) = obj.get("buckets").and_then(|v| v.as_array()) {
+        for pair in pairs {
+            let parsed = pair.as_array().filter(|p| p.len() == 2).and_then(|p| {
+                let upper = p[0].as_number().and_then(|n| n.as_u64())?;
+                let count = p[1].as_number().and_then(|n| n.as_u64())?;
+                Some((upper, count))
+            });
+            let Some((upper, count)) = parsed else {
+                return Err(TraceError::at(
+                    0,
+                    format!("histogram `{name}`: malformed bucket entry {pair}"),
+                ));
+            };
+            let idx = bucket_index_of_upper(upper);
+            buckets[idx] = buckets[idx].saturating_add(count);
+        }
+    }
+    Ok(HistogramSnapshot {
+        name: name.to_string(),
+        count: field("count")?,
+        sum: field("sum")?,
+        min: field("min")?,
+        max: field("max")?,
+        buckets,
+    })
+}
+
+/// Inverse of the dump's bucket-upper encoding: `0 → bucket 0`,
+/// `u64::MAX → bucket 64`, `2^i - 1 → bucket i`.
+fn bucket_index_of_upper(upper: u64) -> usize {
+    if upper == 0 {
+        0
+    } else if upper == u64::MAX {
+        HISTOGRAM_BUCKETS - 1
+    } else {
+        HISTOGRAM_BUCKETS - 1 - upper.leading_zeros() as usize
+    }
+}
+
+/// Renders the `span.*_ns` histograms of a metrics snapshot as folded
+/// flamegraph lines — `magus;phase;subphase <total_ns>` — the
+/// collapsed-stack format standard flamegraph tooling consumes. Span
+/// names already carry their hierarchy as `/`-separated paths
+/// (`span.mitigate/power_search_ns`), which map 1:1 onto stack frames.
+pub fn folded_spans(histograms: &[HistogramSnapshot]) -> String {
+    use fmt::Write as _;
+    let mut out = String::new();
+    for h in histograms {
+        let Some(path) = h
+            .name
+            .strip_prefix("span.")
+            .and_then(|r| r.strip_suffix("_ns"))
+        else {
+            continue;
+        };
+        let _ = writeln!(out, "magus;{} {}", path.replace('/', ";"), h.sum);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    const FIXTURE: &str = concat!(
+        "{\"seq\": 0, \"kind\": \"trace.meta\", \"schema\": 1}\n",
+        "{\"seq\": 1, \"kind\": \"hillclimb.iter\", \"iter\": 0, \"candidate\": \"SetTilt(SectorId(2), 7)\", \"probes\": 36, \"objective\": 1.25, \"delta\": 0.05, \"accepted\": true}\n",
+        "{\"seq\": 2, \"kind\": \"migrate.rollback\", \"step\": 3, \"change\": 1}\n",
+        "{\"seq\": 3, \"kind\": \"custom.kind\", \"anything\": [1, 2]}\n",
+    );
+
+    #[test]
+    fn parses_fixture_with_header_and_unknown_kind() {
+        let t = parse_trace(FIXTURE).unwrap();
+        assert_eq!(t.schema, Some(1));
+        assert_eq!(t.records.len(), 3);
+        assert_eq!(t.records[0].seq, 1);
+        assert_eq!(t.records[0].kind, "hillclimb.iter");
+        assert_eq!(
+            t.records[0]
+                .field("probes")
+                .and_then(|v| v.as_number())
+                .and_then(|n| n.as_u64()),
+            Some(36)
+        );
+        assert_eq!(t.records[2].kind, "custom.kind");
+        assert!(check_trace(&t).is_empty(), "{:?}", check_trace(&t));
+        let counts = t.kind_counts();
+        assert_eq!(counts.get("hillclimb.iter"), Some(&1));
+        assert_eq!(counts.get("custom.kind"), Some(&1));
+    }
+
+    #[test]
+    fn seq_gap_is_rejected() {
+        let text = "{\"seq\": 0, \"kind\": \"trace.meta\", \"schema\": 1}\n\
+                    {\"seq\": 2, \"kind\": \"a.b\"}\n";
+        let err = parse_trace(text).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.msg.contains("seq gap"), "{err}");
+    }
+
+    #[test]
+    fn future_schema_is_rejected_unknown_fields_pass() {
+        let future = format!(
+            "{{\"seq\": 0, \"kind\": \"trace.meta\", \"schema\": {}}}\n",
+            TRACE_SCHEMA_VERSION + 1
+        );
+        assert!(parse_trace(&future).unwrap_err().msg.contains("newer"));
+        let extra = "{\"seq\": 0, \"kind\": \"trace.meta\", \"schema\": 1, \"host\": \"x\"}\n\
+                     {\"seq\": 1, \"kind\": \"migrate.rollback\", \"step\": 0, \"change\": 0, \"note\": \"extra\"}\n";
+        let t = parse_trace(extra).unwrap();
+        assert!(check_trace(&t).is_empty());
+        assert_eq!(
+            t.records[0].field("note").and_then(|v| v.as_str()),
+            Some("extra")
+        );
+    }
+
+    #[test]
+    fn check_flags_missing_header_and_missing_fields() {
+        let t = parse_trace("{\"seq\": 0, \"kind\": \"migrate.rollback\", \"step\": 1}\n").unwrap();
+        let problems = check_trace(&t);
+        assert_eq!(problems.len(), 2, "{problems:?}");
+        assert!(problems[0].contains("trace.meta"));
+        assert!(problems[1].contains("`change`"), "{problems:?}");
+    }
+
+    #[test]
+    fn diff_reports_first_field_divergence() {
+        let a = parse_trace(FIXTURE).unwrap();
+        let b = parse_trace(&FIXTURE.replace("\"objective\": 1.25", "\"objective\": 1.5")).unwrap();
+        assert_eq!(diff_traces(&a, &a), None);
+        let d = diff_traces(&a, &b).unwrap();
+        assert_eq!(d.seq, 1);
+        assert_eq!(d.field.as_deref(), Some("objective"));
+        assert_eq!(d.left, "1.25");
+        assert_eq!(d.right, "1.5");
+        let rendered = d.to_string();
+        assert!(rendered.contains("seq 1"), "{rendered}");
+    }
+
+    #[test]
+    fn diff_reports_kind_mismatch_and_prefix() {
+        let a = parse_trace(FIXTURE).unwrap();
+        let b = parse_trace(&FIXTURE.replace("migrate.rollback", "migrate.step")).unwrap();
+        let d = diff_traces(&a, &b).unwrap();
+        assert_eq!(d.seq, 2);
+        assert_eq!(d.field, None);
+        assert!(d.what.contains("kind differs"));
+
+        let mut short = parse_trace(FIXTURE).unwrap();
+        short.records.pop();
+        let d = diff_traces(&short, &a).unwrap();
+        assert_eq!(d.seq, 3);
+        assert!(
+            d.what.contains("left trace ends after 2 records"),
+            "{}",
+            d.what
+        );
+        let d = diff_traces(&a, &short).unwrap();
+        assert!(
+            d.what.contains("right trace ends after 2 records"),
+            "{}",
+            d.what
+        );
+    }
+
+    #[test]
+    fn metrics_snapshot_roundtrips_with_matching_quantiles() {
+        let r = Registry::new();
+        r.counter("probe.count").add(17);
+        let h = r.histogram("span.mitigate/power_search_ns");
+        for v in [0u64, 3, 90, 90, 90, 700, 100_000] {
+            h.observe(v);
+        }
+        let parsed = parse_metrics_snapshot(&r.to_json()).unwrap();
+        assert_eq!(parsed.counters, vec![("probe.count".to_string(), 17)]);
+        let orig = h.snapshot("span.mitigate/power_search_ns");
+        let back = parsed.histogram("span.mitigate/power_search_ns").unwrap();
+        assert_eq!(
+            (back.count, back.sum, back.min, back.max),
+            (7, 100_973, 0, 100_000)
+        );
+        for q in [0.0, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            assert_eq!(back.quantile(q), orig.quantile(q), "q={q}");
+        }
+        let folded = folded_spans(&parsed.histograms);
+        assert_eq!(folded, "magus;mitigate;power_search 100973\n");
+    }
+
+    #[test]
+    fn malformed_metrics_snapshots_error() {
+        assert!(parse_metrics_snapshot("[]").is_err());
+        assert!(parse_metrics_snapshot("{nope").is_err());
+        let bad = "{\"histograms\": {\"h\": {\"count\": 1, \"sum\": 1, \"min\": 1}}}";
+        assert!(parse_metrics_snapshot(bad).unwrap_err().msg.contains("max"));
+    }
+
+    #[test]
+    fn bucket_upper_encoding_inverts() {
+        assert_eq!(bucket_index_of_upper(0), 0);
+        assert_eq!(bucket_index_of_upper(1), 1);
+        assert_eq!(bucket_index_of_upper(3), 2);
+        assert_eq!(bucket_index_of_upper((1u64 << 40) - 1), 40);
+        assert_eq!(bucket_index_of_upper(u64::MAX), 64);
+    }
+}

@@ -1,0 +1,220 @@
+//! Writer ↔ reader round-trip for every trace record kind the layers
+//! emit: each kind is written through the real `trace_event!` macro
+//! (the exact call shape the emitting crate uses), captured in memory,
+//! and read back through `trace::read` — so the writer and the v1
+//! schema the reader enforces can never drift apart silently. The
+//! serialized bytes are also pinned against literal fixtures: a change
+//! to the wire format must show up here as a failing diff.
+
+use magus_obs::trace::read::{check_trace, diff_traces, parse_trace, read_trace};
+use std::io::Write;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+/// The trace sink and obs level are process-global; every test that
+/// touches them serializes on this lock.
+fn global_guard() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    let lock = LOCK.get_or_init(|| Mutex::new(()));
+    lock.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// A `Write` sink the test keeps a handle to after handing the writer
+/// to the trace layer.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    fn contents(&self) -> String {
+        String::from_utf8(self.0.lock().unwrap().clone()).expect("trace output is UTF-8")
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Emits one record of every kind the layers produce, with the exact
+/// field sets the real call sites use (see `KNOWN_KINDS`), and returns
+/// the captured stream.
+fn emit_one_of_each() -> String {
+    let buf = SharedBuf::default();
+    magus_obs::set_level(magus_obs::ObsLevel::Full);
+    magus_obs::set_trace_writer(Box::new(buf.clone()));
+    // crates/core/src/hillclimb.rs
+    magus_obs::trace_event!("hillclimb.iter",
+        "iter" => 0u64,
+        "candidate" => 3u64,
+        "probes" => 42u64,
+        "objective" => 0.875f64,
+        "delta" => 0.125f64,
+        "accepted" => true,
+    );
+    // crates/core/src/tuning.rs (power adds `degraded_left`, an
+    // extra field beyond the required floor)
+    magus_obs::trace_event!("search.step",
+        "algo" => "power",
+        "step" => 1u64,
+        "change" => "PowerDelta(7, -1.0)",
+        "utility" => 0.9f64,
+        "degraded_left" => 2u64,
+    );
+    // crates/core/src/gradual.rs
+    magus_obs::trace_event!("gradual.step",
+        "step" => 2u64,
+        "changes" => 5u64,
+        "compensations" => 1u64,
+        "utility" => 0.8f64,
+        "handovers" => 120u64,
+        "seamless" => 118u64,
+        "final" => false,
+    );
+    // crates/core/src/migrate.rs
+    magus_obs::trace_event!("migrate.step",
+        "step" => 2u64,
+        "attempts" => 6u64,
+        "retries" => 1u64,
+        "stragglers" => 1u64,
+        "deferred" => 0u64,
+        "rolled_back" => false,
+        "utility" => 0.85f64,
+        "degraded" => false,
+        "sim_time_ms" => 1500u64,
+    );
+    magus_obs::trace_event!("migrate.rollback",
+        "step" => 2u64,
+        "change" => 4u64,
+    );
+    // crates/model/src/evaluator.rs
+    magus_obs::trace_event!("evaluator.build",
+        "sectors" => 69u64,
+        "grids" => 14400u64,
+        "degraded" => false,
+    );
+    // crates/testbed/src/sim.rs
+    magus_obs::trace_event!("sim.window",
+        "t_secs" => 3u64,
+        "utility" => 0.77f64,
+        "events" => 9u64,
+        "mme_queue" => 2u64,
+        "seamless" => 5u64,
+        "hard" => 1u64,
+    );
+    magus_obs::trace_event!("sim.fault.job_abandoned",
+        "job_seq" => 17u64,
+        "attempt" => 3u64,
+    );
+    // crates/propagation (store degradation surfaces via the fault layer)
+    magus_obs::trace_event!("fault.store_degraded",
+        "sector" => 12u64,
+        "tilt" => 4u64,
+    );
+    // crates/bench/src/lib.rs
+    magus_obs::trace_event!("paper.expectation",
+        "experiment" => "fig8",
+        "metric" => "recovery_ratio",
+        "expected" => 0.63f64,
+        "actual" => 0.61f64,
+        "abs_delta" => 0.02f64,
+    );
+    magus_obs::clear_trace();
+    magus_obs::set_level(magus_obs::ObsLevel::Off);
+    buf.contents()
+}
+
+#[test]
+fn every_record_kind_roundtrips_and_validates() {
+    let _guard = global_guard();
+    let text = emit_one_of_each();
+    let trace = parse_trace(&text).expect("captured stream parses");
+    assert_eq!(trace.schema, Some(magus_obs::TRACE_SCHEMA_VERSION));
+    assert_eq!(trace.records.len(), 10, "one record per emitted kind");
+    assert_eq!(
+        check_trace(&trace),
+        Vec::<String>::new(),
+        "stream is schema-clean"
+    );
+    // Every kind present exactly once, every required field preserved.
+    let counts = trace.kind_counts();
+    for (kind, fields) in magus_obs::trace::read::KNOWN_KINDS {
+        if *kind == "trace.meta" {
+            continue;
+        }
+        assert_eq!(counts.get(*kind), Some(&1), "kind `{kind}` missing");
+        let rec = trace
+            .records
+            .iter()
+            .find(|r| r.kind == *kind)
+            .expect("record");
+        for f in *fields {
+            assert!(
+                rec.field(f).is_some(),
+                "{kind}: field `{f}` lost in transit"
+            );
+        }
+    }
+    // Spot-check values survive with their types.
+    let hc = &trace.records[0];
+    assert_eq!(
+        hc.field("objective").map(ToString::to_string),
+        Some("0.875".into())
+    );
+    assert_eq!(
+        hc.field("accepted").map(ToString::to_string),
+        Some("true".into())
+    );
+    let ja = trace
+        .records
+        .iter()
+        .find(|r| r.kind == "sim.fault.job_abandoned")
+        .expect("job_abandoned record");
+    assert_eq!(
+        ja.field("job_seq").map(ToString::to_string),
+        Some("17".into())
+    );
+}
+
+#[test]
+fn serialized_bytes_are_pinned_against_fixtures() {
+    let _guard = global_guard();
+    let text = emit_one_of_each();
+    let lines: Vec<&str> = text.lines().collect();
+    // The header and two representative records, byte for byte: the
+    // wire format is an interface (ci.sh, CI artifact tooling, and the
+    // committed DESIGN.md §6c examples all consume it).
+    assert_eq!(lines[0], r#"{"seq": 0, "kind": "trace.meta", "schema": 1}"#);
+    assert_eq!(
+        lines[1],
+        r#"{"seq": 1, "kind": "hillclimb.iter", "iter": 0, "candidate": 3, "probes": 42, "objective": 0.875, "delta": 0.125, "accepted": true}"#
+    );
+    assert_eq!(
+        lines[4],
+        r#"{"seq": 4, "kind": "migrate.step", "step": 2, "attempts": 6, "retries": 1, "stragglers": 1, "deferred": 0, "rolled_back": false, "utility": 0.85, "degraded": false, "sim_time_ms": 1500}"#
+    );
+}
+
+#[test]
+fn identical_streams_diff_clean_and_reread_from_disk() {
+    let _guard = global_guard();
+    let a = emit_one_of_each();
+    let b = emit_one_of_each();
+    assert_eq!(a, b, "re-emitting the same records is byte-identical");
+    let ta = parse_trace(&a).expect("parse a");
+    let tb = parse_trace(&b).expect("parse b");
+    assert!(
+        diff_traces(&ta, &tb).is_none(),
+        "identical streams diff clean"
+    );
+    // Disk round-trip through the real file reader.
+    let dir = std::path::PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    let path = dir.join("roundtrip.jsonl");
+    std::fs::write(&path, &a).expect("write trace");
+    let from_disk = read_trace(&path).expect("read trace from disk");
+    assert!(diff_traces(&ta, &from_disk).is_none());
+}

@@ -406,8 +406,10 @@ impl Sim {
         // Retry budget exhausted: abandon the procedure.
         self.stats.abandoned_jobs += 1;
         plan.note_rollback();
+        // "job_seq", not "seq": every trace record already carries a
+        // stream-level `seq`, and a duplicate key would clobber it.
         magus_obs::trace_event!("sim.fault.job_abandoned",
-            "seq" => queued.seq,
+            "job_seq" => queued.seq,
             "attempt" => queued.attempt,
         );
         match queued.job {
