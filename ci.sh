@@ -108,10 +108,25 @@ stage "probe bench gate"
 MAGUS_SCALE=tiny MAGUS_PROBE_TARGET_S=0.5 \
     cargo run -q --release -p magus-bench --bin probe_bench
 
+stage "search portfolio gate"
+# Cross-strategy quality harness in release (anneal and beam must never
+# return a worse final utility than greedy on any paper market × seed;
+# the measured utilities are pinned in EXPERIMENTS.md), then the
+# strategy-throughput regression gate: each strategy's CPU-normalized
+# probes/s against the committed BENCH_search.json baseline, failing
+# past a 10% regression (MAGUS_SEARCH_REGRESSION_MAX_PCT to override).
+# The regression compare self-skips on < 4-core runners; the smoke run
+# and determinism asserts always execute. Re-baseline with
+# MAGUS_SEARCH_WRITE_BASELINE=1.
+cargo test -q --release -p magus-core --test search_portfolio
+MAGUS_SCALE=tiny MAGUS_SEARCH_TARGET_S=0.5 \
+    cargo run -q --release -p magus-bench --bin search_bench
+
 stage "chaos matrix gate"
-# Fault rates x scenarios through the migration executor and the testbed
-# sim: no panics, invariants hold after every recovery, zero-rate plans
-# byte-identical to the no-fault baseline (see crates/bench chaos_matrix).
+# Fault rates x scenarios through the migration executor, the search
+# portfolio (greedy x anneal x beam), and the testbed sim: no panics,
+# invariants hold after every recovery, zero-rate plans byte-identical
+# to the no-fault baseline (see crates/bench chaos_matrix).
 MAGUS_SCALE=tiny cargo run -q --release -p magus-bench --bin chaos_matrix
 
 stage "CLI zero-rate fault identity"

@@ -2,8 +2,8 @@
 //! (`ci.sh` stage "chaos").
 //!
 //! Sweeps fault rates × upgrade scenarios through the gradual-migration
-//! executor and the testbed simulator, asserting the three contracts of
-//! the fault layer:
+//! executor, the search portfolio (greedy × anneal × beam), and the
+//! testbed simulator, asserting the three contracts of the fault layer:
 //!
 //! 1. **No panics** — every chaos cell runs under `catch_unwind`; any
 //!    panic anywhere in the recovery machinery fails the gate.
@@ -25,8 +25,9 @@
 
 use magus_bench::{build_market, init_obs_from_env, results_dir, write_artifact, Scale};
 use magus_core::{
-    execute_gradual, plan_gradual, prepare_scenario, with_fault_plan, ExperimentConfig,
-    GradualParams, MigrateParams, MigrationReport, TuningKind,
+    execute_gradual, plan_gradual, prepare_scenario, run_strategy_spec, with_fault_plan,
+    ExperimentConfig, GradualParams, HillClimbParams, MigrateParams, MigrationReport,
+    PreparedScenario, StrategySpec, TuningKind,
 };
 use magus_fault::{FaultPlan, FaultRates};
 use magus_lte::Bandwidth;
@@ -135,6 +136,41 @@ fn prepare(model: &StandardModel, market: &Market, scenario: UpgradeScenario) ->
         after: out.config_after,
         plan,
     }
+}
+
+/// Deterministic digest of one strategy run, serialized for the
+/// zero-rate byte-identity check. Utility is pinned by its bit
+/// pattern so a ±1 ulp drift fails the gate rather than rounding
+/// away in decimal formatting.
+#[derive(Serialize)]
+struct StrategyOutcome {
+    strategy: String,
+    moves: Vec<String>,
+    utility_bits: u64,
+    probes: u64,
+}
+
+fn run_strategy(
+    model: &StandardModel,
+    prepared: &PreparedScenario,
+    spec: StrategySpec,
+    hill: HillClimbParams,
+) -> (StrategyOutcome, magus_model::ModelState) {
+    let mut state = prepared.start_state();
+    let report = run_strategy_spec(
+        spec,
+        hill,
+        &model.evaluator,
+        &mut state,
+        &prepared.neighbors,
+    );
+    let outcome = StrategyOutcome {
+        strategy: report.strategy,
+        moves: report.moves.iter().map(|c| format!("{c:?}")).collect(),
+        utility_bits: report.utility.to_bits(),
+        probes: report.probes,
+    };
+    (outcome, state)
 }
 
 /// Small 2-eNodeB indoor layout with a retune + off-air churn timeline:
@@ -290,6 +326,109 @@ fn main() {
                     rolled_back: fr.rolled_back,
                     degraded_reads: fr.degraded_reads,
                     completed: report.completed,
+                });
+            }
+        }
+    }
+
+    // Search-portfolio axis: every strategy in the portfolio holds the
+    // same three contracts as the migration executor — no panics under
+    // fault plans, an invariant-clean final state (re-proved on a
+    // from-scratch build of the final configuration, the executor's own
+    // recovery idiom), and zero-rate byte-inertness at 1 and 4 worker
+    // threads against the no-plan baseline.
+    let cfg = ExperimentConfig::default();
+    let prepared = prepare_scenario(&model, &market, UpgradeScenario::SingleCentralSector, &cfg);
+    let hill = HillClimbParams {
+        utility: cfg.search.utility,
+        max_moves: cfg.search.max_changes,
+        ..HillClimbParams::default()
+    };
+    for spec in [
+        StrategySpec::Greedy,
+        StrategySpec::Anneal,
+        StrategySpec::Beam(2),
+    ] {
+        let label = spec.to_string();
+        eprintln!("chaos_matrix: strategy {label}…");
+        let slug = label.replace(':', "-");
+        let base_trace = results_dir().join(format!("chaos-trace-search-{slug}-base.jsonl"));
+        let (baseline_out, _) =
+            run_traced(&base_trace, || run_strategy(&model, &prepared, spec, hill));
+        let baseline = serde_json::to_vec(&baseline_out).unwrap_or_default();
+        let mut strategy_traces = vec![base_trace.clone()];
+        let mut strategy_diverged = false;
+        for threads in [1usize, 4] {
+            magus_exec::set_threads(threads);
+            let zero_trace =
+                results_dir().join(format!("chaos-trace-search-{slug}-zero-{threads}t.jsonl"));
+            let (out, _) = run_traced(&zero_trace, || {
+                with_fault_plan(Arc::new(FaultPlan::zero(9)), || {
+                    run_strategy(&model, &prepared, spec, hill)
+                })
+            });
+            strategy_traces.push(zero_trace.clone());
+            if serde_json::to_vec(&out).unwrap_or_default() != baseline {
+                strategy_diverged = true;
+                failures.push(format!(
+                    "strategy {label}: zero-rate plan diverged from baseline at {threads} threads"
+                ));
+                explain_divergence(&base_trace, &zero_trace);
+            }
+        }
+        magus_exec::clear_threads_override();
+        if strategy_diverged {
+            eprintln!(
+                "chaos_matrix: divergent traces kept under {}",
+                results_dir().display()
+            );
+        } else {
+            for t in &strategy_traces {
+                let _ = std::fs::remove_file(t);
+            }
+        }
+
+        for rate in RATES {
+            for seed in SEEDS {
+                let plan =
+                    Arc::new(FaultPlan::new(seed, FaultRates::uniform(rate)).with_permanent(0.15));
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    with_fault_plan(plan.clone(), || run_strategy(&model, &prepared, spec, hill))
+                }));
+                let Ok((_, state)) = outcome else {
+                    failures.push(format!(
+                        "strategy {label} rate {rate} seed {seed}: PANIC in search"
+                    ));
+                    continue;
+                };
+                // Invariant-clean completion: the final configuration
+                // must rebuild into a state the runtime validator
+                // accepts, faults or not.
+                let rebuilt = model.evaluator.initial_state(state.config());
+                let clean = match magus_model::invariant::validate_state(
+                    &rebuilt,
+                    model.evaluator.store().spec().len(),
+                    model.evaluator.network().num_sectors(),
+                ) {
+                    Ok(()) => true,
+                    Err(v) => {
+                        failures.push(format!(
+                            "strategy {label} rate {rate} seed {seed}: invariant violated: {v}"
+                        ));
+                        false
+                    }
+                };
+                let fr = plan.report();
+                cells.push(Cell {
+                    stage: "search",
+                    scenario: label.clone(),
+                    rate,
+                    seed,
+                    injected: fr.injected_total,
+                    retried: fr.retried,
+                    rolled_back: fr.rolled_back,
+                    degraded_reads: fr.degraded_reads,
+                    completed: clean,
                 });
             }
         }

@@ -1,0 +1,294 @@
+//! **Search-portfolio throughput benchmark and regression gate** — the
+//! perf trajectory for the portfolio strategies (`ci.sh` stage
+//! "search portfolio").
+//!
+//! Where `probe_bench` times the bare probe cycle, this binary times
+//! the three *strategies* end to end — greedy, anneal, beam — on the
+//! bundled suburban scenario, and reports each strategy's effective
+//! probes/sec (the strategy's own probe counter over its wall-clock).
+//! That figure folds in everything the strategy adds on top of raw
+//! probing: candidate enumeration, RNG draws, beam bookkeeping, undo
+//! rewinds. The trajectory is written to
+//! `target/magus-results/search_bench.json`.
+//!
+//! **Determinism.** Every repetition of a strategy starts from the same
+//! state and must land on a bit-identical final utility; asserted every
+//! run.
+//!
+//! **Gate.** The repo root commits a baseline `BENCH_search.json`.
+//! Absolute probes/sec varies with the host, so (exactly like
+//! `probe_bench`) both the baseline and the current run also measure a
+//! fixed pure-CPU calibration loop (splitmix64 mixing, `calib_mops`)
+//! and the gate compares the *normalized* single-thread throughput
+//! `probes_per_sec / calib_mops`, per strategy. A drop of more than
+//! `MAGUS_SEARCH_REGRESSION_MAX_PCT` (default 10%) on any strategy
+//! fails the run. The gate self-skips on runners with < 4 cores (the
+//! measurement still prints and the artifact is still written), when
+//! the baseline is missing, or when it was recorded at a different
+//! `MAGUS_SCALE`.
+//!
+//! Re-baselining: `MAGUS_SEARCH_WRITE_BASELINE=1` rewrites the
+//! repo-root `BENCH_search.json` from the current run.
+
+use magus_bench::{build_market, init_obs_from_env, write_artifact, Scale};
+use magus_core::{
+    prepare_scenario, run_strategy_spec, ExperimentConfig, HillClimbParams, StrategySpec,
+};
+use magus_lte::Bandwidth;
+use magus_net::{AreaType, UpgradeScenario};
+use serde::Serialize;
+use serde_json::Value;
+use std::time::Instant;
+
+const STRATEGIES: [StrategySpec; 3] = [
+    StrategySpec::Greedy,
+    StrategySpec::Anneal,
+    StrategySpec::Beam(4),
+];
+
+#[derive(Serialize, Clone)]
+struct StrategyPoint {
+    strategy: String,
+    /// Probes per repetition (deterministic, identical every rep).
+    probes: u64,
+    reps: usize,
+    wall_s: f64,
+    probes_per_sec: f64,
+    /// `probes_per_sec / calib_mops` — the machine-speed-normalized
+    /// figure the regression gate compares.
+    normalized: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    scale: String,
+    cores: usize,
+    sectors: usize,
+    grids: usize,
+    calib_mops: f64,
+    strategies: Vec<StrategyPoint>,
+    gate_enforced: bool,
+    max_regression_pct: f64,
+}
+
+/// The fields of a committed `BENCH_search.json` the gate actually
+/// compares, extracted field-by-field so baselines written before a
+/// `Report` field was added keep gating (the vendored deserializer
+/// rejects any missing struct field).
+struct Baseline {
+    scale: String,
+    /// `(strategy, normalized)` rows.
+    normalized: Vec<(String, f64)>,
+}
+
+fn parse_baseline(text: &str) -> Result<Baseline, String> {
+    let v: Value = serde_json::parse_value(text).map_err(|e| e.to_string())?;
+    let obj = v.as_object().ok_or("baseline is not a JSON object")?;
+    let scale = obj
+        .get("scale")
+        .and_then(Value::as_str)
+        .ok_or("missing `scale`")?
+        .to_string();
+    let rows = obj
+        .get("strategies")
+        .and_then(Value::as_array)
+        .ok_or("missing `strategies`")?;
+    let mut normalized = Vec::new();
+    for row in rows {
+        let row = row.as_object().ok_or("strategy row is not an object")?;
+        let name = row
+            .get("strategy")
+            .and_then(Value::as_str)
+            .ok_or("strategy row missing `strategy`")?;
+        let n = row
+            .get("normalized")
+            .and_then(Value::as_number)
+            .ok_or("strategy row missing `normalized`")?
+            .as_f64();
+        normalized.push((name.to_string(), n));
+    }
+    Ok(Baseline { scale, normalized })
+}
+
+/// Fixed pure-CPU calibration: splitmix64 mixing, reported in
+/// million-ops/sec (the same loop `probe_bench` runs, so the two
+/// benches normalize against the same yardstick).
+fn calibrate() -> f64 {
+    const OPS: u64 = 20_000_000;
+    let t0 = Instant::now();
+    let mut x = 0x9e37_79b9_7f4a_7c15u64;
+    for _ in 0..OPS {
+        x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^= z ^ (z >> 31);
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    assert_ne!(x, 0, "calibration loop optimized away");
+    OPS as f64 / secs / 1e6
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    init_obs_from_env();
+    let scale = Scale::from_env();
+    let scale_name = match scale {
+        Scale::Tiny => "tiny",
+        Scale::Eval => "eval",
+        Scale::Full => "full",
+    };
+    let market = build_market(AreaType::Suburban, 1, scale);
+    let model = magus_model::standard_setup(&market, Bandwidth::Mhz10);
+    let cfg = ExperimentConfig::default();
+    let prepared = prepare_scenario(&model, &market, UpgradeScenario::SingleCentralSector, &cfg);
+    let hill = HillClimbParams {
+        utility: cfg.search.utility,
+        max_moves: cfg.search.max_changes,
+        ..HillClimbParams::default()
+    };
+
+    let calib_mops = calibrate();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let target_s = env_f64("MAGUS_SEARCH_TARGET_S", 1.0);
+
+    // The normalized figure is defined at 1 worker thread, like
+    // `probe_bench`'s `normalized_1t`.
+    magus_exec::set_threads(1);
+    let mut points = Vec::new();
+    for spec in STRATEGIES {
+        // Warm-up rep: fills the path-loss cache and gives the rep
+        // count something to aim with.
+        let t0 = Instant::now();
+        let mut state = prepared.start_state();
+        let reference = run_strategy_spec(
+            spec,
+            hill,
+            &model.evaluator,
+            &mut state,
+            &prepared.neighbors,
+        );
+        let rep_s = t0.elapsed().as_secs_f64();
+        let reps = ((target_s / rep_s.max(1e-6)).ceil() as usize).clamp(1, 50);
+
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            let mut state = prepared.start_state();
+            let report = run_strategy_spec(
+                spec,
+                hill,
+                &model.evaluator,
+                &mut state,
+                &prepared.neighbors,
+            );
+            // Determinism: every rep starts from the same state and
+            // must land on the same utility, bit for bit.
+            assert_eq!(
+                report.utility.to_bits(),
+                reference.utility.to_bits(),
+                "{}: repetitions disagree on the final utility",
+                reference.strategy
+            );
+            assert_eq!(
+                report.probes, reference.probes,
+                "{}: repetitions disagree on the probe count",
+                reference.strategy
+            );
+        }
+        let wall = t0.elapsed().as_secs_f64();
+        let total_probes = reference.probes.saturating_mul(reps as u64);
+        let pps = total_probes as f64 / wall.max(1e-9);
+        println!(
+            "search_bench: {:>8}: {pps:>12.0} probes/s ({} probes × {reps} reps, {wall:.3}s)",
+            reference.strategy, reference.probes
+        );
+        points.push(StrategyPoint {
+            strategy: reference.strategy,
+            probes: reference.probes,
+            reps,
+            wall_s: wall,
+            probes_per_sec: pps,
+            normalized: pps / calib_mops,
+        });
+    }
+    magus_exec::clear_threads_override();
+
+    let max_regression_pct = env_f64("MAGUS_SEARCH_REGRESSION_MAX_PCT", 10.0);
+    let gate_possible = cores >= 4 && max_regression_pct > 0.0;
+    let report = Report {
+        scale: scale_name.to_string(),
+        cores,
+        sectors: market.network().num_sectors(),
+        grids: market.spec().len(),
+        calib_mops,
+        strategies: points,
+        gate_enforced: gate_possible,
+        max_regression_pct,
+    };
+    println!("search_bench: calib {calib_mops:.0} Mops/s");
+    write_artifact("search_bench", &report);
+    if std::env::var_os("MAGUS_SEARCH_WRITE_BASELINE").is_some() {
+        let json = serde_json::to_string_pretty(&report).expect("serialize baseline");
+        std::fs::write("BENCH_search.json", json).expect("write BENCH_search.json");
+        eprintln!("[artifact] BENCH_search.json (baseline rewritten)");
+    }
+    let _ = magus_obs::flush_trace();
+
+    // Regression gate against the committed baseline.
+    let baseline = match std::fs::read_to_string("BENCH_search.json") {
+        Ok(text) => match parse_baseline(&text) {
+            Ok(b) => Some(b),
+            Err(e) => {
+                eprintln!("search_bench: BENCH_search.json unreadable ({e}); gate skipped");
+                None
+            }
+        },
+        Err(_) => {
+            eprintln!("search_bench: no committed BENCH_search.json; gate skipped");
+            None
+        }
+    };
+    let Some(baseline) = baseline else { return };
+    if !gate_possible {
+        println!("search_bench: gate skipped ({cores} cores < 4 or gate disabled)");
+        return;
+    }
+    if baseline.scale != scale_name {
+        println!(
+            "search_bench: gate skipped (baseline scale `{}` != run scale `{scale_name}`)",
+            baseline.scale
+        );
+        return;
+    }
+    let mut failed = false;
+    for (name, base_n) in &baseline.normalized {
+        let Some(point) = report.strategies.iter().find(|p| &p.strategy == name) else {
+            eprintln!("search_bench: FAIL — baseline strategy `{name}` missing from this run");
+            failed = true;
+            continue;
+        };
+        let floor = base_n * (1.0 - max_regression_pct / 100.0);
+        println!(
+            "search_bench: gate {name} — normalized {:.1} vs baseline {base_n:.1} \
+             (floor {floor:.1}, max regression {max_regression_pct:.0}%)",
+            point.normalized
+        );
+        if point.normalized < floor {
+            eprintln!(
+                "search_bench: FAIL — {name} normalized throughput {:.1} regressed more \
+                 than {max_regression_pct:.0}% below the committed baseline {base_n:.1}",
+                point.normalized
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -135,6 +135,19 @@ impl Args {
         }
     }
 
+    /// `--strategy`, if given: a portfolio search strategy
+    /// (`greedy|anneal|beam[:K]`). Absent means the classic tuning
+    /// families selected by `--tuning` run instead.
+    pub fn strategy(&self) -> Result<Option<magus_core::StrategySpec>, String> {
+        match self.get("strategy") {
+            None => Ok(None),
+            Some(s) => s
+                .parse()
+                .map(Some)
+                .map_err(|e| format!("invalid --strategy: {e}")),
+        }
+    }
+
     /// `--utility`, default performance.
     pub fn utility(&self) -> Result<UtilityKind, String> {
         match self.get("utility").unwrap_or("performance") {

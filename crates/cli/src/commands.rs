@@ -115,28 +115,46 @@ pub fn mitigate(args: &Args) -> Result<(), String> {
     let (market, model) = build(args)?;
     let scenario = args.scenario()?;
     let tuning = args.tuning()?;
+    let strategy = args.strategy()?;
     let mut cfg = ExperimentConfig::default();
     cfg.search.utility = args.utility()?;
-    eprintln!("planning mitigation for scenario {scenario} with {tuning} tuning…");
+    match strategy {
+        Some(spec) => {
+            eprintln!("planning mitigation for scenario {scenario} with the {spec} strategy…");
+        }
+        None => eprintln!("planning mitigation for scenario {scenario} with {tuning} tuning…"),
+    }
     let prepared = prepare_scenario(&model, &market, scenario, &cfg);
-    let out = prepared.run(&model, tuning, &cfg);
+    let out = match strategy {
+        Some(spec) => prepared.run_strategy(&model, spec, &cfg),
+        None => prepared.run(&model, tuning, &cfg),
+    };
     let recovery = out.recovery(cfg.search.utility);
     if args.json() {
-        println!(
-            "{}",
-            json!({
-                "scenario": scenario.label(),
-                "tuning": tuning.to_string(),
-                "targets": out.targets.iter().map(|t| t.0).collect::<Vec<_>>(),
-                "neighbors": out.neighbors.len(),
-                "f_before": out.before.get(cfg.search.utility),
-                "f_upgrade": out.upgrade.get(cfg.search.utility),
-                "f_after": out.after.get(cfg.search.utility),
-                "recovery_ratio": recovery,
-                "changes": out.search.steps.iter().map(|c| format!("{c:?}")).collect::<Vec<_>>(),
-            })
-        );
+        let mut doc = json!({
+            "scenario": scenario.label(),
+            "tuning": tuning.to_string(),
+            "targets": out.targets.iter().map(|t| t.0).collect::<Vec<_>>(),
+            "neighbors": out.neighbors.len(),
+            "f_before": out.before.get(cfg.search.utility),
+            "f_upgrade": out.upgrade.get(cfg.search.utility),
+            "f_after": out.after.get(cfg.search.utility),
+            "recovery_ratio": recovery,
+            "changes": out.search.steps.iter().map(|c| format!("{c:?}")).collect::<Vec<_>>(),
+        });
+        // The strategy path adds its key without disturbing the legacy
+        // layout — a `--strategy`-free invocation stays byte-identical.
+        if let Some(name) = &out.strategy {
+            if let serde_json::Value::Object(map) = &mut doc {
+                map.insert("strategy".to_string(), json!(name));
+                map.insert("probes".to_string(), json!(out.search.probes));
+            }
+        }
+        println!("{doc}");
     } else {
+        if let Some(name) = &out.strategy {
+            println!("strategy         {name} ({} probes)", out.search.probes);
+        }
         println!(
             "targets          {:?}",
             out.targets.iter().map(|t| t.0).collect::<Vec<_>>()

@@ -87,6 +87,16 @@ COMMAND OPTIONS:
         --scenario <a|b|c>           Upgrade scenario        [default: a]
         --tuning <power|tilt|joint>  Search family           [default: joint]
         --utility <performance|coverage>                     [default: performance]
+    mitigate:
+        --strategy <greedy|anneal|beam[:K]>
+                                     Search-portfolio strategy (power+tilt
+                                     jointly). `anneal` = deterministic
+                                     simulated annealing; `beam:K` = width-K
+                                     beam search (default K=4). Both are
+                                     proven never worse than `greedy`, and
+                                     all three are bit-identical at any
+                                     --threads value. Absent: classic
+                                     --tuning families run.
     render:
         --out <path>                 Output PPM path         [default: coverage.ppm]
     export-db:
@@ -96,6 +106,8 @@ COMMAND OPTIONS:
 
 EXAMPLES:
     magus mitigate --area suburban --seed 3 --scenario b --tuning joint
+    magus mitigate --seed 3 --strategy anneal --json
+    magus mitigate --seed 3 --strategy beam:8 --threads 4
     magus gradual --area urban --scenario a --json
     magus mitigate --seed 3 --trace-out run.jsonl --metrics-out run-metrics.json
     magus trace diff run-a.jsonl run-b.jsonl

@@ -7,6 +7,14 @@
 use std::process::Command;
 
 fn mitigate_json(threads: Option<&str>, env_threads: Option<&str>) -> Vec<u8> {
+    mitigate_json_strategy(None, threads, env_threads)
+}
+
+fn mitigate_json_strategy(
+    strategy: Option<&str>,
+    threads: Option<&str>,
+    env_threads: Option<&str>,
+) -> Vec<u8> {
     let mut cmd = Command::new(env!("CARGO_BIN_EXE_magus"));
     cmd.args([
         "mitigate",
@@ -20,6 +28,9 @@ fn mitigate_json(threads: Option<&str>, env_threads: Option<&str>) -> Vec<u8> {
         "joint",
         "--json",
     ]);
+    if let Some(s) = strategy {
+        cmd.args(["--strategy", s]);
+    }
     if let Some(n) = threads {
         cmd.args(["--threads", n]);
     }
@@ -68,6 +79,53 @@ fn magus_threads_env_matches_flag() {
         flag_wins == by_flag,
         "--threads 1 under MAGUS_THREADS=7 diverged"
     );
+}
+
+/// Every portfolio strategy holds the same contract as the classic
+/// tunings: `mitigate --json --strategy …` stdout is byte-identical at
+/// every `--threads` value.
+#[test]
+fn strategy_json_is_byte_identical_across_thread_counts() {
+    for strategy in ["anneal", "beam:3"] {
+        let baseline = mitigate_json_strategy(Some(strategy), Some("1"), None);
+        let v: serde_json::Value =
+            serde_json::from_slice(&baseline).expect("strategy --json output parses");
+        let obj = v.as_object().expect("expected a JSON object on stdout");
+        assert_eq!(
+            obj.get("strategy").and_then(|s| s.as_str()),
+            Some(strategy),
+            "output names the strategy that ran"
+        );
+        for n in ["2", "4", "8"] {
+            let out = mitigate_json_strategy(Some(strategy), Some(n), None);
+            assert!(
+                out == baseline,
+                "--strategy {strategy} --threads {n} output diverged from --threads 1 \
+                 ({} vs {} bytes)",
+                out.len(),
+                baseline.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn invalid_strategy_values_are_rejected() {
+    for bad in ["annealing", "beam:0", "beam:x", "best"] {
+        let output = Command::new(env!("CARGO_BIN_EXE_magus"))
+            .args(["mitigate", "--size", "tiny", "--strategy", bad])
+            .output()
+            .expect("run magus mitigate");
+        assert!(
+            !output.status.success(),
+            "--strategy {bad:?} unexpectedly accepted"
+        );
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert!(
+            stderr.contains("strategy"),
+            "error message should mention --strategy, got: {stderr}"
+        );
+    }
 }
 
 #[test]

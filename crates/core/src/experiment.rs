@@ -17,6 +17,7 @@
 //! cross-utility cells fall out of the same run.
 
 use crate::hillclimb::{hill_climb, HillClimbParams};
+use crate::search::StrategySpec;
 use crate::tuning::{
     joint_search, naive_search, power_search, tilt_search, SearchOutcome, SearchParams, TuningKind,
 };
@@ -101,6 +102,10 @@ pub struct RecoveryOutcome {
     pub config_after: Configuration,
     /// Search bookkeeping.
     pub search: SearchOutcome,
+    /// The portfolio strategy that ran, when the run went through
+    /// [`PreparedScenario::run_strategy`] (`None` for the classic
+    /// tuning families).
+    pub strategy: Option<String>,
 }
 
 impl RecoveryOutcome {
@@ -243,6 +248,50 @@ impl PreparedScenario {
         self.outcome(tuning, state, search)
     }
 
+    /// Runs a portfolio search strategy (`--strategy`) over the
+    /// neighbor set from this prepared baseline. The classic tuning
+    /// families go through [`PreparedScenario::run`]; this path drives
+    /// the whole recovery with one [`crate::search::SearchStrategy`],
+    /// power and tilt jointly.
+    pub fn run_strategy(
+        &self,
+        sm: &StandardModel,
+        spec: StrategySpec,
+        cfg: &ExperimentConfig,
+    ) -> RecoveryOutcome {
+        let ev = &sm.evaluator;
+        let mut state = self.upgraded.clone();
+        let hill = self.strategy_hill_params(cfg);
+        let report = crate::search::run_strategy_spec(spec, hill, ev, &mut state, &self.neighbors);
+        let search = SearchOutcome {
+            steps: report.moves.clone(),
+            utility: report.utility,
+            probes: usize::try_from(report.probes).unwrap_or(usize::MAX),
+        };
+        let mut out = self.outcome(TuningKind::Joint, state, search);
+        out.strategy = Some(report.strategy);
+        out
+    }
+
+    /// The climb knobs a portfolio strategy runs with: the experiment's
+    /// utility and step size, capped at the tuning move budget.
+    fn strategy_hill_params(&self, cfg: &ExperimentConfig) -> HillClimbParams {
+        HillClimbParams {
+            utility: cfg.search.utility,
+            step_db: cfg.search.step_db,
+            tune_tilt: true,
+            power_floor_below_nominal_db: cfg.pretune_params.power_floor_below_nominal_db,
+            max_moves: cfg.search.max_changes,
+            epsilon: cfg.search.epsilon,
+        }
+    }
+
+    /// A clone of the post-outage starting state (what every strategy
+    /// searches from) — for harnesses that drive strategies directly.
+    pub fn start_state(&self) -> magus_model::ModelState {
+        self.upgraded.clone()
+    }
+
     /// Runs the naive baseline from this prepared baseline (Figure 13).
     pub fn run_naive(&self, sm: &StandardModel, cfg: &ExperimentConfig) -> RecoveryOutcome {
         let ev = &sm.evaluator;
@@ -267,6 +316,7 @@ impl PreparedScenario {
             config_before: self.config_before.clone(),
             config_after: state.config().clone(),
             search,
+            strategy: None,
         }
     }
 }

@@ -56,8 +56,10 @@ impl Default for HillClimbParams {
 ///
 /// Both the serial and the parallel paths enumerate candidates through
 /// this one function, so candidate *indices* — which the deterministic
-/// reduction ties on — mean the same thing at every thread count.
-fn candidate_moves(
+/// reduction ties on — mean the same thing at every thread count. The
+/// portfolio strategies in [`crate::search`] reuse it so "candidate k"
+/// names the same move for every strategy.
+pub(crate) fn candidate_moves(
     ev: &Evaluator,
     state: &ModelState,
     sectors: &[SectorId],
@@ -104,6 +106,18 @@ fn select_best(
     magus_exec::argmax_det(scores.into_iter().filter(|&(_, u)| u > current + epsilon))
 }
 
+/// Bookkeeping a climb returns beyond the accepted moves, so the
+/// search-portfolio strategies can aggregate cost across their phases.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ClimbOutcome {
+    /// Accepted moves, in order.
+    pub moves: Vec<ConfigChange>,
+    /// Candidate probes evaluated.
+    pub probes: u64,
+    /// Iterations run (accepted moves plus the final rejected round).
+    pub iters: u64,
+}
+
 /// A command to a probe worker holding a private [`ModelState`] replica.
 #[derive(Clone)]
 enum ProbeCmd {
@@ -145,6 +159,22 @@ pub fn hill_climb_with_threads(
     params: &HillClimbParams,
     threads: usize,
 ) -> Vec<ConfigChange> {
+    climb_with_threads(ev, state, sectors, params, threads, None).moves
+}
+
+/// The full-bookkeeping climb the portfolio strategies call: identical
+/// trajectory to [`hill_climb_with_threads`], but it also returns probe
+/// and iteration counts, and — when `label` names a strategy — emits
+/// `search.iter` / `search.accept` trace records alongside the legacy
+/// `hillclimb.iter` stream.
+pub(crate) fn climb_with_threads(
+    ev: &Evaluator,
+    state: &mut ModelState,
+    sectors: &[SectorId],
+    params: &HillClimbParams,
+    threads: usize,
+    label: Option<&str>,
+) -> ClimbOutcome {
     let _span = magus_obs::span_enter("hill_climb");
     if threads <= 1 {
         return climb(
@@ -152,6 +182,7 @@ pub fn hill_climb_with_threads(
             state,
             sectors,
             params,
+            label,
             |st, cands| {
                 cands
                     .iter()
@@ -197,6 +228,7 @@ pub fn hill_climb_with_threads(
                 state,
                 sectors,
                 params,
+                label,
                 |_st, cands| {
                     // Strided partition: worker w probes candidates w,
                     // w + threads, …; any partition reduces identically.
@@ -239,16 +271,16 @@ fn climb<S, A>(
     state: &mut ModelState,
     sectors: &[SectorId],
     params: &HillClimbParams,
+    label: Option<&str>,
     mut score: S,
     mut on_accept: A,
-) -> Vec<ConfigChange>
+) -> ClimbOutcome
 where
     S: FnMut(&mut ModelState, &[ConfigChange]) -> Vec<(usize, f64)>,
     A: FnMut(ConfigChange),
 {
-    let mut applied = Vec::new();
-    let mut iter = 0u64;
-    while applied.len() < params.max_moves {
+    let mut out = ClimbOutcome::default();
+    while out.moves.len() < params.max_moves {
         let current = state.objective(params.utility);
         let cands = candidate_moves(ev, state, sectors, params);
         let scores = score(state, &cands);
@@ -261,25 +293,46 @@ where
         // rejected last round), how many probes it took, and the
         // objective movement.
         magus_obs::trace_event!("hillclimb.iter",
-            "iter" => iter,
+            "iter" => out.iters,
             "candidate" => best.map_or_else(String::new, |(ch, _)| format!("{ch:?}")),
             "probes" => probes,
             "objective" => current,
             "delta" => best.map_or(0.0, |(_, u)| u - current),
             "accepted" => best.is_some(),
         );
-        iter += 1;
+        if let Some(strategy) = label {
+            magus_obs::trace_event!("search.iter",
+                "strategy" => strategy,
+                "iter" => out.iters,
+                "probes" => probes,
+                "objective" => current,
+                "accepted" => best.is_some(),
+            );
+        }
+        out.probes += probes;
         match best {
-            Some((ch, _)) => {
+            Some((ch, u)) => {
                 ev.apply(state, ch);
                 on_accept(ch);
-                applied.push(ch);
+                if let Some(strategy) = label {
+                    magus_obs::trace_event!("search.accept",
+                        "strategy" => strategy,
+                        "iter" => out.iters,
+                        "change" => format!("{ch:?}"),
+                        "utility" => u,
+                    );
+                }
+                out.moves.push(ch);
                 magus_obs::counter_inc!("hillclimb.moves");
             }
-            None => break,
+            None => {
+                out.iters += 1;
+                break;
+            }
         }
+        out.iters += 1;
     }
-    applied
+    out
 }
 
 #[cfg(test)]

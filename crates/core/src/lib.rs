@@ -14,6 +14,10 @@
 //!   pre-upgrade *planning pass* ("network planners attempt to maximize
 //!   coverage and minimize interference") so that `C_before` is locally
 //!   optimal and recovery ratios are meaningful.
+//! * [`search`] — the search portfolio (greedy, deterministic simulated
+//!   annealing, incumbent-protected beam search) behind the
+//!   [`search::SearchStrategy`] trait, every member holding the same
+//!   bit-identity contract as the greedy climb it generalizes.
 //! * [`strategy`] — the §2 solution-space quadrants (proactive/reactive ×
 //!   model/feedback) as utility-vs-time traces, including the idealized
 //!   and realistic reactive-feedback step counts of Figure 12.
@@ -34,6 +38,7 @@ pub mod gradual;
 pub mod hillclimb;
 pub mod migrate;
 pub mod playbook;
+pub mod search;
 pub mod strategy;
 pub mod tuning;
 
@@ -49,6 +54,10 @@ pub use migrate::{
     MigrateParams, MigrationCheckpoint, MigrationReport, StepReport,
 };
 pub use playbook::{OutagePlaybook, PlaybookEntry};
+pub use search::{
+    run_strategy_spec, Anneal, AnnealParams, Beam, BeamParams, Greedy, SearchReport,
+    SearchStrategy, StrategySpec, DEFAULT_BEAM_WIDTH,
+};
 pub use strategy::{
     hybrid_model_feedback, reactive_feedback, strategy_traces, FeedbackMode, FeedbackOutcome,
     StrategyKind, TraceSet,
@@ -64,6 +73,7 @@ pub mod prelude {
         ExperimentConfig, PreparedScenario, RecoveryOutcome, UtilityReadings,
     };
     pub use crate::gradual::{plan_gradual, GradualOutcome, GradualParams};
+    pub use crate::search::{run_strategy_spec, SearchReport, SearchStrategy, StrategySpec};
     pub use crate::strategy::{reactive_feedback, strategy_traces, FeedbackMode, StrategyKind};
     pub use crate::tuning::{
         joint_search, naive_search, power_search, tilt_search, SearchOutcome, SearchParams,

@@ -1,0 +1,675 @@
+//! The search portfolio (ROADMAP item 3): pluggable strategies over the
+//! probe/undo fast path, all bound to the same determinism contract as
+//! the greedy hill-climber they generalize.
+//!
+//! Three strategies hide behind [`SearchStrategy`]:
+//!
+//! * [`Greedy`] — the classic hill-climb, unchanged (it is literally
+//!   [`crate::hillclimb`] behind the trait).
+//! * [`Anneal`] — *elitist* simulated annealing: greedy descent to the
+//!   local optimum, a Metropolis exploration phase whose proposals come
+//!   from the vendored ChaCha RNG and whose accept/reject decisions are
+//!   pure splitmix hashes of `(seed, iteration, candidate)`, and a final
+//!   greedy polish of both the exploration end point and the best point
+//!   seen (restored bit-exactly via the probe/undo journal), keeping
+//!   whichever polishes higher. Because the descent optimum is always in
+//!   the candidate set for "best point seen" and undo restoration is
+//!   bit-exact, the final utility can never fall below greedy's.
+//! * [`Beam`] — incumbent-protected beam search of width K: slot 0
+//!   replays the greedy trajectory move for move (same candidate
+//!   enumeration, same `argmax_det` order-fixed reduction), the
+//!   remaining K−1 slots track the highest-scoring *other* improving
+//!   successors across the whole beam (deduplicated by resulting
+//!   configuration), and a best-ever snapshot is kept so freezing a
+//!   diversity slot never loses its optimum. The final answer is the
+//!   greedy-polished best-ever state — again never below greedy.
+//!
+//! Determinism obligations (per strategy) are spelled out in DESIGN.md
+//! §"Search portfolio"; the short version: no wall-clock, no
+//! `HashMap` iteration, proposals and accept/reject derived only from
+//! seeds and indices, and every parallel fan-out reduced in candidate
+//! order — so trajectories are bit-identical at any worker count and
+//! replayable from a checkpoint.
+
+use crate::hillclimb::{candidate_moves, climb_with_threads, ClimbOutcome, HillClimbParams};
+use magus_model::{Evaluator, ModelState, Undo, UtilityKind};
+use magus_net::{ConfigChange, Configuration, SectorId};
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Default beam width for `--strategy beam` without an explicit `:K`.
+pub const DEFAULT_BEAM_WIDTH: usize = 4;
+
+/// Floor for the annealing temperature so `exp(delta / t)` stays finite.
+const MIN_TEMP: f64 = 1e-12;
+
+/// A parsed `--strategy` selector: `greedy`, `anneal`, or `beam[:K]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StrategySpec {
+    /// Plain greedy hill-climbing (the historical behavior).
+    Greedy,
+    /// Elitist deterministic simulated annealing.
+    Anneal,
+    /// Incumbent-protected beam search with the given width.
+    Beam(usize),
+}
+
+impl FromStr for StrategySpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<StrategySpec, String> {
+        match s {
+            "greedy" => Ok(StrategySpec::Greedy),
+            "anneal" => Ok(StrategySpec::Anneal),
+            "beam" => Ok(StrategySpec::Beam(DEFAULT_BEAM_WIDTH)),
+            _ => {
+                if let Some(k) = s.strip_prefix("beam:") {
+                    match k.parse::<usize>() {
+                        Ok(k) if k >= 1 => return Ok(StrategySpec::Beam(k)),
+                        _ => return Err(format!("invalid beam width `{k}` (integer >= 1)")),
+                    }
+                }
+                Err(format!("unknown strategy `{s}` (greedy|anneal|beam[:K])"))
+            }
+        }
+    }
+}
+
+impl fmt::Display for StrategySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StrategySpec::Greedy => write!(f, "greedy"),
+            StrategySpec::Anneal => write!(f, "anneal"),
+            StrategySpec::Beam(k) => write!(f, "beam:{k}"),
+        }
+    }
+}
+
+impl StrategySpec {
+    /// Instantiates the strategy with default strategy-specific knobs
+    /// over the given climb parameters.
+    pub fn build(self, hill: HillClimbParams) -> Box<dyn SearchStrategy> {
+        match self {
+            StrategySpec::Greedy => Box::new(Greedy { params: hill }),
+            StrategySpec::Anneal => Box::new(Anneal {
+                params: AnnealParams {
+                    hill,
+                    ..AnnealParams::default()
+                },
+            }),
+            StrategySpec::Beam(width) => Box::new(Beam {
+                params: BeamParams { hill, width },
+            }),
+        }
+    }
+}
+
+/// What a strategy run produced, beyond the mutated final state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchReport {
+    /// Canonical strategy name (`greedy`, `anneal`, `beam:K`).
+    pub strategy: String,
+    /// Every applied change that survived to the final configuration,
+    /// in application order (replaying them from the starting state
+    /// reproduces the final state).
+    pub moves: Vec<ConfigChange>,
+    /// Final utility in the optimized kind (the *pure* utility, not the
+    /// plateau-breaking objective).
+    pub utility: f64,
+    /// Candidate probes evaluated (the model-evaluation cost).
+    pub probes: u64,
+    /// Search iterations (climb rounds + exploration steps + beam rounds).
+    pub iters: u64,
+}
+
+/// A search strategy over the probe/undo fast path.
+///
+/// Contract (enforced by `tests/model_properties.rs`, the chaos matrix
+/// and the CLI identity gates): `run` mutates `state` to the final
+/// configuration, the trajectory is **bit-identical for every
+/// `threads` value**, and the run is byte-inert under an installed
+/// zero-rate fault plan.
+pub trait SearchStrategy {
+    /// Canonical name (`greedy`, `anneal`, `beam:K`), used as the
+    /// `strategy` field of `search.iter` / `search.accept` records.
+    fn name(&self) -> String;
+
+    /// Runs the strategy to completion over `sectors`.
+    fn run(
+        &self,
+        ev: &Evaluator,
+        state: &mut ModelState,
+        sectors: &[SectorId],
+        threads: usize,
+    ) -> SearchReport;
+}
+
+/// Runs a spec with [`magus_exec::threads`] workers.
+pub fn run_strategy_spec(
+    spec: StrategySpec,
+    hill: HillClimbParams,
+    ev: &Evaluator,
+    state: &mut ModelState,
+    sectors: &[SectorId],
+) -> SearchReport {
+    spec.build(hill)
+        .run(ev, state, sectors, magus_exec::threads())
+}
+
+// ---------------------------------------------------------------------
+// Greedy
+// ---------------------------------------------------------------------
+
+/// The classic greedy hill-climb behind the [`SearchStrategy`] trait.
+#[derive(Debug, Clone, Copy)]
+pub struct Greedy {
+    /// Climb knobs.
+    pub params: HillClimbParams,
+}
+
+impl SearchStrategy for Greedy {
+    fn name(&self) -> String {
+        "greedy".to_string()
+    }
+
+    fn run(
+        &self,
+        ev: &Evaluator,
+        state: &mut ModelState,
+        sectors: &[SectorId],
+        threads: usize,
+    ) -> SearchReport {
+        let out = climb_with_threads(ev, state, sectors, &self.params, threads, Some("greedy"));
+        report(self.name(), out, state, self.params.utility)
+    }
+}
+
+fn report(
+    strategy: String,
+    out: ClimbOutcome,
+    state: &ModelState,
+    kind: UtilityKind,
+) -> SearchReport {
+    SearchReport {
+        strategy,
+        moves: out.moves,
+        utility: state.utility(kind),
+        probes: out.probes,
+        iters: out.iters,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Anneal
+// ---------------------------------------------------------------------
+
+/// Knobs for [`Anneal`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AnnealParams {
+    /// Shared climb knobs (utility, step size, move budget, …).
+    pub hill: HillClimbParams,
+    /// Seed for both the ChaCha proposal stream and the splitmix
+    /// accept/reject hashes.
+    pub seed: u64,
+    /// Metropolis exploration steps between descent and polish.
+    pub explore_iters: usize,
+    /// Initial temperature, in objective units.
+    pub t0: f64,
+    /// Geometric cooling factor per exploration step.
+    pub cooling: f64,
+}
+
+impl Default for AnnealParams {
+    fn default() -> Self {
+        AnnealParams {
+            hill: HillClimbParams::default(),
+            seed: 0xA11E_A7E5,
+            explore_iters: 240,
+            t0: 0.5,
+            cooling: 0.97,
+        }
+    }
+}
+
+/// Elitist deterministic simulated annealing (see the module docs for
+/// the three phases and the ≥-greedy argument).
+#[derive(Debug, Clone, Copy)]
+pub struct Anneal {
+    /// Annealing knobs.
+    pub params: AnnealParams,
+}
+
+impl SearchStrategy for Anneal {
+    fn name(&self) -> String {
+        "anneal".to_string()
+    }
+
+    fn run(
+        &self,
+        ev: &Evaluator,
+        state: &mut ModelState,
+        sectors: &[SectorId],
+        threads: usize,
+    ) -> SearchReport {
+        let _span = magus_obs::span_enter("search.anneal");
+        let p = &self.params;
+        let kind = p.hill.utility;
+
+        // Phase 1 — greedy descent: lands on the exact local optimum the
+        // greedy strategy returns (same code path, bit for bit).
+        let descent = climb_with_threads(ev, state, sectors, &p.hill, threads, Some("anneal"));
+        let mut moves = descent.moves;
+        let mut probes = descent.probes;
+        let mut iters = descent.iters;
+
+        // Phase 2 — Metropolis exploration. Proposals come from the
+        // ChaCha stream; accept/reject decisions are pure hashes of
+        // (seed, step, candidate) so a checkpointed trajectory replays
+        // bit-exactly and no draw order couples decisions together.
+        // Probes run inline on the driver state (one candidate per
+        // step), so worker count cannot influence the trajectory.
+        let mut rng = ChaCha8Rng::seed_from_u64(p.seed);
+        let mut journal: Vec<(ConfigChange, Undo)> = Vec::new();
+        let mut best_len = 0usize;
+        let mut best_obj = state.objective(kind);
+        let mut temp = p.t0;
+        for step in 0..p.explore_iters {
+            let cands = candidate_moves(ev, state, sectors, &p.hill);
+            if cands.is_empty() {
+                break;
+            }
+            // The modulo bounds the draw below `cands.len()`, a usize.
+            let idx = usize::try_from(rng.next_u64() % cands.len() as u64).unwrap_or(0);
+            let ch = cands[idx];
+            let current = state.objective(kind);
+            let probed = ev.probe_objective(state, ch, kind);
+            probes += 1;
+            let delta = probed - current;
+            let threshold = unit(magus_fault::site_key(p.seed, step as u64, idx as u64));
+            let accepted = delta > 0.0 || threshold < (delta / temp.max(MIN_TEMP)).exp();
+            magus_obs::trace_event!("search.iter",
+                "strategy" => "anneal",
+                "iter" => iters,
+                "probes" => 1u64,
+                "objective" => current,
+                "accepted" => accepted,
+                "temperature" => temp,
+            );
+            if accepted {
+                let undo = ev.apply(state, ch);
+                journal.push((ch, undo));
+                magus_obs::trace_event!("search.accept",
+                    "strategy" => "anneal",
+                    "iter" => iters,
+                    "change" => format!("{ch:?}"),
+                    "utility" => probed,
+                );
+                let obj = state.objective(kind);
+                if obj > best_obj {
+                    best_obj = obj;
+                    best_len = journal.len();
+                }
+            }
+            temp *= p.cooling;
+            iters += 1;
+        }
+        // Phase 3 — polish. The journal's end point and its best prefix
+        // may differ; greedy-polish both and keep the better final
+        // state. Ties go to the best prefix, whose pedigree is the
+        // descent optimum — so the result can never fall below greedy's.
+        let explored: Vec<ConfigChange> = journal.iter().map(|(ch, _)| *ch).collect();
+        let mut end_branch: Option<(ModelState, ClimbOutcome)> = None;
+        if journal.len() > best_len {
+            let mut end_state = state.clone();
+            let out = climb_with_threads(
+                ev,
+                &mut end_state,
+                sectors,
+                &p.hill,
+                threads,
+                Some("anneal"),
+            );
+            probes += out.probes;
+            iters += out.iters;
+            end_branch = Some((end_state, out));
+        }
+        // Rewind to the best prefix. Undo restoration is bit-exact (the
+        // `undo_is_exact` property), so this recovers the best point
+        // without any f64 drift — in the worst case, exactly the
+        // descent optimum.
+        while journal.len() > best_len {
+            let Some((_, undo)) = journal.pop() else {
+                break;
+            };
+            ev.undo(state, undo);
+        }
+        let polish = climb_with_threads(ev, state, sectors, &p.hill, threads, Some("anneal"));
+        probes += polish.probes;
+        iters += polish.iters;
+        match end_branch {
+            Some((end_state, end_polish)) if end_state.objective(kind) > state.objective(kind) => {
+                *state = end_state;
+                moves.extend(explored);
+                moves.extend(end_polish.moves);
+            }
+            _ => {
+                moves.extend(explored.into_iter().take(best_len));
+                moves.extend(polish.moves);
+            }
+        }
+        report(
+            self.name(),
+            ClimbOutcome {
+                moves,
+                probes,
+                iters,
+            },
+            state,
+            kind,
+        )
+    }
+}
+
+/// Maps a hash to a uniform draw in `[0, 1)` using the top 53 bits
+/// (the same construction the fault layer uses for injection rolls).
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+// ---------------------------------------------------------------------
+// Beam
+// ---------------------------------------------------------------------
+
+/// Knobs for [`Beam`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BeamParams {
+    /// Shared climb knobs (utility, step size, move budget, …).
+    pub hill: HillClimbParams,
+    /// Beam width K (slot 0 is the protected greedy incumbent).
+    pub width: usize,
+}
+
+/// One beam slot: a full model state plus the moves that produced it.
+struct Slot {
+    state: ModelState,
+    moves: Vec<ConfigChange>,
+    frozen: bool,
+}
+
+/// Incumbent-protected beam search (see the module docs).
+#[derive(Debug, Clone, Copy)]
+pub struct Beam {
+    /// Beam knobs.
+    pub params: BeamParams,
+}
+
+impl SearchStrategy for Beam {
+    fn name(&self) -> String {
+        format!("beam:{}", self.params.width.max(1))
+    }
+
+    fn run(
+        &self,
+        ev: &Evaluator,
+        state: &mut ModelState,
+        sectors: &[SectorId],
+        threads: usize,
+    ) -> SearchReport {
+        let _span = magus_obs::span_enter("search.beam");
+        let name = self.name();
+        let hill = self.params.hill;
+        let width = self.params.width.max(1);
+        let kind = hill.utility;
+        let threads = threads.max(1);
+
+        let mut beam = vec![Slot {
+            state: state.clone(),
+            moves: Vec::new(),
+            frozen: false,
+        }];
+        // Best-ever snapshot: replacing diversity slots each round (and
+        // dropping frozen ones) must never lose a discovered optimum.
+        let mut best_state = state.clone();
+        let mut best_moves: Vec<ConfigChange> = Vec::new();
+        let mut best_obj = state.objective(kind);
+        let mut probes = 0u64;
+        let mut iters = 0u64;
+
+        for _round in 0..hill.max_moves {
+            let live: Vec<usize> = beam
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| !s.frozen)
+                .map(|(i, _)| i)
+                .collect();
+            if live.is_empty() {
+                break;
+            }
+            // Candidate enumeration per live slot, driver-side, in the
+            // shared fixed order.
+            let cands: Vec<Vec<ConfigChange>> = live
+                .iter()
+                .map(|&si| candidate_moves(ev, &beam[si].state, sectors, &hill))
+                .collect();
+
+            // Fan the probes across the team: each (slot, stride-offset)
+            // task clones its slot's state once and probes candidates
+            // offset, offset+threads, … — the same strided partition the
+            // climb loop uses, so any worker count reduces identically.
+            let tasks: Vec<(usize, usize)> = (0..live.len())
+                .flat_map(|pi| (0..threads).map(move |w| (pi, w)))
+                .collect();
+            let chunks: Vec<Vec<(usize, f64)>> =
+                magus_exec::map_indexed(tasks.len(), threads, |ti| {
+                    let (pi, w) = tasks[ti];
+                    let mut replica = beam[live[pi]].state.clone();
+                    cands[pi]
+                        .iter()
+                        .copied()
+                        .enumerate()
+                        .skip(w)
+                        .step_by(threads)
+                        .map(|(ci, ch)| (ci, ev.probe_objective(&mut replica, ch, kind)))
+                        .collect()
+                });
+            let mut scores: Vec<Vec<(usize, f64)>> = vec![Vec::new(); live.len()];
+            for (ti, chunk) in chunks.into_iter().enumerate() {
+                scores[tasks[ti].0].extend(chunk);
+            }
+            for s in &mut scores {
+                s.sort_unstable_by_key(|&(i, _)| i);
+            }
+            let round_probes: u64 = scores.iter().map(|s| s.len() as u64).sum();
+            probes += round_probes;
+
+            // Slot 0 replays greedy exactly: the same improvement filter
+            // and the same argmax_det order-fixed reduction.
+            let pos0 = live.iter().position(|&si| si == 0);
+            let chosen0: Option<(usize, f64)> = pos0.and_then(|p0| {
+                let cur0 = beam[0].state.objective(kind);
+                magus_exec::argmax_det(
+                    scores[p0]
+                        .iter()
+                        .copied()
+                        .filter(|&(_, u)| u > cur0 + hill.epsilon),
+                )
+            });
+
+            // Diversity pool: every improving (slot, candidate) pair in
+            // the beam except slot 0's own choice, ranked by score with
+            // ties broken by (slot, candidate) index.
+            let mut pool: Vec<(usize, usize, f64)> = Vec::new();
+            for (pi, &si) in live.iter().enumerate() {
+                let cur = beam[si].state.objective(kind);
+                for &(ci, u) in &scores[pi] {
+                    if u <= cur + hill.epsilon {
+                        continue;
+                    }
+                    if si == 0 && chosen0.map_or(false, |(c0, _)| c0 == ci) {
+                        continue;
+                    }
+                    pool.push((si, ci, u));
+                }
+            }
+            pool.sort_by(|a, b| b.2.total_cmp(&a.2).then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1)));
+
+            // Rebuild the beam: advanced (or frozen) incumbent first,
+            // then the top improving successors deduplicated by the
+            // configuration they produce.
+            let mut advanced = false;
+            let slot0 = if let (Some(p0), Some((ci, u))) = (pos0, chosen0) {
+                let ch = cands[p0][ci];
+                let mut st = beam[0].state.clone();
+                ev.apply(&mut st, ch);
+                let mut mv = beam[0].moves.clone();
+                mv.push(ch);
+                magus_obs::trace_event!("search.accept",
+                    "strategy" => name.as_str(),
+                    "iter" => iters,
+                    "change" => format!("{ch:?}"),
+                    "utility" => u,
+                    "slot" => 0u64,
+                );
+                advanced = true;
+                Slot {
+                    state: st,
+                    moves: mv,
+                    frozen: false,
+                }
+            } else {
+                Slot {
+                    state: beam[0].state.clone(),
+                    moves: beam[0].moves.clone(),
+                    frozen: true,
+                }
+            };
+            let mut next_cfgs: Vec<Configuration> = vec![slot0.state.config().clone()];
+            let mut next = vec![slot0];
+            for &(si, ci, u) in &pool {
+                if next.len() >= width {
+                    break;
+                }
+                // Pool entries are built from live slots only.
+                let Some(pi) = live.iter().position(|&x| x == si) else {
+                    continue;
+                };
+                let ch = cands[pi][ci];
+                let mut cfg = beam[si].state.config().clone();
+                cfg.apply(ev.network(), ch);
+                if next_cfgs.contains(&cfg) {
+                    continue;
+                }
+                let mut st = beam[si].state.clone();
+                ev.apply(&mut st, ch);
+                let mut mv = beam[si].moves.clone();
+                mv.push(ch);
+                magus_obs::trace_event!("search.accept",
+                    "strategy" => name.as_str(),
+                    "iter" => iters,
+                    "change" => format!("{ch:?}"),
+                    "utility" => u,
+                    "slot" => next.len() as u64,
+                );
+                next_cfgs.push(cfg);
+                next.push(Slot {
+                    state: st,
+                    moves: mv,
+                    frozen: false,
+                });
+                advanced = true;
+            }
+            for slot in &next {
+                let obj = slot.state.objective(kind);
+                if obj > best_obj {
+                    best_obj = obj;
+                    best_state = slot.state.clone();
+                    best_moves = slot.moves.clone();
+                }
+            }
+            magus_obs::trace_event!("search.iter",
+                "strategy" => name.as_str(),
+                "iter" => iters,
+                "probes" => round_probes,
+                "objective" => best_obj,
+                "accepted" => advanced,
+            );
+            iters += 1;
+            beam = next;
+            if !advanced {
+                break;
+            }
+        }
+
+        // Polish the best-ever state; when that is the incumbent's local
+        // optimum this costs one verification round and changes nothing.
+        *state = best_state;
+        let mut moves = best_moves;
+        let polish = climb_with_threads(ev, state, sectors, &hill, threads, Some(&name));
+        moves.extend(polish.moves);
+        probes += polish.probes;
+        iters += polish.iters;
+        report(
+            name,
+            ClimbOutcome {
+                moves,
+                probes,
+                iters,
+            },
+            state,
+            kind,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategy_spec_parses_and_prints() {
+        assert_eq!("greedy".parse::<StrategySpec>(), Ok(StrategySpec::Greedy));
+        assert_eq!("anneal".parse::<StrategySpec>(), Ok(StrategySpec::Anneal));
+        assert_eq!(
+            "beam".parse::<StrategySpec>(),
+            Ok(StrategySpec::Beam(DEFAULT_BEAM_WIDTH))
+        );
+        assert_eq!("beam:2".parse::<StrategySpec>(), Ok(StrategySpec::Beam(2)));
+        assert_eq!(StrategySpec::Beam(7).to_string(), "beam:7");
+        assert_eq!(StrategySpec::Anneal.to_string(), "anneal");
+        for bad in ["", "beam:0", "beam:x", "annealing", "BEAM"] {
+            assert!(bad.parse::<StrategySpec>().is_err(), "`{bad}` accepted");
+        }
+    }
+
+    #[test]
+    fn spec_round_trips_through_display() {
+        for spec in [
+            StrategySpec::Greedy,
+            StrategySpec::Anneal,
+            StrategySpec::Beam(1),
+            StrategySpec::Beam(4),
+        ] {
+            assert_eq!(spec.to_string().parse::<StrategySpec>(), Ok(spec));
+        }
+    }
+
+    #[test]
+    fn unit_is_uniform_range() {
+        for h in [0u64, 1, u64::MAX, 0xDEAD_BEEF_CAFE_F00D] {
+            let u = unit(h);
+            assert!((0.0..1.0).contains(&u), "unit({h}) = {u}");
+        }
+        assert_eq!(unit(0), 0.0);
+    }
+
+    #[test]
+    fn built_strategies_report_their_names() {
+        let hill = HillClimbParams::default();
+        assert_eq!(StrategySpec::Greedy.build(hill).name(), "greedy");
+        assert_eq!(StrategySpec::Anneal.build(hill).name(), "anneal");
+        assert_eq!(StrategySpec::Beam(3).build(hill).name(), "beam:3");
+    }
+}

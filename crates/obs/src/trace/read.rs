@@ -203,6 +203,11 @@ pub const KNOWN_KINDS: &[(&str, &[&str])] = &[
     ),
     ("search.step", &["algo", "step", "change", "utility"]),
     (
+        "search.iter",
+        &["strategy", "iter", "probes", "objective", "accepted"],
+    ),
+    ("search.accept", &["strategy", "iter", "change", "utility"]),
+    (
         "gradual.step",
         &[
             "step",

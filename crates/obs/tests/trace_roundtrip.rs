@@ -122,6 +122,24 @@ fn emit_one_of_each() -> String {
         "actual" => 0.61f64,
         "abs_delta" => 0.02f64,
     );
+    // crates/core/src/search.rs (the search portfolio; the labeled
+    // climb in hillclimb.rs emits the same kinds). `temperature` and
+    // `slot` are strategy-specific extras beyond the required floor.
+    magus_obs::trace_event!("search.iter",
+        "strategy" => "anneal",
+        "iter" => 7u64,
+        "probes" => 1u64,
+        "objective" => 0.81f64,
+        "accepted" => true,
+        "temperature" => 0.25f64,
+    );
+    magus_obs::trace_event!("search.accept",
+        "strategy" => "beam:4",
+        "iter" => 3u64,
+        "change" => "SetTilt(SectorId(5), 4)",
+        "utility" => 0.86f64,
+        "slot" => 1u64,
+    );
     magus_obs::clear_trace();
     magus_obs::set_level(magus_obs::ObsLevel::Off);
     buf.contents()
@@ -133,7 +151,7 @@ fn every_record_kind_roundtrips_and_validates() {
     let text = emit_one_of_each();
     let trace = parse_trace(&text).expect("captured stream parses");
     assert_eq!(trace.schema, Some(magus_obs::TRACE_SCHEMA_VERSION));
-    assert_eq!(trace.records.len(), 10, "one record per emitted kind");
+    assert_eq!(trace.records.len(), 12, "one record per emitted kind");
     assert_eq!(
         check_trace(&trace),
         Vec::<String>::new(),
@@ -195,6 +213,15 @@ fn serialized_bytes_are_pinned_against_fixtures() {
     assert_eq!(
         lines[4],
         r#"{"seq": 4, "kind": "migrate.step", "step": 2, "attempts": 6, "retries": 1, "stragglers": 1, "deferred": 0, "rolled_back": false, "utility": 0.85, "degraded": false, "sim_time_ms": 1500}"#
+    );
+    // The portfolio kinds added in schema v1's additive window.
+    assert_eq!(
+        lines[11],
+        r#"{"seq": 11, "kind": "search.iter", "strategy": "anneal", "iter": 7, "probes": 1, "objective": 0.81, "accepted": true, "temperature": 0.25}"#
+    );
+    assert_eq!(
+        lines[12],
+        r#"{"seq": 12, "kind": "search.accept", "strategy": "beam:4", "iter": 3, "change": "SetTilt(SectorId(5), 4)", "utility": 0.86, "slot": 1}"#
     );
 }
 

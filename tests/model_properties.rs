@@ -3,7 +3,7 @@
 //! the state from scratch, under arbitrary change sequences — and undo
 //! rolls back perfectly.
 
-use magus::core::{hill_climb_with_threads, HillClimbParams};
+use magus::core::{hill_climb_with_threads, HillClimbParams, StrategySpec};
 use magus::geo::units::thermal_noise;
 use magus::geo::{Bearing, Db, GridSpec, PointM};
 use magus::lte::{Bandwidth, RateMapper};
@@ -252,6 +252,48 @@ proptest! {
                 "final configuration diverged at {} threads", threads);
             prop_assert_eq!(st.utility(kind).to_bits(), serial_bits,
                 "utility not bit-identical at {} threads", threads);
+        }
+    }
+
+    /// Every search-portfolio strategy is thread-count invariant: for
+    /// any knobs, greedy, anneal and beam produce the same move
+    /// trajectory, probe count, and bit-identical final state at 1, 2,
+    /// and 8 workers (the exec determinism contract extended to the
+    /// whole portfolio).
+    #[test]
+    fn strategies_are_thread_count_invariant(
+        step_db in prop_oneof![Just(0.5f64), Just(1.0)],
+        kind in prop_oneof![Just(UtilityKind::Performance), Just(UtilityKind::Coverage)],
+        spec in prop_oneof![
+            Just(StrategySpec::Greedy),
+            Just(StrategySpec::Anneal),
+            Just(StrategySpec::Beam(3)),
+        ],
+    ) {
+        let (ev, config) = fixture();
+        let params = HillClimbParams {
+            utility: kind,
+            step_db,
+            tune_tilt: true,
+            max_moves: 24,
+            ..HillClimbParams::default()
+        };
+        let sectors: Vec<SectorId> = (0..N_SECTORS).map(SectorId).collect();
+        let strategy = spec.build(params);
+        let mut baseline = ev.initial_state(&config);
+        let serial = strategy.run(&ev, &mut baseline, &sectors, 1);
+        let serial_fp = baseline.bit_fingerprint();
+        for threads in [2usize, 8] {
+            let mut st = ev.initial_state(&config);
+            let rep = strategy.run(&ev, &mut st, &sectors, threads);
+            prop_assert_eq!(&rep.moves, &serial.moves,
+                "{} trajectory diverged at {} threads", rep.strategy, threads);
+            prop_assert_eq!(rep.utility.to_bits(), serial.utility.to_bits(),
+                "{} utility not bit-identical at {} threads", rep.strategy, threads);
+            prop_assert_eq!(rep.probes, serial.probes,
+                "{} probe count diverged at {} threads", rep.strategy, threads);
+            prop_assert_eq!(st.bit_fingerprint(), serial_fp,
+                "{} final state diverged at {} threads", rep.strategy, threads);
         }
     }
 
