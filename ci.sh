@@ -122,6 +122,21 @@ cargo test -q --release -p magus-core --test search_portfolio
 MAGUS_SCALE=tiny MAGUS_SEARCH_TARGET_S=0.5 \
     cargo run -q --release -p magus-bench --bin search_bench
 
+stage "scale matrix gate"
+# Continental-scale market generation + pruned evaluation at ~2k
+# sectors: tile-compressed bases asserted, probe sweeps asserted to
+# stay inside one footprint window (no full-raster rescans), and the
+# CPU-normalized sectors/s compared against the committed
+# BENCH_scale.json baseline, failing past a 10% regression
+# (MAGUS_SCALE_REGRESSION_MAX_PCT to override). The regression compare
+# self-skips on < 4-core runners; the smoke run and pruning asserts
+# always execute. Re-baseline with MAGUS_SCALE_WRITE_BASELINE=1 (or
+# scripts/rebaseline.sh for all three baselines at once). The fresh
+# measurement lands in target/magus-results/scale_matrix.json for
+# artifact upload.
+MAGUS_SCALE_SECTORS=2001 \
+    cargo run -q --release -p magus-bench --bin scale_matrix
+
 stage "chaos matrix gate"
 # Fault rates x scenarios through the migration executor, the search
 # portfolio (greedy x anneal x beam), and the testbed sim: no panics,
@@ -163,5 +178,32 @@ done
         cp target/mitigate-zero-?.trace.jsonl target/magus-results/
         exit 1; }
 echo "mitigate --json byte-identical under rate=0 plan at 1 and 4 threads"
+
+stage "CLI cache identity"
+# The path-loss cache must accelerate, never perturb: a scaled
+# `mitigate --json` with a fresh --cache-dir (cold, writes the blobs),
+# the same command again (warm, loads them), and a cache-free run must
+# all be byte-identical. A corrupt blob must heal: flip a byte in the
+# store blob and the next run has to quietly rebuild and still match.
+CACHE_DIR=target/magus-cache-ci
+rm -rf "$CACHE_DIR"
+"$MAGUS_CLI" mitigate --json --seed 2 --scale 150 --threads 2 \
+    2>/dev/null > target/mitigate-nocache.json
+"$MAGUS_CLI" mitigate --json --seed 2 --scale 150 --threads 2 \
+    --cache-dir "$CACHE_DIR" 2>/dev/null > target/mitigate-cachecold.json
+"$MAGUS_CLI" mitigate --json --seed 2 --scale 150 --threads 2 \
+    --cache-dir "$CACHE_DIR" 2>/dev/null > target/mitigate-cachewarm.json
+cmp target/mitigate-nocache.json target/mitigate-cachecold.json || {
+    echo "cache-dir cold run diverged from the cache-free run"; exit 1; }
+cmp target/mitigate-cachecold.json target/mitigate-cachewarm.json || {
+    echo "warm cache run diverged from the cold run"; exit 1; }
+STORE_BLOB=$(ls "$CACHE_DIR"/magus-store-*.mpl2)
+printf '\xff' | dd of="$STORE_BLOB" bs=1 seek=1000 conv=notrunc 2>/dev/null
+"$MAGUS_CLI" mitigate --json --seed 2 --scale 150 --threads 2 \
+    --cache-dir "$CACHE_DIR" 2>/dev/null > target/mitigate-cachehealed.json
+cmp target/mitigate-nocache.json target/mitigate-cachehealed.json || {
+    echo "corrupt-blob rebuild diverged from the cache-free run"; exit 1; }
+rm -rf "$CACHE_DIR"
+echo "mitigate --json byte-identical across no-cache, cold, warm, and healed-blob runs"
 
 echo "CI: all stages green"

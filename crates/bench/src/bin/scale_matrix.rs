@@ -1,0 +1,323 @@
+//! **Continental-scale matrix benchmark and regression gate** — the
+//! perf trajectory for market generation and pruned evaluation at scale
+//! (`ci.sh` stage "scale matrix gate").
+//!
+//! Magus's paper-scale markets are a few hundred sectors; a national
+//! deployment is tens of thousands. This binary generates a multi-city
+//! [`MarketParams::scaled`] market (`MAGUS_SCALE_SECTORS` sectors,
+//! default 2000; the nightly CI run uses 10k+), builds the standard
+//! model over it, and measures:
+//!
+//! * **sectors/sec** through generation + model build + initial state —
+//!   the cold-start cost a national planning run pays once;
+//! * **probes/sec** over the hill-climber's candidate mix on a sample
+//!   of sectors — the steady-state cost, which must NOT scale with
+//!   market size: a probe touches only the perturbed sector's footprint
+//!   and interference neighborhood, never the national raster (asserted
+//!   below via the `evaluator.sweep_cells` counter);
+//! * **peak RSS** (`VmHWM`) — the tiled i16-compressed base rasters are
+//!   what keep this in commodity-runner range.
+//!
+//! **Gate.** The repo root commits `BENCH_scale.json`. Throughput is
+//! normalized by the same splitmix64 calibration loop as `probe_bench`
+//! so the committed baseline gates across host speeds. A normalized
+//! drop of more than `MAGUS_SCALE_REGRESSION_MAX_PCT` (default 10%)
+//! fails the run; the gate self-skips on runners with < 4 cores and
+//! when the baseline is missing or was recorded at a different sector
+//! target. `MAGUS_SCALE_WRITE_BASELINE=1` rewrites the baseline.
+
+use magus_bench::{init_obs_from_env, write_artifact};
+use magus_geo::Db;
+use magus_model::{Evaluator, ModelState, UtilityKind};
+use magus_net::{ConfigChange, Market, MarketParams, SectorId};
+use serde::Serialize;
+use serde_json::Value;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct Report {
+    /// The `MAGUS_SCALE_SECTORS` target this run was sized for.
+    sectors_target: usize,
+    /// Sectors the deterministic layout actually produced.
+    sectors: usize,
+    grids: usize,
+    cities: u32,
+    cores: usize,
+    calib_mops: f64,
+    generate_s: f64,
+    model_build_s: f64,
+    /// Sectors per second through generate + build + initial state.
+    sectors_per_sec: f64,
+    /// `sectors_per_sec / calib_mops` — what the gate compares.
+    normalized: f64,
+    probes_per_sec: f64,
+    /// Mean grid cells swept per probe; bounded by one sector's
+    /// footprint window, independent of market size.
+    cells_per_probe: f64,
+    /// Compressed base-raster bytes across the whole store.
+    store_encoded_mib: f64,
+    peak_rss_mib: f64,
+    gate_enforced: bool,
+    max_regression_pct: f64,
+}
+
+/// The gate fields, extracted field-by-field so older baselines keep
+/// gating after `Report` grows a field.
+struct Baseline {
+    sectors_target: usize,
+    normalized: f64,
+}
+
+fn parse_baseline(text: &str) -> Result<Baseline, String> {
+    let v: Value = serde_json::parse_value(text).map_err(|e| e.to_string())?;
+    let obj = v.as_object().ok_or("baseline is not a JSON object")?;
+    let num = |k: &str| {
+        obj.get(k)
+            .and_then(Value::as_number)
+            .map(|n| n.as_f64())
+            .ok_or_else(|| format!("missing `{k}`"))
+    };
+    Ok(Baseline {
+        sectors_target: num("sectors_target")? as usize,
+        normalized: num("normalized")?,
+    })
+}
+
+/// Same fixed splitmix64 calibration loop as `probe_bench`, in
+/// million-ops/sec, so both gates share one machine-speed scale.
+fn calibrate() -> f64 {
+    const OPS: u64 = 20_000_000;
+    let t0 = Instant::now();
+    let mut x = 0x9e37_79b9_7f4a_7c15u64;
+    for _ in 0..OPS {
+        x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^= z ^ (z >> 31);
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    assert_ne!(x, 0, "calibration loop optimized away");
+    OPS as f64 / secs / 1e6
+}
+
+/// Peak resident set size from `/proc/self/status` (`VmHWM`), MiB.
+/// `None` off Linux.
+fn peak_rss_mib() -> Option<f64> {
+    let text = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = text.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: f64 = line
+        .trim_start_matches("VmHWM:")
+        .trim()
+        .trim_end_matches("kB")
+        .trim()
+        .parse()
+        .ok()?;
+    Some(kb / 1024.0)
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+/// The hill-climber's candidate mix over a sample of `k` sectors.
+fn candidates(ev: &Evaluator, state: &ModelState, k: usize) -> Vec<ConfigChange> {
+    let mut out = Vec::new();
+    for s in 0..state.num_sectors().min(k) as u32 {
+        let id = SectorId(s);
+        let sc = state.config().sector(id);
+        if !sc.on_air {
+            continue;
+        }
+        let mut c = vec![
+            ConfigChange::PowerDelta(id, Db(1.0)),
+            ConfigChange::PowerDelta(id, Db(-1.0)),
+        ];
+        if sc.tilt > 0 {
+            c.push(ConfigChange::SetTilt(id, sc.tilt - 1));
+        }
+        if sc.tilt + 1 < magus_propagation::NUM_TILT_SETTINGS {
+            c.push(ConfigChange::SetTilt(id, sc.tilt + 1));
+        }
+        out.extend(
+            c.into_iter()
+                .filter(|&ch| state.config().would_change(ev.network(), ch)),
+        );
+    }
+    out
+}
+
+fn main() {
+    init_obs_from_env();
+    let target = env_usize("MAGUS_SCALE_SECTORS", 2_000);
+    let params = MarketParams::scaled(target, 1);
+    let cities = params.city_grid;
+
+    eprintln!("scale_matrix: generating ~{target}-sector market ({cities}x{cities} cities)…");
+    let t0 = Instant::now();
+    let market = Market::generate(params);
+    let generate_s = t0.elapsed().as_secs_f64();
+    let sectors = market.network().num_sectors();
+    let grids = market.spec().len();
+    assert!(
+        market.store().is_compressed(),
+        "scaled markets must carry tile-compressed base rasters"
+    );
+    let store_encoded_mib = market.store().base_raster_bytes() as f64 / (1024.0 * 1024.0);
+    eprintln!(
+        "scale_matrix: {sectors} sectors over {grids} grids in {generate_s:.1}s \
+         ({store_encoded_mib:.1} MiB of compressed bases)"
+    );
+
+    // Model build + initial state: the rest of the cold-start cost.
+    let t1 = Instant::now();
+    let model = magus_model::standard_setup(&market, magus_lte::Bandwidth::Mhz10);
+    let ev = &model.evaluator;
+    let state = ev.initial_state(&model.nominal);
+    let model_build_s = t1.elapsed().as_secs_f64();
+    let cold_s = generate_s + model_build_s;
+    let sectors_per_sec = sectors as f64 / cold_s.max(1e-9);
+    eprintln!(
+        "scale_matrix: model + initial state in {model_build_s:.1}s \
+         → {sectors_per_sec:.0} sectors/s cold"
+    );
+
+    // Steady-state probing on a sector sample, with the sweep-cell
+    // counter proving probes touch one footprint, not the raster.
+    let cands = candidates(ev, &state, env_usize("MAGUS_SCALE_PROBE_SECTORS", 64));
+    assert!(!cands.is_empty(), "no probe candidates at scale");
+    let prev_level = magus_obs::level();
+    magus_obs::set_level(magus_obs::ObsLevel::Counters);
+    let registry = magus_obs::registry();
+    registry.reset();
+    let mut replica = state.clone();
+    // Warm the tilt-matrix cache so assembly lands outside the timing.
+    for &ch in &cands {
+        let _ = ev.probe_objective(&mut replica, ch, UtilityKind::Performance);
+    }
+    registry.reset();
+    let t2 = Instant::now();
+    let rounds = 3usize;
+    for _ in 0..rounds {
+        for &ch in &cands {
+            let _ = ev.probe_objective(&mut replica, ch, UtilityKind::Performance);
+        }
+    }
+    let probe_wall = t2.elapsed().as_secs_f64();
+    let probes = (rounds * cands.len()) as f64;
+    let swept = registry.counter("evaluator.sweep_cells").get() as f64;
+    magus_obs::set_level(prev_level);
+    assert_eq!(
+        replica.bit_fingerprint(),
+        state.bit_fingerprint(),
+        "probing mutated the state"
+    );
+    let probes_per_sec = probes / probe_wall.max(1e-9);
+    let cells_per_probe = swept / probes.max(1.0);
+    // A probe may sweep at most one footprint window (plus nothing
+    // else). Anything near the full raster means pruning broke. The +2
+    // covers the window's floor/ceil edge slack.
+    let window_cells = ((market.params().footprint_span_m / market.params().cell_size_m).ceil()
+        + 2.0)
+        .powi(2)
+        .min(grids as f64);
+    assert!(
+        cells_per_probe <= window_cells,
+        "probes sweep {cells_per_probe:.0} cells on average — more than one \
+         {window_cells:.0}-cell footprint; incremental pruning regressed"
+    );
+    eprintln!(
+        "scale_matrix: {probes_per_sec:.0} probes/s, {cells_per_probe:.0} cells/probe \
+         (footprint {window_cells:.0}, raster {grids})"
+    );
+
+    let calib_mops = calibrate();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let normalized = sectors_per_sec / calib_mops;
+    let max_regression_pct = env_f64("MAGUS_SCALE_REGRESSION_MAX_PCT", 10.0);
+    let gate_possible = cores >= 4 && max_regression_pct > 0.0;
+    let peak_rss = peak_rss_mib().unwrap_or(0.0);
+    let report = Report {
+        sectors_target: target,
+        sectors,
+        grids,
+        cities,
+        cores,
+        calib_mops,
+        generate_s,
+        model_build_s,
+        sectors_per_sec,
+        normalized,
+        probes_per_sec,
+        cells_per_probe,
+        store_encoded_mib,
+        peak_rss_mib: peak_rss,
+        gate_enforced: gate_possible,
+        max_regression_pct,
+    };
+    println!(
+        "scale_matrix: {sectors} sectors, {sectors_per_sec:.0} sectors/s \
+         (normalized {normalized:.2}), peak RSS {peak_rss:.0} MiB"
+    );
+    write_artifact("scale_matrix", &report);
+    if std::env::var_os("MAGUS_SCALE_WRITE_BASELINE").is_some() {
+        let json = serde_json::to_string_pretty(&report).expect("serialize baseline");
+        std::fs::write("BENCH_scale.json", json).expect("write BENCH_scale.json");
+        eprintln!("[artifact] BENCH_scale.json (baseline rewritten)");
+    }
+
+    // Regression gate against the committed baseline.
+    let baseline = match std::fs::read_to_string("BENCH_scale.json") {
+        Ok(text) => match parse_baseline(&text) {
+            Ok(b) => Some(b),
+            Err(e) => {
+                eprintln!("scale_matrix: BENCH_scale.json unreadable ({e}); gate skipped");
+                None
+            }
+        },
+        Err(_) => {
+            eprintln!("scale_matrix: no committed BENCH_scale.json; gate skipped");
+            None
+        }
+    };
+    let Some(baseline) = baseline else { return };
+    if !gate_possible {
+        println!(
+            "scale_matrix: gate skipped ({cores} cores < 4 or gate disabled); \
+             baseline normalized {:.2}",
+            baseline.normalized
+        );
+        return;
+    }
+    if baseline.sectors_target != target {
+        println!(
+            "scale_matrix: gate skipped (baseline target {} != run target {target})",
+            baseline.sectors_target
+        );
+        return;
+    }
+    let floor = baseline.normalized * (1.0 - max_regression_pct / 100.0);
+    println!(
+        "scale_matrix: gate — normalized {normalized:.2} vs baseline {:.2} \
+         (floor {floor:.2}, max regression {max_regression_pct:.0}%)",
+        baseline.normalized
+    );
+    if normalized < floor {
+        eprintln!(
+            "scale_matrix: FAIL — normalized cold-start throughput {normalized:.2} \
+             regressed more than {max_regression_pct:.0}% below the committed baseline {:.2}",
+            baseline.normalized
+        );
+        std::process::exit(1);
+    }
+}

@@ -115,6 +115,28 @@ impl Args {
         }
     }
 
+    /// `--scale`, if given: target sector count for a continental-scale
+    /// multi-city market (`MarketParams::scaled`); overrides the
+    /// `--size`/`--area` presets.
+    pub fn scale(&self) -> Result<Option<usize>, String> {
+        match self.get("scale") {
+            None => Ok(None),
+            Some(s) => match s.parse::<usize>() {
+                Ok(n) if n >= 3 => Ok(Some(n)),
+                _ => Err(format!("invalid --scale `{s}` (sector count, at least 3)")),
+            },
+        }
+    }
+
+    /// `--cache-dir`, falling back to the `MAGUS_CACHE_DIR` environment
+    /// variable: directory holding persisted path-loss stores and
+    /// neighborhood indexes so repeated runs skip the precompute.
+    pub fn cache_dir(&self) -> Option<std::path::PathBuf> {
+        self.get("cache-dir")
+            .map(std::path::PathBuf::from)
+            .or_else(|| std::env::var_os("MAGUS_CACHE_DIR").map(std::path::PathBuf::from))
+    }
+
     /// `--scenario`, default (a).
     pub fn scenario(&self) -> Result<UpgradeScenario, String> {
         match self.get("scenario").unwrap_or("a") {
@@ -357,6 +379,19 @@ mod tests {
         assert!(parse(&["--faults", "rate=2.0"]).faults().is_err());
         assert!(!parse(&[]).fault_report());
         assert!(parse(&["--fault-report"]).fault_report());
+    }
+
+    #[test]
+    fn scale_and_cache_dir_accessors() {
+        assert_eq!(parse(&[]).scale().unwrap(), None);
+        assert_eq!(parse(&["--scale", "10000"]).scale().unwrap(), Some(10_000));
+        assert!(parse(&["--scale", "0"]).scale().is_err());
+        assert!(parse(&["--scale", "many"]).scale().is_err());
+        let a = parse(&["--cache-dir", "/tmp/plcache"]);
+        assert_eq!(
+            a.cache_dir(),
+            Some(std::path::PathBuf::from("/tmp/plcache"))
+        );
     }
 
     #[test]

@@ -12,8 +12,11 @@ use magus_net::{Market, MarketParams};
 use serde_json::json;
 
 fn market_params(args: &Args) -> Result<MarketParams, String> {
-    let area = args.area()?;
     let seed = args.seed()?;
+    if let Some(target) = args.scale()? {
+        return Ok(MarketParams::scaled(target, seed));
+    }
+    let area = args.area()?;
     Ok(match args.size()? {
         "full" => MarketParams::preset(area, seed),
         "eval" => {
@@ -35,7 +38,7 @@ fn build(args: &Args) -> Result<(Market, StandardModel), String> {
         "generating {} market (seed {})…",
         params.area_type, params.seed
     );
-    let market = Market::generate(params);
+    let market = Market::generate_cached(params, args.cache_dir().as_deref());
     let model = standard_setup(&market, Bandwidth::Mhz10);
     Ok((market, model))
 }
@@ -316,7 +319,7 @@ pub fn export_db(args: &Args) -> Result<(), String> {
         "generating {} market (seed {})…",
         params.area_type, params.seed
     );
-    let market = Market::generate(params);
+    let market = Market::generate_cached(params, args.cache_dir().as_deref());
     let blob = magus_propagation::encode_store(market.store());
     let path = args.out("pathloss.mpl");
     std::fs::write(&path, &blob).map_err(|e| format!("writing {path}: {e}"))?;

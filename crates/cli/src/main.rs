@@ -43,6 +43,17 @@ OPTIONS (all commands):
     --area <rural|suburban|urban>    Market density regime   [default: suburban]
     --seed <u64>                     Market seed             [default: 1]
     --size <tiny|eval|full>          Market scale            [default: tiny]
+    --scale <sectors>                Continental-scale multi-city market with
+                                     roughly this many sectors (e.g. 10000);
+                                     overrides --area/--size. Base rasters are
+                                     tile-compressed; evaluation is pruned to
+                                     each probe's interference neighborhood.
+    --cache-dir <dir>                Persist/reuse the assembled path-loss store
+                                     and neighborhood index (versioned,
+                                     checksummed blobs; corrupt or stale blobs
+                                     are rebuilt). [default: MAGUS_CACHE_DIR
+                                     env, else no cache] Warm runs are
+                                     byte-identical to cold runs.
     --json                           JSON output on stdout
     --threads <N>                    Worker threads for parallel sections
                                      [default: MAGUS_THREADS env, else all cores]

@@ -2,7 +2,7 @@
 //! configuration changes, exact undo, and hypothetical single-grid
 //! queries.
 
-use crate::state::{ModelState, Undo, UndoCell, NO_SECTOR, UNKNOWN_SECTOR};
+use crate::state::{ModelState, Undo, UndoCell, UtilityAgg, NO_SECTOR, UNKNOWN_SECTOR};
 use magus_geo::{Db, Dbm, GridWindow};
 use magus_lte::{RateMapper, RateTable};
 use magus_net::{ConfigChange, Configuration, Network, SectorId, UeLayer};
@@ -79,8 +79,13 @@ pub struct Evaluator {
     log10_rate: Vec<(u32, f64)>,
     noise_mw: f64,
     ue: UeLayer,
-    /// Per grid: ids of sectors whose footprint covers it.
-    covering: Vec<Vec<u32>>,
+    /// Per grid: ids of sectors whose footprint covers it, in CSR form —
+    /// grid `i`'s sectors are `covering_items[covering_off[i] ..
+    /// covering_off[i+1]]`, ascending. Flat arrays instead of a
+    /// `Vec<Vec<u32>>`: at continental scale the per-grid vector
+    /// headers and allocation slack alone cost more than the ids.
+    covering_off: Vec<u32>,
+    covering_items: Vec<u32>,
 }
 
 impl Evaluator {
@@ -108,10 +113,30 @@ impl Evaluator {
         );
         crate::invariant::debug_validate_store(&store);
         let spec = *store.spec();
-        let mut covering: Vec<Vec<u32>> = vec![Vec::new(); spec.len()];
+        // Two-pass CSR build: count covering sectors per grid, prefix-sum
+        // into offsets, then fill in ascending sector order — each grid's
+        // row comes out ascending, the order every rescan relies on.
+        let n_grids = spec.len();
+        let mut counts = vec![0u32; n_grids];
         for s in 0..magus_geo::cast::len_u32(store.num_sectors()) {
             for c in store.window(s).coords() {
-                covering[spec.index(c)].push(s);
+                counts[spec.index(c)] += 1;
+            }
+        }
+        let mut covering_off = Vec::with_capacity(n_grids + 1);
+        covering_off.push(0u32);
+        let mut total = 0u32;
+        for &c in &counts {
+            total += c;
+            covering_off.push(total);
+        }
+        let mut covering_items = vec![0u32; magus_geo::cast::idx(total)];
+        let mut cursor: Vec<u32> = covering_off[..n_grids].to_vec();
+        for s in 0..magus_geo::cast::len_u32(store.num_sectors()) {
+            for c in store.window(s).coords() {
+                let i = spec.index(c);
+                covering_items[magus_geo::cast::idx(cursor[i])] = s;
+                cursor[i] += 1;
             }
         }
         let rate_table = rate.table();
@@ -134,8 +159,17 @@ impl Evaluator {
             log10_rate,
             noise_mw: noise.to_milliwatt().0,
             ue,
-            covering,
+            covering_off,
+            covering_items,
         }
+    }
+
+    /// Sector ids covering grid `i`, ascending (CSR row).
+    #[inline]
+    fn covering(&self, i: usize) -> &[u32] {
+        let lo = magus_geo::cast::idx(self.covering_off[i]);
+        let hi = magus_geo::cast::idx(self.covering_off[i + 1]);
+        &self.covering_items[lo..hi]
     }
 
     /// `log10(r_max)` via the precomputed per-rate-level table; falls
@@ -227,6 +261,7 @@ impl Evaluator {
             rmax: vec![0.0; n_grids],
             n_s: vec![0.0; n_sectors],
             a_s: vec![0.0; n_sectors],
+            agg: UtilityAgg::default(),
             degraded: false,
         };
         let spec = *self.store.spec();
@@ -265,6 +300,7 @@ impl Evaluator {
             state.rmax[i] = rmax as f32;
             self.add_aggregates(&mut state, i);
         }
+        state.agg.rebuild(&state.n_s, &state.a_s);
         state
     }
 
@@ -331,7 +367,7 @@ impl Evaluator {
         let mut best2 = NO_SECTOR;
         let mut best2_rp = f32::NEG_INFINITY;
         let c = self.store.spec().coord_of_index(i);
-        for &s in &self.covering[i] {
+        for &s in self.covering(i) {
             let sc = state.config.sector(SectorId(s));
             if !sc.on_air {
                 continue;
@@ -375,7 +411,7 @@ impl Evaluator {
         let mut best2 = NO_SECTOR;
         let mut best2_rp = f32::NEG_INFINITY;
         let c = self.store.spec().coord_of_index(i);
-        for &s in &self.covering[i] {
+        for &s in self.covering(i) {
             if s as i32 == bi {
                 continue;
             }
@@ -463,6 +499,27 @@ impl Evaluator {
             return; // off-air sector reconfigured: no radio effect
         }
         self.sweep(state, undo, s, old, new);
+        // Refresh the utility tree's touched leaves once per sweep (the
+        // undo log names each touched sector exactly once) instead of on
+        // every per-cell aggregate update — O(k·log n) per change.
+        for &(t, _, _) in &undo.sectors {
+            state
+                .agg
+                .update(magus_geo::cast::idx(t), &state.n_s, &state.a_s);
+        }
+        // Pruning contract: a change to sector `s` may only touch the
+        // aggregates of `s` itself and sectors whose footprints overlap
+        // it — the interference neighborhood the scale path prunes by.
+        #[cfg(debug_assertions)]
+        {
+            let idx = self.store.neighbor_index();
+            for &(t, _, _) in &undo.sectors {
+                debug_assert!(
+                    t == s || idx.contains(s, t),
+                    "sweep of sector {s} touched sector {t} outside its neighborhood"
+                );
+            }
+        }
         magus_obs::counter_add!("evaluator.sweep_cells", undo.cells.len() as u64);
     }
 
@@ -766,6 +823,11 @@ impl Evaluator {
             state.n_s[s as usize] = n;
             state.a_s[s as usize] = a;
         }
+        for &(s, _, _) in &undo.sectors {
+            state
+                .agg
+                .update(magus_geo::cast::idx(s), &state.n_s, &state.a_s);
+        }
         state.degraded = undo.degraded;
     }
 
@@ -932,7 +994,7 @@ impl Evaluator {
         let c = self.store.spec().coord_of_index(i);
         let mut b = NO_SECTOR;
         let mut brp = f32::NEG_INFINITY;
-        for &o in &self.covering[i] {
+        for &o in self.covering(i) {
             let oc = state.config.sector(SectorId(o));
             if !oc.on_air {
                 continue;
@@ -979,7 +1041,7 @@ impl Evaluator {
         // interfering sector's serving set and the serving sector's
         // matrix.
         let mut interference = 0.0;
-        for &o in &self.covering[i] {
+        for &o in self.covering(i) {
             if o == serving {
                 continue;
             }
@@ -1024,7 +1086,7 @@ impl Evaluator {
             // Exact recompute: received power (f32, the stored
             // representation) of every on-air covering sector.
             let mut rps: Vec<(u32, f32)> = Vec::new();
-            for &o in &self.covering[i] {
+            for &o in self.covering(i) {
                 let oc = state.config.sector(SectorId(o));
                 if !oc.on_air {
                     continue;
@@ -1351,6 +1413,63 @@ mod tests {
         let spec = *ev.store().spec();
         let i = spec.index(spec.coord_of_point(PointM::new(400.0, 0.0)).unwrap());
         assert!(ev.uplink_sinr(&st, i, Dbm(23.0)) >= ev.uplink_sinr(&st, i, Dbm(10.0)));
+    }
+
+    #[test]
+    fn pruned_probes_are_bit_identical_and_neighborhood_bounded() {
+        use rand::Rng;
+        use rand::SeedableRng;
+        use rand_chacha::ChaCha8Rng;
+        let (ev, config) = fixture();
+        let mut st = ev.initial_state(&config);
+        let idx = ev.store().neighbor_index();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for step in 0..64u32 {
+            let s = rng.random_range(0..2u32);
+            let ch = match rng.random_range(0..3u32) {
+                0 => ConfigChange::PowerDelta(SectorId(s), Db(rng.random_range(-6.0..6.0))),
+                1 => ConfigChange::SetTilt(SectorId(s), rng.random_range(0..17) as u8),
+                _ => ConfigChange::SetOnAir(SectorId(s), rng.random_range(0..2) == 0),
+            };
+
+            // A probe must restore the state bit-for-bit, tree included.
+            let cov = st.agg.coverage().to_bits();
+            let perf = st.agg.performance().to_bits();
+            let fp = st.bit_fingerprint();
+            ev.probe_utility(&mut st, ch, UtilityKind::Performance);
+            assert_eq!(st.bit_fingerprint(), fp, "probe {step} mutated state");
+            assert_eq!(
+                st.agg.coverage().to_bits(),
+                cov,
+                "probe {step} mutated tree"
+            );
+            assert_eq!(st.agg.performance().to_bits(), perf);
+
+            let undo = ev.apply(&mut st, ch);
+            // Pruning contract: a change to sector `s` only moves the
+            // aggregates of `s` and its interference neighbors — what
+            // lets the scale path skip everything else.
+            for &(t, _, _) in &undo.sectors {
+                assert!(
+                    t == s || idx.contains(s, t),
+                    "step {step}: {ch:?} touched sector {t}"
+                );
+            }
+            // The incrementally-maintained utility tree must equal a tree
+            // rebuilt from the same aggregates, bit for bit.
+            let mut full = UtilityAgg::default();
+            full.rebuild(&st.n_s, &st.a_s);
+            assert_eq!(
+                st.agg.coverage().to_bits(),
+                full.coverage().to_bits(),
+                "step {step}: coverage tree diverged after {ch:?}"
+            );
+            assert_eq!(
+                st.agg.performance().to_bits(),
+                full.performance().to_bits(),
+                "step {step}: performance tree diverged after {ch:?}"
+            );
+        }
     }
 
     #[test]

@@ -51,6 +51,98 @@ pub struct ModelState {
     /// states are still finite and usable — the flag marks reduced
     /// fidelity, not corruption.
     pub(crate) degraded: bool,
+    /// Incrementally maintained utility sums over `n_s`/`a_s` (see
+    /// [`UtilityAgg`]): derived data, excluded from
+    /// [`ModelState::bit_fingerprint`]. The evaluator refreshes the
+    /// touched leaves after every sweep and undo, making
+    /// [`ModelState::utility`] O(1) instead of O(#sectors) — the read
+    /// that used to rescan every sector on every probe.
+    pub(crate) agg: UtilityAgg,
+}
+
+/// The performance-utility contribution of one sector: `A_s − N_s·log10
+/// (N_s)` for a loaded sector, `0` otherwise — the per-sector term of
+/// the paper's Formula 5 sum.
+#[inline]
+pub(crate) fn perf_term(n: f64, a: f64) -> f64 {
+    if n > 0.0 {
+        a - n * n.log10()
+    } else {
+        0.0
+    }
+}
+
+/// Fixed-shape binary sum trees over the per-sector utility terms.
+///
+/// Two segment-tree-layout arrays (`2 · n_pad` slots, root at index 1,
+/// leaves at `n_pad ..`, `n_pad` the next power of two ≥ #sectors, pad
+/// leaves 0.0): one summing coverage terms (`n_s[s]`), one summing
+/// performance terms ([`perf_term`]). Every internal node is exactly the
+/// sum of its two children, so updating a leaf and re-summing its
+/// root path yields the same bits as rebuilding the whole tree from the
+/// same aggregates — the shape is fixed, so the float accumulation
+/// order is too. That makes the incremental O(k·log n) refresh
+/// bit-identical to the O(n) rebuild by construction, which
+/// [`ModelState::utility`] asserts in debug builds.
+///
+/// Note the contract is *tree vs tree from the same `n_s`/`a_s`*: the
+/// root is not bit-identical to the historical linear left-to-right
+/// sum, and incremental `n_s`/`a_s` themselves differ from a fresh
+/// rebuild's at ulp scale (the long-standing 1e-6 tolerance in the
+/// rebuild-consistency tests). Determinism holds because every code
+/// path — any thread count, probe or commit — reads the same tree.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct UtilityAgg {
+    n_pad: usize,
+    cov: Vec<f64>,
+    perf: Vec<f64>,
+}
+
+impl UtilityAgg {
+    /// Rebuilds both trees from scratch (initial-state path).
+    pub(crate) fn rebuild(&mut self, n_s: &[f64], a_s: &[f64]) {
+        let n = n_s.len();
+        let n_pad = n.next_power_of_two().max(1);
+        self.n_pad = n_pad;
+        self.cov.clear();
+        self.cov.resize(2 * n_pad, 0.0);
+        self.perf.clear();
+        self.perf.resize(2 * n_pad, 0.0);
+        for s in 0..n {
+            self.cov[n_pad + s] = n_s[s];
+            self.perf[n_pad + s] = perf_term(n_s[s], a_s[s]);
+        }
+        for i in (1..n_pad).rev() {
+            self.cov[i] = self.cov[2 * i] + self.cov[2 * i + 1];
+            self.perf[i] = self.perf[2 * i] + self.perf[2 * i + 1];
+        }
+    }
+
+    /// Recomputes sector `s`'s leaves from the aggregates and re-sums
+    /// the path to the root — O(log n). Refreshing a set of leaves in
+    /// any order leaves both trees in the unique state determined by
+    /// the current aggregates.
+    pub(crate) fn update(&mut self, s: usize, n_s: &[f64], a_s: &[f64]) {
+        debug_assert!(s < self.n_pad, "utility tree smaller than sector set");
+        let mut i = self.n_pad + s;
+        self.cov[i] = n_s[s];
+        self.perf[i] = perf_term(n_s[s], a_s[s]);
+        while i > 1 {
+            i /= 2;
+            self.cov[i] = self.cov[2 * i] + self.cov[2 * i + 1];
+            self.perf[i] = self.perf[2 * i] + self.perf[2 * i + 1];
+        }
+    }
+
+    /// The coverage-utility sum (tree root).
+    pub(crate) fn coverage(&self) -> f64 {
+        self.cov.get(1).copied().unwrap_or(0.0)
+    }
+
+    /// The performance-utility sum (tree root).
+    pub(crate) fn performance(&self) -> f64 {
+        self.perf.get(1).copied().unwrap_or(0.0)
+    }
 }
 
 /// Exact rollback data for one applied change.
@@ -160,18 +252,34 @@ impl ModelState {
         self.n_s[s as usize]
     }
 
-    /// The overall utility `f(U(C))` for a utility kind, computed from
-    /// the per-sector aggregates in O(#sectors).
+    /// The overall utility `f(U(C))` for a utility kind — an O(1) read
+    /// of the maintained sum tree's root (see [`UtilityAgg`]). This is
+    /// what keeps probes incremental at continental scale: a probe's
+    /// utility read costs the same at 50k sectors as at 50.
+    ///
+    /// Debug builds cross-check the incrementally maintained root
+    /// against a tree rebuilt from the current aggregates, bit for bit
+    /// — the pruned-vs-unpruned identity proof.
     pub fn utility(&self, kind: UtilityKind) -> f64 {
-        match kind {
-            UtilityKind::Coverage => self.n_s.iter().sum(),
-            UtilityKind::Performance => self
-                .n_s
-                .iter()
-                .zip(self.a_s.iter())
-                .map(|(&n, &a)| if n > 0.0 { a - n * n.log10() } else { 0.0 })
-                .sum(),
+        let v = match kind {
+            UtilityKind::Coverage => self.agg.coverage(),
+            UtilityKind::Performance => self.agg.performance(),
+        };
+        #[cfg(debug_assertions)]
+        {
+            let mut fresh = UtilityAgg::default();
+            fresh.rebuild(&self.n_s, &self.a_s);
+            let full = match kind {
+                UtilityKind::Coverage => fresh.coverage(),
+                UtilityKind::Performance => fresh.performance(),
+            };
+            assert_eq!(
+                v.to_bits(),
+                full.to_bits(),
+                "incremental utility tree diverged from full rebuild ({kind:?}: {v} vs {full})"
+            );
         }
+        v
     }
 
     /// The *search objective* for a utility kind.

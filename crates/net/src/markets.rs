@@ -90,6 +90,20 @@ pub struct MarketParams {
     pub clutter: ClutterParams,
     /// Propagation model constants.
     pub spm: SpmParams,
+    /// Cities per side of the market's super-grid. `1` is the classic
+    /// single-area market; odd values > 1 lay a `g × g` mesh of hex
+    /// patches (one per city) so continental-scale sector counts don't
+    /// force one megacity.
+    pub city_grid: u32,
+    /// Side of each city's hex patch, meters (ignored when
+    /// `city_grid <= 1`; the patch then spans the analysis region).
+    pub city_span_m: f64,
+    /// Quantize base rasters to the tiled i16 representation at build
+    /// time ([`magus_propagation::LOSS_STEP_DB`] resolution). Shrinks a
+    /// continental store several-fold; matrices assembled from it are
+    /// bit-identical whether the store came from a fresh build or a
+    /// decoded cache blob.
+    pub compress_bases: bool,
 }
 
 impl MarketParams {
@@ -109,6 +123,9 @@ impl MarketParams {
             terrain: TerrainParams::rolling(),
             clutter: ClutterParams::default(),
             spm: SpmParams::default(),
+            city_grid: 1,
+            city_span_m: 0.0,
+            compress_bases: false,
         };
         match area_type {
             AreaType::Rural => MarketParams {
@@ -129,6 +146,46 @@ impl MarketParams {
                 ..base
             },
         }
+    }
+
+    /// A continental-scale preset: a `g × g` mesh of suburban-density
+    /// cities sized so the whole market carries roughly
+    /// `target_sectors` sectors (tens of thousands). Everything —
+    /// terrain, city layout, jitter, shadowing — derives from `seed`.
+    ///
+    /// The knobs trade fidelity for tractability the way a national
+    /// planning run would: coarser 150 m cells, tighter 6 km footprints,
+    /// fewer diffraction samples, compressed base rasters. Evaluation
+    /// over such a market relies on the interference-neighborhood
+    /// index: a probe only ever touches the perturbed sector's
+    /// footprint, never the national raster.
+    pub fn scaled(target_sectors: usize, seed: u64) -> MarketParams {
+        let mut p = MarketParams::preset(AreaType::Suburban, seed);
+        p.cell_size_m = 150.0;
+        p.isd_m = 500.0;
+        p.footprint_span_m = 6_000.0;
+        p.ue_per_sector = 300.0;
+        p.spm.diffraction_samples = 4;
+        p.compress_bases = true;
+
+        // One base station is three sectors; one city is ~384 stations
+        // (a metro-sized patch at 500 m ISD). Odd `g` keeps a city
+        // centered on the origin so the tuning window sits in a city.
+        let bs_target = target_sectors.div_ceil(3);
+        let mut g = ((bs_target as f64 / 384.0).sqrt().round() as u32).max(1);
+        if g % 2 == 0 {
+            g += 1;
+        }
+        let per_city = bs_target.div_ceil((g * g) as usize);
+        // Hex lattice area per station is isd² · √3 / 2.
+        let area_per_bs = p.isd_m * p.isd_m * 3f64.sqrt() / 2.0;
+        let city_span = (per_city as f64 * area_per_bs).sqrt();
+        p.city_grid = g;
+        p.city_span_m = city_span;
+        // A 30% inter-city gap: distinct meshes, still one raster.
+        p.analysis_span_m = g as f64 * city_span * 1.3;
+        p.tuning_span_m = city_span.min(p.analysis_span_m);
+        p
     }
 
     /// A down-scaled preset for unit tests: coarse cells, small spans,
@@ -159,6 +216,21 @@ impl Market {
     /// base path-loss matrix, so it is the expensive step of an
     /// experiment (seconds in release builds for full presets).
     pub fn generate(params: MarketParams) -> Market {
+        Market::generate_cached(params, None)
+    }
+
+    /// Like [`Market::generate`], but with an optional on-disk cache of
+    /// the assembled path-loss store and its interference-neighborhood
+    /// index. Geography and layout always regenerate (they are cheap);
+    /// the store — the expensive part — is loaded from
+    /// `magus-store-<key>.mpl2` when a blob for these exact parameters
+    /// exists and decodes cleanly. A corrupt, truncated, stale, or
+    /// version-skewed blob fails [`magus_propagation::DecodeError`]
+    /// validation and is rebuilt and overwritten; the cache can never
+    /// serve wrong data, only miss. Decoded matrices are bit-identical
+    /// to freshly built ones (compression happens at build time), so a
+    /// warm run's output is byte-identical to a cold run's.
+    pub fn generate_cached(params: MarketParams, cache_dir: Option<&std::path::Path>) -> Market {
         let center = PointM::new(0.0, 0.0);
         let spec = GridSpec::centered(center, params.cell_size_m, params.analysis_span_m);
         let terrain = Arc::new(Terrain::generate(
@@ -168,15 +240,38 @@ impl Market {
             &params.clutter,
         ));
         let network = lay_out_network(&params);
-        let model =
-            PropagationModel::new(Arc::clone(&terrain), params.spm, params.seed ^ 0x5107_AD10);
-        let store = Arc::new(PathLossStore::build(
-            spec,
-            network.sites(),
-            &model,
-            TiltSettings::default(),
-            params.footprint_span_m,
-        ));
+        let paths = cache_dir.map(|dir| {
+            let key = magus_propagation::io::fnv1a64(format!("{params:?}").as_bytes());
+            (
+                dir.join(format!("magus-store-{key:016x}.mpl2")),
+                dir.join(format!("magus-nbr-{key:016x}.mnb1")),
+            )
+        });
+        let store = paths
+            .as_ref()
+            .and_then(|(sp, np)| try_load_store(sp, np, &spec, &network))
+            .unwrap_or_else(|| {
+                let model = PropagationModel::new(
+                    Arc::clone(&terrain),
+                    params.spm,
+                    params.seed ^ 0x5107_AD10,
+                );
+                let mut store = PathLossStore::build(
+                    spec,
+                    network.sites(),
+                    &model,
+                    TiltSettings::default(),
+                    params.footprint_span_m,
+                );
+                if params.compress_bases {
+                    store.compress_bases();
+                }
+                let store = Arc::new(store);
+                if let (Some(dir), Some((sp, np))) = (cache_dir, paths.as_ref()) {
+                    persist_store(dir, sp, np, &store);
+                }
+                store
+            });
         let tuning_window = spec.window_around(center, params.tuning_span_m);
         Market {
             params,
@@ -274,15 +369,114 @@ impl Market {
     }
 }
 
-/// Lays the jittered hexagonal lattice and instantiates sectors.
+/// Attempts to serve the path-loss store from cache blobs. `None` on
+/// any miss, decode failure, or mismatch against the regenerated
+/// market (the caller rebuilds and overwrites). The neighbor index is
+/// best-effort: a bad index blob degrades to the lazy in-memory build,
+/// never to a wrong answer.
+fn try_load_store(
+    store_path: &std::path::Path,
+    nbr_path: &std::path::Path,
+    spec: &GridSpec,
+    network: &Network,
+) -> Option<Arc<PathLossStore>> {
+    let blob = std::fs::read(store_path).ok()?;
+    let store = match magus_propagation::decode_store(&blob) {
+        Ok(s) => s,
+        Err(_) => return None, // corrupt / truncated / version-skewed
+    };
+    if store.spec() != spec || store.num_sectors() != network.num_sectors() {
+        return None; // stale: parameters hashed equal but content drifted
+    }
+    let store = Arc::new(store);
+    if let Ok(nblob) = std::fs::read(nbr_path) {
+        if let Ok(index) = magus_propagation::decode_neighbors(&nblob) {
+            let _ = store.install_neighbor_index(Arc::new(index));
+        }
+    }
+    Some(store)
+}
+
+/// Writes the store and neighbor-index blobs atomically (tmp + rename:
+/// a concurrent reader sees the old blob or the new one, never a torn
+/// write). Failures are swallowed — the cache is an accelerator, not a
+/// dependency.
+fn persist_store(
+    dir: &std::path::Path,
+    store_path: &std::path::Path,
+    nbr_path: &std::path::Path,
+    store: &Arc<PathLossStore>,
+) {
+    let _ = std::fs::create_dir_all(dir);
+    write_atomic(store_path, &magus_propagation::encode_store(store));
+    write_atomic(
+        nbr_path,
+        &magus_propagation::encode_neighbors(&store.neighbor_index()),
+    );
+}
+
+fn write_atomic(path: &std::path::Path, bytes: &[u8]) {
+    let tmp = path.with_extension("tmp");
+    if std::fs::write(&tmp, bytes).is_ok() {
+        let _ = std::fs::rename(&tmp, path);
+    }
+}
+
+/// Lays the jittered hexagonal lattice and instantiates sectors. For a
+/// `city_grid` mesh, each city gets its own hex patch; the classic
+/// single-area market is the one-patch case (the sequence of RNG draws
+/// is unchanged, so pre-mesh layouts are reproduced byte-identically).
 fn lay_out_network(params: &MarketParams) -> Network {
     let mut rng = ChaCha8Rng::seed_from_u64(params.seed ^ 0x1A77_1CE5);
-    let half = params.analysis_span_m / 2.0;
-    let row_h = params.isd_m * 3f64.sqrt() / 2.0;
     let mut sectors = Vec::new();
     let mut bs = 0u32;
-    let n_rows = (params.analysis_span_m / row_h).ceil() as i64;
-    let n_cols = (params.analysis_span_m / params.isd_m).ceil() as i64;
+    if params.city_grid > 1 || params.city_span_m > 0.0 {
+        let g = i64::from(params.city_grid.max(1));
+        let pitch = params.analysis_span_m / g as f64;
+        for cy in 0..g {
+            for cx in 0..g {
+                let center = PointM::new(
+                    (cx as f64 - (g - 1) as f64 / 2.0) * pitch,
+                    (cy as f64 - (g - 1) as f64 / 2.0) * pitch,
+                );
+                lay_hex_patch(
+                    params,
+                    &mut rng,
+                    center,
+                    params.city_span_m,
+                    &mut sectors,
+                    &mut bs,
+                );
+            }
+        }
+    } else {
+        lay_hex_patch(
+            params,
+            &mut rng,
+            PointM::new(0.0, 0.0),
+            params.analysis_span_m,
+            &mut sectors,
+            &mut bs,
+        );
+    }
+    Network::new(sectors)
+}
+
+/// One jittered hex patch of base stations centered at `center`,
+/// clipped to the patch square and to the analysis region.
+fn lay_hex_patch(
+    params: &MarketParams,
+    rng: &mut ChaCha8Rng,
+    center: PointM,
+    span_m: f64,
+    sectors: &mut Vec<Sector>,
+    bs: &mut u32,
+) {
+    let global_half = params.analysis_span_m / 2.0;
+    let half = span_m / 2.0;
+    let row_h = params.isd_m * 3f64.sqrt() / 2.0;
+    let n_rows = (span_m / row_h).ceil() as i64;
+    let n_cols = (span_m / params.isd_m).ceil() as i64;
     for r in -(n_rows / 2)..=(n_rows / 2) {
         for c in -(n_cols / 2)..=(n_cols / 2) {
             let offset = if r.rem_euclid(2) == 0 {
@@ -292,9 +486,12 @@ fn lay_out_network(params: &MarketParams) -> Network {
             };
             let jx = rng.random_range(-1.0..1.0) * params.pos_jitter_frac * params.isd_m;
             let jy = rng.random_range(-1.0..1.0) * params.pos_jitter_frac * params.isd_m;
-            let x = c as f64 * params.isd_m + offset + jx;
-            let y = r as f64 * row_h + jy;
-            if x.abs() > half || y.abs() > half {
+            let x = center.x + c as f64 * params.isd_m + offset + jx;
+            let y = center.y + r as f64 * row_h + jy;
+            if (x - center.x).abs() > half || (y - center.y).abs() > half {
+                continue;
+            }
+            if x.abs() > global_half || y.abs() > global_half {
                 continue;
             }
             let position = PointM::new(x, y);
@@ -310,15 +507,14 @@ fn lay_out_network(params: &MarketParams) -> Network {
                     azimuth: Bearing::new(az),
                     antenna: AntennaParams::default(),
                 };
-                let mut sector = Sector::macro_defaults(id, BsId(bs), site);
+                let mut sector = Sector::macro_defaults(id, BsId(*bs), site);
                 // Mild operational diversity in load.
                 sector.nominal_ue_count = params.ue_per_sector * rng.random_range(0.7..1.3);
                 sectors.push(sector);
             }
-            bs += 1;
+            *bs += 1;
         }
     }
-    Network::new(sectors)
 }
 
 #[cfg(test)]
@@ -382,6 +578,106 @@ mod tests {
             .filter(|(x, y)| x != y)
             .count();
         assert!(differing > a.values().len() / 2);
+    }
+
+    #[test]
+    fn scaled_preset_hits_sector_target() {
+        // Layout only (no path loss): even large targets are cheap.
+        for target in [900usize, 9_000] {
+            let p = MarketParams::scaled(target, 7);
+            assert!(p.city_grid % 2 == 1, "odd super-grid");
+            assert!(p.compress_bases);
+            let net = lay_out_network(&p);
+            let n = net.num_sectors();
+            assert_eq!(n % 3, 0);
+            let lo = target * 80 / 100;
+            let hi = target * 130 / 100;
+            assert!(
+                (lo..=hi).contains(&n),
+                "target {target}: got {n} sectors (grid {})",
+                p.city_grid
+            );
+        }
+    }
+
+    #[test]
+    fn scaled_layout_is_deterministic_and_multi_city() {
+        let p = MarketParams::scaled(9_000, 3);
+        assert!(p.city_grid > 1, "9k sectors should mesh several cities");
+        let a = lay_out_network(&p);
+        let b = lay_out_network(&p);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cached_generation_round_trips_bit_identically() {
+        let dir = std::env::temp_dir().join(format!(
+            "magus-cache-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut p = MarketParams::tiny(AreaType::Suburban, 3);
+        p.compress_bases = true;
+
+        let cold = Market::generate_cached(p.clone(), Some(&dir));
+        assert!(cold.store().is_compressed());
+        let blobs: Vec<_> = std::fs::read_dir(&dir)
+            .expect("cache dir created")
+            .map(|e| e.expect("entry").path())
+            .collect();
+        assert_eq!(blobs.len(), 2, "store + neighbor blob: {blobs:?}");
+
+        let warm = Market::generate_cached(p.clone(), Some(&dir));
+        assert_eq!(warm.network(), cold.network());
+        assert!(warm.store().is_compressed());
+        for s in 0..cold.store().num_sectors() as u32 {
+            assert_eq!(warm.store().window(s), cold.store().window(s));
+            for tilt in [0u8, magus_propagation::NOMINAL_TILT_INDEX] {
+                let a = cold.store().matrix(s, tilt);
+                let b = warm.store().matrix(s, tilt);
+                let same = a
+                    .values()
+                    .iter()
+                    .zip(b.values().iter())
+                    .all(|(x, y)| x.to_bits() == y.to_bits());
+                assert!(same, "sector {s} tilt {tilt} diverged across the cache");
+            }
+        }
+        assert_eq!(
+            *warm.store().neighbor_index(),
+            *cold.store().neighbor_index(),
+            "persisted neighbor index must match the built one"
+        );
+
+        // Corrupt the store blob: the next run must reject it through
+        // the DecodeError path, rebuild, and overwrite with good data.
+        let store_blob = blobs
+            .iter()
+            .find(|p| p.extension().is_some_and(|e| e == "mpl2"))
+            .expect("store blob");
+        let mut bytes = std::fs::read(store_blob).expect("read blob");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(store_blob, &bytes).expect("corrupt blob");
+        let rebuilt = Market::generate_cached(p.clone(), Some(&dir));
+        let a = cold
+            .store()
+            .matrix(0, magus_propagation::NOMINAL_TILT_INDEX);
+        let b = rebuilt
+            .store()
+            .matrix(0, magus_propagation::NOMINAL_TILT_INDEX);
+        assert!(
+            a.values()
+                .iter()
+                .zip(b.values().iter())
+                .all(|(x, y)| x.to_bits() == y.to_bits()),
+            "rebuild after corruption must reproduce the cold store"
+        );
+        let healed = std::fs::read(store_blob).expect("blob rewritten");
+        assert_ne!(healed, bytes, "corrupt blob must be overwritten");
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -9,39 +9,68 @@
 //! mitigations planned many times, without re-running terrain
 //! propagation.
 //!
-//! Format `MAGUSPL1`:
+//! Format `MAGUSPL2` (current):
 //!
 //! ```text
-//! magic     8 bytes  "MAGUSPL1"
+//! magic     8 bytes  "MAGUSPL2"
 //! hdr_len   u32 LE   length of the JSON header
-//! header    JSON     { spec, sites, tilts, sector windows }
-//! per sector, in id order:
+//! header    JSON     { version, spec, sites, tilts, windows,
+//!                      encoding: "f32" | "q16",
+//!                      payload_checksum: 16 hex chars (FNV-1a 64) }
+//! payload, per sector in id order:
+//!   encoding "f32":
 //!     base      window.len() × f32 LE   (tilt-independent loss, dB)
 //!     theta     window.len() × f32 LE   (vertical angle, degrees)
+//!   encoding "q16" (see `crate::tile`), per raster (base then theta):
+//!     data_len  u32 LE
+//!     step      f32 LE
+//!     data      data_len bytes of tiled zigzag-varint deltas
 //! ```
 //!
-//! The geometry/meta header is JSON (tiny, human-inspectable); the bulk
-//! rasters are raw little-endian `f32`, written and parsed with
-//! [`bytes`]. Per-tilt matrices are *not* stored — they are assembled
-//! from base+theta on demand exactly as in a freshly built store.
+//! The checksum covers the whole payload, so a flipped raster byte is
+//! rejected as [`DecodeError::BadChecksum`] instead of silently skewing
+//! path loss. A `version` other than 2 under the v2 magic is rejected
+//! as [`DecodeError::BadVersion`] — the stale-cache path. The previous
+//! `MAGUSPL1` format (unversioned, unchecksummed, f32-only) still
+//! decodes.
+//!
+//! The interference-neighborhood index (see [`crate::neighbors`]) has
+//! its own tiny blob, `MAGUSNB1`: magic, CSR array lengths, an FNV-1a 64
+//! payload checksum, then the offsets and items as u32 LE.
+//!
+//! Per-tilt matrices are *not* stored — they are assembled from
+//! base+theta on demand exactly as in a freshly built store.
 
 use crate::antenna::{SectorSite, TiltSettings};
-use crate::store::PathLossStore;
+use crate::neighbors::NeighborIndex;
+use crate::store::{BaseView, PathLossStore};
+use crate::tile::CompressedRaster;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use magus_geo::{GridSpec, GridWindow};
 use serde::{Deserialize, Serialize};
 
-const MAGIC: &[u8; 8] = b"MAGUSPL1";
+const MAGIC_V1: &[u8; 8] = b"MAGUSPL1";
+const MAGIC_V2: &[u8; 8] = b"MAGUSPL2";
+const NEIGHBOR_MAGIC: &[u8; 8] = b"MAGUSNB1";
+
+/// The store-blob format version written by [`encode_store`].
+pub const STORE_FORMAT_VERSION: u32 = 2;
 
 /// Errors produced when decoding a path-loss database blob.
 #[derive(Debug, PartialEq, Eq)]
 pub enum DecodeError {
-    /// The blob does not start with the `MAGUSPL1` magic.
+    /// The blob does not start with a known magic.
     BadMagic,
     /// The blob ended before the declared content.
     Truncated,
     /// The JSON header failed to parse.
     BadHeader(String),
+    /// The header declares a format version this build does not read —
+    /// a stale or future cache blob.
+    BadVersion(u32),
+    /// The payload checksum does not match the header's — a corrupt
+    /// blob.
+    BadChecksum,
     /// Raster sizes disagree with the header's windows.
     Inconsistent(&'static str),
 }
@@ -49,9 +78,11 @@ pub enum DecodeError {
 impl std::fmt::Display for DecodeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            DecodeError::BadMagic => write!(f, "not a MAGUSPL1 blob"),
+            DecodeError::BadMagic => write!(f, "not a MAGUSPL blob"),
             DecodeError::Truncated => write!(f, "blob truncated"),
             DecodeError::BadHeader(e) => write!(f, "bad header: {e}"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported format version {v}"),
+            DecodeError::BadChecksum => write!(f, "payload checksum mismatch"),
             DecodeError::Inconsistent(w) => write!(f, "inconsistent blob: {w}"),
         }
     }
@@ -59,43 +90,90 @@ impl std::fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
+/// FNV-1a 64 over a byte slice — the blob checksums. Not cryptographic;
+/// it catches corruption and truncation, not tampering.
+pub fn fnv1a64(data: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 #[derive(Serialize, Deserialize)]
-struct Header {
+struct HeaderV1 {
     spec: GridSpec,
     sites: Vec<SectorSite>,
     tilts: TiltSettings,
     windows: Vec<GridWindow>,
 }
 
-/// Encodes a store into a `MAGUSPL1` blob.
+#[derive(Serialize, Deserialize)]
+struct HeaderV2 {
+    version: u32,
+    spec: GridSpec,
+    sites: Vec<SectorSite>,
+    tilts: TiltSettings,
+    windows: Vec<GridWindow>,
+    /// `"f32"` (exact rasters) or `"q16"` (quantized compressed).
+    encoding: String,
+    /// FNV-1a 64 of the payload, as 16 lowercase hex chars (a string so
+    /// the value survives any JSON number model losslessly).
+    payload_checksum: String,
+}
+
+/// Encodes a store into a `MAGUSPL2` blob. The encoding follows the
+/// store's in-memory form: plain stores write exact `f32` rasters (and
+/// decode bit-identically), compressed stores write the `q16` streams
+/// (and decode to the same quantized values every reader already sees).
 pub fn encode_store(store: &PathLossStore) -> Bytes {
     let n = magus_geo::cast::len_u32(store.num_sectors());
-    let header = Header {
+    let mut payload =
+        BytesMut::with_capacity((0..n).map(|s| store.window(s).len() * 8).sum::<usize>() + 16);
+    let mut encoding = "f32";
+    for s in 0..n {
+        match store.base_view(s) {
+            BaseView::Plain { base, theta_deg } => {
+                for &v in base {
+                    payload.put_f32_le(v);
+                }
+                for &v in theta_deg {
+                    payload.put_f32_le(v);
+                }
+            }
+            BaseView::Compressed { base, theta_deg } => {
+                encoding = "q16";
+                put_raster(&mut payload, base);
+                put_raster(&mut payload, theta_deg);
+            }
+        }
+    }
+    let header = HeaderV2 {
+        version: STORE_FORMAT_VERSION,
         spec: *store.spec(),
         sites: (0..n).map(|s| *store.site(s)).collect(),
         tilts: store.tilt_settings(),
         windows: (0..n).map(|s| store.window(s)).collect(),
+        encoding: encoding.to_string(),
+        payload_checksum: format!("{:016x}", fnv1a64(&payload)),
     };
     let header_json = serde_json::to_vec(&header).expect("header serializes");
-    let mut buf = BytesMut::with_capacity(
-        16 + header_json.len() + (0..n).map(|s| store.window(s).len() * 8).sum::<usize>(),
-    );
-    buf.put_slice(MAGIC);
+    let mut buf = BytesMut::with_capacity(16 + header_json.len() + payload.len());
+    buf.put_slice(MAGIC_V2);
     buf.put_u32_le(magus_geo::cast::len_u32(header_json.len()));
     buf.put_slice(&header_json);
-    for s in 0..n {
-        let (base, theta) = store.base_arrays(s);
-        for &v in base {
-            buf.put_f32_le(v);
-        }
-        for &v in theta {
-            buf.put_f32_le(v);
-        }
-    }
+    buf.put_slice(&payload);
     buf.freeze()
 }
 
-/// Decodes a `MAGUSPL1` blob back into a store.
+fn put_raster(buf: &mut BytesMut, r: &CompressedRaster) {
+    buf.put_u32_le(magus_geo::cast::len_u32(r.data().len()));
+    buf.put_f32_le(r.step());
+    buf.put_slice(r.data());
+}
+
+/// Decodes a `MAGUSPL1` or `MAGUSPL2` blob back into a store.
 pub fn decode_store(blob: &[u8]) -> Result<PathLossStore, DecodeError> {
     let mut buf = blob;
     if buf.remaining() < 12 {
@@ -103,32 +181,53 @@ pub fn decode_store(blob: &[u8]) -> Result<PathLossStore, DecodeError> {
     }
     let mut magic = [0u8; 8];
     buf.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
-        return Err(DecodeError::BadMagic);
+    match &magic {
+        m if m == MAGIC_V1 => decode_v1(buf),
+        m if m == MAGIC_V2 => decode_v2(buf),
+        _ => Err(DecodeError::BadMagic),
+    }
+}
+
+/// Reads and validates the JSON header; returns the remaining payload.
+fn read_header<H: Deserialize>(mut buf: &[u8]) -> Result<(H, &[u8]), DecodeError> {
+    if buf.remaining() < 4 {
+        return Err(DecodeError::Truncated);
     }
     let hdr_len = magus_geo::cast::idx(buf.get_u32_le());
     if buf.remaining() < hdr_len {
         return Err(DecodeError::Truncated);
     }
-    let header: Header = serde_json::from_slice(&buf[..hdr_len])
+    let header: H = serde_json::from_slice(&buf[..hdr_len])
         .map_err(|e| DecodeError::BadHeader(e.to_string()))?;
     buf.advance(hdr_len);
-    if header.sites.len() != header.windows.len() {
+    Ok((header, buf))
+}
+
+/// Validates the window list against the raster spec (the header is
+/// untrusted: downstream code indexes the analysis grid through these
+/// windows, and a huge window must not overflow size math).
+fn check_windows(spec: &GridSpec, sites: usize, windows: &[GridWindow]) -> Result<(), DecodeError> {
+    if sites != windows.len() {
         return Err(DecodeError::Inconsistent("sites vs windows"));
     }
-    let mut bases = Vec::with_capacity(header.sites.len());
-    for w in &header.windows {
-        // The header is untrusted: a window must fit the declared raster
-        // (downstream code indexes the analysis grid through it), and its
-        // byte count must not overflow before the length check.
-        if !header.spec.contains_window(*w) {
+    for w in windows {
+        if !spec.contains_window(*w) {
             return Err(DecodeError::Inconsistent("window outside raster"));
         }
-        let cells = w.len();
-        let byte_len = cells
+        w.len()
             .checked_mul(8)
             .ok_or(DecodeError::Inconsistent("window size overflows"))?;
-        if buf.remaining() < byte_len {
+    }
+    Ok(())
+}
+
+fn decode_v1(buf: &[u8]) -> Result<PathLossStore, DecodeError> {
+    let (header, mut buf) = read_header::<HeaderV1>(buf)?;
+    check_windows(&header.spec, header.sites.len(), &header.windows)?;
+    let mut bases = Vec::with_capacity(header.sites.len());
+    for w in &header.windows {
+        let cells = w.len();
+        if buf.remaining() < cells * 8 {
             return Err(DecodeError::Truncated);
         }
         let mut base = Vec::with_capacity(cells);
@@ -147,6 +246,131 @@ pub fn decode_store(blob: &[u8]) -> Result<PathLossStore, DecodeError> {
         header.tilts,
         bases,
     ))
+}
+
+fn decode_v2(buf: &[u8]) -> Result<PathLossStore, DecodeError> {
+    let (header, mut buf) = read_header::<HeaderV2>(buf)?;
+    if header.version != STORE_FORMAT_VERSION {
+        return Err(DecodeError::BadVersion(header.version));
+    }
+    let declared = u64::from_str_radix(&header.payload_checksum, 16)
+        .map_err(|e| DecodeError::BadHeader(format!("bad checksum field: {e}")))?;
+    if fnv1a64(buf) != declared {
+        return Err(DecodeError::BadChecksum);
+    }
+    check_windows(&header.spec, header.sites.len(), &header.windows)?;
+    match header.encoding.as_str() {
+        "f32" => {
+            let mut bases = Vec::with_capacity(header.sites.len());
+            for w in &header.windows {
+                let cells = w.len();
+                if buf.remaining() < cells * 8 {
+                    return Err(DecodeError::Truncated);
+                }
+                let mut base = Vec::with_capacity(cells);
+                for _ in 0..cells {
+                    base.push(buf.get_f32_le());
+                }
+                let mut theta = Vec::with_capacity(cells);
+                for _ in 0..cells {
+                    theta.push(buf.get_f32_le());
+                }
+                bases.push((*w, base, theta));
+            }
+            Ok(PathLossStore::from_parts(
+                header.spec,
+                header.sites,
+                header.tilts,
+                bases,
+            ))
+        }
+        "q16" => {
+            let mut bases = Vec::with_capacity(header.sites.len());
+            for w in &header.windows {
+                let cells = magus_geo::cast::len_u32(w.len());
+                let base = get_raster(&mut buf, cells)?;
+                let theta = get_raster(&mut buf, cells)?;
+                bases.push((*w, base, theta));
+            }
+            Ok(PathLossStore::from_compressed_parts(
+                header.spec,
+                header.sites,
+                header.tilts,
+                bases,
+            ))
+        }
+        _ => Err(DecodeError::Inconsistent("unknown payload encoding")),
+    }
+}
+
+fn get_raster(buf: &mut &[u8], cells: u32) -> Result<CompressedRaster, DecodeError> {
+    if buf.remaining() < 8 {
+        return Err(DecodeError::Truncated);
+    }
+    let data_len = magus_geo::cast::idx(buf.get_u32_le());
+    let step = buf.get_f32_le();
+    if buf.remaining() < data_len {
+        return Err(DecodeError::Truncated);
+    }
+    let data = buf[..data_len].to_vec();
+    buf.advance(data_len);
+    CompressedRaster::from_parts(cells, step, data)
+        .map_err(|_| DecodeError::Inconsistent("bad compressed raster"))
+}
+
+/// Encodes a neighborhood index into a `MAGUSNB1` blob.
+pub fn encode_neighbors(index: &NeighborIndex) -> Bytes {
+    let (offsets, items) = index.parts();
+    let mut payload = BytesMut::with_capacity((offsets.len() + items.len()) * 4);
+    for &v in offsets {
+        payload.put_u32_le(v);
+    }
+    for &v in items {
+        payload.put_u32_le(v);
+    }
+    let mut buf = BytesMut::with_capacity(24 + payload.len());
+    buf.put_slice(NEIGHBOR_MAGIC);
+    buf.put_u32_le(magus_geo::cast::len_u32(offsets.len()));
+    buf.put_u32_le(magus_geo::cast::len_u32(items.len()));
+    buf.put_u64_le(fnv1a64(&payload));
+    buf.put_slice(&payload);
+    buf.freeze()
+}
+
+/// Decodes a `MAGUSNB1` blob, re-validating the CSR invariants (the
+/// blob is untrusted cache state).
+pub fn decode_neighbors(blob: &[u8]) -> Result<NeighborIndex, DecodeError> {
+    let mut buf = blob;
+    if buf.remaining() < 24 {
+        return Err(DecodeError::Truncated);
+    }
+    let mut magic = [0u8; 8];
+    buf.copy_to_slice(&mut magic);
+    if &magic != NEIGHBOR_MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let n_offsets = magus_geo::cast::idx(buf.get_u32_le());
+    let n_items = magus_geo::cast::idx(buf.get_u32_le());
+    let declared = buf.get_u64_le();
+    let byte_len = n_offsets
+        .checked_add(n_items)
+        .and_then(|n| n.checked_mul(4))
+        .ok_or(DecodeError::Inconsistent("array lengths overflow"))?;
+    if buf.remaining() < byte_len {
+        return Err(DecodeError::Truncated);
+    }
+    if fnv1a64(&buf[..byte_len]) != declared {
+        return Err(DecodeError::BadChecksum);
+    }
+    let mut offsets = Vec::with_capacity(n_offsets);
+    for _ in 0..n_offsets {
+        offsets.push(buf.get_u32_le());
+    }
+    let mut items = Vec::with_capacity(n_items);
+    for _ in 0..n_items {
+        items.push(buf.get_u32_le());
+    }
+    NeighborIndex::from_parts(offsets, items).map_err(DecodeError::Inconsistent)
 }
 
 #[cfg(test)]
@@ -197,6 +421,45 @@ mod tests {
     }
 
     #[test]
+    fn compressed_roundtrip_is_bit_identical() {
+        // The warm-cache contract: a compressed store serialized and
+        // reloaded serves byte-identical matrices — both sides decode
+        // the same quantized cells.
+        let mut original = store();
+        original.compress_bases();
+        let blob = encode_store(&original);
+        let decoded = decode_store(&blob).expect("decodes");
+        assert!(decoded.is_compressed());
+        for s in 0..original.num_sectors() as u32 {
+            for tilt in [0u8, NOMINAL_TILT_INDEX, 16] {
+                let a = original.matrix(s, tilt);
+                let b = decoded.matrix(s, tilt);
+                assert_eq!(a.window(), b.window());
+                let same = a
+                    .values()
+                    .iter()
+                    .zip(b.values().iter())
+                    .all(|(x, y)| x.to_bits() == y.to_bits());
+                assert!(same, "sector {s} tilt {tilt} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn quantization_error_is_bounded() {
+        let plain = store();
+        let mut packed = store();
+        packed.compress_bases();
+        let a = plain.matrix(0, NOMINAL_TILT_INDEX);
+        let b = packed.matrix(0, NOMINAL_TILT_INDEX);
+        for (x, y) in a.values().iter().zip(b.values().iter()) {
+            // Half a loss step plus the theta step's effect on gain
+            // (pattern slope is a few dB/deg at most).
+            assert!((x - y).abs() < 0.05, "{x} vs {y}");
+        }
+    }
+
+    #[test]
     fn bad_magic_rejected() {
         let mut blob = encode_store(&store()).to_vec();
         blob[0] = b'X';
@@ -213,6 +476,42 @@ mod tests {
     }
 
     #[test]
+    fn corrupt_payload_rejected_by_checksum() {
+        for compressed in [false, true] {
+            let mut s = store();
+            if compressed {
+                s.compress_bases();
+            }
+            let mut blob = encode_store(&s).to_vec();
+            let last = blob.len() - 1;
+            blob[last] ^= 0x40;
+            assert!(
+                matches!(decode_store(&blob), Err(DecodeError::BadChecksum)),
+                "compressed={compressed}"
+            );
+        }
+    }
+
+    #[test]
+    fn version_skew_rejected() {
+        let blob = encode_store(&store()).to_vec();
+        // Re-forge the header with a future version, keeping the payload.
+        let hdr_len = u32::from_le_bytes([blob[8], blob[9], blob[10], blob[11]]) as usize;
+        let json = String::from_utf8(blob[12..12 + hdr_len].to_vec()).expect("utf8 header");
+        let forged_json = json.replacen("\"version\":2", "\"version\":3", 1);
+        assert_ne!(json, forged_json, "version field must be present");
+        let mut forged = Vec::new();
+        forged.extend_from_slice(MAGIC_V2);
+        forged.extend_from_slice(&magus_geo::cast::len_u32(forged_json.len()).to_le_bytes());
+        forged.extend_from_slice(forged_json.as_bytes());
+        forged.extend_from_slice(&blob[12 + hdr_len..]);
+        assert!(matches!(
+            decode_store(&forged),
+            Err(DecodeError::BadVersion(3))
+        ));
+    }
+
+    #[test]
     fn corrupt_header_rejected() {
         let mut blob = encode_store(&store()).to_vec();
         // Stomp the JSON header.
@@ -223,20 +522,20 @@ mod tests {
         ));
     }
 
-    /// Builds a blob from a hand-crafted header and raw raster bytes,
+    /// Builds a v1 blob from a hand-crafted header and raw raster bytes,
     /// bypassing `encode_store`'s invariants — the corrupt-input path.
-    fn forged_blob(header: &Header, body: &[u8]) -> Vec<u8> {
+    fn forged_blob(header: &HeaderV1, body: &[u8]) -> Vec<u8> {
         let json = serde_json::to_vec(header).expect("header serializes");
         let mut blob = Vec::new();
-        blob.extend_from_slice(MAGIC);
+        blob.extend_from_slice(MAGIC_V1);
         blob.extend_from_slice(&(json.len() as u32).to_le_bytes());
         blob.extend_from_slice(&json);
         blob.extend_from_slice(body);
         blob
     }
 
-    fn small_header(window: GridWindow) -> Header {
-        Header {
+    fn small_header(window: GridWindow) -> HeaderV1 {
+        HeaderV1 {
             spec: GridSpec::new(PointM::new(0.0, 0.0), 100.0, 16, 16),
             sites: vec![SectorSite {
                 position: PointM::new(800.0, 800.0),
@@ -289,5 +588,40 @@ mod tests {
         let cells: usize = (0..s.num_sectors() as u32).map(|i| s.window(i).len()).sum();
         // 8 bytes per cell (two f32 rasters) plus a small header.
         assert!(blob.len() < cells * 8 + 4_096, "{} bytes", blob.len());
+        // The compressed form is several-fold smaller.
+        let mut packed = s;
+        packed.compress_bases();
+        let small = encode_store(&packed);
+        assert!(
+            small.len() < blob.len() / 2,
+            "{} vs {} bytes",
+            small.len(),
+            blob.len()
+        );
+    }
+
+    #[test]
+    fn neighbor_blob_roundtrip_and_rejection() {
+        let s = store();
+        let idx = s.neighbor_index();
+        let blob = encode_neighbors(&idx);
+        let rt = decode_neighbors(&blob).expect("decodes");
+        assert_eq!(&rt, idx.as_ref());
+
+        let mut bad = blob.to_vec();
+        bad[0] = b'X';
+        assert!(matches!(decode_neighbors(&bad), Err(DecodeError::BadMagic)));
+
+        for cut in [0usize, 7, 20, blob.len() - 1] {
+            assert!(decode_neighbors(&blob[..cut]).is_err(), "cut at {cut}");
+        }
+
+        let mut flipped = blob.to_vec();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x01;
+        assert!(matches!(
+            decode_neighbors(&flipped),
+            Err(DecodeError::BadChecksum)
+        ));
     }
 }

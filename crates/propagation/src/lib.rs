@@ -30,11 +30,20 @@
 pub mod antenna;
 pub mod diffraction;
 pub mod io;
+pub mod neighbors;
 pub mod spm;
 pub mod store;
+pub mod tile;
 
 pub use antenna::{AntennaParams, SectorSite, TiltSettings, NOMINAL_TILT_INDEX, NUM_TILT_SETTINGS};
 pub use diffraction::knife_edge_loss_db;
-pub use io::{decode_store, encode_store, DecodeError};
+pub use io::{
+    decode_neighbors, decode_store, encode_neighbors, encode_store, DecodeError,
+    STORE_FORMAT_VERSION,
+};
+pub use neighbors::NeighborIndex;
 pub use spm::{PropagationModel, SpmParams};
-pub use store::{CacheStats, InvariantViolation, MatrixRead, PathLossMatrix, PathLossStore};
+pub use store::{
+    BaseView, CacheStats, InvariantViolation, MatrixRead, PathLossMatrix, PathLossStore,
+};
+pub use tile::{compress_raster, CompressedRaster, LOSS_STEP_DB, THETA_STEP_DEG};

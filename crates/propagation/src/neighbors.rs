@@ -1,0 +1,265 @@
+//! The interference-neighborhood index.
+//!
+//! A tilt/power change at sector `s` can only alter model state at grids
+//! where `s` is audible — the cells of `s`'s footprint window. Any other
+//! sector `t` whose own window is disjoint from `s`'s shares no grid
+//! with it, so no probe of `s` can change `t`'s aggregates, serving
+//! assignments, or SINR sums. [`NeighborIndex`] precomputes exactly that
+//! relation: for every sector, the sorted list of sectors whose windows
+//! intersect its window.
+//!
+//! This is the spatial-pruning contract for continental-scale probes: a
+//! sweep over the perturbed sector's window touches only grids inside
+//! it, and every serving/interference change it can cause lands on a
+//! sector in `neighbors(s)` (debug builds cross-check the sweep's undo
+//! journal against this set — see the evaluator). At 10k+ sectors the
+//! neighborhood is a few dozen sectors, so per-probe work is bounded by
+//! local density, not market size — incremental delta evaluation instead
+//! of full-matrix rescans.
+//!
+//! Build cost: one bucket-grid pass, O(n·k) with k the local density,
+//! instead of the O(n²) all-pairs window test. The result is
+//! deterministic (ascending IDs per row) and serializable (see
+//! [`crate::io::encode_neighbors`]).
+
+use magus_geo::GridWindow;
+
+/// Per-sector interference neighborhoods in CSR form: sector `s`'s
+/// neighbors are `items[offsets[s]..offsets[s+1]]`, ascending, excluding
+/// `s` itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NeighborIndex {
+    offsets: Vec<u32>,
+    items: Vec<u32>,
+}
+
+/// Whether two half-open windows share at least one cell.
+#[inline]
+fn overlaps(a: GridWindow, b: GridWindow) -> bool {
+    a.x0 < b.x1 && b.x0 < a.x1 && a.y0 < b.y1 && b.y0 < a.y1
+}
+
+impl NeighborIndex {
+    /// Builds the index from per-sector footprint windows.
+    ///
+    /// Windows are binned into a coarse bucket grid whose pitch is the
+    /// largest window span, so two intersecting windows always sit in
+    /// the same or adjacent buckets — each sector only tests the 3×3
+    /// bucket neighborhood around its own.
+    pub fn build(windows: &[GridWindow]) -> NeighborIndex {
+        let n = windows.len();
+        let mut max_w = 1u32;
+        let mut max_h = 1u32;
+        for w in windows {
+            max_w = max_w.max(w.x1.saturating_sub(w.x0));
+            max_h = max_h.max(w.y1.saturating_sub(w.y0));
+        }
+        let mut max_bx = 0u32;
+        let mut max_by = 0u32;
+        let bucket_of = |w: &GridWindow| (w.x0 / max_w, w.y0 / max_h);
+        for w in windows {
+            let (bx, by) = bucket_of(w);
+            max_bx = max_bx.max(bx);
+            max_by = max_by.max(by);
+        }
+        let cols = magus_geo::cast::idx(max_bx) + 1;
+        let rows = magus_geo::cast::idx(max_by) + 1;
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); cols * rows];
+        for (i, w) in windows.iter().enumerate() {
+            let (bx, by) = bucket_of(w);
+            buckets[magus_geo::cast::idx(by) * cols + magus_geo::cast::idx(bx)]
+                .push(magus_geo::cast::len_u32(i));
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        let mut items = Vec::new();
+        let mut row: Vec<u32> = Vec::new();
+        for (i, w) in windows.iter().enumerate() {
+            row.clear();
+            let (bx, by) = bucket_of(w);
+            for dy in -1i64..=1 {
+                let by = i64::from(by) + dy;
+                if by < 0 || by > i64::from(max_by) {
+                    continue;
+                }
+                for dx in -1i64..=1 {
+                    let bx = i64::from(bx) + dx;
+                    if bx < 0 || bx > i64::from(max_bx) {
+                        continue;
+                    }
+                    let (bx, by) = (
+                        magus_geo::cast::narrow_i64_u32(bx),
+                        magus_geo::cast::narrow_i64_u32(by),
+                    );
+                    let b = &buckets[magus_geo::cast::idx(by) * cols + magus_geo::cast::idx(bx)];
+                    for &j in b {
+                        if j != magus_geo::cast::len_u32(i) && overlaps(*w, windows[j as usize]) {
+                            row.push(j);
+                        }
+                    }
+                }
+            }
+            row.sort_unstable();
+            items.extend_from_slice(&row);
+            offsets.push(magus_geo::cast::len_u32(items.len()));
+        }
+        NeighborIndex { offsets, items }
+    }
+
+    /// Reassembles an index from serialized CSR parts, validating shape.
+    pub fn from_parts(offsets: Vec<u32>, items: Vec<u32>) -> Result<NeighborIndex, &'static str> {
+        if offsets.first() != Some(&0) {
+            return Err("offsets must start at 0");
+        }
+        if offsets.windows(2).any(|p| p[0] > p[1]) {
+            return Err("offsets must be non-decreasing");
+        }
+        if offsets.last().copied().map(magus_geo::cast::idx) != Some(items.len()) {
+            return Err("offsets end disagrees with items length");
+        }
+        let n = magus_geo::cast::len_u32(offsets.len() - 1);
+        let idx = NeighborIndex { offsets, items };
+        for s in 0..n {
+            let row = idx.neighbors(s);
+            if row.windows(2).any(|p| p[0] >= p[1]) {
+                return Err("neighbor row not strictly ascending");
+            }
+            if row.iter().any(|&j| j >= n || j == s) {
+                return Err("neighbor id out of range or self");
+            }
+        }
+        Ok(idx)
+    }
+
+    /// Number of sectors the index covers.
+    pub fn num_sectors(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// The sectors whose footprint windows intersect sector `id`'s,
+    /// ascending, excluding `id` itself.
+    pub fn neighbors(&self, id: u32) -> &[u32] {
+        let lo = magus_geo::cast::idx(self.offsets[id as usize]);
+        let hi = magus_geo::cast::idx(self.offsets[id as usize + 1]);
+        &self.items[lo..hi]
+    }
+
+    /// Whether `other` is in `id`'s neighborhood (binary search — rows
+    /// are sorted).
+    pub fn contains(&self, id: u32, other: u32) -> bool {
+        self.neighbors(id).binary_search(&other).is_ok()
+    }
+
+    /// The raw CSR arrays `(offsets, items)` (for serialization).
+    pub fn parts(&self) -> (&[u32], &[u32]) {
+        (&self.offsets, &self.items)
+    }
+
+    /// Largest neighborhood size — the per-probe work bound.
+    pub fn max_degree(&self) -> usize {
+        (0..magus_geo::cast::len_u32(self.num_sectors()))
+            .map(|s| self.neighbors(s).len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total directed neighbor pairs (for stats; symmetric, so even).
+    pub fn total_links(&self) -> usize {
+        self.items.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(x0: u32, y0: u32, x1: u32, y1: u32) -> GridWindow {
+        GridWindow { x0, y0, x1, y1 }
+    }
+
+    /// The O(n²) reference the bucket grid must reproduce exactly.
+    fn build_naive(windows: &[GridWindow]) -> NeighborIndex {
+        let mut offsets = vec![0u32];
+        let mut items = Vec::new();
+        for (i, a) in windows.iter().enumerate() {
+            for (j, b) in windows.iter().enumerate() {
+                if i != j && overlaps(*a, *b) {
+                    items.push(magus_geo::cast::len_u32(j));
+                }
+            }
+            offsets.push(magus_geo::cast::len_u32(items.len()));
+        }
+        NeighborIndex { offsets, items }
+    }
+
+    #[test]
+    fn disjoint_windows_have_no_neighbors() {
+        let idx = NeighborIndex::build(&[w(0, 0, 10, 10), w(20, 20, 30, 30)]);
+        assert_eq!(idx.neighbors(0), &[] as &[u32]);
+        assert_eq!(idx.neighbors(1), &[] as &[u32]);
+    }
+
+    #[test]
+    fn overlapping_windows_are_mutual_neighbors() {
+        let idx = NeighborIndex::build(&[w(0, 0, 10, 10), w(5, 5, 15, 15), w(100, 0, 110, 10)]);
+        assert_eq!(idx.neighbors(0), &[1]);
+        assert_eq!(idx.neighbors(1), &[0]);
+        assert_eq!(idx.neighbors(2), &[] as &[u32]);
+        assert!(idx.contains(0, 1) && !idx.contains(0, 2));
+    }
+
+    #[test]
+    fn touching_edges_do_not_overlap() {
+        // Half-open windows: [0,10) and [10,20) share no cell.
+        let idx = NeighborIndex::build(&[w(0, 0, 10, 10), w(10, 0, 20, 10)]);
+        assert_eq!(idx.neighbors(0), &[] as &[u32]);
+    }
+
+    #[test]
+    fn bucket_build_matches_naive_on_a_lattice() {
+        // A jittered lattice of uneven windows, including clipped ones
+        // at the origin edge — the shapes a real market produces.
+        let mut windows = Vec::new();
+        for gy in 0..12u32 {
+            for gx in 0..12u32 {
+                let cx = gx * 37 + (gy * 7) % 13;
+                let cy = gy * 41 + (gx * 5) % 11;
+                let half = 20 + (gx + gy) % 17;
+                windows.push(w(
+                    cx.saturating_sub(half),
+                    cy.saturating_sub(half),
+                    cx + half,
+                    cy + half,
+                ));
+            }
+        }
+        let fast = NeighborIndex::build(&windows);
+        let naive = build_naive(&windows);
+        assert_eq!(fast, naive);
+        assert!(fast.max_degree() > 0);
+        assert_eq!(fast.total_links() % 2, 0, "neighbor relation is symmetric");
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        let idx = NeighborIndex::build(&[w(0, 0, 10, 10), w(5, 5, 15, 15)]);
+        let (o, i) = idx.parts();
+        let rt = NeighborIndex::from_parts(o.to_vec(), i.to_vec()).expect("valid parts");
+        assert_eq!(rt, idx);
+        assert!(NeighborIndex::from_parts(vec![1, 2], vec![0, 1]).is_err());
+        assert!(NeighborIndex::from_parts(vec![0, 2, 1], vec![0, 1]).is_err());
+        assert!(NeighborIndex::from_parts(vec![0, 5], vec![0]).is_err());
+        // Self-neighbor and out-of-range rejected.
+        assert!(NeighborIndex::from_parts(vec![0, 1, 1], vec![0]).is_err());
+        assert!(NeighborIndex::from_parts(vec![0, 1, 1], vec![7]).is_err());
+        // Unsorted row rejected.
+        assert!(NeighborIndex::from_parts(vec![0, 2, 2, 2], vec![2, 1]).is_err());
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = NeighborIndex::build(&[]);
+        assert_eq!(idx.num_sectors(), 0);
+        assert_eq!(idx.max_degree(), 0);
+    }
+}

@@ -25,12 +25,14 @@
 //! bench: [`PathLossStore::approx_tilt_delta_db`].
 
 use crate::antenna::{SectorSite, TiltSettings, NUM_TILT_SETTINGS};
+use crate::neighbors::NeighborIndex;
 use crate::spm::PropagationModel;
+use crate::tile::{compress_raster, CompressedRaster, LOSS_STEP_DB, THETA_STEP_DEG};
 use magus_geo::{Db, GridCoord, GridSpec, GridWindow};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// A violated [`PathLossMatrix`] invariant, found by
 /// [`PathLossMatrix::validate`].
@@ -238,10 +240,49 @@ pub struct MatrixRead {
 /// Tilt-independent per-sector data.
 struct SectorBase {
     window: GridWindow,
-    /// Base loss per window cell (negative dB).
-    base: Vec<f32>,
-    /// Vertical angle below the horizon toward each window cell, degrees.
-    theta_deg: Vec<f32>,
+    data: BaseData,
+}
+
+/// Storage form of one sector's base rasters. A store is uniform — all
+/// sectors plain or all compressed ([`PathLossStore::compress_bases`]
+/// converts every sector; the constructors build one form) — so the io
+/// layer can record a single encoding per blob.
+enum BaseData {
+    /// Exact `f32` rasters as computed by the propagation model.
+    Plain {
+        /// Base loss per window cell (negative dB).
+        base: Vec<f32>,
+        /// Vertical angle below the horizon toward each window cell,
+        /// degrees.
+        theta_deg: Vec<f32>,
+    },
+    /// i16-quantized, tile-delta-compressed rasters (see [`crate::tile`]).
+    /// Decoded transparently on assembly; every reader sees the same
+    /// quantized values, so results stay byte-deterministic.
+    Compressed {
+        base: CompressedRaster,
+        theta_deg: CompressedRaster,
+    },
+}
+
+/// Borrowed view of one sector's base rasters, in whichever form the
+/// store holds them. Produced by [`PathLossStore::base_view`] for the
+/// binary exporter.
+pub enum BaseView<'a> {
+    /// Exact `f32` rasters.
+    Plain {
+        /// Base loss per window cell (negative dB).
+        base: &'a [f32],
+        /// Vertical angle per window cell, degrees.
+        theta_deg: &'a [f32],
+    },
+    /// Quantized compressed rasters.
+    Compressed {
+        /// Base loss raster, quantized at [`LOSS_STEP_DB`].
+        base: &'a CompressedRaster,
+        /// Vertical-angle raster, quantized at [`THETA_STEP_DEG`].
+        theta_deg: &'a CompressedRaster,
+    },
 }
 
 /// Point-in-time copy of a store's cache counters (see
@@ -297,6 +338,9 @@ pub struct PathLossStore {
     /// locks so the size gauge never takes more than one lock).
     cached: std::sync::atomic::AtomicUsize,
     counters: StoreCounters,
+    /// Interference-neighborhood index over the sector windows, built
+    /// lazily on first use (or installed from a cache blob).
+    neighbors: OnceLock<Arc<NeighborIndex>>,
 }
 
 /// The shard a `(sector, tilt)` key lives in: a fixed function of the
@@ -350,8 +394,10 @@ impl PathLossStore {
                 }
                 SectorBase {
                     window,
-                    base,
-                    theta_deg: theta,
+                    data: BaseData::Plain {
+                        base,
+                        theta_deg: theta,
+                    },
                 }
             })
         );
@@ -363,7 +409,59 @@ impl PathLossStore {
             shards: empty_shards(),
             cached: std::sync::atomic::AtomicUsize::new(0),
             counters: StoreCounters::default(),
+            neighbors: OnceLock::new(),
         }
+    }
+
+    /// Converts every sector's base rasters to the i16-quantized,
+    /// tile-delta-compressed form (see [`crate::tile`]) — a several-fold
+    /// memory reduction at continental scale. Quantization moves each
+    /// cell by at most half a step (1/128 dB loss, 1/512° angle), and
+    /// every subsequent assembly decodes the *same* quantized values, so
+    /// results stay byte-deterministic — including across a save/load
+    /// cycle through the cache blob.
+    ///
+    /// Any matrices already assembled from the unquantized rasters are
+    /// evicted so the cache never serves a mix.
+    pub fn compress_bases(&mut self) {
+        magus_obs::timed!("pathloss.compress_bases_ns", {
+            for sb in &mut self.bases {
+                if let BaseData::Plain { base, theta_deg } = &sb.data {
+                    sb.data = BaseData::Compressed {
+                        base: compress_raster(base, LOSS_STEP_DB),
+                        theta_deg: compress_raster(theta_deg, THETA_STEP_DEG),
+                    };
+                }
+            }
+        });
+        self.clear_cache();
+    }
+
+    /// Total bytes of base-raster storage: encoded tile bytes when
+    /// compressed, raw `f32` bytes when plain. The memory figure the
+    /// scale benchmark reports.
+    pub fn base_raster_bytes(&self) -> usize {
+        self.bases
+            .iter()
+            .map(|sb| match &sb.data {
+                BaseData::Plain { base, theta_deg } => {
+                    std::mem::size_of_val(base.as_slice())
+                        + std::mem::size_of_val(theta_deg.as_slice())
+                }
+                BaseData::Compressed { base, theta_deg } => {
+                    base.encoded_bytes() + theta_deg.encoded_bytes()
+                }
+            })
+            .sum()
+    }
+
+    /// Whether the base rasters are stored compressed (uniform across
+    /// sectors by construction).
+    pub fn is_compressed(&self) -> bool {
+        matches!(
+            self.bases.first().map(|sb| &sb.data),
+            Some(BaseData::Compressed { .. })
+        )
     }
 
     /// The analysis raster spec.
@@ -508,15 +606,30 @@ impl PathLossStore {
         let sb = &self.bases[id as usize];
         let ant = self.sites[id as usize].antenna;
         let downtilt = self.tilts.downtilt_deg(tilt);
-        let values = sb
-            .base
-            .iter()
-            .zip(sb.theta_deg.iter())
-            .map(|(&b, &th)| {
-                let g = ant.gain_db(0.0, th as f64, downtilt);
-                b + g.0 as f32
-            })
-            .collect();
+        let compose = |base: &[f32], theta: &[f32]| -> Vec<f32> {
+            base.iter()
+                .zip(theta.iter())
+                .map(|(&b, &th)| {
+                    let g = ant.gain_db(0.0, th as f64, downtilt);
+                    b + g.0 as f32
+                })
+                .collect()
+        };
+        let values = match &sb.data {
+            BaseData::Plain { base, theta_deg } => compose(base, theta_deg),
+            BaseData::Compressed { base, theta_deg } => {
+                // Streams are validated at construction (`compress_raster`
+                // output, or `CompressedRaster::from_parts` which decodes
+                // once and rejects bad input), so decode cannot fail here.
+                let b = base
+                    .decode()
+                    .expect("compressed base validated at construction");
+                let t = theta_deg
+                    .decode()
+                    .expect("compressed theta validated at construction");
+                compose(&b, &t)
+            }
+        };
         PathLossMatrix::new(sb.window, values)
     }
 
@@ -536,8 +649,7 @@ impl PathLossStore {
                 assert_eq!(theta_deg.len(), window.len(), "theta raster size mismatch");
                 SectorBase {
                     window,
-                    base,
-                    theta_deg,
+                    data: BaseData::Plain { base, theta_deg },
                 }
             })
             .collect();
@@ -549,15 +661,79 @@ impl PathLossStore {
             shards: empty_shards(),
             cached: std::sync::atomic::AtomicUsize::new(0),
             counters: StoreCounters::default(),
+            neighbors: OnceLock::new(),
         }
     }
 
-    /// The tilt-independent base arrays of sector `id`: `(base loss dB,
-    /// vertical angle deg)`, row-major over [`PathLossStore::window`].
-    /// Used by the binary exporter.
-    pub fn base_arrays(&self, id: u32) -> (&[f32], &[f32]) {
-        let sb = &self.bases[id as usize];
-        (&sb.base, &sb.theta_deg)
+    /// Rebuilds a store from compressed per-sector rasters (the `q16`
+    /// deserialization path — see [`crate::io`]). The rasters stay
+    /// compressed in memory and are decoded on assembly.
+    pub fn from_compressed_parts(
+        spec: GridSpec,
+        sites: Vec<SectorSite>,
+        tilts: TiltSettings,
+        bases: Vec<(GridWindow, CompressedRaster, CompressedRaster)>,
+    ) -> PathLossStore {
+        assert_eq!(sites.len(), bases.len(), "sites vs bases length mismatch");
+        let bases = bases
+            .into_iter()
+            .map(|(window, base, theta_deg)| {
+                assert_eq!(base.len(), window.len(), "base raster size mismatch");
+                assert_eq!(theta_deg.len(), window.len(), "theta raster size mismatch");
+                SectorBase {
+                    window,
+                    data: BaseData::Compressed { base, theta_deg },
+                }
+            })
+            .collect();
+        PathLossStore {
+            spec,
+            sites,
+            tilts,
+            bases,
+            shards: empty_shards(),
+            cached: std::sync::atomic::AtomicUsize::new(0),
+            counters: StoreCounters::default(),
+            neighbors: OnceLock::new(),
+        }
+    }
+
+    /// The tilt-independent base rasters of sector `id` in their stored
+    /// form, row-major over [`PathLossStore::window`]. Used by the
+    /// binary exporter.
+    pub fn base_view(&self, id: u32) -> BaseView<'_> {
+        match &self.bases[id as usize].data {
+            BaseData::Plain { base, theta_deg } => BaseView::Plain { base, theta_deg },
+            BaseData::Compressed { base, theta_deg } => BaseView::Compressed { base, theta_deg },
+        }
+    }
+
+    /// The interference-neighborhood index over this store's sector
+    /// windows: sector `b` is a neighbor of `a` iff their footprint
+    /// windows intersect — exactly the condition under which a change
+    /// to `a` can alter any grid where `b` is audible. Built on first
+    /// use (O(n·k) via a bucket grid) and shared thereafter; a cached
+    /// copy can be pre-installed with
+    /// [`PathLossStore::install_neighbor_index`].
+    pub fn neighbor_index(&self) -> Arc<NeighborIndex> {
+        Arc::clone(self.neighbors.get_or_init(|| {
+            let windows: Vec<GridWindow> = self.bases.iter().map(|sb| sb.window).collect();
+            Arc::new(magus_obs::timed!(
+                "pathloss.neighbor_build_ns",
+                NeighborIndex::build(&windows)
+            ))
+        }))
+    }
+
+    /// Installs a prebuilt neighborhood index (the cache-load path).
+    /// Rejected — returning `false` — when the index's sector count
+    /// disagrees with the store, or an index was already built; the
+    /// store then falls back to building its own.
+    pub fn install_neighbor_index(&self, index: Arc<NeighborIndex>) -> bool {
+        if index.num_sectors() != self.num_sectors() {
+            return false;
+        }
+        self.neighbors.set(index).is_ok()
     }
 
     /// Number of matrices currently cached (for tests / metrics).

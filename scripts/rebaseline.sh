@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Regenerates every committed perf baseline in one command:
+#
+#   BENCH_probe.json   (probe_bench,  MAGUS_PROBE_WRITE_BASELINE=1)
+#   BENCH_search.json  (search_bench, MAGUS_SEARCH_WRITE_BASELINE=1)
+#   BENCH_scale.json   (scale_matrix, MAGUS_SCALE_WRITE_BASELINE=1)
+#
+# Run it on a quiet machine (the numbers are calibration-normalized,
+# but noise still widens the floor), review the printed old -> new
+# deltas, and commit the three JSON files together. See README
+# "Performance gates".
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Captures the headline normalized figure from a baseline file so the
+# delta survives the rewrite. Missing file or field prints "none".
+headline() {
+    local file="$1" key="$2"
+    if [ -f "$file" ]; then
+        grep -o "\"$key\": *[0-9.]*" "$file" | head -1 | grep -o '[0-9.]*$' || echo none
+    else
+        echo none
+    fi
+}
+
+echo "rebaseline: building release bench bins…"
+cargo build -q --release -p magus-bench \
+    --bin probe_bench --bin search_bench --bin scale_matrix
+
+declare -A OLD
+OLD[probe]=$(headline BENCH_probe.json normalized_1t)
+OLD[search]=$(headline BENCH_search.json normalized)
+OLD[scale]=$(headline BENCH_scale.json normalized)
+
+echo "rebaseline: probe_bench…"
+MAGUS_PROBE_WRITE_BASELINE=1 ./target/release/probe_bench >/dev/null
+echo "rebaseline: search_bench…"
+MAGUS_SEARCH_WRITE_BASELINE=1 ./target/release/search_bench >/dev/null
+echo "rebaseline: scale_matrix (MAGUS_SCALE_SECTORS=${MAGUS_SCALE_SECTORS:-2001})…"
+MAGUS_SCALE_SECTORS="${MAGUS_SCALE_SECTORS:-2001}" \
+    MAGUS_SCALE_WRITE_BASELINE=1 ./target/release/scale_matrix >/dev/null
+
+echo
+echo "rebaseline: normalized headline deltas (old -> new):"
+printf '  %-18s %s -> %s\n' BENCH_probe.json "${OLD[probe]}" "$(headline BENCH_probe.json normalized_1t)"
+printf '  %-18s %s -> %s\n' BENCH_search.json "${OLD[search]}" "$(headline BENCH_search.json normalized)"
+printf '  %-18s %s -> %s\n' BENCH_scale.json "${OLD[scale]}" "$(headline BENCH_scale.json normalized)"
+echo
+echo "rebaseline: review the deltas, then commit the three BENCH_*.json files."
